@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the engine's hot paths: the wait-free SPSC
+//! queue and conveyor (§3.2's data exchange), partition hashing (§4.1),
+//! histogram recording (the measurement path), sliding-window accumulation,
+//! and grid map operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jet_core::processors::agg::counting;
+use jet_core::processors::window::{SlidingWindowP, WindowDef};
+use jet_core::processor::{Inbox, Outbox, Processor};
+use jet_imdg::{Grid, IMap};
+use jet_queue::{spsc_channel, Conveyor};
+use jet_util::{seq, Histogram};
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("offer_poll", |b| {
+        let (p, q) = spsc_channel::<u64>(1024);
+        b.iter(|| {
+            p.offer(black_box(42)).unwrap();
+            black_box(q.poll().unwrap());
+        });
+    });
+    g.bench_function("offer_poll_batch64", |b| {
+        let (p, q) = spsc_channel::<u64>(1024);
+        b.iter(|| {
+            for i in 0..64u64 {
+                p.offer(i).unwrap();
+            }
+            for _ in 0..64 {
+                black_box(q.poll().unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_conveyor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conveyor");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("drain_4_lanes", |b| {
+        let (mut conv, producers) = Conveyor::<u64>::new(4, 256);
+        b.iter(|| {
+            for p in &producers {
+                for i in 0..16u64 {
+                    p.offer(i).unwrap();
+                }
+            }
+            while let Some((_, v)) = conv.poll_any() {
+                black_box(v);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioning");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hash_route_u64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(seq::bucket_of(seq::hash_of(&k), 271));
+        });
+    });
+    g.bench_function("hash_route_str", |b| {
+        b.iter(|| black_box(seq::bucket_of(seq::hash_of("auction-123456"), 271)));
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record", |b| {
+        let mut h = Histogram::latency();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 40));
+        });
+    });
+    g.bench_function("p9999_of_100k", |b| {
+        let mut h = Histogram::latency();
+        for i in 0..100_000u64 {
+            h.record(i * 17 % 10_000_000);
+        }
+        b.iter(|| black_box(h.percentile(99.99)));
+    });
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("accumulate_256_events", |b| {
+        let mut p = SlidingWindowP::new::<u64>(
+            WindowDef::sliding(1_000_000_000, 10_000_000),
+            |v: &u64| *v % 1000,
+            counting::<u64>(),
+        );
+        let ctx = test_ctx();
+        let mut outbox = Outbox::new(1, 1024);
+        let mut ts = 0i64;
+        b.iter(|| {
+            let mut inbox = Inbox::new();
+            for i in 0..256u64 {
+                ts += 40_000; // ~25k events/s of event time
+                inbox.push(ts, jet_core::boxed(i));
+            }
+            p.process(0, &mut inbox, &mut outbox, &ctx);
+        });
+    });
+    g.finish();
+}
+
+fn bench_imap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("imap");
+    g.throughput(Throughput::Elements(1));
+    let grid = Grid::new(3, 1);
+    let map: IMap<u64, u64> = IMap::new(&grid, "bench");
+    g.bench_function("put_replicated", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 100_000;
+            map.put(black_box(k), black_box(k * 2));
+        });
+    });
+    for k in 0..100_000u64 {
+        map.put(k, k);
+    }
+    g.bench_function("get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 100_000;
+            black_box(map.get(&k));
+        });
+    });
+    g.finish();
+}
+
+fn test_ctx() -> jet_core::ProcessorContext {
+    jet_core::ProcessorContext {
+        vertex: "bench".into(),
+        global_index: 0,
+        total_parallelism: 1,
+        member: 0,
+        clock: jet_util::clock::system_clock(),
+        guarantee: jet_core::Guarantee::None,
+        cancelled: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        partition_count: 271,
+        owned_partitions: std::sync::Arc::new(vec![true; 271]),
+    }
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spsc, bench_conveyor, bench_partitioning, bench_histogram, bench_window, bench_imap
+}
+criterion_main!(micro);

@@ -1,0 +1,32 @@
+//! Calibration diagnostic: virtual-core utilization for Q5 at a given rate.
+use jet_bench::{Query, RunSpec, MS, SEC};
+use jet_core::metrics::{SharedCounter, SharedHistogram};
+use jet_core::Ts;
+use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_pipeline::WindowDef;
+
+fn main() {
+    let rate_k: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let cores = 2usize;
+    let mut spec = RunSpec::new(Query::Q5, rate_k * 1000 * cores as u64);
+    spec.cores_per_member = cores;
+    spec.window = WindowDef::sliding(SEC as Ts, (10 * MS) as Ts);
+    let hist = SharedHistogram::new();
+    let count = SharedCounter::new();
+    let p = jet_bench::build_query(&spec, &hist, &count);
+    let dag = p.compile(cores).unwrap();
+    let cfg = SimClusterConfig {
+        members: 1,
+        cores_per_member: cores,
+        cost_model: spec.cost_model.clone(),
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(3 * SEC);
+    let busy = cluster.busy_nanos();
+    let elapsed = cluster.now();
+    for (i, b) in busy.iter().enumerate() {
+        println!("core {i}: busy {:.1}%", *b as f64 / elapsed as f64 * 100.0);
+    }
+    println!("outputs: {}, hist: {}", count.get(), hist.snapshot().latency_summary_ms());
+}

@@ -1,0 +1,41 @@
+//! Debug: Q5 output over time on a 5-member cluster.
+use jet_bench::{Query, RunSpec, MS, SEC};
+use jet_core::metrics::{SharedCounter, SharedHistogram};
+use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_core::Ts;
+use jet_pipeline::WindowDef;
+
+fn main() {
+    let members: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let mut spec = RunSpec::new(Query::Q5, 400_000);
+    spec.members = members;
+    spec.cores_per_member = 2;
+    spec.window = WindowDef::sliding(SEC as Ts, (10 * MS) as Ts);
+    let hist = SharedHistogram::new();
+    let count = SharedCounter::new();
+    let p = jet_bench::build_query(&spec, &hist, &count);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members,
+        cores_per_member: 2,
+        cost_model: spec.cost_model.clone(),
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    for step in 0..6 {
+        cluster.run_for(250 * MS);
+        println!("t={:4}ms out={} live={}", (step + 1) * 250, count.get(), cluster.live_tasklets());
+    }
+    let mut agg: std::collections::HashMap<String, (u64, u64, usize)> = Default::default();
+    for (_c, name, i, o) in cluster.tasklet_stats() {
+        let e = agg.entry(name).or_insert((0, 0, 0));
+        e.0 += i;
+        e.1 += o;
+        e.2 += 1;
+    }
+    let mut rows: Vec<_> = agg.into_iter().collect();
+    rows.sort();
+    for (name, (i, o, n)) in rows {
+        println!("{name:24} x{n:3} in={i:10} out={o:10}");
+    }
+}

@@ -1,0 +1,33 @@
+//! **Figure 7 reproduction** — "Throughput per CPU-core vs. Latency for Q5
+//! on a single node with 10ms window slide."
+//!
+//! Paper result: p99.99 ≈ 13 ms at ~0.5M events/s/core, rising to ≈ 98 ms
+//! at 2M events/s/core, with the knee around 1.75M — the latency hockey
+//! stick as the offered rate approaches per-core capacity.
+//!
+//! Scale-down: 2 virtual cores per member (paper: 12 physical), 1 s window
+//! (paper: 10 s — the slide, not the size, drives emission cost), shorter
+//! measurement. Rates are *per core* as in the paper's x-axis.
+
+use jet_bench::{percentile_row, run, Query, RunSpec, MS, SEC};
+use jet_core::Ts;
+use jet_pipeline::WindowDef;
+
+fn main() {
+    let cores = 2usize;
+    println!("# Figure 7: Q5 throughput/core vs latency, 1 member x {cores} vcores, 10ms slide");
+    println!("# rate_per_core_M  p50_ms p90 p99 p99.9 p99.99 max");
+    for rate_k_per_core in [250u64, 500, 1000, 1500, 1750, 2000] {
+        let mut spec = RunSpec::new(Query::Q5, rate_k_per_core * 1000 * cores as u64);
+        spec.cores_per_member = cores;
+        spec.window = WindowDef::sliding(SEC as Ts, (10 * MS) as Ts);
+        spec.warmup = SEC + 500 * MS; // window fill + settle
+        spec.measure = 2 * SEC;
+        let r = run(&spec);
+        println!(
+            "{:.2}M/s/core  {}",
+            rate_k_per_core as f64 / 1000.0,
+            percentile_row(&r.hist)
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! # jet-bench — the reproduction harness
+//!
+//! One binary per paper figure/table (see DESIGN.md §4 for the full index)
+//! plus criterion micro-benches. This library holds the shared runner: build
+//! a NEXMark query as a pipeline, execute it on the virtual-time cluster
+//! simulator with the paper's measurement methodology (§7.1 — the latency
+//! clock starts at each event's predetermined occurrence time; measurement
+//! begins after warm-up), and report the percentile series the paper plots.
+//!
+//! Scale-down vs the paper (documented per experiment in EXPERIMENTS.md):
+//! virtual cores per member, input rates, and measurement durations are
+//! reduced so each figure reproduces in minutes on one physical CPU; the
+//! *shapes* (who wins, where knees fall) are the reproduction target, not
+//! absolute numbers.
+
+use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_core::metrics::{SharedCounter, SharedHistogram};
+use jet_core::processor::Guarantee;
+use jet_core::processors::WatermarkPolicy;
+use jet_core::Ts;
+use jet_nexmark::{queries, NexmarkConfig};
+use jet_pipeline::{Pipeline, WindowDef};
+use jet_util::Histogram;
+
+pub const SEC: u64 = 1_000_000_000;
+pub const MS: u64 = 1_000_000;
+
+/// Which NEXMark query to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    Q5SingleStage,
+    Q6,
+    Q7,
+    Q8,
+    Q13,
+}
+
+impl Query {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Query::Q1 => "Q1",
+            Query::Q2 => "Q2",
+            Query::Q3 => "Q3",
+            Query::Q4 => "Q4",
+            Query::Q5 => "Q5",
+            Query::Q5SingleStage => "Q5-single",
+            Query::Q6 => "Q6",
+            Query::Q7 => "Q7",
+            Query::Q8 => "Q8",
+            Query::Q13 => "Q13",
+        }
+    }
+}
+
+/// One experiment run description.
+#[derive(Clone)]
+pub struct RunSpec {
+    pub query: Query,
+    pub members: usize,
+    pub cores_per_member: usize,
+    /// Total input rate, events/second (all members together).
+    pub total_rate: u64,
+    /// Window definition for windowed queries.
+    pub window: WindowDef,
+    /// Virtual time to run before measurement starts (windows must fill).
+    pub warmup: u64,
+    /// Virtual measurement duration.
+    pub measure: u64,
+    pub guarantee: Guarantee,
+    /// 0 disables snapshots.
+    pub snapshot_interval: u64,
+    pub nexmark: NexmarkConfig,
+    pub gc: Option<jet_sim::GcModel>,
+    pub cost_model: jet_sim::CostModel,
+    pub fixed_receive_window: Option<u64>,
+    pub partition_count: u32,
+}
+
+impl RunSpec {
+    pub fn new(query: Query, total_rate: u64) -> RunSpec {
+        RunSpec {
+            query,
+            members: 1,
+            cores_per_member: 4,
+            total_rate,
+            window: WindowDef::sliding(SEC as Ts, (10 * MS) as Ts),
+            warmup: 2 * SEC,
+            measure: 3 * SEC,
+            guarantee: Guarantee::None,
+            snapshot_interval: 0,
+            nexmark: NexmarkConfig::default(),
+            gc: None,
+            cost_model: jet_sim::CostModel::paper_calibrated(),
+            fixed_receive_window: None,
+            partition_count: jet_imdg::DEFAULT_PARTITION_COUNT,
+        }
+    }
+}
+
+/// Result of one run.
+pub struct RunResult {
+    /// Latency histogram over the measurement period (nanos).
+    pub hist: Histogram,
+    /// Output events observed in the measurement period.
+    pub outputs: u64,
+    /// Input events generated in the measurement period (approximate:
+    /// rate × duration).
+    pub inputs: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_secs: f64,
+    /// Virtual seconds simulated.
+    pub virtual_secs: f64,
+}
+
+impl RunResult {
+    pub fn p(&self, pct: f64) -> f64 {
+        self.hist.percentile(pct) as f64 / 1e6
+    }
+
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | out={} ({:.2}M/s out) [{:.0}s wall]",
+            self.hist.latency_summary_ms(),
+            self.outputs,
+            self.outputs as f64 / self.virtual_secs / 1e6,
+            self.wall_secs,
+        )
+    }
+}
+
+/// Build the query pipeline with a latency sink attached.
+pub fn build_query(spec: &RunSpec, hist: &SharedHistogram, count: &SharedCounter) -> Pipeline {
+    let p = Pipeline::create();
+    let src = queries::source(
+        &p,
+        &spec.nexmark,
+        spec.total_rate,
+        None,
+        WatermarkPolicy::default(),
+    );
+    let h = hist.clone();
+    let c = count.clone();
+    match spec.query {
+        Query::Q1 => {
+            queries::q1(&src).write_to_latency(h, c);
+        }
+        Query::Q2 => {
+            queries::q2(&src).write_to_latency(h, c);
+        }
+        Query::Q3 => {
+            queries::q3(&src).write_to_latency(h, c);
+        }
+        Query::Q4 => {
+            queries::q4(&src, spec.window.size).write_to_latency(h, c);
+        }
+        Query::Q5 => {
+            queries::q5(&src, spec.window).write_to_latency(h, c);
+        }
+        Query::Q5SingleStage => {
+            queries::q5_single_stage(&src, spec.window).write_to_latency(h, c);
+        }
+        Query::Q6 => {
+            queries::q6(&src, spec.window.size).write_to_latency(h, c);
+        }
+        Query::Q7 => {
+            queries::q7(&src, spec.window.size).write_to_latency(h, c);
+        }
+        Query::Q8 => {
+            queries::q8(&src, spec.window.size).write_to_latency(h, c);
+        }
+        Query::Q13 => {
+            let side: Vec<(u64, String)> = (0..spec.nexmark.auctions)
+                .map(|a| (a, format!("auction-{a}")))
+                .collect();
+            queries::q13(&p, &src, side).write_to_latency(h, c);
+        }
+    }
+    p
+}
+
+/// Execute one run: warm up, clear the histogram, measure.
+pub fn run(spec: &RunSpec) -> RunResult {
+    let hist = SharedHistogram::new();
+    let count = SharedCounter::new();
+    let pipeline = build_query(spec, &hist, &count);
+    let dag = pipeline.compile(spec.cores_per_member).expect("pipeline compiles");
+    let cfg = SimClusterConfig {
+        members: spec.members,
+        cores_per_member: spec.cores_per_member,
+        partition_count: spec.partition_count,
+        backup_count: 1,
+        guarantee: spec.guarantee,
+        snapshot_interval: spec.snapshot_interval,
+        cost_model: spec.cost_model.clone(),
+        gc: spec.gc.clone(),
+        fixed_receive_window: spec.fixed_receive_window,
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let mut cluster = SimCluster::start(dag, cfg).expect("cluster starts");
+    cluster.run_for(spec.warmup);
+    hist.clear();
+    let out_before = count.get();
+    cluster.run_for(spec.measure);
+    let outputs = count.get() - out_before;
+    let wall = started.elapsed().as_secs_f64();
+    cluster.cancel();
+    RunResult {
+        hist: hist.snapshot(),
+        outputs,
+        inputs: spec.total_rate * spec.measure / SEC,
+        wall_secs: wall,
+        virtual_secs: spec.measure as f64 / 1e9,
+    }
+}
+
+/// Standard percentile row used by the figure binaries.
+pub fn percentile_row(h: &Histogram) -> String {
+    format!(
+        "p50={:8.3}ms p90={:8.3}ms p99={:8.3}ms p99.9={:8.3}ms p99.99={:8.3}ms max={:8.3}ms n={}",
+        h.percentile(50.0) as f64 / 1e6,
+        h.percentile(90.0) as f64 / 1e6,
+        h.percentile(99.0) as f64 / 1e6,
+        h.percentile(99.9) as f64 / 1e6,
+        h.percentile(99.99) as f64 / 1e6,
+        h.max() as f64 / 1e6,
+        h.count(),
+    )
+}
+
+/// The percentile curve (Fig. 9/11/12 style).
+pub fn percentile_curve(h: &Histogram) -> Vec<(f64, f64)> {
+    [50.0, 70.0, 80.0, 90.0, 95.0, 99.0, 99.9, 99.99, 100.0]
+        .iter()
+        .map(|&p| (p, h.percentile(p) as f64 / 1e6))
+        .collect()
+}

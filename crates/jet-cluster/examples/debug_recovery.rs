@@ -1,0 +1,90 @@
+//! Diagnostic: which events disappear across kill+recover?
+use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_core::processor::Guarantee;
+use jet_core::processors::agg::counting;
+use jet_core::Ts;
+use jet_pipeline::{Pipeline, WindowDef, WindowResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SEC: u64 = 1_000_000_000;
+const MS: u64 = 1_000_000;
+
+fn main() {
+    const LIMIT: u64 = 40_000;
+    const KEYS: u64 = 32;
+    let p = Pipeline::create();
+    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, Vec<u64>>)>>> = Arc::new(Mutex::new(Vec::new()));
+    // Collect the actual seqs per key so we can see WHICH are missing.
+    let op = jet_core::processors::agg::AggregateOp::of::<(u64, u64), _, _, _>(
+        Vec::new,
+        |acc: &mut Vec<u64>, (_k, seq): &(u64, u64)| acc.push(*seq),
+        |a, b| a.extend_from_slice(b),
+        |a| a.clone(),
+    );
+    p.read_from_generator_cfg(
+        "gen",
+        1_000_000,
+        Some(LIMIT),
+        jet_core::processors::WatermarkPolicy::default(),
+        move |seq, _ts| (seq % KEYS, seq),
+    )
+    .grouping_key(|(k, _): &(u64, u64)| *k)
+    .window(WindowDef::tumbling(10 * SEC as Ts))
+    .aggregate(op)
+    .write_to_collect(out.clone());
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 3,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    println!("completed snapshot before kill: {}", cluster.registry().completed());
+    let victim = cluster.grid().members()[1];
+    let recovered = cluster.kill_member_and_recover(victim).unwrap();
+    println!("recovered from snapshot: {recovered:?}");
+    let finished = cluster.run_for(120 * SEC);
+    println!("finished: {finished}, live tasklets: {}", cluster.live_tasklets());
+    let results = out.lock();
+    let mut seen: HashMap<u64, u64> = HashMap::new(); // seq -> times
+    for (_, r) in results.iter() {
+        for &s in &r.value {
+            *seen.entry(s).or_insert(0) += 1;
+        }
+    }
+    let missing: Vec<u64> = (0..LIMIT).filter(|s| !seen.contains_key(s)).collect();
+    let dups: Vec<u64> = seen.iter().filter(|(_, &c)| c > 1).map(|(&s, _)| s).collect();
+    println!("total distinct: {}, missing: {}, dups: {}", seen.len(), missing.len(), dups.len());
+    if !missing.is_empty() {
+        let min = missing.iter().min().unwrap();
+        let max = missing.iter().max().unwrap();
+        println!("missing range: {min}..={max}");
+        // shard of a seq = seq % 64
+        let mut shards: HashMap<u64, (u64, u64, u64)> = HashMap::new(); // shard -> (count, min, max)
+        for &s in &missing {
+            let e = shards.entry(s % 64).or_insert((0, u64::MAX, 0));
+            e.0 += 1;
+            e.1 = e.1.min(s);
+            e.2 = e.2.max(s);
+        }
+        let mut sh: Vec<_> = shards.into_iter().collect();
+        sh.sort();
+        for (shard, (c, lo, hi)) in sh.iter().take(70) {
+            println!("  shard {shard}: missing {c} (range {lo}..{hi})");
+        }
+        // keys
+        let mut keys: HashMap<u64, u64> = HashMap::new();
+        for &s in &missing {
+            *keys.entry(s % KEYS).or_insert(0) += 1;
+        }
+        let mut kv: Vec<_> = keys.into_iter().collect();
+        kv.sort();
+        println!("  missing per key: {kv:?}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Cluster job runtime over the virtual-time simulator: job start, periodic
+//! snapshots, member failure + recovery (§4.4), and elastic rescaling
+//! (§4.3).
+//!
+//! Recovery follows the paper exactly: "Jet will stop processing in all
+//! nodes and vertices, reload the latest state snapshots from IMDG recorded
+//! at the latest checkpoint, spawn a new instance to substitute the one
+//! that failed, and ask the input sources to replay the input data
+//! following the latest checkpoint." Here that is: kill the member in the
+//! grid (backups get promoted, Fig. 6), drop every tasklet (in-flight data
+//! is lost with them), rebuild the execution from the latest complete
+//! snapshot over the surviving members, and resume on the same virtual
+//! clock.
+
+use crate::wiring::{build_cluster_execution, ClusterConfig, ClusterExecution};
+use jet_core::network::InMemoryTransport;
+use jet_core::processor::Guarantee;
+use jet_core::snapshot::SnapshotRegistry;
+use jet_core::Dag;
+use jet_imdg::{Grid, MemberId, SnapshotStore};
+use jet_sim::{CostModel, Simulator};
+use jet_util::clock::{ManualClock, SharedClock};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Simulation-mode cluster configuration.
+#[derive(Clone)]
+pub struct SimClusterConfig {
+    pub members: usize,
+    pub cores_per_member: usize,
+    pub partition_count: u32,
+    /// Backup replicas per partition in the grid.
+    pub backup_count: usize,
+    pub guarantee: Guarantee,
+    /// Snapshot interval in virtual nanos; 0 disables snapshots.
+    pub snapshot_interval: u64,
+    /// One-way network latency between members, virtual nanos.
+    pub network_latency: u64,
+    pub cost_model: CostModel,
+    /// Simulation time step.
+    pub quantum: u64,
+    pub batch: usize,
+    /// GC pause injection (§5 / ablation A2).
+    pub gc: Option<jet_sim::GcModel>,
+    /// Ablation A4: fixed (non-adaptive) receive window.
+    pub fixed_receive_window: Option<u64>,
+}
+
+impl Default for SimClusterConfig {
+    fn default() -> Self {
+        SimClusterConfig {
+            members: 1,
+            cores_per_member: 12, // paper: 12 cooperative threads per node
+            partition_count: jet_imdg::DEFAULT_PARTITION_COUNT,
+            backup_count: 1,
+            guarantee: Guarantee::None,
+            snapshot_interval: 0,
+            network_latency: 500_000, // 0.5 ms, same-AZ EC2 ballpark
+            cost_model: CostModel::default(),
+            quantum: 20_000, // 20 µs
+            batch: jet_core::tasklet::DEFAULT_BATCH,
+            gc: None,
+            fixed_receive_window: None,
+        }
+    }
+}
+
+/// A running (or restartable) cluster job on the simulator.
+pub struct SimCluster {
+    cfg: SimClusterConfig,
+    dag: Dag,
+    grid: Grid,
+    clock: Arc<ManualClock>,
+    shared_clock: SharedClock,
+    store: SnapshotStore,
+    registry: Arc<SnapshotRegistry>,
+    sim: Simulator,
+    cancelled: Arc<AtomicBool>,
+    job_id: u64,
+}
+
+impl SimCluster {
+    /// Build the grid, wire the job, and place tasklets on virtual cores.
+    pub fn start(dag: Dag, cfg: SimClusterConfig) -> Result<SimCluster, String> {
+        let grid =
+            Grid::with_partition_count(cfg.members, cfg.backup_count, cfg.partition_count);
+        let clock = Arc::new(ManualClock::new());
+        let shared_clock: SharedClock = clock.clone();
+        let store = SnapshotStore::new(&grid, 1);
+        let registry = if cfg.snapshot_interval > 0 {
+            Arc::new(SnapshotRegistry::new(store.clone(), 0))
+        } else {
+            Arc::new(SnapshotRegistry::disabled())
+        };
+        let mut me = SimCluster {
+            cfg,
+            dag,
+            grid,
+            clock,
+            shared_clock,
+            store,
+            registry,
+            sim: Simulator::new(Arc::new(ManualClock::new()), CostModel::default(), 1),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            job_id: 1,
+        };
+        me.build_execution(None)?;
+        Ok(me)
+    }
+
+    fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            cores_per_member: self.cfg.cores_per_member,
+            batch: self.cfg.batch,
+            guarantee: self.cfg.guarantee,
+            clock: self.shared_clock.clone(),
+            partition_count: self.cfg.partition_count,
+            fixed_receive_window: self.cfg.fixed_receive_window,
+        }
+    }
+
+    /// (Re)build the execution — used at start, after failure, and after
+    /// rescaling. `restore` names the snapshot to reload.
+    fn build_execution(&mut self, restore: Option<u64>) -> Result<(), String> {
+        let members = self.grid.members();
+        let transport =
+            Arc::new(InMemoryTransport::new(self.shared_clock.clone(), self.cfg.network_latency));
+        // A fresh registry per execution (acks from the old execution must
+        // not leak in), sharing the same durable store.
+        self.registry = if self.cfg.snapshot_interval > 0 {
+            let r = Arc::new(SnapshotRegistry::new(self.store.clone(), 0));
+            // Continue snapshot ids after the restored one.
+            if let Some(id) = restore {
+                r.fast_forward_to(id);
+            }
+            r
+        } else {
+            Arc::new(SnapshotRegistry::disabled())
+        };
+        let table = self.grid.table();
+        let restore_pair = restore.map(|id| (&self.store, id));
+        let exec: ClusterExecution = build_cluster_execution(
+            &self.dag,
+            &members,
+            &table,
+            transport,
+            &self.cluster_config(),
+            &self.registry,
+            match &restore_pair {
+                Some((s, id)) => Some((s, *id)),
+                None => None,
+            },
+        )?;
+        self.cancelled = exec.cancelled.clone();
+        // Fresh simulator on the SAME clock: virtual time continues across
+        // recoveries, so latency measurements span the outage.
+        let mut sim =
+            Simulator::new(self.clock.clone(), self.cfg.cost_model.clone(), self.cfg.quantum);
+        if let Some(gc) = self.cfg.gc.clone() {
+            sim = sim.with_gc(gc);
+        }
+        for (mi, member_exec) in exec.members.into_iter().enumerate() {
+            let base = mi * self.cfg.cores_per_member;
+            for _ in 0..self.cfg.cores_per_member {
+                sim.add_core();
+            }
+            for (k, (tasklet, counters)) in member_exec.tasklets.into_iter().enumerate() {
+                sim.assign(base + (k % self.cfg.cores_per_member), tasklet, counters);
+            }
+        }
+        self.sim = sim;
+        Ok(())
+    }
+
+    /// Job identifier (names the snapshot maps in the grid).
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    pub fn registry(&self) -> Arc<SnapshotRegistry> {
+        self.registry.clone()
+    }
+
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    pub fn clock(&self) -> Arc<ManualClock> {
+        self.clock.clone()
+    }
+
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    pub fn live_tasklets(&self) -> usize {
+        self.sim.live_tasklets()
+    }
+
+    /// Busy virtual nanos per core since execution (re)build — utilization
+    /// diagnostics for calibration.
+    pub fn busy_nanos(&self) -> Vec<u64> {
+        self.sim.busy_nanos()
+    }
+
+    /// Per-tasklet (core, name, in, out) diagnostics.
+    pub fn tasklet_stats(&self) -> Vec<(usize, String, u64, u64)> {
+        self.sim.tasklet_stats()
+    }
+
+    /// Advance the job by `duration` virtual nanos, auto-triggering
+    /// snapshots at the configured interval. Returns true if the job
+    /// finished.
+    pub fn run_for(&mut self, duration: u64) -> bool {
+        let interval = self.cfg.snapshot_interval;
+        let registry = self.registry.clone();
+        self.sim.run_for(duration, |now| {
+            if interval > 0 {
+                registry.maybe_trigger(now, interval);
+            }
+        })
+    }
+
+    /// Run with a custom per-quantum hook in addition to snapshot triggers.
+    pub fn run_for_with(&mut self, duration: u64, mut hook: impl FnMut(u64)) -> bool {
+        let interval = self.cfg.snapshot_interval;
+        let registry = self.registry.clone();
+        self.sim.run_for(duration, |now| {
+            if interval > 0 {
+                registry.maybe_trigger(now, interval);
+            }
+            hook(now);
+        })
+    }
+
+    /// Cooperatively stop the job and drain.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Kill `member` abruptly and recover from the latest complete snapshot
+    /// (§4.4). Returns the snapshot id recovered from (None = cold restart).
+    pub fn kill_member_and_recover(&mut self, member: MemberId) -> Result<Option<u64>, String> {
+        self.grid.kill_member(member).map_err(|e| e.to_string())?;
+        // In-flight state dies with the execution.
+        let latest = self.store.latest_complete();
+        self.cfg.members = self.grid.members().len();
+        self.build_execution(latest)?;
+        Ok(latest)
+    }
+
+    /// Gracefully add a member and rescale: terminal snapshot, rebuild with
+    /// the larger cluster from it (§4.3).
+    pub fn add_member_and_rescale(&mut self, max_wait: u64) -> Result<MemberId, String> {
+        if self.cfg.snapshot_interval == 0 {
+            return Err("rescaling requires snapshots enabled".into());
+        }
+        let id = self
+            .registry
+            .trigger_terminal()
+            .ok_or("terminal snapshot could not be triggered")?;
+        let deadline = self.now() + max_wait;
+        while self.registry.completed() < id && self.now() < deadline {
+            self.run_for(self.cfg.quantum * 16);
+        }
+        if self.registry.completed() < id {
+            return Err("terminal snapshot did not complete in time".into());
+        }
+        let new_member = self.grid.add_member();
+        self.cfg.members = self.grid.members().len();
+        self.build_execution(Some(id))?;
+        Ok(new_member)
+    }
+}

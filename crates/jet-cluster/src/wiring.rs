@@ -1,0 +1,350 @@
+//! Multi-member execution wiring (paper §3.1, Fig. 3 + §3.3).
+//!
+//! Every member deploys the complete DAG: each vertex gets
+//! `local_parallelism` processor instances *per member*. Edges become:
+//!
+//! * **Unicast / Isolated** — always member-local (Jet "keeps data exchange
+//!   local to the machine as much as possible").
+//! * **Partitioned** — routed by the grid's partition table: partition `p`
+//!   belongs to the member owning `p`'s primary replica (aligning compute
+//!   with IMDG state placement, §4.1), and within that member to local
+//!   instance `p % lp`. Remote partitions travel through a
+//!   [`SenderTasklet`]/[`ReceiverTasklet`] pair per (edge, member pair) with
+//!   the adaptive receive-window flow control of §3.3.
+//! * **Broadcast** — delivered to every instance on every member (local
+//!   consumers directly, remote ones via the senders).
+
+use jet_core::dag::{Dag, Routing};
+use jet_core::item::Item;
+use jet_core::metrics::TaskletCounters;
+use jet_core::network::{ChannelId, ReceiverTasklet, SenderTasklet, Transport};
+use jet_core::outbound::OutboundCollector;
+use jet_core::processor::{Guarantee, ProcessorContext};
+use jet_core::snapshot::SnapshotRegistry;
+use jet_core::tasklet::{InputConveyor, ProcessorTasklet, Tasklet};
+use jet_core::SnapshotId;
+use jet_imdg::partition_table::PartitionTable;
+use jet_imdg::{MemberId, SnapshotStore};
+use jet_queue::{Conveyor, Producer};
+use jet_util::clock::SharedClock;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Cluster execution configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Cores (cooperative threads / virtual cores) per member; also the
+    /// default vertex parallelism per member.
+    pub cores_per_member: usize,
+    pub batch: usize,
+    pub guarantee: Guarantee,
+    pub clock: SharedClock,
+    pub partition_count: u32,
+    /// Ablation A4: disable the adaptive receive window and always grant
+    /// this fixed amount.
+    pub fixed_receive_window: Option<u64>,
+}
+
+impl ClusterConfig {
+    pub fn new(cores_per_member: usize, clock: SharedClock) -> Self {
+        ClusterConfig {
+            cores_per_member: cores_per_member.max(1),
+            batch: jet_core::tasklet::DEFAULT_BATCH,
+            guarantee: Guarantee::None,
+            clock,
+            partition_count: jet_imdg::DEFAULT_PARTITION_COUNT,
+            fixed_receive_window: None,
+        }
+    }
+
+    pub fn with_guarantee(mut self, g: Guarantee) -> Self {
+        self.guarantee = g;
+        self
+    }
+
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// One member's share of a wired cluster execution.
+pub struct MemberExecution {
+    pub member: MemberId,
+    /// Tasklets with their counters (for the simulator's cost accounting).
+    pub tasklets: Vec<(Box<dyn Tasklet>, Option<Arc<TaskletCounters>>)>,
+}
+
+/// A fully wired cluster execution.
+pub struct ClusterExecution {
+    pub members: Vec<MemberExecution>,
+    pub cancelled: Arc<AtomicBool>,
+}
+
+/// Wire `dag` across `members` (their ids must come from the grid whose
+/// partition `table` is passed). Restore state from `restore` if given.
+#[allow(clippy::too_many_arguments)]
+pub fn build_cluster_execution(
+    dag: &Dag,
+    members: &[MemberId],
+    table: &PartitionTable,
+    transport: Arc<dyn Transport>,
+    cfg: &ClusterConfig,
+    registry: &Arc<SnapshotRegistry>,
+    restore: Option<(&SnapshotStore, SnapshotId)>,
+) -> Result<ClusterExecution, String> {
+    dag.validate()?;
+    assert!(!members.is_empty());
+    if table.partition_count() != cfg.partition_count {
+        return Err(format!(
+            "config partition count {} does not match the grid's table ({})",
+            cfg.partition_count,
+            table.partition_count()
+        ));
+    }
+    let n_members = members.len();
+    let member_index: HashMap<MemberId, usize> =
+        members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    // Partition -> owning member index (primary replica owner among the
+    // job's members; partitions owned by non-participating members fall
+    // back by modulo, which only happens in tests that shrink the grid).
+    let owner_of: Vec<usize> = (0..cfg.partition_count)
+        .map(|p| {
+            table
+                .primary(jet_imdg::PartitionId(p))
+                .and_then(|m| member_index.get(&m).copied())
+                .unwrap_or((p as usize) % n_members)
+        })
+        .collect();
+
+    let nv = dag.vertices().len();
+    let lp: Vec<usize> = dag
+        .vertices()
+        .iter()
+        .map(|v| v.local_parallelism.unwrap_or(cfg.cores_per_member))
+        .collect();
+
+    // Per (member, consumer vertex, instance): input conveyors.
+    let mut inputs: HashMap<(usize, usize, usize), Vec<InputConveyor>> = HashMap::new();
+    // Per (member, producer vertex, instance, out ordinal): targets.
+    struct OutWiring {
+        targets: Vec<Producer<Item>>,
+        partition_to_target: Vec<u16>,
+    }
+    let mut out_wiring: HashMap<(usize, usize, usize, usize), OutWiring> = HashMap::new();
+    // Sender/receiver tasklets created per distributed edge.
+    let mut exchange_tasklets: Vec<(usize, Box<dyn Tasklet>)> = Vec::new();
+
+    for (edge_idx, e) in dag.edges().iter().enumerate() {
+        let producers = lp[e.from];
+        let consumers = lp[e.to];
+        let crosses_members = n_members > 1
+            && matches!(e.routing, Routing::Partitioned(_) | Routing::Broadcast);
+        if matches!(e.routing, Routing::Isolated) && producers != consumers {
+            return Err("isolated edge with mismatched parallelism".into());
+        }
+        for (mi, _m) in members.iter().enumerate() {
+            // Consumer-side conveyors on member mi: one lane per local
+            // producer, plus one lane per remote member's receiver when the
+            // edge crosses members.
+            let remote_lanes = if crosses_members { n_members - 1 } else { 0 };
+            let mut consumer_handles: Vec<Vec<Producer<Item>>> = Vec::with_capacity(consumers);
+            for j in 0..consumers {
+                let (conveyor, handles) =
+                    Conveyor::new(producers + remote_lanes, e.queue_capacity);
+                inputs.entry((mi, e.to, j)).or_default().push(InputConveyor {
+                    ordinal: e.to_ordinal,
+                    priority: e.priority,
+                    conveyor,
+                });
+                consumer_handles.push(handles);
+            }
+            // consumer_handles[j][lane]: lanes 0..producers are local
+            // producers; lanes producers.. are receivers (one per remote).
+            // Local producer i's direct targets: handle j of each consumer.
+            let mut local_targets: Vec<Vec<Producer<Item>>> =
+                (0..producers).map(|_| Vec::with_capacity(consumers)).collect();
+            let mut receiver_targets: Vec<Vec<Producer<Item>>> =
+                (0..remote_lanes).map(|_| Vec::with_capacity(consumers)).collect();
+            for handles in consumer_handles {
+                // handles is Vec<Producer> indexed by lane, consumed in order.
+                for (lane, h) in handles.into_iter().enumerate() {
+                    if lane < producers {
+                        local_targets[lane].push(h);
+                    } else {
+                        receiver_targets[lane - producers].push(h);
+                    }
+                }
+            }
+            // Receivers: one per remote member, routing into local consumers.
+            if crosses_members {
+                for (ri, targets) in receiver_targets.into_iter().enumerate() {
+                    // Remote member index for receiver slot ri.
+                    let from_mi = (0..n_members).filter(|&x| x != mi).nth(ri).expect("slot");
+                    let channel = ChannelId {
+                        edge: edge_idx as u32,
+                        from: members[from_mi].0,
+                        to: members[mi].0,
+                    };
+                    let ptt: Vec<u16> = match &e.routing {
+                        Routing::Partitioned(_) => (0..cfg.partition_count)
+                            .map(|p| ((p as usize) % consumers) as u16)
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    let routing = match &e.routing {
+                        Routing::Broadcast => Routing::Broadcast,
+                        other => other.clone(),
+                    };
+                    let collector = OutboundCollector::new(
+                        routing,
+                        targets,
+                        ptt,
+                        cfg.partition_count,
+                        0,
+                    );
+                    let mut receiver = ReceiverTasklet::new(
+                        channel,
+                        transport.clone(),
+                        cfg.clock.clone(),
+                        collector,
+                    );
+                    if let Some(w) = cfg.fixed_receive_window {
+                        receiver = receiver.with_fixed_window(w);
+                    }
+                    exchange_tasklets.push((mi, Box::new(receiver)));
+                }
+            }
+            // Sender conveyors: on member mi, one sender per remote member,
+            // fed by the local producers.
+            let mut sender_handles: Vec<Vec<Producer<Item>>> = Vec::new();
+            if crosses_members {
+                for r in 0..n_members - 1 {
+                    let to_mi = (0..n_members).filter(|&x| x != mi).nth(r).expect("slot");
+                    let (conveyor, handles) = Conveyor::new(producers, e.queue_capacity);
+                    let channel = ChannelId {
+                        edge: edge_idx as u32,
+                        from: members[mi].0,
+                        to: members[to_mi].0,
+                    };
+                    let sender = SenderTasklet::new(
+                        channel,
+                        transport.clone(),
+                        conveyor,
+                        cfg.guarantee,
+                    );
+                    exchange_tasklets.push((mi, Box::new(sender)));
+                    sender_handles.push(handles);
+                }
+            }
+            // Producer-side wiring: targets = local consumers ++ senders.
+            for i in 0..producers {
+                let mut targets: Vec<Producer<Item>> = Vec::with_capacity(consumers + n_members - 1);
+                targets.append(&mut local_targets[i].drain(..).collect());
+                for handles in &mut sender_handles {
+                    // handles[i] is producer i's lane into this sender.
+                    targets.push(
+                        std::mem::replace(&mut handles[i], dead_producer()),
+                    );
+                }
+                let ptt: Vec<u16> = match &e.routing {
+                    Routing::Partitioned(_) => (0..cfg.partition_count)
+                        .map(|p| {
+                            let owner = owner_of[p as usize];
+                            if owner == mi {
+                                ((p as usize) % consumers) as u16
+                            } else {
+                                // Sender slot for that member.
+                                let slot = (0..n_members)
+                                    .filter(|&x| x != mi)
+                                    .position(|x| x == owner)
+                                    .expect("remote owner");
+                                (consumers + slot) as u16
+                            }
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                out_wiring.insert(
+                    (mi, e.from, i, e.from_ordinal),
+                    OutWiring { targets, partition_to_target: ptt },
+                );
+            }
+        }
+    }
+
+    // Build processor tasklets per member.
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let mut member_execs: Vec<MemberExecution> = members
+        .iter()
+        .map(|&m| MemberExecution { member: m, tasklets: Vec::new() })
+        .collect();
+    let mut participants = 0usize;
+
+    for v in 0..nv {
+        let vertex = &dag.vertices()[v];
+        let out_edges = dag.out_edges(v);
+        let parallelism = lp[v];
+        let restore_records: Option<Vec<(Vec<u8>, Vec<u8>)>> =
+            restore.map(|(store, id)| store.read_vertex(id, &vertex.name));
+        for (mi, _m) in members.iter().enumerate() {
+            for i in 0..parallelism {
+                let global_index = mi * parallelism + i;
+                let owned: Vec<bool> = (0..cfg.partition_count)
+                    .map(|p| owner_of[p as usize] == mi && (p as usize) % parallelism == i)
+                    .collect();
+                let ctx = ProcessorContext {
+                    vertex: vertex.name.clone(),
+                    global_index,
+                    total_parallelism: parallelism * n_members,
+                    member: members[mi].0,
+                    clock: cfg.clock.clone(),
+                    guarantee: cfg.guarantee,
+                    cancelled: cancelled.clone(),
+                    partition_count: cfg.partition_count,
+                    owned_partitions: Arc::new(owned),
+                };
+                let mut processor = (vertex.supplier)(global_index);
+                if let Some(records) = &restore_records {
+                    for (k, val) in records {
+                        processor.restore_from_snapshot(k, val, &ctx);
+                    }
+                    processor.finish_snapshot_restore(&ctx);
+                }
+                let mut collectors = Vec::new();
+                for e in &out_edges {
+                    let wiring = out_wiring
+                        .remove(&(mi, v, i, e.from_ordinal))
+                        .ok_or_else(|| format!("missing wiring {}:{}:{}", mi, vertex.name, i))?;
+                    let consumers = lp[e.to];
+                    collectors.push(OutboundCollector::new(
+                        e.routing.clone(),
+                        wiring.targets,
+                        wiring.partition_to_target,
+                        cfg.partition_count,
+                        i.min(consumers - 1),
+                    ));
+                }
+                let ins = inputs.remove(&(mi, v, i)).unwrap_or_default();
+                let tasklet =
+                    ProcessorTasklet::new(processor, ctx, ins, collectors, registry.clone(), cfg.batch);
+                let counters = tasklet.counters();
+                participants += 1;
+                member_execs[mi].tasklets.push((Box::new(tasklet), Some(counters)));
+            }
+        }
+    }
+    for (mi, t) in exchange_tasklets {
+        member_execs[mi].tasklets.push((t, None));
+    }
+    registry.set_participants(participants);
+    Ok(ClusterExecution { members: member_execs, cancelled })
+}
+
+/// A producer handle whose consumer is dropped immediately — used only as a
+/// placeholder when moving handles out of a vec.
+fn dead_producer() -> Producer<Item> {
+    let (p, _c) = jet_queue::spsc_channel(2);
+    p
+}

@@ -1,0 +1,235 @@
+//! Cluster-level end-to-end tests on the virtual-time simulator: multi-
+//! member correctness, distributed snapshots with failure recovery,
+//! elastic rescaling, and active-active failover.
+
+use jet_cluster::{ActiveActive, ActiveSide, SimCluster, SimClusterConfig};
+use jet_core::metrics::{SharedCounter, SharedHistogram};
+use jet_core::processor::Guarantee;
+use jet_core::processors::agg::counting;
+use jet_core::Ts;
+use jet_nexmark::NexmarkConfig;
+use jet_pipeline::{Pipeline, WindowDef, WindowResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SEC: u64 = 1_000_000_000;
+const MS: u64 = 1_000_000;
+
+/// A keyed windowed count over a bounded generated stream, collected to a
+/// shared vec.
+fn counting_job(
+    rate: u64,
+    limit: u64,
+    keys: u64,
+    window: Ts,
+) -> (Pipeline, Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>>) {
+    let p = Pipeline::create();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    p.read_from_generator_cfg(
+        "gen",
+        rate,
+        Some(limit),
+        jet_core::processors::WatermarkPolicy::default(),
+        move |seq, _ts| seq % keys,
+    )
+    .grouping_key(|k: &u64| *k)
+    .window(WindowDef::tumbling(window))
+    .aggregate(counting::<u64>())
+    .write_to_collect(out.clone());
+    (p, out)
+}
+
+#[test]
+fn three_member_cluster_counts_every_event_once() {
+    const LIMIT: u64 = 30_000;
+    const KEYS: u64 = 64;
+    let (p, out) = counting_job(1_000_000, LIMIT, KEYS, SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 3,
+        cores_per_member: 2,
+        partition_count: 31,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    assert!(cluster.run_for(20 * SEC), "job did not finish");
+    let results = out.lock();
+    let mut per_key: HashMap<u64, u64> = HashMap::new();
+    for (_, r) in results.iter() {
+        *per_key.entry(r.key).or_insert(0) += r.value;
+    }
+    let total: u64 = per_key.values().sum();
+    assert_eq!(total, LIMIT, "events lost or duplicated across members");
+    for k in 0..KEYS {
+        assert!(per_key.contains_key(&k), "key {k} never counted");
+    }
+}
+
+#[test]
+fn single_vs_multi_member_results_agree() {
+    let run = |members: usize| {
+        let (p, out) = counting_job(2_000_000, 20_000, 16, SEC as Ts);
+        let dag = p.compile(2).unwrap();
+        let cfg = SimClusterConfig {
+            members,
+            cores_per_member: 2,
+            partition_count: 31,
+            ..Default::default()
+        };
+        let mut cluster = SimCluster::start(dag, cfg).unwrap();
+        assert!(cluster.run_for(20 * SEC));
+        let mut v: Vec<(u64, Ts, u64)> =
+            out.lock().iter().map(|(_, r)| (r.key, r.end, r.value)).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(run(1), run(4), "cluster size changed the results");
+}
+
+#[test]
+fn exactly_once_survives_member_kill() {
+    const LIMIT: u64 = 40_000;
+    const KEYS: u64 = 32;
+    let (p, out) = counting_job(1_000_000, LIMIT, KEYS, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 3,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    // Run 20 virtual ms (half the 40 ms stream), ensuring >=1 snapshot.
+    cluster.run_for(20 * MS);
+    assert!(cluster.registry().completed() >= 1, "no snapshot completed before kill");
+    let victim = cluster.grid().members()[1];
+    let recovered_from = cluster.kill_member_and_recover(victim).unwrap();
+    assert!(recovered_from.is_some(), "recovery had no snapshot");
+    assert!(cluster.run_for(60 * SEC), "job did not finish after recovery");
+    let results = out.lock();
+    let mut per_key: HashMap<u64, u64> = HashMap::new();
+    for (_, r) in results.iter() {
+        *per_key.entry(r.key).or_insert(0) += r.value;
+    }
+    let total: u64 = per_key.values().sum();
+    assert_eq!(total, LIMIT, "exactly-once violated across recovery");
+}
+
+#[test]
+fn at_least_once_loses_nothing_but_may_duplicate() {
+    const LIMIT: u64 = 30_000;
+    let (p, out) = counting_job(1_000_000, LIMIT, 16, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::AtLeastOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(15 * MS);
+    let victim = cluster.grid().members()[0];
+    cluster.kill_member_and_recover(victim).unwrap();
+    assert!(cluster.run_for(60 * SEC));
+    let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
+    assert!(total >= LIMIT, "at-least-once lost events: {total} < {LIMIT}");
+}
+
+#[test]
+fn rescale_adds_member_without_losing_state() {
+    const LIMIT: u64 = 40_000;
+    let (p, out) = counting_job(1_000_000, LIMIT, 32, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    let new_member = cluster.add_member_and_rescale(SEC).unwrap();
+    assert_eq!(cluster.grid().members().len(), 3);
+    assert!(cluster.grid().members().contains(&new_member));
+    assert!(cluster.run_for(60 * SEC), "job did not finish after rescale");
+    let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
+    assert_eq!(total, LIMIT, "rescale lost or duplicated events");
+}
+
+#[test]
+fn active_active_failover_keeps_results_flowing() {
+    let make = |out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>>| {
+        let p = Pipeline::create();
+        p.read_from_generator_cfg(
+            "gen",
+            1_000_000,
+            Some(20_000),
+            jet_core::processors::WatermarkPolicy::default(),
+            |seq, _| seq % 8,
+        )
+        .grouping_key(|k: &u64| *k)
+        .window(WindowDef::tumbling(10 * SEC as Ts))
+        .aggregate(counting::<u64>())
+        .write_to_collect(out.clone());
+        p.compile(2).unwrap()
+    };
+    let primary_out = Arc::new(Mutex::new(Vec::new()));
+    let standby_out = Arc::new(Mutex::new(Vec::new()));
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        ..Default::default()
+    };
+    let mut aa =
+        ActiveActive::start(make(primary_out.clone()), make(standby_out.clone()), cfg).unwrap();
+    assert_eq!(aa.active(), ActiveSide::Primary);
+    aa.run_for(10 * MS);
+    aa.fail_primary();
+    assert_eq!(aa.active(), ActiveSide::Standby);
+    assert!(aa.run_for(60 * SEC), "standby did not finish");
+    // The standby (deterministic twin) has the complete result set.
+    let total: u64 = standby_out.lock().iter().map(|(_, r)| r.value).sum();
+    assert_eq!(total, 20_000);
+}
+
+#[test]
+fn nexmark_q5_runs_on_a_simulated_cluster_with_sane_latency() {
+    let p = Pipeline::create();
+    let hist = SharedHistogram::new();
+    let count = SharedCounter::new();
+    let nex = NexmarkConfig { people: 100, auctions: 100, ..Default::default() };
+    let src = jet_nexmark::queries::source(
+        &p,
+        &nex,
+        200_000, // 200k ev/s
+        Some(200_000 * 2),
+        jet_core::processors::WatermarkPolicy::default(),
+    );
+    jet_nexmark::queries::q5(&src, WindowDef::sliding(SEC as Ts, (100 * MS) as Ts))
+        .write_to_latency(hist.clone(), count.clone());
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    assert!(cluster.run_for(30 * SEC), "Q5 did not finish");
+    assert!(count.get() > 0, "no window results measured");
+    let h = hist.snapshot();
+    let p9999 = h.percentile(99.99);
+    assert!(
+        p9999 < 500 * MS,
+        "p99.99 latency implausible: {:.1} ms",
+        p9999 as f64 / 1e6
+    );
+}

@@ -1,0 +1,228 @@
+//! Executors: cooperative worker threads (the paper's design, §3.2) plus a
+//! deterministic sequential driver used by tests and the simulator, plus the
+//! thread-per-operator baseline executor used by the ablation benches.
+//!
+//! "Jet deploys as many JVM threads as there are CPU cores. [...] On each
+//! thread, Jet runs a loop that executes its tasklets in a round-robin
+//! fashion." A round with no progress from any tasklet engages the
+//! progressive backoff idle strategy so idle jobs cost (almost) nothing —
+//! the property multi-tenancy (§7.7) relies on.
+
+use crate::tasklet::Tasklet;
+use jet_util::idle::{BackoffIdle, IdleStrategy};
+use jet_util::progress::Progress;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Handle to a running threaded execution.
+pub struct ExecutionHandle {
+    cancelled: Arc<AtomicBool>,
+    live_tasklets: Arc<AtomicUsize>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl ExecutionHandle {
+    /// Request cooperative cancellation: sources stop, the pipeline drains.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of tasklets that have not finished yet.
+    pub fn live_tasklets(&self) -> usize {
+        self.live_tasklets.load(Ordering::SeqCst)
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.live_tasklets() == 0
+    }
+
+    /// Block until all workers exit (all tasklets `Done`).
+    pub fn join(self) {
+        for j in self.joins {
+            let _ = j.join();
+        }
+    }
+
+    /// Cancel and wait for completion.
+    pub fn cancel_and_join(self) {
+        self.cancel();
+        self.join();
+    }
+}
+
+/// Run one worker's round-robin loop until all its tasklets are done.
+fn worker_loop(mut tasklets: Vec<Box<dyn Tasklet>>, live: Arc<AtomicUsize>) {
+    let mut idle = BackoffIdle::jet_default();
+    let mut idle_rounds = 0u64;
+    while !tasklets.is_empty() {
+        let mut progressed = false;
+        tasklets.retain_mut(|t| match t.call() {
+            Progress::MadeProgress => {
+                progressed = true;
+                true
+            }
+            Progress::NoProgress => true,
+            Progress::Done => {
+                progressed = true;
+                live.fetch_sub(1, Ordering::SeqCst);
+                false
+            }
+        });
+        if progressed {
+            idle_rounds = 0;
+            idle.reset();
+        } else {
+            idle_rounds += 1;
+            idle.idle(idle_rounds);
+        }
+    }
+}
+
+/// Spawn `threads` cooperative workers sharing the cooperative tasklets
+/// round-robin, plus one dedicated thread per non-cooperative tasklet
+/// (§3.1: "Jet must start dedicated threads" for blocking connectors).
+pub fn spawn_threaded(
+    tasklets: Vec<Box<dyn Tasklet>>,
+    threads: usize,
+    cancelled: Arc<AtomicBool>,
+) -> ExecutionHandle {
+    let threads = threads.max(1);
+    let live = Arc::new(AtomicUsize::new(tasklets.len()));
+    let mut coop: Vec<Vec<Box<dyn Tasklet>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut joins = Vec::new();
+    let mut next = 0usize;
+    for t in tasklets {
+        if t.is_cooperative() {
+            coop[next % threads].push(t);
+            next += 1;
+        } else {
+            let live = live.clone();
+            joins.push(std::thread::spawn(move || worker_loop(vec![t], live)));
+        }
+    }
+    for worker_tasklets in coop {
+        if worker_tasklets.is_empty() {
+            continue;
+        }
+        let live = live.clone();
+        joins.push(std::thread::spawn(move || worker_loop(worker_tasklets, live)));
+    }
+    ExecutionHandle { cancelled, live_tasklets: live, joins }
+}
+
+/// Deterministic single-threaded driver: round-robin all tasklets until all
+/// are done or `max_rounds` is reached. Returns `true` when everything
+/// completed. Used by unit tests and as the inner loop of the virtual-time
+/// simulator.
+pub fn run_sequential(tasklets: &mut Vec<Box<dyn Tasklet>>, max_rounds: usize) -> bool {
+    for _ in 0..max_rounds {
+        if tasklets.is_empty() {
+            return true;
+        }
+        tasklets.retain_mut(|t| !matches!(t.call(), Progress::Done));
+    }
+    tasklets.is_empty()
+}
+
+/// The **thread-per-operator baseline** (ablation A1): every tasklet gets its
+/// own OS thread regardless of cooperativeness — the "typical
+/// operator-per-core model" the paper contrasts Jet's tasklets with (§3.1).
+/// With hundreds of operators this drowns in context switches, which is the
+/// behaviour the ablation bench demonstrates.
+pub fn spawn_thread_per_operator(
+    tasklets: Vec<Box<dyn Tasklet>>,
+    cancelled: Arc<AtomicBool>,
+) -> ExecutionHandle {
+    let live = Arc::new(AtomicUsize::new(tasklets.len()));
+    let joins: Vec<JoinHandle<()>> = tasklets
+        .into_iter()
+        .map(|t| {
+            let live = live.clone();
+            std::thread::spawn(move || worker_loop(vec![t], live))
+        })
+        .collect();
+    ExecutionHandle { cancelled, live_tasklets: live, joins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountDown {
+        n: usize,
+        name: String,
+    }
+
+    impl Tasklet for CountDown {
+        fn call(&mut self) -> Progress {
+            if self.n == 0 {
+                return Progress::Done;
+            }
+            self.n -= 1;
+            Progress::MadeProgress
+        }
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+
+    fn countdown(n: usize) -> Box<dyn Tasklet> {
+        Box::new(CountDown { n, name: format!("cd{n}") })
+    }
+
+    #[test]
+    fn sequential_runs_to_completion() {
+        let mut ts = vec![countdown(3), countdown(7), countdown(1)];
+        assert!(run_sequential(&mut ts, 100));
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn sequential_respects_round_budget() {
+        let mut ts = vec![countdown(1000)];
+        assert!(!run_sequential(&mut ts, 10));
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn threaded_executor_drains_all_tasklets() {
+        let tasklets: Vec<Box<dyn Tasklet>> = (0..20).map(|i| countdown(i * 3 + 1)).collect();
+        let h = spawn_threaded(tasklets, 4, Arc::new(AtomicBool::new(false)));
+        h.join();
+    }
+
+    #[test]
+    fn thread_per_operator_also_completes() {
+        let tasklets: Vec<Box<dyn Tasklet>> = (0..8).map(|_| countdown(5)).collect();
+        let h = spawn_thread_per_operator(tasklets, Arc::new(AtomicBool::new(false)));
+        h.join();
+    }
+
+    #[test]
+    fn live_count_reaches_zero() {
+        let h = spawn_threaded(vec![countdown(2)], 1, Arc::new(AtomicBool::new(false)));
+        // joining implies finished
+        h.join();
+    }
+
+    struct NonCoop;
+    impl Tasklet for NonCoop {
+        fn call(&mut self) -> Progress {
+            Progress::Done
+        }
+        fn name(&self) -> &str {
+            "noncoop"
+        }
+        fn is_cooperative(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn non_cooperative_tasklets_get_their_own_thread() {
+        let ts: Vec<Box<dyn Tasklet>> = vec![Box::new(NonCoop), countdown(3)];
+        let h = spawn_threaded(ts, 1, Arc::new(AtomicBool::new(false)));
+        h.join();
+    }
+}

@@ -1,0 +1,128 @@
+//! In-band items: everything that flows through an edge's queues.
+//!
+//! Jet signals watermarks, snapshot barriers, and end-of-stream *in-band*,
+//! interleaved with events in the same SPSC queues — that is what lets a
+//! tasklet handle all control flow without ever blocking (§3.2, §4.4).
+
+use crate::object::BoxedObject;
+
+/// Event-time / processing-time timestamp, nanoseconds. `i64` so sentinel
+/// values (`Ts::MIN` for "no watermark yet") and lag arithmetic are natural.
+pub type Ts = i64;
+
+/// Identifier of one checkpoint round (monotonically increasing per job).
+pub type SnapshotId = u64;
+
+/// A snapshot barrier flowing through the dataflow (Chandy-Lamport, §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Barrier {
+    pub snapshot_id: SnapshotId,
+    /// Terminal barriers are used for suspend-with-snapshot: processing
+    /// stops once the terminal snapshot completes.
+    pub terminal: bool,
+}
+
+/// One slot's worth of in-band traffic.
+pub enum Item {
+    /// A data event with its event timestamp.
+    Event { ts: Ts, obj: BoxedObject },
+    /// Watermark: no event with `ts <= wm` will arrive on this channel.
+    Watermark(Ts),
+    /// Snapshot barrier.
+    Barrier(Barrier),
+    /// The producer on this channel is done; no more items will arrive.
+    Done,
+}
+
+impl Item {
+    pub fn event(ts: Ts, obj: BoxedObject) -> Item {
+        Item::Event { ts, obj }
+    }
+
+    pub fn is_event(&self) -> bool {
+        matches!(self, Item::Event { .. })
+    }
+
+    pub fn is_control(&self) -> bool {
+        !self.is_event()
+    }
+
+    /// Approximate in-flight "wire size" used by the flow-control model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Item::Event { .. } => 64,
+            _ => 16,
+        }
+    }
+}
+
+impl Clone for Item {
+    fn clone(&self) -> Self {
+        match self {
+            Item::Event { ts, obj } => Item::Event { ts: *ts, obj: obj.clone_object() },
+            Item::Watermark(w) => Item::Watermark(*w),
+            Item::Barrier(b) => Item::Barrier(*b),
+            Item::Done => Item::Done,
+        }
+    }
+}
+
+impl std::fmt::Debug for Item {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Item::Event { ts, obj } => write!(f, "Event(ts={ts}, {})", obj.debug_fmt()),
+            Item::Watermark(w) => write!(f, "Watermark({w})"),
+            Item::Barrier(b) => write!(f, "Barrier({}{})", b.snapshot_id, if b.terminal { ", terminal" } else { "" }),
+            Item::Done => write!(f, "Done"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{boxed, downcast};
+
+    #[test]
+    fn event_roundtrip() {
+        let item = Item::event(5, boxed(99u32));
+        assert!(item.is_event());
+        assert!(!item.is_control());
+        match item {
+            Item::Event { ts, obj } => {
+                assert_eq!(ts, 5);
+                assert_eq!(*downcast::<u32>(obj), 99);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn clone_duplicates_payload() {
+        let item = Item::event(1, boxed("x".to_string()));
+        let copy = item.clone();
+        match (item, copy) {
+            (Item::Event { obj: a, .. }, Item::Event { obj: b, .. }) => {
+                assert_eq!(*downcast::<String>(a), *downcast::<String>(b));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn control_items_are_control() {
+        assert!(Item::Watermark(3).is_control());
+        assert!(Item::Barrier(Barrier { snapshot_id: 1, terminal: false }).is_control());
+        assert!(Item::Done.is_control());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Item::Watermark(7)), "Watermark(7)");
+        assert_eq!(
+            format!("{:?}", Item::Barrier(Barrier { snapshot_id: 2, terminal: true })),
+            "Barrier(2, terminal)"
+        );
+        assert_eq!(format!("{:?}", Item::event(1, boxed(3u8))), "Event(ts=1, 3)");
+    }
+}

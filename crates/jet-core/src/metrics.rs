@@ -1,0 +1,166 @@
+//! Lightweight execution metrics.
+//!
+//! Counters are per-tasklet atomics aggregated on read; latency histograms
+//! are owned by whoever measures (sink processors in the benches) behind a
+//! mutex that is only touched at window-emission rate, never per event.
+
+use jet_util::Histogram;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one tasklet / processor instance.
+#[derive(Debug, Default)]
+pub struct TaskletCounters {
+    /// Events consumed from inboxes.
+    pub events_in: AtomicU64,
+    /// Events emitted to the outbox.
+    pub events_out: AtomicU64,
+    /// Scheduling rounds that made progress.
+    pub busy_rounds: AtomicU64,
+    /// Scheduling rounds without progress.
+    pub idle_rounds: AtomicU64,
+    /// State records serialized into snapshots (charged by the simulator:
+    /// saving large window state is what drives the paper's Fig. 13 tail).
+    pub snapshot_records: AtomicU64,
+}
+
+impl TaskletCounters {
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    #[inline]
+    pub fn add_in(&self, n: u64) {
+        self.events_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_out(&self, n: u64) {
+        self.events_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_snapshot_records(&self, n: u64) {
+        self.snapshot_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot_records(&self) -> u64 {
+        self.snapshot_records.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.events_in.load(Ordering::Relaxed),
+            self.events_out.load(Ordering::Relaxed),
+            self.busy_rounds.load(Ordering::Relaxed),
+            self.idle_rounds.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A shareable histogram handle for latency recording from sink processors.
+#[derive(Clone)]
+pub struct SharedHistogram {
+    inner: Arc<Mutex<Histogram>>,
+}
+
+impl SharedHistogram {
+    pub fn new() -> Self {
+        SharedHistogram { inner: Arc::new(Mutex::new(Histogram::latency())) }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.inner.lock().record(v);
+    }
+
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.inner.lock().record_n(v, n);
+    }
+
+    /// Lock once and record a whole batch (sinks use this: one lock per
+    /// inbox batch, never per event).
+    pub fn record_batch(&self, values: impl Iterator<Item = u64>) {
+        let mut h = self.inner.lock();
+        for v in values {
+            h.record(v);
+        }
+    }
+
+    /// Copy out the current histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count()
+    }
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Simple atomic event counter handle (used by sinks in tests/benches).
+#[derive(Clone, Default)]
+pub struct SharedCounter {
+    inner: Arc<AtomicU64>,
+}
+
+impl SharedCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = TaskletCounters::shared();
+        c.add_in(5);
+        c.add_in(2);
+        c.add_out(3);
+        let (i, o, _, _) = c.snapshot();
+        assert_eq!((i, o), (7, 3));
+    }
+
+    #[test]
+    fn shared_histogram_records_across_clones() {
+        let h = SharedHistogram::new();
+        let h2 = h.clone();
+        h.record(100);
+        h2.record(200);
+        assert_eq!(h.count(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(snap.count(), 2, "snapshot must be independent");
+    }
+
+    #[test]
+    fn shared_counter_is_shared() {
+        let c = SharedCounter::new();
+        let c2 = c.clone();
+        c.add(1);
+        c2.add(2);
+        assert_eq!(c.get(), 3);
+    }
+}

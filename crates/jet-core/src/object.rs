@@ -1,0 +1,105 @@
+//! The dynamic object model events travel through the engine as.
+//!
+//! Like Jet on the JVM (where everything on an edge is an `Object`), the
+//! core engine is dynamically typed: the typed Pipeline API (crate
+//! `jet-pipeline`) wraps user functions in adapters that downcast payloads
+//! back to their concrete types. Payloads must be `Clone` so broadcast
+//! edges and active-active job replicas can duplicate them.
+
+use std::any::Any;
+
+/// A type-erased, cloneable, sendable event payload.
+pub trait Object: Any + Send {
+    fn clone_object(&self) -> BoxedObject;
+    fn as_any(&self) -> &dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Best-effort debug rendering for diagnostics.
+    fn debug_fmt(&self) -> String {
+        "<object>".to_string()
+    }
+}
+
+impl<T: Any + Send + Clone + std::fmt::Debug> Object for T {
+    fn clone_object(&self) -> BoxedObject {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn debug_fmt(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// Boxed type-erased payload.
+pub type BoxedObject = Box<dyn Object>;
+
+/// Downcast a boxed object to a concrete type, panicking with a helpful
+/// message on mismatch (a mismatch is always an engine-wiring bug, never a
+/// data error, so failing fast is right).
+pub fn downcast<T: Any>(obj: BoxedObject) -> Box<T> {
+    obj.into_any().downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "edge carried a payload of unexpected type; expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Borrow-downcast without consuming.
+pub fn downcast_ref<T: Any>(obj: &dyn Object) -> &T {
+    obj.as_any().downcast_ref::<T>().unwrap_or_else(|| {
+        panic!(
+            "edge carried a payload of unexpected type; expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Convenience constructor.
+pub fn boxed<T: Any + Send + Clone + std::fmt::Debug>(value: T) -> BoxedObject {
+    Box::new(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_downcast() {
+        let obj = boxed(42u64);
+        assert_eq!(*downcast::<u64>(obj), 42);
+    }
+
+    #[test]
+    fn clone_object_preserves_value() {
+        let obj = boxed(("a".to_string(), 5i64));
+        let copy = obj.clone_object();
+        assert_eq!(*downcast::<(String, i64)>(copy), ("a".to_string(), 5));
+        assert_eq!(*downcast::<(String, i64)>(obj), ("a".to_string(), 5));
+    }
+
+    #[test]
+    fn downcast_ref_borrows() {
+        let obj = boxed(vec![1u32, 2, 3]);
+        assert_eq!(downcast_ref::<Vec<u32>>(obj.as_ref()), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn mismatched_downcast_panics() {
+        let obj = boxed(1u8);
+        let _ = downcast::<String>(obj);
+    }
+
+    #[test]
+    fn debug_fmt_renders() {
+        assert_eq!(boxed(7u32).debug_fmt(), "7");
+    }
+}

@@ -1,0 +1,265 @@
+//! Outbound collectors: the producer-side half of an edge.
+//!
+//! A collector owns the producer handles into every consumer's conveyor lane
+//! (and, for distributed edges, into the sender tasklet's queue — see
+//! `network`). It implements the edge's routing policy for events and
+//! *broadcasts* control items (watermarks, barriers, done flags) to every
+//! target, because event-time and snapshot correctness require all parallel
+//! consumers to observe them (§3.2, §4.4).
+//!
+//! Everything is non-blocking: a full target queue makes `offer_*` report
+//! failure and the caller retries on a later timeslice — this is how local
+//! backpressure propagates (§3.3).
+
+use crate::dag::Routing;
+use crate::item::Item;
+use jet_queue::Producer;
+use jet_util::seq;
+
+/// Producer side of one edge instance.
+pub struct OutboundCollector {
+    routing: Routing,
+    targets: Vec<Producer<Item>>,
+    /// Round-robin cursor for unicast.
+    rr: usize,
+    /// For partitioned routing: partition id -> index into `targets`.
+    partition_to_target: Vec<u16>,
+    partition_count: u32,
+    /// For isolated routing: the single target index.
+    isolated_target: usize,
+    /// Per-target "already delivered" flags for the control item currently
+    /// being broadcast (control items are delivered at-most-once per target
+    /// even across retries).
+    bcast_done: Vec<bool>,
+    bcast_active: bool,
+}
+
+impl OutboundCollector {
+    /// Build a collector. `partition_to_target` must cover
+    /// `0..partition_count` for partitioned routing (ignored otherwise).
+    pub fn new(
+        routing: Routing,
+        targets: Vec<Producer<Item>>,
+        partition_to_target: Vec<u16>,
+        partition_count: u32,
+        isolated_target: usize,
+    ) -> Self {
+        let n = targets.len();
+        if matches!(routing, Routing::Partitioned(_)) {
+            assert_eq!(partition_to_target.len(), partition_count as usize);
+            assert!(partition_to_target.iter().all(|&t| (t as usize) < n));
+        }
+        if matches!(routing, Routing::Isolated) {
+            assert!(isolated_target < n);
+        }
+        OutboundCollector {
+            routing,
+            targets,
+            rr: 0,
+            partition_to_target,
+            partition_count,
+            isolated_target,
+            bcast_done: vec![false; n],
+            bcast_active: false,
+        }
+    }
+
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Offer a data event according to the routing policy. On failure the
+    /// item is handed back for a later retry.
+    pub fn offer_event(&mut self, item: Item) -> Result<(), Item> {
+        debug_assert!(item.is_event());
+        match &self.routing {
+            Routing::Unicast => {
+                let n = self.targets.len();
+                let mut item = item;
+                for off in 0..n {
+                    let t = (self.rr + off) % n;
+                    match self.targets[t].offer(item) {
+                        Ok(()) => {
+                            self.rr = (t + 1) % n;
+                            return Ok(());
+                        }
+                        Err(back) => item = back,
+                    }
+                }
+                Err(item)
+            }
+            Routing::Isolated => self.targets[self.isolated_target].offer(item),
+            Routing::Partitioned(key_fn) => {
+                let Item::Event { ref obj, .. } = item else { unreachable!() };
+                let hash = key_fn(obj.as_ref());
+                let p = seq::bucket_of(hash, self.partition_count) as usize;
+                let t = self.partition_to_target[p] as usize;
+                self.targets[t].offer(item)
+            }
+            Routing::Broadcast => {
+                // Events on broadcast edges use the same all-targets path as
+                // control items.
+                if self.offer_to_all(&item) {
+                    Ok(())
+                } else {
+                    Err(item)
+                }
+            }
+        }
+    }
+
+    /// Offer a control item (or broadcast event) to every target. Returns
+    /// `true` once all targets accepted it; partial progress is remembered
+    /// so retries only hit the targets still owed the item.
+    pub fn offer_to_all(&mut self, item: &Item) -> bool {
+        if !self.bcast_active {
+            self.bcast_done.iter_mut().for_each(|d| *d = false);
+            self.bcast_active = true;
+        }
+        let mut all = true;
+        for (t, done) in self.bcast_done.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            match self.targets[t].offer(item.clone()) {
+                Ok(()) => *done = true,
+                Err(_) => all = false,
+            }
+        }
+        if all {
+            self.bcast_active = false;
+        }
+        all
+    }
+
+    /// Lowest remaining capacity across targets (diagnostics/tests).
+    pub fn min_remaining_capacity(&self) -> usize {
+        self.targets.iter().map(|t| t.remaining_capacity()).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::boxed;
+    use jet_queue::{spsc_channel, Consumer};
+    use std::sync::Arc;
+
+    fn make(routing: Routing, n: usize, cap: usize) -> (OutboundCollector, Vec<Consumer<Item>>) {
+        let mut producers = Vec::new();
+        let mut consumers = Vec::new();
+        for _ in 0..n {
+            let (p, c) = spsc_channel(cap);
+            producers.push(p);
+            consumers.push(c);
+        }
+        let ptt = match &routing {
+            Routing::Partitioned(_) => (0..16u32).map(|p| (p % n as u32) as u16).collect(),
+            _ => Vec::new(),
+        };
+        (OutboundCollector::new(routing, producers, ptt, 16, 0), consumers)
+    }
+
+    fn ev(v: u64) -> Item {
+        Item::event(v as i64, boxed(v))
+    }
+
+    #[test]
+    fn unicast_round_robins() {
+        let (mut col, consumers) = make(Routing::Unicast, 3, 8);
+        for i in 0..6 {
+            col.offer_event(ev(i)).unwrap();
+        }
+        for c in &consumers {
+            assert_eq!(c.len(), 2, "unicast not balanced");
+        }
+    }
+
+    #[test]
+    fn unicast_skips_full_targets() {
+        let (mut col, consumers) = make(Routing::Unicast, 2, 2);
+        for i in 0..4 {
+            col.offer_event(ev(i)).unwrap();
+        }
+        // Both queues hold 2. Drain one queue; the next offers must all land there.
+        while consumers[0].poll().is_some() {}
+        col.offer_event(ev(10)).unwrap();
+        col.offer_event(ev(11)).unwrap();
+        assert_eq!(consumers[0].len(), 2);
+        assert!(col.offer_event(ev(12)).is_err(), "everything full");
+    }
+
+    #[test]
+    fn isolated_hits_single_target() {
+        let mut producers = Vec::new();
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let (p, c) = spsc_channel(8);
+            producers.push(p);
+            consumers.push(c);
+        }
+        let mut col = OutboundCollector::new(Routing::Isolated, producers, vec![], 0, 2);
+        col.offer_event(ev(1)).unwrap();
+        assert_eq!(consumers[2].len(), 1);
+        assert_eq!(consumers[0].len(), 0);
+    }
+
+    #[test]
+    fn partitioned_routes_same_key_to_same_target() {
+        let key_fn: crate::dag::KeyHashFn =
+            Arc::new(|obj| jet_util::seq::hash_of(crate::object::downcast_ref::<u64>(obj)));
+        let (mut col, consumers) = make(Routing::Partitioned(key_fn), 4, 64);
+        for _ in 0..10 {
+            col.offer_event(ev(42)).unwrap();
+        }
+        let with_data: Vec<usize> =
+            consumers.iter().enumerate().filter(|(_, c)| c.len() > 0).map(|(i, _)| i).collect();
+        assert_eq!(with_data.len(), 1, "key 42 spread across targets");
+        assert_eq!(consumers[with_data[0]].len(), 10);
+    }
+
+    #[test]
+    fn control_broadcast_reaches_every_target() {
+        let (mut col, consumers) = make(Routing::Unicast, 3, 8);
+        assert!(col.offer_to_all(&Item::Watermark(5)));
+        for c in &consumers {
+            assert!(matches!(c.poll(), Some(Item::Watermark(5))));
+        }
+    }
+
+    #[test]
+    fn control_broadcast_retries_only_missing_targets() {
+        let (mut col, consumers) = make(Routing::Unicast, 2, 2);
+        // Fill target 1 completely.
+        col.offer_event(ev(0)).unwrap(); // t0
+        col.offer_event(ev(1)).unwrap(); // t1
+        col.offer_event(ev(2)).unwrap(); // t0
+        col.offer_event(ev(3)).unwrap(); // t1
+        assert!(!col.offer_to_all(&Item::Watermark(9)), "both targets full");
+        // Drain target 0 only; retry should deliver to t0 but still fail overall.
+        consumers[0].poll();
+        consumers[0].poll();
+        assert!(!col.offer_to_all(&Item::Watermark(9)));
+        assert_eq!(consumers[0].len(), 1, "t0 must have received the watermark");
+        // Drain target 1; now the broadcast completes and t0 gets NO duplicate.
+        consumers[1].poll();
+        consumers[1].poll();
+        assert!(col.offer_to_all(&Item::Watermark(9)));
+        assert_eq!(consumers[0].len(), 1, "duplicate watermark on t0");
+        assert_eq!(consumers[1].len(), 1);
+    }
+
+    #[test]
+    fn broadcast_routing_clones_events_to_all() {
+        let (mut col, consumers) = make(Routing::Broadcast, 3, 8);
+        col.offer_event(ev(7)).unwrap();
+        for c in &consumers {
+            match c.poll() {
+                Some(Item::Event { obj, .. }) => {
+                    assert_eq!(*crate::object::downcast_ref::<u64>(obj.as_ref()), 7)
+                }
+                other => panic!("expected event, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! The `Processor` abstraction: custom logic of one DAG vertex (paper §3.2).
+//!
+//! "Each processor includes an inbox of input records to be processed and an
+//! outbox of output records to be dispatched downstream. A tasklet manages
+//! the processor's inbox and outbox, its state, and its inbound and outbound
+//! queues."
+//!
+//! The contract is cooperative and non-blocking throughout:
+//!
+//! * `process` consumes what it can from the inbox and may stop early if the
+//!   outbox fills up; unconsumed items are re-offered on the next timeslice.
+//! * every `-> bool` method means "am I done?" — returning `false` yields
+//!   the core and the tasklet will call again later.
+//! * processors never block, never sleep, and never do unbounded work in
+//!   one call; that is what keeps every tasklet timeslice under the
+//!   millisecond budget the paper's p99.99 target requires.
+
+use crate::item::{Item, Ts};
+use crate::object::BoxedObject;
+use jet_util::clock::SharedClock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Processing guarantee of a job (§4.4–4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Guarantee {
+    /// No snapshots; rely on active-active replication or accept loss (§4.6).
+    #[default]
+    None,
+    /// Barriers are forwarded without aligning input channels.
+    AtLeastOnce,
+    /// Input channels block after their barrier until all inputs align.
+    ExactlyOnce,
+}
+
+/// Immutable per-processor-instance metadata handed to every callback.
+pub struct ProcessorContext {
+    /// Vertex name this processor implements.
+    pub vertex: String,
+    /// Index of this instance among all parallel instances of the vertex
+    /// across the whole cluster.
+    pub global_index: usize,
+    /// Total number of parallel instances of the vertex across the cluster.
+    pub total_parallelism: usize,
+    /// Member this instance runs on.
+    pub member: u32,
+    /// The engine clock (wall or virtual).
+    pub clock: SharedClock,
+    /// Processing guarantee of the job.
+    pub guarantee: Guarantee,
+    /// Cooperative cancellation: sources treat this as end-of-stream.
+    pub cancelled: Arc<AtomicBool>,
+    /// Grid partition count (key routing space, §4.1).
+    pub partition_count: u32,
+    /// `owned_partitions[p]` is true iff partitioned input routed by the
+    /// engine delivers partition `p` to *this* instance. Used to filter
+    /// snapshot records on restore (state must land with its partition).
+    pub owned_partitions: Arc<Vec<bool>>,
+}
+
+impl ProcessorContext {
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Does this instance own the partition of a key with stable hash `h`?
+    pub fn owns_key_hash(&self, h: u64) -> bool {
+        let p = jet_util::seq::bucket_of(h, self.partition_count) as usize;
+        self.owned_partitions.get(p).copied().unwrap_or(false)
+    }
+
+    /// Partition of a key hash.
+    pub fn partition_of_hash(&self, h: u64) -> u32 {
+        jet_util::seq::bucket_of(h, self.partition_count)
+    }
+}
+
+/// Batch of input events handed to `process`. Items not taken remain for the
+/// next call.
+#[derive(Default)]
+pub struct Inbox {
+    items: VecDeque<(Ts, BoxedObject)>,
+}
+
+impl Inbox {
+    pub fn new() -> Self {
+        Inbox { items: VecDeque::new() }
+    }
+
+    pub fn push(&mut self, ts: Ts, obj: BoxedObject) {
+        self.items.push_back((ts, obj));
+    }
+
+    /// Look at the head without consuming.
+    pub fn peek(&self) -> Option<&(Ts, BoxedObject)> {
+        self.items.front()
+    }
+
+    /// Take the head item.
+    pub fn take(&mut self) -> Option<(Ts, BoxedObject)> {
+        self.items.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drain all items, invoking `f` for each; `f` returning `false` stops
+    /// the drain leaving the remaining items (used when the outbox fills).
+    pub fn drain_while(&mut self, mut f: impl FnMut(Ts, BoxedObject) -> bool) {
+        while let Some((ts, obj)) = self.items.pop_front() {
+            if !f(ts, obj) {
+                return;
+            }
+        }
+    }
+}
+
+/// Per-edge output buffers plus the snapshot staging area.
+///
+/// The outbox has a bounded batch size per edge; `offer` returning `false`
+/// is the backpressure signal that propagates queue fullness into the
+/// processor without blocking (§3.3, local case).
+pub struct Outbox {
+    bufs: Vec<VecDeque<Item>>,
+    batch_limit: usize,
+    snapshot_buf: Vec<(Vec<u8>, Vec<u8>)>,
+    /// True while the downstream queues still hold back earlier output; the
+    /// tasklet sets this and the processor sees `offer` fail immediately.
+    blocked: bool,
+}
+
+impl Outbox {
+    pub fn new(out_edges: usize, batch_limit: usize) -> Self {
+        Outbox {
+            bufs: (0..out_edges).map(|_| VecDeque::new()).collect(),
+            batch_limit: batch_limit.max(1),
+            snapshot_buf: Vec::new(),
+            blocked: false,
+        }
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Offer an item to output edge `ordinal`. `false` = buffer full, retry
+    /// in the next timeslice.
+    #[inline]
+    pub fn offer(&mut self, ordinal: usize, item: Item) -> bool {
+        if self.blocked || self.bufs[ordinal].len() >= self.batch_limit {
+            return false;
+        }
+        self.bufs[ordinal].push_back(item);
+        true
+    }
+
+    /// Offer an event to edge `ordinal`.
+    #[inline]
+    pub fn offer_event(&mut self, ordinal: usize, ts: Ts, obj: BoxedObject) -> bool {
+        self.offer(ordinal, Item::Event { ts, obj })
+    }
+
+    /// Offer an item to *all* output edges (watermarks, barriers, done
+    /// flags, broadcast events). All-or-nothing; vacuously succeeds for a
+    /// sink with no output edges.
+    pub fn broadcast(&mut self, item: Item) -> bool {
+        if self.blocked || self.bufs.iter().any(|b| b.len() >= self.batch_limit) {
+            return false;
+        }
+        let n = self.bufs.len();
+        for (i, buf) in self.bufs.iter_mut().enumerate() {
+            if i + 1 == n {
+                // Move, don't clone, into the last buffer. Iteration order is
+                // stable so this is safe even for a single edge.
+                buf.push_back(item);
+                break;
+            } else {
+                buf.push_back(item.clone());
+            }
+        }
+        true
+    }
+
+    /// Room available on edge `ordinal` right now?
+    pub fn has_room(&self, ordinal: usize) -> bool {
+        !self.blocked && self.bufs[ordinal].len() < self.batch_limit
+    }
+
+    /// Room available on every edge?
+    pub fn has_room_all(&self) -> bool {
+        !self.blocked && self.bufs.iter().all(|b| b.len() < self.batch_limit)
+    }
+
+    /// Stage one state record for the in-flight snapshot (§4.4). Unbounded:
+    /// snapshot pressure is bounded by state size, not stream rate.
+    pub fn offer_snapshot(&mut self, key: Vec<u8>, value: Vec<u8>) -> bool {
+        self.snapshot_buf.push((key, value));
+        true
+    }
+
+    // --- tasklet-side API ---
+
+    /// Block/unblock all offers (used by executors that must pause a
+    /// processor's output, e.g. during suspend).
+    pub fn set_blocked(&mut self, blocked: bool) {
+        self.blocked = blocked;
+    }
+
+    pub(crate) fn buf_mut(&mut self, ordinal: usize) -> &mut VecDeque<Item> {
+        &mut self.bufs[ordinal]
+    }
+
+    pub(crate) fn take_snapshot_records(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        std::mem::take(&mut self.snapshot_buf)
+    }
+
+    pub(crate) fn is_fully_flushed(&self) -> bool {
+        self.bufs.iter().all(|b| b.is_empty())
+    }
+
+    /// Total buffered items (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.bufs.iter().map(|b| b.len()).sum()
+    }
+}
+
+/// Custom logic of one DAG vertex instance. See the module docs for the
+/// cooperative contract.
+#[allow(unused_variables)]
+pub trait Processor: Send {
+    /// One-time initialization after wiring, before any input.
+    fn init(&mut self, ctx: &ProcessorContext) {}
+
+    /// Consume items from `inbox` (which arrived on input edge `ordinal`)
+    /// and emit to `outbox`. May leave items in the inbox when the outbox
+    /// has no room.
+    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, outbox: &mut Outbox, ctx: &ProcessorContext);
+
+    /// The coalesced watermark advanced to `wm`. Return `true` when fully
+    /// handled (all resulting output fit in the outbox). The default
+    /// forwards the watermark to all output edges.
+    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        outbox.broadcast(Item::Watermark(wm))
+    }
+
+    /// Input edge `ordinal` is exhausted. Return `true` when done reacting.
+    fn complete_edge(&mut self, ordinal: usize, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        true
+    }
+
+    /// All inputs exhausted (or: this is a source). Called repeatedly until
+    /// it returns `true`. A streaming source returns `false` forever (until
+    /// cancellation).
+    fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        true
+    }
+
+    /// Stage this processor's state into the outbox's snapshot area. Called
+    /// repeatedly until `true` (state can be saved incrementally).
+    /// `snapshot_id` identifies the checkpoint round — transactional sinks
+    /// key their prepared transactions by it (§4.5).
+    fn save_snapshot(&mut self, snapshot_id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        true
+    }
+
+    /// One state record from the snapshot being restored. The planner
+    /// delivers *all* records of the vertex to *every* instance; keyed
+    /// processors keep only the keys they own (`ctx.owns_key_hash`), which
+    /// makes restore correct under rescaling (§4.3).
+    fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {}
+
+    /// All snapshot records delivered.
+    fn finish_snapshot_restore(&mut self, ctx: &ProcessorContext) {}
+
+    /// Cooperative processors run on shared worker threads; non-cooperative
+    /// ones (blocking connectors, §3.1) get a dedicated thread.
+    fn is_cooperative(&self) -> bool {
+        true
+    }
+}
+
+/// Shared constructor type: builds the processor for global instance `i`.
+pub type ProcessorSupplier = Arc<dyn Fn(usize) -> Box<dyn Processor> + Send + Sync>;
+
+/// Helper to build a supplier from a closure.
+pub fn supplier<F>(f: F) -> ProcessorSupplier
+where
+    F: Fn(usize) -> Box<dyn Processor> + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::boxed;
+
+    #[test]
+    fn inbox_fifo_and_drain_while() {
+        let mut inbox = Inbox::new();
+        for i in 0..5i64 {
+            inbox.push(i, boxed(i));
+        }
+        assert_eq!(inbox.len(), 5);
+        let mut seen = Vec::new();
+        inbox.drain_while(|ts, _| {
+            seen.push(ts);
+            ts < 2 // stop after consuming ts == 2
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(inbox.len(), 2, "remaining items stay for next round");
+        assert_eq!(inbox.peek().unwrap().0, 3);
+        assert_eq!(inbox.take().unwrap().0, 3);
+    }
+
+    #[test]
+    fn outbox_respects_batch_limit() {
+        let mut ob = Outbox::new(1, 2);
+        assert!(ob.offer(0, Item::Watermark(1)));
+        assert!(ob.offer(0, Item::Watermark(2)));
+        assert!(!ob.offer(0, Item::Watermark(3)), "third offer must fail");
+        assert!(!ob.has_room(0));
+        assert_eq!(ob.buffered(), 2);
+    }
+
+    #[test]
+    fn outbox_broadcast_is_all_or_nothing() {
+        let mut ob = Outbox::new(2, 1);
+        assert!(ob.broadcast(Item::Watermark(1)));
+        assert!(!ob.broadcast(Item::Watermark(2)));
+        assert_eq!(ob.buffered(), 2);
+        ob.buf_mut(0).clear();
+        // Edge 1 still full -> broadcast still fails.
+        assert!(!ob.broadcast(Item::Watermark(2)));
+    }
+
+    #[test]
+    fn outbox_blocked_rejects_everything() {
+        let mut ob = Outbox::new(1, 8);
+        ob.set_blocked(true);
+        assert!(!ob.offer(0, Item::Done));
+        assert!(!ob.broadcast(Item::Done));
+        assert!(!ob.has_room_all());
+        ob.set_blocked(false);
+        assert!(ob.offer(0, Item::Done));
+    }
+
+    #[test]
+    fn snapshot_buffer_accumulates_and_drains() {
+        let mut ob = Outbox::new(1, 8);
+        assert!(ob.offer_snapshot(b"k1".to_vec(), b"v1".to_vec()));
+        assert!(ob.offer_snapshot(b"k2".to_vec(), b"v2".to_vec()));
+        let recs = ob.take_snapshot_records();
+        assert_eq!(recs.len(), 2);
+        assert!(ob.take_snapshot_records().is_empty());
+    }
+
+    #[test]
+    fn default_watermark_forwarding_broadcasts() {
+        struct Nop;
+        impl Processor for Nop {
+            fn process(&mut self, _: usize, _: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {}
+        }
+        let mut p = Nop;
+        let mut ob = Outbox::new(2, 4);
+        let ctx = test_ctx();
+        assert!(p.try_process_watermark(9, &mut ob, &ctx));
+        assert_eq!(ob.buffered(), 2);
+    }
+
+    pub(crate) fn test_ctx() -> ProcessorContext {
+        ProcessorContext {
+            vertex: "test".into(),
+            global_index: 0,
+            total_parallelism: 1,
+            member: 0,
+            clock: jet_util::clock::system_clock(),
+            guarantee: Guarantee::None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            partition_count: 271,
+            owned_partitions: Arc::new(vec![true; 271]),
+        }
+    }
+}

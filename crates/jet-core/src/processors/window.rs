@@ -1,0 +1,689 @@
+//! Sliding/tumbling window aggregation via frame slicing (paper §2.3 cites
+//! the stream-slicing line of work [32, 34]).
+//!
+//! Events are accumulated into *frames* — disjoint slide-sized slices keyed
+//! by their end timestamp. A window ending at `E` is the combination of the
+//! `size/slide` frames in `(E-size, E]`. When the aggregate op has a
+//! `deduct`, we keep a running per-key accumulator and each slide costs
+//! O(keys): add the newest frame, deduct the expired one. This is the
+//! optimization that makes the paper's 10 ms slide viable ("triggering
+//! every 10ms is something that no other scale-out stream processor can
+//! perform").
+//!
+//! Three processors are built on the shared [`WindowState`]:
+//!
+//! * [`SlidingWindowP`] — single-stage keyed windowing (events in, window
+//!   results out);
+//! * [`AccumulateFrameP`] — stage 1 of the two-stage distributed aggregation
+//!   (§3.1): accumulates *locally* (no shuffle) and emits per-frame partial
+//!   accumulators when the watermark closes a frame;
+//! * [`CombineFramesP`] — stage 2: receives partials on a partitioned edge,
+//!   combines them, and emits window results.
+
+use crate::item::{Item, Ts};
+use crate::object::{boxed, downcast_ref};
+use crate::processor::{Inbox, Outbox, Processor, ProcessorContext};
+use crate::processors::agg::AggregateOp;
+use crate::state::Snap;
+use crate::watermark::NO_WATERMARK;
+use jet_util::seq;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Window definition in event-time nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowDef {
+    pub size: Ts,
+    pub slide: Ts,
+}
+
+impl WindowDef {
+    pub fn sliding(size: Ts, slide: Ts) -> Self {
+        assert!(size > 0 && slide > 0, "window size/slide must be positive");
+        assert!(size % slide == 0, "window size must be a multiple of the slide");
+        WindowDef { size, slide }
+    }
+
+    pub fn tumbling(size: Ts) -> Self {
+        Self::sliding(size, size)
+    }
+
+    /// End timestamp of the frame containing `ts` (frames are
+    /// `(end-slide, end]`... we use half-open `[start, end)` convention:
+    /// event at `ts` belongs to the frame ending at the next slide boundary
+    /// strictly greater than `ts`).
+    #[inline]
+    pub fn frame_end(&self, ts: Ts) -> Ts {
+        ts.div_euclid(self.slide) * self.slide + self.slide
+    }
+
+    /// Number of frames per window.
+    pub fn frames_per_window(&self) -> i64 {
+        self.size / self.slide
+    }
+}
+
+/// One emitted window result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult<K, R> {
+    pub key: K,
+    /// Window covers `[end - size, end)`.
+    pub start: Ts,
+    pub end: Ts,
+    pub value: R,
+}
+
+/// Stage-1 → stage-2 partial: one key's accumulator for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameChunk<K, A> {
+    pub key: K,
+    pub frame_end: Ts,
+    pub acc: A,
+}
+
+/// Key constraints for windowed state: routable, snapshottable, printable.
+pub trait WindowKey: Clone + Eq + Hash + Snap + Send + Debug + 'static {}
+impl<T: Clone + Eq + Hash + Snap + Send + Debug + 'static> WindowKey for T {}
+
+/// Shared frame store + sliding emission logic.
+struct WindowState<K, A> {
+    wdef: WindowDef,
+    frames: BTreeMap<Ts, HashMap<K, A>>,
+    /// Running window accumulator per key + number of live frames holding
+    /// the key (deduct mode only).
+    running: HashMap<K, (A, u32)>,
+    /// Next window end to emit; `NO_WATERMARK` while no frame is anchored.
+    next_emit: Ts,
+    /// Emission floor: every window with `end < floor` has been emitted (or
+    /// was skipped as empty) and must never be emitted again. `NO_WATERMARK`
+    /// until the first window is produced.
+    floor: Ts,
+    late_events: u64,
+}
+
+impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
+    fn new(wdef: WindowDef) -> Self {
+        WindowState {
+            wdef,
+            frames: BTreeMap::new(),
+            running: HashMap::new(),
+            next_emit: NO_WATERMARK,
+            floor: NO_WATERMARK,
+            late_events: 0,
+        }
+    }
+
+    /// True (and counted) when an event/partial for `frame_end` can no
+    /// longer contribute to any window at or above the emission floor.
+    fn is_late(&mut self, frame_end: Ts) -> bool {
+        let last_window_of_frame = frame_end + self.wdef.size - self.wdef.slide;
+        if self.floor != NO_WATERMARK && last_window_of_frame < self.floor {
+            self.late_events += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// (Re)anchor the next window to emit. Before anything was emitted the
+    /// anchor floats down to the earliest frame seen (events may arrive out
+    /// of order ahead of the watermark); once a floor exists it clamps the
+    /// anchor so no window is ever emitted twice.
+    fn note_first_frame(&mut self, frame_end: Ts) {
+        let candidate = if self.floor == NO_WATERMARK {
+            frame_end
+        } else {
+            frame_end.max(self.floor)
+        };
+        if self.next_emit == NO_WATERMARK || candidate < self.next_emit {
+            self.next_emit = candidate;
+        }
+    }
+
+    /// Frames with `end <= floor - slide` were already folded into the
+    /// running accumulators by past emissions; a (valid, in-window) late
+    /// arrival for such a frame must therefore update `running` directly as
+    /// well, or the eventual frame expiry would deduct state that was never
+    /// added (and intermediate windows would under-count).
+    fn frame_already_running(&self, frame_end: Ts) -> bool {
+        self.floor != NO_WATERMARK && frame_end <= self.floor - self.wdef.slide
+    }
+
+    /// Apply a late contribution for `key` to the running accumulator.
+    /// `newly_in_frame` is true when this is the key's first item in that
+    /// frame (the live-frame refcount must grow by one then).
+    fn add_late_to_running<R>(
+        &mut self,
+        key: &K,
+        newly_in_frame: bool,
+        op: &AggregateOp<A, R>,
+        apply: impl FnOnce(&mut A),
+    ) {
+        if op.deduct.is_none() {
+            return; // recombine fallback reads frames directly
+        }
+        let entry = self
+            .running
+            .entry(key.clone())
+            .or_insert_with(|| ((op.create)(), 0));
+        apply(&mut entry.0);
+        if newly_in_frame {
+            entry.1 += 1;
+        }
+    }
+
+    /// Emit the next due window (if `next_emit <= wm`) into `out`. Returns
+    /// `false` when no window was due. `op` supplies combine/deduct/finish.
+    fn produce_next_window<R>(
+        &mut self,
+        wm: Ts,
+        op: &AggregateOp<A, R>,
+        out: &mut VecDeque<WindowResult<K, R>>,
+    ) -> bool {
+        if self.next_emit == NO_WATERMARK || self.next_emit > wm {
+            return false;
+        }
+        if self.frames.is_empty() && self.running.is_empty() {
+            // No state at all: every remaining window is empty. Re-anchor on
+            // the next frame that actually arrives (this is also what keeps
+            // quiet key spaces free: gaps in the stream cost nothing). The
+            // floor guarantees the new anchor never revisits an emitted
+            // window.
+            self.next_emit = NO_WATERMARK;
+            return false;
+        }
+        let end = self.next_emit;
+        let start = end - self.wdef.size;
+        if let Some(deduct) = &op.deduct {
+            // Add the newest frame into the running accumulators.
+            if let Some(frame) = self.frames.get(&end) {
+                for (k, a) in frame {
+                    match self.running.get_mut(k) {
+                        Some((racc, cnt)) => {
+                            (op.combine)(racc, a);
+                            *cnt += 1;
+                        }
+                        None => {
+                            let mut racc = (op.create)();
+                            (op.combine)(&mut racc, a);
+                            self.running.insert(k.clone(), (racc, 1));
+                        }
+                    }
+                }
+            }
+            for (k, (racc, _)) in &self.running {
+                out.push_back(WindowResult {
+                    key: k.clone(),
+                    start,
+                    end,
+                    value: (op.finish)(racc),
+                });
+            }
+            // Expire the oldest frame of this window.
+            let expired = end - self.wdef.size + self.wdef.slide;
+            if let Some(frame) = self.frames.remove(&expired) {
+                for (k, a) in frame {
+                    if let Some((racc, cnt)) = self.running.get_mut(&k) {
+                        deduct(racc, &a);
+                        *cnt -= 1;
+                        if *cnt == 0 {
+                            self.running.remove(&k);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Recombine fallback: combine all frames of the window per key.
+            let mut accs: HashMap<K, A> = HashMap::new();
+            for (_, frame) in self.frames.range((start + 1)..=end) {
+                for (k, a) in frame {
+                    match accs.get_mut(k) {
+                        Some(acc) => (op.combine)(acc, a),
+                        None => {
+                            let mut acc = (op.create)();
+                            (op.combine)(&mut acc, a);
+                            accs.insert(k.clone(), acc);
+                        }
+                    }
+                }
+            }
+            for (k, acc) in &accs {
+                out.push_back(WindowResult {
+                    key: k.clone(),
+                    start,
+                    end,
+                    value: (op.finish)(acc),
+                });
+            }
+            let expired = end - self.wdef.size + self.wdef.slide;
+            self.frames.remove(&expired);
+        }
+        self.next_emit = end + self.wdef.slide;
+        self.floor = self.next_emit;
+        true
+    }
+
+    fn save(&self, outbox: &mut Outbox, instance: usize) {
+        // Record keys embed the writing instance: several parallel instances
+        // may hold state for the same (key, frame) — most importantly the
+        // non-partitioned stage-1 accumulator — and snapshot records must
+        // not overwrite each other in the snapshot map.
+        for (frame_end, frame) in &self.frames {
+            for (k, a) in frame {
+                let key_bytes = (0u64, instance as u64, k.clone(), *frame_end).to_bytes();
+                outbox.offer_snapshot(key_bytes, a.to_bytes());
+            }
+        }
+        // Meta record (tag 1): this instance's emission floor.
+        let meta_key = (1u64, instance as u64).to_bytes();
+        outbox.offer_snapshot(meta_key, self.floor.to_bytes());
+    }
+
+    /// Restore one record, merging partials for the same (key, frame) with
+    /// `op.combine` (records from distinct old instances must add up).
+    fn restore<R>(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext, op: &AggregateOp<A, R>) {
+        let mut r = jet_util::codec::ByteReader::new(key);
+        let tag = u64::load(&mut r).expect("corrupt window snapshot key tag");
+        let _instance = u64::load(&mut r).expect("corrupt window snapshot instance");
+        if tag == 1 {
+            let saved = Ts::from_bytes(value).expect("corrupt window meta record");
+            // Take the minimum floor over instances: re-emitting a window
+            // another old instance already emitted is impossible (the keys
+            // were disjoint); missing one is not acceptable.
+            if saved != NO_WATERMARK && (self.floor == NO_WATERMARK || saved < self.floor) {
+                self.floor = saved;
+            }
+            return;
+        }
+        let k = K::load(&mut r).expect("corrupt window snapshot key");
+        let frame_end = Ts::load(&mut r).expect("corrupt window snapshot frame");
+        if !ctx.owns_key_hash(seq::hash_of(&k)) {
+            return; // another instance's partition
+        }
+        let a = A::from_bytes(value).expect("corrupt window snapshot value");
+        let frame = self.frames.entry(frame_end).or_default();
+        match frame.get_mut(&k) {
+            Some(acc) => (op.combine)(acc, &a),
+            None => {
+                let mut acc = (op.create)();
+                (op.combine)(&mut acc, &a);
+                frame.insert(k, acc);
+            }
+        }
+    }
+
+    /// Rebuild the running accumulators from restored frames: everything in
+    /// `(floor - size, floor - slide]` has already been "added". The anchor
+    /// itself re-establishes from the restored frames.
+    fn finish_restore<R>(&mut self, op: &AggregateOp<A, R>) {
+        // Re-anchor on the restored frames (respecting the floor).
+        self.next_emit = NO_WATERMARK;
+        let frame_ends: Vec<Ts> = self.frames.keys().copied().collect();
+        for f in frame_ends {
+            self.note_first_frame(f);
+        }
+        if op.deduct.is_none() || self.floor == NO_WATERMARK {
+            return;
+        }
+        self.running.clear();
+        let lo = self.floor - self.wdef.size;
+        let hi = self.floor - self.wdef.slide;
+        if hi < lo + 1 {
+            return; // tumbling window: nothing pre-added to `running`
+        }
+        for (_, frame) in self.frames.range((lo + 1)..=hi) {
+            for (k, a) in frame {
+                match self.running.get_mut(k) {
+                    Some((racc, cnt)) => {
+                        (op.combine)(racc, a);
+                        *cnt += 1;
+                    }
+                    None => {
+                        let mut racc = (op.create)();
+                        (op.combine)(&mut racc, a);
+                        self.running.insert(k.clone(), (racc, 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Single-stage keyed sliding-window aggregation.
+pub struct SlidingWindowP<K, A, R> {
+    wdef: WindowDef,
+    /// One key extractor per input ordinal (co-group inputs differ in type).
+    key_fns: Vec<Arc<dyn Fn(&dyn crate::object::Object) -> K + Send + Sync>>,
+    op: AggregateOp<A, R>,
+    state: WindowState<K, A>,
+    emit_queue: VecDeque<WindowResult<K, R>>,
+}
+
+impl<K, A, R> SlidingWindowP<K, A, R>
+where
+    K: WindowKey,
+    A: Snap + Clone + Send + 'static,
+    R: Clone + Send + Debug + 'static,
+{
+    pub fn new<I: 'static>(
+        wdef: WindowDef,
+        key_fn: impl Fn(&I) -> K + Send + Sync + 'static,
+        op: AggregateOp<A, R>,
+    ) -> Self {
+        SlidingWindowP {
+            wdef,
+            key_fns: vec![Arc::new(move |obj| key_fn(downcast_ref::<I>(obj)))],
+            op,
+            state: WindowState::new(wdef),
+            emit_queue: VecDeque::new(),
+        }
+    }
+
+    /// Add a key extractor for a further input ordinal (windowed co-group).
+    pub fn with_input<I: 'static>(
+        mut self,
+        key_fn: impl Fn(&I) -> K + Send + Sync + 'static,
+    ) -> Self {
+        self.key_fns.push(Arc::new(move |obj| key_fn(downcast_ref::<I>(obj))));
+        self
+    }
+
+    pub fn late_events(&self) -> u64 {
+        self.state.late_events
+    }
+}
+
+impl<K, A, R> Processor for SlidingWindowP<K, A, R>
+where
+    K: WindowKey,
+    A: Snap + Clone + Send + 'static,
+    R: Clone + Send + Debug + 'static,
+{
+    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, _outbox: &mut Outbox, _ctx: &ProcessorContext) {
+        let acc_fn = self.op.accumulate[ordinal].clone();
+        let create = self.op.create.clone();
+        let key_fn = self.key_fns[ordinal].clone();
+        while let Some((ts, obj)) = inbox.take() {
+            let key = key_fn(obj.as_ref());
+            let frame_end = self.wdef.frame_end(ts);
+            if self.state.is_late(frame_end) {
+                continue;
+            }
+            self.state.note_first_frame(frame_end);
+            let frame = self.state.frames.entry(frame_end).or_default();
+            let newly = !frame.contains_key(&key);
+            let acc = frame.entry(key.clone()).or_insert_with(|| create());
+            acc_fn(acc, obj.as_ref());
+            if self.state.frame_already_running(frame_end) {
+                self.state.add_late_to_running(&key, newly, &self.op, |racc| {
+                    acc_fn(racc, obj.as_ref())
+                });
+            }
+        }
+    }
+
+    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        loop {
+            while let Some(r) = self.emit_queue.front() {
+                let end = r.end;
+                if outbox.has_room_all() {
+                    let r = self.emit_queue.pop_front().expect("front checked");
+                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
+                    debug_assert!(delivered);
+                } else {
+                    return false;
+                }
+            }
+            if !self.state.produce_next_window(wm, &self.op, &mut self.emit_queue) {
+                break;
+            }
+        }
+        outbox.broadcast(Item::Watermark(wm))
+    }
+
+    fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        // Flush all remaining windows as if the watermark jumped to +inf.
+        self.try_process_watermark(Ts::MAX - self.wdef.slide, outbox, ctx)
+    }
+
+    fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        self.state.save(outbox, ctx.global_index);
+        true
+    }
+
+    fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {
+        self.state.restore(key, value, ctx, &self.op);
+    }
+
+    fn finish_snapshot_restore(&mut self, _ctx: &ProcessorContext) {
+        self.state.finish_restore(&self.op);
+    }
+}
+
+/// Stage 1 of two-stage windowed aggregation: accumulate locally, emit
+/// per-frame partials when the watermark closes each frame.
+pub struct AccumulateFrameP<K, A, R> {
+    wdef: WindowDef,
+    key_fn: Arc<dyn Fn(&dyn crate::object::Object) -> K + Send + Sync>,
+    op: AggregateOp<A, R>,
+    frames: BTreeMap<Ts, HashMap<K, A>>,
+    emit_queue: VecDeque<FrameChunk<K, A>>,
+    emitted_through: Ts,
+}
+
+impl<K, A, R> AccumulateFrameP<K, A, R>
+where
+    K: WindowKey,
+    A: Snap + Clone + Send + Debug + 'static,
+{
+    pub fn new<I: 'static>(
+        wdef: WindowDef,
+        key_fn: impl Fn(&I) -> K + Send + Sync + 'static,
+        op: AggregateOp<A, R>,
+    ) -> Self {
+        AccumulateFrameP {
+            wdef,
+            key_fn: Arc::new(move |obj| key_fn(downcast_ref::<I>(obj))),
+            op,
+            frames: BTreeMap::new(),
+            emit_queue: VecDeque::new(),
+            emitted_through: NO_WATERMARK,
+        }
+    }
+}
+
+impl<K, A, R> Processor for AccumulateFrameP<K, A, R>
+where
+    K: WindowKey,
+    A: Snap + Clone + Send + Debug + 'static,
+    R: 'static,
+{
+    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, _outbox: &mut Outbox, _ctx: &ProcessorContext) {
+        let acc_fn = self.op.accumulate[ordinal].clone();
+        let create = self.op.create.clone();
+        while let Some((ts, obj)) = inbox.take() {
+            let frame_end = self.wdef.frame_end(ts);
+            if self.emitted_through != NO_WATERMARK && frame_end <= self.emitted_through {
+                continue; // frame already shipped; stage 2 counts it late
+            }
+            let key = (self.key_fn)(obj.as_ref());
+            let frame = self.frames.entry(frame_end).or_default();
+            acc_fn(frame.entry(key).or_insert_with(|| create()), obj.as_ref());
+        }
+    }
+
+    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        // Close all frames with end <= wm, then forward the watermark. The
+        // outbox's FIFO guarantees partials precede the watermark, which is
+        // what lets stage 2 finalize on watermark alone.
+        loop {
+            while self.emit_queue.front().is_some() {
+                if outbox.has_room_all() {
+                    let c = self.emit_queue.pop_front().expect("front checked");
+                    let end = c.frame_end;
+                    let delivered = outbox.broadcast(Item::event(end, boxed(c)));
+                    debug_assert!(delivered);
+                } else {
+                    return false;
+                }
+            }
+            let Some((&frame_end, _)) = self.frames.iter().next() else { break };
+            if frame_end > wm {
+                break;
+            }
+            let frame = self.frames.remove(&frame_end).expect("key from iter");
+            for (key, acc) in frame {
+                self.emit_queue.push_back(FrameChunk { key, frame_end, acc });
+            }
+            self.emitted_through = self.emitted_through.max(frame_end);
+        }
+        outbox.broadcast(Item::Watermark(wm))
+    }
+
+    fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        self.try_process_watermark(Ts::MAX - self.wdef.slide, outbox, ctx)
+    }
+
+    fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        // Stage-1 state is *not* partitioned by key (it is node-local), so
+        // records are keyed by (instance, key, frame) to avoid collisions,
+        // and every instance restores only records it wrote... except after
+        // rescale, where instance 0 adopts orphans. Simpler and correct:
+        // ship partials as snapshot state tagged by key; on restore they are
+        // re-partitioned exactly like live chunks would be.
+        for (frame_end, frame) in &self.frames {
+            for (k, a) in frame {
+                let key_bytes = (0u64, ctx.global_index as u64, k.clone(), *frame_end).to_bytes();
+                outbox.offer_snapshot(key_bytes, a.to_bytes());
+            }
+        }
+        let meta_key = (1u64, ctx.global_index as u64).to_bytes();
+        outbox.offer_snapshot(meta_key, self.emitted_through.to_bytes());
+        true
+    }
+
+    fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {
+        let mut r = jet_util::codec::ByteReader::new(key);
+        let tag = u64::load(&mut r).expect("corrupt frame snapshot key tag");
+        let _instance = u64::load(&mut r).expect("corrupt frame snapshot instance");
+        if tag == 1 {
+            let saved = Ts::from_bytes(value).expect("corrupt frame meta record");
+            if self.emitted_through == NO_WATERMARK || saved < self.emitted_through {
+                self.emitted_through = saved;
+            }
+            return;
+        }
+        let k = K::load(&mut r).expect("corrupt frame snapshot key");
+        let frame_end = Ts::load(&mut r).expect("corrupt frame snapshot frame");
+        // Restore by key ownership so the partial lands where live events
+        // for that key will be accumulated.
+        if !ctx.owns_key_hash(seq::hash_of(&k)) {
+            return;
+        }
+        let a = A::from_bytes(value).expect("corrupt frame snapshot value");
+        let create = self.op.create.clone();
+        let combine = self.op.combine.clone();
+        let entry = self
+            .frames
+            .entry(frame_end)
+            .or_default()
+            .entry(k)
+            .or_insert_with(|| create());
+        combine(entry, &a);
+    }
+}
+
+/// Stage 2: combine [`FrameChunk`]s (partitioned by key) into frames and run
+/// the sliding emission.
+pub struct CombineFramesP<K, A, R> {
+    op: AggregateOp<A, R>,
+    state: WindowState<K, A>,
+    emit_queue: VecDeque<WindowResult<K, R>>,
+}
+
+impl<K, A, R> CombineFramesP<K, A, R>
+where
+    K: WindowKey,
+    A: Snap + Clone + Send + Debug + 'static,
+    R: Clone + Send + Debug + 'static,
+{
+    pub fn new(wdef: WindowDef, op: AggregateOp<A, R>) -> Self {
+        CombineFramesP { op, state: WindowState::new(wdef), emit_queue: VecDeque::new() }
+    }
+
+    pub fn late_chunks(&self) -> u64 {
+        self.state.late_events
+    }
+}
+
+impl<K, A, R> Processor for CombineFramesP<K, A, R>
+where
+    K: WindowKey,
+    A: Snap + Clone + Send + Debug + 'static,
+    R: Clone + Send + Debug + 'static,
+{
+    fn process(&mut self, _ordinal: usize, inbox: &mut Inbox, _outbox: &mut Outbox, _ctx: &ProcessorContext) {
+        let create = self.op.create.clone();
+        let combine = self.op.combine.clone();
+        while let Some((_ts, obj)) = inbox.take() {
+            let chunk = downcast_ref::<FrameChunk<K, A>>(obj.as_ref());
+            if self.state.is_late(chunk.frame_end) {
+                continue;
+            }
+            self.state.note_first_frame(chunk.frame_end);
+            let frame = self.state.frames.entry(chunk.frame_end).or_default();
+            let newly = !frame.contains_key(&chunk.key);
+            match frame.get_mut(&chunk.key) {
+                Some(acc) => combine(acc, &chunk.acc),
+                None => {
+                    let mut acc = create();
+                    combine(&mut acc, &chunk.acc);
+                    frame.insert(chunk.key.clone(), acc);
+                }
+            }
+            if self.state.frame_already_running(chunk.frame_end) {
+                self.state.add_late_to_running(&chunk.key, newly, &self.op, |racc| {
+                    combine(racc, &chunk.acc)
+                });
+            }
+        }
+    }
+
+    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        loop {
+            while let Some(r) = self.emit_queue.front() {
+                let end = r.end;
+                if outbox.has_room_all() {
+                    let r = self.emit_queue.pop_front().expect("front checked");
+                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
+                    debug_assert!(delivered);
+                } else {
+                    return false;
+                }
+            }
+            if !self.state.produce_next_window(wm, &self.op, &mut self.emit_queue) {
+                break;
+            }
+        }
+        outbox.broadcast(Item::Watermark(wm))
+    }
+
+    fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        self.try_process_watermark(Ts::MAX - self.state.wdef.slide, outbox, ctx)
+    }
+
+    fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        self.state.save(outbox, ctx.global_index);
+        true
+    }
+
+    fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {
+        self.state.restore(key, value, ctx, &self.op);
+    }
+
+    fn finish_snapshot_restore(&mut self, _ctx: &ProcessorContext) {
+        self.state.finish_restore(&self.op);
+    }
+}

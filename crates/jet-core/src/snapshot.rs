@@ -1,0 +1,281 @@
+//! Snapshot coordination (paper §4.4).
+//!
+//! "At regular intervals, Jet instructs source vertices to take a state
+//! snapshot. Then, all processors belonging to source vertices save their
+//! state, emit a checkpoint barrier to the downstream processors through the
+//! data flow, and resume processing."
+//!
+//! The [`SnapshotRegistry`] is the per-execution rendezvous:
+//!
+//! * the coordinator bumps the *requested* snapshot id (time-driven);
+//! * source tasklets observe the bump, save their state, and emit barriers;
+//! * every participating tasklet writes its staged state records here and
+//!   *acks* the snapshot id once its barrier logic completes;
+//! * when all live participants acked, the snapshot is marked complete in
+//!   the [`SnapshotStore`] (backed by the replicated IMDG), becoming the
+//!   recovery point.
+
+use crate::item::SnapshotId;
+use jet_imdg::SnapshotStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Per-execution snapshot coordination state. Shared by all tasklets of a
+/// job execution and by the coordinator.
+pub struct SnapshotRegistry {
+    /// Latest requested snapshot id; 0 = none yet.
+    requested: AtomicU64,
+    /// Latest snapshot whose completion was recorded.
+    completed: AtomicU64,
+    /// Id of an in-flight terminal snapshot (0 = none): used for
+    /// suspend-with-snapshot.
+    terminal: AtomicU64,
+    /// Number of tasklets that must ack each snapshot.
+    participants: AtomicUsize,
+    acks: Mutex<HashMap<SnapshotId, usize>>,
+    store: Option<SnapshotStore>,
+    /// Nanos timestamp of the last trigger (coordinator bookkeeping).
+    last_trigger_nanos: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    /// Registry with persistent storage (real fault tolerance).
+    pub fn new(store: SnapshotStore, participants: usize) -> Self {
+        SnapshotRegistry {
+            requested: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            terminal: AtomicU64::new(0),
+            participants: AtomicUsize::new(participants),
+            acks: Mutex::new(HashMap::new()),
+            store: Some(store),
+            last_trigger_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Registry for jobs running without fault tolerance — snapshots are
+    /// never requested (guarantee `None`, §4.6 active-active style).
+    pub fn disabled() -> Self {
+        SnapshotRegistry {
+            requested: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            terminal: AtomicU64::new(0),
+            participants: AtomicUsize::new(0),
+            acks: Mutex::new(HashMap::new()),
+            store: None,
+            last_trigger_nanos: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set_participants(&self, n: usize) {
+        self.participants.store(n, Ordering::SeqCst);
+    }
+
+    pub fn participants(&self) -> usize {
+        self.participants.load(Ordering::SeqCst)
+    }
+
+    /// The snapshot id sources should be working toward.
+    pub fn requested(&self) -> SnapshotId {
+        self.requested.load(Ordering::Acquire)
+    }
+
+    /// Latest fully completed snapshot id (0 = none).
+    pub fn completed(&self) -> SnapshotId {
+        self.completed.load(Ordering::Acquire)
+    }
+
+    /// Is the in-flight snapshot terminal?
+    pub fn is_terminal(&self, id: SnapshotId) -> bool {
+        self.terminal.load(Ordering::Acquire) == id && id != 0
+    }
+
+    /// Coordinator: request a new snapshot if the previous one finished.
+    /// Returns the new id if one was started.
+    pub fn trigger(&self) -> Option<SnapshotId> {
+        if self.store.is_none() {
+            return None;
+        }
+        let req = self.requested.load(Ordering::Acquire);
+        if req != self.completed.load(Ordering::Acquire) {
+            return None; // previous still in flight
+        }
+        let next = req + 1;
+        self.requested.store(next, Ordering::Release);
+        Some(next)
+    }
+
+    /// Coordinator: request a terminal snapshot (suspend the job once it
+    /// completes). Unlike `trigger`, does not wait for in-flight snapshots.
+    pub fn trigger_terminal(&self) -> Option<SnapshotId> {
+        self.store.as_ref()?;
+        let next = self.requested.load(Ordering::Acquire) + 1;
+        self.terminal.store(next, Ordering::Release);
+        self.requested.store(next, Ordering::Release);
+        Some(next)
+    }
+
+    /// Jump the id sequence past `id` without taking a snapshot — used when
+    /// a recovered execution continues from a restored snapshot so new
+    /// snapshot ids keep increasing.
+    pub fn fast_forward_to(&self, id: SnapshotId) {
+        self.requested.fetch_max(id, Ordering::AcqRel);
+        self.completed.fetch_max(id, Ordering::AcqRel);
+    }
+
+    /// Time-driven trigger helper: fires when `interval_nanos` elapsed since
+    /// the last trigger.
+    pub fn maybe_trigger(&self, now_nanos: u64, interval_nanos: u64) -> Option<SnapshotId> {
+        let last = self.last_trigger_nanos.load(Ordering::Acquire);
+        if now_nanos.saturating_sub(last) < interval_nanos {
+            return None;
+        }
+        if self
+            .last_trigger_nanos
+            .compare_exchange(last, now_nanos, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        self.trigger()
+    }
+
+    /// Tasklet: persist staged state records for `vertex` under `id`.
+    pub fn write_records(
+        &self,
+        id: SnapshotId,
+        vertex: &str,
+        records: Vec<(Vec<u8>, Vec<u8>)>,
+    ) {
+        if let Some(store) = &self.store {
+            for (k, v) in records {
+                store.write(id, vertex, k, v);
+            }
+        }
+    }
+
+    /// Tasklet: ack completion of barrier handling for `id`. When the last
+    /// participant acks, the snapshot is marked complete.
+    pub fn ack(&self, id: SnapshotId) {
+        let complete = {
+            let mut acks = self.acks.lock();
+            let n = acks.entry(id).or_insert(0);
+            *n += 1;
+            let done = *n >= self.participants.load(Ordering::SeqCst);
+            if done {
+                acks.remove(&id);
+            }
+            done
+        };
+        if complete {
+            if let Some(store) = &self.store {
+                store.mark_complete(id, Vec::new());
+            }
+            self.completed.fetch_max(id, Ordering::AcqRel);
+        }
+    }
+
+    /// A tasklet finished for good; it will not ack future snapshots.
+    pub fn retire_participant(&self) {
+        let remaining = self.participants.fetch_sub(1, Ordering::SeqCst) - 1;
+        // Finishing a participant can complete an in-flight snapshot.
+        let pending: Vec<(SnapshotId, usize)> = {
+            let acks = self.acks.lock();
+            acks.iter().map(|(&id, &n)| (id, n)).collect()
+        };
+        for (id, n) in pending {
+            if n >= remaining {
+                let mut acks = self.acks.lock();
+                acks.remove(&id);
+                drop(acks);
+                if let Some(store) = &self.store {
+                    store.mark_complete(id, Vec::new());
+                }
+                self.completed.fetch_max(id, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Access the backing store (for recovery).
+    pub fn store(&self) -> Option<&SnapshotStore> {
+        self.store.as_ref()
+    }
+
+    /// Is snapshotting enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.store.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jet_imdg::Grid;
+
+    fn registry(participants: usize) -> SnapshotRegistry {
+        let grid = Grid::with_partition_count(2, 1, 16);
+        SnapshotRegistry::new(SnapshotStore::new(&grid, 1), participants)
+    }
+
+    #[test]
+    fn trigger_then_acks_complete_snapshot() {
+        let r = registry(3);
+        assert_eq!(r.requested(), 0);
+        assert_eq!(r.trigger(), Some(1));
+        assert_eq!(r.requested(), 1);
+        assert_eq!(r.trigger(), None, "in-flight snapshot blocks retrigger");
+        r.ack(1);
+        r.ack(1);
+        assert_eq!(r.completed(), 0);
+        r.ack(1);
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.store().unwrap().latest_complete(), Some(1));
+        assert_eq!(r.trigger(), Some(2));
+    }
+
+    #[test]
+    fn disabled_registry_never_triggers() {
+        let r = SnapshotRegistry::disabled();
+        assert_eq!(r.trigger(), None);
+        assert_eq!(r.maybe_trigger(1_000_000_000, 1), None);
+        assert!(!r.enabled());
+    }
+
+    #[test]
+    fn maybe_trigger_respects_interval() {
+        let r = registry(1);
+        assert_eq!(r.maybe_trigger(5, 1_000), None, "too early");
+        assert_eq!(r.maybe_trigger(1_000, 1_000), Some(1));
+        r.ack(1);
+        assert_eq!(r.maybe_trigger(1_500, 1_000), None);
+        assert_eq!(r.maybe_trigger(2_000, 1_000), Some(2));
+    }
+
+    #[test]
+    fn records_are_persisted_per_vertex() {
+        let r = registry(1);
+        r.trigger();
+        r.write_records(1, "agg", vec![(b"k".to_vec(), b"v".to_vec())]);
+        r.ack(1);
+        let recs = r.store().unwrap().read_vertex(1, "agg");
+        assert_eq!(recs, vec![(b"k".to_vec(), b"v".to_vec())]);
+    }
+
+    #[test]
+    fn retiring_last_missing_participant_completes() {
+        let r = registry(2);
+        r.trigger();
+        r.ack(1);
+        assert_eq!(r.completed(), 0);
+        r.retire_participant();
+        assert_eq!(r.completed(), 1, "retire should complete the snapshot");
+    }
+
+    #[test]
+    fn terminal_trigger_marks_terminal() {
+        let r = registry(1);
+        let id = r.trigger_terminal().unwrap();
+        assert!(r.is_terminal(id));
+        assert!(!r.is_terminal(id + 1));
+    }
+}

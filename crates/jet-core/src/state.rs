@@ -1,0 +1,268 @@
+//! State (de)serialization for snapshots.
+//!
+//! Processor state must cross node boundaries and outlive its writer
+//! (§4.4), so everything a stateful processor keeps is `Snap`: encodable to
+//! the deterministic binary format in `jet_util::codec`. Implementations are
+//! provided for the primitives and containers the built-in processors and
+//! the NEXMark queries need; user types implement the trait directly (two
+//! small methods) — the moral equivalent of Jet's requirement that state be
+//! `Serializable`.
+
+use jet_util::codec::{ByteReader, ByteWriter, DecodeError};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Snapshot-serializable state.
+pub trait Snap: Sized {
+    fn save(&self, w: &mut ByteWriter);
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
+
+    /// Serialize to a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.save(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserialize from a byte slice, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::load(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(DecodeError("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+}
+
+impl Snap for u64 {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_varint(*self);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.get_varint()
+    }
+}
+
+impl Snap for i64 {
+    fn save(&self, w: &mut ByteWriter) {
+        // zig-zag so small negatives stay small
+        w.put_varint(((*self << 1) ^ (*self >> 63)) as u64);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let z = r.get_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+impl Snap for u32 {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_varint(*self as u64);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let v = r.get_varint()?;
+        u32::try_from(v).map_err(|_| DecodeError("u32 overflow"))
+    }
+}
+
+impl Snap for usize {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_varint(*self as u64);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let v = r.get_varint()?;
+        usize::try_from(v).map_err(|_| DecodeError("usize overflow"))
+    }
+}
+
+impl Snap for f64 {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_f64(*self);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.get_f64()
+    }
+}
+
+impl Snap for bool {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_bool(*self);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.get_bool()
+    }
+}
+
+impl Snap for String {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_str(self);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.get_str()?.to_string())
+    }
+}
+
+impl Snap for Vec<u8> {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_bytes(self);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.get_bytes()?.to_vec())
+    }
+}
+
+impl Snap for () {
+    fn save(&self, _w: &mut ByteWriter) {}
+    fn load(_r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn save(&self, w: &mut ByteWriter) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn save(&self, w: &mut ByteWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap, D: Snap> Snap for (A, B, C, D) {
+    fn save(&self, w: &mut ByteWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+        self.3.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?, D::load(r)?))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        if r.get_bool()? {
+            Ok(Some(T::load(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_varint(self.len() as u64);
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n = r.get_varint()? as usize;
+        // Guard against hostile lengths: cap the pre-allocation.
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Eq + Hash, V: Snap> Snap for HashMap<K, V> {
+    fn save(&self, w: &mut ByteWriter) {
+        w.put_varint(self.len() as u64);
+        for (k, v) in self {
+            k.save(w);
+            v.save(w);
+        }
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n = r.get_varint()? as usize;
+        let mut out = HashMap::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Snap + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(42u32);
+        roundtrip(7usize);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip("hello".to_string());
+        roundtrip(b"raw".to_vec());
+        roundtrip(());
+    }
+
+    #[test]
+    fn zigzag_keeps_small_negatives_small() {
+        assert_eq!((-1i64).to_bytes().len(), 1);
+        assert_eq!((-64i64).to_bytes().len(), 1);
+        assert_eq!(100i64.to_bytes().len(), 2);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Some(5u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1i64, -2, 3]);
+        roundtrip(("k".to_string(), 9u64));
+        roundtrip((1u64, -2i64, "z".to_string()));
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), vec![1u64, 2]);
+        m.insert("b".to_string(), vec![]);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_vec_rejected() {
+        let bytes = vec![10u8]; // claims 10 elements, provides none
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! Tasklets: the small cooperative computation units that share worker
+//! threads (paper §3.2, Fig. 4).
+//!
+//! A [`ProcessorTasklet`] drives one processor instance through a
+//! non-blocking state machine. Every `call` is one short timeslice: flush
+//! the outbox, then make whatever progress the current phase allows, then
+//! yield. The phases mirror Jet's `ProcessorTasklet`:
+//!
+//! ```text
+//! Process --(barrier aligned / snapshot requested)--> SaveSnapshot
+//!   |  \--(an input's lanes all done)--> CompleteEdge --> Process
+//!   \--(all inputs done)--> Complete --> EmitDone --> Drain --> Done
+//! SaveSnapshot --> EmitBarrier --> Process (or EmitDone if terminal)
+//! ```
+//!
+//! Barrier handling implements both consistency modes of §4.4: with
+//! `ExactlyOnce`, a lane that delivered the current barrier is not drained
+//! again until every lane aligned (channel blocking); with `AtLeastOnce`,
+//! draining continues and the snapshot is taken when the last lane's
+//! barrier arrives.
+
+use crate::item::{Barrier, Item, SnapshotId, Ts};
+use crate::metrics::TaskletCounters;
+use crate::outbound::OutboundCollector;
+use crate::processor::{Guarantee, Inbox, Outbox, Processor, ProcessorContext};
+use crate::snapshot::SnapshotRegistry;
+use crate::watermark::WatermarkCoalescer;
+use jet_queue::Conveyor;
+use jet_util::progress::Progress;
+use std::sync::Arc;
+
+/// Anything schedulable on a cooperative worker.
+pub trait Tasklet: Send {
+    /// One timeslice. Must not block and should stay well under 1 ms.
+    fn call(&mut self) -> Progress;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Cooperative tasklets share worker threads; non-cooperative ones get
+    /// a dedicated thread (§3.1: blocking connectors).
+    fn is_cooperative(&self) -> bool {
+        true
+    }
+}
+
+/// One input ordinal's wiring: the conveyor whose lanes are the parallel
+/// upstream producers of that edge.
+pub struct InputConveyor {
+    pub ordinal: usize,
+    pub priority: i32,
+    pub conveyor: Conveyor<Item>,
+}
+
+struct InputState {
+    ordinal: usize,
+    priority: i32,
+    conveyor: Conveyor<Item>,
+    lane_done: Vec<bool>,
+    done_count: usize,
+    barrier_seen: Vec<bool>,
+    barrier_count: usize,
+    /// Offset of this ordinal's lane 0 in the global coalescer numbering.
+    lane_offset: usize,
+    edge_completed: bool,
+}
+
+impl InputState {
+    fn lanes(&self) -> usize {
+        self.conveyor.lane_count()
+    }
+
+    fn all_done(&self) -> bool {
+        self.done_count == self.lanes()
+    }
+
+    fn aligned(&self) -> bool {
+        (0..self.lanes()).all(|l| self.barrier_seen[l] || self.lane_done[l])
+    }
+
+    fn clear_barriers(&mut self) {
+        self.barrier_seen.iter_mut().for_each(|b| *b = false);
+        self.barrier_count = 0;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Process,
+    SaveSnapshot,
+    EmitBarrier,
+    CompleteEdge(usize),
+    Complete,
+    EmitDone,
+    Drain,
+    Done,
+}
+
+/// Default number of events moved into the inbox per lane visit.
+pub const DEFAULT_BATCH: usize = 256;
+
+/// Tasklet driving one processor instance.
+pub struct ProcessorTasklet {
+    vertex: String,
+    processor: Box<dyn Processor>,
+    ctx: ProcessorContext,
+    inputs: Vec<InputState>,
+    outputs: Vec<OutboundCollector>,
+    outbox: Outbox,
+    inbox: Inbox,
+    /// Set when `process` left items in the inbox (outbox was full).
+    pending_ordinal: Option<usize>,
+    coalescer: WatermarkCoalescer,
+    pending_wm: Option<Ts>,
+    guarantee: Guarantee,
+    registry: Arc<SnapshotRegistry>,
+    last_snapshot: SnapshotId,
+    current_barrier: Option<Barrier>,
+    phase: Phase,
+    batch: usize,
+    rr_ordinal: usize,
+    counters: Arc<TaskletCounters>,
+    initialized: bool,
+    retired: bool,
+    is_source: bool,
+    cooperative: bool,
+}
+
+impl ProcessorTasklet {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        processor: Box<dyn Processor>,
+        ctx: ProcessorContext,
+        inputs: Vec<InputConveyor>,
+        outputs: Vec<OutboundCollector>,
+        registry: Arc<SnapshotRegistry>,
+        batch: usize,
+    ) -> Self {
+        let mut lane_offset = 0;
+        let mut input_states = Vec::with_capacity(inputs.len());
+        for ic in inputs {
+            let lanes = ic.conveyor.lane_count();
+            input_states.push(InputState {
+                ordinal: ic.ordinal,
+                priority: ic.priority,
+                conveyor: ic.conveyor,
+                lane_done: vec![false; lanes],
+                done_count: 0,
+                barrier_seen: vec![false; lanes],
+                barrier_count: 0,
+                lane_offset,
+                edge_completed: false,
+            });
+            lane_offset += lanes;
+        }
+        let is_source = input_states.is_empty();
+        let cooperative = processor.is_cooperative();
+        let out_edges = outputs.len();
+        let guarantee = ctx.guarantee;
+        let vertex = ctx.vertex.clone();
+        ProcessorTasklet {
+            vertex,
+            processor,
+            ctx,
+            inputs: input_states,
+            outputs,
+            outbox: Outbox::new(out_edges, batch.max(1)),
+            inbox: Inbox::new(),
+            pending_ordinal: None,
+            coalescer: WatermarkCoalescer::new(lane_offset),
+            pending_wm: None,
+            guarantee,
+            registry,
+            last_snapshot: 0,
+            current_barrier: None,
+            phase: if is_source { Phase::Complete } else { Phase::Process },
+            batch: batch.max(1),
+            rr_ordinal: 0,
+            counters: TaskletCounters::shared(),
+            initialized: false,
+            retired: false,
+            is_source,
+            cooperative,
+        }
+    }
+
+    pub fn counters(&self) -> Arc<TaskletCounters> {
+        self.counters.clone()
+    }
+
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Process => "process",
+            Phase::SaveSnapshot => "save-snapshot",
+            Phase::EmitBarrier => "emit-barrier",
+            Phase::CompleteEdge(_) => "complete-edge",
+            Phase::Complete => "complete",
+            Phase::EmitDone => "emit-done",
+            Phase::Drain => "drain",
+            Phase::Done => "done",
+        }
+    }
+
+    /// Deliver buffered outbox items into the outbound collectors, FIFO per
+    /// edge, with control items broadcast to every target.
+    fn flush_outbox(&mut self) -> bool {
+        let mut any = false;
+        let outbox = &mut self.outbox;
+        for (i, col) in self.outputs.iter_mut().enumerate() {
+            let buf = outbox.buf_mut(i);
+            loop {
+                let Some(front) = buf.front() else { break };
+                if front.is_event() {
+                    let item = buf.pop_front().expect("front checked");
+                    match col.offer_event(item) {
+                        Ok(()) => any = true,
+                        Err(back) => {
+                            buf.push_front(back);
+                            break;
+                        }
+                    }
+                } else if col.offer_to_all(front) {
+                    buf.pop_front();
+                    any = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    fn all_aligned(&self) -> bool {
+        self.current_barrier.is_some() && self.inputs.iter().all(|i| i.aligned())
+    }
+
+    /// Attempt to deliver a pending coalesced watermark to the processor.
+    /// The all-idle marker bypasses the processor and is forwarded verbatim
+    /// (it is a scheduling signal, not an event-time statement).
+    fn settle_watermark(&mut self) -> bool {
+        if let Some(wm) = self.pending_wm {
+            let handled = if wm == crate::watermark::IDLE_CHANNEL {
+                self.outbox.broadcast(Item::Watermark(crate::watermark::IDLE_CHANNEL))
+            } else {
+                self.processor.try_process_watermark(wm, &mut self.outbox, &self.ctx)
+            };
+            if handled {
+                self.pending_wm = None;
+                return true;
+            }
+            return false;
+        }
+        true
+    }
+
+    fn note_coalesced(&mut self, advanced: Option<Ts>) {
+        if let Some(wm) = advanced {
+            debug_assert!(self.pending_wm.is_none());
+            self.pending_wm = Some(wm);
+        }
+    }
+
+    fn enter_snapshot(&mut self, barrier: Barrier) {
+        self.current_barrier = Some(barrier);
+        self.phase = Phase::SaveSnapshot;
+    }
+
+    /// The Process-phase drain over input conveyors. Returns `true` if any
+    /// work was done.
+    fn drain_inputs(&mut self) -> bool {
+        let mut worked = false;
+        // Priority gating: only drain ordinals in the highest-priority
+        // (numerically lowest) group that still has live lanes.
+        let active_priority = self
+            .inputs
+            .iter()
+            .filter(|i| !i.all_done())
+            .map(|i| i.priority)
+            .min();
+        let Some(active_priority) = active_priority else { return worked };
+        let n = self.inputs.len();
+        let exactly_once = self.guarantee == Guarantee::ExactlyOnce;
+        for k in 0..n {
+            let oi = (self.rr_ordinal + k) % n;
+            if self.inputs[oi].all_done() || self.inputs[oi].priority != active_priority {
+                continue;
+            }
+            let lanes = self.inputs[oi].lanes();
+            for lane in 0..lanes {
+                if self.inputs[oi].lane_done[lane] {
+                    continue;
+                }
+                if exactly_once
+                    && self.current_barrier.is_some()
+                    && self.inputs[oi].barrier_seen[lane]
+                {
+                    continue; // §4.4: blocked until all channels align
+                }
+                // Move a batch of events into the inbox.
+                while self.inbox.len() < self.batch {
+                    match self.inputs[oi].conveyor.peek_lane(lane) {
+                        Some(Item::Event { .. }) => {
+                            let Some(Item::Event { ts, obj }) =
+                                self.inputs[oi].conveyor.poll_lane(lane)
+                            else {
+                                unreachable!()
+                            };
+                            self.inbox.push(ts, obj);
+                        }
+                        _ => break,
+                    }
+                }
+                if !self.inbox.is_empty() {
+                    let before = self.inbox.len();
+                    let ordinal = self.inputs[oi].ordinal;
+                    self.processor.process(ordinal, &mut self.inbox, &mut self.outbox, &self.ctx);
+                    let consumed = (before - self.inbox.len()) as u64;
+                    self.counters.add_in(consumed);
+                    if consumed > 0 {
+                        worked = true;
+                    }
+                    if !self.inbox.is_empty() {
+                        // Outbox full: remember and retry this ordinal first.
+                        self.pending_ordinal = Some(ordinal);
+                        self.rr_ordinal = oi;
+                        return worked;
+                    }
+                }
+                // Handle at most one control item at the head of this lane.
+                let is_control = matches!(
+                    self.inputs[oi].conveyor.peek_lane(lane),
+                    Some(it) if it.is_control()
+                );
+                if !is_control {
+                    continue;
+                }
+                let item = self.inputs[oi].conveyor.poll_lane(lane).expect("peeked");
+                worked = true;
+                let global_lane = self.inputs[oi].lane_offset + lane;
+                match item {
+                    Item::Watermark(w) => {
+                        let adv = self.coalescer.observe(global_lane, w);
+                        self.note_coalesced(adv);
+                        if !self.settle_watermark() {
+                            self.rr_ordinal = oi;
+                            return worked;
+                        }
+                    }
+                    Item::Barrier(b) => {
+                        match self.current_barrier {
+                            None => self.current_barrier = Some(b),
+                            Some(cur) => debug_assert_eq!(
+                                cur.snapshot_id, b.snapshot_id,
+                                "overlapping snapshots in flight"
+                            ),
+                        }
+                        self.inputs[oi].barrier_seen[lane] = true;
+                        self.inputs[oi].barrier_count += 1;
+                        if self.all_aligned() {
+                            self.phase = Phase::SaveSnapshot;
+                            self.rr_ordinal = oi;
+                            return worked;
+                        }
+                    }
+                    Item::Done => {
+                        self.inputs[oi].lane_done[lane] = true;
+                        self.inputs[oi].done_count += 1;
+                        let adv = self.coalescer.channel_done(global_lane);
+                        self.note_coalesced(adv);
+                        if !self.settle_watermark() {
+                            self.rr_ordinal = oi;
+                            return worked;
+                        }
+                        // A done lane counts as aligned.
+                        if self.all_aligned() {
+                            self.phase = Phase::SaveSnapshot;
+                            self.rr_ordinal = oi;
+                            return worked;
+                        }
+                        if self.inputs[oi].all_done() {
+                            self.phase = Phase::CompleteEdge(oi);
+                            self.rr_ordinal = oi;
+                            return worked;
+                        }
+                    }
+                    Item::Event { .. } => unreachable!("peeked control"),
+                }
+            }
+        }
+        self.rr_ordinal = (self.rr_ordinal + 1) % n.max(1);
+        worked
+    }
+}
+
+impl Tasklet for ProcessorTasklet {
+    fn call(&mut self) -> Progress {
+        if self.phase == Phase::Done {
+            return Progress::Done;
+        }
+        if !self.initialized {
+            self.processor.init(&self.ctx);
+            self.initialized = true;
+        }
+        let mut worked = self.flush_outbox();
+
+        match self.phase {
+            Phase::Process => {
+                // Settle any deferred watermark before touching new input.
+                if !self.settle_watermark() {
+                    return Progress::from_worked(worked);
+                }
+                // Finish a partially-processed inbox first.
+                if let Some(ordinal) = self.pending_ordinal {
+                    let before = self.inbox.len();
+                    self.processor.process(ordinal, &mut self.inbox, &mut self.outbox, &self.ctx);
+                    let consumed = before - self.inbox.len();
+                    self.counters.add_in(consumed as u64);
+                    worked |= consumed > 0;
+                    if !self.inbox.is_empty() {
+                        return Progress::from_worked(worked);
+                    }
+                    self.pending_ordinal = None;
+                }
+                // Barrier alignment might already hold (e.g. after restore).
+                if self.all_aligned() {
+                    self.phase = Phase::SaveSnapshot;
+                    return Progress::MadeProgress;
+                }
+                worked |= self.drain_inputs();
+                // All inputs done and completed -> move to Complete.
+                if self.phase == Phase::Process
+                    && self.inputs.iter().all(|i| i.all_done() && i.edge_completed)
+                {
+                    self.phase = Phase::Complete;
+                    worked = true;
+                }
+                Progress::from_worked(worked)
+            }
+            Phase::SaveSnapshot => {
+                let b = self.current_barrier.expect("snapshot phase without barrier");
+                if self.processor.save_snapshot(b.snapshot_id, &mut self.outbox, &self.ctx) {
+                    let records = self.outbox.take_snapshot_records();
+                    self.counters.add_snapshot_records(records.len() as u64);
+                    self.registry.write_records(b.snapshot_id, &self.vertex, records);
+                    self.phase = Phase::EmitBarrier;
+                }
+                Progress::MadeProgress
+            }
+            Phase::EmitBarrier => {
+                let b = self.current_barrier.expect("emit phase without barrier");
+                if self.outbox.broadcast(Item::Barrier(b)) {
+                    self.registry.ack(b.snapshot_id);
+                    self.last_snapshot = b.snapshot_id;
+                    self.current_barrier = None;
+                    for input in &mut self.inputs {
+                        input.clear_barriers();
+                    }
+                    self.flush_outbox();
+                    self.phase = if b.terminal {
+                        Phase::EmitDone
+                    } else if self.is_source {
+                        Phase::Complete
+                    } else {
+                        Phase::Process
+                    };
+                }
+                Progress::MadeProgress
+            }
+            Phase::CompleteEdge(oi) => {
+                let ordinal = self.inputs[oi].ordinal;
+                if self.processor.complete_edge(ordinal, &mut self.outbox, &self.ctx) {
+                    self.inputs[oi].edge_completed = true;
+                    self.phase = if self.inputs.iter().all(|i| i.all_done() && i.edge_completed)
+                    {
+                        Phase::Complete
+                    } else {
+                        Phase::Process
+                    };
+                }
+                Progress::MadeProgress
+            }
+            Phase::Complete => {
+                // Sources participate in snapshots from here (§4.4: "Jet
+                // instructs source vertices to take a state snapshot").
+                if self.is_source && self.registry.enabled() {
+                    let req = self.registry.requested();
+                    if req > self.last_snapshot {
+                        if !self.outbox.is_fully_flushed() {
+                            // Keep barriers ordered after buffered events.
+                            return Progress::from_worked(worked);
+                        }
+                        self.enter_snapshot(Barrier {
+                            snapshot_id: req,
+                            terminal: self.registry.is_terminal(req),
+                        });
+                        return Progress::MadeProgress;
+                    }
+                }
+                let before_out = self.outbox.buffered();
+                let mut done = self.processor.complete(&mut self.outbox, &self.ctx);
+                if self.is_source && self.ctx.is_cancelled() {
+                    done = true;
+                }
+                let emitted = self.outbox.buffered() - before_out;
+                self.counters.add_out(emitted as u64);
+                worked |= emitted > 0;
+                if done {
+                    self.phase = Phase::EmitDone;
+                    worked = true;
+                }
+                Progress::from_worked(worked)
+            }
+            Phase::EmitDone => {
+                if self.outbox.broadcast(Item::Done) || self.outputs.is_empty() {
+                    self.phase = Phase::Drain;
+                }
+                Progress::MadeProgress
+            }
+            Phase::Drain => {
+                if self.outbox.is_fully_flushed() {
+                    self.phase = Phase::Done;
+                    if !self.retired {
+                        self.retired = true;
+                        self.registry.retire_participant();
+                    }
+                    return Progress::Done;
+                }
+                Progress::from_worked(worked)
+            }
+            Phase::Done => Progress::Done,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.vertex
+    }
+
+    fn is_cooperative(&self) -> bool {
+        self.cooperative
+    }
+}

@@ -1,0 +1,292 @@
+//! Event-time machinery: watermark generation at sources and coalescing at
+//! multi-input vertices (paper §2.2 — Jet handles out-of-order streams).
+//!
+//! * [`EventTimeMapper`] lives inside source processors: given events with
+//!   (possibly out-of-order) timestamps it decides which watermarks to emit,
+//!   applying an *allowed lag*, throttling emission to a minimum stride, and
+//!   detecting idle inputs so one quiet source partition cannot stall the
+//!   whole pipeline's event time.
+//! * [`WatermarkCoalescer`] lives inside processor tasklets: the vertex-level
+//!   watermark is the minimum over all input channels, and it is forwarded
+//!   only when it advances.
+
+use crate::item::Ts;
+
+/// Sentinel: no watermark observed yet.
+pub const NO_WATERMARK: Ts = Ts::MIN;
+
+/// Watermark policy + emission throttling for one source instance.
+#[derive(Debug, Clone)]
+pub struct EventTimeMapper {
+    /// Watermark = max_seen_ts - allowed_lag.
+    allowed_lag: Ts,
+    /// Minimum distance between consecutive emitted watermarks.
+    min_stride: Ts,
+    /// If no event arrives for this long (processing time), declare the
+    /// source idle: emit `IDLE` so downstream coalescing skips this channel.
+    idle_timeout_nanos: u64,
+    top_ts: Ts,
+    last_emitted: Ts,
+    last_event_at: u64,
+    idle: bool,
+}
+
+/// What the mapper wants the source to emit after observing an event (or
+/// after a quiet period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WmAction {
+    None,
+    /// Emit `Watermark(ts)` downstream.
+    Emit(Ts),
+    /// Channel went idle: emit the IDLE marker (represented as `Ts::MAX`
+    /// so a min-coalescer naturally ignores idle channels).
+    MarkIdle,
+}
+
+/// The in-band representation of an idle channel (§2.2): `Ts::MAX` makes the
+/// min-coalescer transparent to idle inputs.
+pub const IDLE_CHANNEL: Ts = Ts::MAX;
+
+impl EventTimeMapper {
+    pub fn new(allowed_lag: Ts, min_stride: Ts, idle_timeout_nanos: u64) -> Self {
+        assert!(allowed_lag >= 0 && min_stride >= 0);
+        EventTimeMapper {
+            allowed_lag,
+            min_stride: min_stride.max(1),
+            idle_timeout_nanos,
+            top_ts: NO_WATERMARK,
+            last_emitted: NO_WATERMARK,
+            last_event_at: 0,
+            idle: false,
+        }
+    }
+
+    /// Observe one event with timestamp `ts` at processing time `now`.
+    pub fn observe_event(&mut self, ts: Ts, now_nanos: u64) -> WmAction {
+        self.last_event_at = now_nanos;
+        self.idle = false;
+        if ts > self.top_ts {
+            self.top_ts = ts;
+        }
+        let candidate = self.top_ts.saturating_sub(self.allowed_lag);
+        if self.last_emitted == NO_WATERMARK || candidate >= self.last_emitted + self.min_stride {
+            self.last_emitted = candidate;
+            WmAction::Emit(candidate)
+        } else {
+            WmAction::None
+        }
+    }
+
+    /// Called periodically when no event is available.
+    pub fn observe_idle(&mut self, now_nanos: u64) -> WmAction {
+        if self.idle || self.idle_timeout_nanos == 0 {
+            return WmAction::None;
+        }
+        if self.top_ts != NO_WATERMARK
+            && now_nanos.saturating_sub(self.last_event_at) >= self.idle_timeout_nanos
+        {
+            self.idle = true;
+            return WmAction::MarkIdle;
+        }
+        WmAction::None
+    }
+
+    /// Highest event timestamp seen.
+    pub fn top_ts(&self) -> Ts {
+        self.top_ts
+    }
+
+    pub fn last_emitted(&self) -> Ts {
+        self.last_emitted
+    }
+}
+
+/// Min-coalescer over `n` input channels.
+#[derive(Debug, Clone)]
+pub struct WatermarkCoalescer {
+    per_channel: Vec<Ts>,
+    output: Ts,
+    /// Set once the all-idle marker has been emitted (until a revival).
+    output_idle: bool,
+}
+
+impl WatermarkCoalescer {
+    pub fn new(channels: usize) -> Self {
+        WatermarkCoalescer {
+            per_channel: vec![NO_WATERMARK; channels],
+            output: NO_WATERMARK,
+            output_idle: false,
+        }
+    }
+
+    /// Record watermark `wm` from `channel`. Returns the new coalesced
+    /// watermark if it advanced. A channel may "revive" from idle with any
+    /// watermark (the coalesced output stays monotonic regardless).
+    pub fn observe(&mut self, channel: usize, wm: Ts) -> Option<Ts> {
+        debug_assert!(
+            wm >= self.per_channel[channel] || self.per_channel[channel] == IDLE_CHANNEL,
+            "watermark regressed on channel {channel}: {} -> {wm}",
+            self.per_channel[channel]
+        );
+        self.per_channel[channel] = wm;
+        let min = self.per_channel.iter().copied().min().unwrap_or(NO_WATERMARK);
+        if min == IDLE_CHANNEL {
+            // Every channel idle: propagate the idle marker exactly once so
+            // downstream coalescers skip this vertex too (without it, a
+            // member whose sources own no data stalls the whole cluster's
+            // event time).
+            if !self.output_idle {
+                self.output_idle = true;
+                return Some(IDLE_CHANNEL);
+            }
+            return None;
+        }
+        self.output_idle = false;
+        if min > self.output && min != NO_WATERMARK {
+            self.output = min;
+            Some(min)
+        } else {
+            None
+        }
+    }
+
+    /// A channel finished (Done): treat as idle forever for coalescing
+    /// purposes, but never *emit* the all-idle marker on this path — a
+    /// vertex whose inputs completed is about to run its own completion
+    /// flush (which emits real data and watermarks); advertising idleness
+    /// first would let that flush's watermark overtake a sibling's pending
+    /// flush downstream.
+    pub fn channel_done(&mut self, channel: usize) -> Option<Ts> {
+        self.per_channel[channel] = IDLE_CHANNEL;
+        let min = self.per_channel.iter().copied().min().unwrap_or(NO_WATERMARK);
+        if min == IDLE_CHANNEL {
+            self.output_idle = true;
+            return None;
+        }
+        if min > self.output && min != NO_WATERMARK {
+            self.output = min;
+            Some(min)
+        } else {
+            None
+        }
+    }
+
+    /// Current coalesced output watermark.
+    pub fn output(&self) -> Ts {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapper_emits_lagged_watermarks() {
+        let mut m = EventTimeMapper::new(10, 1, 0);
+        assert_eq!(m.observe_event(100, 0), WmAction::Emit(90));
+        // Same top ts: candidate 90 < 90+1 stride, nothing new.
+        assert_eq!(m.observe_event(95, 1), WmAction::None);
+        assert_eq!(m.observe_event(101, 2), WmAction::Emit(91));
+        assert_eq!(m.top_ts(), 101);
+    }
+
+    #[test]
+    fn mapper_throttles_by_stride() {
+        let mut m = EventTimeMapper::new(0, 10, 0);
+        assert_eq!(m.observe_event(100, 0), WmAction::Emit(100));
+        assert_eq!(m.observe_event(105, 0), WmAction::None);
+        assert_eq!(m.observe_event(109, 0), WmAction::None);
+        assert_eq!(m.observe_event(110, 0), WmAction::Emit(110));
+    }
+
+    #[test]
+    fn mapper_ignores_late_events_for_wm_purposes() {
+        let mut m = EventTimeMapper::new(0, 1, 0);
+        m.observe_event(100, 0);
+        assert_eq!(m.observe_event(50, 1), WmAction::None);
+        assert_eq!(m.top_ts(), 100);
+    }
+
+    #[test]
+    fn mapper_detects_idleness_once() {
+        let mut m = EventTimeMapper::new(0, 1, 1000);
+        m.observe_event(1, 0);
+        assert_eq!(m.observe_idle(500), WmAction::None);
+        assert_eq!(m.observe_idle(1000), WmAction::MarkIdle);
+        assert_eq!(m.observe_idle(2000), WmAction::None, "idle emitted twice");
+        // An event revives the channel.
+        assert!(matches!(m.observe_event(2, 2000), WmAction::Emit(_) | WmAction::None));
+        assert_eq!(m.observe_idle(3000), WmAction::MarkIdle);
+    }
+
+    #[test]
+    fn mapper_never_idle_before_first_event() {
+        let mut m = EventTimeMapper::new(0, 1, 1000);
+        assert_eq!(m.observe_idle(10_000), WmAction::None);
+    }
+
+    #[test]
+    fn coalescer_takes_min_across_channels() {
+        let mut c = WatermarkCoalescer::new(2);
+        assert_eq!(c.observe(0, 10), None, "one channel silent, no output");
+        assert_eq!(c.observe(1, 5), Some(5));
+        assert_eq!(c.observe(1, 20), Some(10), "min moved to channel 0's wm");
+        assert_eq!(c.observe(0, 15), Some(15));
+        assert_eq!(c.output(), 15);
+    }
+
+    #[test]
+    fn coalescer_ignores_non_advancing_watermarks() {
+        let mut c = WatermarkCoalescer::new(1);
+        assert_eq!(c.observe(0, 10), Some(10));
+        assert_eq!(c.observe(0, 10), None);
+    }
+
+    #[test]
+    fn idle_channel_is_transparent() {
+        let mut c = WatermarkCoalescer::new(2);
+        c.observe(0, IDLE_CHANNEL);
+        assert_eq!(c.observe(1, 7), Some(7), "idle channel must not hold back wm");
+    }
+
+    #[test]
+    fn all_channels_idle_propagates_idle_once() {
+        let mut c = WatermarkCoalescer::new(2);
+        assert_eq!(c.observe(0, IDLE_CHANNEL), None);
+        assert_eq!(c.observe(1, IDLE_CHANNEL), Some(IDLE_CHANNEL));
+        assert_eq!(c.observe(1, IDLE_CHANNEL), None, "idle marker must not repeat");
+        // Revival resumes normal coalescing.
+        assert_eq!(c.observe(0, 7), Some(7));
+    }
+
+    #[test]
+    fn done_channel_acts_idle() {
+        let mut c = WatermarkCoalescer::new(2);
+        c.observe(0, 3);
+        assert_eq!(c.channel_done(0), None);
+        assert_eq!(c.observe(1, 9), Some(9));
+    }
+
+    #[test]
+    fn done_channels_never_emit_the_idle_marker() {
+        let mut c = WatermarkCoalescer::new(2);
+        assert_eq!(c.channel_done(0), None);
+        assert_eq!(c.channel_done(1), None, "done must not broadcast idleness");
+    }
+
+    #[test]
+    fn done_channel_can_still_advance_watermark() {
+        let mut c = WatermarkCoalescer::new(2);
+        c.observe(0, 5);
+        c.observe(1, 3);
+        assert_eq!(c.channel_done(1), Some(5), "losing the min channel advances");
+    }
+
+    #[test]
+    fn single_channel_passthrough() {
+        let mut c = WatermarkCoalescer::new(1);
+        assert_eq!(c.observe(0, 1), Some(1));
+        assert_eq!(c.observe(0, 2), Some(2));
+    }
+}

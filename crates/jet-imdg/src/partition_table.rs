@@ -1,0 +1,335 @@
+//! The partition table: which member holds each partition's primary and
+//! backup replicas (paper Fig. 5), plus the three reconfiguration paths:
+//!
+//! * **promotion** on member failure (Fig. 6): the first surviving backup of
+//!   every partition the dead member owned becomes primary, and new backups
+//!   are appointed so the configured redundancy is restored;
+//! * **rebalance** on member join (§4.3): a fresh assignment computed from
+//!   the consistent-hash ring, which by construction moves only the
+//!   partitions adjacent to the new member's ring positions;
+//! * **migration planning**: the diff between two tables, used by the grid
+//!   to copy exactly the data that must move.
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::types::{MemberId, PartitionId};
+use jet_util::seq;
+
+/// Replica assignment for every partition. Index 0 of a replica chain is the
+/// primary; the rest are backups in promotion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionTable {
+    replicas: Vec<Vec<MemberId>>,
+    backup_count: usize,
+    version: u64,
+}
+
+/// One planned data movement: partition `partition`'s replica must be copied
+/// from `from` (a member that has the data) to `to` (a member that needs it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    pub partition: PartitionId,
+    pub from: MemberId,
+    pub to: MemberId,
+    /// True if `to` becomes the primary owner, false for a backup copy.
+    pub to_primary: bool,
+}
+
+impl PartitionTable {
+    /// Build the initial table for `members` with `backup_count` backups per
+    /// partition (replica chain length `backup_count + 1`, truncated when
+    /// the cluster is smaller).
+    pub fn assign(members: &[MemberId], partition_count: u32, backup_count: usize) -> Self {
+        assert!(partition_count > 0, "partition count must be positive");
+        let ring = HashRing::new(members, DEFAULT_VNODES);
+        let replicas = (0..partition_count)
+            .map(|p| {
+                let hash = seq::mix64(p as u64);
+                ring.replica_chain(hash, backup_count + 1)
+            })
+            .collect();
+        PartitionTable { replicas, backup_count, version: 1 }
+    }
+
+    pub fn partition_count(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+
+    pub fn backup_count(&self) -> usize {
+        self.backup_count
+    }
+
+    /// Table version, bumped on every reconfiguration.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Full replica chain of a partition (primary first). Empty only when the
+    /// cluster has no members.
+    pub fn replicas(&self, p: PartitionId) -> &[MemberId] {
+        &self.replicas[p.0 as usize]
+    }
+
+    /// Primary owner of a partition.
+    pub fn primary(&self, p: PartitionId) -> Option<MemberId> {
+        self.replicas[p.0 as usize].first().copied()
+    }
+
+    /// Backup owners of a partition.
+    pub fn backups(&self, p: PartitionId) -> &[MemberId] {
+        let chain = &self.replicas[p.0 as usize];
+        if chain.is_empty() {
+            chain
+        } else {
+            &chain[1..]
+        }
+    }
+
+    /// All partitions whose primary is `m`.
+    pub fn owned_primaries(&self, m: MemberId) -> Vec<PartitionId> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, chain)| chain.first() == Some(&m))
+            .map(|(i, _)| PartitionId(i as u32))
+            .collect()
+    }
+
+    /// All distinct members appearing anywhere in the table.
+    pub fn members(&self) -> Vec<MemberId> {
+        let mut ms: Vec<MemberId> = self.replicas.iter().flatten().copied().collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms
+    }
+
+    /// Handle the failure of `dead`: promote the first surviving backup of
+    /// every partition `dead` was primary for, drop `dead` from all chains,
+    /// and appoint replacement backups from the ring over the survivors.
+    ///
+    /// Returns the migrations needed to restore redundancy (copies from the
+    /// new primary to the newly appointed backups). Promotions themselves
+    /// need no data movement — that is the point of the design (Fig. 6).
+    pub fn promote_on_failure(&self, dead: MemberId) -> (PartitionTable, Vec<Migration>) {
+        let survivors: Vec<MemberId> =
+            self.members().into_iter().filter(|&m| m != dead).collect();
+        let ring = HashRing::new(&survivors, DEFAULT_VNODES);
+        let mut migrations = Vec::new();
+        let replicas: Vec<Vec<MemberId>> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, chain)| {
+                let mut chain: Vec<MemberId> =
+                    chain.iter().copied().filter(|&m| m != dead).collect();
+                // Top up the chain from the ring, skipping members already in it.
+                let hash = seq::mix64(i as u64);
+                let want = (self.backup_count + 1).min(survivors.len());
+                if chain.len() < want {
+                    for cand in ring.replica_chain(hash, survivors.len()) {
+                        if chain.len() == want {
+                            break;
+                        }
+                        if !chain.contains(&cand) {
+                            // New backup: data must be copied from the (new) primary.
+                            if let Some(&src) = chain.first() {
+                                migrations.push(Migration {
+                                    partition: PartitionId(i as u32),
+                                    from: src,
+                                    to: cand,
+                                    to_primary: chain.is_empty(),
+                                });
+                            }
+                            chain.push(cand);
+                        }
+                    }
+                }
+                chain
+            })
+            .collect();
+        (
+            PartitionTable { replicas, backup_count: self.backup_count, version: self.version + 1 },
+            migrations,
+        )
+    }
+
+    /// Rebalance for a new member set (typically after a join). Computes the
+    /// ring-based assignment and the migration plan from `self`.
+    pub fn rebalance(&self, members: &[MemberId]) -> (PartitionTable, Vec<Migration>) {
+        let mut next = PartitionTable::assign(
+            members,
+            self.partition_count(),
+            self.backup_count,
+        );
+        next.version = self.version + 1;
+        let migrations = self.plan_migrations(&next);
+        (next, migrations)
+    }
+
+    /// Diff two tables into a migration plan. For every replica a member
+    /// gains, pick a source member that holds the partition in the *old*
+    /// table (preferring the old primary).
+    pub fn plan_migrations(&self, next: &PartitionTable) -> Vec<Migration> {
+        assert_eq!(self.partition_count(), next.partition_count());
+        let mut out = Vec::new();
+        for i in 0..self.replicas.len() {
+            let old = &self.replicas[i];
+            let new = &next.replicas[i];
+            for (pos, &m) in new.iter().enumerate() {
+                if !old.contains(&m) {
+                    if let Some(&src) = old.first() {
+                        out.push(Migration {
+                            partition: PartitionId(i as u32),
+                            from: src,
+                            to: m,
+                            to_primary: pos == 0,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate structural invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let members = self.members();
+        let expected_len = (self.backup_count + 1).min(members.len());
+        for (i, chain) in self.replicas.iter().enumerate() {
+            let mut sorted = chain.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != chain.len() {
+                return Err(format!("partition {i}: duplicate member in chain {chain:?}"));
+            }
+            if !members.is_empty() && chain.len() != expected_len {
+                return Err(format!(
+                    "partition {i}: chain length {} != expected {expected_len}",
+                    chain.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u32) -> Vec<MemberId> {
+        (0..n).map(MemberId).collect()
+    }
+
+    #[test]
+    fn assign_covers_every_partition_with_full_chains() {
+        let t = PartitionTable::assign(&members(5), 271, 2);
+        t.check_invariants().unwrap();
+        for p in 0..271 {
+            let chain = t.replicas(PartitionId(p));
+            assert_eq!(chain.len(), 3);
+            assert_eq!(t.primary(PartitionId(p)), Some(chain[0]));
+            assert_eq!(t.backups(PartitionId(p)), &chain[1..]);
+        }
+    }
+
+    #[test]
+    fn chains_truncate_in_tiny_clusters() {
+        let t = PartitionTable::assign(&members(2), 31, 3);
+        t.check_invariants().unwrap();
+        for p in 0..31 {
+            assert_eq!(t.replicas(PartitionId(p)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn primaries_are_roughly_balanced() {
+        let t = PartitionTable::assign(&members(5), 271, 1);
+        for m in members(5) {
+            let owned = t.owned_primaries(m).len();
+            assert!((20..=100).contains(&owned), "member {m} owns {owned}");
+        }
+    }
+
+    #[test]
+    fn promotion_requires_no_data_movement_for_primaries() {
+        let t = PartitionTable::assign(&members(4), 271, 1);
+        let dead = MemberId(1);
+        let lost: Vec<PartitionId> = t.owned_primaries(dead);
+        let (t2, migrations) = t.promote_on_failure(dead);
+        t2.check_invariants().unwrap();
+        assert!(!t2.members().contains(&dead));
+        // Every partition the dead member owned is now owned by its old backup.
+        for p in lost {
+            let old_backup = t.backups(p)[0];
+            assert_eq!(t2.primary(p), Some(old_backup), "partition {p}");
+        }
+        // Promotions move no data; only backup restoration does.
+        for m in &migrations {
+            assert!(!m.to_primary, "primary handover required data copy: {m:?}");
+        }
+    }
+
+    #[test]
+    fn promotion_restores_redundancy() {
+        let t = PartitionTable::assign(&members(4), 271, 1);
+        let (t2, migrations) = t.promote_on_failure(MemberId(0));
+        for p in 0..271 {
+            assert_eq!(t2.replicas(PartitionId(p)).len(), 2, "partition {p} lost redundancy");
+        }
+        // Each migration's source actually holds the partition in t2.
+        for m in &migrations {
+            assert_eq!(t2.primary(m.partition), Some(m.from));
+            assert!(t2.backups(m.partition).contains(&m.to));
+        }
+    }
+
+    #[test]
+    fn rebalance_on_join_moves_little_data() {
+        let t = PartitionTable::assign(&members(4), 271, 1);
+        let mut more = members(4);
+        more.push(MemberId(10));
+        let (t2, migrations) = t.rebalance(&more);
+        t2.check_invariants().unwrap();
+        // The new member holds roughly 2*271/5 replicas; migrations should be
+        // near that, far below total replica count (consistent hashing).
+        let total_replicas = 271 * 2;
+        assert!(
+            migrations.len() < total_replicas / 2,
+            "too many migrations: {}",
+            migrations.len()
+        );
+        // Every surviving (partition, member) replica pair stayed put.
+        let mut moved_to_new = 0;
+        for m in &migrations {
+            if m.to == MemberId(10) {
+                moved_to_new += 1;
+            }
+        }
+        assert!(moved_to_new > 0, "new member received nothing");
+    }
+
+    #[test]
+    fn version_bumps_on_reconfiguration() {
+        let t = PartitionTable::assign(&members(3), 31, 1);
+        assert_eq!(t.version(), 1);
+        let (t2, _) = t.promote_on_failure(MemberId(0));
+        assert_eq!(t2.version(), 2);
+        let (t3, _) = t2.rebalance(&[MemberId(1), MemberId(2), MemberId(5)]);
+        assert_eq!(t3.version(), 3);
+    }
+
+    #[test]
+    fn single_member_cluster_survives_table_ops() {
+        let t = PartitionTable::assign(&members(1), 31, 1);
+        t.check_invariants().unwrap();
+        for p in 0..31 {
+            assert_eq!(t.replicas(PartitionId(p)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn migration_plan_is_empty_for_identical_tables() {
+        let t = PartitionTable::assign(&members(3), 31, 1);
+        assert!(t.plan_migrations(&t.clone()).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Consistent-hash ring for member → partition assignment.
+//!
+//! §4.3: "During the rebalancing phase, Jet minimizes data migration between
+//! the nodes employing consistent hashing." Each member projects a fixed
+//! number of virtual nodes onto a `u64` ring; a partition is owned by the
+//! first virtual node clockwise from the partition's hash. Adding or
+//! removing one member therefore only moves the partitions adjacent to that
+//! member's virtual nodes — the minimal-migration property the
+//! `partition_table` property tests assert.
+
+use crate::types::MemberId;
+use jet_util::seq;
+
+/// Virtual nodes per member. More vnodes → smoother balance, slower lookups.
+pub const DEFAULT_VNODES: u32 = 128;
+
+/// A consistent-hash ring over the current member set.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(position, member)` pairs.
+    points: Vec<(u64, MemberId)>,
+}
+
+impl HashRing {
+    /// Build a ring with `vnodes` virtual nodes per member.
+    pub fn new(members: &[MemberId], vnodes: u32) -> Self {
+        let mut points = Vec::with_capacity(members.len() * vnodes as usize);
+        // Salted double-mix so ring positions can never coincide with the
+        // partition hashes (`mix64(p)`) used to look them up — an exact
+        // collision would deterministically hand those partitions to one
+        // member.
+        const RING_SALT: u64 = 0xA076_1D64_78BD_642F;
+        for &m in members {
+            for v in 0..vnodes {
+                let pos = seq::mix64(seq::mix64(((m.0 as u64) << 32) | v as u64) ^ RING_SALT);
+                points.push((pos, m));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The member owning ring position `hash` (first point clockwise).
+    pub fn owner(&self, hash: u64) -> Option<MemberId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        Some(self.points[idx].1)
+    }
+
+    /// The first `n` *distinct* members clockwise from `hash` — the replica
+    /// chain (primary first, then backups).
+    pub fn replica_chain(&self, hash: u64, n: usize) -> Vec<MemberId> {
+        let mut out = Vec::with_capacity(n);
+        if self.points.is_empty() || n == 0 {
+            return out;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        for off in 0..self.points.len() {
+            let (_, m) = self.points[(start + off) % self.points.len()];
+            if !out.contains(&m) {
+                out.push(m);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct members present on the ring.
+    pub fn member_count(&self) -> usize {
+        let mut ms: Vec<MemberId> = self.points.iter().map(|&(_, m)| m).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u32) -> Vec<MemberId> {
+        (0..n).map(MemberId).collect()
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let r = HashRing::new(&[], DEFAULT_VNODES);
+        assert!(r.is_empty());
+        assert_eq!(r.owner(42), None);
+        assert!(r.replica_chain(42, 3).is_empty());
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let r = HashRing::new(&members(1), 8);
+        for h in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(r.owner(h), Some(MemberId(0)));
+        }
+    }
+
+    #[test]
+    fn replica_chain_has_distinct_members() {
+        let r = HashRing::new(&members(5), DEFAULT_VNODES);
+        for h in (0..1000u64).map(jet_util::seq::mix64) {
+            let chain = r.replica_chain(h, 3);
+            assert_eq!(chain.len(), 3);
+            let mut sorted = chain.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate member in chain {chain:?}");
+            assert_eq!(chain[0], r.owner(h).unwrap());
+        }
+    }
+
+    #[test]
+    fn chain_shorter_than_request_when_few_members() {
+        let r = HashRing::new(&members(2), 16);
+        assert_eq!(r.replica_chain(7, 5).len(), 2);
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let r = HashRing::new(&members(4), DEFAULT_VNODES);
+        let mut counts = [0u32; 4];
+        for h in (0..40_000u64).map(jet_util::seq::mix64) {
+            counts[r.owner(h).unwrap().0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((4_000..=20_000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_keys() {
+        let all = members(5);
+        let fewer: Vec<MemberId> = all.iter().copied().filter(|m| m.0 != 2).collect();
+        let r_all = HashRing::new(&all, DEFAULT_VNODES);
+        let r_fewer = HashRing::new(&fewer, DEFAULT_VNODES);
+        for h in (0..10_000u64).map(jet_util::seq::mix64) {
+            let before = r_all.owner(h).unwrap();
+            let after = r_fewer.owner(h).unwrap();
+            if before.0 != 2 {
+                assert_eq!(before, after, "key moved although its owner survived");
+            } else {
+                assert_ne!(after.0, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn member_count_reports_distinct() {
+        let r = HashRing::new(&members(7), 4);
+        assert_eq!(r.member_count(), 7);
+    }
+}

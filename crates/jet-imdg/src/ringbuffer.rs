@@ -1,0 +1,264 @@
+//! Distributed Ringbuffer — one of IMDG's core data structures the paper
+//! lists alongside Map and Queue (§1: "IMDG's data structures include Map,
+//! Queue, Ringbuffer, etc.").
+//!
+//! A ringbuffer is an append-only bounded log addressed by monotonically
+//! increasing sequence numbers: readers poll any retained range, which makes
+//! it a natural *replayable source* (§4.5) and the structure Hazelcast
+//! builds reliable topics on. Unlike the per-partition IMap event journal,
+//! a ringbuffer is a single totally-ordered log living in one partition
+//! (chosen by its name), replicated to backups like any other partition
+//! data.
+
+use crate::grid::{AnyMapSlice, Grid};
+use crate::types::{partition_for_key, GridError, PartitionId};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Storage slice holding one ringbuffer's log.
+struct RingSlice<T> {
+    items: VecDeque<T>,
+    head_seq: u64,
+    capacity: usize,
+}
+
+impl<T: Clone + Send + 'static> AnyMapSlice for RingSlice<T> {
+    fn clone_box(&self) -> Box<dyn AnyMapSlice> {
+        Box::new(RingSlice {
+            items: self.items.clone(),
+            head_seq: self.head_seq,
+            capacity: self.capacity,
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn entry_count(&self) -> usize {
+        self.items.len()
+    }
+
+    fn absorb(&mut self, other: &dyn AnyMapSlice) {
+        let other = other
+            .as_any()
+            .downcast_ref::<RingSlice<T>>()
+            .expect("absorb called with mismatched ringbuffer type");
+        // Adopt the longer log (migration/restore semantics).
+        if other.head_seq + other.items.len() as u64 > self.head_seq + self.items.len() as u64 {
+            self.items = other.items.clone();
+            self.head_seq = other.head_seq;
+        }
+    }
+}
+
+/// Handle to a named distributed ringbuffer. Cheap to clone.
+pub struct Ringbuffer<T> {
+    grid: Grid,
+    name: String,
+    capacity: usize,
+    partition: PartitionId,
+    _t: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T> Clone for Ringbuffer<T> {
+    fn clone(&self) -> Self {
+        Ringbuffer {
+            grid: self.grid.clone(),
+            name: self.name.clone(),
+            capacity: self.capacity,
+            partition: self.partition,
+            _t: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Default retention.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 14;
+
+impl<T: Clone + Send + 'static> Ringbuffer<T> {
+    pub fn new(grid: &Grid, name: &str) -> Self {
+        Self::with_capacity(grid, name, DEFAULT_RING_CAPACITY)
+    }
+
+    pub fn with_capacity(grid: &Grid, name: &str, capacity: usize) -> Self {
+        Ringbuffer {
+            grid: grid.clone(),
+            name: format!("__ring.{name}"),
+            capacity: capacity.max(1),
+            partition: partition_for_key(name, grid.partition_count()),
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    fn with_slice<R>(
+        &self,
+        node: &crate::grid::MemberNode,
+        f: impl FnOnce(&mut RingSlice<T>) -> R,
+    ) -> R {
+        let cap = self.capacity;
+        let mut store = node.partition(self.partition);
+        let slice = store.slice_mut(&self.name, || {
+            Box::new(RingSlice::<T> { items: VecDeque::new(), head_seq: 0, capacity: cap })
+        });
+        f(slice
+            .as_any_mut()
+            .downcast_mut::<RingSlice<T>>()
+            .expect("ringbuffer opened with mismatched type"))
+    }
+
+    /// Append an item, returning its sequence number. Replicated to backups.
+    pub fn add(&self, item: T) -> Result<u64, GridError> {
+        let replicas = self.grid.replica_nodes(self.partition);
+        if replicas.is_empty() {
+            return Err(GridError::NoMembers);
+        }
+        let mut seq = 0;
+        for (i, node) in replicas.iter().enumerate() {
+            let s = self.with_slice(node, |r| {
+                if r.items.len() == r.capacity {
+                    r.items.pop_front();
+                    r.head_seq += 1;
+                }
+                r.items.push_back(item.clone());
+                r.head_seq + r.items.len() as u64 - 1
+            });
+            if i == 0 {
+                seq = s;
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Earliest retained sequence.
+    pub fn head_sequence(&self) -> Result<u64, GridError> {
+        let node = self.grid.primary_node(self.partition)?;
+        Ok(self.with_slice(&node, |r| r.head_seq))
+    }
+
+    /// Sequence the next `add` will return.
+    pub fn tail_sequence(&self) -> Result<u64, GridError> {
+        let node = self.grid.primary_node(self.partition)?;
+        Ok(self.with_slice(&node, |r| r.head_seq + r.items.len() as u64))
+    }
+
+    /// Read up to `max` items starting at `from_seq` (clamped into the
+    /// retained range). Returns the items and the sequence to resume from.
+    pub fn read(&self, from_seq: u64, max: usize) -> Result<(Vec<T>, u64), GridError> {
+        let node = self.grid.primary_node(self.partition)?;
+        Ok(self.with_slice(&node, |r| {
+            let start = from_seq.max(r.head_seq);
+            let offset = (start - r.head_seq) as usize;
+            let out: Vec<T> =
+                r.items.iter().skip(offset).take(max).cloned().collect();
+            let next = start + out.len() as u64;
+            (out, next)
+        }))
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> Result<usize, GridError> {
+        let node = self.grid.primary_node(self.partition)?;
+        Ok(self.with_slice(&node, |r| r.items.len()))
+    }
+
+    pub fn is_empty(&self) -> Result<bool, GridError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MemberId;
+
+    fn grid() -> Grid {
+        Grid::with_partition_count(3, 1, 31)
+    }
+
+    #[test]
+    fn add_assigns_monotonic_sequences() {
+        let g = grid();
+        let ring: Ringbuffer<String> = Ringbuffer::new(&g, "events");
+        assert_eq!(ring.add("a".into()).unwrap(), 0);
+        assert_eq!(ring.add("b".into()).unwrap(), 1);
+        assert_eq!(ring.add("c".into()).unwrap(), 2);
+        assert_eq!(ring.head_sequence().unwrap(), 0);
+        assert_eq!(ring.tail_sequence().unwrap(), 3);
+        assert_eq!(ring.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn read_returns_range_and_resume_point() {
+        let g = grid();
+        let ring: Ringbuffer<u64> = Ringbuffer::new(&g, "r");
+        for i in 0..10 {
+            ring.add(i).unwrap();
+        }
+        let (items, next) = ring.read(3, 4).unwrap();
+        assert_eq!(items, vec![3, 4, 5, 6]);
+        assert_eq!(next, 7);
+        let (items, next) = ring.read(next, 100).unwrap();
+        assert_eq!(items, vec![7, 8, 9]);
+        assert_eq!(next, 10);
+        let (empty, next) = ring.read(10, 5).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_clamps_reads() {
+        let g = grid();
+        let ring: Ringbuffer<u64> = Ringbuffer::with_capacity(&g, "small", 4);
+        for i in 0..10 {
+            ring.add(i).unwrap();
+        }
+        assert_eq!(ring.head_sequence().unwrap(), 6);
+        assert_eq!(ring.len().unwrap(), 4);
+        // A reader asking for an expired range is fast-forwarded.
+        let (items, next) = ring.read(0, 100).unwrap();
+        assert_eq!(items, vec![6, 7, 8, 9]);
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn ring_survives_member_failure() {
+        let g = grid();
+        let ring: Ringbuffer<u64> = Ringbuffer::new(&g, "durable");
+        for i in 0..100 {
+            ring.add(i).unwrap();
+        }
+        // Kill the primary owner of the ring's partition.
+        let owner = g.table().primary(ring.partition).unwrap();
+        g.kill_member(owner).unwrap();
+        let (items, _) = ring.read(0, 1000).unwrap();
+        assert_eq!(items.len(), 100, "ringbuffer lost entries on failover");
+        assert_eq!(items[99], 99);
+        assert_eq!(ring.tail_sequence().unwrap(), 100);
+    }
+
+    #[test]
+    fn two_rings_are_independent() {
+        let g = grid();
+        let a: Ringbuffer<u64> = Ringbuffer::new(&g, "a");
+        let b: Ringbuffer<u64> = Ringbuffer::new(&g, "b");
+        a.add(1).unwrap();
+        b.add(2).unwrap();
+        b.add(3).unwrap();
+        assert_eq!(a.len().unwrap(), 1);
+        assert_eq!(b.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn dead_grid_reports_no_members() {
+        let g = Grid::with_partition_count(1, 0, 7);
+        let ring: Ringbuffer<u64> = Ringbuffer::new(&g, "r");
+        ring.add(1).unwrap();
+        g.kill_member(MemberId(0)).unwrap();
+        assert!(ring.add(2).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Job snapshot storage over the grid (paper §2.4, §4.4).
+//!
+//! "Unlike most streaming systems that store their snapshots in stable
+//! object storage like Amazon's S3, Jet uses IMDG for storing snapshots in a
+//! partitioned and replicated manner."
+//!
+//! A snapshot is a bag of `(vertex, state-key) → state-bytes` records plus a
+//! completion marker. Like Jet, we keep the records in an `IMap` keyed so
+//! that they partition by the *state key*, aligning snapshot data placement
+//! with processing placement. Two generations are retained (the map is keyed
+//! by snapshot id), and a snapshot only counts once its completion marker —
+//! written after every processor acked — is present.
+
+use crate::grid::Grid;
+use crate::imap::IMap;
+use crate::types::MemberId;
+
+/// Key of one snapshot record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SnapshotKey {
+    pub snapshot_id: u64,
+    pub vertex: String,
+    /// Serialized state key; partitioning uses this component so state lands
+    /// with its processing partition.
+    pub key: Vec<u8>,
+}
+
+/// Snapshot storage for one job.
+#[derive(Clone)]
+pub struct SnapshotStore {
+    records: IMap<SnapshotKey, Vec<u8>>,
+    /// snapshot id → (completion marker, source offsets blob)
+    markers: IMap<u64, Vec<u8>>,
+}
+
+impl SnapshotStore {
+    pub fn new(grid: &Grid, job_id: u64) -> Self {
+        SnapshotStore {
+            records: IMap::new(grid, &format!("__jet.snapshot.{job_id}.records")),
+            markers: IMap::new(grid, &format!("__jet.snapshot.{job_id}.markers")),
+        }
+    }
+
+    /// Write one state record into snapshot `snapshot_id`.
+    pub fn write(&self, snapshot_id: u64, vertex: &str, key: Vec<u8>, value: Vec<u8>) {
+        self.records.put(
+            SnapshotKey { snapshot_id, vertex: vertex.to_string(), key },
+            value,
+        );
+    }
+
+    /// Mark `snapshot_id` complete, storing the serialized source offsets
+    /// alongside (they are what recovery replays from, §4.5).
+    pub fn mark_complete(&self, snapshot_id: u64, offsets: Vec<u8>) {
+        self.markers.put(snapshot_id, offsets);
+        // Garbage-collect snapshots older than the previous one: Jet keeps
+        // the current and one prior generation.
+        let keep_from = snapshot_id.saturating_sub(1);
+        let stale: Vec<SnapshotKey> = self
+            .records
+            .values_where(|k, _| k.snapshot_id < keep_from)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for k in stale {
+            self.records.remove(&k);
+        }
+        let stale_markers: Vec<u64> = self
+            .markers
+            .values_where(|&id, _| id < keep_from)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for id in stale_markers {
+            self.markers.remove(&id);
+        }
+    }
+
+    /// Highest complete snapshot id, if any.
+    pub fn latest_complete(&self) -> Option<u64> {
+        self.markers.entries().into_iter().map(|(id, _)| id).max()
+    }
+
+    /// The source-offsets blob stored with a complete snapshot.
+    pub fn offsets_of(&self, snapshot_id: u64) -> Option<Vec<u8>> {
+        self.markers.get(&snapshot_id)
+    }
+
+    /// All state records of `vertex` in snapshot `snapshot_id`.
+    pub fn read_vertex(&self, snapshot_id: u64, vertex: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.records
+            .values_where(|k, _| k.snapshot_id == snapshot_id && k.vertex == vertex)
+            .into_iter()
+            .map(|(k, v)| (k.key, v))
+            .collect()
+    }
+
+    /// Number of records in one snapshot generation (diagnostics/tests).
+    pub fn record_count(&self, snapshot_id: u64) -> usize {
+        self.records
+            .values_where(|k, _| k.snapshot_id == snapshot_id)
+            .len()
+    }
+
+    /// Drop all snapshot data for the job.
+    pub fn clear(&self) {
+        self.records.clear();
+        self.markers.clear();
+    }
+
+    /// Verify the store survives the loss of `member` (used by recovery
+    /// tests): data must be readable after a kill.
+    pub fn survives_kill_of(&self, grid: &Grid, member: MemberId) -> bool {
+        let before = self.records.len();
+        let _ = grid.kill_member(member);
+        self.records.len() == before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (Grid, SnapshotStore) {
+        let g = Grid::with_partition_count(3, 1, 31);
+        let s = SnapshotStore::new(&g, 7);
+        (g, s)
+    }
+
+    #[test]
+    fn write_and_read_back_by_vertex() {
+        let (_g, s) = store();
+        s.write(1, "agg", b"k1".to_vec(), b"v1".to_vec());
+        s.write(1, "agg", b"k2".to_vec(), b"v2".to_vec());
+        s.write(1, "other", b"k1".to_vec(), b"x".to_vec());
+        let mut recs = s.read_vertex(1, "agg");
+        recs.sort();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], (b"k1".to_vec(), b"v1".to_vec()));
+        assert_eq!(s.read_vertex(1, "other").len(), 1);
+        assert_eq!(s.read_vertex(2, "agg").len(), 0);
+    }
+
+    #[test]
+    fn completion_markers_and_latest() {
+        let (_g, s) = store();
+        assert_eq!(s.latest_complete(), None);
+        s.mark_complete(1, b"off1".to_vec());
+        s.mark_complete(2, b"off2".to_vec());
+        assert_eq!(s.latest_complete(), Some(2));
+        assert_eq!(s.offsets_of(2), Some(b"off2".to_vec()));
+    }
+
+    #[test]
+    fn old_generations_are_garbage_collected() {
+        let (_g, s) = store();
+        for id in 1..=4u64 {
+            s.write(id, "v", b"k".to_vec(), vec![id as u8]);
+            s.mark_complete(id, vec![]);
+        }
+        // After snapshot 4 completes, snapshots < 3 are gone.
+        assert_eq!(s.record_count(1), 0);
+        assert_eq!(s.record_count(2), 0);
+        assert_eq!(s.record_count(3), 1);
+        assert_eq!(s.record_count(4), 1);
+        assert_eq!(s.latest_complete(), Some(4));
+    }
+
+    #[test]
+    fn snapshot_survives_member_failure() {
+        let (g, s) = store();
+        for i in 0..100u64 {
+            s.write(1, "agg", i.to_le_bytes().to_vec(), vec![1]);
+        }
+        s.mark_complete(1, b"offs".to_vec());
+        assert!(s.survives_kill_of(&g, MemberId(1)));
+        assert_eq!(s.latest_complete(), Some(1));
+        assert_eq!(s.read_vertex(1, "agg").len(), 100);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let (_g, s) = store();
+        s.write(1, "v", b"k".to_vec(), b"v".to_vec());
+        s.mark_complete(1, vec![]);
+        s.clear();
+        assert_eq!(s.latest_complete(), None);
+        assert_eq!(s.record_count(1), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Identifier newtypes and grid-wide constants.
+
+use jet_util::seq;
+
+/// Hazelcast's default partition count — a prime, so keys spread evenly even
+/// for pathological hash distributions.
+pub const DEFAULT_PARTITION_COUNT: u32 = 271;
+
+/// Identity of a cluster member (a "node"). Monotonically assigned by the
+/// grid; never reused, so a rejoined machine is a *new* member, as in
+/// Hazelcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemberId(pub u32);
+
+impl std::fmt::Display for MemberId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Index of a data partition in `0..partition_count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Route a key hash to its partition. All routing in the engine and the grid
+/// goes through this single function so they can never disagree (the paper's
+/// locality argument depends on Jet and IMDG partitioning *aligning*).
+#[inline]
+pub fn partition_for_hash(hash: u64, partition_count: u32) -> PartitionId {
+    PartitionId(seq::bucket_of(hash, partition_count))
+}
+
+/// Route a hashable key to its partition.
+#[inline]
+pub fn partition_for_key<K: std::hash::Hash + ?Sized>(key: &K, partition_count: u32) -> PartitionId {
+    partition_for_hash(seq::hash_of(key), partition_count)
+}
+
+/// Errors surfaced by grid operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The addressed member has left the cluster or was killed.
+    MemberDown(MemberId),
+    /// The cluster has no live members.
+    NoMembers,
+    /// A typed map handle was opened with a different type than the map was
+    /// created with.
+    TypeMismatch { map: String },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::MemberDown(m) => write!(f, "member {m} is down"),
+            GridError::NoMembers => write!(f, "cluster has no live members"),
+            GridError::TypeMismatch { map } => write!(f, "map '{map}' opened with wrong types"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_routing_is_stable_and_in_range() {
+        for key in 0..10_000u64 {
+            let p = partition_for_key(&key, DEFAULT_PARTITION_COUNT);
+            assert!(p.0 < DEFAULT_PARTITION_COUNT);
+            assert_eq!(p, partition_for_key(&key, DEFAULT_PARTITION_COUNT));
+        }
+    }
+
+    #[test]
+    fn string_and_int_keys_route_consistently() {
+        let p1 = partition_for_key("user-42", 271);
+        let p2 = partition_for_key("user-42", 271);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MemberId(3).to_string(), "m3");
+        assert_eq!(PartitionId(17).to_string(), "p17");
+        assert_eq!(GridError::MemberDown(MemberId(1)).to_string(), "member m1 is down");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests over the partition table and grid reconfiguration paths.
+//!
+//! These check the invariants the paper's recovery story (Fig. 6) rests on:
+//! replica chains stay duplicate-free and fully redundant through arbitrary
+//! sequences of joins, kills, and graceful shutdowns, and data written
+//! before a (survivable) failure remains readable after it.
+
+use jet_imdg::grid::Grid;
+use jet_imdg::imap::IMap;
+use jet_imdg::partition_table::PartitionTable;
+use jet_imdg::types::MemberId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum ClusterOp {
+    Add,
+    Kill(usize),
+    Shutdown(usize),
+    Put(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = ClusterOp> {
+    prop_oneof![
+        2 => Just(ClusterOp::Add),
+        2 => (0usize..16).prop_map(ClusterOp::Kill),
+        2 => (0usize..16).prop_map(ClusterOp::Shutdown),
+        6 => (0u64..500, 0u64..1000).prop_map(|(k, v)| ClusterOp::Put(k, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn table_invariants_hold_through_membership_churn(
+        initial in 1u32..6,
+        ops in proptest::collection::vec(op_strategy(), 1..25),
+    ) {
+        let g = Grid::with_partition_count(initial as usize, 1, 31);
+        let mut model = std::collections::HashMap::<u64, u64>::new();
+        let map: IMap<u64, u64> = IMap::new(&g, "pt");
+        for op in ops {
+            let members = g.members();
+            match op {
+                ClusterOp::Add => {
+                    g.add_member();
+                }
+                ClusterOp::Kill(i) => {
+                    // Keep at least 2 members so a single backup always
+                    // protects the data (kill with 1 member drops the data
+                    // legitimately — not what we assert here).
+                    if members.len() >= 3 {
+                        g.kill_member(members[i % members.len()]).unwrap();
+                    }
+                }
+                ClusterOp::Shutdown(i) => {
+                    if members.len() >= 2 {
+                        g.shutdown_member(members[i % members.len()]).unwrap();
+                    }
+                }
+                ClusterOp::Put(k, v) => {
+                    map.put(k, v);
+                    model.insert(k, v);
+                }
+            }
+            g.table().check_invariants().unwrap();
+            // Every partition has a live primary.
+            let table = g.table();
+            let live = g.members();
+            for p in 0..table.partition_count() {
+                let pid = jet_imdg::types::PartitionId(p);
+                let primary = table.primary(pid).unwrap();
+                prop_assert!(live.contains(&primary), "dead primary for {pid}");
+                for b in table.backups(pid) {
+                    prop_assert!(live.contains(b), "dead backup for {pid}");
+                }
+            }
+        }
+        // All surviving data matches the model (churn was survivable).
+        for (k, v) in &model {
+            prop_assert_eq!(map.get(k), Some(*v), "key {} diverged", k);
+        }
+        prop_assert_eq!(map.len(), model.len());
+    }
+
+    #[test]
+    fn rebalance_migration_count_is_near_optimal(
+        start in 2u32..8,
+    ) {
+        // Adding one member to an n-member cluster should migrate about
+        // replicas/(n+1) partitions, and certainly under 2x that.
+        let members: Vec<MemberId> = (0..start).map(MemberId).collect();
+        let t = PartitionTable::assign(&members, 271, 1);
+        let mut grown = members.clone();
+        grown.push(MemberId(100));
+        let (t2, migrations) = t.rebalance(&grown);
+        t2.check_invariants().unwrap();
+        let total_replicas = 271usize * 2;
+        let fair_share = total_replicas / (start as usize + 1);
+        prop_assert!(
+            migrations.len() <= fair_share * 3,
+            "{} migrations for fair share {}",
+            migrations.len(),
+            fair_share
+        );
+    }
+}

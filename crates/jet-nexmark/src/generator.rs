@@ -1,0 +1,164 @@
+//! Deterministic NEXMark event generator.
+//!
+//! Follows the Beam suite's proportions (1 person : 3 auctions : 46 bids per
+//! 50 events) and the paper's key-space configuration: "we define 10
+//! thousand distinct keys that correspond to persons and auctions; we
+//! generate 1M records per second, by drawing keys randomly" (§7.1).
+//!
+//! Everything is a pure function of the event's global sequence number, so
+//! any source instance can produce any slice of the stream without
+//! coordination, and replays after recovery are bit-identical.
+
+use crate::model::{Auction, Bid, Event, Person};
+use jet_core::Ts;
+use jet_util::seq::mix64;
+
+/// Events per proportion period.
+const PERIOD: u64 = 50;
+/// Persons per period.
+const PERSON_SLOTS: u64 = 1;
+/// Auctions per period.
+const AUCTION_SLOTS: u64 = 3;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct NexmarkConfig {
+    /// Number of distinct person ids ("hot" key space).
+    pub people: u64,
+    /// Number of distinct auction ids.
+    pub auctions: u64,
+    /// Number of auction categories (Q4).
+    pub categories: u64,
+    /// Auction lifetime in event-time nanos (Q4/Q8 semantics).
+    pub auction_duration: Ts,
+    /// Seed mixed into every draw.
+    pub seed: u64,
+}
+
+impl Default for NexmarkConfig {
+    fn default() -> Self {
+        // Paper: 10k distinct keys for persons and auctions.
+        NexmarkConfig {
+            people: 10_000,
+            auctions: 10_000,
+            categories: 10,
+            auction_duration: 10_000_000_000, // 10 s
+            seed: 0x4E58_4D41_524B,           // "NXMARK"
+        }
+    }
+}
+
+/// US states used by Q3's filter plus filler.
+const STATES: [&str; 6] = ["OR", "ID", "CA", "WA", "NY", "TX"];
+const CITIES: [&str; 6] = ["Portland", "Boise", "San Jose", "Seattle", "NYC", "Austin"];
+
+impl NexmarkConfig {
+    /// Deterministically build event `seq` with timestamp `ts`.
+    pub fn event(&self, seq: u64, ts: Ts) -> Event {
+        let slot = seq % PERIOD;
+        let r = mix64(seq ^ self.seed);
+        if slot < PERSON_SLOTS {
+            let id = r % self.people;
+            Event::Person(Person {
+                id,
+                name: format!("person-{id}"),
+                state: STATES[(r >> 8) as usize % STATES.len()].to_string(),
+                city: CITIES[(r >> 16) as usize % CITIES.len()].to_string(),
+                ts,
+            })
+        } else if slot < PERSON_SLOTS + AUCTION_SLOTS {
+            let id = r % self.auctions;
+            Event::Auction(Auction {
+                id,
+                seller: mix64(r) % self.people,
+                category: (r >> 24) % self.categories,
+                initial_bid: ((r >> 32) % 1_000) as i64 + 1,
+                expires: ts + self.auction_duration,
+                ts,
+            })
+        } else {
+            Event::Bid(Bid {
+                auction: r % self.auctions,
+                bidder: mix64(r ^ 0xB1D) % self.people,
+                price: ((r >> 20) % 10_000) as i64 + 100,
+                ts,
+            })
+        }
+    }
+
+    /// The share of generated events that are bids (46/50 in the standard
+    /// proportions) — used to convert a desired bid rate into an event rate.
+    pub fn bid_fraction(&self) -> f64 {
+        (PERIOD - PERSON_SLOTS - AUCTION_SLOTS) as f64 / PERIOD as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = NexmarkConfig::default();
+        for seq in 0..1000 {
+            assert_eq!(cfg.event(seq, seq as Ts), cfg.event(seq, seq as Ts));
+        }
+    }
+
+    #[test]
+    fn proportions_match_beam_defaults() {
+        let cfg = NexmarkConfig::default();
+        let mut people = 0;
+        let mut auctions = 0;
+        let mut bids = 0;
+        for seq in 0..5_000 {
+            match cfg.event(seq, 0) {
+                Event::Person(_) => people += 1,
+                Event::Auction(_) => auctions += 1,
+                Event::Bid(_) => bids += 1,
+            }
+        }
+        assert_eq!(people, 100);
+        assert_eq!(auctions, 300);
+        assert_eq!(bids, 4_600);
+        assert!((cfg.bid_fraction() - 0.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_stay_in_configured_space() {
+        let cfg = NexmarkConfig { people: 100, auctions: 50, ..Default::default() };
+        for seq in 0..10_000 {
+            match cfg.event(seq, 0) {
+                Event::Person(p) => assert!(p.id < 100),
+                Event::Auction(a) => {
+                    assert!(a.id < 50);
+                    assert!(a.seller < 100);
+                    assert!(a.category < 10);
+                }
+                Event::Bid(b) => {
+                    assert!(b.auction < 50);
+                    assert!(b.bidder < 100);
+                    assert!(b.price >= 100);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NexmarkConfig { seed: 1, ..Default::default() };
+        let b = NexmarkConfig { seed: 2, ..Default::default() };
+        let same = (0..100).filter(|&s| a.event(s, 0) == b.event(s, 0)).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn auction_expiry_follows_duration() {
+        let cfg = NexmarkConfig::default();
+        for seq in 0..200 {
+            if let Event::Auction(a) = cfg.event(seq, 1_000) {
+                assert_eq!(a.expires, 1_000 + cfg.auction_duration);
+            }
+        }
+    }
+}

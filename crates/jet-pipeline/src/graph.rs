@@ -1,0 +1,225 @@
+//! The untyped pipeline graph and its compiler to a Core-API [`Dag`].
+//!
+//! The typed stage handles in [`crate::stages`] record nodes here; `compile`
+//! then performs the planning the paper describes in §3.1:
+//!
+//! * **operator fusion**: maximal chains of stateless transforms connected
+//!   by forward edges with a single consumer collapse into one fused
+//!   [`TransformP`] vertex (Fig. 2);
+//! * **edge selection**: keyed stages get partitioned edges, join build
+//!   sides get broadcast high-priority edges, everything else forwards
+//!   locally (unicast).
+
+use jet_core::dag::{Dag, Edge, KeyHashFn, VertexId};
+use jet_core::processor::ProcessorSupplier;
+use jet_core::processors::transform::{Stage, TransformP};
+use jet_core::supplier;
+use std::sync::Arc;
+
+/// Factory producing a vertex's processor supplier once the vertex's
+/// parallelism is known (sources need it to split their input).
+pub type NodeFactory = Arc<dyn Fn(usize) -> ProcessorSupplier + Send + Sync>;
+
+/// How an input edge of a node must be wired.
+#[derive(Clone)]
+pub enum EdgeSpec {
+    /// Local unicast (round-robin) — the default.
+    Forward,
+    /// Isolated: producer instance i → consumer instance i.
+    Isolated,
+    /// Partition by key hash (keyed aggregation input).
+    Partitioned(KeyHashFn),
+    /// Broadcast with an edge priority (hash-join build side: priority -1).
+    Broadcast { priority: i32 },
+}
+
+pub(crate) struct PInput {
+    pub from: usize,
+    pub spec: EdgeSpec,
+}
+
+pub(crate) enum PNodeKind {
+    /// Fusable stateless transform stage.
+    Transform(Stage),
+    /// Anything else: source, window, join, sink, stateful map.
+    Opaque(NodeFactory),
+}
+
+pub(crate) struct PNode {
+    pub name: String,
+    pub kind: PNodeKind,
+    pub inputs: Vec<PInput>,
+    pub local_parallelism: Option<usize>,
+    /// Set for streaming sources (diagnostics only).
+    pub is_source: bool,
+}
+
+/// The mutable pipeline under construction. Typed stage handles share it.
+#[derive(Default)]
+pub struct PipelineGraph {
+    pub(crate) nodes: Vec<PNode>,
+}
+
+impl PipelineGraph {
+    pub(crate) fn add_node(
+        &mut self,
+        name: String,
+        kind: PNodeKind,
+        inputs: Vec<PInput>,
+        is_source: bool,
+    ) -> usize {
+        self.nodes.push(PNode { name, kind, inputs, local_parallelism: None, is_source });
+        self.nodes.len() - 1
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of source stages (diagnostics).
+    pub fn source_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_source).count()
+    }
+
+    fn consumers_of(&self, node: usize) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].inputs.iter().any(|i| i.from == node))
+            .collect()
+    }
+
+    /// Compile to a Core DAG. `default_lp` is the parallelism used where a
+    /// stage didn't pin one (sources capture it to split their data).
+    pub fn compile(&self, default_lp: usize) -> Result<Dag, String> {
+        assert!(default_lp > 0);
+        // 1. Identify fusion chains: a Transform node whose single input is
+        //    a Forward edge from a Transform with exactly one consumer is
+        //    absorbed into its upstream's chain.
+        let n = self.nodes.len();
+        let mut chain_head: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            let node = &self.nodes[i];
+            if let PNodeKind::Transform(_) = node.kind {
+                if node.inputs.len() == 1 && matches!(node.inputs[0].spec, EdgeSpec::Forward) {
+                    let up = node.inputs[0].from;
+                    if matches!(self.nodes[up].kind, PNodeKind::Transform(_))
+                        && self.consumers_of(up).len() == 1
+                        && self.nodes[up].local_parallelism == node.local_parallelism
+                    {
+                        chain_head[i] = chain_head[up];
+                    }
+                }
+            }
+        }
+        // 2. Build vertices for chain heads / opaque nodes.
+        let mut dag = Dag::new();
+        let mut vertex_of: Vec<Option<VertexId>> = vec![None; n];
+        for i in 0..n {
+            if chain_head[i] != i {
+                continue; // fused into its head
+            }
+            let node = &self.nodes[i];
+            let lp = node.local_parallelism.unwrap_or(default_lp);
+            let sup: ProcessorSupplier = match &node.kind {
+                PNodeKind::Opaque(factory) => factory(lp),
+                PNodeKind::Transform(_) => {
+                    // Collect the full fused chain rooted at i, in order
+                    // (nodes are topologically ordered by construction: an
+                    // input always has a smaller index, so a linear scan
+                    // finds chain members in order).
+                    let mut stages: Vec<Stage> = Vec::new();
+                    for j in i..n {
+                        if chain_head[j] == i {
+                            if let PNodeKind::Transform(s) = &self.nodes[j].kind {
+                                stages.push(s.clone());
+                            }
+                        }
+                    }
+                    let stages = Arc::new(stages);
+                    supplier(move |_| Box::new(TransformP::new(stages.as_ref().clone())))
+                }
+            };
+            let name = node.name.clone();
+            let v = dag.vertex_with_parallelism(name, lp, sup);
+            vertex_of[i] = Some(v);
+        }
+        // Tail nodes of fused chains map to their head's vertex.
+        for i in 0..n {
+            if chain_head[i] != i {
+                vertex_of[i] = vertex_of[chain_head[i]];
+            }
+        }
+        // 3. Collect the edges between chain heads. Fused tails' inputs are
+        //    the intra-chain links — dropped, which is the point of fusion.
+        struct PlannedEdge {
+            from: VertexId,
+            to: VertexId,
+            ordinal: usize,
+            spec: EdgeSpec,
+        }
+        let mut planned: Vec<PlannedEdge> = Vec::new();
+        for i in 0..n {
+            if chain_head[i] != i {
+                continue;
+            }
+            let to = vertex_of[i].expect("vertex built");
+            for (ordinal, input) in self.nodes[i].inputs.iter().enumerate() {
+                planned.push(PlannedEdge {
+                    from: vertex_of[input.from].expect("vertex built"),
+                    to,
+                    ordinal,
+                    spec: input.spec.clone(),
+                });
+            }
+        }
+        // 4. Fan-out: ordinary processors emit to out-ordinal 0 only, so a
+        //    producer with several consumers gets an explicit FanOutP vertex
+        //    that replicates events to all of its out edges.
+        use std::collections::HashMap;
+        let mut out_count: HashMap<VertexId, usize> = HashMap::new();
+        for e in &planned {
+            *out_count.entry(e.from).or_insert(0) += 1;
+        }
+        let mut fanout_of: HashMap<VertexId, VertexId> = HashMap::new();
+        for (&v, &count) in &out_count {
+            if count > 1 {
+                let lp = dag.vertices()[v]
+                    .local_parallelism
+                    .unwrap_or(default_lp);
+                let name = format!("{}-fanout", dag.vertices()[v].name);
+                let f = dag.vertex_with_parallelism(
+                    name,
+                    lp,
+                    supplier(|_| Box::new(jet_core::processors::FanOutP)),
+                );
+                fanout_of.insert(v, f);
+            }
+        }
+        // 5. Materialize edges, rerouting multi-consumer producers through
+        //    their fan-out vertex.
+        let mut from_ordinal_next: HashMap<VertexId, usize> = HashMap::new();
+        for (&v, &f) in &fanout_of {
+            dag.edge(Edge::between(v, f).isolated());
+        }
+        for pe in planned {
+            let from = fanout_of.get(&pe.from).copied().unwrap_or(pe.from);
+            let from_ordinal = {
+                let slot = from_ordinal_next.entry(from).or_insert(0);
+                let o = *slot;
+                *slot += 1;
+                o
+            };
+            let mut e = Edge::between(from, pe.to)
+                .from_ordinal(from_ordinal)
+                .to_ordinal(pe.ordinal);
+            e = match &pe.spec {
+                EdgeSpec::Forward => e,
+                EdgeSpec::Isolated => e.isolated(),
+                EdgeSpec::Partitioned(f) => e.partitioned_raw(f.clone()),
+                EdgeSpec::Broadcast { priority } => e.broadcast().priority(*priority),
+            };
+            dag.edge(e);
+        }
+        dag.validate()?;
+        Ok(dag)
+    }
+}

@@ -1,0 +1,249 @@
+//! Jet's `ConcurrentConveyor`: N producers → 1 consumer via N SPSC queues.
+//!
+//! Each upstream tasklet gets its own SPSC queue into the consumer, so the
+//! whole structure stays wait-free — there is no multi-producer contention
+//! point. The consumer drains the queues round-robin, and can mark individual
+//! queues *muted*: a muted queue is skipped by `drain`, which is the
+//! primitive the exactly-once barrier alignment builds on (paper §4.4 — an
+//! input channel that already delivered the current checkpoint barrier must
+//! block until the rest catch up).
+
+use crate::spsc::{spsc_channel, Consumer, Producer};
+
+/// Consumer-side view over the per-producer queues.
+pub struct Conveyor<T> {
+    queues: Vec<Consumer<T>>,
+    muted: Vec<bool>,
+    /// Round-robin start position so one busy queue cannot starve the rest.
+    next: usize,
+}
+
+impl<T> Conveyor<T> {
+    /// Build a conveyor with `producers` input lanes of `capacity` each.
+    /// Returns the conveyor and one [`Producer`] handle per lane.
+    pub fn new(producers: usize, capacity: usize) -> (Self, Vec<Producer<T>>) {
+        assert!(producers > 0, "conveyor needs at least one lane");
+        let mut queues = Vec::with_capacity(producers);
+        let mut handles = Vec::with_capacity(producers);
+        for _ in 0..producers {
+            let (p, c) = spsc_channel(capacity);
+            queues.push(c);
+            handles.push(p);
+        }
+        let muted = vec![false; producers];
+        (Conveyor { queues, muted, next: 0 }, handles)
+    }
+
+    /// Number of input lanes.
+    pub fn lane_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Mute a lane: `drain` and `poll_any` will skip it until unmuted.
+    pub fn mute(&mut self, lane: usize) {
+        self.muted[lane] = true;
+    }
+
+    pub fn unmute(&mut self, lane: usize) {
+        self.muted[lane] = false;
+    }
+
+    pub fn unmute_all(&mut self) {
+        self.muted.iter_mut().for_each(|m| *m = false);
+    }
+
+    pub fn is_muted(&self, lane: usize) -> bool {
+        self.muted[lane]
+    }
+
+    /// Are all lanes muted? (During barrier alignment this means the barrier
+    /// has arrived on every input and the snapshot can proceed.)
+    pub fn all_muted(&self) -> bool {
+        self.muted.iter().all(|&m| m)
+    }
+
+    /// Poll one item from lane `lane` regardless of mute state.
+    pub fn poll_lane(&self, lane: usize) -> Option<T> {
+        self.queues[lane].poll()
+    }
+
+    /// Peek lane `lane`'s head item.
+    pub fn peek_lane(&self, lane: usize) -> Option<&T> {
+        self.queues[lane].peek()
+    }
+
+    /// Poll the next item from any unmuted lane, fair round-robin. Returns
+    /// `(lane, item)`.
+    pub fn poll_any(&mut self) -> Option<(usize, T)> {
+        let n = self.queues.len();
+        for off in 0..n {
+            let lane = (self.next + off) % n;
+            if self.muted[lane] {
+                continue;
+            }
+            if let Some(item) = self.queues[lane].poll() {
+                self.next = (lane + 1) % n;
+                return Some((lane, item));
+            }
+        }
+        None
+    }
+
+    /// Drain up to `max` items from unmuted lanes into `sink`, tagging each
+    /// with its lane. Round-robin across lanes in batches.
+    pub fn drain(&mut self, sink: &mut Vec<(usize, T)>, max: usize) -> usize {
+        let mut moved = 0;
+        while moved < max {
+            match self.poll_any() {
+                Some(pair) => {
+                    sink.push(pair);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
+    }
+
+    /// Total queued items across all lanes (approximate).
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Queued items on one lane.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.queues[lane].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair_across_lanes() {
+        let (mut conv, producers) = Conveyor::<u32>::new(3, 8);
+        for (lane, p) in producers.iter().enumerate() {
+            for i in 0..3 {
+                p.offer((lane as u32) * 10 + i).unwrap();
+            }
+        }
+        let mut sink = Vec::new();
+        conv.drain(&mut sink, 9);
+        // First three polls must come from three distinct lanes.
+        let first_lanes: Vec<usize> = sink.iter().take(3).map(|(l, _)| *l).collect();
+        let mut sorted = first_lanes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "lanes not interleaved: {first_lanes:?}");
+        assert_eq!(sink.len(), 9);
+    }
+
+    #[test]
+    fn muted_lane_is_skipped_until_unmuted() {
+        let (mut conv, producers) = Conveyor::<u32>::new(2, 8);
+        producers[0].offer(100).unwrap();
+        producers[1].offer(200).unwrap();
+        conv.mute(0);
+        assert_eq!(conv.poll_any(), Some((1, 200)));
+        assert_eq!(conv.poll_any(), None);
+        conv.unmute(0);
+        assert_eq!(conv.poll_any(), Some((0, 100)));
+    }
+
+    #[test]
+    fn all_muted_detection() {
+        let (mut conv, _producers) = Conveyor::<u32>::new(2, 8);
+        assert!(!conv.all_muted());
+        conv.mute(0);
+        assert!(!conv.all_muted());
+        conv.mute(1);
+        assert!(conv.all_muted());
+        conv.unmute_all();
+        assert!(!conv.all_muted());
+    }
+
+    #[test]
+    fn poll_lane_ignores_mute() {
+        let (mut conv, producers) = Conveyor::<u32>::new(1, 8);
+        producers[0].offer(7).unwrap();
+        conv.mute(0);
+        assert_eq!(conv.poll_lane(0), Some(7));
+    }
+
+    #[test]
+    fn per_lane_order_is_preserved() {
+        let (mut conv, producers) = Conveyor::<u32>::new(2, 64);
+        for i in 0..20 {
+            producers[0].offer(i).unwrap();
+            producers[1].offer(100 + i).unwrap();
+        }
+        let mut sink = Vec::new();
+        conv.drain(&mut sink, usize::MAX - 1);
+        let lane0: Vec<u32> = sink.iter().filter(|(l, _)| *l == 0).map(|(_, v)| *v).collect();
+        let lane1: Vec<u32> = sink.iter().filter(|(l, _)| *l == 1).map(|(_, v)| *v).collect();
+        assert_eq!(lane0, (0..20).collect::<Vec<_>>());
+        assert_eq!(lane1, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_sums_lanes() {
+        let (conv, producers) = Conveyor::<u32>::new(3, 8);
+        producers[0].offer(1).unwrap();
+        producers[2].offer(2).unwrap();
+        producers[2].offer(3).unwrap();
+        assert_eq!(conv.len(), 3);
+        assert_eq!(conv.lane_len(0), 1);
+        assert_eq!(conv.lane_len(1), 0);
+        assert_eq!(conv.lane_len(2), 2);
+        assert!(!conv.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_all_delivered() {
+        let (mut conv, producers) = Conveyor::<u64>::new(4, 64);
+        const PER_LANE: u64 = 50_000;
+        let joins: Vec<_> = producers
+            .into_iter()
+            .enumerate()
+            .map(|(lane, p)| {
+                std::thread::spawn(move || {
+                    for i in 0..PER_LANE {
+                        let mut v = (lane as u64) << 32 | i;
+                        loop {
+                            match p.offer(v) {
+                                Ok(()) => break,
+                                Err(b) => {
+                                    v = b;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut received = 0u64;
+        let mut last_per_lane = [None::<u64>; 4];
+        while received < PER_LANE * 4 {
+            if let Some((lane, v)) = conv.poll_any() {
+                let seq = v & 0xFFFF_FFFF;
+                assert_eq!((v >> 32) as usize, lane);
+                if let Some(prev) = last_per_lane[lane] {
+                    assert_eq!(seq, prev + 1, "lane {lane} out of order");
+                }
+                last_per_lane[lane] = Some(seq);
+                received += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(conv.is_empty());
+    }
+}

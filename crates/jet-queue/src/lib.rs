@@ -1,0 +1,20 @@
+//! Wait-free queues for tasklet-to-tasklet data exchange (paper §3.2).
+//!
+//! "Tasklets within the same node exchange data through shared-memory,
+//! single-producer-single-consumer queues that use wait-free algorithms."
+//!
+//! * [`spsc`] — a bounded, wait-free SPSC ring queue in the style of the
+//!   one-to-one concurrent array queues Jet uses. Producer and consumer each
+//!   own a cache-padded position counter and keep a cached copy of the
+//!   other's to avoid cache-line ping-pong on the fast path.
+//! * [`conveyor`] — Jet's `ConcurrentConveyor`: a bundle of SPSC queues, one
+//!   per upstream producer, drained by a single consumer. The consumer can
+//!   drain queues selectively, which is exactly the hook the exactly-once
+//!   snapshot alignment needs (a queue that already delivered the current
+//!   barrier is skipped until the others catch up).
+
+pub mod conveyor;
+pub mod spsc;
+
+pub use conveyor::Conveyor;
+pub use spsc::{spsc_channel, Consumer, Producer};

@@ -1,0 +1,323 @@
+//! Bounded wait-free single-producer single-consumer ring queue.
+//!
+//! The design follows the classic lock-free SPSC array queue (Lamport's ring
+//! buffer with the cache-friendly refinements used by Aeron and Jet's
+//! `OneToOneConcurrentArrayQueue`):
+//!
+//! * `head` is only written by the consumer, `tail` only by the producer —
+//!   each operation is a handful of instructions and never retries, i.e. the
+//!   queue is *wait-free*, which is what bounds per-item latency jitter.
+//! * both counters live on their own cache line (`CachePadded`),
+//! * the producer caches the consumer's `head` (and vice versa) so the
+//!   common case touches only one shared cache line.
+//!
+//! Single-producer/single-consumer discipline is enforced at compile time by
+//! handing out a `!Clone` [`Producer`] and [`Consumer`] pair.
+
+use crossbeam::utils::CachePadded;
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written by consumer only.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Written by producer only.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// Safety: only the producer writes slots between head..tail boundaries it
+// owns, only the consumer reads slots it owns; positions are published with
+// release stores and observed with acquire loads.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// Producer half of an SPSC queue. Not cloneable.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer's private copy of `tail` (avoids an atomic load).
+    tail: Cell<usize>,
+    /// Cached consumer position; refreshed only when the queue looks full.
+    cached_head: Cell<usize>,
+}
+
+/// Consumer half of an SPSC queue. Not cloneable.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Consumer's private copy of `head`.
+    head: Cell<usize>,
+    /// Cached producer position; refreshed only when the queue looks empty.
+    cached_tail: Cell<usize>,
+}
+
+unsafe impl<T: Send> Send for Producer<T> {}
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+/// Create a bounded SPSC queue with capacity rounded up to a power of two.
+pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        buffer,
+        mask: cap - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer { shared: shared.clone(), tail: Cell::new(0), cached_head: Cell::new(0) },
+        Consumer { shared, head: Cell::new(0), cached_tail: Cell::new(0) },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the queue (power of two).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Try to enqueue one item; returns it back if the queue is full.
+    #[inline]
+    pub fn offer(&self, item: T) -> Result<(), T> {
+        let tail = self.tail.get();
+        if tail.wrapping_sub(self.cached_head.get()) > self.shared.mask {
+            // Looks full — refresh the consumer position.
+            self.cached_head.set(self.shared.head.load(Ordering::Acquire));
+            if tail.wrapping_sub(self.cached_head.get()) > self.shared.mask {
+                return Err(item);
+            }
+        }
+        let slot = &self.shared.buffer[tail & self.shared.mask];
+        unsafe { (*slot.get()).write(item) };
+        self.tail.set(tail.wrapping_add(1));
+        self.shared.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Free slots available for offers right now (a lower bound: the consumer
+    /// may free more concurrently).
+    pub fn remaining_capacity(&self) -> usize {
+        let head = self.shared.head.load(Ordering::Acquire);
+        self.cached_head.set(head);
+        self.capacity() - self.tail.get().wrapping_sub(head)
+    }
+
+    /// True if `offer` would currently fail.
+    pub fn is_full(&self) -> bool {
+        self.remaining_capacity() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Dequeue one item if available.
+    #[inline]
+    pub fn poll(&self) -> Option<T> {
+        let head = self.head.get();
+        if head == self.cached_tail.get() {
+            self.cached_tail.set(self.shared.tail.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return None;
+            }
+        }
+        let slot = &self.shared.buffer[head & self.shared.mask];
+        let item = unsafe { (*slot.get()).assume_init_read() };
+        self.head.set(head.wrapping_add(1));
+        self.shared.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Peek at the next item without consuming it.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        let head = self.head.get();
+        if head == self.cached_tail.get() {
+            self.cached_tail.set(self.shared.tail.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return None;
+            }
+        }
+        let slot = &self.shared.buffer[head & self.shared.mask];
+        Some(unsafe { (*slot.get()).assume_init_ref() })
+    }
+
+    /// Drain up to `max` items into `sink`, returning how many were moved.
+    pub fn drain_into(&self, sink: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.poll() {
+                Some(item) => {
+                    sink.push(item);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(self.head.get())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Drain remaining items so their destructors run.
+        while self.poll().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_poll_roundtrip() {
+        let (p, c) = spsc_channel::<u32>(4);
+        assert!(c.poll().is_none());
+        p.offer(1).unwrap();
+        p.offer(2).unwrap();
+        assert_eq!(c.poll(), Some(1));
+        assert_eq!(c.poll(), Some(2));
+        assert!(c.poll().is_none());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = spsc_channel::<u8>(5);
+        assert_eq!(p.capacity(), 8);
+        let (p, _c) = spsc_channel::<u8>(0);
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_item() {
+        let (p, c) = spsc_channel::<u32>(2);
+        p.offer(1).unwrap();
+        p.offer(2).unwrap();
+        assert_eq!(p.offer(3), Err(3));
+        assert!(p.is_full());
+        assert_eq!(c.poll(), Some(1));
+        p.offer(3).unwrap();
+        assert_eq!(c.poll(), Some(2));
+        assert_eq!(c.poll(), Some(3));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (p, c) = spsc_channel::<String>(4);
+        p.offer("a".to_string()).unwrap();
+        assert_eq!(c.peek().map(|s| s.as_str()), Some("a"));
+        assert_eq!(c.peek().map(|s| s.as_str()), Some("a"));
+        assert_eq!(c.poll().as_deref(), Some("a"));
+        assert!(c.peek().is_none());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let (p, c) = spsc_channel::<u32>(8);
+        assert!(c.is_empty());
+        for i in 0..5 {
+            p.offer(i).unwrap();
+        }
+        assert_eq!(c.len(), 5);
+        c.poll();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (p, c) = spsc_channel::<u64>(4);
+        for i in 0..10_000u64 {
+            p.offer(i).unwrap();
+            assert_eq!(c.poll(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drain_into_respects_max() {
+        let (p, c) = spsc_channel::<u32>(16);
+        for i in 0..10 {
+            p.offer(i).unwrap();
+        }
+        let mut sink = Vec::new();
+        assert_eq!(c.drain_into(&mut sink, 4), 4);
+        assert_eq!(sink, vec![0, 1, 2, 3]);
+        assert_eq!(c.drain_into(&mut sink, 100), 6);
+        assert_eq!(sink.len(), 10);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (p, c) = spsc_channel::<D>(8);
+        for _ in 0..5 {
+            assert!(p.offer(D).is_ok());
+        }
+        drop(c);
+        drop(p);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order() {
+        let (p, c) = spsc_channel::<u64>(128);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match p.offer(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = c.poll() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(c.poll().is_none());
+    }
+
+    #[test]
+    fn remaining_capacity_reflects_consumption() {
+        let (p, c) = spsc_channel::<u32>(4);
+        assert_eq!(p.remaining_capacity(), 4);
+        p.offer(1).unwrap();
+        p.offer(2).unwrap();
+        assert_eq!(p.remaining_capacity(), 2);
+        c.poll();
+        assert_eq!(p.remaining_capacity(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: the SPSC queue and conveyor behave like their sequential
+//! models (a VecDeque / a set of VecDeques) under arbitrary operation
+//! interleavings issued from the legal (single-producer, single-consumer)
+//! thread discipline.
+
+use jet_queue::{spsc_channel, Conveyor};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Offer(u32),
+    Poll,
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..1000u32).prop_map(Op::Offer),
+        Just(Op::Poll),
+        Just(Op::Peek),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn spsc_matches_vecdeque_model(
+        cap in 1usize..64,
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let (p, c) = spsc_channel::<u32>(cap);
+        let real_cap = p.capacity();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Offer(v) => {
+                    let r = p.offer(v);
+                    if model.len() < real_cap {
+                        prop_assert_eq!(r, Ok(()));
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(r, Err(v));
+                    }
+                }
+                Op::Poll => {
+                    prop_assert_eq!(c.poll(), model.pop_front());
+                }
+                Op::Peek => {
+                    prop_assert_eq!(c.peek().copied(), model.front().copied());
+                }
+            }
+            prop_assert_eq!(c.len(), model.len());
+            prop_assert_eq!(c.is_empty(), model.is_empty());
+        }
+    }
+
+    #[test]
+    fn conveyor_preserves_per_lane_fifo(
+        lanes in 1usize..5,
+        items in proptest::collection::vec((0usize..5, 0..1000u32), 0..200),
+        mutes in proptest::collection::vec(0usize..5, 0..10),
+    ) {
+        let (mut conv, producers) = Conveyor::<u32>::new(lanes, 512);
+        let mut models: Vec<VecDeque<u32>> = vec![VecDeque::new(); lanes];
+        for (lane, v) in items {
+            let lane = lane % lanes;
+            if producers[lane].offer(v).is_ok() {
+                models[lane].push_back(v);
+            }
+        }
+        for m in mutes {
+            conv.mute(m % lanes);
+        }
+        let muted: Vec<bool> = (0..lanes).map(|l| conv.is_muted(l)).collect();
+        // Drain everything pollable and check per-lane order + mute respect.
+        while let Some((lane, v)) = conv.poll_any() {
+            prop_assert!(!muted[lane], "polled from muted lane {}", lane);
+            prop_assert_eq!(models[lane].pop_front(), Some(v));
+        }
+        // Unmuted lanes must be fully drained.
+        for (lane, model) in models.iter().enumerate() {
+            if !muted[lane] {
+                prop_assert!(model.is_empty());
+            } else {
+                prop_assert_eq!(conv.lane_len(lane), model.len());
+            }
+        }
+        // After unmuting, the remainder drains in FIFO order.
+        conv.unmute_all();
+        while let Some((lane, v)) = conv.poll_any() {
+            prop_assert_eq!(models[lane].pop_front(), Some(v));
+        }
+        prop_assert!(conv.is_empty());
+    }
+}

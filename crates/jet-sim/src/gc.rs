@@ -1,0 +1,111 @@
+//! Garbage-collection pause injection (paper §5).
+//!
+//! Rust has no GC, but the paper dedicates a section to taming the JVM's:
+//! "the G1 garbage collector is configured with a GC pause target of at
+//! most 5 milliseconds; it does most of the GC work concurrently" (§7.1).
+//! To reproduce the *effect* the paper engineers around, the simulator can
+//! stall virtual cores:
+//!
+//! * [`GcModel::Concurrent`] — a rotating single-core stall, approximating
+//!   a concurrent collector that steals one core's worth of cycles with a
+//!   bounded pause target (the paper's configuration).
+//! * [`GcModel::StopWorld`] — all cores stall simultaneously,
+//!   approximating a full stop-the-world collector (what the paper's
+//!   design avoids; ablation A2 shows the p99.99 damage).
+
+/// GC pause injection model. All times are virtual nanos.
+#[derive(Debug, Clone)]
+pub enum GcModel {
+    /// Every `interval`, one core (round-robin) stalls for `pause`.
+    Concurrent { pause: u64, interval: u64, next_at: u64, next_core: usize },
+    /// Every `interval`, all cores stall for `pause`.
+    StopWorld { pause: u64, interval: u64, next_at: u64 },
+}
+
+impl GcModel {
+    /// The paper's configuration: 5 ms pause target, mostly-concurrent.
+    pub fn paper_g1() -> GcModel {
+        GcModel::concurrent(5_000_000, 100_000_000)
+    }
+
+    pub fn concurrent(pause: u64, interval: u64) -> GcModel {
+        GcModel::Concurrent { pause, interval, next_at: interval, next_core: 0 }
+    }
+
+    pub fn stop_world(pause: u64, interval: u64) -> GcModel {
+        GcModel::StopWorld { pause, interval, next_at: interval }
+    }
+
+    /// Apply pauses due at `now` by raising cores' `stalled_until`.
+    pub fn apply<'a>(&mut self, now: u64, stalls: &mut impl Iterator<Item = &'a mut u64>) {
+        match self {
+            GcModel::Concurrent { pause, interval, next_at, next_core } => {
+                if now < *next_at {
+                    return;
+                }
+                *next_at = now + *interval;
+                let stalls: Vec<&'a mut u64> = stalls.collect();
+                if stalls.is_empty() {
+                    return;
+                }
+                let idx = *next_core % stalls.len();
+                *next_core = next_core.wrapping_add(1);
+                let mut i = 0;
+                for s in stalls {
+                    if i == idx {
+                        *s = (*s).max(now + *pause);
+                    }
+                    i += 1;
+                }
+            }
+            GcModel::StopWorld { pause, interval, next_at } => {
+                if now < *next_at {
+                    return;
+                }
+                *next_at = now + *interval;
+                for s in stalls {
+                    *s = (*s).max(now + *pause);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_world_stalls_every_core() {
+        let mut gc = GcModel::stop_world(1_000, 10_000);
+        let mut stalls = vec![0u64, 0, 0];
+        gc.apply(5_000, &mut stalls.iter_mut());
+        assert_eq!(stalls, vec![0, 0, 0], "not due yet");
+        gc.apply(10_000, &mut stalls.iter_mut());
+        assert_eq!(stalls, vec![11_000, 11_000, 11_000]);
+    }
+
+    #[test]
+    fn concurrent_rotates_single_core() {
+        let mut gc = GcModel::concurrent(1_000, 10_000);
+        let mut stalls = vec![0u64, 0];
+        gc.apply(10_000, &mut stalls.iter_mut());
+        assert_eq!(stalls.iter().filter(|&&s| s > 0).count(), 1);
+        let first: Vec<bool> = stalls.iter().map(|&s| s > 0).collect();
+        gc.apply(20_000, &mut stalls.iter_mut());
+        let second: Vec<bool> = stalls.iter().map(|&s| s > 20_000).collect();
+        assert_ne!(first, second, "pause did not rotate cores");
+    }
+
+    #[test]
+    fn interval_is_respected() {
+        let mut gc = GcModel::stop_world(100, 1_000);
+        let mut stalls = vec![0u64];
+        gc.apply(1_000, &mut stalls.iter_mut());
+        let s1 = stalls[0];
+        gc.apply(1_500, &mut stalls.iter_mut());
+        assert_eq!(stalls[0], s1, "fired again before interval elapsed");
+        gc.apply(2_000, &mut stalls.iter_mut());
+        assert!(stalls[0] > s1);
+    }
+}

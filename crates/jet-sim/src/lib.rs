@@ -1,0 +1,21 @@
+//! # jet-sim — deterministic virtual-time execution
+//!
+//! Runs the *real* jet-core tasklets on simulated CPU cores against a
+//! manually advanced clock. This is how the repository reproduces the
+//! paper's 12-to-240-core experiments on a small container (see DESIGN.md's
+//! substitution table): the engine code, queues, watermarks, barriers and
+//! flow control are identical to the threaded executor's — only the notion
+//! of time and CPU capacity is modeled.
+//!
+//! * [`cost`] — per-timeslice cost model (calibrated to the paper's
+//!   ~2M events/s/core Q5 saturation point).
+//! * [`sim`] — the time-stepped multi-core simulator.
+//! * [`gc`] — GC pause injection (§5 / ablation A2).
+
+pub mod cost;
+pub mod gc;
+pub mod sim;
+
+pub use cost::{CostModel, CostedTasklet};
+pub use gc::GcModel;
+pub use sim::{CoreId, Simulator};

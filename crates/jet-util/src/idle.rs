@@ -1,0 +1,102 @@
+//! Idle strategies for cooperative worker threads.
+//!
+//! When a worker's round-robin pass over its tasklets makes no progress the
+//! paper's engine backs off progressively (spin → yield → short park) instead
+//! of burning the core or surrendering it to the OS scheduler — §3.2's point
+//! about staying on the same CPU to preserve cache lines.
+
+use std::time::Duration;
+
+/// Strategy invoked once per fruitless scheduling round.
+pub trait IdleStrategy: Send {
+    /// Called with the number of consecutive rounds without progress.
+    fn idle(&mut self, idle_rounds: u64);
+
+    /// Called when progress resumes.
+    fn reset(&mut self) {}
+}
+
+/// Progressive backoff: busy-spin, then `yield_now`, then park with
+/// exponentially growing duration up to `max_park`.
+pub struct BackoffIdle {
+    spin_rounds: u64,
+    yield_rounds: u64,
+    min_park: Duration,
+    max_park: Duration,
+}
+
+impl BackoffIdle {
+    pub fn new(spin_rounds: u64, yield_rounds: u64, min_park: Duration, max_park: Duration) -> Self {
+        assert!(min_park <= max_park);
+        BackoffIdle { spin_rounds, yield_rounds, min_park, max_park }
+    }
+
+    /// Parameters close to Jet's defaults: a few spins, a few yields, then
+    /// parking from 25µs up to 1ms.
+    pub fn jet_default() -> Self {
+        Self::new(10, 5, Duration::from_micros(25), Duration::from_millis(1))
+    }
+
+    /// Compute the park duration for a given round (exposed for tests).
+    pub fn park_duration(&self, idle_rounds: u64) -> Option<Duration> {
+        if idle_rounds <= self.spin_rounds + self.yield_rounds {
+            return None;
+        }
+        let park_round = idle_rounds - self.spin_rounds - self.yield_rounds - 1;
+        let factor = 1u32 << park_round.min(20) as u32;
+        Some((self.min_park * factor).min(self.max_park))
+    }
+}
+
+impl IdleStrategy for BackoffIdle {
+    fn idle(&mut self, idle_rounds: u64) {
+        if idle_rounds <= self.spin_rounds {
+            std::hint::spin_loop();
+        } else if idle_rounds <= self.spin_rounds + self.yield_rounds {
+            std::thread::yield_now();
+        } else if let Some(d) = self.park_duration(idle_rounds) {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// No-op idle strategy (used by the virtual-time simulator, where "idle" is
+/// modeled by advancing the manual clock instead of blocking a real thread).
+pub struct NoopIdle;
+
+impl IdleStrategy for NoopIdle {
+    fn idle(&mut self, _idle_rounds: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn park_duration_grows_then_caps() {
+        let b = BackoffIdle::new(2, 2, Duration::from_micros(10), Duration::from_micros(80));
+        assert_eq!(b.park_duration(1), None);
+        assert_eq!(b.park_duration(4), None);
+        assert_eq!(b.park_duration(5), Some(Duration::from_micros(10)));
+        assert_eq!(b.park_duration(6), Some(Duration::from_micros(20)));
+        assert_eq!(b.park_duration(7), Some(Duration::from_micros(40)));
+        assert_eq!(b.park_duration(8), Some(Duration::from_micros(80)));
+        assert_eq!(b.park_duration(9), Some(Duration::from_micros(80)));
+        assert_eq!(b.park_duration(1000), Some(Duration::from_micros(80)));
+    }
+
+    #[test]
+    fn idle_does_not_panic_across_ranges() {
+        let mut b = BackoffIdle::new(1, 1, Duration::from_nanos(1), Duration::from_nanos(4));
+        for r in 0..10 {
+            b.idle(r);
+        }
+        b.reset();
+    }
+
+    #[test]
+    fn jet_default_parks_at_most_one_ms() {
+        let b = BackoffIdle::jet_default();
+        assert_eq!(b.park_duration(10_000), Some(Duration::from_millis(1)));
+    }
+}

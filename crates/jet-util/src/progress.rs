@@ -1,0 +1,138 @@
+//! The tri-state progress signal tasklets report to the worker loop (§3.2).
+
+/// Outcome of one tasklet timeslice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The tasklet did useful work; keep it in the rotation.
+    MadeProgress,
+    /// The tasklet had no input (or its output queues were full); the worker
+    /// counts consecutive `NoProgress` rounds to drive the idle strategy.
+    NoProgress,
+    /// The tasklet finished for good and must be removed from the rotation.
+    Done,
+}
+
+impl Progress {
+    /// Combine two progress observations: `Done` only if both are done,
+    /// progress if either progressed.
+    pub fn and(self, other: Progress) -> Progress {
+        use Progress::*;
+        match (self, other) {
+            (Done, Done) => Done,
+            (MadeProgress, _) | (_, MadeProgress) => MadeProgress,
+            _ => NoProgress,
+        }
+    }
+
+    pub fn made_progress(self) -> bool {
+        self == Progress::MadeProgress
+    }
+
+    pub fn is_done(self) -> bool {
+        self == Progress::Done
+    }
+
+    /// Map a bool (did we do work?) to a progress value.
+    pub fn from_worked(worked: bool) -> Progress {
+        if worked {
+            Progress::MadeProgress
+        } else {
+            Progress::NoProgress
+        }
+    }
+}
+
+/// Accumulates progress across the steps of a composite operation, mirroring
+/// Jet's `ProgressTracker`.
+#[derive(Debug, Default)]
+pub struct ProgressTracker {
+    made_progress: bool,
+    all_done: bool,
+}
+
+impl ProgressTracker {
+    pub fn new() -> Self {
+        ProgressTracker { made_progress: false, all_done: true }
+    }
+
+    /// Reset at the start of a scheduling round.
+    pub fn reset(&mut self) {
+        self.made_progress = false;
+        self.all_done = true;
+    }
+
+    /// Merge one sub-step's outcome.
+    pub fn observe(&mut self, p: Progress) {
+        match p {
+            Progress::MadeProgress => {
+                self.made_progress = true;
+                self.all_done = false;
+            }
+            Progress::NoProgress => self.all_done = false,
+            Progress::Done => {}
+        }
+    }
+
+    /// Note that some work happened without a full Progress value.
+    pub fn mark_progress(&mut self) {
+        self.made_progress = true;
+        self.all_done = false;
+    }
+
+    /// Note that a sub-step still exists but made no progress.
+    pub fn mark_not_done(&mut self) {
+        self.all_done = false;
+    }
+
+    pub fn to_progress(&self) -> Progress {
+        if self.all_done {
+            Progress::Done
+        } else if self.made_progress {
+            Progress::MadeProgress
+        } else {
+            Progress::NoProgress
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Progress::*;
+
+    #[test]
+    fn and_combinations() {
+        assert_eq!(Done.and(Done), Done);
+        assert_eq!(Done.and(NoProgress), NoProgress);
+        assert_eq!(Done.and(MadeProgress), MadeProgress);
+        assert_eq!(NoProgress.and(NoProgress), NoProgress);
+        assert_eq!(MadeProgress.and(NoProgress), MadeProgress);
+        assert_eq!(MadeProgress.and(MadeProgress), MadeProgress);
+    }
+
+    #[test]
+    fn tracker_defaults_to_done_when_nothing_observed() {
+        let mut t = ProgressTracker::new();
+        t.reset();
+        assert_eq!(t.to_progress(), Done);
+    }
+
+    #[test]
+    fn tracker_aggregates() {
+        let mut t = ProgressTracker::new();
+        t.observe(Done);
+        assert_eq!(t.to_progress(), Done);
+        t.observe(NoProgress);
+        assert_eq!(t.to_progress(), NoProgress);
+        t.observe(MadeProgress);
+        assert_eq!(t.to_progress(), MadeProgress);
+        t.reset();
+        assert_eq!(t.to_progress(), Done);
+    }
+
+    #[test]
+    fn from_worked_maps_bool() {
+        assert_eq!(Progress::from_worked(true), MadeProgress);
+        assert_eq!(Progress::from_worked(false), NoProgress);
+    }
+}

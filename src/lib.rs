@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the jet-rs workspace; see README.md.
+pub use jet_cluster as cluster;
+pub use jet_core as core;
+pub use jet_imdg as imdg;
+pub use jet_nexmark as nexmark;
+pub use jet_pipeline as pipeline;
+pub use jet_queue as queue;
+pub use jet_sim as sim;
+pub use jet_util as util;

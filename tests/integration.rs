@@ -1,0 +1,314 @@
+//! Workspace integration tests spanning crates: NEXMark queries validated
+//! against reference computations, delivery-guarantee sinks, and the
+//! threaded executor driving pipeline-compiled DAGs.
+
+use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_core::metrics::SharedCounter;
+use jet_core::processors::WatermarkPolicy;
+use jet_core::Ts;
+use jet_nexmark::{queries, Event, NexmarkConfig};
+use jet_pipeline::Pipeline;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SEC: u64 = 1_000_000_000;
+
+fn small_nexmark() -> NexmarkConfig {
+    NexmarkConfig { people: 50, auctions: 40, ..Default::default() }
+}
+
+fn run_to_completion(p: &Pipeline, members: usize) {
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members,
+        cores_per_member: 2,
+        partition_count: 31,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    assert!(cluster.run_for(120 * SEC), "job did not complete");
+}
+
+/// Reference event stream: same generator, computed directly.
+fn reference_events(cfg: &NexmarkConfig, rate: u64, limit: u64) -> Vec<Event> {
+    (0..limit)
+        .map(|seq| {
+            let ts = (seq as u128 * 1_000_000_000 / rate as u128) as Ts;
+            cfg.event(seq, ts)
+        })
+        .collect()
+}
+
+#[test]
+fn q2_matches_reference_filter() {
+    let nex = small_nexmark();
+    const RATE: u64 = 500_000;
+    const LIMIT: u64 = 25_000;
+    let p = Pipeline::create();
+    let out: Arc<Mutex<Vec<(Ts, (u64, i64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
+    queries::q2(&src).write_to_collect(out.clone());
+    run_to_completion(&p, 2);
+
+    let expected: Vec<(u64, i64)> = reference_events(&nex, RATE, LIMIT)
+        .iter()
+        .filter_map(|e| e.as_bid())
+        .filter(|b| b.auction % 123 == 0)
+        .map(|b| (b.auction, b.price))
+        .collect();
+    let mut got: Vec<(u64, i64)> = out.lock().iter().map(|(_, v)| *v).collect();
+    let mut want = expected;
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn q1_converts_every_bid() {
+    let nex = small_nexmark();
+    const LIMIT: u64 = 20_000;
+    let p = Pipeline::create();
+    let count = SharedCounter::new();
+    let src = queries::source(&p, &nex, 500_000, Some(LIMIT), WatermarkPolicy::default());
+    queries::q1(&src).write_to_count(count.clone());
+    run_to_completion(&p, 2);
+    let expected_bids = reference_events(&nex, 500_000, LIMIT)
+        .iter()
+        .filter(|e| e.as_bid().is_some())
+        .count() as u64;
+    assert_eq!(count.get(), expected_bids);
+}
+
+#[test]
+fn q5_window_counts_match_reference() {
+    let nex = small_nexmark();
+    const RATE: u64 = 1_000_000;
+    const LIMIT: u64 = 50_000; // 50ms of stream
+    let window = jet_pipeline::WindowDef::tumbling(10_000_000); // 10ms
+    let p = Pipeline::create();
+    let out: Arc<Mutex<Vec<(Ts, jet_pipeline::WindowResult<u64, u64>)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
+    queries::q5(&src, window).write_to_collect(out.clone());
+    run_to_completion(&p, 3);
+
+    // Reference: count bids per (auction, window end).
+    let mut expected: HashMap<(u64, Ts), u64> = HashMap::new();
+    for e in reference_events(&nex, RATE, LIMIT) {
+        if let Some(b) = e.as_bid() {
+            let end = (b.ts / 10_000_000) * 10_000_000 + 10_000_000;
+            *expected.entry((b.auction, end)).or_insert(0) += 1;
+        }
+    }
+    let results = out.lock();
+    let mut got: HashMap<(u64, Ts), u64> = HashMap::new();
+    for (_, r) in results.iter() {
+        let prev = got.insert((r.key, r.end), r.value);
+        assert!(prev.is_none(), "duplicate window ({}, {})", r.key, r.end);
+    }
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn q7_highest_bid_is_the_true_max() {
+    let nex = small_nexmark();
+    const LIMIT: u64 = 20_000;
+    const RATE: u64 = 1_000_000;
+    let p = Pipeline::create();
+    let out: Arc<Mutex<Vec<(Ts, jet_pipeline::WindowResult<u64, i64>)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
+    queries::q7(&src, 20_000_000).write_to_collect(out.clone()); // 20ms periods
+    run_to_completion(&p, 2);
+
+    let mut expected: HashMap<Ts, i64> = HashMap::new();
+    for e in reference_events(&nex, RATE, LIMIT) {
+        if let Some(b) = e.as_bid() {
+            let end = (b.ts / 20_000_000) * 20_000_000 + 20_000_000;
+            let m = expected.entry(end).or_insert(i64::MIN);
+            *m = (*m).max(b.price);
+        }
+    }
+    let results = out.lock();
+    assert!(!results.is_empty());
+    for (_, r) in results.iter() {
+        assert_eq!(
+            Some(&r.value),
+            expected.get(&r.end),
+            "window {} max mismatch",
+            r.end
+        );
+    }
+    assert_eq!(results.len(), expected.len());
+}
+
+#[test]
+fn q8_reports_exactly_the_sellers_who_listed() {
+    let nex = small_nexmark();
+    const LIMIT: u64 = 30_000;
+    const RATE: u64 = 1_000_000;
+    let window: Ts = 30_000_000; // 30ms = whole stream
+    let p = Pipeline::create();
+    let out: Arc<Mutex<Vec<(Ts, (u64, String))>>> = Arc::new(Mutex::new(Vec::new()));
+    let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
+    queries::q8(&src, window).write_to_collect(out.clone());
+    run_to_completion(&p, 2);
+
+    // Reference: persons who appear AND have an auction with seller == id in
+    // the same window.
+    let events = reference_events(&nex, RATE, LIMIT);
+    let mut expected: std::collections::HashSet<(Ts, u64)> = Default::default();
+    let wend = |ts: Ts| (ts / window) * window + window;
+    for e in &events {
+        if let Some(p0) = e.as_person() {
+            let w = wend(p0.ts);
+            if events.iter().any(|x| {
+                x.as_auction().map(|a| a.seller == p0.id && wend(a.ts) == w).unwrap_or(false)
+            }) {
+                expected.insert((w, p0.id));
+            }
+        }
+    }
+    let got: std::collections::HashSet<(Ts, u64)> =
+        out.lock().iter().map(|(ts, (id, _))| (*ts, *id)).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn q3_q4_q6_smoke_produce_plausible_output() {
+    let nex = NexmarkConfig { people: 200, auctions: 100, ..Default::default() };
+    const LIMIT: u64 = 40_000;
+    let p = Pipeline::create();
+    let q3_out: Arc<Mutex<Vec<(Ts, (String, String, String, u64))>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let q4_out: Arc<Mutex<Vec<(Ts, jet_pipeline::WindowResult<u64, f64>)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let q6_out: Arc<Mutex<Vec<(Ts, (u64, i64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let src = queries::source(&p, &nex, 1_000_000, Some(LIMIT), WatermarkPolicy::default());
+    queries::q3(&src).write_to_collect(q3_out.clone());
+    queries::q4(&src, 10_000_000).write_to_collect(q4_out.clone());
+    queries::q6(&src, 10_000_000).write_to_collect(q6_out.clone());
+    run_to_completion(&p, 2);
+
+    let q3 = q3_out.lock();
+    for (_, (_, _, state, _)) in q3.iter() {
+        assert!(matches!(state.as_str(), "OR" | "ID" | "CA"), "Q3 state filter leaked: {state}");
+    }
+    let q4 = q4_out.lock();
+    assert!(!q4.is_empty(), "Q4 produced nothing");
+    for (_, r) in q4.iter() {
+        assert!(r.value >= 100.0, "Q4 average below min bid price: {}", r.value);
+    }
+    let q6 = q6_out.lock();
+    assert!(!q6.is_empty(), "Q6 produced nothing");
+    for (_, (_, avg)) in q6.iter() {
+        assert!(*avg >= 100, "Q6 average below min price: {avg}");
+    }
+}
+
+#[test]
+fn transactional_sink_hides_uncommitted_output() {
+    use jet_core::processor::Guarantee;
+    const LIMIT: u64 = 10_000;
+    let p = Pipeline::create();
+    let committed: Arc<Mutex<Vec<(Ts, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    // Registry is created by SimCluster; use a two-phase wiring instead:
+    // build with cluster, then fetch its registry for the sink. We pre-create
+    // the pipeline with a placeholder registry and rebuild after.
+    // Simpler: run with snapshots and check the invariant at completion.
+    let dag = {
+        let registry_cell: Arc<Mutex<Option<Arc<jet_core::SnapshotRegistry>>>> =
+            Arc::new(Mutex::new(None));
+        let _ = registry_cell;
+        // Build the pipeline against a fresh registry that the cluster will
+        // replace; the sink only uses `completed()`, which is monotonic, so
+        // wiring it to the *cluster's* registry matters. We therefore build
+        // the cluster first with a probe dag, then the real one.
+        p.read_from_generator_cfg(
+            "gen",
+            1_000_000,
+            Some(LIMIT),
+            WatermarkPolicy::default(),
+            |seq, _| seq,
+        )
+        .map(|v: &u64| *v)
+        .write_to_count(SharedCounter::new()); // placeholder sink
+        p.compile(2).unwrap()
+    };
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 2_000_000, // 2ms
+        ..Default::default()
+    };
+    let cluster = SimCluster::start(dag, cfg.clone()).unwrap();
+    let registry = cluster.registry();
+    drop(cluster);
+    // Now the real job wired to a live registry.
+    let p2 = Pipeline::create();
+    p2.read_from_generator_cfg(
+        "gen",
+        1_000_000,
+        Some(LIMIT),
+        WatermarkPolicy::default(),
+        |seq, _| seq,
+    )
+    .write_to_transactional(committed.clone(), registry);
+    let dag2 = p2.compile(2).unwrap();
+    let mut cluster = SimCluster::start(dag2, cfg).unwrap();
+    assert!(cluster.run_for(60 * SEC));
+    // On completion everything is committed exactly once.
+    let mut vals: Vec<u64> = committed.lock().iter().map(|(_, v)| *v).collect();
+    vals.sort_unstable();
+    vals.dedup();
+    assert_eq!(vals.len(), LIMIT as usize, "transactional sink lost or duplicated");
+}
+
+#[test]
+fn idempotent_sink_dedups_by_record_id() {
+    const LIMIT: u64 = 5_000;
+    let p = Pipeline::create();
+    let published: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    // Emit each record id TWICE (simulating an at-least-once replay).
+    p.read_from_generator_cfg(
+        "gen",
+        1_000_000,
+        Some(LIMIT * 2),
+        WatermarkPolicy::default(),
+        |seq, _| seq / 2, // ids 0..LIMIT, each twice
+    )
+    .write_to_idempotent(published.clone(), |v: &u64| *v);
+    run_to_completion(&p, 1);
+    assert_eq!(published.lock().len(), LIMIT as usize);
+}
+
+#[test]
+fn threaded_executor_runs_pipeline_compiled_dags() {
+    // The same pipeline crates compile to DAGs that run on REAL threads.
+    let p = Pipeline::create();
+    let count = SharedCounter::new();
+    p.read_from_generator_cfg(
+        "gen",
+        2_000_000,
+        Some(100_000),
+        WatermarkPolicy::default(),
+        |seq, _| seq,
+    )
+    .filter(|v: &u64| v % 2 == 0)
+    .write_to_count(count.clone());
+    let dag = p.compile(2).unwrap();
+    let registry = Arc::new(jet_core::SnapshotRegistry::disabled());
+    let exec = jet_core::plan::build_local(
+        &dag,
+        &jet_core::plan::LocalConfig::new(2),
+        &registry,
+        None,
+    )
+    .unwrap();
+    let handle = jet_core::exec::spawn_threaded(exec.tasklets, 2, exec.cancelled);
+    handle.join();
+    assert_eq!(count.get(), 50_000);
+}
