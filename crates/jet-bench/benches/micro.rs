@@ -4,9 +4,9 @@
 //! and grid map operations.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jet_core::processor::{Inbox, Outbox, Processor};
 use jet_core::processors::agg::counting;
 use jet_core::processors::window::{SlidingWindowP, WindowDef};
-use jet_core::processor::{Inbox, Outbox, Processor};
 use jet_imdg::{Grid, IMap};
 use jet_queue::{spsc_channel, Conveyor};
 use jet_util::{seq, Histogram};

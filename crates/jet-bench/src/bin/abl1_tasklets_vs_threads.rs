@@ -73,8 +73,14 @@ fn run_mode(chains: usize, thread_per_op: bool) -> (f64, u64) {
 }
 
 fn main() {
-    println!("# Ablation A1: cooperative tasklets vs thread-per-operator (real threads, wall clock)");
+    println!(
+        "# Ablation A1: cooperative tasklets vs thread-per-operator (real threads, wall clock)"
+    );
     println!("# chains ops  tasklet_secs  tpo_secs  tasklet_Mev/s  tpo_Mev/s  speedup");
+    let mut report = jet_bench::BenchReport::new("abl1");
+    report
+        .param("events_per_chain", EVENTS_PER_CHAIN)
+        .param("workers", 2);
     for chains in [4usize, 16, 64, 128] {
         let (coop_secs, n1) = run_mode(chains, false);
         let (tpo_secs, n2) = run_mode(chains, true);
@@ -88,5 +94,16 @@ fn main() {
             total / tpo_secs / 1e6,
             tpo_secs / coop_secs,
         );
+        report.add_values(
+            &format!("{chains}-chains"),
+            &[("chains", chains.to_string())],
+            &[
+                ("tasklet_secs", coop_secs),
+                ("thread_per_op_secs", tpo_secs),
+                ("events", total),
+                ("speedup", tpo_secs / coop_secs),
+            ],
+        );
     }
+    report.write().expect("report");
 }

@@ -4,13 +4,18 @@
 //! The paper's Fig. 13 shows checkpointing costs ~2 orders of magnitude at
 //! the tail; §4.4 notes at-least-once "decreas[es] latency" vs exactly-once.
 
-use jet_bench::{percentile_row, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_row, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::processor::Guarantee;
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     println!("# Ablation A3: guarantee level vs Q5 latency (2 members, 1s snapshots)");
+    let mut report = BenchReport::new("abl3");
+    report
+        .param("query", "Q5")
+        .param("members", 2)
+        .param("total_rate", 400_000);
     for (name, guarantee, interval) in [
         ("none/active-active", Guarantee::None, 0u64),
         ("at-least-once", Guarantee::AtLeastOnce, SEC),
@@ -27,5 +32,7 @@ fn main() {
         let r = run(&spec);
         println!("{name:20} {}", percentile_row(&r.hist));
         eprintln!("  [{name} done in {:.0}s wall]", r.wall_secs);
+        report.add_run(name, &[("guarantee", name.to_string())], &r);
     }
+    report.write().expect("report");
 }

@@ -5,12 +5,17 @@
 //! between acks); a huge fixed window removes the safety valve. The
 //! adaptive policy tracks the rate.
 
-use jet_bench::{percentile_row, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_row, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     println!("# Ablation A4: receive-window policy vs Q5 latency (4 members, 1.6M ev/s total)");
+    let mut report = BenchReport::new("abl4");
+    report
+        .param("query", "Q5")
+        .param("members", 4)
+        .param("total_rate", 1_600_000);
     for (name, fixed) in [
         ("adaptive-300ms", None),
         ("fixed-4096", Some(4096u64)),
@@ -26,5 +31,7 @@ fn main() {
         let r = run(&spec);
         println!("{name:16} {} out={}", percentile_row(&r.hist), r.outputs);
         eprintln!("  [{name} done in {:.0}s wall]", r.wall_secs);
+        report.add_run(name, &[("window_policy", name.to_string())], &r);
     }
+    report.write().expect("report");
 }

@@ -1,12 +1,15 @@
 //! Calibration diagnostic: virtual-core utilization for Q5 at a given rate.
 use jet_bench::{Query, RunSpec, MS, SEC};
+use jet_cluster::{SimCluster, SimClusterConfig};
 use jet_core::metrics::{SharedCounter, SharedHistogram};
 use jet_core::Ts;
-use jet_cluster::{SimCluster, SimClusterConfig};
 use jet_pipeline::WindowDef;
 
 fn main() {
-    let rate_k: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let rate_k: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
     let cores = 2usize;
     let mut spec = RunSpec::new(Query::Q5, rate_k * 1000 * cores as u64);
     spec.cores_per_member = cores;
@@ -28,5 +31,9 @@ fn main() {
     for (i, b) in busy.iter().enumerate() {
         println!("core {i}: busy {:.1}%", *b as f64 / elapsed as f64 * 100.0);
     }
-    println!("outputs: {}, hist: {}", count.get(), hist.snapshot().latency_summary_ms());
+    println!(
+        "outputs: {}, hist: {}",
+        count.get(),
+        hist.snapshot().latency_summary_ms()
+    );
 }

@@ -1,12 +1,15 @@
 //! Debug: Q5 output over time on a 5-member cluster.
 use jet_bench::{Query, RunSpec, MS, SEC};
-use jet_core::metrics::{SharedCounter, SharedHistogram};
 use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_core::metrics::{SharedCounter, SharedHistogram};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
-    let members: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let members: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
     let mut spec = RunSpec::new(Query::Q5, 400_000);
     spec.members = members;
     spec.cores_per_member = 2;
@@ -24,7 +27,12 @@ fn main() {
     let mut cluster = SimCluster::start(dag, cfg).unwrap();
     for step in 0..6 {
         cluster.run_for(250 * MS);
-        println!("t={:4}ms out={} live={}", (step + 1) * 250, count.get(), cluster.live_tasklets());
+        println!(
+            "t={:4}ms out={} live={}",
+            (step + 1) * 250,
+            count.get(),
+            cluster.live_tasklets()
+        );
     }
     let mut agg: std::collections::HashMap<String, (u64, u64, usize)> = Default::default();
     for (_c, name, i, o) in cluster.tasklet_stats() {

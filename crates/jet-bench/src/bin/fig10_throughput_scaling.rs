@@ -10,13 +10,15 @@
 //! rates laddered to find the max sustainable (p99.99 ≤ 50 ms and ≥ 99% of
 //! the expected windows emitted).
 
-use jet_bench::{run, Query, RunSpec, MS, SEC};
+use jet_bench::{run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     println!("# Figure 10: Q5 (500ms slide) max sustainable aggregate throughput vs cluster size");
     println!("# members cores offered_per_core max_sustainable_aggregate p99.99_ms");
+    let mut report = BenchReport::new("fig10");
+    report.param("query", "Q5").param("window", "2s/500ms");
     for members in [1usize, 2, 4, 8] {
         let mut best: Option<(u64, f64)> = None;
         for rate_k_per_core in [1000u64, 1500, 1900] {
@@ -39,6 +41,15 @@ fn main() {
                 r.outputs,
                 r.wall_secs
             );
+            report.add_run(
+                &format!("x{members}-{rate_k_per_core}k-per-core"),
+                &[
+                    ("members", members.to_string()),
+                    ("rate_per_core", format!("{rate_k_per_core}000")),
+                    ("sustainable", sustainable.to_string()),
+                ],
+                &r,
+            );
             if sustainable {
                 best = Some((total, r.p(99.99)));
             }
@@ -55,4 +66,5 @@ fn main() {
             None => println!("{members:3} {members:4} - UNSATURATED-LADDER -"),
         }
     }
+    report.write().expect("report");
 }

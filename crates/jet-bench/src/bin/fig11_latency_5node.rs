@@ -5,11 +5,11 @@
 //! join/window queries reach 11–12 ms at p99.99 while ≥90% of their events
 //! are at 2 ms or less — all with a window triggering every 10 ms.
 
-use jet_bench::{percentile_curve, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_curve, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
-pub fn run_for_members(members: usize) {
+pub fn run_for_members(members: usize, report: &mut BenchReport) {
     for query in [Query::Q1, Query::Q2, Query::Q5, Query::Q8, Query::Q13] {
         let mut spec = RunSpec::new(query, 400_000);
         spec.members = members;
@@ -24,11 +24,22 @@ pub fn run_for_members(members: usize) {
             print!("  p{p}={ms:.3}ms");
         }
         println!("  n={}", r.hist.count());
-        eprintln!("  [{} x{members} done in {:.0}s wall]", query.name(), r.wall_secs);
+        eprintln!(
+            "  [{} x{members} done in {:.0}s wall]",
+            query.name(),
+            r.wall_secs
+        );
+        report.add_run(query.name(), &[("query", query.name().to_string())], &r);
     }
 }
 
 fn main() {
     println!("# Figure 11: latency distribution per query on a 5-member cluster (FT off)");
-    run_for_members(5);
+    let mut report = BenchReport::new("fig11");
+    report
+        .param("members", 5)
+        .param("cores_per_member", 2)
+        .param("total_rate", 400_000);
+    run_for_members(5, &mut report);
+    report.write().expect("report");
 }

@@ -3,12 +3,17 @@
 //! the paper's observation is that the distributions barely move from the
 //! 5-node ones.
 
-use jet_bench::{percentile_curve, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_curve, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     println!("# Figure 12: latency distribution per query on a 10-member cluster (FT off)");
+    let mut report = BenchReport::new("fig12");
+    report
+        .param("members", 10)
+        .param("cores_per_member", 2)
+        .param("total_rate", 400_000);
     for query in [Query::Q1, Query::Q2, Query::Q5, Query::Q8, Query::Q13] {
         let mut spec = RunSpec::new(query, 400_000);
         spec.members = 10;
@@ -24,5 +29,7 @@ fn main() {
         }
         println!("  n={}", r.hist.count());
         eprintln!("  [{} done in {:.0}s wall]", query.name(), r.wall_secs);
+        report.add_run(query.name(), &[("query", query.name().to_string())], &r);
     }
+    report.write().expect("report");
 }

@@ -11,11 +11,16 @@
 //! The same stepped distribution emerges here — low median, a sharp rise in
 //! the upper percentiles driven by the once-per-second alignment stalls.
 
-use jet_bench::{percentile_curve, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_curve, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
+    let mut report = BenchReport::new("fig13");
+    report
+        .param("query", "Q5")
+        .param("members", 2)
+        .param("snapshot_interval", "1s");
     println!("# Figure 13: Q5 latency with 1s exactly-once checkpoints (2 members, 1 backup)");
     let mut spec = RunSpec::new(Query::Q5, 400_000);
     spec.members = 2;
@@ -32,6 +37,11 @@ fn main() {
         println!("p{p:6}  {ms:10.3} ms");
     }
     println!("# n={} wall={:.0}s", r.hist.count(), r.wall_secs);
+    report.add_run(
+        "exactly-once-1s",
+        &[("guarantee", "exactly-once".to_string())],
+        &r,
+    );
     println!("# compare: same load without checkpoints");
     let mut base = spec.clone();
     base.guarantee = jet_core::Guarantee::None;
@@ -45,4 +55,6 @@ fn main() {
         r.p(50.0),
         r.p(99.99),
     );
+    report.add_run("no-checkpoint", &[("guarantee", "none".to_string())], &rb);
+    report.write().expect("report");
 }

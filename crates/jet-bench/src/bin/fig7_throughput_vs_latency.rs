@@ -9,7 +9,7 @@
 //! (paper: 10 s — the slide, not the size, drives emission cost), shorter
 //! measurement. Rates are *per core* as in the paper's x-axis.
 
-use jet_bench::{percentile_row, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_row, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
@@ -17,6 +17,11 @@ fn main() {
     let cores = 2usize;
     println!("# Figure 7: Q5 throughput/core vs latency, 1 member x {cores} vcores, 10ms slide");
     println!("# rate_per_core_M  p50_ms p90 p99 p99.9 p99.99 max");
+    let mut report = BenchReport::new("fig7");
+    report
+        .param("query", "Q5")
+        .param("members", 1)
+        .param("cores_per_member", cores);
     for rate_k_per_core in [250u64, 500, 1000, 1500, 1750, 2000] {
         let mut spec = RunSpec::new(Query::Q5, rate_k_per_core * 1000 * cores as u64);
         spec.cores_per_member = cores;
@@ -29,5 +34,11 @@ fn main() {
             rate_k_per_core as f64 / 1000.0,
             percentile_row(&r.hist)
         );
+        report.add_run(
+            &format!("{rate_k_per_core}k-per-core"),
+            &[("rate_per_core", format!("{rate_k_per_core}000"))],
+            &r,
+        );
     }
+    report.write().expect("report");
 }

@@ -9,13 +9,17 @@
 //! Scale-down: 2 vcores/member, total rate 400k ev/s (fixed across sizes,
 //! like the paper's fixed 1M), members ∈ {1, 5, 10, 20}.
 
-use jet_bench::{run, Query, RunSpec, MS, SEC};
+use jet_bench::{run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     println!("# Figure 8: p99 latency, fixed total input rate, scaling members out");
     println!("# query members dop p99_ms p99.99_ms n");
+    let mut report = BenchReport::new("fig8");
+    report
+        .param("total_rate", 400_000)
+        .param("cores_per_member", 2);
     for query in [Query::Q1, Query::Q2, Query::Q5, Query::Q8, Query::Q13] {
         for members in [1usize, 5, 10, 20] {
             let mut spec = RunSpec::new(query, 400_000);
@@ -34,7 +38,20 @@ fn main() {
                 r.p(99.99),
                 r.hist.count(),
             );
-            eprintln!("  [{} x{members} done in {:.0}s wall]", query.name(), r.wall_secs);
+            eprintln!(
+                "  [{} x{members} done in {:.0}s wall]",
+                query.name(),
+                r.wall_secs
+            );
+            report.add_run(
+                &format!("{}-x{members}", query.name()),
+                &[
+                    ("query", query.name().to_string()),
+                    ("members", members.to_string()),
+                ],
+                &r,
+            );
         }
     }
+    report.write().expect("report");
 }

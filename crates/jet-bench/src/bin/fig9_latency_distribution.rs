@@ -8,13 +8,18 @@
 //! Scale-down: largest cluster = 20 members × 2 vcores (DOP 40), total
 //! rate 400k ev/s.
 
-use jet_bench::{percentile_curve, run, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_curve, run, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     println!("# Figure 9: latency distribution per query at the largest cluster size");
     println!("# query then (percentile, latency_ms) pairs");
+    let mut report = BenchReport::new("fig9");
+    report
+        .param("members", 20)
+        .param("cores_per_member", 2)
+        .param("total_rate", 400_000);
     for query in [Query::Q1, Query::Q2, Query::Q5, Query::Q8, Query::Q13] {
         let mut spec = RunSpec::new(query, 400_000);
         spec.members = 20;
@@ -29,5 +34,7 @@ fn main() {
         }
         println!("  n={}", r.hist.count());
         eprintln!("  [{} done in {:.0}s wall]", query.name(), r.wall_secs);
+        report.add_run(query.name(), &[("query", query.name().to_string())], &r);
     }
+    report.write().expect("report");
 }

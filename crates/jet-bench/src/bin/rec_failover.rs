@@ -20,6 +20,9 @@ use std::sync::Arc;
 const SEC: u64 = 1_000_000_000;
 const MS: u64 = 1_000_000;
 
+/// Timestamped window counts collected by the sink across the failover.
+type Collected = Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>>;
+
 fn main() {
     const LIMIT: u64 = 60_000;
     const KEYS: u64 = 64;
@@ -27,7 +30,7 @@ fn main() {
     println!("# Recovery: 3 members, exactly-once, 5ms snapshots, kill at t=30ms");
 
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected = Arc::new(Mutex::new(Vec::new()));
     let first_result_at = SharedCounter::new();
     p.read_from_generator_cfg(
         "gen",
@@ -107,7 +110,11 @@ fn main() {
     println!(
         "exactness: counted {total} of {LIMIT} events across {} keys -> {}",
         per_key.len(),
-        if total == LIMIT { "EXACTLY-ONCE HOLDS" } else { "VIOLATION" }
+        if total == LIMIT {
+            "EXACTLY-ONCE HOLDS"
+        } else {
+            "VIOLATION"
+        }
     );
     assert_eq!(total, LIMIT);
 }

@@ -18,12 +18,21 @@ use jet_core::processors::agg::counting;
 use jet_core::Ts;
 use jet_pipeline::{Pipeline, WindowDef};
 
-fn tenant(p: &Pipeline, id: u64, rate: u64, keys: u64, hist: &SharedHistogram, count: &SharedCounter) {
-    p.read_from_generator(&format!("job{id}-src"), rate, move |seq, _ts| (seq % keys, seq))
-        .grouping_key(|(k, _): &(u64, u64)| *k)
-        .window(WindowDef::sliding(SEC as Ts, (100 * MS) as Ts))
-        .aggregate(counting::<(u64, u64)>())
-        .write_to_latency(hist.clone(), count.clone());
+fn tenant(
+    p: &Pipeline,
+    id: u64,
+    rate: u64,
+    keys: u64,
+    hist: &SharedHistogram,
+    count: &SharedCounter,
+) {
+    p.read_from_generator(&format!("job{id}-src"), rate, move |seq, _ts| {
+        (seq % keys, seq)
+    })
+    .grouping_key(|(k, _): &(u64, u64)| *k)
+    .window(WindowDef::sliding(SEC as Ts, (100 * MS) as Ts))
+    .aggregate(counting::<(u64, u64)>())
+    .write_to_latency(hist.clone(), count.clone());
 }
 
 fn run_jobs(jobs: u64, aggregate_rate: u64) -> (jet_util::Histogram, u64, f64) {
@@ -47,7 +56,11 @@ fn run_jobs(jobs: u64, aggregate_rate: u64) -> (jet_util::Histogram, u64, f64) {
     hist.clear();
     cluster.run_for(2 * SEC);
     cluster.cancel();
-    (hist.snapshot(), count.get(), started.elapsed().as_secs_f64())
+    (
+        hist.snapshot(),
+        count.get(),
+        started.elapsed().as_secs_f64(),
+    )
 }
 
 fn main() {

@@ -14,13 +14,17 @@
 //! absolute numbers.
 
 use jet_cluster::{SimCluster, SimClusterConfig};
-use jet_core::metrics::{SharedCounter, SharedHistogram};
+use jet_core::metrics::{
+    json_escape, HistogramSummary, MetricsSnapshot, SharedCounter, SharedHistogram,
+};
 use jet_core::processor::Guarantee;
 use jet_core::processors::WatermarkPolicy;
 use jet_core::Ts;
 use jet_nexmark::{queries, NexmarkConfig};
 use jet_pipeline::{Pipeline, WindowDef};
 use jet_util::Histogram;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 
 pub const SEC: u64 = 1_000_000_000;
 pub const MS: u64 = 1_000_000;
@@ -115,6 +119,9 @@ pub struct RunResult {
     pub wall_secs: f64,
     /// Virtual seconds simulated.
     pub virtual_secs: f64,
+    /// Job-wide metrics snapshot taken at the end of the measurement
+    /// period (all members merged).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -188,7 +195,9 @@ pub fn run(spec: &RunSpec) -> RunResult {
     let hist = SharedHistogram::new();
     let count = SharedCounter::new();
     let pipeline = build_query(spec, &hist, &count);
-    let dag = pipeline.compile(spec.cores_per_member).expect("pipeline compiles");
+    let dag = pipeline
+        .compile(spec.cores_per_member)
+        .expect("pipeline compiles");
     let cfg = SimClusterConfig {
         members: spec.members,
         cores_per_member: spec.cores_per_member,
@@ -209,6 +218,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
     cluster.run_for(spec.measure);
     let outputs = count.get() - out_before;
     let wall = started.elapsed().as_secs_f64();
+    let metrics = cluster.job_metrics();
     cluster.cancel();
     RunResult {
         hist: hist.snapshot(),
@@ -216,6 +226,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
         inputs: spec.total_rate * spec.measure / SEC,
         wall_secs: wall,
         virtual_secs: spec.measure as f64 / 1e9,
+        metrics,
     }
 }
 
@@ -239,4 +250,181 @@ pub fn percentile_curve(h: &Histogram) -> Vec<(f64, f64)> {
         .iter()
         .map(|&p| (p, h.percentile(p) as f64 / 1e6))
         .collect()
+}
+
+/// Machine-readable results file shared by every figure/ablation binary:
+/// `results/BENCH_<name>.json` holds the bench-level parameters plus, per
+/// run, its parameters, latency percentiles, throughput accounting, and the
+/// job-wide metrics snapshot.
+pub struct BenchReport {
+    name: String,
+    params: Vec<(String, String)>,
+    runs: Vec<RunRecord>,
+}
+
+struct RunRecord {
+    label: String,
+    params: Vec<(String, String)>,
+    values: Vec<(String, f64)>,
+    latency: Option<HistogramSummary>,
+    metrics: Option<MetricsSnapshot>,
+}
+
+impl BenchReport {
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            params: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Record a bench-level parameter (applies to every run).
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record one measured run with its full [`RunResult`].
+    pub fn add_run(&mut self, label: &str, params: &[(&str, String)], r: &RunResult) {
+        self.runs.push(RunRecord {
+            label: label.to_string(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            values: vec![
+                ("outputs".into(), r.outputs as f64),
+                ("inputs".into(), r.inputs as f64),
+                ("wall_secs".into(), r.wall_secs),
+                ("virtual_secs".into(), r.virtual_secs),
+            ],
+            latency: Some(HistogramSummary::of(&r.hist)),
+            metrics: Some(r.metrics.clone()),
+        });
+    }
+
+    /// Record a run that has no latency histogram (e.g. wall-clock
+    /// throughput ablations) as a bag of named scalars.
+    pub fn add_values(&mut self, label: &str, params: &[(&str, String)], values: &[(&str, f64)]) {
+        self.runs.push(RunRecord {
+            label: label.to_string(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            values: values.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            latency: None,
+            metrics: None,
+        });
+    }
+
+    pub fn to_json(&self) -> String {
+        fn obj(pairs: &[(String, String)]) -> String {
+            let body = pairs
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{{body}}}")
+        }
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"bench\": \"{}\",\n  \"params\": {},\n  \"runs\": [",
+            json_escape(&self.name),
+            obj(&self.params)
+        );
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"label\": \"{}\", \"params\": {}",
+                json_escape(&r.label),
+                obj(&r.params)
+            );
+            for (k, v) in &r.values {
+                let v = if v.is_finite() { *v } else { -1.0 };
+                let _ = write!(s, ", \"{}\": {v}", json_escape(k));
+            }
+            if let Some(l) = &r.latency {
+                let _ = write!(
+                    s,
+                    ", \"latency_nanos\": {{\"count\": {}, \"min\": {}, \"max\": {}, \
+                     \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                     \"p999\": {}, \"p9999\": {}}}",
+                    l.count, l.min, l.max, l.mean, l.p50, l.p90, l.p99, l.p999, l.p9999
+                );
+            }
+            if let Some(m) = &r.metrics {
+                let _ = write!(s, ", \"metrics\": {}", m.render_json());
+            }
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Write `results/BENCH_<name>.json` next to the latency output and
+    /// return its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        eprintln!("  [report written to {}]", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_json_has_the_shared_schema() {
+        let mut hist = Histogram::latency();
+        for v in [MS, 2 * MS, 5 * MS, 10 * MS] {
+            hist.record(v);
+        }
+        let reg = jet_core::metrics::MetricsRegistry::new();
+        reg.counter(
+            "jet_events_in_total",
+            jet_core::metrics::tags(&[("vertex", "v")]),
+        )
+        .add(4);
+        let r = RunResult {
+            hist,
+            outputs: 4,
+            inputs: 100,
+            wall_secs: 0.5,
+            virtual_secs: 3.0,
+            metrics: reg.snapshot(),
+        };
+        let mut report = BenchReport::new("unit");
+        report.param("query", "Q5").param("members", 2);
+        report.add_run("case-a", &[("rate", "1000".to_string())], &r);
+        report.add_values("case-b", &[], &[("speedup", 2.5)]);
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"unit\"",
+            "\"params\": {\"query\": \"Q5\", \"members\": \"2\"}",
+            "\"label\": \"case-a\"",
+            "\"latency_nanos\"",
+            "\"p9999\"",
+            "\"outputs\": 4",
+            "\"metrics\": {\"metrics\":[",
+            "jet_events_in_total",
+            "\"speedup\": 2.5",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Balanced braces/brackets — a cheap structural sanity check given
+        // the writer emits JSON by hand.
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced JSON:\n{json}");
+    }
 }

@@ -1,7 +1,6 @@
 //! Diagnostic: which events disappear across kill+recover?
 use jet_cluster::{SimCluster, SimClusterConfig};
 use jet_core::processor::Guarantee;
-use jet_core::processors::agg::counting;
 use jet_core::Ts;
 use jet_pipeline::{Pipeline, WindowDef, WindowResult};
 use parking_lot::Mutex;
@@ -11,11 +10,14 @@ use std::sync::Arc;
 const SEC: u64 = 1_000_000_000;
 const MS: u64 = 1_000_000;
 
+/// Per-window collected seqs, so missing events can be pinpointed.
+type Collected = Arc<Mutex<Vec<(Ts, WindowResult<u64, Vec<u64>>)>>>;
+
 fn main() {
     const LIMIT: u64 = 40_000;
     const KEYS: u64 = 32;
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, Vec<u64>>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected = Arc::new(Mutex::new(Vec::new()));
     // Collect the actual seqs per key so we can see WHICH are missing.
     let op = jet_core::processors::agg::AggregateOp::of::<(u64, u64), _, _, _>(
         Vec::new,
@@ -45,12 +47,18 @@ fn main() {
     };
     let mut cluster = SimCluster::start(dag, cfg).unwrap();
     cluster.run_for(20 * MS);
-    println!("completed snapshot before kill: {}", cluster.registry().completed());
+    println!(
+        "completed snapshot before kill: {}",
+        cluster.registry().completed()
+    );
     let victim = cluster.grid().members()[1];
     let recovered = cluster.kill_member_and_recover(victim).unwrap();
     println!("recovered from snapshot: {recovered:?}");
     let finished = cluster.run_for(120 * SEC);
-    println!("finished: {finished}, live tasklets: {}", cluster.live_tasklets());
+    println!(
+        "finished: {finished}, live tasklets: {}",
+        cluster.live_tasklets()
+    );
     let results = out.lock();
     let mut seen: HashMap<u64, u64> = HashMap::new(); // seq -> times
     for (_, r) in results.iter() {
@@ -59,8 +67,17 @@ fn main() {
         }
     }
     let missing: Vec<u64> = (0..LIMIT).filter(|s| !seen.contains_key(s)).collect();
-    let dups: Vec<u64> = seen.iter().filter(|(_, &c)| c > 1).map(|(&s, _)| s).collect();
-    println!("total distinct: {}, missing: {}, dups: {}", seen.len(), missing.len(), dups.len());
+    let dups: Vec<u64> = seen
+        .iter()
+        .filter(|(_, &c)| c > 1)
+        .map(|(&s, _)| s)
+        .collect();
+    println!(
+        "total distinct: {}, missing: {}, dups: {}",
+        seen.len(),
+        missing.len(),
+        dups.len()
+    );
     if !missing.is_empty() {
         let min = missing.iter().min().unwrap();
         let max = missing.iter().max().unwrap();

@@ -1,0 +1,33 @@
+//! Minimal observability demo: run a windowed counting job on a two-member
+//! simulated cluster and dump the job-wide Prometheus exposition.
+use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_core::processors::agg::counting;
+use jet_pipeline::{Pipeline, WindowDef};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    let p = Pipeline::create();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    p.read_from_generator_cfg(
+        "gen",
+        1_000_000,
+        Some(10_000),
+        jet_core::processors::WatermarkPolicy::default(),
+        |seq, _ts| seq % 8,
+    )
+    .grouping_key(|k: &u64| *k)
+    .window(WindowDef::tumbling(1_000_000_000))
+    .aggregate(counting::<u64>())
+    .write_to_collect(out.clone());
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    assert!(cluster.run_for(30_000_000_000));
+    print!("{}", cluster.prometheus());
+}

@@ -13,6 +13,7 @@
 //! clock.
 
 use crate::wiring::{build_cluster_execution, ClusterConfig, ClusterExecution};
+use jet_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use jet_core::network::InMemoryTransport;
 use jet_core::processor::Guarantee;
 use jet_core::snapshot::SnapshotRegistry;
@@ -77,13 +78,14 @@ pub struct SimCluster {
     sim: Simulator,
     cancelled: Arc<AtomicBool>,
     job_id: u64,
+    /// One metrics registry per live member, rebuilt with the execution.
+    member_metrics: Vec<Arc<MetricsRegistry>>,
 }
 
 impl SimCluster {
     /// Build the grid, wire the job, and place tasklets on virtual cores.
     pub fn start(dag: Dag, cfg: SimClusterConfig) -> Result<SimCluster, String> {
-        let grid =
-            Grid::with_partition_count(cfg.members, cfg.backup_count, cfg.partition_count);
+        let grid = Grid::with_partition_count(cfg.members, cfg.backup_count, cfg.partition_count);
         let clock = Arc::new(ManualClock::new());
         let shared_clock: SharedClock = clock.clone();
         let store = SnapshotStore::new(&grid, 1);
@@ -103,6 +105,7 @@ impl SimCluster {
             sim: Simulator::new(Arc::new(ManualClock::new()), CostModel::default(), 1),
             cancelled: Arc::new(AtomicBool::new(false)),
             job_id: 1,
+            member_metrics: Vec::new(),
         };
         me.build_execution(None)?;
         Ok(me)
@@ -123,8 +126,10 @@ impl SimCluster {
     /// rescaling. `restore` names the snapshot to reload.
     fn build_execution(&mut self, restore: Option<u64>) -> Result<(), String> {
         let members = self.grid.members();
-        let transport =
-            Arc::new(InMemoryTransport::new(self.shared_clock.clone(), self.cfg.network_latency));
+        let transport = Arc::new(InMemoryTransport::new(
+            self.shared_clock.clone(),
+            self.cfg.network_latency,
+        ));
         // A fresh registry per execution (acks from the old execution must
         // not leak in), sharing the same durable store.
         self.registry = if self.cfg.snapshot_interval > 0 {
@@ -152,10 +157,14 @@ impl SimCluster {
             },
         )?;
         self.cancelled = exec.cancelled.clone();
+        self.member_metrics = exec.members.iter().map(|m| m.metrics.clone()).collect();
         // Fresh simulator on the SAME clock: virtual time continues across
         // recoveries, so latency measurements span the outage.
-        let mut sim =
-            Simulator::new(self.clock.clone(), self.cfg.cost_model.clone(), self.cfg.quantum);
+        let mut sim = Simulator::new(
+            self.clock.clone(),
+            self.cfg.cost_model.clone(),
+            self.cfg.quantum,
+        );
         if let Some(gc) = self.cfg.gc.clone() {
             sim = sim.with_gc(gc);
         }
@@ -203,6 +212,26 @@ impl SimCluster {
         self.sim.busy_nanos()
     }
 
+    /// Per-member metrics registries of the current execution.
+    pub fn member_metrics(&self) -> &[Arc<MetricsRegistry>] {
+        &self.member_metrics
+    }
+
+    /// Aggregate every member's registry into one job-level snapshot,
+    /// stamped with the `job` tag.
+    pub fn job_metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for reg in &self.member_metrics {
+            snap.merge(&reg.snapshot());
+        }
+        snap.with_tag("job", &self.job_id.to_string())
+    }
+
+    /// Prometheus text exposition of [`Self::job_metrics`].
+    pub fn prometheus(&self) -> String {
+        self.job_metrics().render_prometheus()
+    }
+
     /// Per-tasklet (core, name, in, out) diagnostics.
     pub fn tasklet_stats(&self) -> Vec<(usize, String, u64, u64)> {
         self.sim.tasklet_stats()
@@ -235,7 +264,8 @@ impl SimCluster {
 
     /// Cooperatively stop the job and drain.
     pub fn cancel(&self) {
-        self.cancelled.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.cancelled
+            .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Kill `member` abruptly and recover from the latest complete snapshot

@@ -16,8 +16,8 @@
 
 use jet_core::dag::{Dag, Routing};
 use jet_core::item::Item;
-use jet_core::metrics::TaskletCounters;
-use jet_core::network::{ChannelId, ReceiverTasklet, SenderTasklet, Transport};
+use jet_core::metrics::{tags, MetricsRegistry, TaskletCounters};
+use jet_core::network::{ChannelId, ChannelMetrics, ReceiverTasklet, SenderTasklet, Transport};
 use jet_core::outbound::OutboundCollector;
 use jet_core::processor::{Guarantee, ProcessorContext};
 use jet_core::snapshot::SnapshotRegistry;
@@ -28,7 +28,7 @@ use jet_imdg::{MemberId, SnapshotStore};
 use jet_queue::{Conveyor, Producer};
 use jet_util::clock::SharedClock;
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Cluster execution configuration.
@@ -69,11 +69,18 @@ impl ClusterConfig {
     }
 }
 
+/// A runnable tasklet paired with its counters (for the simulator's cost
+/// accounting); control tasklets have no counters.
+pub type CountedTasklet = (Box<dyn Tasklet>, Option<Arc<TaskletCounters>>);
+
 /// One member's share of a wired cluster execution.
 pub struct MemberExecution {
     pub member: MemberId,
-    /// Tasklets with their counters (for the simulator's cost accounting).
-    pub tasklets: Vec<(Box<dyn Tasklet>, Option<Arc<TaskletCounters>>)>,
+    pub tasklets: Vec<CountedTasklet>,
+    /// This member's metrics registry (default tag `member`), populated by
+    /// the wiring with per-vertex event counters, per-lane queue-depth
+    /// gauges, and distributed-channel instruments.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 /// A fully wired cluster execution.
@@ -104,6 +111,17 @@ pub fn build_cluster_execution(
         ));
     }
     let n_members = members.len();
+    // One metrics registry per member; everything the wiring creates below
+    // registers into the owning member's registry, tagged with its scope.
+    let registries: Vec<Arc<MetricsRegistry>> = members
+        .iter()
+        .map(|m| {
+            Arc::new(MetricsRegistry::with_tags(tags(&[(
+                "member",
+                &m.0.to_string(),
+            )])))
+        })
+        .collect();
     let member_index: HashMap<MemberId, usize> =
         members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
     // Partition -> owning member index (primary replica owner among the
@@ -139,8 +157,8 @@ pub fn build_cluster_execution(
     for (edge_idx, e) in dag.edges().iter().enumerate() {
         let producers = lp[e.from];
         let consumers = lp[e.to];
-        let crosses_members = n_members > 1
-            && matches!(e.routing, Routing::Partitioned(_) | Routing::Broadcast);
+        let crosses_members =
+            n_members > 1 && matches!(e.routing, Routing::Partitioned(_) | Routing::Broadcast);
         if matches!(e.routing, Routing::Isolated) && producers != consumers {
             return Err("isolated edge with mismatched parallelism".into());
         }
@@ -151,22 +169,39 @@ pub fn build_cluster_execution(
             let remote_lanes = if crosses_members { n_members - 1 } else { 0 };
             let mut consumer_handles: Vec<Vec<Producer<Item>>> = Vec::with_capacity(consumers);
             for j in 0..consumers {
-                let (conveyor, handles) =
-                    Conveyor::new(producers + remote_lanes, e.queue_capacity);
-                inputs.entry((mi, e.to, j)).or_default().push(InputConveyor {
-                    ordinal: e.to_ordinal,
-                    priority: e.priority,
-                    conveyor,
-                });
+                let (conveyor, handles) = Conveyor::new(producers + remote_lanes, e.queue_capacity);
+                let vname = &dag.vertices()[e.to].name;
+                for (lane, probe) in conveyor.probes().into_iter().enumerate() {
+                    let qt = tags(&[
+                        ("vertex", vname),
+                        ("ordinal", &e.to_ordinal.to_string()),
+                        ("instance", &j.to_string()),
+                        ("lane", &lane.to_string()),
+                    ]);
+                    registries[mi]
+                        .gauge("jet_queue_capacity", qt.clone())
+                        .set(probe.capacity() as i64);
+                    registries[mi].gauge_fn("jet_queue_depth", qt, move || probe.depth() as i64);
+                }
+                inputs
+                    .entry((mi, e.to, j))
+                    .or_default()
+                    .push(InputConveyor {
+                        ordinal: e.to_ordinal,
+                        priority: e.priority,
+                        conveyor,
+                    });
                 consumer_handles.push(handles);
             }
             // consumer_handles[j][lane]: lanes 0..producers are local
             // producers; lanes producers.. are receivers (one per remote).
             // Local producer i's direct targets: handle j of each consumer.
-            let mut local_targets: Vec<Vec<Producer<Item>>> =
-                (0..producers).map(|_| Vec::with_capacity(consumers)).collect();
-            let mut receiver_targets: Vec<Vec<Producer<Item>>> =
-                (0..remote_lanes).map(|_| Vec::with_capacity(consumers)).collect();
+            let mut local_targets: Vec<Vec<Producer<Item>>> = (0..producers)
+                .map(|_| Vec::with_capacity(consumers))
+                .collect();
+            let mut receiver_targets: Vec<Vec<Producer<Item>>> = (0..remote_lanes)
+                .map(|_| Vec::with_capacity(consumers))
+                .collect();
             for handles in consumer_handles {
                 // handles is Vec<Producer> indexed by lane, consumed in order.
                 for (lane, h) in handles.into_iter().enumerate() {
@@ -197,19 +232,15 @@ pub fn build_cluster_execution(
                         Routing::Broadcast => Routing::Broadcast,
                         other => other.clone(),
                     };
-                    let collector = OutboundCollector::new(
-                        routing,
-                        targets,
-                        ptt,
-                        cfg.partition_count,
-                        0,
-                    );
+                    let collector =
+                        OutboundCollector::new(routing, targets, ptt, cfg.partition_count, 0);
                     let mut receiver = ReceiverTasklet::new(
                         channel,
                         transport.clone(),
                         cfg.clock.clone(),
                         collector,
-                    );
+                    )
+                    .with_metrics(ChannelMetrics::receiver_side(&registries[mi], channel));
                     if let Some(w) = cfg.fixed_receive_window {
                         receiver = receiver.with_fixed_window(w);
                     }
@@ -228,25 +259,34 @@ pub fn build_cluster_execution(
                         from: members[mi].0,
                         to: members[to_mi].0,
                     };
-                    let sender = SenderTasklet::new(
-                        channel,
-                        transport.clone(),
-                        conveyor,
-                        cfg.guarantee,
-                    );
+                    for (lane, probe) in conveyor.probes().into_iter().enumerate() {
+                        let qt = tags(&[
+                            ("edge", &channel.edge.to_string()),
+                            ("from", &channel.from.to_string()),
+                            ("to", &channel.to.to_string()),
+                            ("lane", &lane.to_string()),
+                        ]);
+                        registries[mi]
+                            .gauge("jet_queue_capacity", qt.clone())
+                            .set(probe.capacity() as i64);
+                        registries[mi]
+                            .gauge_fn("jet_queue_depth", qt, move || probe.depth() as i64);
+                    }
+                    let sender =
+                        SenderTasklet::new(channel, transport.clone(), conveyor, cfg.guarantee)
+                            .with_metrics(ChannelMetrics::sender_side(&registries[mi], channel));
                     exchange_tasklets.push((mi, Box::new(sender)));
                     sender_handles.push(handles);
                 }
             }
             // Producer-side wiring: targets = local consumers ++ senders.
             for i in 0..producers {
-                let mut targets: Vec<Producer<Item>> = Vec::with_capacity(consumers + n_members - 1);
+                let mut targets: Vec<Producer<Item>> =
+                    Vec::with_capacity(consumers + n_members - 1);
                 targets.append(&mut local_targets[i].drain(..).collect());
                 for handles in &mut sender_handles {
                     // handles[i] is producer i's lane into this sender.
-                    targets.push(
-                        std::mem::replace(&mut handles[i], dead_producer()),
-                    );
+                    targets.push(std::mem::replace(&mut handles[i], dead_producer()));
                 }
                 let ptt: Vec<u16> = match &e.routing {
                     Routing::Partitioned(_) => (0..cfg.partition_count)
@@ -268,7 +308,10 @@ pub fn build_cluster_execution(
                 };
                 out_wiring.insert(
                     (mi, e.from, i, e.from_ordinal),
-                    OutWiring { targets, partition_to_target: ptt },
+                    OutWiring {
+                        targets,
+                        partition_to_target: ptt,
+                    },
                 );
             }
         }
@@ -278,7 +321,12 @@ pub fn build_cluster_execution(
     let cancelled = Arc::new(AtomicBool::new(false));
     let mut member_execs: Vec<MemberExecution> = members
         .iter()
-        .map(|&m| MemberExecution { member: m, tasklets: Vec::new() })
+        .zip(&registries)
+        .map(|(&m, reg)| MemberExecution {
+            member: m,
+            tasklets: Vec::new(),
+            metrics: reg.clone(),
+        })
         .collect();
     let mut participants = 0usize;
 
@@ -327,11 +375,31 @@ pub fn build_cluster_execution(
                     ));
                 }
                 let ins = inputs.remove(&(mi, v, i)).unwrap_or_default();
-                let tasklet =
-                    ProcessorTasklet::new(processor, ctx, ins, collectors, registry.clone(), cfg.batch);
+                let tasklet = ProcessorTasklet::new(
+                    processor,
+                    ctx,
+                    ins,
+                    collectors,
+                    registry.clone(),
+                    cfg.batch,
+                );
                 let counters = tasklet.counters();
+                let ct = tags(&[
+                    ("vertex", &vertex.name),
+                    ("instance", &global_index.to_string()),
+                ]);
+                let c_in = counters.clone();
+                registries[mi].counter_fn("jet_events_in_total", ct.clone(), move || {
+                    c_in.events_in.load(Ordering::Relaxed)
+                });
+                let c_out = counters.clone();
+                registries[mi].counter_fn("jet_events_out_total", ct, move || {
+                    c_out.events_out.load(Ordering::Relaxed)
+                });
                 participants += 1;
-                member_execs[mi].tasklets.push((Box::new(tasklet), Some(counters)));
+                member_execs[mi]
+                    .tasklets
+                    .push((Box::new(tasklet), Some(counters)));
             }
         }
     }
@@ -339,7 +407,10 @@ pub fn build_cluster_execution(
         member_execs[mi].tasklets.push((t, None));
     }
     registry.set_participants(participants);
-    Ok(ClusterExecution { members: member_execs, cancelled })
+    Ok(ClusterExecution {
+        members: member_execs,
+        cancelled,
+    })
 }
 
 /// A producer handle whose consumer is dropped immediately — used only as a

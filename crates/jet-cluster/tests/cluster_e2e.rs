@@ -13,6 +13,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Timestamped sink output, shared with the collecting stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
 const SEC: u64 = 1_000_000_000;
 const MS: u64 = 1_000_000;
 
@@ -23,7 +26,7 @@ fn counting_job(
     limit: u64,
     keys: u64,
     window: Ts,
-) -> (Pipeline, Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>>) {
+) -> (Pipeline, Collected<WindowResult<u64, u64>>) {
     let p = Pipeline::create();
     let out = Arc::new(Mutex::new(Vec::new()));
     p.read_from_generator_cfg(
@@ -79,8 +82,11 @@ fn single_vs_multi_member_results_agree() {
         };
         let mut cluster = SimCluster::start(dag, cfg).unwrap();
         assert!(cluster.run_for(20 * SEC));
-        let mut v: Vec<(u64, Ts, u64)> =
-            out.lock().iter().map(|(_, r)| (r.key, r.end, r.value)).collect();
+        let mut v: Vec<(u64, Ts, u64)> = out
+            .lock()
+            .iter()
+            .map(|(_, r)| (r.key, r.end, r.value))
+            .collect();
         v.sort_unstable();
         v
     };
@@ -104,11 +110,17 @@ fn exactly_once_survives_member_kill() {
     let mut cluster = SimCluster::start(dag, cfg).unwrap();
     // Run 20 virtual ms (half the 40 ms stream), ensuring >=1 snapshot.
     cluster.run_for(20 * MS);
-    assert!(cluster.registry().completed() >= 1, "no snapshot completed before kill");
+    assert!(
+        cluster.registry().completed() >= 1,
+        "no snapshot completed before kill"
+    );
     let victim = cluster.grid().members()[1];
     let recovered_from = cluster.kill_member_and_recover(victim).unwrap();
     assert!(recovered_from.is_some(), "recovery had no snapshot");
-    assert!(cluster.run_for(60 * SEC), "job did not finish after recovery");
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not finish after recovery"
+    );
     let results = out.lock();
     let mut per_key: HashMap<u64, u64> = HashMap::new();
     for (_, r) in results.iter() {
@@ -137,7 +149,10 @@ fn at_least_once_loses_nothing_but_may_duplicate() {
     cluster.kill_member_and_recover(victim).unwrap();
     assert!(cluster.run_for(60 * SEC));
     let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
-    assert!(total >= LIMIT, "at-least-once lost events: {total} < {LIMIT}");
+    assert!(
+        total >= LIMIT,
+        "at-least-once lost events: {total} < {LIMIT}"
+    );
 }
 
 #[test]
@@ -158,14 +173,17 @@ fn rescale_adds_member_without_losing_state() {
     let new_member = cluster.add_member_and_rescale(SEC).unwrap();
     assert_eq!(cluster.grid().members().len(), 3);
     assert!(cluster.grid().members().contains(&new_member));
-    assert!(cluster.run_for(60 * SEC), "job did not finish after rescale");
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not finish after rescale"
+    );
     let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
     assert_eq!(total, LIMIT, "rescale lost or duplicated events");
 }
 
 #[test]
 fn active_active_failover_keeps_results_flowing() {
-    let make = |out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>>| {
+    let make = |out: Collected<WindowResult<u64, u64>>| {
         let p = Pipeline::create();
         p.read_from_generator_cfg(
             "gen",
@@ -205,7 +223,11 @@ fn nexmark_q5_runs_on_a_simulated_cluster_with_sane_latency() {
     let p = Pipeline::create();
     let hist = SharedHistogram::new();
     let count = SharedCounter::new();
-    let nex = NexmarkConfig { people: 100, auctions: 100, ..Default::default() };
+    let nex = NexmarkConfig {
+        people: 100,
+        auctions: 100,
+        ..Default::default()
+    };
     let src = jet_nexmark::queries::source(
         &p,
         &nex,

@@ -15,12 +15,15 @@ use jet_pipeline::{Pipeline, WindowDef, WindowResult};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Timestamped sink output, shared with the collecting stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
 #[test]
 fn threaded_multi_member_windowed_count_is_exact() {
     const LIMIT: u64 = 60_000;
     const KEYS: u64 = 32;
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
     p.read_from_generator_cfg(
         "gen",
         2_000_000,
@@ -44,8 +47,7 @@ fn threaded_multi_member_windowed_count_is_exact() {
     let mut cfg = ClusterConfig::new(2, clock).with_guarantee(Guarantee::None);
     cfg.partition_count = 31;
     let exec =
-        build_cluster_execution(&dag, &members, &table, transport, &cfg, &registry, None)
-            .unwrap();
+        build_cluster_execution(&dag, &members, &table, transport, &cfg, &registry, None).unwrap();
     let tasklets: Vec<_> = exec
         .members
         .into_iter()
@@ -90,16 +92,8 @@ fn threaded_cluster_with_snapshots_completes_checkpoints() {
     let registry = Arc::new(SnapshotRegistry::new(store.clone(), 0));
     let mut cfg = ClusterConfig::new(2, clock.clone()).with_guarantee(Guarantee::ExactlyOnce);
     cfg.partition_count = 31;
-    let exec = build_cluster_execution(
-        &dag,
-        &members,
-        &table,
-        transport,
-        &cfg,
-        &registry,
-        None,
-    )
-    .unwrap();
+    let exec =
+        build_cluster_execution(&dag, &members, &table, transport, &cfg, &registry, None).unwrap();
     let tasklets: Vec<_> = exec
         .members
         .into_iter()

@@ -155,16 +155,19 @@ pub struct Dag {
 
 impl Dag {
     pub fn new() -> Dag {
-        Dag { vertices: Vec::new(), edges: Vec::new() }
+        Dag {
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Add a vertex; returns its id.
-    pub fn vertex(
-        &mut self,
-        name: impl Into<String>,
-        supplier: ProcessorSupplier,
-    ) -> VertexId {
-        self.vertices.push(Vertex { name: name.into(), local_parallelism: None, supplier });
+    pub fn vertex(&mut self, name: impl Into<String>, supplier: ProcessorSupplier) -> VertexId {
+        self.vertices.push(Vertex {
+            name: name.into(),
+            local_parallelism: None,
+            supplier,
+        });
         self.vertices.len() - 1
     }
 
@@ -333,7 +336,11 @@ impl std::fmt::Debug for Dag {
                 e.to_ordinal,
                 e.routing,
                 if e.distributed { " dist" } else { "" },
-                if e.priority != 0 { format!(" prio={}", e.priority) } else { String::new() },
+                if e.priority != 0 {
+                    format!(" prio={}", e.priority)
+                } else {
+                    String::new()
+                },
             )?;
         }
         write!(f, "}}")

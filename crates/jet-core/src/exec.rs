@@ -8,12 +8,91 @@
 //! progressive backoff idle strategy so idle jobs cost (almost) nothing —
 //! the property multi-tenancy (§7.7) relies on.
 
+use crate::log::RateLimitedLog;
+use crate::metrics::{tags, MetricsRegistry, SharedCounter, SharedHistogram, TaskletCounters};
 use crate::tasklet::Tasklet;
 use jet_util::idle::{BackoffIdle, IdleStrategy};
 use jet_util::progress::Progress;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default wall-clock budget for one cooperative `call()`. Jet's contract
+/// (§3.2) is that cooperative tasklets return in microseconds; a call this
+/// long means something inside is blocking or looping and the worker's other
+/// tasklets are being starved.
+pub const DEFAULT_HOG_BUDGET: Duration = Duration::from_millis(10);
+
+/// Default minimum spacing between two emitted hog warnings.
+pub const DEFAULT_HOG_LOG_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Observability wiring for the threaded executor: where to register worker
+/// metrics, the per-call budget, and the rate-limited warning channel.
+#[derive(Clone)]
+pub struct ExecObservability {
+    pub registry: Arc<MetricsRegistry>,
+    pub hog_budget: Duration,
+    pub hog_log: Arc<RateLimitedLog>,
+}
+
+impl ExecObservability {
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        ExecObservability {
+            registry,
+            hog_budget: DEFAULT_HOG_BUDGET,
+            hog_log: Arc::new(RateLimitedLog::new(DEFAULT_HOG_LOG_INTERVAL)),
+        }
+    }
+
+    pub fn with_hog_budget(mut self, budget: Duration) -> Self {
+        self.hog_budget = budget;
+        self
+    }
+
+    pub fn with_hog_log(mut self, log: Arc<RateLimitedLog>) -> Self {
+        self.hog_log = log;
+        self
+    }
+
+    /// Instruments for one worker thread: busy/idle round counters (the
+    /// previously dead `TaskletCounters` fields), a per-`call()` duration
+    /// histogram, and a hog counter — all tagged `worker=<label>`.
+    fn for_worker(&self, label: &str) -> WorkerObs {
+        let counters = TaskletCounters::shared();
+        let t = tags(&[("worker", label)]);
+        let c = counters.clone();
+        self.registry
+            .counter_fn("jet_worker_busy_rounds_total", t.clone(), move || {
+                c.busy_rounds.load(Ordering::Relaxed)
+            });
+        let c = counters.clone();
+        self.registry
+            .counter_fn("jet_worker_idle_rounds_total", t.clone(), move || {
+                c.idle_rounds.load(Ordering::Relaxed)
+            });
+        WorkerObs {
+            counters,
+            call_hist: self
+                .registry
+                .histogram("jet_worker_call_duration_nanos", t.clone()),
+            hogs: self.registry.counter("jet_tasklet_hog_total", t),
+            hog_budget_nanos: self.hog_budget.as_nanos() as u64,
+            hog_log: self.hog_log.clone(),
+            label: label.to_string(),
+        }
+    }
+}
+
+/// Per-worker observability state threaded into `worker_loop`.
+struct WorkerObs {
+    counters: Arc<TaskletCounters>,
+    call_hist: SharedHistogram,
+    hogs: SharedCounter,
+    hog_budget_nanos: u64,
+    hog_log: Arc<RateLimitedLog>,
+    label: String,
+}
 
 /// Handle to a running threaded execution.
 pub struct ExecutionHandle {
@@ -52,28 +131,69 @@ impl ExecutionHandle {
 }
 
 /// Run one worker's round-robin loop until all its tasklets are done.
-fn worker_loop(mut tasklets: Vec<Box<dyn Tasklet>>, live: Arc<AtomicUsize>) {
+fn worker_loop(tasklets: Vec<Box<dyn Tasklet>>, live: Arc<AtomicUsize>) {
+    worker_loop_observed(tasklets, live, None)
+}
+
+/// `worker_loop` with optional self-profiling: per-round busy/idle counters,
+/// a per-`call()` wall-clock histogram, and the rate-limited warning when a
+/// cooperative tasklet overruns its call budget.
+fn worker_loop_observed(
+    mut tasklets: Vec<Box<dyn Tasklet>>,
+    live: Arc<AtomicUsize>,
+    obs: Option<WorkerObs>,
+) {
     let mut idle = BackoffIdle::jet_default();
     let mut idle_rounds = 0u64;
     while !tasklets.is_empty() {
         let mut progressed = false;
-        tasklets.retain_mut(|t| match t.call() {
-            Progress::MadeProgress => {
-                progressed = true;
-                true
+        tasklets.retain_mut(|t| {
+            let result;
+            if let Some(o) = &obs {
+                let start = Instant::now();
+                result = t.call();
+                let nanos = start.elapsed().as_nanos() as u64;
+                o.call_hist.record(nanos.max(1));
+                if nanos > o.hog_budget_nanos && t.is_cooperative() {
+                    o.hogs.add(1);
+                    o.hog_log.warn(|| {
+                        format!(
+                            "cooperative tasklet '{}' hogged worker {} for {:.3} ms \
+                             (budget {:.3} ms); cooperative call()s must not block",
+                            t.name(),
+                            o.label,
+                            nanos as f64 / 1e6,
+                            o.hog_budget_nanos as f64 / 1e6,
+                        )
+                    });
+                }
+            } else {
+                result = t.call();
             }
-            Progress::NoProgress => true,
-            Progress::Done => {
-                progressed = true;
-                live.fetch_sub(1, Ordering::SeqCst);
-                false
+            match result {
+                Progress::MadeProgress => {
+                    progressed = true;
+                    true
+                }
+                Progress::NoProgress => true,
+                Progress::Done => {
+                    progressed = true;
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    false
+                }
             }
         });
         if progressed {
             idle_rounds = 0;
             idle.reset();
+            if let Some(o) = &obs {
+                o.counters.add_busy(1);
+            }
         } else {
             idle_rounds += 1;
+            if let Some(o) = &obs {
+                o.counters.add_idle(1);
+            }
             idle.idle(idle_rounds);
         }
     }
@@ -87,28 +207,64 @@ pub fn spawn_threaded(
     threads: usize,
     cancelled: Arc<AtomicBool>,
 ) -> ExecutionHandle {
+    spawn_threaded_inner(tasklets, threads, cancelled, None)
+}
+
+/// [`spawn_threaded`] with scheduler self-profiling: every worker registers
+/// busy/idle round counters and a per-`call()` duration histogram in
+/// `obs.registry`, and cooperative calls overrunning `obs.hog_budget` emit a
+/// rate-limited hog warning through `obs.hog_log`. Dedicated threads for
+/// non-cooperative tasklets are profiled too (tagged `worker=dedicated-N`)
+/// but never hog-warned — blocking is what they are for.
+pub fn spawn_threaded_observed(
+    tasklets: Vec<Box<dyn Tasklet>>,
+    threads: usize,
+    cancelled: Arc<AtomicBool>,
+    obs: &ExecObservability,
+) -> ExecutionHandle {
+    spawn_threaded_inner(tasklets, threads, cancelled, Some(obs))
+}
+
+fn spawn_threaded_inner(
+    tasklets: Vec<Box<dyn Tasklet>>,
+    threads: usize,
+    cancelled: Arc<AtomicBool>,
+    obs: Option<&ExecObservability>,
+) -> ExecutionHandle {
     let threads = threads.max(1);
     let live = Arc::new(AtomicUsize::new(tasklets.len()));
     let mut coop: Vec<Vec<Box<dyn Tasklet>>> = (0..threads).map(|_| Vec::new()).collect();
     let mut joins = Vec::new();
     let mut next = 0usize;
+    let mut dedicated = 0usize;
     for t in tasklets {
         if t.is_cooperative() {
             coop[next % threads].push(t);
             next += 1;
         } else {
             let live = live.clone();
-            joins.push(std::thread::spawn(move || worker_loop(vec![t], live)));
+            let wo = obs.map(|o| o.for_worker(&format!("dedicated-{dedicated}")));
+            dedicated += 1;
+            joins.push(std::thread::spawn(move || {
+                worker_loop_observed(vec![t], live, wo)
+            }));
         }
     }
-    for worker_tasklets in coop {
+    for (i, worker_tasklets) in coop.into_iter().enumerate() {
         if worker_tasklets.is_empty() {
             continue;
         }
         let live = live.clone();
-        joins.push(std::thread::spawn(move || worker_loop(worker_tasklets, live)));
+        let wo = obs.map(|o| o.for_worker(&i.to_string()));
+        joins.push(std::thread::spawn(move || {
+            worker_loop_observed(worker_tasklets, live, wo)
+        }));
     }
-    ExecutionHandle { cancelled, live_tasklets: live, joins }
+    ExecutionHandle {
+        cancelled,
+        live_tasklets: live,
+        joins,
+    }
 }
 
 /// Deterministic single-threaded driver: round-robin all tasklets until all
@@ -142,7 +298,11 @@ pub fn spawn_thread_per_operator(
             std::thread::spawn(move || worker_loop(vec![t], live))
         })
         .collect();
-    ExecutionHandle { cancelled, live_tasklets: live, joins }
+    ExecutionHandle {
+        cancelled,
+        live_tasklets: live,
+        joins,
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +328,10 @@ mod tests {
     }
 
     fn countdown(n: usize) -> Box<dyn Tasklet> {
-        Box::new(CountDown { n, name: format!("cd{n}") })
+        Box::new(CountDown {
+            n,
+            name: format!("cd{n}"),
+        })
     }
 
     #[test]
@@ -224,5 +387,147 @@ mod tests {
         let ts: Vec<Box<dyn Tasklet>> = vec![Box::new(NonCoop), countdown(3)];
         let h = spawn_threaded(ts, 1, Arc::new(AtomicBool::new(false)));
         h.join();
+    }
+
+    /// Progresses `busy` times, stalls for `stall` rounds, then finishes —
+    /// exercises both branches of the round accounting.
+    struct BusyThenStall {
+        busy: usize,
+        stall: usize,
+    }
+
+    impl Tasklet for BusyThenStall {
+        fn call(&mut self) -> Progress {
+            if self.busy > 0 {
+                self.busy -= 1;
+                Progress::MadeProgress
+            } else if self.stall > 0 {
+                self.stall -= 1;
+                Progress::NoProgress
+            } else {
+                Progress::Done
+            }
+        }
+        fn name(&self) -> &str {
+            "busy-then-stall"
+        }
+    }
+
+    #[test]
+    fn observed_worker_wires_busy_and_idle_round_counters() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = ExecObservability::new(registry.clone());
+        let ts: Vec<Box<dyn Tasklet>> = vec![Box::new(BusyThenStall { busy: 10, stall: 4 })];
+        spawn_threaded_observed(ts, 1, Arc::new(AtomicBool::new(false)), &obs).join();
+        let snap = registry.snapshot();
+        // 10 progressing rounds + the final Done round.
+        assert_eq!(
+            snap.counter_total("jet_worker_busy_rounds_total", &[("worker", "0")]),
+            11
+        );
+        assert_eq!(
+            snap.counter_total("jet_worker_idle_rounds_total", &[("worker", "0")]),
+            4
+        );
+        // Every call() landed in the duration histogram.
+        let m = snap
+            .find("jet_worker_call_duration_nanos", &[("worker", "0")])
+            .unwrap();
+        match &m.value {
+            crate::metrics::MetricValue::Histogram(h) => assert_eq!(h.count, 15),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    struct SlowTasklet {
+        calls: usize,
+    }
+
+    impl Tasklet for SlowTasklet {
+        fn call(&mut self) -> Progress {
+            if self.calls == 0 {
+                return Progress::Done;
+            }
+            self.calls -= 1;
+            std::thread::sleep(Duration::from_millis(2));
+            Progress::MadeProgress
+        }
+        fn name(&self) -> &str {
+            "deliberately-slow"
+        }
+    }
+
+    #[test]
+    fn hog_warning_fires_exactly_once_under_rate_limiting() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let warnings = Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+        let sink = warnings.clone();
+        let hog_log = Arc::new(RateLimitedLog::new(Duration::from_secs(3600)));
+        hog_log.set_sink(move |m| sink.lock().push(m.to_string()));
+        let obs = ExecObservability::new(registry.clone())
+            .with_hog_budget(Duration::from_micros(100))
+            .with_hog_log(hog_log.clone());
+        let ts: Vec<Box<dyn Tasklet>> = vec![Box::new(SlowTasklet { calls: 6 })];
+        spawn_threaded_observed(ts, 1, Arc::new(AtomicBool::new(false)), &obs).join();
+        // All six slow calls overran the budget...
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_total("jet_tasklet_hog_total", &[]),
+            6
+        );
+        // ...but rate limiting let exactly one warning through.
+        assert_eq!(hog_log.emitted(), 1);
+        assert_eq!(hog_log.suppressed(), 5);
+        let seen = warnings.lock();
+        assert_eq!(seen.len(), 1);
+        assert!(
+            seen[0].contains("deliberately-slow") && seen[0].contains("hogged worker"),
+            "unexpected warning text: {}",
+            seen[0]
+        );
+    }
+
+    #[test]
+    fn non_cooperative_tasklets_never_hog_warn() {
+        struct SlowNonCoop {
+            calls: usize,
+        }
+        impl Tasklet for SlowNonCoop {
+            fn call(&mut self) -> Progress {
+                if self.calls == 0 {
+                    return Progress::Done;
+                }
+                self.calls -= 1;
+                std::thread::sleep(Duration::from_millis(2));
+                Progress::MadeProgress
+            }
+            fn name(&self) -> &str {
+                "blocking-connector"
+            }
+            fn is_cooperative(&self) -> bool {
+                false
+            }
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs =
+            ExecObservability::new(registry.clone()).with_hog_budget(Duration::from_micros(100));
+        obs.hog_log.set_sink(|_| {});
+        let ts: Vec<Box<dyn Tasklet>> = vec![Box::new(SlowNonCoop { calls: 3 })];
+        spawn_threaded_observed(ts, 1, Arc::new(AtomicBool::new(false)), &obs).join();
+        assert_eq!(obs.hog_log.emitted(), 0);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_total("jet_tasklet_hog_total", &[]),
+            0
+        );
+        // The dedicated worker is still profiled.
+        assert!(
+            registry
+                .snapshot()
+                .counter_total("jet_worker_busy_rounds_total", &[("worker", "dedicated-0")])
+                > 0
+        );
     }
 }

@@ -59,7 +59,10 @@ impl Item {
 impl Clone for Item {
     fn clone(&self) -> Self {
         match self {
-            Item::Event { ts, obj } => Item::Event { ts: *ts, obj: obj.clone_object() },
+            Item::Event { ts, obj } => Item::Event {
+                ts: *ts,
+                obj: obj.clone_object(),
+            },
             Item::Watermark(w) => Item::Watermark(*w),
             Item::Barrier(b) => Item::Barrier(*b),
             Item::Done => Item::Done,
@@ -72,7 +75,12 @@ impl std::fmt::Debug for Item {
         match self {
             Item::Event { ts, obj } => write!(f, "Event(ts={ts}, {})", obj.debug_fmt()),
             Item::Watermark(w) => write!(f, "Watermark({w})"),
-            Item::Barrier(b) => write!(f, "Barrier({}{})", b.snapshot_id, if b.terminal { ", terminal" } else { "" }),
+            Item::Barrier(b) => write!(
+                f,
+                "Barrier({}{})",
+                b.snapshot_id,
+                if b.terminal { ", terminal" } else { "" }
+            ),
             Item::Done => write!(f, "Done"),
         }
     }
@@ -112,7 +120,11 @@ mod tests {
     #[test]
     fn control_items_are_control() {
         assert!(Item::Watermark(3).is_control());
-        assert!(Item::Barrier(Barrier { snapshot_id: 1, terminal: false }).is_control());
+        assert!(Item::Barrier(Barrier {
+            snapshot_id: 1,
+            terminal: false
+        })
+        .is_control());
         assert!(Item::Done.is_control());
     }
 
@@ -120,9 +132,18 @@ mod tests {
     fn debug_formats() {
         assert_eq!(format!("{:?}", Item::Watermark(7)), "Watermark(7)");
         assert_eq!(
-            format!("{:?}", Item::Barrier(Barrier { snapshot_id: 2, terminal: true })),
+            format!(
+                "{:?}",
+                Item::Barrier(Barrier {
+                    snapshot_id: 2,
+                    terminal: true
+                })
+            ),
             "Barrier(2, terminal)"
         );
-        assert_eq!(format!("{:?}", Item::event(1, boxed(3u8))), "Event(ts=1, 3)");
+        assert_eq!(
+            format!("{:?}", Item::event(1, boxed(3u8))),
+            "Event(ts=1, 3)"
+        );
     }
 }

@@ -29,6 +29,7 @@
 pub mod dag;
 pub mod exec;
 pub mod item;
+pub mod log;
 pub mod metrics;
 pub mod network;
 pub mod object;
@@ -43,7 +44,10 @@ pub mod watermark;
 
 pub use dag::{Dag, Edge, Routing, Vertex, VertexId};
 pub use item::{Barrier, Item, SnapshotId, Ts};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use object::{boxed, downcast, downcast_ref, BoxedObject, Object};
-pub use processor::{supplier, Guarantee, Inbox, Outbox, Processor, ProcessorContext, ProcessorSupplier};
+pub use processor::{
+    supplier, Guarantee, Inbox, Outbox, Processor, ProcessorContext, ProcessorSupplier,
+};
 pub use snapshot::SnapshotRegistry;
 pub use tasklet::{InputConveyor, ProcessorTasklet, Tasklet};

@@ -1,0 +1,142 @@
+//! Minimal rate-limited logging facade for hot paths.
+//!
+//! Worker loops need to warn about misbehaving tasklets (a cooperative
+//! `call()` overrunning its budget, §3.2) without flooding stderr at
+//! call frequency. [`RateLimitedLog`] emits at most one message per
+//! configured interval; everything in between is counted as suppressed so
+//! observability still sees how often the condition fired.
+//!
+//! There is deliberately no global logger and no formatting on the
+//! suppressed path: callers pass a closure that is only invoked when the
+//! message actually goes out.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Never-emitted sentinel for `last_emit_nanos`.
+const NEVER: u64 = u64::MAX;
+
+type Sink = Box<dyn Fn(&str) + Send + Sync>;
+
+/// A single rate-limited warning channel. Cheap to share via `Arc`; the
+/// suppressed path is one `Instant::now()` plus two atomic ops.
+pub struct RateLimitedLog {
+    interval_nanos: u64,
+    start: Instant,
+    last_emit_nanos: AtomicU64,
+    emitted: AtomicU64,
+    suppressed: AtomicU64,
+    sink: Mutex<Option<Sink>>,
+}
+
+impl RateLimitedLog {
+    pub fn new(interval: Duration) -> Self {
+        RateLimitedLog {
+            interval_nanos: interval.as_nanos() as u64,
+            start: Instant::now(),
+            last_emit_nanos: AtomicU64::new(NEVER),
+            emitted: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Redirect output (tests capture warnings this way). Default: stderr.
+    pub fn set_sink(&self, sink: impl Fn(&str) + Send + Sync + 'static) {
+        *self.sink.lock() = Some(Box::new(sink));
+    }
+
+    /// Emit `message()` if the interval since the last emission has passed
+    /// (the first call always emits). Returns whether it was emitted.
+    pub fn warn(&self, message: impl FnOnce() -> String) -> bool {
+        let now = self.start.elapsed().as_nanos() as u64;
+        let mut last = self.last_emit_nanos.load(Ordering::Relaxed);
+        loop {
+            let due = last == NEVER || now.saturating_sub(last) >= self.interval_nanos;
+            if !due {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            // Claim the slot; on a race the winner emits and we re-check.
+            match self.last_emit_nanos.compare_exchange(
+                last,
+                now,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => last = actual,
+            }
+        }
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        let text = message();
+        match &*self.sink.lock() {
+            Some(sink) => sink(&text),
+            None => eprintln!("{text}"),
+        }
+        true
+    }
+
+    /// Messages actually written out.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by rate limiting since creation.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_warning_emits_then_suppresses_within_interval() {
+        let log = RateLimitedLog::new(Duration::from_secs(3600));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        log.set_sink(move |m| seen2.lock().push(m.to_string()));
+        assert!(log.warn(|| "first".into()));
+        for _ in 0..100 {
+            assert!(!log.warn(|| "later".into()));
+        }
+        assert_eq!(log.emitted(), 1);
+        assert_eq!(log.suppressed(), 100);
+        assert_eq!(&*seen.lock(), &["first".to_string()]);
+    }
+
+    #[test]
+    fn emits_again_after_interval_passes() {
+        let log = RateLimitedLog::new(Duration::from_millis(10));
+        log.set_sink(|_| {});
+        assert!(log.warn(|| "a".into()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(log.warn(|| "b".into()));
+        assert_eq!(log.emitted(), 2);
+    }
+
+    #[test]
+    fn concurrent_warns_emit_once_per_interval() {
+        let log = Arc::new(RateLimitedLog::new(Duration::from_secs(3600)));
+        log.set_sink(|_| {});
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        log.warn(|| "x".into());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.emitted(), 1);
+        assert_eq!(log.suppressed(), 8 * 1000 - 1);
+    }
+}

@@ -17,6 +17,7 @@
 //! with modeled link latency.
 
 use crate::item::{Barrier, Item};
+use crate::metrics::{tags, MetricsRegistry, SharedCounter, SharedGauge};
 use crate::outbound::OutboundCollector;
 use crate::processor::Guarantee;
 use crate::tasklet::Tasklet;
@@ -54,11 +55,14 @@ pub trait Transport: Send + Sync {
     fn poll_ack(&self, channel: ChannelId) -> Option<u64>;
 }
 
+/// Batches in flight on one channel: (delivery deadline, payload).
+type InFlight = VecDeque<(u64, Vec<Item>)>;
+
 /// In-process transport with a fixed one-way latency.
 pub struct InMemoryTransport {
     clock: SharedClock,
     latency_nanos: u64,
-    data: Mutex<HashMap<ChannelId, VecDeque<(u64, Vec<Item>)>>>,
+    data: Mutex<HashMap<ChannelId, InFlight>>,
     acks: Mutex<HashMap<ChannelId, VecDeque<(u64, u64)>>>,
 }
 
@@ -80,12 +84,20 @@ impl InMemoryTransport {
 impl Transport for InMemoryTransport {
     fn send_data(&self, channel: ChannelId, items: Vec<Item>) {
         let at = self.clock.now_nanos() + self.latency_nanos;
-        self.data.lock().entry(channel).or_default().push_back((at, items));
+        self.data
+            .lock()
+            .entry(channel)
+            .or_default()
+            .push_back((at, items));
     }
 
     fn send_ack(&self, channel: ChannelId, grant: u64) {
         let at = self.clock.now_nanos() + self.latency_nanos;
-        self.acks.lock().entry(channel).or_default().push_back((at, grant));
+        self.acks
+            .lock()
+            .entry(channel)
+            .or_default()
+            .push_back((at, grant));
     }
 
     fn poll_data(&self, channel: ChannelId) -> Option<Vec<Item>> {
@@ -108,6 +120,71 @@ impl Transport for InMemoryTransport {
         } else {
             None
         }
+    }
+}
+
+/// Instruments for one direction of one distributed edge, tagged
+/// `edge`/`from`/`to`. The sender side feeds `jet_channel_items_sent_total`
+/// and `jet_channel_bytes_sent_total`; the receiver side feeds
+/// `jet_channel_receive_window` (the grant size last advertised) and
+/// `jet_channel_watermark_lag_nanos` (clock time minus the newest watermark
+/// forwarded downstream). Build one per side against the owning member's
+/// registry — sender and receiver live on different members.
+#[derive(Clone)]
+pub struct ChannelMetrics {
+    items_sent: SharedCounter,
+    bytes_sent: SharedCounter,
+    receive_window: SharedGauge,
+    watermark_lag: SharedGauge,
+}
+
+impl ChannelMetrics {
+    fn channel_tags(channel: ChannelId) -> crate::metrics::Tags {
+        tags(&[
+            ("edge", &channel.edge.to_string()),
+            ("from", &channel.from.to_string()),
+            ("to", &channel.to.to_string()),
+        ])
+    }
+
+    /// Register the sender-side instruments on `registry`; the receiver-side
+    /// handles stay local (unregistered) no-ops.
+    pub fn sender_side(registry: &MetricsRegistry, channel: ChannelId) -> Self {
+        let t = Self::channel_tags(channel);
+        ChannelMetrics {
+            items_sent: registry.counter("jet_channel_items_sent_total", t.clone()),
+            bytes_sent: registry.counter("jet_channel_bytes_sent_total", t),
+            receive_window: SharedGauge::new(),
+            watermark_lag: SharedGauge::new(),
+        }
+    }
+
+    /// Register the receiver-side instruments on `registry`; the sender-side
+    /// handles stay local (unregistered) no-ops.
+    pub fn receiver_side(registry: &MetricsRegistry, channel: ChannelId) -> Self {
+        let t = Self::channel_tags(channel);
+        ChannelMetrics {
+            items_sent: SharedCounter::new(),
+            bytes_sent: SharedCounter::new(),
+            receive_window: registry.gauge("jet_channel_receive_window", t.clone()),
+            watermark_lag: registry.gauge("jet_channel_watermark_lag_nanos", t),
+        }
+    }
+
+    pub fn items_sent(&self) -> u64 {
+        self.items_sent.get()
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.get()
+    }
+
+    pub fn receive_window(&self) -> i64 {
+        self.receive_window.get()
+    }
+
+    pub fn watermark_lag_nanos(&self) -> i64 {
+        self.watermark_lag.get()
     }
 }
 
@@ -138,6 +215,7 @@ pub struct SenderTasklet {
     batch: Vec<Item>,
     max_batch: usize,
     finished: bool,
+    metrics: Option<ChannelMetrics>,
 }
 
 impl SenderTasklet {
@@ -149,7 +227,10 @@ impl SenderTasklet {
     ) -> Self {
         let lanes = input.lane_count();
         SenderTasklet {
-            name: format!("sender-e{}-m{}->m{}", channel.edge, channel.from, channel.to),
+            name: format!(
+                "sender-e{}-m{}->m{}",
+                channel.edge, channel.from, channel.to
+            ),
             channel,
             transport,
             input,
@@ -164,7 +245,14 @@ impl SenderTasklet {
             batch: Vec::new(),
             max_batch: 256,
             finished: false,
+            metrics: None,
         }
+    }
+
+    /// Attach channel instruments (built via [`ChannelMetrics::sender_side`]).
+    pub fn with_metrics(mut self, metrics: ChannelMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     fn aligned(&self) -> bool {
@@ -181,7 +269,13 @@ impl SenderTasklet {
         if self.batch.is_empty() {
             return false;
         }
-        self.transport.send_data(self.channel, std::mem::take(&mut self.batch));
+        if let Some(m) = &self.metrics {
+            m.items_sent.add(self.batch.len() as u64);
+            m.bytes_sent
+                .add(self.batch.iter().map(|i| i.wire_size() as u64).sum());
+        }
+        self.transport
+            .send_data(self.channel, std::mem::take(&mut self.batch));
         true
     }
 }
@@ -211,7 +305,9 @@ impl Tasklet for SenderTasklet {
                 if self.sent >= self.grant || self.batch.len() >= self.max_batch {
                     break 'outer; // window exhausted or batch full
                 }
-                let Some(item) = self.input.poll_lane(lane) else { break };
+                let Some(item) = self.input.poll_lane(lane) else {
+                    break;
+                };
                 worked = true;
                 match item {
                     Item::Event { .. } => self.push(item),
@@ -286,6 +382,7 @@ pub struct ReceiverTasklet {
     done_forwarded: bool,
     /// Fixed window override (ablation A4); None = adaptive.
     fixed_window: Option<u64>,
+    metrics: Option<ChannelMetrics>,
 }
 
 impl ReceiverTasklet {
@@ -296,7 +393,10 @@ impl ReceiverTasklet {
         output: OutboundCollector,
     ) -> Self {
         ReceiverTasklet {
-            name: format!("receiver-e{}-m{}->m{}", channel.edge, channel.from, channel.to),
+            name: format!(
+                "receiver-e{}-m{}->m{}",
+                channel.edge, channel.from, channel.to
+            ),
             channel,
             transport,
             clock,
@@ -308,6 +408,7 @@ impl ReceiverTasklet {
             finished: false,
             done_forwarded: false,
             fixed_window: None,
+            metrics: None,
         }
     }
 
@@ -317,10 +418,23 @@ impl ReceiverTasklet {
         self
     }
 
+    /// Attach channel instruments (built via [`ChannelMetrics::receiver_side`]).
+    pub fn with_metrics(mut self, metrics: ChannelMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     fn flush_pending(&mut self) -> bool {
         let mut any = false;
         while let Some(item) = self.pending.front() {
             let was_done = matches!(item, Item::Done);
+            // IDLE_CHANNEL (`Ts::MAX`) is a liveness marker, not an
+            // event-time watermark — recording it as lag would swing the
+            // gauge to roughly `i64::MIN`.
+            let watermark = match item {
+                Item::Watermark(w) if *w != crate::watermark::IDLE_CHANNEL => Some(*w),
+                _ => None,
+            };
             let delivered = if item.is_event() {
                 let item = self.pending.pop_front().expect("front checked");
                 match self.output.offer_event(item) {
@@ -342,6 +456,18 @@ impl ReceiverTasklet {
                 if was_done {
                     self.done_forwarded = true;
                 }
+                if let (Some(m), Some(w)) = (&self.metrics, watermark) {
+                    // Virtual time is aligned with event time in the
+                    // simulator, so now - watermark is the event-time lag of
+                    // this channel. Watermarks never run ahead of now; one
+                    // that does is a near-`Ts::MAX` idle/terminal sentinel
+                    // (possibly shifted by a policy's lag bound) and would
+                    // poison the gauge with a huge negative value.
+                    let now = self.clock.now_nanos() as i64;
+                    if w <= now {
+                        m.watermark_lag.set(now - w);
+                    }
+                }
             } else {
                 break;
             }
@@ -362,7 +488,11 @@ impl ReceiverTasklet {
                 (in_interval * WINDOW_INTERVALS).max(MIN_WINDOW)
             }
         };
-        self.transport.send_ack(self.channel, self.processed + window);
+        if let Some(m) = &self.metrics {
+            m.receive_window.set(window as i64);
+        }
+        self.transport
+            .send_ack(self.channel, self.processed + window);
         self.last_ack_at = now;
         self.processed_at_last_ack = self.processed;
         true
@@ -409,7 +539,11 @@ mod tests {
     use jet_util::clock::manual_clock;
 
     fn channel() -> ChannelId {
-        ChannelId { edge: 0, from: 0, to: 1 }
+        ChannelId {
+            edge: 0,
+            from: 0,
+            to: 1,
+        }
     }
 
     #[test]
@@ -417,7 +551,10 @@ mod tests {
         let (manual, clock) = manual_clock();
         let t = InMemoryTransport::new(clock, 1_000);
         t.send_data(channel(), vec![Item::Watermark(1)]);
-        assert!(t.poll_data(channel()).is_none(), "delivered before latency elapsed");
+        assert!(
+            t.poll_data(channel()).is_none(),
+            "delivered before latency elapsed"
+        );
         manual.advance(999);
         assert!(t.poll_data(channel()).is_none());
         manual.advance(1);
@@ -440,8 +577,7 @@ mod tests {
         let (_manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock, 0));
         let (conv, producers) = Conveyor::<Item>::new(1, 1 << 14);
-        let mut sender =
-            SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
+        let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
         sender.grant = 10;
         for i in 0..100 {
             producers[0].offer(Item::event(i, boxed(i as u64))).unwrap();
@@ -467,8 +603,7 @@ mod tests {
         let (_manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock, 0));
         let (conv, producers) = Conveyor::<Item>::new(2, 64);
-        let mut sender =
-            SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
+        let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
         producers[0].offer(Item::Watermark(10)).unwrap();
         producers[1].offer(Item::Watermark(5)).unwrap();
         sender.call();
@@ -490,14 +625,20 @@ mod tests {
         let (conv, producers) = Conveyor::<Item>::new(2, 64);
         let mut sender =
             SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::ExactlyOnce);
-        let b = Barrier { snapshot_id: 1, terminal: false };
+        let b = Barrier {
+            snapshot_id: 1,
+            terminal: false,
+        };
         producers[0].offer(Item::Barrier(b)).unwrap();
         producers[0].offer(Item::event(1, boxed(1u64))).unwrap(); // post-barrier item
         sender.call();
         let mut got_barrier = false;
         while let Some(items) = transport.poll_data(channel()) {
             for it in items {
-                assert!(!matches!(it, Item::Event { .. }), "post-barrier event leaked: {it:?}");
+                assert!(
+                    !matches!(it, Item::Event { .. }),
+                    "post-barrier event leaked: {it:?}"
+                );
                 if matches!(it, Item::Barrier(_)) {
                     got_barrier = true;
                 }
@@ -541,7 +682,10 @@ mod tests {
         let (p, c) = spsc_channel::<Item>(1 << 12);
         let output = OutboundCollector::new(Routing::Unicast, vec![p], vec![], 271, 0);
         let mut receiver = ReceiverTasklet::new(channel(), transport.clone(), clock, output);
-        transport.send_data(channel(), vec![Item::event(1, boxed(7u64)), Item::Watermark(2)]);
+        transport.send_data(
+            channel(),
+            vec![Item::event(1, boxed(7u64)), Item::Watermark(2)],
+        );
         manual.advance(1);
         receiver.call();
         assert_eq!(c.len(), 2);
@@ -553,6 +697,61 @@ mod tests {
         receiver.call();
         let grant = transport.poll_ack(channel()).unwrap();
         assert!(grant >= 2 + MIN_WINDOW);
+    }
+
+    #[test]
+    fn channel_metrics_record_flow_on_both_sides() {
+        let (manual, clock) = manual_clock();
+        let transport = Arc::new(InMemoryTransport::new(clock.clone(), 0));
+        let sender_reg = MetricsRegistry::new();
+        let receiver_reg = MetricsRegistry::new();
+
+        let (conv, producers) = Conveyor::<Item>::new(1, 64);
+        let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None)
+            .with_metrics(ChannelMetrics::sender_side(&sender_reg, channel()));
+        let (p, c) = spsc_channel::<Item>(64);
+        let output = OutboundCollector::new(Routing::Unicast, vec![p], vec![], 271, 0);
+        let mut receiver = ReceiverTasklet::new(channel(), transport.clone(), clock, output)
+            .with_metrics(ChannelMetrics::receiver_side(&receiver_reg, channel()));
+
+        producers[0].offer(Item::event(1, boxed(1u64))).unwrap();
+        producers[0].offer(Item::event(2, boxed(2u64))).unwrap();
+        producers[0].offer(Item::Watermark(2)).unwrap();
+        sender.call();
+        manual.advance(10);
+        receiver.call();
+
+        let snap = sender_reg.snapshot();
+        let items = snap
+            .find("jet_channel_items_sent_total", &[("edge", "0")])
+            .unwrap();
+        assert_eq!(items.as_counter(), Some(3));
+        let bytes = snap
+            .find(
+                "jet_channel_bytes_sent_total",
+                &[("from", "0"), ("to", "1")],
+            )
+            .unwrap();
+        assert_eq!(
+            bytes.as_counter(),
+            Some(2 * 64 + 16),
+            "2 events + 1 watermark"
+        );
+
+        let rsnap = receiver_reg.snapshot();
+        let window = rsnap
+            .find("jet_channel_receive_window", &[("edge", "0")])
+            .unwrap();
+        assert_eq!(
+            window.as_gauge(),
+            Some(MIN_WINDOW as i64),
+            "cold-start ack uses the floor"
+        );
+        let lag = rsnap
+            .find("jet_channel_watermark_lag_nanos", &[("edge", "0")])
+            .unwrap();
+        assert_eq!(lag.as_gauge(), Some(10 - 2), "now=10, watermark=2");
+        assert_eq!(c.len(), 3);
     }
 
     #[test]

@@ -90,7 +90,9 @@ impl OutboundCollector {
             }
             Routing::Isolated => self.targets[self.isolated_target].offer(item),
             Routing::Partitioned(key_fn) => {
-                let Item::Event { ref obj, .. } = item else { unreachable!() };
+                let Item::Event { ref obj, .. } = item else {
+                    unreachable!()
+                };
                 let hash = key_fn(obj.as_ref());
                 let p = seq::bucket_of(hash, self.partition_count) as usize;
                 let t = self.partition_to_target[p] as usize;
@@ -134,7 +136,11 @@ impl OutboundCollector {
 
     /// Lowest remaining capacity across targets (diagnostics/tests).
     pub fn min_remaining_capacity(&self) -> usize {
-        self.targets.iter().map(|t| t.remaining_capacity()).min().unwrap_or(0)
+        self.targets
+            .iter()
+            .map(|t| t.remaining_capacity())
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -157,7 +163,10 @@ mod tests {
             Routing::Partitioned(_) => (0..16u32).map(|p| (p % n as u32) as u16).collect(),
             _ => Vec::new(),
         };
-        (OutboundCollector::new(routing, producers, ptt, 16, 0), consumers)
+        (
+            OutboundCollector::new(routing, producers, ptt, 16, 0),
+            consumers,
+        )
     }
 
     fn ev(v: u64) -> Item {
@@ -212,8 +221,12 @@ mod tests {
         for _ in 0..10 {
             col.offer_event(ev(42)).unwrap();
         }
-        let with_data: Vec<usize> =
-            consumers.iter().enumerate().filter(|(_, c)| c.len() > 0).map(|(i, _)| i).collect();
+        let with_data: Vec<usize> = consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(with_data.len(), 1, "key 42 spread across targets");
         assert_eq!(consumers[with_data[0]].len(), 10);
     }

@@ -86,8 +86,11 @@ pub fn build_local(
         }
     }
     let nv = dag.vertices().len();
-    let lp: Vec<usize> =
-        dag.vertices().iter().map(|v| v.local_parallelism.unwrap_or(cfg.threads)).collect();
+    let lp: Vec<usize> = dag
+        .vertices()
+        .iter()
+        .map(|v| v.local_parallelism.unwrap_or(cfg.threads))
+        .collect();
 
     // Per (consumer vertex, instance): input conveyors in ordinal order.
     let mut inputs: HashMap<(usize, usize), Vec<InputConveyor>> = HashMap::new();
@@ -106,7 +109,10 @@ pub fn build_local(
                 conveyor,
             });
             for (i, h) in handles.into_iter().enumerate() {
-                out_handles.entry((e.from, i, e.from_ordinal)).or_default().push(h);
+                out_handles
+                    .entry((e.from, i, e.from_ordinal))
+                    .or_default()
+                    .push(h);
             }
         }
     }
@@ -124,8 +130,9 @@ pub fn build_local(
         for i in 0..parallelism {
             // Ownership: partitioned edges route partition p to instance
             // p % parallelism (single member).
-            let owned: Vec<bool> =
-                (0..cfg.partition_count).map(|p| (p as usize) % parallelism == i).collect();
+            let owned: Vec<bool> = (0..cfg.partition_count)
+                .map(|p| (p as usize) % parallelism == i)
+                .collect();
             let ctx = ProcessorContext {
                 vertex: vertex.name.clone(),
                 global_index: i,
@@ -166,18 +173,15 @@ pub fn build_local(
                 ));
             }
             let ins = inputs.remove(&(v, i)).unwrap_or_default();
-            let tasklet = ProcessorTasklet::new(
-                processor,
-                ctx,
-                ins,
-                collectors,
-                registry.clone(),
-                cfg.batch,
-            );
+            let tasklet =
+                ProcessorTasklet::new(processor, ctx, ins, collectors, registry.clone(), cfg.batch);
             participants += 1;
             tasklets.push(Box::new(tasklet));
         }
     }
     registry.set_participants(participants);
-    Ok(LocalExecution { tasklets, cancelled })
+    Ok(LocalExecution {
+        tasklets,
+        cancelled,
+    })
 }

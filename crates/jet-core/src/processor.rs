@@ -89,7 +89,9 @@ pub struct Inbox {
 
 impl Inbox {
     pub fn new() -> Self {
-        Inbox { items: VecDeque::new() }
+        Inbox {
+            items: VecDeque::new(),
+        }
     }
 
     pub fn push(&mut self, ts: Ts, obj: BoxedObject) {
@@ -137,6 +139,11 @@ pub struct Outbox {
     /// True while the downstream queues still hold back earlier output; the
     /// tasklet sets this and the processor sees `offer` fail immediately.
     blocked: bool,
+    /// Monotone count of events accepted into the buffers (broadcast counts
+    /// once per edge). The tasklet diffs this after each `call()` to feed
+    /// `TaskletCounters::events_out` — emission happens here, not at the
+    /// queues, so this is the one place that sees every event exactly once.
+    events_queued: u64,
 }
 
 impl Outbox {
@@ -146,6 +153,7 @@ impl Outbox {
             batch_limit: batch_limit.max(1),
             snapshot_buf: Vec::new(),
             blocked: false,
+            events_queued: 0,
         }
     }
 
@@ -159,6 +167,9 @@ impl Outbox {
     pub fn offer(&mut self, ordinal: usize, item: Item) -> bool {
         if self.blocked || self.bufs[ordinal].len() >= self.batch_limit {
             return false;
+        }
+        if matches!(item, Item::Event { .. }) {
+            self.events_queued += 1;
         }
         self.bufs[ordinal].push_back(item);
         true
@@ -178,6 +189,9 @@ impl Outbox {
             return false;
         }
         let n = self.bufs.len();
+        if matches!(item, Item::Event { .. }) {
+            self.events_queued += n as u64;
+        }
         for (i, buf) in self.bufs.iter_mut().enumerate() {
             if i + 1 == n {
                 // Move, don't clone, into the last buffer. Iteration order is
@@ -232,6 +246,11 @@ impl Outbox {
     pub fn buffered(&self) -> usize {
         self.bufs.iter().map(|b| b.len()).sum()
     }
+
+    /// Monotone count of events ever accepted by `offer`/`broadcast`.
+    pub fn events_queued_total(&self) -> u64 {
+        self.events_queued
+    }
 }
 
 /// Custom logic of one DAG vertex instance. See the module docs for the
@@ -244,17 +263,33 @@ pub trait Processor: Send {
     /// Consume items from `inbox` (which arrived on input edge `ordinal`)
     /// and emit to `outbox`. May leave items in the inbox when the outbox
     /// has no room.
-    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, outbox: &mut Outbox, ctx: &ProcessorContext);
+    fn process(
+        &mut self,
+        ordinal: usize,
+        inbox: &mut Inbox,
+        outbox: &mut Outbox,
+        ctx: &ProcessorContext,
+    );
 
     /// The coalesced watermark advanced to `wm`. Return `true` when fully
     /// handled (all resulting output fit in the outbox). The default
     /// forwards the watermark to all output edges.
-    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+    fn try_process_watermark(
+        &mut self,
+        wm: Ts,
+        outbox: &mut Outbox,
+        ctx: &ProcessorContext,
+    ) -> bool {
         outbox.broadcast(Item::Watermark(wm))
     }
 
     /// Input edge `ordinal` is exhausted. Return `true` when done reacting.
-    fn complete_edge(&mut self, ordinal: usize, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+    fn complete_edge(
+        &mut self,
+        ordinal: usize,
+        outbox: &mut Outbox,
+        ctx: &ProcessorContext,
+    ) -> bool {
         true
     }
 
@@ -269,7 +304,12 @@ pub trait Processor: Send {
     /// repeatedly until `true` (state can be saved incrementally).
     /// `snapshot_id` identifies the checkpoint round — transactional sinks
     /// key their prepared transactions by it (§4.5).
-    fn save_snapshot(&mut self, snapshot_id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+    fn save_snapshot(
+        &mut self,
+        snapshot_id: u64,
+        outbox: &mut Outbox,
+        ctx: &ProcessorContext,
+    ) -> bool {
         true
     }
 

@@ -81,35 +81,24 @@ impl<A: Snap + Clone + Send + 'static, R> AggregateOp<A, R> {
         I: 'static,
         F: Fn(&mut A, &I) + Send + Sync + 'static,
     {
-        self.accumulate.push(Arc::new(move |a: &mut A, obj: &dyn Object| {
-            accumulate(a, crate::object::downcast_ref::<I>(obj))
-        }));
+        self.accumulate
+            .push(Arc::new(move |a: &mut A, obj: &dyn Object| {
+                accumulate(a, crate::object::downcast_ref::<I>(obj))
+            }));
         self
     }
 }
 
 /// `count()`: number of items, deductible.
 pub fn counting<I: 'static>() -> AggregateOp<u64, u64> {
-    AggregateOp::of::<I, _, _, _>(
-        || 0u64,
-        |a, _| *a += 1,
-        |a, b| *a += *b,
-        |a| *a,
-    )
-    .with_deduct(|a, b| *a -= *b)
+    AggregateOp::of::<I, _, _, _>(|| 0u64, |a, _| *a += 1, |a, b| *a += *b, |a| *a)
+        .with_deduct(|a, b| *a -= *b)
 }
 
 /// `sum(f)`: i64 sum of a projection, deductible.
-pub fn summing<I: 'static>(
-    f: impl Fn(&I) -> i64 + Send + Sync + 'static,
-) -> AggregateOp<i64, i64> {
-    AggregateOp::of::<I, _, _, _>(
-        || 0i64,
-        move |a, i| *a += f(i),
-        |a, b| *a += *b,
-        |a| *a,
-    )
-    .with_deduct(|a, b| *a -= *b)
+pub fn summing<I: 'static>(f: impl Fn(&I) -> i64 + Send + Sync + 'static) -> AggregateOp<i64, i64> {
+    AggregateOp::of::<I, _, _, _>(|| 0i64, move |a, i| *a += f(i), |a, b| *a += *b, |a| *a)
+        .with_deduct(|a, b| *a -= *b)
 }
 
 /// `avg(f)`: arithmetic mean of a projection, deductible.
@@ -126,7 +115,13 @@ pub fn averaging<I: 'static>(
             a.0 += b.0;
             a.1 += b.1;
         },
-        |a| if a.1 == 0 { 0.0 } else { a.0 as f64 / a.1 as f64 },
+        |a| {
+            if a.1 == 0 {
+                0.0
+            } else {
+                a.0 as f64 / a.1 as f64
+            }
+        },
     )
     .with_deduct(|a, b| {
         a.0 -= b.0;
@@ -154,9 +149,12 @@ pub fn maxing<I: 'static>(
     )
 }
 
+/// Accumulator (and result) of [`cogroup2`]: both inputs collected as-is.
+pub type CoGrouped<L, R> = (Vec<L>, Vec<R>);
+
 /// Collect both inputs into two vectors — the windowed co-group used for
 /// stream-stream window joins (NEXMark Q8).
-pub fn cogroup2<L, R>() -> AggregateOp<(Vec<L>, Vec<R>), (Vec<L>, Vec<R>)>
+pub fn cogroup2<L, R>() -> AggregateOp<CoGrouped<L, R>, CoGrouped<L, R>>
 where
     L: Snap + Clone + Send + std::fmt::Debug + 'static,
     R: Snap + Clone + Send + std::fmt::Debug + 'static,

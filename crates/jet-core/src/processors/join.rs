@@ -20,12 +20,14 @@ pub const PROBE_ORDINAL: usize = 0;
 /// Ordinal of the build (batch) input.
 pub const BUILD_ORDINAL: usize = 1;
 
+/// Joins one probe event with its (possibly absent) build-side matches.
+type JoinFn<P, B, R> = Arc<dyn Fn(&P, &[B]) -> Vec<R> + Send + Sync>;
+
 /// Hash join: build side `B` keyed by `K`, probe side `P`, output `R`.
 pub struct HashJoinP<K, B, P, R> {
     build_key: Arc<dyn Fn(&B) -> K + Send + Sync>,
     probe_key: Arc<dyn Fn(&P) -> K + Send + Sync>,
-    /// Joins one probe event with its (possibly absent) matches.
-    join_fn: Arc<dyn Fn(&P, &[B]) -> Vec<R> + Send + Sync>,
+    join_fn: JoinFn<P, B, R>,
     table: HashMap<K, Vec<B>>,
     build_done: bool,
     pending: VecDeque<(Ts, R)>,
@@ -89,7 +91,13 @@ where
     P: 'static,
     R: Clone + Send + std::fmt::Debug + 'static,
 {
-    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, outbox: &mut Outbox, _ctx: &ProcessorContext) {
+    fn process(
+        &mut self,
+        ordinal: usize,
+        inbox: &mut Inbox,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
         match ordinal {
             BUILD_ORDINAL => {
                 debug_assert!(!self.build_done, "build input after build completion");

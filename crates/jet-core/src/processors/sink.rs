@@ -92,8 +92,11 @@ impl Processor for LatencySink {
 /// when the extraction is deterministic (same key → same value).
 pub struct IMapSink<T, K, V> {
     map: jet_imdg::IMap<K, V>,
-    entry_fn: Arc<dyn Fn(&T) -> (K, V) + Send + Sync>,
+    entry_fn: EntryFn<T, K, V>,
 }
+
+/// Extracts the map entry to write from one event.
+type EntryFn<T, K, V> = Arc<dyn Fn(&T) -> (K, V) + Send + Sync>;
 
 impl<T, K, V> IMapSink<T, K, V>
 where
@@ -101,8 +104,14 @@ where
     K: Clone + Eq + std::hash::Hash + Send + 'static,
     V: Clone + Send + 'static,
 {
-    pub fn new(map: jet_imdg::IMap<K, V>, entry_fn: impl Fn(&T) -> (K, V) + Send + Sync + 'static) -> Self {
-        IMapSink { map, entry_fn: Arc::new(entry_fn) }
+    pub fn new(
+        map: jet_imdg::IMap<K, V>,
+        entry_fn: impl Fn(&T) -> (K, V) + Send + Sync + 'static,
+    ) -> Self {
+        IMapSink {
+            map,
+            entry_fn: Arc::new(entry_fn),
+        }
     }
 }
 
@@ -143,7 +152,12 @@ where
     T: Clone + Send + Snap + 'static,
 {
     pub fn new(committed: Arc<Mutex<Vec<(Ts, T)>>>, registry: Arc<SnapshotRegistry>) -> Self {
-        TransactionalSink { active: Vec::new(), prepared: VecDeque::new(), committed, registry }
+        TransactionalSink {
+            active: Vec::new(),
+            prepared: VecDeque::new(),
+            committed,
+            registry,
+        }
     }
 
     fn commit_completed(&mut self) {
@@ -220,7 +234,11 @@ where
         published: Arc<Mutex<HashMap<u64, T>>>,
         id_fn: impl Fn(&T) -> u64 + Send + Sync + 'static,
     ) -> Self {
-        IdempotentSink { id_fn: Arc::new(id_fn), seen: HashSet::new(), published }
+        IdempotentSink {
+            id_fn: Arc::new(id_fn),
+            seen: HashSet::new(),
+            published,
+        }
     }
 }
 

@@ -16,8 +16,8 @@
 
 use crate::item::{Item, Ts};
 use crate::object::BoxedObject;
-use crate::processor::{Outbox, Processor, ProcessorContext};
 use crate::processor::Inbox;
+use crate::processor::{Outbox, Processor, ProcessorContext};
 use crate::state::Snap;
 use crate::watermark::{EventTimeMapper, WmAction};
 use jet_util::seq;
@@ -41,7 +41,11 @@ impl Default for WatermarkPolicy {
     fn default() -> Self {
         // 1 ms stride, no allowed lag (generator is in-order per shard),
         // 100 ms idle timeout.
-        WatermarkPolicy { allowed_lag: 0, stride: 1_000_000, idle_timeout_nanos: 100_000_000 }
+        WatermarkPolicy {
+            allowed_lag: 0,
+            stride: 1_000_000,
+            idle_timeout_nanos: 100_000_000,
+        }
     }
 }
 
@@ -140,7 +144,9 @@ impl Processor for GeneratorSource {
             // An instance that owns no shards must not hold back event time:
             // mark its output channels idle so downstream watermark
             // coalescing skips them (§2.2 idle-source handling).
-            if !self.idle_marked && outbox.broadcast(Item::Watermark(crate::watermark::IDLE_CHANNEL)) {
+            if !self.idle_marked
+                && outbox.broadcast(Item::Watermark(crate::watermark::IDLE_CHANNEL))
+            {
                 self.idle_marked = true;
             }
             return self.limit.is_some();
@@ -246,7 +252,12 @@ pub struct VecSource<T> {
 
 impl<T: Send + Sync + Clone + std::fmt::Debug + 'static> VecSource<T> {
     pub fn new(items: Arc<Vec<(Ts, T)>>) -> Self {
-        VecSource { items, cursor: 0, step: 0, final_wm_sent: false }
+        VecSource {
+            items,
+            cursor: 0,
+            step: 0,
+            final_wm_sent: false,
+        }
     }
 }
 
@@ -297,7 +308,12 @@ where
     V: Clone + Send + std::fmt::Debug + 'static,
 {
     pub fn new(map: jet_imdg::IMap<K, V>) -> Self {
-        JournalSource { map, offsets: Vec::new(), batch: 256, restored: false }
+        JournalSource {
+            map,
+            offsets: Vec::new(),
+            batch: 256,
+            restored: false,
+        }
     }
 }
 
@@ -326,18 +342,21 @@ where
         }
         let now = ctx.now_nanos() as Ts;
         for (p, next) in &mut self.offsets {
-            let Ok((events, new_next)) = self.map.read_journal(
-                jet_imdg::PartitionId(*p),
-                *next,
-                self.batch,
-            ) else {
+            let Ok((events, new_next)) =
+                self.map
+                    .read_journal(jet_imdg::PartitionId(*p), *next, self.batch)
+            else {
                 continue;
             };
             let mut accepted = *next;
             for ev in events {
                 // CDC events are timestamped at read time (the grid does not
                 // record event times).
-                if !outbox.offer_event(0, now, Box::new((ev.kind, ev.key.clone(), ev.value.clone()))) {
+                if !outbox.offer_event(
+                    0,
+                    now,
+                    Box::new((ev.kind, ev.key.clone(), ev.value.clone())),
+                ) {
                     break;
                 }
                 accepted = ev.seq + 1;
@@ -357,7 +376,12 @@ where
 
     fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {
         let p = u64::from_bytes(key).expect("corrupt journal offset key") as u32;
-        if !ctx.owned_partitions.get(p as usize).copied().unwrap_or(false) {
+        if !ctx
+            .owned_partitions
+            .get(p as usize)
+            .copied()
+            .unwrap_or(false)
+        {
             return;
         }
         let next = u64::from_bytes(value).expect("corrupt journal offset");

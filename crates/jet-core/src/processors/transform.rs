@@ -15,8 +15,7 @@ use std::sync::Arc;
 
 /// One fused stage: receives an event, pushes zero or more events to `out`.
 /// `Arc` so a supplier can hand the same immutable chain to every instance.
-pub type Stage =
-    Arc<dyn Fn(Ts, BoxedObject, &mut dyn FnMut(Ts, BoxedObject)) + Send + Sync>;
+pub type Stage = Arc<dyn Fn(Ts, BoxedObject, &mut dyn FnMut(Ts, BoxedObject)) + Send + Sync>;
 
 /// Build a map stage from a typed closure.
 pub fn map_stage<I, O, F>(f: F) -> Stage
@@ -69,7 +68,10 @@ pub struct TransformP {
 impl TransformP {
     pub fn new(stages: Vec<Stage>) -> Self {
         assert!(!stages.is_empty(), "fused chain needs at least one stage");
-        TransformP { stages, pending: VecDeque::new() }
+        TransformP {
+            stages,
+            pending: VecDeque::new(),
+        }
     }
 
     /// Run the full chain on one event, appending outputs to `pending`.
@@ -106,7 +108,13 @@ impl TransformP {
 }
 
 impl Processor for TransformP {
-    fn process(&mut self, _ordinal: usize, inbox: &mut Inbox, outbox: &mut Outbox, _ctx: &ProcessorContext) {
+    fn process(
+        &mut self,
+        _ordinal: usize,
+        inbox: &mut Inbox,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
         if !self.flush_pending(outbox) {
             return;
         }
@@ -129,9 +137,14 @@ impl Processor for TransformP {
 pub struct FanOutP;
 
 impl Processor for FanOutP {
-    fn process(&mut self, _ordinal: usize, inbox: &mut Inbox, outbox: &mut Outbox, _ctx: &ProcessorContext) {
-        loop {
-            let Some((ts, _)) = inbox.peek() else { break };
+    fn process(
+        &mut self,
+        _ordinal: usize,
+        inbox: &mut Inbox,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
+        while let Some((ts, _)) = inbox.peek() {
             let ts = *ts;
             if !outbox.has_room_all() {
                 return;
@@ -143,13 +156,16 @@ impl Processor for FanOutP {
     }
 }
 
+/// State transition of a stateful map: `(state, event) -> optional output`.
+type StepFn<S, I, O> = Arc<dyn Fn(&mut S, &I) -> Option<O> + Send + Sync>;
+
 /// Keyed stateful map (Jet's `mapStateful`): per-key state threaded through
 /// a transition function. State lives in a HashMap and is snapshotted —
 /// the building block of the "Stateful AI" / chatbot automaton use case
 /// (§6).
 pub struct StatefulMapP<K, S, I, O> {
     key_fn: Arc<dyn Fn(&I) -> K + Send + Sync>,
-    step: Arc<dyn Fn(&mut S, &I) -> Option<O> + Send + Sync>,
+    step: StepFn<S, I, O>,
     create: Arc<dyn Fn() -> S + Send + Sync>,
     state: std::collections::HashMap<K, S>,
     pending: VecDeque<(Ts, O)>,
@@ -194,7 +210,13 @@ where
     I: 'static,
     O: Send + Clone + std::fmt::Debug + 'static,
 {
-    fn process(&mut self, _ordinal: usize, inbox: &mut Inbox, outbox: &mut Outbox, _ctx: &ProcessorContext) {
+    fn process(
+        &mut self,
+        _ordinal: usize,
+        inbox: &mut Inbox,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
         if !self.flush_pending(outbox) {
             return;
         }

@@ -32,6 +32,9 @@ use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::Arc;
 
+/// Type-erased key extractor: downcasts the boxed event and hashes its key.
+type ObjKeyFn<K> = Arc<dyn Fn(&dyn crate::object::Object) -> K + Send + Sync>;
+
 /// Window definition in event-time nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowDef {
@@ -42,7 +45,10 @@ pub struct WindowDef {
 impl WindowDef {
     pub fn sliding(size: Ts, slide: Ts) -> Self {
         assert!(size > 0 && slide > 0, "window size/slide must be positive");
-        assert!(size % slide == 0, "window size must be a multiple of the slide");
+        assert!(
+            size % slide == 0,
+            "window size must be a multiple of the slide"
+        );
         WindowDef { size, slide }
     }
 
@@ -283,7 +289,13 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
 
     /// Restore one record, merging partials for the same (key, frame) with
     /// `op.combine` (records from distinct old instances must add up).
-    fn restore<R>(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext, op: &AggregateOp<A, R>) {
+    fn restore<R>(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        ctx: &ProcessorContext,
+        op: &AggregateOp<A, R>,
+    ) {
         let mut r = jet_util::codec::ByteReader::new(key);
         let tag = u64::load(&mut r).expect("corrupt window snapshot key tag");
         let _instance = u64::load(&mut r).expect("corrupt window snapshot instance");
@@ -355,7 +367,7 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
 pub struct SlidingWindowP<K, A, R> {
     wdef: WindowDef,
     /// One key extractor per input ordinal (co-group inputs differ in type).
-    key_fns: Vec<Arc<dyn Fn(&dyn crate::object::Object) -> K + Send + Sync>>,
+    key_fns: Vec<ObjKeyFn<K>>,
     op: AggregateOp<A, R>,
     state: WindowState<K, A>,
     emit_queue: VecDeque<WindowResult<K, R>>,
@@ -386,7 +398,8 @@ where
         mut self,
         key_fn: impl Fn(&I) -> K + Send + Sync + 'static,
     ) -> Self {
-        self.key_fns.push(Arc::new(move |obj| key_fn(downcast_ref::<I>(obj))));
+        self.key_fns
+            .push(Arc::new(move |obj| key_fn(downcast_ref::<I>(obj))));
         self
     }
 
@@ -401,7 +414,13 @@ where
     A: Snap + Clone + Send + 'static,
     R: Clone + Send + Debug + 'static,
 {
-    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, _outbox: &mut Outbox, _ctx: &ProcessorContext) {
+    fn process(
+        &mut self,
+        ordinal: usize,
+        inbox: &mut Inbox,
+        _outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
         let acc_fn = self.op.accumulate[ordinal].clone();
         let create = self.op.create.clone();
         let key_fn = self.key_fns[ordinal].clone();
@@ -417,14 +436,18 @@ where
             let acc = frame.entry(key.clone()).or_insert_with(|| create());
             acc_fn(acc, obj.as_ref());
             if self.state.frame_already_running(frame_end) {
-                self.state.add_late_to_running(&key, newly, &self.op, |racc| {
-                    acc_fn(racc, obj.as_ref())
-                });
+                self.state
+                    .add_late_to_running(&key, newly, &self.op, |racc| acc_fn(racc, obj.as_ref()));
             }
         }
     }
 
-    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+    fn try_process_watermark(
+        &mut self,
+        wm: Ts,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) -> bool {
         loop {
             while let Some(r) = self.emit_queue.front() {
                 let end = r.end;
@@ -436,7 +459,10 @@ where
                     return false;
                 }
             }
-            if !self.state.produce_next_window(wm, &self.op, &mut self.emit_queue) {
+            if !self
+                .state
+                .produce_next_window(wm, &self.op, &mut self.emit_queue)
+            {
                 break;
             }
         }
@@ -466,7 +492,7 @@ where
 /// per-frame partials when the watermark closes each frame.
 pub struct AccumulateFrameP<K, A, R> {
     wdef: WindowDef,
-    key_fn: Arc<dyn Fn(&dyn crate::object::Object) -> K + Send + Sync>,
+    key_fn: ObjKeyFn<K>,
     op: AggregateOp<A, R>,
     frames: BTreeMap<Ts, HashMap<K, A>>,
     emit_queue: VecDeque<FrameChunk<K, A>>,
@@ -500,7 +526,13 @@ where
     A: Snap + Clone + Send + Debug + 'static,
     R: 'static,
 {
-    fn process(&mut self, ordinal: usize, inbox: &mut Inbox, _outbox: &mut Outbox, _ctx: &ProcessorContext) {
+    fn process(
+        &mut self,
+        ordinal: usize,
+        inbox: &mut Inbox,
+        _outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
         let acc_fn = self.op.accumulate[ordinal].clone();
         let create = self.op.create.clone();
         while let Some((ts, obj)) = inbox.take() {
@@ -514,7 +546,12 @@ where
         }
     }
 
-    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+    fn try_process_watermark(
+        &mut self,
+        wm: Ts,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) -> bool {
         // Close all frames with end <= wm, then forward the watermark. The
         // outbox's FIFO guarantees partials precede the watermark, which is
         // what lets stage 2 finalize on watermark alone.
@@ -529,13 +566,19 @@ where
                     return false;
                 }
             }
-            let Some((&frame_end, _)) = self.frames.iter().next() else { break };
+            let Some((&frame_end, _)) = self.frames.iter().next() else {
+                break;
+            };
             if frame_end > wm {
                 break;
             }
             let frame = self.frames.remove(&frame_end).expect("key from iter");
             for (key, acc) in frame {
-                self.emit_queue.push_back(FrameChunk { key, frame_end, acc });
+                self.emit_queue.push_back(FrameChunk {
+                    key,
+                    frame_end,
+                    acc,
+                });
             }
             self.emitted_through = self.emitted_through.max(frame_end);
         }
@@ -610,7 +653,11 @@ where
     R: Clone + Send + Debug + 'static,
 {
     pub fn new(wdef: WindowDef, op: AggregateOp<A, R>) -> Self {
-        CombineFramesP { op, state: WindowState::new(wdef), emit_queue: VecDeque::new() }
+        CombineFramesP {
+            op,
+            state: WindowState::new(wdef),
+            emit_queue: VecDeque::new(),
+        }
     }
 
     pub fn late_chunks(&self) -> u64 {
@@ -624,7 +671,13 @@ where
     A: Snap + Clone + Send + Debug + 'static,
     R: Clone + Send + Debug + 'static,
 {
-    fn process(&mut self, _ordinal: usize, inbox: &mut Inbox, _outbox: &mut Outbox, _ctx: &ProcessorContext) {
+    fn process(
+        &mut self,
+        _ordinal: usize,
+        inbox: &mut Inbox,
+        _outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) {
         let create = self.op.create.clone();
         let combine = self.op.combine.clone();
         while let Some((_ts, obj)) = inbox.take() {
@@ -644,14 +697,20 @@ where
                 }
             }
             if self.state.frame_already_running(chunk.frame_end) {
-                self.state.add_late_to_running(&chunk.key, newly, &self.op, |racc| {
-                    combine(racc, &chunk.acc)
-                });
+                self.state
+                    .add_late_to_running(&chunk.key, newly, &self.op, |racc| {
+                        combine(racc, &chunk.acc)
+                    });
             }
         }
     }
 
-    fn try_process_watermark(&mut self, wm: Ts, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+    fn try_process_watermark(
+        &mut self,
+        wm: Ts,
+        outbox: &mut Outbox,
+        _ctx: &ProcessorContext,
+    ) -> bool {
         loop {
             while let Some(r) = self.emit_queue.front() {
                 let end = r.end;
@@ -663,7 +722,10 @@ where
                     return false;
                 }
             }
-            if !self.state.produce_next_window(wm, &self.op, &mut self.emit_queue) {
+            if !self
+                .state
+                .produce_next_window(wm, &self.op, &mut self.emit_queue)
+            {
                 break;
             }
         }

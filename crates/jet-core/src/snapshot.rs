@@ -93,9 +93,7 @@ impl SnapshotRegistry {
     /// Coordinator: request a new snapshot if the previous one finished.
     /// Returns the new id if one was started.
     pub fn trigger(&self) -> Option<SnapshotId> {
-        if self.store.is_none() {
-            return None;
-        }
+        self.store.as_ref()?;
         let req = self.requested.load(Ordering::Acquire);
         if req != self.completed.load(Ordering::Acquire) {
             return None; // previous still in flight
@@ -141,12 +139,7 @@ impl SnapshotRegistry {
     }
 
     /// Tasklet: persist staged state records for `vertex` under `id`.
-    pub fn write_records(
-        &self,
-        id: SnapshotId,
-        vertex: &str,
-        records: Vec<(Vec<u8>, Vec<u8>)>,
-    ) {
+    pub fn write_records(&self, id: SnapshotId, vertex: &str, records: Vec<(Vec<u8>, Vec<u8>)>) {
         if let Some(store) = &self.store {
             for (k, v) in records {
                 store.write(id, vertex, k, v);

@@ -120,6 +120,8 @@ pub struct ProcessorTasklet {
     batch: usize,
     rr_ordinal: usize,
     counters: Arc<TaskletCounters>,
+    /// Outbox `events_queued_total` already credited to `counters`.
+    events_out_synced: u64,
     initialized: bool,
     retired: bool,
     is_source: bool,
@@ -173,10 +175,15 @@ impl ProcessorTasklet {
             registry,
             last_snapshot: 0,
             current_barrier: None,
-            phase: if is_source { Phase::Complete } else { Phase::Process },
+            phase: if is_source {
+                Phase::Complete
+            } else {
+                Phase::Process
+            },
             batch: batch.max(1),
             rr_ordinal: 0,
             counters: TaskletCounters::shared(),
+            events_out_synced: 0,
             initialized: false,
             retired: false,
             is_source,
@@ -208,8 +215,7 @@ impl ProcessorTasklet {
         let outbox = &mut self.outbox;
         for (i, col) in self.outputs.iter_mut().enumerate() {
             let buf = outbox.buf_mut(i);
-            loop {
-                let Some(front) = buf.front() else { break };
+            while let Some(front) = buf.front() {
                 if front.is_event() {
                     let item = buf.pop_front().expect("front checked");
                     match col.offer_event(item) {
@@ -240,9 +246,11 @@ impl ProcessorTasklet {
     fn settle_watermark(&mut self) -> bool {
         if let Some(wm) = self.pending_wm {
             let handled = if wm == crate::watermark::IDLE_CHANNEL {
-                self.outbox.broadcast(Item::Watermark(crate::watermark::IDLE_CHANNEL))
+                self.outbox
+                    .broadcast(Item::Watermark(crate::watermark::IDLE_CHANNEL))
             } else {
-                self.processor.try_process_watermark(wm, &mut self.outbox, &self.ctx)
+                self.processor
+                    .try_process_watermark(wm, &mut self.outbox, &self.ctx)
             };
             if handled {
                 self.pending_wm = None;
@@ -277,7 +285,9 @@ impl ProcessorTasklet {
             .filter(|i| !i.all_done())
             .map(|i| i.priority)
             .min();
-        let Some(active_priority) = active_priority else { return worked };
+        let Some(active_priority) = active_priority else {
+            return worked;
+        };
         let n = self.inputs.len();
         let exactly_once = self.guarantee == Guarantee::ExactlyOnce;
         for k in 0..n {
@@ -313,7 +323,8 @@ impl ProcessorTasklet {
                 if !self.inbox.is_empty() {
                     let before = self.inbox.len();
                     let ordinal = self.inputs[oi].ordinal;
-                    self.processor.process(ordinal, &mut self.inbox, &mut self.outbox, &self.ctx);
+                    self.processor
+                        .process(ordinal, &mut self.inbox, &mut self.outbox, &self.ctx);
                     let consumed = (before - self.inbox.len()) as u64;
                     self.counters.add_in(consumed);
                     if consumed > 0 {
@@ -392,8 +403,8 @@ impl ProcessorTasklet {
     }
 }
 
-impl Tasklet for ProcessorTasklet {
-    fn call(&mut self) -> Progress {
+impl ProcessorTasklet {
+    fn call_phase(&mut self) -> Progress {
         if self.phase == Phase::Done {
             return Progress::Done;
         }
@@ -412,7 +423,8 @@ impl Tasklet for ProcessorTasklet {
                 // Finish a partially-processed inbox first.
                 if let Some(ordinal) = self.pending_ordinal {
                     let before = self.inbox.len();
-                    self.processor.process(ordinal, &mut self.inbox, &mut self.outbox, &self.ctx);
+                    self.processor
+                        .process(ordinal, &mut self.inbox, &mut self.outbox, &self.ctx);
                     let consumed = before - self.inbox.len();
                     self.counters.add_in(consumed as u64);
                     worked |= consumed > 0;
@@ -437,11 +449,17 @@ impl Tasklet for ProcessorTasklet {
                 Progress::from_worked(worked)
             }
             Phase::SaveSnapshot => {
-                let b = self.current_barrier.expect("snapshot phase without barrier");
-                if self.processor.save_snapshot(b.snapshot_id, &mut self.outbox, &self.ctx) {
+                let b = self
+                    .current_barrier
+                    .expect("snapshot phase without barrier");
+                if self
+                    .processor
+                    .save_snapshot(b.snapshot_id, &mut self.outbox, &self.ctx)
+                {
                     let records = self.outbox.take_snapshot_records();
                     self.counters.add_snapshot_records(records.len() as u64);
-                    self.registry.write_records(b.snapshot_id, &self.vertex, records);
+                    self.registry
+                        .write_records(b.snapshot_id, &self.vertex, records);
                     self.phase = Phase::EmitBarrier;
                 }
                 Progress::MadeProgress
@@ -468,10 +486,12 @@ impl Tasklet for ProcessorTasklet {
             }
             Phase::CompleteEdge(oi) => {
                 let ordinal = self.inputs[oi].ordinal;
-                if self.processor.complete_edge(ordinal, &mut self.outbox, &self.ctx) {
+                if self
+                    .processor
+                    .complete_edge(ordinal, &mut self.outbox, &self.ctx)
+                {
                     self.inputs[oi].edge_completed = true;
-                    self.phase = if self.inputs.iter().all(|i| i.all_done() && i.edge_completed)
-                    {
+                    self.phase = if self.inputs.iter().all(|i| i.all_done() && i.edge_completed) {
                         Phase::Complete
                     } else {
                         Phase::Process
@@ -502,7 +522,6 @@ impl Tasklet for ProcessorTasklet {
                     done = true;
                 }
                 let emitted = self.outbox.buffered() - before_out;
-                self.counters.add_out(emitted as u64);
                 worked |= emitted > 0;
                 if done {
                     self.phase = Phase::EmitDone;
@@ -529,6 +548,22 @@ impl Tasklet for ProcessorTasklet {
             }
             Phase::Done => Progress::Done,
         }
+    }
+}
+
+impl Tasklet for ProcessorTasklet {
+    fn call(&mut self) -> Progress {
+        let progress = self.call_phase();
+        // Credit events_out from the outbox's monotone emission counter.
+        // Counting at the outbox (not per phase) also credits transforms and
+        // window operators, which emit from `process` — the old per-phase
+        // accounting only saw sources emitting from `complete`.
+        let queued = self.outbox.events_queued_total();
+        if queued > self.events_out_synced {
+            self.counters.add_out(queued - self.events_out_synced);
+            self.events_out_synced = queued;
+        }
+        progress
     }
 
     fn name(&self) -> &str {

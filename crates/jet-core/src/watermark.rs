@@ -129,7 +129,12 @@ impl WatermarkCoalescer {
             self.per_channel[channel]
         );
         self.per_channel[channel] = wm;
-        let min = self.per_channel.iter().copied().min().unwrap_or(NO_WATERMARK);
+        let min = self
+            .per_channel
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(NO_WATERMARK);
         if min == IDLE_CHANNEL {
             // Every channel idle: propagate the idle marker exactly once so
             // downstream coalescers skip this vertex too (without it, a
@@ -158,7 +163,12 @@ impl WatermarkCoalescer {
     /// flush downstream.
     pub fn channel_done(&mut self, channel: usize) -> Option<Ts> {
         self.per_channel[channel] = IDLE_CHANNEL;
-        let min = self.per_channel.iter().copied().min().unwrap_or(NO_WATERMARK);
+        let min = self
+            .per_channel
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(NO_WATERMARK);
         if min == IDLE_CHANNEL {
             self.output_idle = true;
             return None;
@@ -216,7 +226,10 @@ mod tests {
         assert_eq!(m.observe_idle(1000), WmAction::MarkIdle);
         assert_eq!(m.observe_idle(2000), WmAction::None, "idle emitted twice");
         // An event revives the channel.
-        assert!(matches!(m.observe_event(2, 2000), WmAction::Emit(_) | WmAction::None));
+        assert!(matches!(
+            m.observe_event(2, 2000),
+            WmAction::Emit(_) | WmAction::None
+        ));
         assert_eq!(m.observe_idle(3000), WmAction::MarkIdle);
     }
 
@@ -247,7 +260,11 @@ mod tests {
     fn idle_channel_is_transparent() {
         let mut c = WatermarkCoalescer::new(2);
         c.observe(0, IDLE_CHANNEL);
-        assert_eq!(c.observe(1, 7), Some(7), "idle channel must not hold back wm");
+        assert_eq!(
+            c.observe(1, 7),
+            Some(7),
+            "idle channel must not hold back wm"
+        );
     }
 
     #[test]
@@ -255,7 +272,11 @@ mod tests {
         let mut c = WatermarkCoalescer::new(2);
         assert_eq!(c.observe(0, IDLE_CHANNEL), None);
         assert_eq!(c.observe(1, IDLE_CHANNEL), Some(IDLE_CHANNEL));
-        assert_eq!(c.observe(1, IDLE_CHANNEL), None, "idle marker must not repeat");
+        assert_eq!(
+            c.observe(1, IDLE_CHANNEL),
+            None,
+            "idle marker must not repeat"
+        );
         // Revival resumes normal coalescing.
         assert_eq!(c.observe(0, 7), Some(7));
     }
@@ -280,7 +301,11 @@ mod tests {
         let mut c = WatermarkCoalescer::new(2);
         c.observe(0, 5);
         c.observe(1, 3);
-        assert_eq!(c.channel_done(1), Some(5), "losing the min channel advances");
+        assert_eq!(
+            c.channel_done(1),
+            Some(5),
+            "losing the min channel advances"
+        );
     }
 
     #[test]

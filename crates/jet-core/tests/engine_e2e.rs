@@ -17,6 +17,9 @@ use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// Timestamped sink output, shared with the collecting stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
 fn registry_disabled() -> Arc<SnapshotRegistry> {
     Arc::new(SnapshotRegistry::disabled())
 }
@@ -24,56 +27,78 @@ fn registry_disabled() -> Arc<SnapshotRegistry> {
 #[test]
 fn map_filter_pipeline_batch() {
     let items: Arc<Vec<(Ts, u64)>> = Arc::new((0..1000u64).map(|i| (i as Ts, i)).collect());
-    let out: Arc<Mutex<Vec<(Ts, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<u64> = Arc::new(Mutex::new(Vec::new()));
 
     let mut dag = Dag::new();
     let items2 = items.clone();
-    let src = dag.vertex_with_parallelism("src", 2, supplier(move |_i| {
-        Box::new(VecSource::new(items2.clone()))
-    }));
-    let xform = dag.vertex_with_parallelism("xform", 2, supplier(|_| {
-        Box::new(TransformP::new(vec![
-            map_stage(|v: &u64| v * 2),
-            filter_stage(|v: &u64| v % 4 == 0),
-        ]))
-    }));
+    let src = dag.vertex_with_parallelism(
+        "src",
+        2,
+        supplier(move |_i| Box::new(VecSource::new(items2.clone()))),
+    );
+    let xform = dag.vertex_with_parallelism(
+        "xform",
+        2,
+        supplier(|_| {
+            Box::new(TransformP::new(vec![
+                map_stage(|v: &u64| v * 2),
+                filter_stage(|v: &u64| v.is_multiple_of(4)),
+            ]))
+        }),
+    );
     let out2 = out.clone();
-    let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-        Box::new(CollectSink::new(out2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        1,
+        supplier(move |_| Box::new(CollectSink::new(out2.clone()))),
+    );
     dag.edge(Edge::between(src, xform));
     dag.edge(Edge::between(xform, sink));
 
     let cfg = LocalConfig::new(2);
     let exec = build_local(&dag, &cfg, &registry_disabled(), None).unwrap();
     let mut tasklets = exec.tasklets;
-    assert!(run_sequential(&mut tasklets, 100_000), "pipeline did not complete");
+    assert!(
+        run_sequential(&mut tasklets, 100_000),
+        "pipeline did not complete"
+    );
 
     let mut values: Vec<u64> = out.lock().iter().map(|(_, v)| *v).collect();
     values.sort_unstable();
-    let expected: Vec<u64> = (0..1000u64).map(|i| i * 2).filter(|v| v % 4 == 0).collect();
+    let expected: Vec<u64> = (0..1000u64)
+        .map(|i| i * 2)
+        .filter(|v| v.is_multiple_of(4))
+        .collect();
     assert_eq!(values, expected);
 }
 
 #[test]
 fn flat_map_fusion_preserves_order_per_instance() {
     let items: Arc<Vec<(Ts, u64)>> = Arc::new((0..100u64).map(|i| (i as Ts, i)).collect());
-    let out: Arc<Mutex<Vec<(Ts, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<u64> = Arc::new(Mutex::new(Vec::new()));
     let mut dag = Dag::new();
     let items2 = items.clone();
-    let src = dag.vertex_with_parallelism("src", 1, supplier(move |_i| {
-        Box::new(VecSource::new(items2.clone()))
-    }));
-    let fused = dag.vertex_with_parallelism("fused", 1, supplier(|_| {
-        Box::new(TransformP::new(vec![
-            flat_map_stage(|v: &u64| vec![*v, *v + 1000]),
-            map_stage(|v: &u64| *v),
-        ]))
-    }));
+    let src = dag.vertex_with_parallelism(
+        "src",
+        1,
+        supplier(move |_i| Box::new(VecSource::new(items2.clone()))),
+    );
+    let fused = dag.vertex_with_parallelism(
+        "fused",
+        1,
+        supplier(|_| {
+            Box::new(TransformP::new(vec![
+                flat_map_stage(|v: &u64| vec![*v, *v + 1000]),
+                map_stage(|v: &u64| *v),
+            ]))
+        }),
+    );
     let out2 = out.clone();
-    let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-        Box::new(CollectSink::new(out2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        1,
+        supplier(move |_| Box::new(CollectSink::new(out2.clone()))),
+    );
     dag.edge(Edge::between(src, fused).isolated());
     dag.edge(Edge::between(fused, sink).isolated());
     let exec = build_local(&dag, &LocalConfig::new(1), &registry_disabled(), None).unwrap();
@@ -114,24 +139,32 @@ fn single_stage_sliding_window_matches_brute_force() {
         .map(|i| ((i * 3 % 400) as Ts, (i % 7) as u64))
         .collect();
     let items = Arc::new(events.clone());
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut dag = Dag::new();
     let items2 = items.clone();
-    let src = dag.vertex_with_parallelism("src", 1, supplier(move |_i| {
-        Box::new(VecSource::new(items2.clone()))
-    }));
-    let win = dag.vertex_with_parallelism("win", 2, supplier(|_| {
-        Box::new(SlidingWindowP::new::<u64>(
-            WindowDef::sliding(100, 20),
-            |v: &u64| *v,
-            counting::<u64>(),
-        ))
-    }));
+    let src = dag.vertex_with_parallelism(
+        "src",
+        1,
+        supplier(move |_i| Box::new(VecSource::new(items2.clone()))),
+    );
+    let win = dag.vertex_with_parallelism(
+        "win",
+        2,
+        supplier(|_| {
+            Box::new(SlidingWindowP::new::<u64>(
+                WindowDef::sliding(100, 20),
+                |v: &u64| *v,
+                counting::<u64>(),
+            ))
+        }),
+    );
     let out2 = out.clone();
-    let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-        Box::new(CollectSink::new(out2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        1,
+        supplier(move |_| Box::new(CollectSink::new(out2.clone()))),
+    );
     dag.edge(Edge::between(src, win).partitioned_by::<u64, _, _>(|v| *v));
     dag.edge(Edge::between(win, sink));
 
@@ -144,7 +177,11 @@ fn single_stage_sliding_window_matches_brute_force() {
     let mut got: std::collections::HashMap<(u64, Ts), u64> = std::collections::HashMap::new();
     for (_, r) in results.iter() {
         let prev = got.insert((r.key, r.end), r.value);
-        assert!(prev.is_none(), "duplicate window result for {:?}", (r.key, r.end));
+        assert!(
+            prev.is_none(),
+            "duplicate window result for {:?}",
+            (r.key, r.end)
+        );
         assert_eq!(r.start, r.end - 100);
     }
     for ((k, end), count) in &expected {
@@ -157,7 +194,10 @@ fn single_stage_sliding_window_matches_brute_force() {
     // No spurious non-empty windows.
     for ((k, end), count) in &got {
         if *count > 0 {
-            assert!(expected.contains_key(&(*k, *end)), "spurious window ({k}, {end})");
+            assert!(
+                expected.contains_key(&(*k, *end)),
+                "spurious window ({k}, {end})"
+            );
         }
     }
 }
@@ -168,29 +208,45 @@ fn two_stage_window_equals_single_stage() {
         .map(|i| ((i * 7 % 600) as Ts, (i % 11) as u64))
         .collect();
     let items = Arc::new(events.clone());
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut dag = Dag::new();
     let items2 = items.clone();
-    let src = dag.vertex_with_parallelism("src", 2, supplier(move |_i| {
-        Box::new(VecSource::new(items2.clone()))
-    }));
-    let wdef = WindowDef::sliding(200, 50);
-    let stage1 = dag.vertex_with_parallelism("accumulate", 2, supplier(move |_| {
-        Box::new(AccumulateFrameP::new::<u64>(wdef, |v: &u64| *v, counting::<u64>()))
-    }));
-    let stage2 = dag.vertex_with_parallelism("combine", 2, supplier(move |_| {
-        Box::new(CombineFramesP::<u64, u64, u64>::new(wdef, counting::<u64>()))
-    }));
-    let out2 = out.clone();
-    let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-        Box::new(CollectSink::new(out2.clone()))
-    }));
-    dag.edge(Edge::between(src, stage1));
-    dag.edge(
-        Edge::between(stage1, stage2)
-            .partitioned_by::<FrameChunk<u64, u64>, _, _>(|c| c.key),
+    let src = dag.vertex_with_parallelism(
+        "src",
+        2,
+        supplier(move |_i| Box::new(VecSource::new(items2.clone()))),
     );
+    let wdef = WindowDef::sliding(200, 50);
+    let stage1 = dag.vertex_with_parallelism(
+        "accumulate",
+        2,
+        supplier(move |_| {
+            Box::new(AccumulateFrameP::new::<u64>(
+                wdef,
+                |v: &u64| *v,
+                counting::<u64>(),
+            ))
+        }),
+    );
+    let stage2 = dag.vertex_with_parallelism(
+        "combine",
+        2,
+        supplier(move |_| {
+            Box::new(CombineFramesP::<u64, u64, u64>::new(
+                wdef,
+                counting::<u64>(),
+            ))
+        }),
+    );
+    let out2 = out.clone();
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        1,
+        supplier(move |_| Box::new(CollectSink::new(out2.clone()))),
+    );
+    dag.edge(Edge::between(src, stage1));
+    dag.edge(Edge::between(stage1, stage2).partitioned_by::<FrameChunk<u64, u64>, _, _>(|c| c.key));
     dag.edge(Edge::between(stage2, sink));
 
     let exec = build_local(&dag, &LocalConfig::new(2), &registry_disabled(), None).unwrap();
@@ -219,33 +275,48 @@ fn hash_join_build_then_probe() {
     let build: Arc<Vec<(Ts, (u64, u64))>> =
         Arc::new((0..10u64).map(|age| (0, (age, age * 100))).collect());
     let probe: Arc<Vec<(Ts, u64)>> = Arc::new((0..50u64).map(|i| (i as Ts, i % 10)).collect());
-    let out: Arc<Mutex<Vec<(Ts, (u64, u64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<(u64, u64)> = Arc::new(Mutex::new(Vec::new()));
 
     let mut dag = Dag::new();
     let b2 = build.clone();
-    let bsrc = dag.vertex_with_parallelism("build-src", 1, supplier(move |i| {
-        Box::new(VecSource::new(b2.clone()))
-    }));
+    let bsrc = dag.vertex_with_parallelism(
+        "build-src",
+        1,
+        supplier(move |_| Box::new(VecSource::new(b2.clone()))),
+    );
     let p2 = probe.clone();
-    let psrc = dag.vertex_with_parallelism("probe-src", 1, supplier(move |i| {
-        Box::new(VecSource::new(p2.clone()))
-    }));
-    let join = dag.vertex_with_parallelism("join", 2, supplier(|_| {
-        Box::new(HashJoinP::new(
-            |b: &(u64, u64)| b.0,
-            |p: &u64| *p,
-            |p: &u64, matches: &[(u64, u64)]| {
-                matches.iter().map(|b| (*p, b.1)).collect::<Vec<_>>()
-            },
-        ))
-    }));
+    let psrc = dag.vertex_with_parallelism(
+        "probe-src",
+        1,
+        supplier(move |_| Box::new(VecSource::new(p2.clone()))),
+    );
+    let join = dag.vertex_with_parallelism(
+        "join",
+        2,
+        supplier(|_| {
+            Box::new(HashJoinP::new(
+                |b: &(u64, u64)| b.0,
+                |p: &u64| *p,
+                |p: &u64, matches: &[(u64, u64)]| {
+                    matches.iter().map(|b| (*p, b.1)).collect::<Vec<_>>()
+                },
+            ))
+        }),
+    );
     let out2 = out.clone();
-    let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-        Box::new(CollectSink::new(out2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        1,
+        supplier(move |_| Box::new(CollectSink::new(out2.clone()))),
+    );
     // Build side: broadcast (every join instance needs the whole table),
     // higher priority so it completes before probing starts.
-    dag.edge(Edge::between(bsrc, join).to_ordinal(BUILD_ORDINAL).broadcast().priority(-1));
+    dag.edge(
+        Edge::between(bsrc, join)
+            .to_ordinal(BUILD_ORDINAL)
+            .broadcast()
+            .priority(-1),
+    );
     dag.edge(Edge::between(psrc, join).to_ordinal(PROBE_ORDINAL));
     dag.edge(Edge::between(join, sink));
 
@@ -267,20 +338,23 @@ fn generator_source_under_threaded_executor() {
     let hist = SharedHistogram::new();
 
     let mut dag = Dag::new();
-    let src = dag.vertex_with_parallelism("gen", 2, supplier(move |_| {
-        Box::new(
-            GeneratorSource::new(
-                200_000,
-                Arc::new(|seq, _ts| jet_core::boxed(seq)),
+    let src = dag.vertex_with_parallelism(
+        "gen",
+        2,
+        supplier(move |_| {
+            Box::new(
+                GeneratorSource::new(200_000, Arc::new(|seq, _ts| jet_core::boxed(seq)))
+                    .with_limit(5_000),
             )
-            .with_limit(5_000),
-        )
-    }));
+        }),
+    );
     let c2 = count.clone();
     let h2 = hist.clone();
-    let sink = dag.vertex_with_parallelism("sink", 2, supplier(move |_| {
-        Box::new(LatencySink::new(h2.clone(), c2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        2,
+        supplier(move |_| Box::new(LatencySink::new(h2.clone(), c2.clone()))),
+    );
     dag.edge(Edge::between(src, sink));
 
     let cfg = LocalConfig::new(2);
@@ -288,7 +362,11 @@ fn generator_source_under_threaded_executor() {
     let cancelled = exec.cancelled.clone();
     let handle = spawn_threaded(exec.tasklets, 2, cancelled);
     handle.join();
-    assert_eq!(count.get(), 5_000, "every generated event must reach the sink");
+    assert_eq!(
+        count.get(),
+        5_000,
+        "every generated event must reach the sink"
+    );
     assert_eq!(hist.count(), 5_000);
 }
 
@@ -306,33 +384,43 @@ fn exactly_once_snapshot_and_restore_counts_once() {
     const TOTAL: u64 = 4_000;
     const RATE: u64 = 1_000_000; // 1M/s -> all due within 4 ms
 
-    let make_dag = |out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>>| {
+    let make_dag = |out: Collected<WindowResult<u64, u64>>| {
         let mut dag = Dag::new();
-        let src = dag.vertex_with_parallelism("gen", 2, supplier(move |_| {
-            Box::new(
-                GeneratorSource::new(RATE, Arc::new(|seq, _ts| jet_core::boxed(seq % 10)))
-                    .with_limit(TOTAL),
-            )
-        }));
+        let src = dag.vertex_with_parallelism(
+            "gen",
+            2,
+            supplier(move |_| {
+                Box::new(
+                    GeneratorSource::new(RATE, Arc::new(|seq, _ts| jet_core::boxed(seq % 10)))
+                        .with_limit(TOTAL),
+                )
+            }),
+        );
         // Tumbling window over the whole stream counts per key.
-        let win = dag.vertex_with_parallelism("win", 2, supplier(|_| {
-            Box::new(SlidingWindowP::new::<u64>(
-                WindowDef::tumbling(1_000_000_000),
-                |v: &u64| *v,
-                counting::<u64>(),
-            ))
-        }));
+        let win = dag.vertex_with_parallelism(
+            "win",
+            2,
+            supplier(|_| {
+                Box::new(SlidingWindowP::new::<u64>(
+                    WindowDef::tumbling(1_000_000_000),
+                    |v: &u64| *v,
+                    counting::<u64>(),
+                ))
+            }),
+        );
         let out2 = out.clone();
-        let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-            Box::new(CollectSink::new(out2.clone()))
-        }));
+        let sink = dag.vertex_with_parallelism(
+            "sink",
+            1,
+            supplier(move |_| Box::new(CollectSink::new(out2.clone()))),
+        );
         dag.edge(Edge::between(src, win).partitioned_by::<u64, _, _>(|v| *v));
         dag.edge(Edge::between(win, sink));
         dag
     };
 
     // --- First execution: cancel after at least one complete snapshot.
-    let out1: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out1: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
     let dag = make_dag(out1.clone());
     let registry = Arc::new(SnapshotRegistry::new(store.clone(), 0));
     let cfg = LocalConfig::new(2)
@@ -358,7 +446,7 @@ fn exactly_once_snapshot_and_restore_counts_once() {
     drop(tasklets);
 
     // --- Recovery: restore from snapshot 1 and run to completion.
-    let out2: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out2: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
     let dag = make_dag(out2.clone());
     let registry2 = Arc::new(SnapshotRegistry::new(store.clone(), 0));
     let exec = build_local(&dag, &cfg, &registry2, Some((&store, 1))).unwrap();
@@ -391,13 +479,22 @@ fn exactly_once_snapshot_and_restore_counts_once() {
 fn cancellation_drains_pipeline() {
     let count = SharedCounter::new();
     let mut dag = Dag::new();
-    let src = dag.vertex_with_parallelism("gen", 1, supplier(move |_| {
-        Box::new(GeneratorSource::new(1_000_000, Arc::new(|seq, _| jet_core::boxed(seq))))
-    }));
+    let src = dag.vertex_with_parallelism(
+        "gen",
+        1,
+        supplier(move |_| {
+            Box::new(GeneratorSource::new(
+                1_000_000,
+                Arc::new(|seq, _| jet_core::boxed(seq)),
+            ))
+        }),
+    );
     let c2 = count.clone();
-    let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-        Box::new(CountSink::new(c2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "sink",
+        1,
+        supplier(move |_| Box::new(CountSink::new(c2.clone()))),
+    );
     dag.edge(Edge::between(src, sink));
     let exec = build_local(&dag, &LocalConfig::new(1), &registry_disabled(), None).unwrap();
     let cancelled = exec.cancelled.clone();

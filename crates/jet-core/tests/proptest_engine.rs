@@ -19,11 +19,10 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-fn brute_force(
-    events: &[(Ts, u64)],
-    size: Ts,
-    slide: Ts,
-) -> HashMap<(u64, Ts), u64> {
+/// Timestamped sink output, shared with the collecting stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
+fn brute_force(events: &[(Ts, u64)], size: Ts, slide: Ts) -> HashMap<(u64, Ts), u64> {
     let mut out = HashMap::new();
     let max_ts = events.iter().map(|(t, _)| *t).max().unwrap_or(0);
     let mut end = slide;
@@ -47,41 +46,73 @@ fn run_window_job(
     two_stage: bool,
 ) -> HashMap<(u64, Ts), u64> {
     let items: Arc<Vec<(Ts, u64)>> = Arc::new(events.to_vec());
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
     let mut dag = Dag::new();
     let items2 = items.clone();
-    let src = dag.vertex_with_parallelism("src", lp, supplier(move |_| {
-        Box::new(VecSource::new(items2.clone()))
-    }));
+    let src = dag.vertex_with_parallelism(
+        "src",
+        lp,
+        supplier(move |_| Box::new(VecSource::new(items2.clone()))),
+    );
     let wdef = WindowDef::sliding(size, slide);
     let sink_target = out.clone();
     if two_stage {
-        let s1 = dag.vertex_with_parallelism("accumulate", lp, supplier(move |_| {
-            Box::new(AccumulateFrameP::new::<u64>(wdef, |v: &u64| *v, counting::<u64>()))
-        }));
-        let s2 = dag.vertex_with_parallelism("combine", lp, supplier(move |_| {
-            Box::new(CombineFramesP::<u64, u64, u64>::new(wdef, counting::<u64>()))
-        }));
-        let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-            Box::new(CollectSink::new(sink_target.clone()))
-        }));
+        let s1 = dag.vertex_with_parallelism(
+            "accumulate",
+            lp,
+            supplier(move |_| {
+                Box::new(AccumulateFrameP::new::<u64>(
+                    wdef,
+                    |v: &u64| *v,
+                    counting::<u64>(),
+                ))
+            }),
+        );
+        let s2 = dag.vertex_with_parallelism(
+            "combine",
+            lp,
+            supplier(move |_| {
+                Box::new(CombineFramesP::<u64, u64, u64>::new(
+                    wdef,
+                    counting::<u64>(),
+                ))
+            }),
+        );
+        let sink = dag.vertex_with_parallelism(
+            "sink",
+            1,
+            supplier(move |_| Box::new(CollectSink::new(sink_target.clone()))),
+        );
         dag.edge(Edge::between(src, s1));
         dag.edge(Edge::between(s1, s2).partitioned_by::<FrameChunk<u64, u64>, _, _>(|c| c.key));
         dag.edge(Edge::between(s2, sink));
     } else {
-        let w = dag.vertex_with_parallelism("window-single", lp, supplier(move |_| {
-            Box::new(SlidingWindowP::new::<u64>(wdef, |v: &u64| *v, counting::<u64>()))
-        }));
-        let sink = dag.vertex_with_parallelism("sink", 1, supplier(move |_| {
-            Box::new(CollectSink::new(sink_target.clone()))
-        }));
+        let w = dag.vertex_with_parallelism(
+            "window-single",
+            lp,
+            supplier(move |_| {
+                Box::new(SlidingWindowP::new::<u64>(
+                    wdef,
+                    |v: &u64| *v,
+                    counting::<u64>(),
+                ))
+            }),
+        );
+        let sink = dag.vertex_with_parallelism(
+            "sink",
+            1,
+            supplier(move |_| Box::new(CollectSink::new(sink_target.clone()))),
+        );
         dag.edge(Edge::between(src, w).partitioned_by::<u64, _, _>(|v| *v));
         dag.edge(Edge::between(w, sink));
     }
     let registry = Arc::new(SnapshotRegistry::disabled());
     let exec = build_local(&dag, &LocalConfig::new(lp), &registry, None).unwrap();
     let mut tasklets = exec.tasklets;
-    assert!(run_sequential(&mut tasklets, 3_000_000), "job did not finish");
+    assert!(
+        run_sequential(&mut tasklets, 3_000_000),
+        "job did not finish"
+    );
     let results = out.lock();
     let mut got = HashMap::new();
     for (_, r) in results.iter() {
@@ -134,7 +165,7 @@ proptest! {
     ) {
         // Every global sequence < limit is emitted exactly once across
         // instances, whatever the parallelism.
-        let out: Arc<Mutex<Vec<(Ts, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let out: Collected<u64> = Arc::new(Mutex::new(Vec::new()));
         let mut dag = Dag::new();
         let src = dag.vertex_with_parallelism("gen", lp, supplier(move |_| {
             Box::new(

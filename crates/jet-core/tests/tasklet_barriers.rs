@@ -67,14 +67,28 @@ fn rig(guarantee: Guarantee, lanes: usize) -> Rig {
         owned_partitions: Arc::new(vec![true; 8]),
     };
     let tasklet = ProcessorTasklet::new(
-        Box::new(Recorder { seen: seen.clone(), sum: 0 }),
+        Box::new(Recorder {
+            seen: seen.clone(),
+            sum: 0,
+        }),
         ctx,
-        vec![InputConveyor { ordinal: 0, priority: 0, conveyor }],
+        vec![InputConveyor {
+            ordinal: 0,
+            priority: 0,
+            conveyor,
+        }],
         vec![collector],
         registry.clone(),
         64,
     );
-    Rig { tasklet, lanes: producers, out: out_c, seen, registry, store }
+    Rig {
+        tasklet,
+        lanes: producers,
+        out: out_c,
+        seen,
+        registry,
+        store,
+    }
 }
 
 fn spin(t: &mut ProcessorTasklet, rounds: usize) {
@@ -84,7 +98,10 @@ fn spin(t: &mut ProcessorTasklet, rounds: usize) {
 }
 
 fn barrier(id: u64) -> Item {
-    Item::Barrier(Barrier { snapshot_id: id, terminal: false })
+    Item::Barrier(Barrier {
+        snapshot_id: id,
+        terminal: false,
+    })
 }
 
 #[test]
@@ -99,14 +116,27 @@ fn exactly_once_blocks_aligned_lane_until_alignment() {
     // Pre-barrier events from both lanes processed; post-barrier one blocked.
     {
         let seen = r.seen.lock();
-        assert!(seen.contains(&1) && seen.contains(&2), "pre-barrier events: {seen:?}");
-        assert!(!seen.contains(&99), "post-barrier event leaked through alignment");
+        assert!(
+            seen.contains(&1) && seen.contains(&2),
+            "pre-barrier events: {seen:?}"
+        );
+        assert!(
+            !seen.contains(&99),
+            "post-barrier event leaked through alignment"
+        );
     }
-    assert_eq!(r.registry.completed(), 0, "snapshot completed before alignment");
+    assert_eq!(
+        r.registry.completed(),
+        0,
+        "snapshot completed before alignment"
+    );
     // Align lane 1: snapshot happens, block releases.
     r.lanes[1].offer(barrier(1)).unwrap();
     spin(&mut r.tasklet, 10);
-    assert!(r.seen.lock().contains(&99), "post-barrier event never released");
+    assert!(
+        r.seen.lock().contains(&99),
+        "post-barrier event never released"
+    );
     assert_eq!(r.registry.completed(), 1);
     // State record persisted (sum at the barrier = 1 + 2 = 3).
     let records = r.store.read_vertex(1, "recorder");
@@ -123,7 +153,10 @@ fn at_least_once_does_not_block_but_snapshots_on_last_barrier() {
     spin(&mut r.tasklet, 10);
     // At-least-once: the post-barrier event IS processed pre-alignment
     // (that is exactly why replay may duplicate it).
-    assert!(r.seen.lock().contains(&99), "at-least-once must not block channels");
+    assert!(
+        r.seen.lock().contains(&99),
+        "at-least-once must not block channels"
+    );
     assert_eq!(r.registry.completed(), 0);
     r.lanes[1].offer(barrier(1)).unwrap();
     spin(&mut r.tasklet, 10);
@@ -200,7 +233,9 @@ fn sink_counts_match_through_alignment_stress() {
     for id in 1..=5u64 {
         r.registry.trigger().unwrap();
         for _ in 0..7 {
-            r.lanes[(next % 2) as usize].offer(Item::event(0, boxed(next))).unwrap();
+            r.lanes[(next % 2) as usize]
+                .offer(Item::event(0, boxed(next)))
+                .unwrap();
             expected.push(next);
             next += 1;
         }

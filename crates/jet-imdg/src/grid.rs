@@ -55,7 +55,11 @@ impl PartitionStore {
 
     fn clone_all(&self) -> PartitionStore {
         PartitionStore {
-            maps: self.maps.iter().map(|(k, v)| (k.clone(), v.clone_box())).collect(),
+            maps: self
+                .maps
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone_box()))
+                .collect(),
         }
     }
 
@@ -81,7 +85,9 @@ impl MemberNode {
     fn new(id: MemberId, partition_count: u32) -> Self {
         MemberNode {
             id,
-            partitions: (0..partition_count).map(|_| Mutex::new(PartitionStore::default())).collect(),
+            partitions: (0..partition_count)
+                .map(|_| Mutex::new(PartitionStore::default()))
+                .collect(),
         }
     }
 
@@ -136,7 +142,11 @@ impl Grid {
             inner: Arc::new(GridInner {
                 partition_count,
                 backup_count,
-                state: RwLock::new(ClusterState { next_member: members as u32, table, nodes }),
+                state: RwLock::new(ClusterState {
+                    next_member: members as u32,
+                    table,
+                    nodes,
+                }),
             }),
         }
     }
@@ -229,8 +239,7 @@ impl Grid {
         if !st.nodes.contains_key(&m) {
             return Err(GridError::MemberDown(m));
         }
-        let members: Vec<MemberId> =
-            st.nodes.keys().copied().filter(|&x| x != m).collect();
+        let members: Vec<MemberId> = st.nodes.keys().copied().filter(|&x| x != m).collect();
         if members.is_empty() {
             st.nodes.remove(&m);
             return Ok(());
@@ -374,7 +383,10 @@ mod tests {
     #[test]
     fn killing_unknown_member_errors() {
         let g = Grid::with_partition_count(1, 0, 7);
-        assert_eq!(g.kill_member(MemberId(9)), Err(GridError::MemberDown(MemberId(9))));
+        assert_eq!(
+            g.kill_member(MemberId(9)),
+            Err(GridError::MemberDown(MemberId(9)))
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub struct Journal<K, V> {
 
 impl<K: Clone, V: Clone> Journal<K, V> {
     fn new(capacity: usize) -> Self {
-        Journal { events: VecDeque::new(), next_seq: 0, capacity }
+        Journal {
+            events: VecDeque::new(),
+            next_seq: 0,
+            capacity,
+        }
     }
 
     fn append(&mut self, kind: EntryEventKind, key: K, value: V) {
@@ -60,7 +64,12 @@ impl<K: Clone, V: Clone> Journal<K, V> {
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(EntryEvent { seq: self.next_seq, kind, key, value });
+        self.events.push_back(EntryEvent {
+            seq: self.next_seq,
+            kind,
+            key,
+            value,
+        });
         self.next_seq += 1;
     }
 
@@ -104,7 +113,10 @@ where
     V: Clone + Send + 'static,
 {
     fn new(journal_capacity: usize) -> Self {
-        MapSlice { entries: HashMap::new(), journal: Journal::new(journal_capacity) }
+        MapSlice {
+            entries: HashMap::new(),
+            journal: Journal::new(journal_capacity),
+        }
     }
 }
 
@@ -114,7 +126,10 @@ where
     V: Clone + Send + 'static,
 {
     fn clone_box(&self) -> Box<dyn AnyMapSlice> {
-        Box::new(MapSlice { entries: self.entries.clone(), journal: self.journal.clone() })
+        Box::new(MapSlice {
+            entries: self.entries.clone(),
+            journal: self.journal.clone(),
+        })
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -223,7 +238,8 @@ where
                 let kind = match s.entries.entry(key.clone()) {
                     Entry::Occupied(mut e) => {
                         let old = e.insert(value.clone());
-                        s.journal.append(EntryEventKind::Updated, key.clone(), value.clone());
+                        s.journal
+                            .append(EntryEventKind::Updated, key.clone(), value.clone());
                         return Some(old);
                     }
                     Entry::Vacant(e) => {
@@ -267,7 +283,8 @@ where
             let old = self.with_slice_mut(node, p, |s| {
                 let old = s.entries.remove(key);
                 if let Some(v) = &old {
-                    s.journal.append(EntryEventKind::Removed, key.clone(), v.clone());
+                    s.journal
+                        .append(EntryEventKind::Removed, key.clone(), v.clone());
                 }
                 old
             });
@@ -323,7 +340,10 @@ where
 
     /// Predicate scan over primary replicas ("queryable" map, §4.2).
     pub fn values_where(&self, mut pred: impl FnMut(&K, &V) -> bool) -> Vec<(K, V)> {
-        self.entries().into_iter().filter(|(k, v)| pred(k, v)).collect()
+        self.entries()
+            .into_iter()
+            .filter(|(k, v)| pred(k, v))
+            .collect()
     }
 
     /// Atomically update the value under `key` on the primary (then
@@ -436,7 +456,7 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all.len(), 100);
         assert_eq!(all[5], (5, 50));
-        let evens = m.values_where(|k, _| k % 2 == 0);
+        let evens = m.values_where(|k, _| k.is_multiple_of(2));
         assert_eq!(evens.len(), 50);
     }
 
@@ -444,8 +464,14 @@ mod tests {
     fn compute_inserts_updates_and_removes() {
         let g = grid();
         let m: IMap<&'static str, u64> = IMap::new(&g, "m");
-        assert_eq!(m.compute("k", |old| Some(old.copied().unwrap_or(0) + 1)), Some(1));
-        assert_eq!(m.compute("k", |old| Some(old.copied().unwrap_or(0) + 1)), Some(2));
+        assert_eq!(
+            m.compute("k", |old| Some(old.copied().unwrap_or(0) + 1)),
+            Some(1)
+        );
+        assert_eq!(
+            m.compute("k", |old| Some(old.copied().unwrap_or(0) + 1)),
+            Some(2)
+        );
         assert_eq!(m.get(&"k"), Some(2));
         assert_eq!(m.compute("k", |_| None), None);
         assert_eq!(m.get(&"k"), None);

@@ -38,7 +38,7 @@ pub mod types;
 
 pub use grid::Grid;
 pub use imap::IMap;
-pub use ringbuffer::Ringbuffer;
 pub use partition_table::PartitionTable;
+pub use ringbuffer::Ringbuffer;
 pub use snapshot_store::SnapshotStore;
 pub use types::{MemberId, PartitionId, DEFAULT_PARTITION_COUNT};

@@ -47,7 +47,11 @@ impl PartitionTable {
                 ring.replica_chain(hash, backup_count + 1)
             })
             .collect();
-        PartitionTable { replicas, backup_count, version: 1 }
+        PartitionTable {
+            replicas,
+            backup_count,
+            version: 1,
+        }
     }
 
     pub fn partition_count(&self) -> u32 {
@@ -110,8 +114,7 @@ impl PartitionTable {
     /// new primary to the newly appointed backups). Promotions themselves
     /// need no data movement — that is the point of the design (Fig. 6).
     pub fn promote_on_failure(&self, dead: MemberId) -> (PartitionTable, Vec<Migration>) {
-        let survivors: Vec<MemberId> =
-            self.members().into_iter().filter(|&m| m != dead).collect();
+        let survivors: Vec<MemberId> = self.members().into_iter().filter(|&m| m != dead).collect();
         let ring = HashRing::new(&survivors, DEFAULT_VNODES);
         let mut migrations = Vec::new();
         let replicas: Vec<Vec<MemberId>> = self
@@ -147,7 +150,11 @@ impl PartitionTable {
             })
             .collect();
         (
-            PartitionTable { replicas, backup_count: self.backup_count, version: self.version + 1 },
+            PartitionTable {
+                replicas,
+                backup_count: self.backup_count,
+                version: self.version + 1,
+            },
             migrations,
         )
     }
@@ -155,11 +162,7 @@ impl PartitionTable {
     /// Rebalance for a new member set (typically after a join). Computes the
     /// ring-based assignment and the migration plan from `self`.
     pub fn rebalance(&self, members: &[MemberId]) -> (PartitionTable, Vec<Migration>) {
-        let mut next = PartitionTable::assign(
-            members,
-            self.partition_count(),
-            self.backup_count,
-        );
+        let mut next = PartitionTable::assign(members, self.partition_count(), self.backup_count);
         next.version = self.version + 1;
         let migrations = self.plan_migrations(&next);
         (next, migrations)
@@ -199,7 +202,9 @@ impl PartitionTable {
             sorted.sort_unstable();
             sorted.dedup();
             if sorted.len() != chain.len() {
-                return Err(format!("partition {i}: duplicate member in chain {chain:?}"));
+                return Err(format!(
+                    "partition {i}: duplicate member in chain {chain:?}"
+                ));
             }
             if !members.is_empty() && chain.len() != expected_len {
                 return Err(format!(
@@ -274,7 +279,11 @@ mod tests {
         let t = PartitionTable::assign(&members(4), 271, 1);
         let (t2, migrations) = t.promote_on_failure(MemberId(0));
         for p in 0..271 {
-            assert_eq!(t2.replicas(PartitionId(p)).len(), 2, "partition {p} lost redundancy");
+            assert_eq!(
+                t2.replicas(PartitionId(p)).len(),
+                2,
+                "partition {p} lost redundancy"
+            );
         }
         // Each migration's source actually holds the partition in t2.
         for m in &migrations {

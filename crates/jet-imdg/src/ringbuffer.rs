@@ -103,7 +103,11 @@ impl<T: Clone + Send + 'static> Ringbuffer<T> {
         let cap = self.capacity;
         let mut store = node.partition(self.partition);
         let slice = store.slice_mut(&self.name, || {
-            Box::new(RingSlice::<T> { items: VecDeque::new(), head_seq: 0, capacity: cap })
+            Box::new(RingSlice::<T> {
+                items: VecDeque::new(),
+                head_seq: 0,
+                capacity: cap,
+            })
         });
         f(slice
             .as_any_mut()
@@ -153,8 +157,7 @@ impl<T: Clone + Send + 'static> Ringbuffer<T> {
         Ok(self.with_slice(&node, |r| {
             let start = from_seq.max(r.head_seq);
             let offset = (start - r.head_seq) as usize;
-            let out: Vec<T> =
-                r.items.iter().skip(offset).take(max).cloned().collect();
+            let out: Vec<T> = r.items.iter().skip(offset).take(max).cloned().collect();
             let next = start + out.len() as u64;
             (out, next)
         }))

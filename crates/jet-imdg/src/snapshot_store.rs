@@ -44,7 +44,11 @@ impl SnapshotStore {
     /// Write one state record into snapshot `snapshot_id`.
     pub fn write(&self, snapshot_id: u64, vertex: &str, key: Vec<u8>, value: Vec<u8>) {
         self.records.put(
-            SnapshotKey { snapshot_id, vertex: vertex.to_string(), key },
+            SnapshotKey {
+                snapshot_id,
+                vertex: vertex.to_string(),
+                key,
+            },
             value,
         );
     }

@@ -38,7 +38,10 @@ pub fn partition_for_hash(hash: u64, partition_count: u32) -> PartitionId {
 
 /// Route a hashable key to its partition.
 #[inline]
-pub fn partition_for_key<K: std::hash::Hash + ?Sized>(key: &K, partition_count: u32) -> PartitionId {
+pub fn partition_for_key<K: std::hash::Hash + ?Sized>(
+    key: &K,
+    partition_count: u32,
+) -> PartitionId {
     partition_for_hash(seq::hash_of(key), partition_count)
 }
 
@@ -90,6 +93,9 @@ mod tests {
     fn display_formats() {
         assert_eq!(MemberId(3).to_string(), "m3");
         assert_eq!(PartitionId(17).to_string(), "p17");
-        assert_eq!(GridError::MemberDown(MemberId(1)).to_string(), "member m1 is down");
+        assert_eq!(
+            GridError::MemberDown(MemberId(1)).to_string(),
+            "member m1 is down"
+        );
     }
 }

@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn keys_stay_in_configured_space() {
-        let cfg = NexmarkConfig { people: 100, auctions: 50, ..Default::default() };
+        let cfg = NexmarkConfig {
+            people: 100,
+            auctions: 50,
+            ..Default::default()
+        };
         for seq in 0..10_000 {
             match cfg.event(seq, 0) {
                 Event::Person(p) => assert!(p.id < 100),
@@ -146,8 +150,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = NexmarkConfig { seed: 1, ..Default::default() };
-        let b = NexmarkConfig { seed: 2, ..Default::default() };
+        let a = NexmarkConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let b = NexmarkConfig {
+            seed: 2,
+            ..Default::default()
+        };
         let same = (0..100).filter(|&s| a.event(s, 0) == b.event(s, 0)).count();
         assert!(same < 5);
     }

@@ -150,15 +150,32 @@ mod tests {
             ts: 123,
         };
         assert_eq!(Person::from_bytes(&p.to_bytes()).unwrap(), p);
-        let a = Auction { id: 1, seller: 7, category: 3, initial_bid: 100, expires: 99, ts: 5 };
+        let a = Auction {
+            id: 1,
+            seller: 7,
+            category: 3,
+            initial_bid: 100,
+            expires: 99,
+            ts: 5,
+        };
         assert_eq!(Auction::from_bytes(&a.to_bytes()).unwrap(), a);
-        let b = Bid { auction: 1, bidder: 2, price: -5, ts: 10 };
+        let b = Bid {
+            auction: 1,
+            bidder: 2,
+            price: -5,
+            ts: 10,
+        };
         assert_eq!(Bid::from_bytes(&b.to_bytes()).unwrap(), b);
     }
 
     #[test]
     fn event_accessors() {
-        let e = Event::Bid(Bid { auction: 1, bidder: 2, price: 3, ts: 4 });
+        let e = Event::Bid(Bid {
+            auction: 1,
+            bidder: 2,
+            price: 3,
+            ts: 4,
+        });
         assert_eq!(e.ts(), 4);
         assert!(e.as_bid().is_some());
         assert!(e.as_person().is_none());

@@ -43,13 +43,16 @@ pub fn persons(src: &StreamStage<Event>) -> StreamStage<Person> {
 
 /// **Q1 — Currency conversion** (simple map): dollar prices to euros.
 pub fn q1(src: &StreamStage<Event>) -> StreamStage<Bid> {
-    bids(src).map(|b: &Bid| Bid { price: (b.price as f64 * 0.908) as i64, ..b.clone() })
+    bids(src).map(|b: &Bid| Bid {
+        price: (b.price as f64 * 0.908) as i64,
+        ..b.clone()
+    })
 }
 
 /// **Q2 — Selection** (simple filter): bids on auctions with `id % 123 == 0`.
 pub fn q2(src: &StreamStage<Event>) -> StreamStage<(u64, i64)> {
     bids(src)
-        .filter(|b: &Bid| b.auction % 123 == 0)
+        .filter(|b: &Bid| b.auction.is_multiple_of(123))
         .map(|b: &Bid| (b.auction, b.price))
 }
 

@@ -68,7 +68,13 @@ impl PipelineGraph {
         inputs: Vec<PInput>,
         is_source: bool,
     ) -> usize {
-        self.nodes.push(PNode { name, kind, inputs, local_parallelism: None, is_source });
+        self.nodes.push(PNode {
+            name,
+            kind,
+            inputs,
+            local_parallelism: None,
+            is_source,
+        });
         self.nodes.len() - 1
     }
 
@@ -127,8 +133,8 @@ impl PipelineGraph {
                     // input always has a smaller index, so a linear scan
                     // finds chain members in order).
                     let mut stages: Vec<Stage> = Vec::new();
-                    for j in i..n {
-                        if chain_head[j] == i {
+                    for (j, head) in chain_head.iter().enumerate().skip(i) {
+                        if *head == i {
                             if let PNodeKind::Transform(s) = &self.nodes[j].kind {
                                 stages.push(s.clone());
                             }
@@ -182,9 +188,7 @@ impl PipelineGraph {
         let mut fanout_of: HashMap<VertexId, VertexId> = HashMap::new();
         for (&v, &count) in &out_count {
             if count > 1 {
-                let lp = dag.vertices()[v]
-                    .local_parallelism
-                    .unwrap_or(default_lp);
+                let lp = dag.vertices()[v].local_parallelism.unwrap_or(default_lp);
                 let name = format!("{}-fanout", dag.vertices()[v].name);
                 let f = dag.vertex_with_parallelism(
                     name,

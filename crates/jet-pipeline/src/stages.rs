@@ -8,7 +8,7 @@
 
 use crate::graph::{EdgeSpec, NodeFactory, PInput, PNodeKind, PipelineGraph};
 use jet_core::metrics::{SharedCounter, SharedHistogram};
-use jet_core::processors::agg::AggregateOp;
+use jet_core::processors::agg::{AggregateOp, CoGrouped};
 use jet_core::processors::join::HashJoinP;
 use jet_core::processors::sink::{
     CollectSink, CountSink, IMapSink, IdempotentSink, LatencySink, TransactionalSink,
@@ -67,9 +67,19 @@ impl Pipeline {
         Pipeline::default()
     }
 
-    fn add<T>(&self, name: String, kind: PNodeKind, inputs: Vec<PInput>, source: bool) -> StreamStage<T> {
+    fn add<T>(
+        &self,
+        name: String,
+        kind: PNodeKind,
+        inputs: Vec<PInput>,
+        source: bool,
+    ) -> StreamStage<T> {
         let node = self.graph.lock().add_node(name, kind, inputs, source);
-        StreamStage { pipeline: self.clone(), node, _t: PhantomData }
+        StreamStage {
+            pipeline: self.clone(),
+            node,
+            _t: PhantomData,
+        }
     }
 
     /// A rate-controlled generator source: `factory(seq, ts)` builds event
@@ -127,7 +137,11 @@ impl Pipeline {
         });
         let stage: StreamStage<T> =
             self.add(name.to_string(), PNodeKind::Opaque(make), vec![], true);
-        BatchStage { pipeline: stage.pipeline, node: stage.node, _t: PhantomData }
+        BatchStage {
+            pipeline: stage.pipeline,
+            node: stage.node,
+            _t: PhantomData,
+        }
     }
 
     /// Attach a raw custom vertex (escape hatch to the Core API).
@@ -143,11 +157,18 @@ impl Pipeline {
 }
 
 impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
-    fn add_transform<U>(&self, name: &str, stage: jet_core::processors::transform::Stage) -> StreamStage<U> {
+    fn add_transform<U>(
+        &self,
+        name: &str,
+        stage: jet_core::processors::transform::Stage,
+    ) -> StreamStage<U> {
         self.pipeline.add(
             name.to_string(),
             PNodeKind::Transform(stage),
-            vec![PInput { from: self.node, spec: EdgeSpec::Forward }],
+            vec![PInput {
+                from: self.node,
+                spec: EdgeSpec::Forward,
+            }],
             false,
         )
     }
@@ -196,8 +217,14 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
             "merge".to_string(),
             PNodeKind::Opaque(make),
             vec![
-                PInput { from: self.node, spec: EdgeSpec::Forward },
-                PInput { from: other.node, spec: EdgeSpec::Forward },
+                PInput {
+                    from: self.node,
+                    spec: EdgeSpec::Forward,
+                },
+                PInput {
+                    from: other.node,
+                    spec: EdgeSpec::Forward,
+                },
             ],
             false,
         )
@@ -255,7 +282,10 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
         self.pipeline.add(
             "map-stateful".to_string(),
             PNodeKind::Opaque(make),
-            vec![PInput { from: self.node, spec: EdgeSpec::Partitioned(key_hash) }],
+            vec![PInput {
+                from: self.node,
+                spec: EdgeSpec::Partitioned(key_hash),
+            }],
             false,
         )
     }
@@ -295,8 +325,14 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
             "hash-join".to_string(),
             PNodeKind::Opaque(make),
             vec![
-                PInput { from: self.node, spec: EdgeSpec::Forward },
-                PInput { from: build.node, spec: EdgeSpec::Broadcast { priority: -1 } },
+                PInput {
+                    from: self.node,
+                    spec: EdgeSpec::Forward,
+                },
+                PInput {
+                    from: build.node,
+                    spec: EdgeSpec::Broadcast { priority: -1 },
+                },
             ],
             false,
         )
@@ -306,7 +342,10 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
         self.pipeline.add(
             name.to_string(),
             PNodeKind::Opaque(make),
-            vec![PInput { from: self.node, spec: EdgeSpec::Forward }],
+            vec![PInput {
+                from: self.node,
+                spec: EdgeSpec::Forward,
+            }],
             false,
         )
     }
@@ -335,7 +374,11 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
 
     /// Record `now - event_ts` into a shared histogram — the measurement
     /// sink of every experiment (§7.1 latency methodology).
-    pub fn write_to_latency(&self, hist: SharedHistogram, counter: SharedCounter) -> StreamStage<()> {
+    pub fn write_to_latency(
+        &self,
+        hist: SharedHistogram,
+        counter: SharedCounter,
+    ) -> StreamStage<()> {
         self.add_sink(
             "latency-sink",
             Arc::new(move |_| {
@@ -406,7 +449,9 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
                 let id_fn = id_fn.clone();
                 supplier(move |_| {
                     let id_fn = id_fn.clone();
-                    Box::new(IdempotentSink::new(published.clone(), move |t: &T| id_fn(t)))
+                    Box::new(IdempotentSink::new(published.clone(), move |t: &T| {
+                        id_fn(t)
+                    }))
                 })
             }),
         )
@@ -416,7 +461,11 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
 impl<T: Send + Clone + Debug + 'static> BatchStage<T> {
     /// View this batch stage as a stream stage (batch is a special case).
     pub fn as_stream(&self) -> StreamStage<T> {
-        StreamStage { pipeline: self.pipeline.clone(), node: self.node, _t: PhantomData }
+        StreamStage {
+            pipeline: self.pipeline.clone(),
+            node: self.node,
+            _t: PhantomData,
+        }
     }
 
     pub fn map<U, F>(&self, f: F) -> BatchStage<U>
@@ -425,7 +474,11 @@ impl<T: Send + Clone + Debug + 'static> BatchStage<T> {
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
         let s = self.as_stream().map(f);
-        BatchStage { pipeline: s.pipeline, node: s.node, _t: PhantomData }
+        BatchStage {
+            pipeline: s.pipeline,
+            node: s.node,
+            _t: PhantomData,
+        }
     }
 
     pub fn filter<F>(&self, f: F) -> BatchStage<T>
@@ -433,7 +486,11 @@ impl<T: Send + Clone + Debug + 'static> BatchStage<T> {
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
         let s = self.as_stream().filter(f);
-        BatchStage { pipeline: s.pipeline, node: s.node, _t: PhantomData }
+        BatchStage {
+            pipeline: s.pipeline,
+            node: s.node,
+            _t: PhantomData,
+        }
     }
 }
 
@@ -460,13 +517,20 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
             let op = op1.clone();
             supplier(move |_| {
                 let key_fn = key_fn.clone();
-                Box::new(AccumulateFrameP::new(wdef, move |t: &T| key_fn(t), op.clone()))
+                Box::new(AccumulateFrameP::new(
+                    wdef,
+                    move |t: &T| key_fn(t),
+                    op.clone(),
+                ))
             })
         });
         let accumulate = self.keyed.pipeline.add::<FrameChunk<K, A>>(
             "window-accumulate".to_string(),
             PNodeKind::Opaque(stage1),
-            vec![PInput { from: self.keyed.node, spec: EdgeSpec::Forward }],
+            vec![PInput {
+                from: self.keyed.node,
+                spec: EdgeSpec::Forward,
+            }],
             false,
         );
         let op2 = op.clone();
@@ -480,14 +544,20 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
         self.keyed.pipeline.add(
             "window-combine".to_string(),
             PNodeKind::Opaque(stage2),
-            vec![PInput { from: accumulate.node, spec: EdgeSpec::Partitioned(chunk_key) }],
+            vec![PInput {
+                from: accumulate.node,
+                spec: EdgeSpec::Partitioned(chunk_key),
+            }],
             false,
         )
     }
 
     /// Single-stage windowed aggregation (partitions raw events; used by the
     /// single-stage-vs-two-stage ablation).
-    pub fn aggregate_single_stage<A, R>(&self, op: AggregateOp<A, R>) -> StreamStage<WindowResult<K, R>>
+    pub fn aggregate_single_stage<A, R>(
+        &self,
+        op: AggregateOp<A, R>,
+    ) -> StreamStage<WindowResult<K, R>>
     where
         A: Snap + Clone + Send + Debug + 'static,
         R: Send + Clone + Debug + 'static,
@@ -500,7 +570,11 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
             let op = op.clone();
             supplier(move |_| {
                 let key_fn = key_fn.clone();
-                Box::new(SlidingWindowP::new(wdef, move |t: &T| key_fn(t), op.clone()))
+                Box::new(SlidingWindowP::new(
+                    wdef,
+                    move |t: &T| key_fn(t),
+                    op.clone(),
+                ))
             })
         });
         let key_hash = Arc::new(move |obj: &dyn jet_core::Object| {
@@ -509,7 +583,10 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
         self.keyed.pipeline.add(
             "window-single".to_string(),
             PNodeKind::Opaque(make),
-            vec![PInput { from: self.keyed.node, spec: EdgeSpec::Partitioned(key_hash) }],
+            vec![PInput {
+                from: self.keyed.node,
+                spec: EdgeSpec::Partitioned(key_hash),
+            }],
             false,
         )
     }
@@ -519,7 +596,7 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
     pub fn cogroup<U>(
         &self,
         other: KeyedStage<K, U>,
-    ) -> StreamStage<WindowResult<K, (Vec<T>, Vec<U>)>>
+    ) -> StreamStage<WindowResult<K, CoGrouped<T, U>>>
     where
         T: Snap,
         U: Snap + Send + Clone + Debug + 'static,
@@ -553,8 +630,14 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
             "window-cogroup".to_string(),
             PNodeKind::Opaque(make),
             vec![
-                PInput { from: self.keyed.node, spec: EdgeSpec::Partitioned(left_hash) },
-                PInput { from: other.node, spec: EdgeSpec::Partitioned(right_hash) },
+                PInput {
+                    from: self.keyed.node,
+                    spec: EdgeSpec::Partitioned(left_hash),
+                },
+                PInput {
+                    from: other.node,
+                    spec: EdgeSpec::Partitioned(right_hash),
+                },
             ],
             false,
         )

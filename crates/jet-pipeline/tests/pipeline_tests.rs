@@ -11,12 +11,18 @@ use jet_pipeline::{Pipeline, WindowDef, WindowResult};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Timestamped sink output, shared with the collecting stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
 fn run(p: &Pipeline, lp: usize) {
     let dag = p.compile(lp).unwrap();
     let registry = Arc::new(SnapshotRegistry::disabled());
     let exec = build_local(&dag, &LocalConfig::new(lp), &registry, None).unwrap();
     let mut tasklets = exec.tasklets;
-    assert!(run_sequential(&mut tasklets, 2_000_000), "pipeline did not complete");
+    assert!(
+        run_sequential(&mut tasklets, 2_000_000),
+        "pipeline did not complete"
+    );
 }
 
 #[test]
@@ -26,7 +32,7 @@ fn map_filter_chain_is_fused_into_one_vertex() {
     p.read_from_vec("src", (0..100u64).map(|i| (i as Ts, i)).collect::<Vec<_>>())
         .as_stream()
         .map(|v| v + 1)
-        .filter(|v| v % 2 == 0)
+        .filter(|v| v.is_multiple_of(2))
         .map(|v| v * 10)
         .write_to_collect(out.clone());
     let dag = p.compile(2).unwrap();
@@ -35,8 +41,11 @@ fn map_filter_chain_is_fused_into_one_vertex() {
     run(&p, 2);
     let mut vals: Vec<u64> = out.lock().iter().map(|(_, v)| *v).collect();
     vals.sort_unstable();
-    let mut expected: Vec<u64> =
-        (0..100u64).map(|i| i + 1).filter(|v| v % 2 == 0).map(|v| v * 10).collect();
+    let mut expected: Vec<u64> = (0..100u64)
+        .map(|i| i + 1)
+        .filter(|v| v.is_multiple_of(2))
+        .map(|v| v * 10)
+        .collect();
     expected.sort_unstable();
     assert_eq!(vals, expected);
 }
@@ -59,10 +68,11 @@ fn fan_out_sends_every_event_to_both_sinks() {
 #[test]
 fn windowed_aggregate_two_stage_counts() {
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
     // 10 keys, one event per key per tick, 100 ticks.
-    let events: Vec<(Ts, (u64, u64))> =
-        (0..1000u64).map(|i| ((i / 10) as Ts, (i % 10, i))).collect();
+    let events: Vec<(Ts, (u64, u64))> = (0..1000u64)
+        .map(|i| ((i / 10) as Ts, (i % 10, i)))
+        .collect();
     p.read_from_vec("src", events)
         .as_stream()
         .grouping_key(|(k, _)| *k)
@@ -81,8 +91,8 @@ fn windowed_aggregate_two_stage_counts() {
 #[test]
 fn windowed_sum_and_average() {
     let p = Pipeline::create();
-    let sums: Arc<Mutex<Vec<(Ts, WindowResult<u64, i64>)>>> = Arc::new(Mutex::new(Vec::new()));
-    let avgs: Arc<Mutex<Vec<(Ts, WindowResult<u64, f64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sums: Collected<WindowResult<u64, i64>> = Arc::new(Mutex::new(Vec::new()));
+    let avgs: Collected<WindowResult<u64, f64>> = Arc::new(Mutex::new(Vec::new()));
     let events: Vec<(Ts, (u64, i64))> = (0..100i64).map(|i| (i, (0u64, i))).collect();
     let src = p.read_from_vec("src", events).as_stream();
     src.grouping_key(|(k, _)| *k)
@@ -104,12 +114,12 @@ fn windowed_sum_and_average() {
 
 #[test]
 fn single_stage_equals_two_stage() {
-    let events: Vec<(Ts, (u64, u64))> =
-        (0..500u64).map(|i| ((i * 3 % 300) as Ts, (i % 7, i))).collect();
+    let events: Vec<(Ts, (u64, u64))> = (0..500u64)
+        .map(|i| ((i * 3 % 300) as Ts, (i % 7, i)))
+        .collect();
     let collect = |single: bool| {
         let p = Pipeline::create();
-        let out: Arc<Mutex<Vec<(Ts, WindowResult<u64, u64>)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
         let keyed = p
             .read_from_vec("src", events.clone())
             .as_stream()
@@ -122,8 +132,11 @@ fn single_stage_equals_two_stage() {
         };
         stage.write_to_collect(out.clone());
         run(&p, 2);
-        let mut v: Vec<(u64, Ts, u64)> =
-            out.lock().iter().map(|(_, r)| (r.key, r.end, r.value)).collect();
+        let mut v: Vec<(u64, Ts, u64)> = out
+            .lock()
+            .iter()
+            .map(|(_, r)| (r.key, r.end, r.value))
+            .collect();
         v.sort_unstable();
         v
     };
@@ -133,22 +146,30 @@ fn single_stage_equals_two_stage() {
 #[test]
 fn hash_join_enriches_stream() {
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, (u64, String))>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<(u64, String)> = Arc::new(Mutex::new(Vec::new()));
     let build = p.read_from_vec(
         "dim",
-        (0..5u64).map(|k| (0, (k, format!("name{k}")))).collect::<Vec<_>>(),
+        (0..5u64)
+            .map(|k| (0, (k, format!("name{k}"))))
+            .collect::<Vec<_>>(),
     );
-    p.read_from_vec("orders", (0..20u64).map(|i| (i as Ts, i)).collect::<Vec<_>>())
-        .as_stream()
-        .hash_join(
-            &build,
-            |(k, _)| *k,
-            |order| order % 5,
-            |order, matches| {
-                matches.iter().map(|(_, name)| (*order, name.clone())).collect()
-            },
-        )
-        .write_to_collect(out.clone());
+    p.read_from_vec(
+        "orders",
+        (0..20u64).map(|i| (i as Ts, i)).collect::<Vec<_>>(),
+    )
+    .as_stream()
+    .hash_join(
+        &build,
+        |(k, _)| *k,
+        |order| order % 5,
+        |order, matches| {
+            matches
+                .iter()
+                .map(|(_, name)| (*order, name.clone()))
+                .collect()
+        },
+    )
+    .write_to_collect(out.clone());
     run(&p, 2);
     let results = out.lock();
     assert_eq!(results.len(), 20);
@@ -161,11 +182,12 @@ fn hash_join_enriches_stream() {
 fn windowed_cogroup_joins_two_streams() {
     let p = Pipeline::create();
     type CoGroupResult = WindowResult<u64, (Vec<(u64, u64)>, Vec<(u64, String)>)>;
-    let out: Arc<Mutex<Vec<(Ts, CoGroupResult)>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<CoGroupResult> = Arc::new(Mutex::new(Vec::new()));
     // Left: (key, val) at ts = val; right: (key, label).
     let left: Vec<(Ts, (u64, u64))> = (0..40u64).map(|i| (i as Ts, (i % 4, i))).collect();
-    let right: Vec<(Ts, (u64, String))> =
-        (0..8u64).map(|i| (i as Ts * 5, (i % 4, format!("r{i}")))).collect();
+    let right: Vec<(Ts, (u64, String))> = (0..8u64)
+        .map(|i| (i as Ts * 5, (i % 4, format!("r{i}"))))
+        .collect();
     let lstage = p.read_from_vec("left", left).as_stream();
     let rstage = p.read_from_vec("right", right).as_stream();
     lstage
@@ -188,19 +210,22 @@ fn windowed_cogroup_joins_two_streams() {
 #[test]
 fn map_stateful_threads_state_per_key() {
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, (u64, u64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<(u64, u64)> = Arc::new(Mutex::new(Vec::new()));
     // Running count per key.
-    p.read_from_vec("src", (0..60u64).map(|i| (i as Ts, i % 3)).collect::<Vec<_>>())
-        .as_stream()
-        .map_stateful(
-            |k| *k,
-            || 0u64,
-            |count, k| {
-                *count += 1;
-                Some((*k, *count))
-            },
-        )
-        .write_to_collect(out.clone());
+    p.read_from_vec(
+        "src",
+        (0..60u64).map(|i| (i as Ts, i % 3)).collect::<Vec<_>>(),
+    )
+    .as_stream()
+    .map_stateful(
+        |k| *k,
+        || 0u64,
+        |count, k| {
+            *count += 1;
+            Some((*k, *count))
+        },
+    )
+    .write_to_collect(out.clone());
     run(&p, 2);
     let results = out.lock();
     assert_eq!(results.len(), 60);

@@ -8,7 +8,7 @@
 //! input channel that already delivered the current checkpoint barrier must
 //! block until the rest catch up).
 
-use crate::spsc::{spsc_channel, Consumer, Producer};
+use crate::spsc::{spsc_channel, Consumer, DepthProbe, Producer};
 
 /// Consumer-side view over the per-producer queues.
 pub struct Conveyor<T> {
@@ -31,7 +31,14 @@ impl<T> Conveyor<T> {
             handles.push(p);
         }
         let muted = vec![false; producers];
-        (Conveyor { queues, muted, next: 0 }, handles)
+        (
+            Conveyor {
+                queues,
+                muted,
+                next: 0,
+            },
+            handles,
+        )
     }
 
     /// Number of input lanes.
@@ -120,6 +127,15 @@ impl<T> Conveyor<T> {
     }
 }
 
+impl<T: Send + 'static> Conveyor<T> {
+    /// One thread-safe occupancy probe per lane, for registering queue-depth
+    /// gauges without handing the (thread-affine) conveyor to the metrics
+    /// layer.
+    pub fn probes(&self) -> Vec<DepthProbe> {
+        self.queues.iter().map(Consumer::probe).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +154,11 @@ mod tests {
         let first_lanes: Vec<usize> = sink.iter().take(3).map(|(l, _)| *l).collect();
         let mut sorted = first_lanes.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1, 2], "lanes not interleaved: {first_lanes:?}");
+        assert_eq!(
+            sorted,
+            vec![0, 1, 2],
+            "lanes not interleaved: {first_lanes:?}"
+        );
         assert_eq!(sink.len(), 9);
     }
 
@@ -183,8 +203,16 @@ mod tests {
         }
         let mut sink = Vec::new();
         conv.drain(&mut sink, usize::MAX - 1);
-        let lane0: Vec<u32> = sink.iter().filter(|(l, _)| *l == 0).map(|(_, v)| *v).collect();
-        let lane1: Vec<u32> = sink.iter().filter(|(l, _)| *l == 1).map(|(_, v)| *v).collect();
+        let lane0: Vec<u32> = sink
+            .iter()
+            .filter(|(l, _)| *l == 0)
+            .map(|(_, v)| *v)
+            .collect();
+        let lane1: Vec<u32> = sink
+            .iter()
+            .filter(|(l, _)| *l == 1)
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(lane0, (0..20).collect::<Vec<_>>());
         assert_eq!(lane1, (100..120).collect::<Vec<_>>());
     }
@@ -200,6 +228,18 @@ mod tests {
         assert_eq!(conv.lane_len(1), 0);
         assert_eq!(conv.lane_len(2), 2);
         assert!(!conv.is_empty());
+    }
+
+    #[test]
+    fn probes_expose_per_lane_depth() {
+        let (conv, producers) = Conveyor::<u32>::new(2, 8);
+        let probes = conv.probes();
+        assert_eq!(probes.len(), 2);
+        producers[1].offer(1).unwrap();
+        producers[1].offer(2).unwrap();
+        assert_eq!(probes[0].depth(), 0);
+        assert_eq!(probes[1].depth(), 2);
+        assert!(probes.iter().all(|p| p.capacity() == 8));
     }
 
     #[test]

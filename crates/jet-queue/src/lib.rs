@@ -17,4 +17,4 @@ pub mod conveyor;
 pub mod spsc;
 
 pub use conveyor::Conveyor;
-pub use spsc::{spsc_channel, Consumer, Producer};
+pub use spsc::{spsc_channel, Consumer, DepthProbe, Producer};

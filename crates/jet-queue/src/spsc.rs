@@ -59,8 +59,9 @@ unsafe impl<T: Send> Send for Consumer<T> {}
 /// Create a bounded SPSC queue with capacity rounded up to a power of two.
 pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
-    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> =
-        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
     let shared = Arc::new(Shared {
         buffer,
         mask: cap - 1,
@@ -68,8 +69,16 @@ pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         tail: CachePadded::new(AtomicUsize::new(0)),
     });
     (
-        Producer { shared: shared.clone(), tail: Cell::new(0), cached_head: Cell::new(0) },
-        Consumer { shared, head: Cell::new(0), cached_tail: Cell::new(0) },
+        Producer {
+            shared: shared.clone(),
+            tail: Cell::new(0),
+            cached_head: Cell::new(0),
+        },
+        Consumer {
+            shared,
+            head: Cell::new(0),
+            cached_tail: Cell::new(0),
+        },
     )
 }
 
@@ -85,7 +94,8 @@ impl<T> Producer<T> {
         let tail = self.tail.get();
         if tail.wrapping_sub(self.cached_head.get()) > self.shared.mask {
             // Looks full — refresh the consumer position.
-            self.cached_head.set(self.shared.head.load(Ordering::Acquire));
+            self.cached_head
+                .set(self.shared.head.load(Ordering::Acquire));
             if tail.wrapping_sub(self.cached_head.get()) > self.shared.mask {
                 return Err(item);
             }
@@ -93,7 +103,9 @@ impl<T> Producer<T> {
         let slot = &self.shared.buffer[tail & self.shared.mask];
         unsafe { (*slot.get()).write(item) };
         self.tail.set(tail.wrapping_add(1));
-        self.shared.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.shared
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -121,7 +133,8 @@ impl<T> Consumer<T> {
     pub fn poll(&self) -> Option<T> {
         let head = self.head.get();
         if head == self.cached_tail.get() {
-            self.cached_tail.set(self.shared.tail.load(Ordering::Acquire));
+            self.cached_tail
+                .set(self.shared.tail.load(Ordering::Acquire));
             if head == self.cached_tail.get() {
                 return None;
             }
@@ -129,7 +142,9 @@ impl<T> Consumer<T> {
         let slot = &self.shared.buffer[head & self.shared.mask];
         let item = unsafe { (*slot.get()).assume_init_read() };
         self.head.set(head.wrapping_add(1));
-        self.shared.head.store(head.wrapping_add(1), Ordering::Release);
+        self.shared
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
         Some(item)
     }
 
@@ -138,7 +153,8 @@ impl<T> Consumer<T> {
     pub fn peek(&self) -> Option<&T> {
         let head = self.head.get();
         if head == self.cached_tail.get() {
-            self.cached_tail.set(self.shared.tail.load(Ordering::Acquire));
+            self.cached_tail
+                .set(self.shared.tail.load(Ordering::Acquire));
             if head == self.cached_tail.get() {
                 return None;
             }
@@ -177,6 +193,67 @@ impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
         // Drain remaining items so their destructors run.
         while self.poll().is_some() {}
+    }
+}
+
+/// Type-erased view of one queue's occupancy, readable from *any* thread.
+///
+/// `Producer`/`Consumer` cache positions in non-`Sync` `Cell`s, so their
+/// `len()`-style accessors must stay on the owning thread. The probe reads
+/// only the shared atomics (the same ones the SPSC protocol publishes with
+/// release stores), which makes it safe for a metrics thread to sample
+/// depth concurrently with traffic — the value is approximate by nature.
+#[derive(Clone)]
+pub struct DepthProbe {
+    source: Arc<dyn DepthSource + Send + Sync>,
+}
+
+trait DepthSource {
+    fn depth(&self) -> usize;
+    fn capacity(&self) -> usize;
+}
+
+impl<T> DepthSource for Shared<T> {
+    fn depth(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        // `tail` was read first: a concurrent poll can make `head` pass it,
+        // so clamp instead of wrapping to a huge value.
+        tail.wrapping_sub(head).min(self.mask + 1)
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+impl DepthProbe {
+    /// Items currently queued (approximate under concurrency, never above
+    /// capacity).
+    pub fn depth(&self) -> usize {
+        self.source.depth()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.source.capacity()
+    }
+}
+
+impl<T: Send + 'static> Producer<T> {
+    /// A thread-safe occupancy probe for this queue.
+    pub fn probe(&self) -> DepthProbe {
+        DepthProbe {
+            source: self.shared.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Consumer<T> {
+    /// A thread-safe occupancy probe for this queue.
+    pub fn probe(&self) -> DepthProbe {
+        DepthProbe {
+            source: self.shared.clone(),
+        }
     }
 }
 
@@ -319,5 +396,22 @@ mod tests {
         assert_eq!(p.remaining_capacity(), 2);
         c.poll();
         assert_eq!(p.remaining_capacity(), 3);
+    }
+
+    #[test]
+    fn depth_probe_tracks_occupancy_from_another_thread() {
+        let (p, c) = spsc_channel::<u32>(8);
+        let probe = p.probe();
+        assert_eq!(probe.capacity(), 8);
+        assert_eq!(probe.depth(), 0);
+        for i in 0..5 {
+            p.offer(i).unwrap();
+        }
+        let handle = std::thread::spawn(move || probe.depth());
+        assert_eq!(handle.join().unwrap(), 5);
+        c.poll();
+        assert_eq!(c.probe().depth(), 4);
+        // Producer- and consumer-derived probes see the same queue.
+        assert_eq!(p.probe().depth(), c.probe().depth());
     }
 }

@@ -136,7 +136,12 @@ impl CostedTasklet {
         let mut snap_records = 0u64;
         if let Some(c) = &self.counters {
             let (i, o, _, _) = c.snapshot();
-            items = (i - self.last_in) + (o - self.last_out);
+            // Charge the larger of the two deltas: a transform that consumed
+            // n events and emitted n (events_out is now credited at the
+            // outbox for every vertex, not just sources) moved n items, not
+            // 2n. Sources are charged for what they emit, sinks for what
+            // they consume — the calibration the paper figures rest on.
+            items = (i - self.last_in).max(o - self.last_out);
             self.last_in = i;
             self.last_out = o;
             let sr = c.snapshot_records();
@@ -145,11 +150,7 @@ impl CostedTasklet {
         }
         let cost = match p {
             Progress::NoProgress => self.call_cost / 4, // cheap poll
-            _ => {
-                self.call_cost
-                    + items * self.per_item
-                    + snap_records * self.snapshot_record_cost
-            }
+            _ => self.call_cost + items * self.per_item + snap_records * self.snapshot_record_cost,
         };
         (p, cost)
     }
@@ -182,7 +183,12 @@ mod tests {
 
     #[test]
     fn costed_tasklet_charges_call_cost_and_terminates() {
-        let m = CostModel { call_cost: 100, per_item: 10, snapshot_record_cost: 0, per_vertex: vec![] };
+        let m = CostModel {
+            call_cost: 100,
+            per_item: 10,
+            snapshot_record_cost: 0,
+            per_vertex: vec![],
+        };
         let mut t = CostedTasklet::new(Box::new(Fixed(2)), None, &m);
         let (p, c) = t.run();
         assert_eq!(p, Progress::MadeProgress);
@@ -198,7 +204,12 @@ mod tests {
 
     #[test]
     fn item_costs_use_counters() {
-        let m = CostModel { call_cost: 50, per_item: 7, snapshot_record_cost: 0, per_vertex: vec![] };
+        let m = CostModel {
+            call_cost: 50,
+            per_item: 7,
+            snapshot_record_cost: 0,
+            per_vertex: vec![],
+        };
         let counters = TaskletCounters::shared();
         struct Counting(Arc<TaskletCounters>);
         impl Tasklet for Counting {
@@ -212,9 +223,10 @@ mod tests {
             }
         }
         let mut t = CostedTasklet::new(Box::new(Counting(counters.clone())), Some(counters), &m);
+        // 3 in, 2 out per call: the call moved max(3, 2) = 3 items.
         let (_, c) = t.run();
-        assert_eq!(c, 50 + 5 * 7);
+        assert_eq!(c, 50 + 3 * 7);
         let (_, c) = t.run();
-        assert_eq!(c, 50 + 5 * 7, "delta accounting must reset");
+        assert_eq!(c, 50 + 3 * 7, "delta accounting must reset");
     }
 }

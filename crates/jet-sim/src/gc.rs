@@ -17,9 +17,18 @@
 #[derive(Debug, Clone)]
 pub enum GcModel {
     /// Every `interval`, one core (round-robin) stalls for `pause`.
-    Concurrent { pause: u64, interval: u64, next_at: u64, next_core: usize },
+    Concurrent {
+        pause: u64,
+        interval: u64,
+        next_at: u64,
+        next_core: usize,
+    },
     /// Every `interval`, all cores stall for `pause`.
-    StopWorld { pause: u64, interval: u64, next_at: u64 },
+    StopWorld {
+        pause: u64,
+        interval: u64,
+        next_at: u64,
+    },
 }
 
 impl GcModel {
@@ -29,17 +38,31 @@ impl GcModel {
     }
 
     pub fn concurrent(pause: u64, interval: u64) -> GcModel {
-        GcModel::Concurrent { pause, interval, next_at: interval, next_core: 0 }
+        GcModel::Concurrent {
+            pause,
+            interval,
+            next_at: interval,
+            next_core: 0,
+        }
     }
 
     pub fn stop_world(pause: u64, interval: u64) -> GcModel {
-        GcModel::StopWorld { pause, interval, next_at: interval }
+        GcModel::StopWorld {
+            pause,
+            interval,
+            next_at: interval,
+        }
     }
 
     /// Apply pauses due at `now` by raising cores' `stalled_until`.
     pub fn apply<'a>(&mut self, now: u64, stalls: &mut impl Iterator<Item = &'a mut u64>) {
         match self {
-            GcModel::Concurrent { pause, interval, next_at, next_core } => {
+            GcModel::Concurrent {
+                pause,
+                interval,
+                next_at,
+                next_core,
+            } => {
                 if now < *next_at {
                     return;
                 }
@@ -50,15 +73,17 @@ impl GcModel {
                 }
                 let idx = *next_core % stalls.len();
                 *next_core = next_core.wrapping_add(1);
-                let mut i = 0;
-                for s in stalls {
+                for (i, s) in stalls.into_iter().enumerate() {
                     if i == idx {
                         *s = (*s).max(now + *pause);
                     }
-                    i += 1;
                 }
             }
-            GcModel::StopWorld { pause, interval, next_at } => {
+            GcModel::StopWorld {
+                pause,
+                interval,
+                next_at,
+            } => {
                 if now < *next_at {
                     return;
                 }
@@ -88,7 +113,7 @@ mod tests {
     #[test]
     fn concurrent_rotates_single_core() {
         let mut gc = GcModel::concurrent(1_000, 10_000);
-        let mut stalls = vec![0u64, 0];
+        let mut stalls = [0u64, 0];
         gc.apply(10_000, &mut stalls.iter_mut());
         assert_eq!(stalls.iter().filter(|&&s| s > 0).count(), 1);
         let first: Vec<bool> = stalls.iter().map(|&s| s > 0).collect();
@@ -100,7 +125,7 @@ mod tests {
     #[test]
     fn interval_is_respected() {
         let mut gc = GcModel::stop_world(100, 1_000);
-        let mut stalls = vec![0u64];
+        let mut stalls = [0u64];
         gc.apply(1_000, &mut stalls.iter_mut());
         let s1 = stalls[0];
         gc.apply(1_500, &mut stalls.iter_mut());

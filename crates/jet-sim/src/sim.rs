@@ -107,7 +107,13 @@ impl Simulator {
     /// to simulate seconds of cluster time quickly).
     pub fn new(clock: Arc<ManualClock>, model: CostModel, quantum: u64) -> Self {
         assert!(quantum > 0);
-        Simulator { clock, cores: Vec::new(), model, quantum, gc: None }
+        Simulator {
+            clock,
+            cores: Vec::new(),
+            model,
+            quantum,
+            gc: None,
+        }
     }
 
     pub fn with_gc(mut self, gc: GcModel) -> Self {
@@ -178,7 +184,10 @@ impl Simulator {
             let now = self.clock.now_nanos();
             on_tick(now);
             if let Some(gc) = &mut self.gc {
-                gc.apply(now, &mut self.cores.iter_mut().map(|c| &mut c.stalled_until));
+                gc.apply(
+                    now,
+                    &mut self.cores.iter_mut().map(|c| &mut c.stalled_until),
+                );
             }
             for core in &mut self.cores {
                 if core.stalled_until > now {
@@ -222,14 +231,29 @@ mod tests {
 
     fn sim(quantum: u64) -> Simulator {
         let clock = Arc::new(ManualClock::new());
-        Simulator::new(clock, CostModel { call_cost: 100, per_item: 0, snapshot_record_cost: 0, per_vertex: vec![] }, quantum)
+        Simulator::new(
+            clock,
+            CostModel {
+                call_cost: 100,
+                per_item: 0,
+                snapshot_record_cost: 0,
+                per_vertex: vec![],
+            },
+            quantum,
+        )
     }
 
     #[test]
     fn time_advances_by_quanta() {
         let mut s = sim(1_000);
         let c = s.add_core();
-        s.assign(c, Box::new(Emitter { remaining: 1_000_000 }), None);
+        s.assign(
+            c,
+            Box::new(Emitter {
+                remaining: 1_000_000,
+            }),
+            None,
+        );
         assert!(!s.run_for(10_000, |_| {}));
         assert_eq!(s.now(), 10_000);
     }
@@ -260,7 +284,13 @@ mod tests {
     fn on_tick_fires_every_quantum() {
         let mut s = sim(500);
         let c = s.add_core();
-        s.assign(c, Box::new(Emitter { remaining: u32::MAX }), None);
+        s.assign(
+            c,
+            Box::new(Emitter {
+                remaining: u32::MAX,
+            }),
+            None,
+        );
         let mut ticks = 0;
         s.run_for(5_000, |_| ticks += 1);
         assert_eq!(ticks, 10);
@@ -282,6 +312,10 @@ mod tests {
         s.assign(c, Box::new(Idle), None);
         s.run_for(100_000, |_| {});
         // An idle tasklet costs one cheap poll per quantum.
-        assert!(s.busy_nanos()[0] < 5_000, "idle core burned {}", s.busy_nanos()[0]);
+        assert!(
+            s.busy_nanos()[0] < 5_000,
+            "idle core burned {}",
+            s.busy_nanos()[0]
+        );
     }
 }

@@ -21,17 +21,28 @@ fn run_sim(gc: Option<GcModel>, rate: u64, limit: u64) -> jet_util::Histogram {
     let hist = SharedHistogram::new();
     let count = SharedCounter::new();
     let mut dag = Dag::new();
-    let src = dag.vertex_with_parallelism("gen", 2, supplier(move |_| {
-        Box::new(
-            GeneratorSource::new(rate, Arc::new(|seq, _| jet_core::boxed(seq)))
-                .with_limit(limit),
-        )
-    }));
+    let src = dag.vertex_with_parallelism(
+        "gen",
+        2,
+        supplier(move |_| {
+            Box::new(
+                GeneratorSource::new(rate, Arc::new(|seq, _| jet_core::boxed(seq)))
+                    .with_limit(limit),
+            )
+        }),
+    );
     let h2 = hist.clone();
     let c2 = count.clone();
-    let sink = dag.vertex_with_parallelism("latency-sink", 2, supplier(move |_| {
-        Box::new(jet_core::processors::LatencySink::new(h2.clone(), c2.clone()))
-    }));
+    let sink = dag.vertex_with_parallelism(
+        "latency-sink",
+        2,
+        supplier(move |_| {
+            Box::new(jet_core::processors::LatencySink::new(
+                h2.clone(),
+                c2.clone(),
+            ))
+        }),
+    );
     dag.edge(Edge::between(src, sink));
     let cfg = LocalConfig::new(2).with_clock(clock.clone());
     let registry = Arc::new(SnapshotRegistry::disabled());
@@ -45,9 +56,12 @@ fn run_sim(gc: Option<GcModel>, rate: u64, limit: u64) -> jet_util::Histogram {
     let c1 = sim.add_core();
     for (i, t) in exec.tasklets.into_iter().enumerate() {
         let t: Box<dyn Tasklet> = t;
-        sim.assign(if i % 2 == 0 { c0 } else { c1 }, t, None);
+        sim.assign(if i.is_multiple_of(2) { c0 } else { c1 }, t, None);
     }
-    assert!(sim.run_until_done(600 * SEC), "job did not finish in simulated time");
+    assert!(
+        sim.run_until_done(600 * SEC),
+        "job did not finish in simulated time"
+    );
     assert_eq!(count.get(), limit);
     hist.snapshot()
 }
@@ -69,7 +83,11 @@ fn identical_runs_are_bit_identical() {
 #[test]
 fn stop_world_gc_inflates_the_tail() {
     let clean = run_sim(None, 500_000, 50_000);
-    let gc = run_sim(Some(GcModel::stop_world(20_000_000, 50_000_000)), 500_000, 50_000);
+    let gc = run_sim(
+        Some(GcModel::stop_world(20_000_000, 50_000_000)),
+        500_000,
+        50_000,
+    );
     // Median barely moves; the tail absorbs the pauses.
     assert!(
         gc.percentile(99.99) >= clean.percentile(99.99) + 10_000_000,

@@ -29,7 +29,9 @@ pub struct SystemClock {
 
 impl SystemClock {
     pub fn new() -> Self {
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -54,11 +56,15 @@ pub struct ManualClock {
 
 impl ManualClock {
     pub fn new() -> Self {
-        ManualClock { nanos: AtomicU64::new(0) }
+        ManualClock {
+            nanos: AtomicU64::new(0),
+        }
     }
 
     pub fn starting_at(nanos: u64) -> Self {
-        ManualClock { nanos: AtomicU64::new(nanos) }
+        ManualClock {
+            nanos: AtomicU64::new(nanos),
+        }
     }
 
     /// Move time forward by `delta` nanoseconds, returning the new now.
@@ -69,7 +75,10 @@ impl ManualClock {
     /// Jump the clock to `nanos`. Panics if that would move time backwards.
     pub fn set(&self, nanos: u64) {
         let prev = self.nanos.swap(nanos, Ordering::Relaxed);
-        assert!(nanos >= prev, "ManualClock moved backwards: {prev} -> {nanos}");
+        assert!(
+            nanos >= prev,
+            "ManualClock moved backwards: {prev} -> {nanos}"
+        );
     }
 }
 

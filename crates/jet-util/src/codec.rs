@@ -17,7 +17,9 @@ impl ByteWriter {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     pub fn into_bytes(self) -> Vec<u8> {

@@ -29,7 +29,10 @@ impl Histogram {
     /// Create a histogram with the given precision (3..=8 bits; 7 bits gives
     /// < 1% relative error, plenty for latency percentiles).
     pub fn new(precision_bits: u32) -> Self {
-        assert!((3..=8).contains(&precision_bits), "precision must be 3..=8 bits");
+        assert!(
+            (3..=8).contains(&precision_bits),
+            "precision must be 3..=8 bits"
+        );
         let sub_buckets = 1u64 << precision_bits;
         // 64 value magnitudes, each with `sub_buckets` slots, is enough to
         // cover the full u64 range.
@@ -289,7 +292,8 @@ mod tests {
         let mut sorted = values.clone();
         sorted.sort_unstable();
         for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
-            let exact = sorted[((p / 100.0 * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
+            let exact = sorted
+                [((p / 100.0 * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
             let est = h.percentile(p);
             assert!(
                 relative_err(est, exact) < 0.01,
@@ -313,7 +317,7 @@ mod tests {
         let mut both = Histogram::new(7);
         for i in 0..1000u64 {
             let v = i * i + 17;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 a.record(v);
             } else {
                 b.record(v);

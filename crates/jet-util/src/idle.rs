@@ -26,9 +26,19 @@ pub struct BackoffIdle {
 }
 
 impl BackoffIdle {
-    pub fn new(spin_rounds: u64, yield_rounds: u64, min_park: Duration, max_park: Duration) -> Self {
+    pub fn new(
+        spin_rounds: u64,
+        yield_rounds: u64,
+        min_park: Duration,
+        max_park: Duration,
+    ) -> Self {
         assert!(min_park <= max_park);
-        BackoffIdle { spin_rounds, yield_rounds, min_park, max_park }
+        BackoffIdle {
+            spin_rounds,
+            yield_rounds,
+            min_park,
+            max_park,
+        }
     }
 
     /// Parameters close to Jet's defaults: a few spins, a few yields, then
@@ -98,5 +108,53 @@ mod tests {
     fn jet_default_parks_at_most_one_ms() {
         let b = BackoffIdle::jet_default();
         assert_eq!(b.park_duration(10_000), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn jet_default_phase_boundaries() {
+        // 10 spin rounds, 5 yield rounds, then parking starts at 25 µs.
+        let b = BackoffIdle::jet_default();
+        assert_eq!(b.park_duration(15), None, "round 15 is the last yield");
+        assert_eq!(b.park_duration(16), Some(Duration::from_micros(25)));
+        assert_eq!(b.park_duration(17), Some(Duration::from_micros(50)));
+        // 25µs * 2^6 = 1.6ms caps at 1ms on round 22.
+        assert_eq!(b.park_duration(22), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn park_duration_is_monotone_nondecreasing() {
+        let b = BackoffIdle::new(3, 4, Duration::from_micros(5), Duration::from_millis(2));
+        let mut prev = Duration::ZERO;
+        for r in 8..200 {
+            let d = b.park_duration(r).expect("past spin+yield rounds");
+            assert!(d >= prev, "park shrank at round {r}: {prev:?} -> {d:?}");
+            assert!(d <= Duration::from_millis(2));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn huge_round_counts_do_not_overflow_the_shift() {
+        let b = BackoffIdle::new(0, 0, Duration::from_nanos(1), Duration::from_secs(1));
+        // Round u64::MAX would shift by (u64::MAX - 1) without the clamp.
+        assert_eq!(
+            b.park_duration(u64::MAX),
+            Some(Duration::from_nanos(1 << 20))
+        );
+    }
+
+    #[test]
+    fn equal_min_and_max_parks_flat() {
+        let b = BackoffIdle::new(1, 0, Duration::from_micros(7), Duration::from_micros(7));
+        for r in 2..40 {
+            assert_eq!(b.park_duration(r), Some(Duration::from_micros(7)));
+        }
+    }
+
+    #[test]
+    fn zero_spin_and_yield_parks_immediately() {
+        let b = BackoffIdle::new(0, 0, Duration::from_micros(10), Duration::from_millis(1));
+        assert_eq!(b.park_duration(0), None, "round 0 means no idle round yet");
+        assert_eq!(b.park_duration(1), Some(Duration::from_micros(10)));
     }
 }

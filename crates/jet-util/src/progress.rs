@@ -52,7 +52,10 @@ pub struct ProgressTracker {
 
 impl ProgressTracker {
     pub fn new() -> Self {
-        ProgressTracker { made_progress: false, all_done: true }
+        ProgressTracker {
+            made_progress: false,
+            all_done: true,
+        }
     }
 
     /// Reset at the start of a scheduling round.

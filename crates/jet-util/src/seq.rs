@@ -26,7 +26,9 @@ pub struct StableHasher {
 
 impl StableHasher {
     pub fn new() -> Self {
-        StableHasher { state: 0x51_7C_C1_B7_27_22_0A_95 }
+        StableHasher {
+            state: 0x51_7C_C1_B7_27_22_0A_95,
+        }
     }
 }
 
@@ -127,7 +129,9 @@ mod tests {
     #[test]
     fn str_and_byte_hash_differ_by_length_padding_only_safely() {
         // Multi-chunk inputs must all hash distinctly on a sample.
-        let inputs: Vec<String> = (0..1000).map(|i| format!("key-{i}-{}", "x".repeat(i % 32))).collect();
+        let inputs: Vec<String> = (0..1000)
+            .map(|i| format!("key-{i}-{}", "x".repeat(i % 32)))
+            .collect();
         let hashes: HashSet<u64> = inputs.iter().map(|s| hash_of(s.as_str())).collect();
         assert_eq!(hashes.len(), inputs.len());
     }

@@ -50,7 +50,9 @@ fn main() {
     // production; here a bounded build-side stage).
     let risk_table = pipeline.read_from_vec(
         "risk-table",
-        (0..CLIENTS).map(|c| (0, (c, (c % 7) as i64))).collect::<Vec<_>>(),
+        (0..CLIENTS)
+            .map(|c| (0, (c, (c % 7) as i64)))
+            .collect::<Vec<_>>(),
     );
 
     let txns = pipeline.read_from_generator_cfg(
@@ -90,11 +92,23 @@ fn main() {
                 let avg = *total / *count as i64;
                 // Tens of rules in production; three representative ones:
                 if t.amount > 10 * avg.max(1) && *count > 5 {
-                    Some(Alert { client: t.client, amount: t.amount, rule: "amount-spike" })
+                    Some(Alert {
+                        client: t.client,
+                        amount: t.amount,
+                        rule: "amount-spike",
+                    })
                 } else if *risk >= 6 && t.amount > 2_000 {
-                    Some(Alert { client: t.client, amount: t.amount, rule: "high-risk-client" })
+                    Some(Alert {
+                        client: t.client,
+                        amount: t.amount,
+                        rule: "high-risk-client",
+                    })
                 } else if t.merchant == 13 && t.amount > 4_000 {
-                    Some(Alert { client: t.client, amount: t.amount, rule: "watchlist-merchant" })
+                    Some(Alert {
+                        client: t.client,
+                        amount: t.amount,
+                        rule: "watchlist-merchant",
+                    })
                 } else {
                     None
                 }
@@ -117,7 +131,11 @@ fn main() {
         .write_to_latency(latency2, scored2);
 
     let dag = pipeline.compile(2).expect("valid pipeline");
-    let cfg = SimClusterConfig { members: 2, cores_per_member: 2, ..Default::default() };
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        ..Default::default()
+    };
     let mut cluster = SimCluster::start(dag, cfg).expect("cluster starts");
     assert!(cluster.run_for(60 * SEC), "jobs should finish");
 

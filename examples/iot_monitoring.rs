@@ -29,6 +29,9 @@ struct Reading {
     vibration: i64,
 }
 
+/// Timestamped sink output, shared with the collecting pipeline stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
 fn main() {
     const CHANNELS: u64 = 70; // "up to 70 channels of high-frequency data"
     const RATE: u64 = 10_000; // "10K messages/second"
@@ -39,9 +42,8 @@ fn main() {
     let latest: IMap<u64, i64> = IMap::new(&grid, "latest-rpm");
 
     let pipeline = Pipeline::create();
-    let averages: Arc<Mutex<Vec<(Ts, WindowResult<u64, f64>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
-    let alarms: Arc<Mutex<Vec<(Ts, (u64, i64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let averages: Collected<WindowResult<u64, f64>> = Arc::new(Mutex::new(Vec::new()));
+    let alarms: Collected<(u64, i64)> = Arc::new(Mutex::new(Vec::new()));
 
     let readings = pipeline.read_from_generator_cfg(
         "sensors",
@@ -76,7 +78,11 @@ fn main() {
     readings.write_to_imap(latest.clone(), |r: &Reading| (r.channel, r.rpm));
 
     let dag = pipeline.compile(2).expect("valid pipeline");
-    let cfg = SimClusterConfig { members: 2, cores_per_member: 2, ..Default::default() };
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        ..Default::default()
+    };
     let mut cluster = SimCluster::start(dag, cfg).expect("cluster starts");
     assert!(cluster.run_for(60 * SEC), "job should finish");
 
@@ -85,7 +91,11 @@ fn main() {
     println!("sliding-average results: {}", averages.len());
     println!("vibration alarms:        {}", alarms.len());
     println!("view entries in IMap:    {}", latest.len());
-    assert_eq!(latest.len(), CHANNELS as usize, "every channel has a latest reading");
+    assert_eq!(
+        latest.len(),
+        CHANNELS as usize,
+        "every channel has a latest reading"
+    );
     assert!(!averages.is_empty());
     // Spot-check: averages stay inside the generated RPM band.
     for (_, w) in averages.iter() {

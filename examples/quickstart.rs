@@ -13,13 +13,15 @@ use std::sync::Arc;
 
 const SEC: i64 = 1_000_000_000;
 
+/// What the collect sink accumulates: timestamped per-word window counts.
+type WordCounts = Arc<Mutex<Vec<(Ts, WindowResult<String, u64>)>>>;
+
 fn main() {
     const WORDS: &[&str] = &["jet", "streams", "low", "latency", "tasklets", "jet", "jet"];
 
     // 1. Describe the computation with the Pipeline API (§2.1).
     let pipeline = Pipeline::create();
-    let results: Arc<Mutex<Vec<(Ts, WindowResult<String, u64>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
+    let results: WordCounts = Arc::new(Mutex::new(Vec::new()));
     pipeline
         // A rate-controlled source: 100k "sentences" per second, bounded.
         .read_from_generator_cfg(
@@ -34,9 +36,7 @@ fn main() {
             },
         )
         // flatMap(sentence -> words), as in Listing 1.
-        .flat_map(|sentence: &String| {
-            sentence.split(' ').map(str::to_string).collect::<Vec<_>>()
-        })
+        .flat_map(|sentence: &String| sentence.split(' ').map(str::to_string).collect::<Vec<_>>())
         // groupingKey(word).window(tumbling 1s).aggregate(counting())
         .grouping_key(|word: &String| word.clone())
         .window(WindowDef::tumbling(SEC))
@@ -48,7 +48,11 @@ fn main() {
     println!("compiled DAG:\n{dag:?}\n");
 
     // 3. Run it on a 2-member simulated cluster.
-    let cfg = SimClusterConfig { members: 2, cores_per_member: 2, ..Default::default() };
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        ..Default::default()
+    };
     let mut cluster = SimCluster::start(dag, cfg).expect("cluster starts");
     let finished = cluster.run_for(30 * SEC as u64);
     assert!(finished, "job should complete");
@@ -66,6 +70,9 @@ fn main() {
         println!("  {word:10} {count}");
     }
     let total: u64 = totals.iter().map(|(_, c)| *c).sum();
-    assert_eq!(total, 400_000, "two words per sentence, every word counted once");
+    assert_eq!(
+        total, 400_000,
+        "two words per sentence, every word counted once"
+    );
     println!("\ntotal words counted: {total} (exactly 2 x 200k sentences)");
 }

@@ -55,6 +55,9 @@ struct UserMessage {
     text: &'static str,
 }
 
+/// Timestamped `(conversation, reply)` pairs collected by the sink.
+type Replies = Arc<Mutex<Vec<(Ts, (u64, String))>>>;
+
 fn main() {
     const CONVERSATIONS: u64 = 2_000;
     const MESSAGES: u64 = 100_000; // "thousands of messages per second"
@@ -62,7 +65,7 @@ fn main() {
     let scripts: &[&'static str] = &["hello", "it is broken", "tried rebooting", "thanks"];
 
     let pipeline = Pipeline::create();
-    let replies: Arc<Mutex<Vec<(Ts, (u64, String))>>> = Arc::new(Mutex::new(Vec::new()));
+    let replies: Replies = Arc::new(Mutex::new(Vec::new()));
 
     pipeline
         .read_from_generator_cfg(
@@ -74,7 +77,10 @@ fn main() {
                 // Conversations interleave; each cycles through its script.
                 let conversation = seq % CONVERSATIONS;
                 let turn = (seq / CONVERSATIONS) as usize % scripts.len();
-                UserMessage { conversation, text: scripts[turn] }
+                UserMessage {
+                    conversation,
+                    text: scripts[turn],
+                }
             },
         )
         .map_stateful(
@@ -86,15 +92,15 @@ fn main() {
                     (BotState::Greeting, _) => {
                         (BotState::CollectIssue, "Hi! What seems to be the problem?")
                     }
-                    (BotState::CollectIssue, _) => {
-                        (BotState::Diagnose, "Got it. Have you tried turning it off and on?")
-                    }
-                    (BotState::Diagnose, "tried rebooting") => {
-                        (BotState::Resolved, "Escalating to a human engineer. Anything else?")
-                    }
-                    (BotState::Diagnose, _) => {
-                        (BotState::Diagnose, "Please try a reboot first.")
-                    }
+                    (BotState::CollectIssue, _) => (
+                        BotState::Diagnose,
+                        "Got it. Have you tried turning it off and on?",
+                    ),
+                    (BotState::Diagnose, "tried rebooting") => (
+                        BotState::Resolved,
+                        "Escalating to a human engineer. Anything else?",
+                    ),
+                    (BotState::Diagnose, _) => (BotState::Diagnose, "Please try a reboot first."),
                     (BotState::Resolved, _) => (BotState::Greeting, "Happy to help. Bye!"),
                 };
                 *state = next;
@@ -118,7 +124,11 @@ fn main() {
     let replies = replies.lock();
     println!("handled {MESSAGES} messages across {CONVERSATIONS} conversations");
     println!("produced {} replies", replies.len());
-    assert_eq!(replies.len(), MESSAGES as usize, "every message gets a reply");
+    assert_eq!(
+        replies.len(),
+        MESSAGES as usize,
+        "every message gets a reply"
+    );
 
     // Every conversation walked the full automaton: count per reply kind.
     let mut by_reply: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();

@@ -34,7 +34,8 @@ impl Processor for TotalsView {
                 // insert/remove-only in this example.
                 EntryEventKind::Updated => 0,
             };
-            self.view.compute(customer, |old| Some(old.copied().unwrap_or(0) + delta));
+            self.view
+                .compute(customer, |old| Some(old.copied().unwrap_or(0) + delta));
         }
     }
 }
@@ -49,13 +50,21 @@ fn main() {
     // A CDC pipeline at the Core API level: journal source -> view updater.
     let mut dag = Dag::new();
     let orders_src = orders.clone();
-    let src = dag.vertex_with_parallelism("orders-cdc", 2, supplier(move |_| {
-        Box::new(JournalSource::new(orders_src.clone()))
-    }));
+    let src = dag.vertex_with_parallelism(
+        "orders-cdc",
+        2,
+        supplier(move |_| Box::new(JournalSource::new(orders_src.clone()))),
+    );
     let totals_sink = totals.clone();
-    let view = dag.vertex_with_parallelism("totals-view", 1, supplier(move |_| {
-        Box::new(TotalsView { view: totals_sink.clone() })
-    }));
+    let view = dag.vertex_with_parallelism(
+        "totals-view",
+        1,
+        supplier(move |_| {
+            Box::new(TotalsView {
+                view: totals_sink.clone(),
+            })
+        }),
+    );
     dag.edge(Edge::between(src, view));
 
     let registry = Arc::new(SnapshotRegistry::disabled());
@@ -85,7 +94,10 @@ fn main() {
             break;
         }
         spins += 1;
-        assert!(spins < 20_000, "view did not converge: {total} != {expected}");
+        assert!(
+            spins < 20_000,
+            "view did not converge: {total} != {expected}"
+        );
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     cancelled.store(true, Ordering::SeqCst);

@@ -14,8 +14,15 @@ use std::sync::Arc;
 
 const SEC: u64 = 1_000_000_000;
 
+/// Timestamped sink output, shared with the collecting pipeline stage.
+type Collected<T> = Arc<Mutex<Vec<(Ts, T)>>>;
+
 fn small_nexmark() -> NexmarkConfig {
-    NexmarkConfig { people: 50, auctions: 40, ..Default::default() }
+    NexmarkConfig {
+        people: 50,
+        auctions: 40,
+        ..Default::default()
+    }
 }
 
 fn run_to_completion(p: &Pipeline, members: usize) {
@@ -46,7 +53,7 @@ fn q2_matches_reference_filter() {
     const RATE: u64 = 500_000;
     const LIMIT: u64 = 25_000;
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, (u64, i64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<(u64, i64)> = Arc::new(Mutex::new(Vec::new()));
     let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
     queries::q2(&src).write_to_collect(out.clone());
     run_to_completion(&p, 2);
@@ -87,8 +94,7 @@ fn q5_window_counts_match_reference() {
     const LIMIT: u64 = 50_000; // 50ms of stream
     let window = jet_pipeline::WindowDef::tumbling(10_000_000); // 10ms
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, jet_pipeline::WindowResult<u64, u64>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<jet_pipeline::WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
     let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
     queries::q5(&src, window).write_to_collect(out.clone());
     run_to_completion(&p, 3);
@@ -116,8 +122,7 @@ fn q7_highest_bid_is_the_true_max() {
     const LIMIT: u64 = 20_000;
     const RATE: u64 = 1_000_000;
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, jet_pipeline::WindowResult<u64, i64>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<jet_pipeline::WindowResult<u64, i64>> = Arc::new(Mutex::new(Vec::new()));
     let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
     queries::q7(&src, 20_000_000).write_to_collect(out.clone()); // 20ms periods
     run_to_completion(&p, 2);
@@ -150,7 +155,7 @@ fn q8_reports_exactly_the_sellers_who_listed() {
     const RATE: u64 = 1_000_000;
     let window: Ts = 30_000_000; // 30ms = whole stream
     let p = Pipeline::create();
-    let out: Arc<Mutex<Vec<(Ts, (u64, String))>>> = Arc::new(Mutex::new(Vec::new()));
+    let out: Collected<(u64, String)> = Arc::new(Mutex::new(Vec::new()));
     let src = queries::source(&p, &nex, RATE, Some(LIMIT), WatermarkPolicy::default());
     queries::q8(&src, window).write_to_collect(out.clone());
     run_to_completion(&p, 2);
@@ -164,7 +169,9 @@ fn q8_reports_exactly_the_sellers_who_listed() {
         if let Some(p0) = e.as_person() {
             let w = wend(p0.ts);
             if events.iter().any(|x| {
-                x.as_auction().map(|a| a.seller == p0.id && wend(a.ts) == w).unwrap_or(false)
+                x.as_auction()
+                    .map(|a| a.seller == p0.id && wend(a.ts) == w)
+                    .unwrap_or(false)
             }) {
                 expected.insert((w, p0.id));
             }
@@ -177,14 +184,16 @@ fn q8_reports_exactly_the_sellers_who_listed() {
 
 #[test]
 fn q3_q4_q6_smoke_produce_plausible_output() {
-    let nex = NexmarkConfig { people: 200, auctions: 100, ..Default::default() };
+    let nex = NexmarkConfig {
+        people: 200,
+        auctions: 100,
+        ..Default::default()
+    };
     const LIMIT: u64 = 40_000;
     let p = Pipeline::create();
-    let q3_out: Arc<Mutex<Vec<(Ts, (String, String, String, u64))>>> =
-        Arc::new(Mutex::new(Vec::new()));
-    let q4_out: Arc<Mutex<Vec<(Ts, jet_pipeline::WindowResult<u64, f64>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
-    let q6_out: Arc<Mutex<Vec<(Ts, (u64, i64))>>> = Arc::new(Mutex::new(Vec::new()));
+    let q3_out: Collected<(String, String, String, u64)> = Arc::new(Mutex::new(Vec::new()));
+    let q4_out: Collected<jet_pipeline::WindowResult<u64, f64>> = Arc::new(Mutex::new(Vec::new()));
+    let q6_out: Collected<(u64, i64)> = Arc::new(Mutex::new(Vec::new()));
     let src = queries::source(&p, &nex, 1_000_000, Some(LIMIT), WatermarkPolicy::default());
     queries::q3(&src).write_to_collect(q3_out.clone());
     queries::q4(&src, 10_000_000).write_to_collect(q4_out.clone());
@@ -193,12 +202,19 @@ fn q3_q4_q6_smoke_produce_plausible_output() {
 
     let q3 = q3_out.lock();
     for (_, (_, _, state, _)) in q3.iter() {
-        assert!(matches!(state.as_str(), "OR" | "ID" | "CA"), "Q3 state filter leaked: {state}");
+        assert!(
+            matches!(state.as_str(), "OR" | "ID" | "CA"),
+            "Q3 state filter leaked: {state}"
+        );
     }
     let q4 = q4_out.lock();
     assert!(!q4.is_empty(), "Q4 produced nothing");
     for (_, r) in q4.iter() {
-        assert!(r.value >= 100.0, "Q4 average below min bid price: {}", r.value);
+        assert!(
+            r.value >= 100.0,
+            "Q4 average below min bid price: {}",
+            r.value
+        );
     }
     let q6 = q6_out.lock();
     assert!(!q6.is_empty(), "Q6 produced nothing");
@@ -212,7 +228,7 @@ fn transactional_sink_hides_uncommitted_output() {
     use jet_core::processor::Guarantee;
     const LIMIT: u64 = 10_000;
     let p = Pipeline::create();
-    let committed: Arc<Mutex<Vec<(Ts, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let committed: Collected<u64> = Arc::new(Mutex::new(Vec::new()));
     // Registry is created by SimCluster; use a two-phase wiring instead:
     // build with cluster, then fetch its registry for the sink. We pre-create
     // the pipeline with a placeholder registry and rebuild after.
@@ -264,7 +280,11 @@ fn transactional_sink_hides_uncommitted_output() {
     let mut vals: Vec<u64> = committed.lock().iter().map(|(_, v)| *v).collect();
     vals.sort_unstable();
     vals.dedup();
-    assert_eq!(vals.len(), LIMIT as usize, "transactional sink lost or duplicated");
+    assert_eq!(
+        vals.len(),
+        LIMIT as usize,
+        "transactional sink lost or duplicated"
+    );
 }
 
 #[test]
@@ -297,17 +317,13 @@ fn threaded_executor_runs_pipeline_compiled_dags() {
         WatermarkPolicy::default(),
         |seq, _| seq,
     )
-    .filter(|v: &u64| v % 2 == 0)
+    .filter(|v: &u64| v.is_multiple_of(2))
     .write_to_count(count.clone());
     let dag = p.compile(2).unwrap();
     let registry = Arc::new(jet_core::SnapshotRegistry::disabled());
-    let exec = jet_core::plan::build_local(
-        &dag,
-        &jet_core::plan::LocalConfig::new(2),
-        &registry,
-        None,
-    )
-    .unwrap();
+    let exec =
+        jet_core::plan::build_local(&dag, &jet_core::plan::LocalConfig::new(2), &registry, None)
+            .unwrap();
     let handle = jet_core::exec::spawn_threaded(exec.tasklets, 2, exec.cancelled);
     handle.join();
     assert_eq!(count.get(), 50_000);

@@ -1,0 +1,233 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! The build container has no access to crates.io, so external dependencies
+//! are replaced by minimal local implementations (see `vendor/README.md`).
+//! This is a small wall-clock bench harness with criterion's API shape:
+//! groups, throughput annotation, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. It calibrates an iteration
+//! count per benchmark, runs timed batches, and prints mean ns/iter plus
+//! derived element throughput. Statistical machinery (outlier detection,
+//! regression against saved baselines, HTML reports) is intentionally absent.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = self.clone();
+        run_benchmark(&cfg, name, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let cfg = self.criterion.clone();
+        run_benchmark(&cfg, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    cfg: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the per-sample iteration count until one sample takes
+    // at least ~1/sample_size of the measurement window (capped by warm-up).
+    let mut iters = 1u64;
+    let target = cfg.measurement_time.as_nanos() as u64 / cfg.sample_size.max(1) as u64;
+    let warmup_deadline = Instant::now() + cfg.warm_up_time;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as u64;
+        if ns >= target.max(1) || Instant::now() >= warmup_deadline || iters >= u64::MAX / 2 {
+            break;
+        }
+        iters = if ns == 0 {
+            iters * 8
+        } else {
+            (iters * target / ns.max(1)).max(iters + 1)
+        };
+    }
+
+    let mut samples_ns_per_iter: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    let deadline = Instant::now() + cfg.measurement_time;
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns_per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    samples_ns_per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns_per_iter[samples_ns_per_iter.len() / 2];
+    let mean = samples_ns_per_iter.iter().sum::<f64>() / samples_ns_per_iter.len() as f64;
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 * 1e3 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * 1e9 / median / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{:<40} median {:>10.1} ns/iter  mean {:>10.1} ns/iter  ({} samples x {} iters){}",
+        name,
+        median,
+        mean,
+        samples_ns_per_iter.len(),
+        iters,
+        rate
+    );
+}
+
+/// Criterion's group macro: supports both the simple form
+/// `criterion_group!(name, target1, target2)` and the configured form
+/// `criterion_group! { name = n; config = expr; targets = t1, t2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_a_trivial_bench() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        g.bench_function("add", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64) + black_box(2u64));
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

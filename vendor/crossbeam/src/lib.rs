@@ -1,0 +1,64 @@
+//! Offline stand-in for the small slice of `crossbeam` this workspace uses.
+//!
+//! The build container has no access to crates.io, so external dependencies
+//! are replaced by minimal local implementations (see `vendor/README.md`).
+//! Only `utils::CachePadded` is provided: jet-queue's SPSC ring uses it to
+//! keep the producer and consumer position counters on separate cache lines.
+
+pub mod utils {
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) a cache-line boundary so two
+    /// `CachePadded` values never share a cache line (no false sharing).
+    ///
+    /// 128-byte alignment covers the common 64-byte line size plus adjacent
+    /// line prefetching on modern x86 (the same choice upstream crossbeam
+    /// makes for x86_64).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,543 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! The build container has no access to crates.io, so external dependencies
+//! are replaced by minimal local implementations (see `vendor/README.md`).
+//! This crate keeps proptest's API shape — `proptest!`, strategies
+//! (ranges, tuples, `Just`, `any`, `prop_oneof!`, `prop_map`,
+//! `collection::{vec, hash_map}`), `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases` — over a deterministic splitmix64 generator
+//! seeded from the test name, so every run explores the same case sequence.
+//! Shrinking and persistence of failing cases are intentionally absent: a
+//! failure reports the case index, and the deterministic seed makes it
+//! reproducible by re-running the test.
+
+pub mod test_runner {
+    use std::fmt;
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic splitmix64 generator. Seeded from the test name so each
+    /// test walks its own fixed case sequence on every run.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name; stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi)`; `hi > lo` required.
+        pub fn next_below(&mut self, width: u64) -> u64 {
+            debug_assert!(width > 0);
+            // Multiply-shift rejection-free mapping: bias is negligible for
+            // the widths used in tests and determinism is what matters here.
+            ((self.next_u64() as u128 * width as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values. Unlike real proptest there is no value tree or
+    /// shrinking: `gen_value` draws one concrete value per test case.
+    pub trait Strategy {
+        type Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    macro_rules! impl_uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end - self.start) as u64;
+                    self.start + rng.next_below(width) as $t
+                }
+            }
+        )*};
+    }
+    impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.next_below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as regex strategies in proptest. This stand-in
+    /// does not implement regex generation — any pattern yields a random
+    /// short string of printable ASCII plus a few non-ASCII code points,
+    /// which is what the workspace's `".*"` usage needs.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let len = rng.next_below(24) as usize;
+            (0..len)
+                .map(|_| match rng.next_below(20) {
+                    0 => 'λ',
+                    1 => '✓',
+                    2 => '𝕁',
+                    _ => (0x20 + rng.next_below(95) as u8) as char,
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (S0/0, S1/1)
+        (S0/0, S1/1, S2/2)
+        (S0/0, S1/1, S2/2, S3/3)
+    }
+
+    /// One weighted alternative: (weight, generator).
+    pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+    /// Weighted choice between boxed alternatives — the engine behind
+    /// `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs a positive total weight"
+            );
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_below(self.total_weight);
+            for (w, f) in &self.arms {
+                if pick < *w as u64 {
+                    return f(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weight bookkeeping is exhaustive")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_tuple! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::HashMap;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.next_below(width) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> HashMapStrategy<K, V> {
+        assert!(size.start < size.end, "empty size range");
+        HashMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Eq + Hash,
+        V: Strategy,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let width = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.next_below(width) as usize;
+            let mut out = HashMap::with_capacity(target);
+            // Key collisions shrink the map below target; retry a bounded
+            // number of times, then accept whatever landed (still in-range
+            // for any key space wider than the target size).
+            let mut attempts = 0;
+            while out.len() < target && attempts < 16 * target + 16 {
+                out.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+/// Supports the optional `#![proptest_config(...)]` inner attribute and any
+/// number of test functions per block, mirroring real proptest's grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(
+                    let $arg = {
+                        use $crate::strategy::Strategy as _;
+                        ($strat).gen_value(&mut rng)
+                    };
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at deterministic case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, but inside `proptest!` bodies: records the failure as a
+/// test-case error (early-returning from the case) instead of panicking
+/// mid-iteration.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __pa_left = $left;
+        let __pa_right = $right;
+        $crate::prop_assert!(
+            __pa_left == __pa_right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __pa_left,
+            __pa_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __pa_left = $left;
+        let __pa_right = $right;
+        $crate::prop_assert!(__pa_left == __pa_right, $($fmt)+);
+    }};
+}
+
+/// Weighted (`weight => strategy`) or uniform choice between strategies that
+/// all produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        // A single Vec type variable lets every arm's value type unify (an
+        // integer literal in one arm picks up the type fixed by another).
+        let mut __arms: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+        )> = ::std::vec::Vec::new();
+        $({
+            let __arm = $strat;
+            __arms.push((
+                ($weight) as u32,
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    use $crate::strategy::Strategy as _;
+                    __arm.gen_value(rng)
+                }),
+            ));
+        })+
+        $crate::strategy::Union::new(__arms)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        let mut c = crate::test_runner::TestRng::deterministic("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u64..17,
+            y in -5i64..5,
+            f in 0.25f64..0.75,
+            n in 1usize..4,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn collections_respect_size_and_elements(
+            v in crate::collection::vec(0u32..10, 2..6),
+            m in crate::collection::hash_map(any::<u64>(), 0i64..3, 0..8),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| *e < 10));
+            prop_assert!(m.len() < 8);
+            prop_assert!(m.values().all(|e| (0..3).contains(e)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            tag in prop_oneof![2 => Just(0u8), 1 => (10u32..20).prop_map(|v| v as u8)],
+            pair in (0i64..4, any::<bool>()),
+        ) {
+            prop_assert!(tag == 0 || (10..20).contains(&tag));
+            prop_assert!(pair.0 < 4);
+        }
+    }
+}
