@@ -7,19 +7,26 @@
 //!
 //! Scale-down: largest cluster = 20 members × 2 vcores (DOP 40), total
 //! rate 400k ev/s.
+//!
+//! Pass `--trace` (or set `JET_TRACE=1`) to capture an execution trace of
+//! each query's measurement period: `results/TRACE_fig9_<query>.json` is
+//! Chrome trace-event JSON (load in Perfetto), `.txt` the diagnostics dump.
 
-use jet_bench::{percentile_curve, run, BenchReport, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_curve, run, write_trace, BenchReport, Query, RunSpec, MS, SEC};
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace")
+        || std::env::var("JET_TRACE").is_ok_and(|v| v == "1");
     println!("# Figure 9: latency distribution per query at the largest cluster size");
     println!("# query then (percentile, latency_ms) pairs");
     let mut report = BenchReport::new("fig9");
     report
         .param("members", 20)
         .param("cores_per_member", 2)
-        .param("total_rate", 400_000);
+        .param("total_rate", 400_000)
+        .param("trace", trace);
     for query in [Query::Q1, Query::Q2, Query::Q5, Query::Q8, Query::Q13] {
         let mut spec = RunSpec::new(query, 400_000);
         spec.members = 20;
@@ -27,6 +34,7 @@ fn main() {
         spec.window = WindowDef::sliding(SEC as Ts, (10 * MS) as Ts);
         spec.warmup = SEC + 500 * MS;
         spec.measure = 1500 * MS;
+        spec.trace = trace;
         let r = run(&spec);
         print!("{:4}", query.name());
         for (p, ms) in percentile_curve(&r.hist) {
@@ -34,6 +42,7 @@ fn main() {
         }
         println!("  n={}", r.hist.count());
         eprintln!("  [{} done in {:.0}s wall]", query.name(), r.wall_secs);
+        write_trace(&format!("fig9_{}", query.name()), &r).expect("trace");
         report.add_run(query.name(), &[("query", query.name().to_string())], &r);
     }
     report.write().expect("report");

@@ -19,6 +19,7 @@ use jet_core::metrics::{
 };
 use jet_core::processor::Guarantee;
 use jet_core::processors::WatermarkPolicy;
+use jet_core::trace::{TraceData, Tracer};
 use jet_core::Ts;
 use jet_nexmark::{queries, NexmarkConfig};
 use jet_pipeline::{Pipeline, WindowDef};
@@ -28,6 +29,10 @@ use std::path::PathBuf;
 
 pub const SEC: u64 = 1_000_000_000;
 pub const MS: u64 = 1_000_000;
+
+/// Traced runs capture the final stretch of the measurement window
+/// (virtual nanos) rather than all of it — see [`run`].
+pub const TRACE_TAIL_WINDOW: u64 = 250 * MS;
 
 /// Which NEXMark query to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +88,9 @@ pub struct RunSpec {
     pub cost_model: jet_sim::CostModel,
     pub fixed_receive_window: Option<u64>,
     pub partition_count: u32,
+    /// Capture an execution trace of the measurement period (Chrome
+    /// trace-event spans + diagnostics dump in the [`RunResult`]).
+    pub trace: bool,
 }
 
 impl RunSpec {
@@ -102,6 +110,7 @@ impl RunSpec {
             cost_model: jet_sim::CostModel::paper_calibrated(),
             fixed_receive_window: None,
             partition_count: jet_imdg::DEFAULT_PARTITION_COUNT,
+            trace: false,
         }
     }
 }
@@ -122,6 +131,11 @@ pub struct RunResult {
     /// Job-wide metrics snapshot taken at the end of the measurement
     /// period (all members merged).
     pub metrics: MetricsSnapshot,
+    /// Execution trace of the measurement period ([`RunSpec::trace`]).
+    pub trace: Option<TraceData>,
+    /// Diagnostics dump rendered at the end of the run (always available
+    /// when traced; trace sections fall back to `n/a` otherwise).
+    pub diagnostics: Option<String>,
 }
 
 impl RunResult {
@@ -198,6 +212,15 @@ pub fn run(spec: &RunSpec) -> RunResult {
     let dag = pipeline
         .compile(spec.cores_per_member)
         .expect("pipeline compiles");
+    let tracer = if spec.trace {
+        // Small rings (drained every ~10 ms of virtual time below) keep the
+        // footprint bounded even at fig9 scale: 20 members × dozens of
+        // writers each. Calls are sampled 1-in-16: they outnumber every
+        // other span kind ~10:1 and the slowest ones still surface.
+        Tracer::with_config(8192, 4)
+    } else {
+        Tracer::disabled()
+    };
     let cfg = SimClusterConfig {
         members: spec.members,
         cores_per_member: spec.cores_per_member,
@@ -208,17 +231,57 @@ pub fn run(spec: &RunSpec) -> RunResult {
         cost_model: spec.cost_model.clone(),
         gc: spec.gc.clone(),
         fixed_receive_window: spec.fixed_receive_window,
+        tracer: tracer.clone(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
     let mut cluster = SimCluster::start(dag, cfg).expect("cluster starts");
     cluster.run_for(spec.warmup);
     hist.clear();
+    // The trace covers the measurement period only: throw away whatever the
+    // warm-up left in the rings.
+    if spec.trace {
+        tracer.drain();
+    }
     let out_before = count.get();
-    cluster.run_for(spec.measure);
+    let trace = if spec.trace {
+        // A full-fidelity trace of the whole measurement at fig9 scale is
+        // ~15M spans; capture the *tail* of the window instead — a steady
+        // -state zoom that fits the collector with near-zero drops. The
+        // latency histogram still covers the full measurement period.
+        let tail = spec.measure.min(TRACE_TAIL_WINDOW);
+        let head = spec.measure - tail;
+        if head > 0 {
+            let mut scratch = TraceData::new();
+            let mut next_drain = 0u64;
+            cluster.run_for_with(head, |now| {
+                if now >= next_drain {
+                    tracer.drain_into(&mut scratch);
+                    scratch.events.clear();
+                    next_drain = now + 10 * MS;
+                }
+            });
+            tracer.drain_into(&mut scratch); // reset ring drop counters
+        }
+        let mut data = TraceData::new();
+        data.capacity = 2_000_000;
+        let mut next_drain = 0u64;
+        cluster.run_for_with(tail, |now| {
+            if now >= next_drain {
+                tracer.drain_into(&mut data);
+                next_drain = now + 10 * MS;
+            }
+        });
+        cluster.drain_trace_into(&mut data);
+        Some(data)
+    } else {
+        cluster.run_for(spec.measure);
+        None
+    };
     let outputs = count.get() - out_before;
     let wall = started.elapsed().as_secs_f64();
     let metrics = cluster.job_metrics();
+    let diagnostics = spec.trace.then(|| cluster.diagnostics_dump(trace.as_ref()));
     cluster.cancel();
     RunResult {
         hist: hist.snapshot(),
@@ -227,7 +290,33 @@ pub fn run(spec: &RunSpec) -> RunResult {
         wall_secs: wall,
         virtual_secs: spec.measure as f64 / 1e9,
         metrics,
+        trace,
+        diagnostics,
     }
+}
+
+/// Write the captured trace as `results/TRACE_<name>.json` (Chrome
+/// trace-event format — load it in Perfetto or `chrome://tracing`) and the
+/// diagnostics dump as `results/TRACE_<name>.txt`. Returns the JSON path,
+/// or `None` when the run was not traced.
+pub fn write_trace(name: &str, r: &RunResult) -> std::io::Result<Option<PathBuf>> {
+    let Some(trace) = &r.trace else {
+        return Ok(None);
+    };
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("TRACE_{name}.json"));
+    std::fs::write(&path, trace.to_chrome_json())?;
+    if let Some(dump) = &r.diagnostics {
+        std::fs::write(dir.join(format!("TRACE_{name}.txt")), dump)?;
+    }
+    eprintln!(
+        "  [trace written to {} — {} spans, {} dropped]",
+        path.display(),
+        trace.events.len(),
+        trace.dropped
+    );
+    Ok(Some(path))
 }
 
 /// Standard percentile row used by the figure binaries.
@@ -402,6 +491,8 @@ mod tests {
             wall_secs: 0.5,
             virtual_secs: 3.0,
             metrics: reg.snapshot(),
+            trace: None,
+            diagnostics: None,
         };
         let mut report = BenchReport::new("unit");
         report.param("query", "Q5").param("members", 2);

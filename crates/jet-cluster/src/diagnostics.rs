@@ -1,0 +1,309 @@
+//! Plain-text job diagnostics dump: one page that answers "where is my
+//! latency going?" without loading a trace viewer.
+//!
+//! The dump is assembled from three sources that are each cheap to obtain
+//! on a live job: the merged metrics snapshot (queue depths, watermark
+//! gauges, stall counters), the scheduler's per-tasklet state table, and —
+//! when tracing is enabled — the drained [`TraceData`] for top-k slowest
+//! call attribution. Every section degrades gracefully: with tracing
+//! disabled the trace-derived lines render as `n/a` rather than vanishing,
+//! so operators always see the same shape of report.
+
+use jet_core::metrics::{Metric, MetricsSnapshot};
+use jet_core::trace::{TraceData, TraceKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+/// Format a watermark gauge: the end-of-stream flush watermark sits near
+/// `Ts::MAX` and would render as a nonsense timestamp.
+fn wm(nanos: i64) -> String {
+    if nanos > i64::MAX / 2 {
+        "end-of-stream".to_string()
+    } else {
+        format!("{:.3}s", secs(nanos.max(0) as u64))
+    }
+}
+
+fn gauge_or(snap: &MetricsSnapshot, name: &str, tags: &[(&str, &str)], default: i64) -> i64 {
+    snap.find(name, tags)
+        .and_then(Metric::as_gauge)
+        .unwrap_or(default)
+}
+
+/// Render the job diagnostics dump.
+///
+/// `tasklets` is the scheduler's `(core, name, state, events_in,
+/// events_out)` table; `trace` adds latency attribution when present.
+pub fn render_dump(
+    job_id: u64,
+    now_nanos: u64,
+    snap: &MetricsSnapshot,
+    tasklets: &[(usize, String, &'static str, u64, u64)],
+    trace: Option<&TraceData>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== job {} diagnostics @ {:.3}s virtual ===",
+        job_id,
+        secs(now_nanos)
+    );
+
+    // Vertex names, in DAG-tag order (metrics preserve registration order
+    // per member; a BTreeSet gives a stable cross-member order).
+    let vertices: BTreeSet<&str> = snap
+        .get_all("jet_events_in_total")
+        .chain(snap.get_all("jet_events_out_total"))
+        .filter_map(|m| m.tag("vertex"))
+        .collect();
+
+    for v in &vertices {
+        let _ = writeln!(out, "\nvertex {}", v);
+
+        // Scheduler state of every tasklet instance named after the vertex.
+        let mut states: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (_, _, state, _, _) in tasklets.iter().filter(|(_, n, ..)| n == v) {
+            *states.entry(state).or_insert(0) += 1;
+        }
+        let state_line = if states.is_empty() {
+            "none live".to_string()
+        } else {
+            states
+                .iter()
+                .map(|(s, n)| format!("{}x {}", n, s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let events_in = snap.counter_total("jet_events_in_total", &[("vertex", v)]);
+        let events_out = snap.counter_total("jet_events_out_total", &[("vertex", v)]);
+        let _ = writeln!(
+            out,
+            "  state: {:<24} events: in={} out={}",
+            state_line, events_in, events_out
+        );
+
+        // Watermark position per instance: highest seen on any input vs.
+        // the coalesced output the instance forwarded. A persistent gap
+        // means one input channel is a straggler holding results back.
+        let mut instances: BTreeSet<u64> = snap
+            .get_all("jet_vertex_watermark_seen_nanos")
+            .filter(|m| m.tag("vertex") == Some(v))
+            .filter_map(|m| m.tag("instance").and_then(|i| i.parse().ok()))
+            .collect();
+        for i in std::mem::take(&mut instances) {
+            let it = i.to_string();
+            let tags: &[(&str, &str)] = &[("vertex", v), ("instance", &it)];
+            let seen = gauge_or(snap, "jet_vertex_watermark_seen_nanos", tags, -1);
+            let coal = gauge_or(snap, "jet_vertex_watermark_coalesced_nanos", tags, -1);
+            if seen < 0 && coal < 0 {
+                continue; // no watermark ever reached this instance
+            }
+            let gap = if seen >= 0 && coal >= 0 {
+                format!("{:.3}s", secs(seen.saturating_sub(coal) as u64))
+            } else {
+                "n/a".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  wm[#{}]: seen={} coalesced={} straggler-gap={}",
+                i,
+                wm(seen),
+                wm(coal),
+                gap
+            );
+        }
+
+        // Input queues: depth/capacity per (ordinal, instance, lane).
+        let mut queue_lines = 0usize;
+        for m in snap.get_all("jet_queue_depth") {
+            if m.tag("vertex") != Some(v) {
+                continue;
+            }
+            let depth = m.as_gauge().unwrap_or(0);
+            let cap = snap
+                .metrics
+                .iter()
+                .find(|c| c.name == "jet_queue_capacity" && c.tags == m.tags)
+                .and_then(Metric::as_gauge)
+                .unwrap_or(0);
+            // Only itemize hot queues; summarize the idle ones.
+            if depth * 4 >= cap.max(1) {
+                let _ = writeln!(
+                    out,
+                    "  queue ord={} inst={} lane={}: {}/{}{}",
+                    m.tag("ordinal").unwrap_or("?"),
+                    m.tag("instance").unwrap_or("?"),
+                    m.tag("lane").unwrap_or("?"),
+                    depth,
+                    cap,
+                    if depth >= cap { "  FULL" } else { "" }
+                );
+            }
+            queue_lines += 1;
+        }
+        if queue_lines > 0 {
+            let _ = writeln!(
+                out,
+                "  queues: {} lanes (hot ones itemized above)",
+                queue_lines
+            );
+        }
+
+        // Backpressure: queue-full stalls per output edge ordinal.
+        let stalls = {
+            let mut per_ordinal: BTreeMap<String, u64> = BTreeMap::new();
+            for m in snap.get_all("jet_backpressure_stalls_total") {
+                if m.tag("vertex") == Some(v) {
+                    if let (Some(ord), Some(c)) = (m.tag("ordinal"), m.as_counter()) {
+                        *per_ordinal.entry(ord.to_string()).or_insert(0) += c;
+                    }
+                }
+            }
+            per_ordinal
+        };
+        for (ord, total) in &stalls {
+            let _ = writeln!(out, "  backpressure stalls out-ordinal {}: {}", ord, total);
+        }
+
+        // Latency attribution: the slowest timeslices this vertex ran.
+        match trace {
+            Some(data) => {
+                let top = data.top_k_slowest_calls(v, 5);
+                if top.is_empty() {
+                    let _ = writeln!(out, "  slowest calls: none recorded");
+                } else {
+                    let line = top
+                        .iter()
+                        .map(|e| format!("{:.1}us@{:.3}s", e.rec.dur as f64 / 1e3, secs(e.rec.ts)))
+                        .collect::<Vec<_>>()
+                        .join("  ");
+                    let _ = writeln!(out, "  slowest calls: {}", line);
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  slowest calls: n/a (tracing disabled)");
+            }
+        }
+    }
+
+    // Distributed edges: sender/receiver queue pressure and watermark lag.
+    let mut channel_lines: Vec<String> = Vec::new();
+    for m in snap.get_all("jet_channel_watermark_lag_nanos") {
+        if let (Some(edge), Some(from), Some(to), Some(lag)) =
+            (m.tag("edge"), m.tag("from"), m.tag("to"), m.as_gauge())
+        {
+            let lag_str = if lag < 0 {
+                "idle".to_string()
+            } else {
+                format!("{:.3}s", secs(lag as u64))
+            };
+            channel_lines.push(format!(
+                "  edge {} m{}->m{}: wm-lag={}",
+                edge, from, to, lag_str
+            ));
+        }
+    }
+    if !channel_lines.is_empty() {
+        let _ = writeln!(out, "\nchannels");
+        channel_lines.sort();
+        for l in &channel_lines {
+            let _ = writeln!(out, "{}", l);
+        }
+    }
+
+    // Trace roll-up.
+    let _ = writeln!(out, "\ntrace");
+    match trace {
+        Some(data) => {
+            let _ = writeln!(
+                out,
+                "  events={} tracks={} dropped={}",
+                data.events.len(),
+                data.tracks.len(),
+                data.dropped
+            );
+            for kind in [
+                TraceKind::Call,
+                TraceKind::Stall,
+                TraceKind::IdlePark,
+                TraceKind::WmEmit,
+                TraceKind::WmCoalesce,
+                TraceKind::SnapshotPhase,
+                TraceKind::NetSend,
+                TraceKind::NetRecv,
+            ] {
+                let n = data.of_kind(kind).count();
+                if n > 0 {
+                    let _ = writeln!(out, "  {:<12} {}", kind.name(), n);
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "  n/a (tracing disabled)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jet_core::metrics::{tags, MetricsRegistry};
+    use jet_core::trace::Tracer;
+
+    #[test]
+    fn dump_renders_without_trace_and_lists_every_vertex() {
+        let r = MetricsRegistry::new();
+        for v in ["src", "agg", "sink"] {
+            r.counter(
+                "jet_events_in_total",
+                tags(&[("vertex", v), ("instance", "0")]),
+            )
+            .add(7);
+        }
+        r.gauge(
+            "jet_vertex_watermark_seen_nanos",
+            tags(&[("vertex", "agg"), ("instance", "0")]),
+        )
+        .set(2_000_000_000);
+        r.gauge(
+            "jet_vertex_watermark_coalesced_nanos",
+            tags(&[("vertex", "agg"), ("instance", "0")]),
+        )
+        .set(1_500_000_000);
+        let snap = r.snapshot();
+        let tasklets = vec![(0usize, "agg".to_string(), "running", 7u64, 7u64)];
+        let dump = render_dump(9, 3_000_000_000, &snap, &tasklets, None);
+        for v in ["src", "agg", "sink"] {
+            assert!(
+                dump.contains(&format!("vertex {}", v)),
+                "missing {v}: {dump}"
+            );
+        }
+        assert!(dump.contains("1x running"));
+        assert!(dump.contains("straggler-gap=0.500s"));
+        assert!(dump.contains("n/a (tracing disabled)"));
+    }
+
+    #[test]
+    fn dump_includes_trace_attribution_when_present() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            "jet_events_in_total",
+            tags(&[("vertex", "agg"), ("instance", "0")]),
+        )
+        .add(1);
+        let tracer = Tracer::enabled();
+        let mut w = tracer.writer(0, "m0/agg#0");
+        let name = w.intern("agg");
+        w.record_call(1_000, 50_000, name);
+        let data = tracer.drain();
+        let dump = render_dump(1, 1_000_000, &r.snapshot(), &[], Some(&data));
+        assert!(dump.contains("slowest calls: 50.0us@"), "{dump}");
+        assert!(dump.contains("events=1"), "{dump}");
+    }
+}

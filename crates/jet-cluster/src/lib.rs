@@ -13,6 +13,7 @@
 //!   twice, fail over by switching consumers.
 
 pub mod active_active;
+pub mod diagnostics;
 pub mod runtime;
 pub mod wiring;
 

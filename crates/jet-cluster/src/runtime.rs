@@ -17,6 +17,7 @@ use jet_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use jet_core::network::InMemoryTransport;
 use jet_core::processor::Guarantee;
 use jet_core::snapshot::SnapshotRegistry;
+use jet_core::trace::{TraceData, Tracer};
 use jet_core::Dag;
 use jet_imdg::{Grid, MemberId, SnapshotStore};
 use jet_sim::{CostModel, Simulator};
@@ -45,6 +46,8 @@ pub struct SimClusterConfig {
     pub gc: Option<jet_sim::GcModel>,
     /// Ablation A4: fixed (non-adaptive) receive window.
     pub fixed_receive_window: Option<u64>,
+    /// Execution tracer shared by every tasklet; disabled by default.
+    pub tracer: Tracer,
 }
 
 impl Default for SimClusterConfig {
@@ -62,6 +65,7 @@ impl Default for SimClusterConfig {
             batch: jet_core::tasklet::DEFAULT_BATCH,
             gc: None,
             fixed_receive_window: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -119,6 +123,7 @@ impl SimCluster {
             clock: self.shared_clock.clone(),
             partition_count: self.cfg.partition_count,
             fixed_receive_window: self.cfg.fixed_receive_window,
+            tracer: self.cfg.tracer.clone(),
         }
     }
 
@@ -168,10 +173,12 @@ impl SimCluster {
         if let Some(gc) = self.cfg.gc.clone() {
             sim = sim.with_gc(gc);
         }
+        sim = sim.with_tracer(self.cfg.tracer.clone());
         for (mi, member_exec) in exec.members.into_iter().enumerate() {
             let base = mi * self.cfg.cores_per_member;
-            for _ in 0..self.cfg.cores_per_member {
-                sim.add_core();
+            let pid = members[mi].0;
+            for c in 0..self.cfg.cores_per_member {
+                sim.add_core_labeled(pid, &format!("m{}/core-{}", pid, c));
             }
             for (k, (tasklet, counters)) in member_exec.tasklets.into_iter().enumerate() {
                 sim.assign(base + (k % self.cfg.cores_per_member), tasklet, counters);
@@ -235,6 +242,36 @@ impl SimCluster {
     /// Per-tasklet (core, name, in, out) diagnostics.
     pub fn tasklet_stats(&self) -> Vec<(usize, String, u64, u64)> {
         self.sim.tasklet_stats()
+    }
+
+    /// Per-tasklet (core, name, state, in, out) diagnostics.
+    pub fn tasklet_details(&self) -> Vec<(usize, String, &'static str, u64, u64)> {
+        self.sim.tasklet_details()
+    }
+
+    /// The job's tracer (disabled unless configured via
+    /// [`SimClusterConfig::tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.cfg.tracer
+    }
+
+    /// Drain pending span records from every worker ring into `data`.
+    /// Call periodically during long traced runs so rings don't overflow.
+    pub fn drain_trace_into(&self, data: &mut TraceData) {
+        self.cfg.tracer.drain_into(data);
+    }
+
+    /// Render the plain-text job diagnostics dump. Pass the accumulated
+    /// trace to include latency attribution; `None` renders the
+    /// metrics-only view.
+    pub fn diagnostics_dump(&self, trace: Option<&TraceData>) -> String {
+        crate::diagnostics::render_dump(
+            self.job_id,
+            self.now(),
+            &self.job_metrics(),
+            &self.tasklet_details(),
+            trace,
+        )
     }
 
     /// Advance the job by `duration` virtual nanos, auto-triggering

@@ -22,6 +22,8 @@ use jet_core::outbound::OutboundCollector;
 use jet_core::processor::{Guarantee, ProcessorContext};
 use jet_core::snapshot::SnapshotRegistry;
 use jet_core::tasklet::{InputConveyor, ProcessorTasklet, Tasklet};
+use jet_core::trace::Tracer;
+use jet_core::watermark::NO_WATERMARK;
 use jet_core::SnapshotId;
 use jet_imdg::partition_table::PartitionTable;
 use jet_imdg::{MemberId, SnapshotStore};
@@ -44,6 +46,9 @@ pub struct ClusterConfig {
     /// Ablation A4: disable the adaptive receive window and always grant
     /// this fixed amount.
     pub fixed_receive_window: Option<u64>,
+    /// Execution tracing: every processor/sender/receiver tasklet gets its
+    /// own trace writer. Disabled by default (no rings, no records).
+    pub tracer: Tracer,
 }
 
 impl ClusterConfig {
@@ -55,7 +60,13 @@ impl ClusterConfig {
             clock,
             partition_count: jet_imdg::DEFAULT_PARTITION_COUNT,
             fixed_receive_window: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     pub fn with_guarantee(mut self, g: Guarantee) -> Self {
@@ -240,7 +251,14 @@ pub fn build_cluster_execution(
                         cfg.clock.clone(),
                         collector,
                     )
-                    .with_metrics(ChannelMetrics::receiver_side(&registries[mi], channel));
+                    .with_metrics(ChannelMetrics::receiver_side(&registries[mi], channel))
+                    .with_trace(cfg.tracer.writer(
+                        members[mi].0,
+                        &format!(
+                            "m{}/recv-e{}-m{}",
+                            members[mi].0, channel.edge, channel.from
+                        ),
+                    ));
                     if let Some(w) = cfg.fixed_receive_window {
                         receiver = receiver.with_fixed_window(w);
                     }
@@ -274,7 +292,17 @@ pub fn build_cluster_execution(
                     }
                     let sender =
                         SenderTasklet::new(channel, transport.clone(), conveyor, cfg.guarantee)
-                            .with_metrics(ChannelMetrics::sender_side(&registries[mi], channel));
+                            .with_metrics(ChannelMetrics::sender_side(&registries[mi], channel))
+                            .with_trace(
+                                cfg.tracer.writer(
+                                    members[mi].0,
+                                    &format!(
+                                        "m{}/send-e{}-m{}",
+                                        members[mi].0, channel.edge, channel.to
+                                    ),
+                                ),
+                                cfg.clock.clone(),
+                            );
                     exchange_tasklets.push((mi, Box::new(sender)));
                     sender_handles.push(handles);
                 }
@@ -382,6 +410,13 @@ pub fn build_cluster_execution(
                     collectors,
                     registry.clone(),
                     cfg.batch,
+                )
+                .with_trace(
+                    cfg.tracer.writer(
+                        members[mi].0,
+                        &format!("m{}/{}#{}", members[mi].0, vertex.name, global_index),
+                    ),
+                    cfg.clock.clone(),
                 );
                 let counters = tasklet.counters();
                 let ct = tags(&[
@@ -393,9 +428,38 @@ pub fn build_cluster_execution(
                     c_in.events_in.load(Ordering::Relaxed)
                 });
                 let c_out = counters.clone();
-                registries[mi].counter_fn("jet_events_out_total", ct, move || {
+                registries[mi].counter_fn("jet_events_out_total", ct.clone(), move || {
                     c_out.events_out.load(Ordering::Relaxed)
                 });
+                // Watermark position: highest seen on any input vs. the
+                // coalesced output (`-1` until a watermark arrives).
+                let probe = tasklet.watermark_probe();
+                let p = probe.clone();
+                registries[mi].gauge_fn("jet_vertex_watermark_seen_nanos", ct.clone(), move || {
+                    match p.last_seen() {
+                        NO_WATERMARK => -1,
+                        w => w,
+                    }
+                });
+                registries[mi].gauge_fn("jet_vertex_watermark_coalesced_nanos", ct, move || {
+                    match probe.coalesced() {
+                        NO_WATERMARK => -1,
+                        w => w,
+                    }
+                });
+                // Backpressure: queue-full stalls per output edge.
+                let stalls = tasklet.stall_counters();
+                for (ei, e) in out_edges.iter().enumerate() {
+                    let st = tags(&[
+                        ("vertex", &vertex.name),
+                        ("instance", &global_index.to_string()),
+                        ("ordinal", &e.from_ordinal.to_string()),
+                    ]);
+                    let stalls = stalls.clone();
+                    registries[mi].counter_fn("jet_backpressure_stalls_total", st, move || {
+                        stalls[ei].load(Ordering::Relaxed)
+                    });
+                }
                 participants += 1;
                 member_execs[mi]
                     .tasklets

@@ -11,12 +11,20 @@
 use crate::log::RateLimitedLog;
 use crate::metrics::{tags, MetricsRegistry, SharedCounter, SharedHistogram, TaskletCounters};
 use crate::tasklet::Tasklet;
+use crate::trace::{TraceKind, TraceWriter, Tracer};
 use jet_util::idle::{BackoffIdle, IdleStrategy};
 use jet_util::progress::Progress;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Process-wide epoch for threaded-executor trace timestamps, so spans from
+/// different worker threads land on one consistent timeline.
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
 
 /// Default wall-clock budget for one cooperative `call()`. Jet's contract
 /// (§3.2) is that cooperative tasklets return in microseconds; a call this
@@ -34,6 +42,9 @@ pub struct ExecObservability {
     pub registry: Arc<MetricsRegistry>,
     pub hog_budget: Duration,
     pub hog_log: Arc<RateLimitedLog>,
+    /// Execution tracing handle; [`Tracer::disabled`] (the default) keeps
+    /// every per-call trace probe to a single branch.
+    pub tracer: Tracer,
 }
 
 impl ExecObservability {
@@ -42,6 +53,7 @@ impl ExecObservability {
             registry,
             hog_budget: DEFAULT_HOG_BUDGET,
             hog_log: Arc::new(RateLimitedLog::new(DEFAULT_HOG_LOG_INTERVAL)),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -52,6 +64,11 @@ impl ExecObservability {
 
     pub fn with_hog_log(mut self, log: Arc<RateLimitedLog>) -> Self {
         self.hog_log = log;
+        self
+    }
+
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -71,6 +88,8 @@ impl ExecObservability {
             .counter_fn("jet_worker_idle_rounds_total", t.clone(), move || {
                 c.idle_rounds.load(Ordering::Relaxed)
             });
+        let trace = self.tracer.writer(0, &format!("worker-{label}"));
+        let idle_name = trace.intern("worker-idle");
         WorkerObs {
             counters,
             call_hist: self
@@ -80,6 +99,8 @@ impl ExecObservability {
             hog_budget_nanos: self.hog_budget.as_nanos() as u64,
             hog_log: self.hog_log.clone(),
             label: label.to_string(),
+            trace,
+            idle_name,
         }
     }
 }
@@ -92,6 +113,8 @@ struct WorkerObs {
     hog_budget_nanos: u64,
     hog_log: Arc<RateLimitedLog>,
     label: String,
+    trace: TraceWriter,
+    idle_name: u32,
 }
 
 /// Handle to a running threaded execution.
@@ -139,21 +162,39 @@ fn worker_loop(tasklets: Vec<Box<dyn Tasklet>>, live: Arc<AtomicUsize>) {
 /// a per-`call()` wall-clock histogram, and the rate-limited warning when a
 /// cooperative tasklet overruns its call budget.
 fn worker_loop_observed(
-    mut tasklets: Vec<Box<dyn Tasklet>>,
+    tasklets: Vec<Box<dyn Tasklet>>,
     live: Arc<AtomicUsize>,
-    obs: Option<WorkerObs>,
+    mut obs: Option<WorkerObs>,
 ) {
+    // Tasklet names are interned once here (cold); the hot loop only ever
+    // touches the u32 ids.
+    let mut tasklets: Vec<(Box<dyn Tasklet>, u32)> = tasklets
+        .into_iter()
+        .map(|t| {
+            let id = match &obs {
+                Some(o) => o.trace.intern(t.name()),
+                None => 0,
+            };
+            (t, id)
+        })
+        .collect();
+    let epoch = trace_epoch();
     let mut idle = BackoffIdle::jet_default();
     let mut idle_rounds = 0u64;
     while !tasklets.is_empty() {
         let mut progressed = false;
-        tasklets.retain_mut(|t| {
+        tasklets.retain_mut(|(t, trace_name)| {
             let result;
-            if let Some(o) = &obs {
+            if let Some(o) = &mut obs {
                 let start = Instant::now();
                 result = t.call();
                 let nanos = start.elapsed().as_nanos() as u64;
                 o.call_hist.record(nanos.max(1));
+                if o.trace.enabled() && !matches!(result, Progress::NoProgress) {
+                    let end_ns = epoch.elapsed().as_nanos() as u64;
+                    o.trace
+                        .record_call(end_ns.saturating_sub(nanos), nanos, *trace_name);
+                }
                 if nanos > o.hog_budget_nanos && t.is_cooperative() {
                     o.hogs.add(1);
                     o.hog_log.warn(|| {
@@ -186,13 +227,25 @@ fn worker_loop_observed(
         if progressed {
             idle_rounds = 0;
             idle.reset();
-            if let Some(o) = &obs {
+            if let Some(o) = &mut obs {
                 o.counters.add_busy(1);
             }
         } else {
             idle_rounds += 1;
-            if let Some(o) = &obs {
+            if let Some(o) = &mut obs {
                 o.counters.add_idle(1);
+                if o.trace.enabled() {
+                    if let Some(park) = idle.park_duration(idle_rounds) {
+                        let ts = epoch.elapsed().as_nanos() as u64;
+                        o.trace.record(
+                            TraceKind::IdlePark,
+                            ts,
+                            park.as_nanos() as u64,
+                            o.idle_name,
+                            idle_rounds as i64,
+                        );
+                    }
+                }
             }
             idle.idle(idle_rounds);
         }
@@ -529,5 +582,24 @@ mod tests {
                 .counter_total("jet_worker_busy_rounds_total", &[("worker", "dedicated-0")])
                 > 0
         );
+    }
+
+    #[test]
+    fn traced_worker_records_call_spans_with_tasklet_names() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let tracer = Tracer::enabled();
+        let obs = ExecObservability::new(registry).with_tracer(tracer.clone());
+        let ts: Vec<Box<dyn Tasklet>> = vec![countdown(5), countdown(3)];
+        spawn_threaded_observed(ts, 1, Arc::new(AtomicBool::new(false)), &obs).join();
+        let data = tracer.drain();
+        let calls: Vec<_> = data.of_kind(TraceKind::Call).collect();
+        // Every progressing call (5+1 done) + (3+1 done) landed as a span.
+        assert_eq!(calls.len(), 10);
+        let names: std::collections::HashSet<&str> =
+            calls.iter().map(|e| data.name(e.rec.name)).collect();
+        assert!(names.contains("cd5") && names.contains("cd3"), "{names:?}");
+        assert_eq!(data.tracks.len(), 1);
+        assert!(data.tracks[0].label.starts_with("worker-"));
+        assert_eq!(data.dropped, 0);
     }
 }

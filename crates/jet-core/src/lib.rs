@@ -40,6 +40,7 @@ pub mod processors;
 pub mod snapshot;
 pub mod state;
 pub mod tasklet;
+pub mod trace;
 pub mod watermark;
 
 pub use dag::{Dag, Edge, Routing, Vertex, VertexId};
@@ -51,3 +52,4 @@ pub use processor::{
 };
 pub use snapshot::SnapshotRegistry;
 pub use tasklet::{InputConveyor, ProcessorTasklet, Tasklet};
+pub use trace::{SpanRecord, TraceData, TraceKind, TraceWriter, Tracer};

@@ -21,6 +21,7 @@ use crate::metrics::{tags, MetricsRegistry, SharedCounter, SharedGauge};
 use crate::outbound::OutboundCollector;
 use crate::processor::Guarantee;
 use crate::tasklet::Tasklet;
+use crate::trace::{TraceKind, TraceWriter};
 use crate::watermark::WatermarkCoalescer;
 use jet_queue::Conveyor;
 use jet_util::clock::SharedClock;
@@ -128,8 +129,10 @@ impl Transport for InMemoryTransport {
 /// and `jet_channel_bytes_sent_total`; the receiver side feeds
 /// `jet_channel_receive_window` (the grant size last advertised) and
 /// `jet_channel_watermark_lag_nanos` (clock time minus the newest watermark
-/// forwarded downstream). Build one per side against the owning member's
-/// registry — sender and receiver live on different members.
+/// forwarded downstream; `-1` means the channel went idle or terminal, so a
+/// stale lag is never reported for a channel that stopped flowing). Build one
+/// per side against the owning member's registry — sender and receiver live
+/// on different members.
 #[derive(Clone)]
 pub struct ChannelMetrics {
     items_sent: SharedCounter,
@@ -188,6 +191,10 @@ impl ChannelMetrics {
     }
 }
 
+/// Gauge value marking a channel whose watermark stream went idle or
+/// terminal — distinguishable from every real lag, which is >= 0.
+pub const WATERMARK_LAG_IDLE: i64 = -1;
+
 /// Flow-control constants (paper values).
 pub const ACK_INTERVAL_NANOS: u64 = 100_000_000; // 100 ms
 /// Window target as a multiple of the per-ack-interval throughput: 300 ms
@@ -216,6 +223,9 @@ pub struct SenderTasklet {
     max_batch: usize,
     finished: bool,
     metrics: Option<ChannelMetrics>,
+    trace: TraceWriter,
+    trace_name: u32,
+    trace_clock: Option<SharedClock>,
 }
 
 impl SenderTasklet {
@@ -246,12 +256,24 @@ impl SenderTasklet {
             max_batch: 256,
             finished: false,
             metrics: None,
+            trace: TraceWriter::disabled(),
+            trace_name: 0,
+            trace_clock: None,
         }
     }
 
     /// Attach channel instruments (built via [`ChannelMetrics::sender_side`]).
     pub fn with_metrics(mut self, metrics: ChannelMetrics) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach an execution-trace writer; shipped batches record `net-send`
+    /// instants carrying the payload bytes.
+    pub fn with_trace(mut self, writer: TraceWriter, clock: SharedClock) -> Self {
+        self.trace_name = writer.intern(&self.name);
+        self.trace = writer;
+        self.trace_clock = Some(clock);
         self
     }
 
@@ -269,10 +291,24 @@ impl SenderTasklet {
         if self.batch.is_empty() {
             return false;
         }
+        let need_bytes = self.metrics.is_some() || self.trace.enabled();
+        let bytes: u64 = if need_bytes {
+            self.batch.iter().map(|i| i.wire_size() as u64).sum()
+        } else {
+            0
+        };
         if let Some(m) = &self.metrics {
             m.items_sent.add(self.batch.len() as u64);
-            m.bytes_sent
-                .add(self.batch.iter().map(|i| i.wire_size() as u64).sum());
+            m.bytes_sent.add(bytes);
+        }
+        if self.trace.enabled() {
+            let ts = self
+                .trace_clock
+                .as_ref()
+                .map(|c| c.now_nanos())
+                .unwrap_or(0);
+            self.trace
+                .record(TraceKind::NetSend, ts, 0, self.trace_name, bytes as i64);
         }
         self.transport
             .send_data(self.channel, std::mem::take(&mut self.batch));
@@ -383,6 +419,8 @@ pub struct ReceiverTasklet {
     /// Fixed window override (ablation A4); None = adaptive.
     fixed_window: Option<u64>,
     metrics: Option<ChannelMetrics>,
+    trace: TraceWriter,
+    trace_name: u32,
 }
 
 impl ReceiverTasklet {
@@ -409,7 +447,17 @@ impl ReceiverTasklet {
             done_forwarded: false,
             fixed_window: None,
             metrics: None,
+            trace: TraceWriter::disabled(),
+            trace_name: 0,
         }
+    }
+
+    /// Attach an execution-trace writer; arriving batches record `net-recv`
+    /// instants carrying the item count.
+    pub fn with_trace(mut self, writer: TraceWriter) -> Self {
+        self.trace_name = writer.intern(&self.name);
+        self.trace = writer;
+        self
     }
 
     /// Disable adaptivity: always grant `processed + window` (ablation A4).
@@ -435,6 +483,10 @@ impl ReceiverTasklet {
                 Item::Watermark(w) if *w != crate::watermark::IDLE_CHANNEL => Some(*w),
                 _ => None,
             };
+            // Idle/terminal transition: park the lag gauge at the idle
+            // marker instead of letting the last real lag linger forever.
+            let went_quiet = was_done
+                || matches!(item, Item::Watermark(w) if *w == crate::watermark::IDLE_CHANNEL);
             let delivered = if item.is_event() {
                 let item = self.pending.pop_front().expect("front checked");
                 match self.output.offer_event(item) {
@@ -456,16 +508,21 @@ impl ReceiverTasklet {
                 if was_done {
                     self.done_forwarded = true;
                 }
-                if let (Some(m), Some(w)) = (&self.metrics, watermark) {
-                    // Virtual time is aligned with event time in the
-                    // simulator, so now - watermark is the event-time lag of
-                    // this channel. Watermarks never run ahead of now; one
-                    // that does is a near-`Ts::MAX` idle/terminal sentinel
-                    // (possibly shifted by a policy's lag bound) and would
-                    // poison the gauge with a huge negative value.
-                    let now = self.clock.now_nanos() as i64;
-                    if w <= now {
-                        m.watermark_lag.set(now - w);
+                if let Some(m) = &self.metrics {
+                    if let Some(w) = watermark {
+                        // Virtual time is aligned with event time in the
+                        // simulator, so now - watermark is the event-time
+                        // lag of this channel. Watermarks never run ahead of
+                        // now; one that does is a near-`Ts::MAX`
+                        // idle/terminal sentinel (possibly shifted by a
+                        // policy's lag bound) and would poison the gauge
+                        // with a huge negative value.
+                        let now = self.clock.now_nanos() as i64;
+                        if w <= now {
+                            m.watermark_lag.set(now - w);
+                        }
+                    } else if went_quiet {
+                        m.watermark_lag.set(WATERMARK_LAG_IDLE);
                     }
                 }
             } else {
@@ -508,6 +565,16 @@ impl Tasklet for ReceiverTasklet {
         if self.pending.len() < 4 * MIN_WINDOW as usize {
             while let Some(items) = self.transport.poll_data(self.channel) {
                 worked = true;
+                if self.trace.enabled() {
+                    let ts = self.clock.now_nanos();
+                    self.trace.record(
+                        TraceKind::NetRecv,
+                        ts,
+                        0,
+                        self.trace_name,
+                        items.len() as i64,
+                    );
+                }
                 self.pending.extend(items);
                 if self.pending.len() >= 4 * MIN_WINDOW as usize {
                     break;
@@ -752,6 +819,81 @@ mod tests {
             .unwrap();
         assert_eq!(lag.as_gauge(), Some(10 - 2), "now=10, watermark=2");
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn watermark_lag_gauge_resets_when_channel_goes_idle_or_terminal() {
+        let (manual, clock) = manual_clock();
+        let transport = Arc::new(InMemoryTransport::new(clock.clone(), 0));
+        let reg = MetricsRegistry::new();
+        let (p, _c) = spsc_channel::<Item>(64);
+        let output = OutboundCollector::new(Routing::Unicast, vec![p], vec![], 271, 0);
+        let mut receiver = ReceiverTasklet::new(channel(), transport.clone(), clock, output)
+            .with_metrics(ChannelMetrics::receiver_side(&reg, channel()));
+
+        manual.advance(100);
+        transport.send_data(channel(), vec![Item::Watermark(40)]);
+        receiver.call();
+        let lag = |reg: &MetricsRegistry| {
+            reg.snapshot()
+                .find("jet_channel_watermark_lag_nanos", &[("edge", "0")])
+                .unwrap()
+                .as_gauge()
+                .unwrap()
+        };
+        assert_eq!(lag(&reg), 60, "real lag recorded");
+
+        // Channel goes idle: the stale 60 must not linger as phantom lag.
+        transport.send_data(
+            channel(),
+            vec![Item::Watermark(crate::watermark::IDLE_CHANNEL)],
+        );
+        receiver.call();
+        assert_eq!(lag(&reg), WATERMARK_LAG_IDLE, "idle marks the gauge");
+
+        // Revival restores real lag reporting...
+        manual.advance(100);
+        transport.send_data(channel(), vec![Item::Watermark(150)]);
+        receiver.call();
+        assert_eq!(lag(&reg), 50);
+
+        // ...and the terminal Done parks it at the idle marker again.
+        transport.send_data(channel(), vec![Item::Done]);
+        assert_eq!(receiver.call(), Progress::Done);
+        assert_eq!(lag(&reg), WATERMARK_LAG_IDLE, "terminal marks the gauge");
+    }
+
+    #[test]
+    fn traced_channel_records_send_and_receive() {
+        use crate::trace::{TraceKind, Tracer};
+        let (manual, clock) = manual_clock();
+        let transport = Arc::new(InMemoryTransport::new(clock.clone(), 0));
+        let tracer = Tracer::enabled();
+        let (conv, producers) = Conveyor::<Item>::new(1, 64);
+        let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None)
+            .with_trace(tracer.writer(0, "m0/sender"), clock.clone());
+        let (p, _c) = spsc_channel::<Item>(64);
+        let output = OutboundCollector::new(Routing::Unicast, vec![p], vec![], 271, 0);
+        let mut receiver = ReceiverTasklet::new(channel(), transport.clone(), clock, output)
+            .with_trace(tracer.writer(1, "m1/receiver"));
+
+        producers[0].offer(Item::event(1, boxed(1u64))).unwrap();
+        producers[0].offer(Item::Watermark(1)).unwrap();
+        manual.advance(5);
+        sender.call();
+        manual.advance(5);
+        receiver.call();
+
+        let data = tracer.drain();
+        let sends: Vec<_> = data.of_kind(TraceKind::NetSend).collect();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].rec.ts, 5);
+        assert_eq!(sends[0].rec.arg, 64 + 16, "1 event + 1 watermark in bytes");
+        assert_eq!(data.name(sends[0].rec.name), "sender-e0-m0->m1");
+        let recvs: Vec<_> = data.of_kind(TraceKind::NetRecv).collect();
+        assert_eq!(recvs.len(), 1);
+        assert_eq!(recvs[0].rec.ts, 10);
+        assert_eq!(recvs[0].rec.arg, 2, "2 items in the batch");
     }
 
     #[test]

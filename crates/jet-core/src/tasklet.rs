@@ -24,9 +24,12 @@ use crate::metrics::TaskletCounters;
 use crate::outbound::OutboundCollector;
 use crate::processor::{Guarantee, Inbox, Outbox, Processor, ProcessorContext};
 use crate::snapshot::SnapshotRegistry;
-use crate::watermark::WatermarkCoalescer;
+use crate::trace::{TraceKind, TraceWriter};
+use crate::watermark::{WatermarkCoalescer, WatermarkProbe, IDLE_CHANNEL};
 use jet_queue::Conveyor;
+use jet_util::clock::SharedClock;
 use jet_util::progress::Progress;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Anything schedulable on a cooperative worker.
@@ -41,6 +44,12 @@ pub trait Tasklet: Send {
     /// a dedicated thread (§3.1: blocking connectors).
     fn is_cooperative(&self) -> bool {
         true
+    }
+
+    /// Current execution state for diagnostics dumps (e.g. the processor
+    /// phase). Infrastructure tasklets just report "running".
+    fn state(&self) -> &'static str {
+        "running"
     }
 }
 
@@ -126,6 +135,17 @@ pub struct ProcessorTasklet {
     retired: bool,
     is_source: bool,
     cooperative: bool,
+    trace: TraceWriter,
+    trace_name: u32,
+    trace_clock: Option<SharedClock>,
+    /// `(start_nanos, snapshot_id)` of the snapshot phase in flight.
+    snapshot_started: Option<(u64, SnapshotId)>,
+    wm_probe: Arc<WatermarkProbe>,
+    /// Total queue-full stalls per output edge (shared with metric gauges).
+    out_stalls: Arc<Vec<AtomicU64>>,
+    /// Edges currently stalled — traces record the *transition* into a
+    /// stall, not every fruitless retry, so rings aren't flooded.
+    stalled_edges: Vec<bool>,
 }
 
 impl ProcessorTasklet {
@@ -188,11 +208,45 @@ impl ProcessorTasklet {
             retired: false,
             is_source,
             cooperative,
+            trace: TraceWriter::disabled(),
+            trace_name: 0,
+            trace_clock: None,
+            snapshot_started: None,
+            wm_probe: WatermarkProbe::shared(),
+            out_stalls: Arc::new((0..out_edges).map(|_| AtomicU64::new(0)).collect()),
+            stalled_edges: vec![false; out_edges],
         }
+    }
+
+    /// Attach an execution-trace writer. `clock` supplies span timestamps
+    /// (the cluster's virtual clock in simulation, wall clock otherwise).
+    pub fn with_trace(mut self, writer: TraceWriter, clock: SharedClock) -> Self {
+        self.trace_name = writer.intern(&self.vertex);
+        self.trace = writer;
+        self.trace_clock = Some(clock);
+        self
     }
 
     pub fn counters(&self) -> Arc<TaskletCounters> {
         self.counters.clone()
+    }
+
+    /// Shared watermark position (seen vs. coalesced) for gauges and dumps.
+    pub fn watermark_probe(&self) -> Arc<WatermarkProbe> {
+        self.wm_probe.clone()
+    }
+
+    /// Per-output-edge queue-full stall totals, shared for metric export.
+    pub fn stall_counters(&self) -> Arc<Vec<AtomicU64>> {
+        self.out_stalls.clone()
+    }
+
+    #[inline]
+    fn trace_now(&self) -> u64 {
+        self.trace_clock
+            .as_ref()
+            .map(|c| c.now_nanos())
+            .unwrap_or(0)
     }
 
     pub fn phase_name(&self) -> &'static str {
@@ -209,12 +263,20 @@ impl ProcessorTasklet {
     }
 
     /// Deliver buffered outbox items into the outbound collectors, FIFO per
-    /// edge, with control items broadcast to every target.
+    /// edge, with control items broadcast to every target. A full downstream
+    /// queue counts a backpressure stall for that edge; the transition into
+    /// the stalled state is also recorded as a trace instant.
     fn flush_outbox(&mut self) -> bool {
         let mut any = false;
         let outbox = &mut self.outbox;
+        let trace_ts = if self.trace.enabled() {
+            self.trace_clock.as_ref().map(|c| c.now_nanos())
+        } else {
+            None
+        };
         for (i, col) in self.outputs.iter_mut().enumerate() {
             let buf = outbox.buf_mut(i);
+            let mut stalled = false;
             while let Some(front) = buf.front() {
                 if front.is_event() {
                     let item = buf.pop_front().expect("front checked");
@@ -222,6 +284,7 @@ impl ProcessorTasklet {
                         Ok(()) => any = true,
                         Err(back) => {
                             buf.push_front(back);
+                            stalled = true;
                             break;
                         }
                     }
@@ -229,8 +292,21 @@ impl ProcessorTasklet {
                     buf.pop_front();
                     any = true;
                 } else {
+                    stalled = true;
                     break;
                 }
+            }
+            if stalled {
+                self.out_stalls[i].fetch_add(1, Ordering::Relaxed);
+                if !self.stalled_edges[i] {
+                    self.stalled_edges[i] = true;
+                    if let Some(ts) = trace_ts {
+                        self.trace
+                            .record(TraceKind::Stall, ts, 0, self.trace_name, i as i64);
+                    }
+                }
+            } else {
+                self.stalled_edges[i] = false;
             }
         }
         any
@@ -254,6 +330,11 @@ impl ProcessorTasklet {
             };
             if handled {
                 self.pending_wm = None;
+                if wm != crate::watermark::IDLE_CHANNEL && self.trace.enabled() {
+                    let ts = self.trace_now();
+                    self.trace
+                        .record(TraceKind::WmEmit, ts, 0, self.trace_name, wm);
+                }
                 return true;
             }
             return false;
@@ -265,6 +346,14 @@ impl ProcessorTasklet {
         if let Some(wm) = advanced {
             debug_assert!(self.pending_wm.is_none());
             self.pending_wm = Some(wm);
+            if wm != IDLE_CHANNEL {
+                self.wm_probe.note_coalesced(wm);
+                if self.trace.enabled() {
+                    let ts = self.trace_now();
+                    self.trace
+                        .record(TraceKind::WmCoalesce, ts, 0, self.trace_name, wm);
+                }
+            }
         }
     }
 
@@ -350,6 +439,9 @@ impl ProcessorTasklet {
                 let global_lane = self.inputs[oi].lane_offset + lane;
                 match item {
                     Item::Watermark(w) => {
+                        if w != IDLE_CHANNEL {
+                            self.wm_probe.note_seen(w);
+                        }
                         let adv = self.coalescer.observe(global_lane, w);
                         self.note_coalesced(adv);
                         if !self.settle_watermark() {
@@ -452,6 +544,9 @@ impl ProcessorTasklet {
                 let b = self
                     .current_barrier
                     .expect("snapshot phase without barrier");
+                if self.trace.enabled() && self.snapshot_started.is_none() {
+                    self.snapshot_started = Some((self.trace_now(), b.snapshot_id));
+                }
                 if self
                     .processor
                     .save_snapshot(b.snapshot_id, &mut self.outbox, &self.ctx)
@@ -467,6 +562,16 @@ impl ProcessorTasklet {
             Phase::EmitBarrier => {
                 let b = self.current_barrier.expect("emit phase without barrier");
                 if self.outbox.broadcast(Item::Barrier(b)) {
+                    if let Some((start, sid)) = self.snapshot_started.take() {
+                        let end = self.trace_now();
+                        self.trace.record(
+                            TraceKind::SnapshotPhase,
+                            start,
+                            end.saturating_sub(start).max(1),
+                            self.trace_name,
+                            sid as i64,
+                        );
+                    }
                     self.registry.ack(b.snapshot_id);
                     self.last_snapshot = b.snapshot_id;
                     self.current_barrier = None;
@@ -572,5 +677,9 @@ impl Tasklet for ProcessorTasklet {
 
     fn is_cooperative(&self) -> bool {
         self.cooperative
+    }
+
+    fn state(&self) -> &'static str {
+        self.phase_name()
     }
 }

@@ -1,0 +1,809 @@
+//! Execution tracing: low-overhead span records for latency *attribution*.
+//!
+//! PR 1's metrics say *how much* time the job spent; this module says
+//! *where*. Every instrumented writer (a cooperative worker / virtual core,
+//! a processor tasklet, a network sender/receiver) owns a private fixed-size
+//! lock-free ring of [`SpanRecord`]s and appends to it without ever blocking
+//! the hot loop: when the ring is full the record is dropped and counted,
+//! never waited for. A collector (see `jet-cluster`) drains the rings into a
+//! job-level [`TraceData`] which renders as Chrome trace-event JSON — open
+//! `results/TRACE_*.json` in <https://ui.perfetto.dev> — and feeds the
+//! plain-text diagnostics dump.
+//!
+//! Cost discipline:
+//! * Disabled tracing allocates nothing: [`Tracer::disabled`] hands out
+//!   [`TraceWriter`]s that carry no ring, and every `record_*` call reduces
+//!   to one branch on an `Option` discriminant.
+//! * Enabled tracing touches only the writer's own cache lines plus one
+//!   release store per record; string names are interned to `u32` ids at
+//!   wiring time (cold), never on the hot path.
+//! * Call spans can be sampled (`1/2^k`) to bound volume on multi-minute
+//!   runs; drops from sampling are *not* counted (they are policy), drops
+//!   from a full ring are.
+
+use crate::metrics::json_escape;
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What a span record describes. The numeric `arg` field of [`SpanRecord`]
+/// is kind-specific (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// One tasklet `call()` timeslice. `arg` = 0. Has a duration.
+    Call = 0,
+    /// A flush found a full downstream queue (backpressure). `arg` = output
+    /// ordinal of the stalled edge.
+    Stall = 1,
+    /// An idle worker parked. `arg` = consecutive idle rounds. Has a
+    /// duration (the park time).
+    IdlePark = 2,
+    /// A watermark left this tasklet's outbox. `arg` = watermark ts.
+    WmEmit = 3,
+    /// The input coalescer's min-watermark advanced. `arg` = new coalesced
+    /// watermark ts.
+    WmCoalesce = 4,
+    /// One snapshot barrier's full lifetime inside a tasklet: from barrier
+    /// alignment through state save to barrier re-emission. `arg` =
+    /// snapshot id. Has a duration.
+    SnapshotPhase = 5,
+    /// A network batch was shipped. `arg` = payload bytes.
+    NetSend = 6,
+    /// A network batch was received. `arg` = item count.
+    NetRecv = 7,
+}
+
+impl TraceKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Call => "call",
+            TraceKind::Stall => "stall",
+            TraceKind::IdlePark => "idle-park",
+            TraceKind::WmEmit => "wm-emit",
+            TraceKind::WmCoalesce => "wm-coalesce",
+            TraceKind::SnapshotPhase => "snapshot",
+            TraceKind::NetSend => "net-send",
+            TraceKind::NetRecv => "net-recv",
+        }
+    }
+}
+
+/// One fixed-size trace record: 32 bytes, `Copy`, no heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Start time, nanos (wall or virtual, whichever clock the execution
+    /// runs on).
+    pub ts: u64,
+    /// Duration in nanos; 0 renders as an instant event.
+    pub dur: u64,
+    /// Interned name id (see [`Tracer::intern`]): the vertex/tasklet the
+    /// record belongs to.
+    pub name: u32,
+    pub kind: TraceKind,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub arg: i64,
+}
+
+impl SpanRecord {
+    fn zeroed() -> SpanRecord {
+        SpanRecord {
+            ts: 0,
+            dur: 0,
+            name: 0,
+            kind: TraceKind::Call,
+            arg: 0,
+        }
+    }
+}
+
+/// The per-writer ring: single producer (the owning worker/tasklet), single
+/// consumer (the collector), wait-free on both sides, drop-counted on
+/// overflow. Same Lamport-ring discipline as `jet_queue::spsc`, specialised
+/// to a `Copy` record type so slots need no `MaybeUninit` bookkeeping.
+struct Ring {
+    buf: Box<[UnsafeCell<SpanRecord>]>,
+    mask: usize,
+    /// Next slot the collector reads. Written by the collector only.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the writer fills. Written by the writer only.
+    tail: CachePadded<AtomicUsize>,
+    /// Records discarded because the ring was full when they were offered.
+    dropped: AtomicU64,
+}
+
+// Safety: the writer only stores into slots in `head..head+capacity` that it
+// owns (it checks fullness against an acquire-loaded head before writing and
+// publishes with a release store of tail); the collector only reads slots in
+// `head..tail` (acquire-loaded). SpanRecord is Copy, so torn *ownership* is
+// the only hazard and the head/tail protocol excludes it.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        let cap = capacity.max(2).next_power_of_two();
+        Ring {
+            buf: (0..cap)
+                .map(|_| UnsafeCell::new(SpanRecord::zeroed()))
+                .collect(),
+            mask: cap - 1,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Writer side. Never blocks: a full ring counts a drop and returns.
+    #[inline]
+    fn push(&self, rec: SpanRecord) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        unsafe { *self.buf[tail & self.mask].get() = rec };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Collector side: move every published record into `out`.
+    fn drain_into(&self, out: &mut Vec<SpanRecord>) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut head = self.head.load(Ordering::Relaxed);
+        let n = tail.wrapping_sub(head);
+        for _ in 0..n {
+            out.push(unsafe { *self.buf[head & self.mask].get() });
+            head = head.wrapping_add(1);
+        }
+        self.head.store(head, Ordering::Release);
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+/// Identity of one trace track (≈ one ring): which member it belongs to
+/// (Perfetto `pid`), its per-job track index (`tid`), and a human label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackInfo {
+    pub pid: u32,
+    pub tid: u32,
+    pub label: String,
+}
+
+struct Track {
+    info: TrackInfo,
+    ring: Arc<Ring>,
+}
+
+struct NameTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl NameTable {
+    fn new() -> NameTable {
+        // Id 0 is reserved for "?" so a zeroed record still renders.
+        NameTable {
+            names: vec!["?".to_string()],
+            index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+}
+
+struct TracerInner {
+    names: Mutex<NameTable>,
+    tracks: Mutex<Vec<Track>>,
+    ring_capacity: usize,
+    /// Record one in `2^sample_shift` Call spans (other kinds always
+    /// record).
+    sample_shift: u32,
+    next_tid: AtomicUsize,
+}
+
+/// Default records per ring: 4096 × 32 B = 128 KiB per instrumented writer.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Handle to the tracing subsystem. Cheap to clone; `disabled()` is the
+/// always-available no-op used everywhere tracing is not requested.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer: writers carry no ring and record nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An active tracer with default ring capacity and no sampling.
+    pub fn enabled() -> Tracer {
+        Tracer::with_config(DEFAULT_RING_CAPACITY, 0)
+    }
+
+    /// `ring_capacity` records per writer (rounded up to a power of two);
+    /// `sample_shift` records one in `2^shift` Call spans.
+    pub fn with_config(ring_capacity: usize, sample_shift: u32) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                names: Mutex::new(NameTable::new()),
+                tracks: Mutex::new(Vec::new()),
+                ring_capacity,
+                sample_shift,
+                next_tid: AtomicUsize::new(0),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Intern a name (cold path: wiring/registration time only). Returns 0
+    /// when disabled.
+    pub fn intern(&self, name: &str) -> u32 {
+        match &self.inner {
+            Some(inner) => inner.names.lock().intern(name),
+            None => 0,
+        }
+    }
+
+    /// Create the writer for one instrumented entity. `pid` groups tracks in
+    /// the timeline viewer (we use the member id); `label` becomes the
+    /// track's thread name. Disabled tracers return a no-op writer without
+    /// allocating.
+    pub fn writer(&self, pid: u32, label: &str) -> TraceWriter {
+        let Some(inner) = &self.inner else {
+            return TraceWriter { inner: None };
+        };
+        let ring = Arc::new(Ring::new(inner.ring_capacity));
+        let tid = inner.next_tid.fetch_add(1, Ordering::Relaxed) as u32;
+        inner.tracks.lock().push(Track {
+            info: TrackInfo {
+                pid,
+                tid,
+                label: label.to_string(),
+            },
+            ring: ring.clone(),
+        });
+        TraceWriter {
+            inner: Some(WriterInner {
+                ring,
+                tracer: inner.clone(),
+                sample_mask: (1u64 << inner.sample_shift) - 1,
+                calls_seen: 0,
+            }),
+        }
+    }
+
+    /// Total records discarded because some ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner
+                .tracks
+                .lock()
+                .iter()
+                .map(|t| t.ring.dropped.load(Ordering::Relaxed))
+                .sum(),
+            None => 0,
+        }
+    }
+
+    /// Records currently buffered (pending drain) across all rings.
+    pub fn pending(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.tracks.lock().iter().map(|t| t.ring.len()).sum(),
+            None => 0,
+        }
+    }
+
+    /// Drain every ring into `data`, refreshing its name table and track
+    /// list. Call periodically during long runs (rings are small by design)
+    /// and once at the end. Records beyond `data.capacity` are discarded and
+    /// counted in `data.dropped`.
+    pub fn drain_into(&self, data: &mut TraceData) {
+        let Some(inner) = &self.inner else { return };
+        {
+            let names = inner.names.lock();
+            data.names = names.names.clone();
+        }
+        let tracks = inner.tracks.lock();
+        for t in tracks.iter() {
+            if data.tracks.len() <= t.info.tid as usize {
+                data.tracks.resize(t.info.tid as usize + 1, t.info.clone());
+            }
+            data.tracks[t.info.tid as usize] = t.info.clone();
+            let mut scratch = Vec::new();
+            t.ring.drain_into(&mut scratch);
+            for rec in scratch {
+                if data.events.len() >= data.capacity {
+                    data.dropped += 1;
+                } else {
+                    data.events.push(TraceEvent {
+                        track: t.info.tid,
+                        rec,
+                    });
+                }
+            }
+            data.dropped += t.ring.dropped.swap(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Convenience: drain everything into a fresh [`TraceData`].
+    pub fn drain(&self) -> TraceData {
+        let mut d = TraceData::new();
+        self.drain_into(&mut d);
+        d
+    }
+}
+
+struct WriterInner {
+    ring: Arc<Ring>,
+    tracer: Arc<TracerInner>,
+    sample_mask: u64,
+    calls_seen: u64,
+}
+
+/// The hot-path handle one instrumented entity records through. Single
+/// owner (not `Clone`): each writer is the sole producer of its ring.
+pub struct TraceWriter {
+    inner: Option<WriterInner>,
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        TraceWriter::disabled()
+    }
+}
+
+impl TraceWriter {
+    /// A writer that records nothing and owns nothing.
+    pub fn disabled() -> TraceWriter {
+        TraceWriter { inner: None }
+    }
+
+    /// Whether records are being kept. Use to skip clock reads and payload
+    /// computation entirely when tracing is off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Intern a name through the owning tracer (cold path). 0 when
+    /// disabled.
+    pub fn intern(&self, name: &str) -> u32 {
+        match &self.inner {
+            Some(w) => w.tracer.names.lock().intern(name),
+            None => 0,
+        }
+    }
+
+    /// Record one span/instant. No-op when disabled.
+    #[inline]
+    pub fn record(&mut self, kind: TraceKind, ts: u64, dur: u64, name: u32, arg: i64) {
+        if let Some(w) = &self.inner {
+            w.ring.push(SpanRecord {
+                ts,
+                dur,
+                name,
+                kind,
+                arg,
+            });
+        }
+    }
+
+    /// Record a `Call` span, subject to the tracer's sampling policy.
+    #[inline]
+    pub fn record_call(&mut self, ts: u64, dur: u64, name: u32) {
+        if let Some(w) = &mut self.inner {
+            w.calls_seen = w.calls_seen.wrapping_add(1);
+            if w.calls_seen & w.sample_mask != 0 {
+                return;
+            }
+            w.ring.push(SpanRecord {
+                ts,
+                dur,
+                name,
+                kind: TraceKind::Call,
+                arg: 0,
+            });
+        }
+    }
+}
+
+/// One drained record with the track it came from.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Index into [`TraceData::tracks`].
+    pub track: u32,
+    pub rec: SpanRecord,
+}
+
+/// A job-level trace: everything drained from a tracer's rings, ready to
+/// render. Bounded by `capacity` (overflow is counted in `dropped`).
+pub struct TraceData {
+    pub names: Vec<String>,
+    pub tracks: Vec<TrackInfo>,
+    pub events: Vec<TraceEvent>,
+    /// Records lost to full rings or the collector capacity.
+    pub dropped: u64,
+    /// Max events retained (default 1M ≈ 150 MB of JSON; benches lower it).
+    pub capacity: usize,
+}
+
+impl Default for TraceData {
+    fn default() -> Self {
+        TraceData::new()
+    }
+}
+
+impl TraceData {
+    pub fn new() -> TraceData {
+        TraceData {
+            names: vec!["?".to_string()],
+            tracks: Vec::new(),
+            events: Vec::new(),
+            dropped: 0,
+            capacity: 1_000_000,
+        }
+    }
+
+    pub fn with_capacity(capacity: usize) -> TraceData {
+        TraceData {
+            capacity,
+            ..TraceData::new()
+        }
+    }
+
+    pub fn name(&self, id: u32) -> &str {
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Events of one kind, in drain order.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rec.kind == kind)
+    }
+
+    /// The `k` slowest `Call` spans whose name contains `name_filter`
+    /// (empty matches all), slowest first.
+    pub fn top_k_slowest_calls(&self, name_filter: &str, k: usize) -> Vec<&TraceEvent> {
+        let mut calls: Vec<&TraceEvent> = self
+            .of_kind(TraceKind::Call)
+            .filter(|e| name_filter.is_empty() || self.name(e.rec.name).contains(name_filter))
+            .collect();
+        calls.sort_by(|a, b| b.rec.dur.cmp(&a.rec.dur).then(a.rec.ts.cmp(&b.rec.ts)));
+        calls.truncate(k);
+        calls
+    }
+
+    /// Render as Chrome trace-event JSON (the format Perfetto and
+    /// `chrome://tracing` load). Spans with a duration become complete
+    /// events (`"ph":"X"`); zero-duration records become thread-scoped
+    /// instants (`"ph":"i"`). Timestamps are microseconds (fractional
+    /// nanos preserved).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 150);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut emit = |s: String, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&s);
+        };
+        // Track metadata: name each pid (member) and tid (writer label).
+        let mut seen_pids: Vec<u32> = Vec::new();
+        for t in &self.tracks {
+            if !seen_pids.contains(&t.pid) {
+                seen_pids.push(t.pid);
+                emit(
+                    format!(
+                        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\
+                         \"args\":{{\"name\":\"member-{}\"}}}}",
+                        t.pid, t.pid
+                    ),
+                    &mut out,
+                );
+            }
+            emit(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    t.pid,
+                    t.tid,
+                    json_escape(&t.label)
+                ),
+                &mut out,
+            );
+        }
+        for e in &self.events {
+            let Some(track) = self.tracks.get(e.track as usize) else {
+                continue;
+            };
+            let r = &e.rec;
+            let ts_us = r.ts as f64 / 1_000.0;
+            let name = json_escape(self.name(r.name));
+            let kind = r.kind.name();
+            let s = if r.dur > 0 {
+                format!(
+                    "{{\"ph\":\"X\",\"name\":\"{name}\",\"cat\":\"{kind}\",\
+                     \"ts\":{ts_us:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"arg\":{}}}}}",
+                    r.dur as f64 / 1_000.0,
+                    track.pid,
+                    track.tid,
+                    r.arg
+                )
+            } else {
+                format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\"cat\":\"{kind}\",\
+                     \"ts\":{ts_us:.3},\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"arg\":{}}}}}",
+                    track.pid, track.tid, r.arg
+                )
+            };
+            emit(s, &mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            ts,
+            dur,
+            name: 1,
+            kind: TraceKind::Call,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn span_record_is_fixed_size() {
+        assert!(std::mem::size_of::<SpanRecord>() <= 32);
+    }
+
+    #[test]
+    fn ring_wraps_around_many_times() {
+        let ring = Ring::new(8);
+        let mut out = Vec::new();
+        for round in 0u64..100 {
+            for i in 0..5 {
+                ring.push(rec(round * 10 + i, 1));
+            }
+            out.clear();
+            assert_eq!(ring.drain_into(&mut out), 5);
+            assert_eq!(out.len(), 5);
+            assert_eq!(out[0].ts, round * 10);
+            assert_eq!(out[4].ts, round * 10 + 4);
+        }
+        assert_eq!(ring.dropped.load(Ordering::Relaxed), 0, "no drops expected");
+    }
+
+    #[test]
+    fn ring_counts_drops_under_overflow_and_never_blocks() {
+        let ring = Ring::new(4); // power of two, 4 slots
+        for i in 0..10 {
+            ring.push(rec(i, 1));
+        }
+        assert_eq!(ring.dropped.load(Ordering::Relaxed), 6);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        // The first 4 records survived, in order.
+        assert_eq!(
+            out.iter().map(|r| r.ts).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // After draining there is room again.
+        ring.push(rec(99, 1));
+        out.clear();
+        ring.drain_into(&mut out);
+        assert_eq!(out[0].ts, 99);
+    }
+
+    #[test]
+    fn concurrent_writer_and_reader_lose_nothing_that_was_accepted() {
+        let tracer = Tracer::with_config(1 << 12, 0);
+        let mut writer = tracer.writer(0, "w");
+        const N: u64 = 200_000;
+        let collector = std::thread::spawn({
+            let tracer = tracer.clone();
+            move || {
+                let mut data = TraceData::new();
+                // Drain until the writer signals completion via a sentinel.
+                loop {
+                    tracer.drain_into(&mut data);
+                    if data.events.iter().any(|e| e.rec.ts == u64::MAX) {
+                        return data;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        for i in 0..N {
+            writer.record(TraceKind::Call, i, 1, 1, 0);
+        }
+        // The sentinel can itself be dropped when the ring is momentarily
+        // full — retry until the ring accepts it, and keep the retries out
+        // of the loss accounting.
+        let mut sentinel_drops = 0;
+        loop {
+            let before = tracer.dropped();
+            writer.record(TraceKind::Call, u64::MAX, 1, 1, 0);
+            if tracer.dropped() == before {
+                break;
+            }
+            sentinel_drops += 1;
+            std::thread::yield_now();
+        }
+        let data = collector.join().unwrap();
+        // accepted = drained + sentinel; accepted + dropped = offered.
+        let drained = data.events.len() as u64 - 1;
+        assert_eq!(
+            drained + (data.dropped - sentinel_drops),
+            N,
+            "records leaked or duplicated"
+        );
+        // Drained timestamps are strictly increasing (order preserved).
+        let mut last = None;
+        for e in data.events.iter().take(data.events.len() - 1) {
+            if let Some(prev) = last {
+                assert!(e.rec.ts > prev, "out of order: {} after {prev}", e.rec.ts);
+            }
+            last = Some(e.rec.ts);
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_allocates_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut w = tracer.writer(0, "hot");
+        assert!(!w.enabled());
+        // A no-op writer holds no ring: the whole handle is a None.
+        assert_eq!(
+            std::mem::size_of_val(&w.inner),
+            std::mem::size_of::<Option<WriterInner>>()
+        );
+        assert!(
+            w.inner.is_none(),
+            "disabled writer must not allocate a ring"
+        );
+        for i in 0..1000 {
+            w.record(TraceKind::Stall, i, 0, 0, 0);
+            w.record_call(i, 5, 0);
+        }
+        assert_eq!(tracer.intern("x"), 0);
+        assert_eq!(tracer.dropped(), 0);
+        let data = tracer.drain();
+        assert!(data.events.is_empty());
+        assert!(data.tracks.is_empty());
+    }
+
+    #[test]
+    fn call_sampling_keeps_one_in_2k() {
+        let tracer = Tracer::with_config(1 << 12, 2); // 1 in 4
+        let mut w = tracer.writer(0, "sampled");
+        for i in 0..100 {
+            w.record_call(i, 1, 0);
+        }
+        let data = tracer.drain();
+        assert_eq!(data.events.len(), 25);
+        assert_eq!(data.dropped, 0, "sampling is not a drop");
+        // Non-call kinds are never sampled away.
+        let mut w2 = tracer.writer(0, "unsampled");
+        for i in 0..10 {
+            w2.record(TraceKind::WmEmit, i, 0, 0, i as i64);
+        }
+        let data = tracer.drain();
+        assert_eq!(data.events.len(), 10);
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared() {
+        let tracer = Tracer::enabled();
+        let a = tracer.intern("vertex-a");
+        let b = tracer.intern("vertex-b");
+        assert_ne!(a, b);
+        assert_eq!(tracer.intern("vertex-a"), a);
+        let w = tracer.writer(0, "w");
+        assert_eq!(w.intern("vertex-b"), b);
+        let data = tracer.drain();
+        assert_eq!(data.name(a), "vertex-a");
+        assert_eq!(data.name(0), "?");
+    }
+
+    #[test]
+    fn collector_capacity_bounds_job_trace() {
+        let tracer = Tracer::enabled();
+        let mut w = tracer.writer(0, "w");
+        for i in 0..100 {
+            w.record(TraceKind::Call, i, 1, 0, 0);
+        }
+        let mut data = TraceData::with_capacity(30);
+        tracer.drain_into(&mut data);
+        assert_eq!(data.events.len(), 30);
+        assert_eq!(data.dropped, 70);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed_and_complete() {
+        let tracer = Tracer::enabled();
+        let name = tracer.intern("map \"v\"");
+        let mut w = tracer.writer(3, "m3/core-0");
+        w.record(TraceKind::Call, 1_500, 2_000, name, 0);
+        w.record(TraceKind::WmEmit, 4_000, 0, name, 42);
+        let data = tracer.drain();
+        let json = data.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        // Complete event with proper ph/ts/dur/pid/tid fields.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains("\"pid\":3"));
+        // Instant event for the zero-duration record.
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"arg\":42"));
+        // Metadata names the process and thread.
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("member-3"));
+        assert!(json.contains("m3/core-0"));
+        // Escaped name survived.
+        assert!(json.contains("map \\\"v\\\""));
+        // Structural sanity: balanced braces/brackets.
+        assert_eq!(
+            json.matches(['{', '[']).count(),
+            json.matches(['}', ']']).count()
+        );
+    }
+
+    #[test]
+    fn top_k_slowest_calls_sorts_and_filters() {
+        let tracer = Tracer::enabled();
+        let a = tracer.intern("vertex-a");
+        let b = tracer.intern("vertex-b");
+        let mut w = tracer.writer(0, "w");
+        w.record(TraceKind::Call, 0, 10, a, 0);
+        w.record(TraceKind::Call, 1, 50, b, 0);
+        w.record(TraceKind::Call, 2, 30, a, 0);
+        w.record(TraceKind::Stall, 3, 0, a, 0);
+        let data = tracer.drain();
+        let top = data.top_k_slowest_calls("", 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].rec.dur, 50);
+        assert_eq!(top[1].rec.dur, 30);
+        let only_a = data.top_k_slowest_calls("vertex-a", 10);
+        assert_eq!(only_a.len(), 2);
+        assert!(only_a.iter().all(|e| data.name(e.rec.name) == "vertex-a"));
+    }
+}

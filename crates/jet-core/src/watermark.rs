@@ -11,9 +11,48 @@
 //!   only when it advances.
 
 use crate::item::Ts;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// Sentinel: no watermark observed yet.
 pub const NO_WATERMARK: Ts = Ts::MIN;
+
+/// Shared view of one tasklet's watermark position, exported as gauges and
+/// shown in the diagnostics dump: the highest watermark seen on any input
+/// channel vs. the coalesced (min) output — the gap between them is exactly
+/// the straggler lag the coalescer is waiting out.
+#[derive(Debug, Default)]
+pub struct WatermarkProbe {
+    last_seen: AtomicI64,
+    coalesced: AtomicI64,
+}
+
+impl WatermarkProbe {
+    pub fn shared() -> Arc<WatermarkProbe> {
+        Arc::new(WatermarkProbe {
+            last_seen: AtomicI64::new(NO_WATERMARK),
+            coalesced: AtomicI64::new(NO_WATERMARK),
+        })
+    }
+
+    pub fn note_seen(&self, wm: Ts) {
+        self.last_seen.fetch_max(wm, Ordering::Relaxed);
+    }
+
+    pub fn note_coalesced(&self, wm: Ts) {
+        self.coalesced.store(wm, Ordering::Relaxed);
+    }
+
+    /// Highest non-idle watermark observed on any input channel.
+    pub fn last_seen(&self) -> Ts {
+        self.last_seen.load(Ordering::Relaxed)
+    }
+
+    /// Last coalesced output watermark.
+    pub fn coalesced(&self) -> Ts {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
 
 /// Watermark policy + emission throttling for one source instance.
 #[derive(Debug, Clone)]
@@ -185,6 +224,17 @@ impl WatermarkCoalescer {
     pub fn output(&self) -> Ts {
         self.output
     }
+
+    /// Per-channel positions (diagnostics): `NO_WATERMARK` = nothing seen
+    /// yet, `IDLE_CHANNEL` = idle or done.
+    pub fn channel_watermarks(&self) -> &[Ts] {
+        &self.per_channel
+    }
+
+    /// Whether the coalesced output is currently the all-idle marker.
+    pub fn is_idle(&self) -> bool {
+        self.output_idle
+    }
 }
 
 #[cfg(test)]
@@ -313,5 +363,115 @@ mod tests {
         let mut c = WatermarkCoalescer::new(1);
         assert_eq!(c.observe(0, 1), Some(1));
         assert_eq!(c.observe(0, 2), Some(2));
+    }
+
+    #[test]
+    fn multi_channel_out_of_order_advance() {
+        // Four channels advancing in interleaved, unequal strides: the
+        // output must always be the min over channels and strictly monotone.
+        let mut c = WatermarkCoalescer::new(4);
+        let steps: [(usize, Ts); 12] = [
+            (2, 40),
+            (0, 10),
+            (3, 25),
+            (1, 30), // every channel reported: min = 10
+            (0, 50), // straggler rotates to channel 3: min = 25
+            (3, 35), // min = 30 (channel 1)
+            (1, 90), // min = 35 (channel 3)
+            (3, 70), // min = 40 (channel 2)
+            (2, 41), // min = 41
+            (2, 95), // min = 50 (channel 0)
+            (0, 70), // min = 70
+            (3, 70), // no advance: min stays 70
+        ];
+        let mut last = NO_WATERMARK;
+        let mut emitted = Vec::new();
+        for (ch, wm) in steps {
+            if let Some(out) = c.observe(ch, wm) {
+                assert!(out > last, "coalesced output regressed: {last} -> {out}");
+                last = out;
+                emitted.push(out);
+            }
+            let min = c.channel_watermarks().iter().copied().min().unwrap();
+            if min != NO_WATERMARK {
+                assert_eq!(c.output(), min, "output must track the channel min");
+            }
+        }
+        assert_eq!(emitted, vec![10, 25, 30, 35, 40, 41, 50, 70]);
+        assert_eq!(c.output(), 70);
+    }
+
+    #[test]
+    fn channel_done_with_straggler_channel() {
+        // Channel 1 is far behind; when it finishes, its (stale) position
+        // must stop holding the output back — but a channel that never
+        // reported anything still gates the output entirely.
+        let mut c = WatermarkCoalescer::new(3);
+        assert_eq!(c.observe(0, 100), None);
+        assert_eq!(c.observe(1, 2), None, "channel 2 still silent");
+        assert_eq!(c.observe(2, 60), Some(2));
+        assert_eq!(
+            c.channel_done(1),
+            Some(60),
+            "straggler done -> min(100, 60)"
+        );
+        assert_eq!(c.channel_done(2), Some(100), "only channel 0 remains");
+        // Last channel done: acts idle, never emits the idle marker.
+        assert_eq!(c.channel_done(0), None);
+        assert!(c.is_idle());
+        assert_eq!(c.output(), 100, "output survives total completion");
+        assert!(c.channel_watermarks().iter().all(|&w| w == IDLE_CHANNEL));
+    }
+
+    #[test]
+    fn straggler_done_before_reporting_anything() {
+        let mut c = WatermarkCoalescer::new(2);
+        assert_eq!(c.observe(0, 10), None, "gated by the silent channel");
+        assert_eq!(
+            c.channel_done(1),
+            Some(10),
+            "a never-reporting channel that completes releases the output"
+        );
+    }
+
+    #[test]
+    fn idle_sentinel_roundtrip_with_revival_and_done() {
+        let mut c = WatermarkCoalescer::new(3);
+        c.observe(0, 5);
+        c.observe(1, 5);
+        c.observe(2, 5);
+        // Two channels idle: remaining live channel drives the output alone.
+        assert_eq!(c.observe(0, IDLE_CHANNEL), None);
+        assert_eq!(c.observe(1, IDLE_CHANNEL), None);
+        assert!(!c.is_idle());
+        assert_eq!(c.observe(2, 9), Some(9));
+        // Third goes idle too: exactly one idle marker.
+        assert_eq!(c.observe(2, IDLE_CHANNEL), Some(IDLE_CHANNEL));
+        assert!(c.is_idle());
+        // A revival with a watermark *behind* the output is absorbed
+        // (monotonicity), then the channel catches up.
+        assert_eq!(c.observe(0, 3), None, "behind coalesced output");
+        assert!(!c.is_idle(), "any live channel clears idleness");
+        assert_eq!(
+            c.observe(0, IDLE_CHANNEL),
+            Some(IDLE_CHANNEL),
+            "re-idle re-emits"
+        );
+        // Done on an idle channel keeps it transparent.
+        assert_eq!(c.channel_done(1), None);
+        assert_eq!(c.observe(0, 12), Some(12));
+        assert_eq!(c.output(), 12);
+    }
+
+    #[test]
+    fn probe_tracks_seen_vs_coalesced() {
+        let p = WatermarkProbe::shared();
+        assert_eq!(p.last_seen(), NO_WATERMARK);
+        assert_eq!(p.coalesced(), NO_WATERMARK);
+        p.note_seen(50);
+        p.note_seen(20); // max semantics: stale observations don't regress
+        p.note_coalesced(20);
+        assert_eq!(p.last_seen(), 50);
+        assert_eq!(p.coalesced(), 20);
     }
 }

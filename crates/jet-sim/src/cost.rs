@@ -86,6 +86,8 @@ pub struct CostedTasklet {
     per_item: u64,
     snapshot_record_cost: u64,
     pub done: bool,
+    /// Interned trace name id (0 when the simulator runs untraced).
+    pub trace_name: u32,
 }
 
 impl CostedTasklet {
@@ -105,11 +107,21 @@ impl CostedTasklet {
             per_item,
             snapshot_record_cost: model.snapshot_record_cost,
             done: false,
+            trace_name: 0,
         }
     }
 
     pub fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    /// Current execution state of the wrapped tasklet (diagnostics).
+    pub fn state(&self) -> &'static str {
+        if self.done {
+            "done"
+        } else {
+            self.inner.state()
+        }
     }
 
     /// (events_in, events_out) observed so far (0,0 when uncounted).

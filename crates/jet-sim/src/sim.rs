@@ -13,6 +13,7 @@ use crate::cost::{CostModel, CostedTasklet};
 use crate::gc::GcModel;
 use jet_core::metrics::TaskletCounters;
 use jet_core::tasklet::Tasklet;
+use jet_core::trace::{TraceWriter, Tracer};
 use jet_util::clock::{Clock, ManualClock};
 use jet_util::progress::Progress;
 use std::sync::Arc;
@@ -32,23 +33,28 @@ struct SimCore {
     /// paid back before the core runs again (otherwise every quantum would
     /// hand out one free oversized timeslice and inflate core capacity).
     debt: u64,
+    /// Execution-trace writer for this virtual core (no-op when untraced).
+    trace: TraceWriter,
 }
 
 impl SimCore {
     /// Run until `budget` is exhausted or a full round makes no progress.
+    /// `now` is the quantum's virtual start time, used to stamp call spans.
     /// Returns nanos of budget consumed.
-    fn run_quantum(&mut self, budget: u64) -> u64 {
+    fn run_quantum(&mut self, budget: u64, now: u64) -> u64 {
         if self.debt >= budget {
             self.debt -= budget;
             self.busy_nanos += budget;
             return budget;
         }
-        let budget = budget - std::mem::take(&mut self.debt);
+        let debt = std::mem::take(&mut self.debt);
+        let budget = budget - debt;
         let mut spent = 0u64;
         let n = self.tasklets.len();
         if n == 0 {
             return 0;
         }
+        let traced = self.trace.enabled();
         loop {
             let mut round_progress = false;
             for _ in 0..n {
@@ -57,6 +63,14 @@ impl SimCore {
                 }
                 let idx = self.rr % self.tasklets.len();
                 let (p, cost) = self.tasklets[idx].run();
+                // Progressing timeslices become spans on the virtual
+                // timeline; NoProgress polls are elided (they would drown
+                // every ring in idle-spin noise).
+                if traced && !matches!(p, Progress::NoProgress) {
+                    let name = self.tasklets[idx].trace_name;
+                    self.trace
+                        .record_call(now + debt + spent, cost.max(1), name);
+                }
                 spent += cost;
                 match p {
                     Progress::Done => {
@@ -99,6 +113,7 @@ pub struct Simulator {
     model: CostModel,
     quantum: u64,
     gc: Option<GcModel>,
+    tracer: Tracer,
 }
 
 impl Simulator {
@@ -113,6 +128,7 @@ impl Simulator {
             model,
             quantum,
             gc: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -121,13 +137,28 @@ impl Simulator {
         self
     }
 
+    /// Install an execution tracer: cores added afterwards record their
+    /// tasklets' timeslices as spans on the virtual timeline.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     pub fn add_core(&mut self) -> CoreId {
+        let id = self.cores.len();
+        self.add_core_labeled(0, &format!("core-{id}"))
+    }
+
+    /// Add a core with an explicit trace identity: `pid` groups cores by
+    /// member in the timeline viewer, `label` names the track.
+    pub fn add_core_labeled(&mut self, pid: u32, label: &str) -> CoreId {
         self.cores.push(SimCore {
             tasklets: Vec::new(),
             rr: 0,
             busy_nanos: 0,
             stalled_until: 0,
             debt: 0,
+            trace: self.tracer.writer(pid, label),
         });
         self.cores.len() - 1
     }
@@ -144,7 +175,8 @@ impl Simulator {
         tasklet: Box<dyn Tasklet>,
         counters: Option<Arc<TaskletCounters>>,
     ) {
-        let costed = CostedTasklet::new(tasklet, counters, &self.model);
+        let mut costed = CostedTasklet::new(tasklet, counters, &self.model);
+        costed.trace_name = self.cores[core].trace.intern(costed.name());
         self.cores[core].tasklets.push(costed);
     }
 
@@ -165,6 +197,20 @@ impl Simulator {
             for t in &core.tasklets {
                 let (i, o) = t.stats();
                 out.push((ci, t.name().to_string(), i, o));
+            }
+        }
+        out
+    }
+
+    /// Per-tasklet (core, name, state, events_in, events_out) — the richer
+    /// variant behind the diagnostics dump. Finished tasklets have already
+    /// left their core and are not listed.
+    pub fn tasklet_details(&self) -> Vec<(usize, String, &'static str, u64, u64)> {
+        let mut out = Vec::new();
+        for (ci, core) in self.cores.iter().enumerate() {
+            for t in &core.tasklets {
+                let (i, o) = t.stats();
+                out.push((ci, t.name().to_string(), t.state(), i, o));
             }
         }
         out
@@ -193,7 +239,7 @@ impl Simulator {
                 if core.stalled_until > now {
                     continue; // GC pause: whole quantum lost
                 }
-                core.run_quantum(self.quantum);
+                core.run_quantum(self.quantum, now);
             }
             self.clock.advance(self.quantum);
             if self.cores.iter().all(|c| c.is_done()) {
@@ -294,6 +340,40 @@ mod tests {
         let mut ticks = 0;
         s.run_for(5_000, |_| ticks += 1);
         assert_eq!(ticks, 10);
+    }
+
+    #[test]
+    fn traced_simulation_records_spans_on_the_virtual_timeline() {
+        use jet_core::trace::TraceKind;
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::enabled();
+        let mut s = Simulator::new(
+            clock,
+            CostModel {
+                call_cost: 100,
+                per_item: 0,
+                snapshot_record_cost: 0,
+                per_vertex: vec![],
+            },
+            1_000,
+        )
+        .with_tracer(tracer.clone());
+        let c = s.add_core_labeled(3, "m3/core-0");
+        s.assign(c, Box::new(Emitter { remaining: 25 }), None);
+        assert!(s.run_until_done(1_000_000));
+        let data = tracer.drain();
+        let calls: Vec<_> = data.of_kind(TraceKind::Call).collect();
+        // 25 progressing timeslices + the final Done timeslice.
+        assert_eq!(calls.len(), 26);
+        // Spans sit on the virtual timeline: back to back at the call cost,
+        // crossing quantum boundaries seamlessly (10 calls per 1µs quantum).
+        for (i, e) in calls.iter().enumerate() {
+            assert_eq!(e.rec.ts, i as u64 * 100, "call {i} misplaced");
+            assert_eq!(e.rec.dur, 100);
+        }
+        assert_eq!(data.name(calls[0].rec.name), "emitter");
+        assert_eq!(data.tracks[0].pid, 3);
+        assert_eq!(data.tracks[0].label, "m3/core-0");
     }
 
     #[test]
