@@ -56,5 +56,52 @@ fn main() {
         r.p(99.99),
     );
     report.add_run("no-checkpoint", &[("guarantee", "none".to_string())], &rb);
+
+    // Same checkpointed load with a member crash injected mid-measurement,
+    // detected by the heartbeat coordinator (not an API kill): the upper
+    // percentiles now include detection delay + snapshot-restore recovery,
+    // the full outage a real deployment would see (§7.6).
+    println!("# compare: same load with a detected member crash mid-measurement");
+    let mut faulted = spec.clone();
+    let crash_at = faulted.warmup + 4 * SEC;
+    let mut plan = jet_sim::FaultPlan::new(13);
+    plan.crash(crash_at, 1);
+    faulted.fault_plan = Some(plan);
+    faulted.coordinator = Some(jet_cluster::CoordinatorConfig::default());
+    let rf = run(&faulted);
+    let fenced_at = rf
+        .cluster_events
+        .iter()
+        .find(|e| matches!(e, jet_cluster::ClusterEvent::Fenced { .. }))
+        .map(|e| e.at());
+    let recovered_at = rf
+        .cluster_events
+        .iter()
+        .find(|e| matches!(e, jet_cluster::ClusterEvent::RecoveryCompleted { .. }))
+        .map(|e| e.at());
+    let detection_ms = fenced_at
+        .map(|t| (t - crash_at) as f64 / 1e6)
+        .unwrap_or(-1.0);
+    let recovery_ms = match (fenced_at, recovered_at) {
+        (Some(f), Some(r)) => (r - f) as f64 / 1e6,
+        _ => -1.0,
+    };
+    println!(
+        "# detected-crash p50={:.3}ms p99.99={:.3}ms (detection {:.1}ms, recovery {:.1}ms)",
+        rf.p(50.0),
+        rf.p(99.99),
+        detection_ms,
+        recovery_ms,
+    );
+    report.add_run(
+        "detected-crash",
+        &[
+            ("guarantee", "exactly-once".to_string()),
+            ("crash_at_ms", (crash_at / MS).to_string()),
+            ("detection_ms", format!("{detection_ms:.3}")),
+            ("recovery_ms", format!("{recovery_ms:.3}")),
+        ],
+        &rf,
+    );
     report.write().expect("report");
 }

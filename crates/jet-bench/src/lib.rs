@@ -13,7 +13,7 @@
 //! *shapes* (who wins, where knees fall) are the reproduction target, not
 //! absolute numbers.
 
-use jet_cluster::{SimCluster, SimClusterConfig};
+use jet_cluster::{ClusterEvent, CoordinatorConfig, SimCluster, SimClusterConfig};
 use jet_core::metrics::{
     json_escape, HistogramSummary, MetricsSnapshot, SharedCounter, SharedHistogram,
 };
@@ -88,6 +88,11 @@ pub struct RunSpec {
     pub cost_model: jet_sim::CostModel,
     pub fixed_receive_window: Option<u64>,
     pub partition_count: u32,
+    /// Deterministic fault schedule injected on the virtual timeline.
+    pub fault_plan: Option<jet_sim::FaultPlan>,
+    /// Heartbeat failure detector + self-healing recovery; required for a
+    /// `fault_plan` crash to be detected rather than fatal.
+    pub coordinator: Option<CoordinatorConfig>,
     /// Capture an execution trace of the measurement period (Chrome
     /// trace-event spans + diagnostics dump in the [`RunResult`]).
     pub trace: bool,
@@ -110,6 +115,8 @@ impl RunSpec {
             cost_model: jet_sim::CostModel::paper_calibrated(),
             fixed_receive_window: None,
             partition_count: jet_imdg::DEFAULT_PARTITION_COUNT,
+            fault_plan: None,
+            coordinator: None,
             trace: false,
         }
     }
@@ -136,6 +143,8 @@ pub struct RunResult {
     /// Diagnostics dump rendered at the end of the run (always available
     /// when traced; trace sections fall back to `n/a` otherwise).
     pub diagnostics: Option<String>,
+    /// Detector/recovery event log (empty unless a coordinator ran).
+    pub cluster_events: Vec<ClusterEvent>,
 }
 
 impl RunResult {
@@ -232,6 +241,8 @@ pub fn run(spec: &RunSpec) -> RunResult {
         gc: spec.gc.clone(),
         fixed_receive_window: spec.fixed_receive_window,
         tracer: tracer.clone(),
+        fault_plan: spec.fault_plan.clone(),
+        coordinator: spec.coordinator.clone(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -282,6 +293,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
     let wall = started.elapsed().as_secs_f64();
     let metrics = cluster.job_metrics();
     let diagnostics = spec.trace.then(|| cluster.diagnostics_dump(trace.as_ref()));
+    let cluster_events = cluster.cluster_events();
     cluster.cancel();
     RunResult {
         hist: hist.snapshot(),
@@ -292,6 +304,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
         metrics,
         trace,
         diagnostics,
+        cluster_events,
     }
 }
 
@@ -493,6 +506,7 @@ mod tests {
             metrics: reg.snapshot(),
             trace: None,
             diagnostics: None,
+            cluster_events: Vec::new(),
         };
         let mut report = BenchReport::new("unit");
         report.param("query", "Q5").param("members", 2);

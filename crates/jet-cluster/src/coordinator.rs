@@ -1,0 +1,607 @@
+//! Cluster coordinator: heartbeat failure detection and recovery
+//! orchestration (paper §4.4).
+//!
+//! Hazelcast Jet does not learn about member failure from an API call — the
+//! cluster *detects* it: members exchange heartbeats, and a member whose
+//! heartbeats stop arriving is first *suspected* and, after a grace period,
+//! *fenced* (removed from the cluster, triggering partition promotion and
+//! job recovery). The grace period is what separates a real crash from a
+//! transient stall (GC pause, §5) or a short network partition: a member
+//! that resumes heartbeating within the grace is *cleared*, not killed.
+//!
+//! The [`Coordinator`] here is that control plane, driven from the
+//! simulator's per-quantum hook so detection runs on virtual time and is
+//! fully deterministic:
+//!
+//! * every `heartbeat_interval` each live member sends a heartbeat to every
+//!   other non-fenced member through the (fault-aware) transport;
+//! * a peer's *freshness* is the most recent instant any live observer
+//!   heard from it — one surviving witness is enough;
+//! * freshness older than `suspect_after` ⇒ [`MemberHealth::Suspect`];
+//!   older than `fence_after` ⇒ fenced, and [`Coordinator::tick`] hands the
+//!   fencing decision back to the runtime (which kills the grid member and
+//!   starts snapshot recovery);
+//! * a suspect that heartbeats again within the grace is cleared and a
+//!   false-suspicion counter is bumped — pure-delay faults must never kill
+//!   a member.
+//!
+//! Detection state lives entirely off the data path: tasklets never touch
+//! the coordinator, and a job with no coordinator configured pays nothing.
+
+use jet_core::metrics::{tags, MetricsRegistry, SharedCounter};
+use jet_core::network::Transport;
+use jet_core::trace::{TraceKind, TraceWriter, Tracer};
+use std::collections::HashMap;
+
+/// Failure-detector and recovery-retry tuning. All times are virtual nanos.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// How often each member heartbeats every peer.
+    pub heartbeat_interval: u64,
+    /// Freshness age after which a member becomes suspect.
+    pub suspect_after: u64,
+    /// Freshness age after which a suspect is fenced (must exceed
+    /// `suspect_after`; the gap is the grace in which a stalled or
+    /// partitioned member can clear itself).
+    pub fence_after: u64,
+    /// First retry delay when a recovery attempt fails (store outage,
+    /// second crash mid-recovery). Doubles per attempt.
+    pub recovery_backoff_base: u64,
+    /// Ceiling for the exponential recovery backoff.
+    pub recovery_backoff_max: u64,
+    /// Give up (job fails) after this many failed recovery attempts.
+    pub max_recovery_attempts: u32,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            heartbeat_interval: 1_000_000, // 1 ms
+            suspect_after: 4_000_000,      // 4 ms
+            fence_after: 10_000_000,       // 10 ms
+            recovery_backoff_base: 2_000_000,
+            recovery_backoff_max: 32_000_000,
+            max_recovery_attempts: 8,
+        }
+    }
+}
+
+/// Liveness verdict the detector currently holds for a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberHealth {
+    Alive,
+    /// Freshness exceeded `suspect_after`; `since` is when suspicion began.
+    Suspect {
+        since: u64,
+    },
+}
+
+/// One entry in the coordinator's event log. The log is deterministic for a
+/// given fault plan + seed, which the chaos suite exploits for bit-for-bit
+/// replay checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    Suspected {
+        member: u32,
+        at: u64,
+    },
+    Cleared {
+        member: u32,
+        at: u64,
+    },
+    Fenced {
+        member: u32,
+        at: u64,
+    },
+    RecoveryStarted {
+        member: u32,
+        attempt: u32,
+        at: u64,
+    },
+    RecoveryFailed {
+        attempt: u32,
+        at: u64,
+        cause: String,
+    },
+    /// `snapshot = None` is the documented degraded mode: no complete
+    /// snapshot existed, the job cold-restarts from the sources.
+    RecoveryCompleted {
+        snapshot: Option<u64>,
+        attempt: u32,
+        at: u64,
+    },
+}
+
+impl ClusterEvent {
+    pub fn at(&self) -> u64 {
+        match self {
+            ClusterEvent::Suspected { at, .. }
+            | ClusterEvent::Cleared { at, .. }
+            | ClusterEvent::Fenced { at, .. }
+            | ClusterEvent::RecoveryStarted { at, .. }
+            | ClusterEvent::RecoveryFailed { at, .. }
+            | ClusterEvent::RecoveryCompleted { at, .. } => *at,
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            ClusterEvent::Suspected { member, .. } => format!("suspected m{member}"),
+            ClusterEvent::Cleared { member, .. } => format!("cleared m{member}"),
+            ClusterEvent::Fenced { member, .. } => format!("fenced m{member}"),
+            ClusterEvent::RecoveryStarted {
+                member, attempt, ..
+            } => format!("recovery of m{member} started (attempt {attempt})"),
+            ClusterEvent::RecoveryFailed { attempt, cause, .. } => {
+                format!("recovery attempt {attempt} failed: {cause}")
+            }
+            ClusterEvent::RecoveryCompleted {
+                snapshot, attempt, ..
+            } => match snapshot {
+                Some(id) => format!("recovered from snapshot {id} (attempt {attempt})"),
+                None => format!("cold restart, no complete snapshot (attempt {attempt})"),
+            },
+        }
+    }
+}
+
+/// The heartbeat failure detector plus recovery event log.
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    /// Non-fenced members, in id order.
+    members: Vec<u32>,
+    health: HashMap<u32, MemberHealth>,
+    /// (observer, peer) → virtual instant the observer last heard the peer.
+    last_seen: HashMap<(u32, u32), u64>,
+    /// member → last instant it sent its heartbeat round.
+    last_sent: HashMap<u32, u64>,
+    events: Vec<ClusterEvent>,
+    // Metrics (cluster-level registry, merged into the job snapshot).
+    heartbeats_sent: SharedCounter,
+    suspicions: SharedCounter,
+    false_suspicions: SharedCounter,
+    fences: SharedCounter,
+    recoveries: SharedCounter,
+    recovery_failures: SharedCounter,
+    // Trace plumbing (no-ops when the tracer is disabled).
+    tw: TraceWriter,
+    n_suspect: u32,
+    n_clear: u32,
+    n_fence: u32,
+    n_recovery: u32,
+    n_recovery_fail: u32,
+}
+
+impl Coordinator {
+    /// Track id used for coordinator spans in trace exports.
+    pub const TRACE_PID: u32 = 0xC00D;
+
+    pub fn new(
+        cfg: CoordinatorConfig,
+        members: &[u32],
+        now: u64,
+        registry: &MetricsRegistry,
+        tracer: &Tracer,
+    ) -> Coordinator {
+        let mut last_seen = HashMap::new();
+        for &o in members {
+            for &p in members {
+                if o != p {
+                    last_seen.insert((o, p), now);
+                }
+            }
+        }
+        let tw = tracer.writer(Self::TRACE_PID, "coordinator");
+        let n_suspect = tw.intern("suspect");
+        let n_clear = tw.intern("clear");
+        let n_fence = tw.intern("fence");
+        let n_recovery = tw.intern("recovery");
+        let n_recovery_fail = tw.intern("recovery-failed");
+        Coordinator {
+            cfg,
+            members: members.to_vec(),
+            health: members.iter().map(|&m| (m, MemberHealth::Alive)).collect(),
+            last_seen,
+            last_sent: members.iter().map(|&m| (m, now)).collect(),
+            events: Vec::new(),
+            heartbeats_sent: registry.counter("jet_cluster_heartbeats_sent_total", tags(&[])),
+            suspicions: registry.counter("jet_cluster_suspicions_total", tags(&[])),
+            false_suspicions: registry.counter("jet_cluster_false_suspicions_total", tags(&[])),
+            fences: registry.counter("jet_cluster_fences_total", tags(&[])),
+            recoveries: registry.counter("jet_cluster_recoveries_total", tags(&[])),
+            recovery_failures: registry.counter("jet_cluster_recovery_failures_total", tags(&[])),
+            tw,
+            n_suspect,
+            n_clear,
+            n_fence,
+            n_recovery,
+            n_recovery_fail,
+        }
+    }
+
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.cfg
+    }
+
+    /// Non-fenced members currently tracked.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Current verdict for `member` (None once fenced / removed).
+    pub fn health(&self, member: u32) -> Option<MemberHealth> {
+        self.health.get(&member).copied()
+    }
+
+    /// Full event log (chronological).
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    pub fn false_suspicions(&self) -> u64 {
+        self.false_suspicions.get()
+    }
+
+    pub fn fences(&self) -> u64 {
+        self.fences.get()
+    }
+
+    /// One detector round on the virtual clock. Sends due heartbeats
+    /// (`sender_ok` gates senders *and* receivers — the simulation knows a
+    /// crashed or stalled member cannot run its heartbeat task; the
+    /// detector itself never peeks at that truth), drains received
+    /// heartbeats into freshness state, and applies the suspect/fence
+    /// rules. Returns the member to fence, if any (at most one per tick —
+    /// the runtime tears down the execution immediately anyway).
+    pub fn tick(
+        &mut self,
+        now: u64,
+        transport: &dyn Transport,
+        sender_ok: impl Fn(u32) -> bool,
+    ) -> Option<u32> {
+        // 1. Send due heartbeat rounds.
+        for &m in &self.members {
+            if !sender_ok(m) {
+                continue;
+            }
+            let due = now.saturating_sub(*self.last_sent.get(&m).unwrap_or(&0))
+                >= self.cfg.heartbeat_interval;
+            if !due {
+                continue;
+            }
+            self.last_sent.insert(m, now);
+            for &peer in &self.members {
+                if peer != m {
+                    transport.send_heartbeat(m, peer);
+                    self.heartbeats_sent.add(1);
+                }
+            }
+        }
+        // 2. Drain inboxes of members able to run (a stalled member's inbox
+        //    queues up and is drained after it resumes).
+        for &m in &self.members {
+            if !sender_ok(m) {
+                continue;
+            }
+            for (from, _sent_at) in transport.poll_heartbeats(m) {
+                self.last_seen.insert((m, from), now);
+            }
+        }
+        // 3. Detect. A peer's freshness is the best view any observer has
+        //    of it — one surviving witness keeps a member alive through
+        //    delay faults — but the verdict belongs to the acting master,
+        //    the lowest-id member whose detector task can run this tick (a
+        //    crashed master's detector simply never executes, so seniority
+        //    passes down), and the master never judges itself. Without
+        //    that exclusion a two-member cluster is symmetric: a crash
+        //    also silences the survivor's only witness, and the detector
+        //    would fence the survivor instead of the member that went
+        //    dark.
+        let members = self.members.clone();
+        let Some(&master) = members.iter().find(|&&m| sender_ok(m)) else {
+            return None; // nobody can run a detector this tick
+        };
+        for &p in &members {
+            if p == master {
+                continue;
+            }
+            let freshness = members
+                .iter()
+                .filter(|&&o| o != p)
+                .filter_map(|&o| self.last_seen.get(&(o, p)).copied())
+                .max();
+            let Some(freshness) = freshness else {
+                continue; // single-member cluster: nothing can witness it
+            };
+            let age = now.saturating_sub(freshness);
+            let health = self.health.get(&p).copied().unwrap_or(MemberHealth::Alive);
+            if age > self.cfg.fence_after {
+                self.fences.add(1);
+                self.events
+                    .push(ClusterEvent::Fenced { member: p, at: now });
+                self.tw
+                    .record(TraceKind::Detect, now, 0, self.n_fence, p as i64);
+                return Some(p);
+            }
+            match health {
+                MemberHealth::Alive if age > self.cfg.suspect_after => {
+                    self.suspicions.add(1);
+                    self.health.insert(p, MemberHealth::Suspect { since: now });
+                    self.events
+                        .push(ClusterEvent::Suspected { member: p, at: now });
+                    self.tw
+                        .record(TraceKind::Detect, now, 0, self.n_suspect, p as i64);
+                }
+                MemberHealth::Suspect { .. } if age <= self.cfg.suspect_after => {
+                    // Heard from it again inside the grace: delay, not death.
+                    self.false_suspicions.add(1);
+                    self.health.insert(p, MemberHealth::Alive);
+                    self.events
+                        .push(ClusterEvent::Cleared { member: p, at: now });
+                    self.tw
+                        .record(TraceKind::Detect, now, 0, self.n_clear, p as i64);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Start tracking a member that joined the cluster (rescale, §4.3).
+    /// Its freshness clocks start at `now`.
+    pub fn add_member(&mut self, member: u32, now: u64) {
+        if self.members.contains(&member) {
+            return;
+        }
+        for &m in &self.members {
+            self.last_seen.insert((m, member), now);
+            self.last_seen.insert((member, m), now);
+        }
+        self.members.push(member);
+        self.members.sort_unstable();
+        self.health.insert(member, MemberHealth::Alive);
+        self.last_sent.insert(member, now);
+    }
+
+    /// Drop a fenced member from detection (the runtime already killed it
+    /// in the grid).
+    pub fn remove_member(&mut self, member: u32) {
+        self.members.retain(|&m| m != member);
+        self.health.remove(&member);
+        self.last_sent.remove(&member);
+        self.last_seen
+            .retain(|&(o, p), _| o != member && p != member);
+    }
+
+    /// Reset every freshness clock to `now` — called after a recovery
+    /// rebuild so the survivors are not instantly re-suspected for the
+    /// heartbeats they could not exchange while the job was down.
+    pub fn refresh(&mut self, now: u64) {
+        for v in self.last_seen.values_mut() {
+            *v = now;
+        }
+        for (&m, v) in self.health.iter_mut() {
+            *v = MemberHealth::Alive;
+            let _ = m;
+        }
+        for v in self.last_sent.values_mut() {
+            *v = now;
+        }
+    }
+
+    // ---- recovery bookkeeping (driven by the runtime) ------------------
+
+    pub fn record_recovery_started(&mut self, member: u32, attempt: u32, at: u64) {
+        self.events.push(ClusterEvent::RecoveryStarted {
+            member,
+            attempt,
+            at,
+        });
+    }
+
+    pub fn record_recovery_failed(&mut self, attempt: u32, at: u64, cause: &str) {
+        self.recovery_failures.add(1);
+        self.events.push(ClusterEvent::RecoveryFailed {
+            attempt,
+            at,
+            cause: cause.to_string(),
+        });
+        self.tw
+            .record(TraceKind::Recovery, at, 0, self.n_recovery_fail, -1);
+    }
+
+    pub fn record_recovery_completed(
+        &mut self,
+        snapshot: Option<u64>,
+        attempt: u32,
+        started_at: u64,
+        at: u64,
+    ) {
+        self.recoveries.add(1);
+        self.events.push(ClusterEvent::RecoveryCompleted {
+            snapshot,
+            attempt,
+            at,
+        });
+        self.tw.record(
+            TraceKind::Recovery,
+            started_at,
+            at.saturating_sub(started_at),
+            self.n_recovery,
+            snapshot.map(|s| s as i64).unwrap_or(-1),
+        );
+        self.refresh(at);
+    }
+
+    /// Last completed recovery (snapshot restored, attempt, instant), if
+    /// any — surfaced by the diagnostics dump.
+    pub fn last_recovery(&self) -> Option<(Option<u64>, u32, u64)> {
+        self.events.iter().rev().find_map(|e| match e {
+            ClusterEvent::RecoveryCompleted {
+                snapshot,
+                attempt,
+                at,
+            } => Some((*snapshot, *attempt, *at)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jet_core::network::InMemoryTransport;
+    use jet_util::clock::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    const Q: u64 = 20_000; // 20 µs quantum
+
+    struct Rig {
+        clock: Arc<ManualClock>,
+        transport: Arc<InMemoryTransport>,
+        coord: Coordinator,
+        registry: Arc<MetricsRegistry>,
+    }
+
+    fn rig(members: &[u32]) -> Rig {
+        let clock = Arc::new(ManualClock::new());
+        let transport = Arc::new(InMemoryTransport::new(clock.clone(), 100_000));
+        let registry = Arc::new(MetricsRegistry::new());
+        let coord = Coordinator::new(
+            CoordinatorConfig::default(),
+            members,
+            0,
+            &registry,
+            &Tracer::disabled(),
+        );
+        Rig {
+            clock,
+            transport,
+            coord,
+            registry,
+        }
+    }
+
+    impl Rig {
+        /// Advance `dur` nanos in quanta, ticking the detector with
+        /// `sender_ok`. Returns the first fence decision.
+        fn run(&mut self, dur: u64, sender_ok: impl Fn(u32) -> bool) -> Option<(u32, u64)> {
+            let end = self.clock.now_nanos() + dur;
+            while self.clock.now_nanos() < end {
+                self.clock.advance(Q);
+                let now = self.clock.now_nanos();
+                if let Some(m) = self.coord.tick(now, self.transport.as_ref(), &sender_ok) {
+                    return Some((m, now));
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn healthy_cluster_stays_alive() {
+        let mut r = rig(&[0, 1, 2]);
+        assert_eq!(r.run(50_000_000, |_| true), None);
+        for m in [0, 1, 2] {
+            assert_eq!(r.coord.health(m), Some(MemberHealth::Alive));
+        }
+        assert!(r.coord.events().is_empty());
+        assert!(r.coord.false_suspicions() == 0);
+        // Heartbeats actually flowed and were counted.
+        let snap = r.registry.snapshot();
+        let sent = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "jet_cluster_heartbeats_sent_total")
+            .and_then(|m| m.as_counter())
+            .unwrap();
+        assert!(sent > 100, "sent {sent}");
+    }
+
+    #[test]
+    fn dead_member_is_suspected_then_fenced_after_grace() {
+        let mut r = rig(&[0, 1, 2]);
+        r.run(10_000_000, |_| true);
+        let died_at = r.clock.now_nanos();
+        let fence = r.run(30_000_000, |m| m != 1);
+        let (fenced, at) = fence.expect("member 1 must be fenced");
+        assert_eq!(fenced, 1);
+        let cfg = CoordinatorConfig::default();
+        // Detection needs at least the grace; latency is bounded by grace +
+        // one heartbeat interval + network latency + a couple of quanta.
+        assert!(at >= died_at + cfg.fence_after, "fenced too early: {at}");
+        assert!(
+            at <= died_at + cfg.fence_after + cfg.heartbeat_interval + 500_000 + 4 * Q,
+            "fenced too late: {} after death",
+            at - died_at
+        );
+        // Suspicion preceded the fence.
+        assert!(r
+            .coord
+            .events()
+            .iter()
+            .any(|e| matches!(e, ClusterEvent::Suspected { member: 1, .. })));
+        r.coord.remove_member(1);
+        assert_eq!(r.coord.members(), &[0, 2]);
+        assert_eq!(r.coord.health(1), None);
+        // Survivors keep going without further fences.
+        assert_eq!(r.run(30_000_000, |m| m != 1), None);
+    }
+
+    #[test]
+    fn transient_stall_is_cleared_not_fenced() {
+        let mut r = rig(&[0, 1, 2]);
+        r.run(10_000_000, |_| true);
+        // Member 2 goes dark for 6 ms: past suspect_after (4 ms) but within
+        // fence_after (10 ms).
+        assert_eq!(r.run(6_000_000, |m| m != 2), None);
+        assert_eq!(r.run(20_000_000, |_| true), None, "no fence after resume");
+        assert_eq!(r.coord.health(2), Some(MemberHealth::Alive));
+        assert_eq!(r.coord.false_suspicions(), 1);
+        let kinds: Vec<&ClusterEvent> = r.coord.events().iter().collect();
+        assert!(matches!(
+            kinds[0],
+            ClusterEvent::Suspected { member: 2, .. }
+        ));
+        assert!(matches!(kinds[1], ClusterEvent::Cleared { member: 2, .. }));
+        assert_eq!(kinds.len(), 2);
+    }
+
+    #[test]
+    fn short_stall_below_suspect_threshold_is_invisible() {
+        let mut r = rig(&[0, 1]);
+        r.run(5_000_000, |_| true);
+        assert_eq!(r.run(3_000_000, |m| m != 0), None);
+        assert_eq!(r.run(10_000_000, |_| true), None);
+        assert!(r.coord.events().is_empty());
+        assert_eq!(r.coord.false_suspicions(), 0);
+    }
+
+    #[test]
+    fn refresh_prevents_instant_refence_after_recovery() {
+        let mut r = rig(&[0, 1, 2]);
+        let (fenced, _) = r.run(30_000_000, |m| m != 0).unwrap();
+        assert_eq!(fenced, 0);
+        r.coord.remove_member(0);
+        // Simulate the outage window during which nobody heartbeated, then
+        // a rebuild + refresh.
+        r.clock.advance(25_000_000);
+        r.coord.refresh(r.clock.now_nanos());
+        assert_eq!(r.run(30_000_000, |_| true), None);
+        assert_eq!(r.coord.fences(), 1);
+    }
+
+    #[test]
+    fn recovery_events_are_logged_and_surfaced() {
+        let mut r = rig(&[0, 1]);
+        r.coord.record_recovery_started(1, 1, 100);
+        r.coord
+            .record_recovery_failed(1, 200, "snapshot store unavailable");
+        r.coord.record_recovery_started(1, 2, 300);
+        r.coord.record_recovery_completed(Some(7), 2, 300, 400);
+        assert_eq!(r.coord.last_recovery(), Some((Some(7), 2, 400)));
+        assert_eq!(r.coord.events().len(), 4);
+        // refresh() inside record_recovery_completed reset freshness.
+        assert_eq!(r.run(20_000_000, |_| true), None);
+    }
+}

@@ -9,6 +9,7 @@
 //! disabled the trace-derived lines render as `n/a` rather than vanishing,
 //! so operators always see the same shape of report.
 
+use crate::coordinator::{Coordinator, MemberHealth};
 use jet_core::metrics::{Metric, MetricsSnapshot};
 use jet_core::trace::{TraceData, TraceKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,13 +38,17 @@ fn gauge_or(snap: &MetricsSnapshot, name: &str, tags: &[(&str, &str)], default: 
 /// Render the job diagnostics dump.
 ///
 /// `tasklets` is the scheduler's `(core, name, state, events_in,
-/// events_out)` table; `trace` adds latency attribution when present.
+/// events_out)` table; `trace` adds latency attribution when present;
+/// `coordinator` adds the cluster-health section (member liveness,
+/// suspicion state, last recovery) and degrades to `n/a` when the job
+/// runs without a failure detector.
 pub fn render_dump(
     job_id: u64,
     now_nanos: u64,
     snap: &MetricsSnapshot,
     tasklets: &[(usize, String, &'static str, u64, u64)],
     trace: Option<&TraceData>,
+    coordinator: Option<&Coordinator>,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -52,6 +57,50 @@ pub fn render_dump(
         job_id,
         secs(now_nanos)
     );
+
+    // Cluster health: what the failure detector currently believes.
+    let _ = writeln!(out, "\ncluster health");
+    match coordinator {
+        Some(coord) => {
+            for &m in coord.members() {
+                let verdict = match coord.health(m) {
+                    Some(MemberHealth::Alive) => "alive".to_string(),
+                    Some(MemberHealth::Suspect { since }) => {
+                        format!("SUSPECT since {:.3}s", secs(since))
+                    }
+                    None => "unknown".to_string(),
+                };
+                let _ = writeln!(out, "  m{}: {}", m, verdict);
+            }
+            let _ = writeln!(
+                out,
+                "  fences={} false-suspicions={}",
+                coord.fences(),
+                coord.false_suspicions()
+            );
+            match coord.last_recovery() {
+                Some((snapshot, attempt, at)) => {
+                    let from = match snapshot {
+                        Some(id) => format!("snapshot {}", id),
+                        None => "cold restart (no complete snapshot)".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  last recovery: {} at {:.3}s (attempt {})",
+                        from,
+                        secs(at),
+                        attempt
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  last recovery: none");
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "  n/a (no coordinator wired)");
+        }
+    }
 
     // Vertex names, in DAG-tag order (metrics preserve registration order
     // per member; a BTreeSet gives a stable cross-member order).
@@ -235,6 +284,9 @@ pub fn render_dump(
                 TraceKind::SnapshotPhase,
                 TraceKind::NetSend,
                 TraceKind::NetRecv,
+                TraceKind::Detect,
+                TraceKind::Recovery,
+                TraceKind::FaultInject,
             ] {
                 let n = data.of_kind(kind).count();
                 if n > 0 {
@@ -277,7 +329,7 @@ mod tests {
         .set(1_500_000_000);
         let snap = r.snapshot();
         let tasklets = vec![(0usize, "agg".to_string(), "running", 7u64, 7u64)];
-        let dump = render_dump(9, 3_000_000_000, &snap, &tasklets, None);
+        let dump = render_dump(9, 3_000_000_000, &snap, &tasklets, None, None);
         for v in ["src", "agg", "sink"] {
             assert!(
                 dump.contains(&format!("vertex {}", v)),
@@ -287,6 +339,8 @@ mod tests {
         assert!(dump.contains("1x running"));
         assert!(dump.contains("straggler-gap=0.500s"));
         assert!(dump.contains("n/a (tracing disabled)"));
+        assert!(dump.contains("cluster health"));
+        assert!(dump.contains("n/a (no coordinator wired)"));
     }
 
     #[test]
@@ -302,7 +356,7 @@ mod tests {
         let name = w.intern("agg");
         w.record_call(1_000, 50_000, name);
         let data = tracer.drain();
-        let dump = render_dump(1, 1_000_000, &r.snapshot(), &[], Some(&data));
+        let dump = render_dump(1, 1_000_000, &r.snapshot(), &[], Some(&data), None);
         assert!(dump.contains("slowest calls: 50.0us@"), "{dump}");
         assert!(dump.contains("events=1"), "{dump}");
     }

@@ -12,16 +12,18 @@
 //! snapshot over the surviving members, and resume on the same virtual
 //! clock.
 
+use crate::coordinator::{ClusterEvent, Coordinator, CoordinatorConfig};
 use crate::wiring::{build_cluster_execution, ClusterConfig, ClusterExecution};
-use jet_core::metrics::{MetricsRegistry, MetricsSnapshot};
-use jet_core::network::InMemoryTransport;
+use jet_core::metrics::{tags, MetricsRegistry, MetricsSnapshot};
+use jet_core::network::{ChannelChaos, InMemoryTransport, NetworkFaults};
 use jet_core::processor::Guarantee;
 use jet_core::snapshot::SnapshotRegistry;
-use jet_core::trace::{TraceData, Tracer};
+use jet_core::trace::{TraceData, TraceKind, TraceWriter, Tracer};
 use jet_core::Dag;
-use jet_imdg::{Grid, MemberId, SnapshotStore};
-use jet_sim::{CostModel, Simulator};
+use jet_imdg::{Grid, MemberId, SnapshotStore, StoreFaults};
+use jet_sim::{CostModel, FaultEvent, FaultKind, FaultPlan, SimTick, Simulator};
 use jet_util::clock::{ManualClock, SharedClock};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
@@ -48,6 +50,12 @@ pub struct SimClusterConfig {
     pub fixed_receive_window: Option<u64>,
     /// Execution tracer shared by every tasklet; disabled by default.
     pub tracer: Tracer,
+    /// Deterministic fault script applied from the per-quantum hook.
+    pub fault_plan: Option<FaultPlan>,
+    /// Heartbeat failure detection + self-healing recovery. `None` (the
+    /// default) wires no coordinator at all: no heartbeat traffic, no
+    /// detector state, zero cost on fault-free runs.
+    pub coordinator: Option<CoordinatorConfig>,
 }
 
 impl Default for SimClusterConfig {
@@ -66,8 +74,94 @@ impl Default for SimClusterConfig {
             gc: None,
             fixed_receive_window: None,
             tracer: Tracer::disabled(),
+            fault_plan: None,
+            coordinator: None,
         }
     }
+}
+
+/// Applies a [`FaultPlan`] on the virtual timeline: consumes events through
+/// a cursor and re-asserts crash/stall masks every quantum so they survive
+/// execution rebuilds.
+struct FaultDriver {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    crashed: HashSet<u32>,
+    /// member → stalled-until (expired entries are pruned).
+    stalled: HashMap<u32, u64>,
+    tw: TraceWriter,
+}
+
+impl FaultDriver {
+    fn new(plan: Option<&FaultPlan>, tracer: &Tracer) -> FaultDriver {
+        FaultDriver {
+            events: plan.map(|p| p.events().to_vec()).unwrap_or_default(),
+            cursor: 0,
+            crashed: HashSet::new(),
+            stalled: HashMap::new(),
+            tw: tracer.writer(0xFA17, "fault-injector"),
+        }
+    }
+
+    /// Apply events due at `tick.now` and (re-)enforce the crash/stall
+    /// masks on the current execution's cores.
+    fn drive(&mut self, tick: &mut SimTick, net: &NetworkFaults, store: &StoreFaults) {
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= tick.now {
+            let ev = self.events[self.cursor].clone();
+            self.cursor += 1;
+            let name = self.tw.intern(&ev.kind.label());
+            let arg = match &ev.kind {
+                FaultKind::Crash { member } | FaultKind::Stall { member, .. } => *member as i64,
+                _ => -1,
+            };
+            self.tw
+                .record(TraceKind::FaultInject, tick.now, 0, name, arg);
+            match ev.kind {
+                FaultKind::Crash { member } => {
+                    self.crashed.insert(member);
+                }
+                FaultKind::Stall { member, until } => {
+                    let e = self.stalled.entry(member).or_insert(0);
+                    *e = (*e).max(until);
+                }
+                FaultKind::PartitionStart { id, side } => net.start_partition(id, side),
+                FaultKind::PartitionEnd { id } => net.end_partition(id),
+                FaultKind::ChaosStart {
+                    drop_millionths,
+                    max_extra_delay_nanos,
+                } => net.set_chaos(ChannelChaos::new(drop_millionths, max_extra_delay_nanos)),
+                FaultKind::ChaosEnd => net.clear_chaos(),
+                FaultKind::StoreWriteFailStart => store.set_fail_writes(true),
+                FaultKind::StoreWriteFailEnd => store.set_fail_writes(false),
+                FaultKind::StoreReadFailStart => store.set_fail_reads(true),
+                FaultKind::StoreReadFailEnd => store.set_fail_reads(false),
+            }
+        }
+        let now = tick.now;
+        for &m in &self.crashed {
+            tick.halt_member(m);
+        }
+        self.stalled.retain(|_, &mut until| until > now);
+        for (&m, &until) in &self.stalled {
+            tick.stall_member(m, until);
+        }
+    }
+
+    /// Can `m` run right now? The simulation — not the detector — knows a
+    /// crashed or frozen member cannot execute its heartbeat task.
+    fn member_ok(&self, m: u32, now: u64) -> bool {
+        !self.crashed.contains(&m) && self.stalled.get(&m).is_none_or(|&until| until <= now)
+    }
+}
+
+/// In-progress recovery attempt state (retry with bounded backoff).
+struct PendingRecovery {
+    member: u32,
+    attempt: u32,
+    /// Earliest virtual instant the next attempt may run.
+    next_at: u64,
+    /// When the member was fenced (start of the recovery clock).
+    fenced_at: u64,
 }
 
 /// A running (or restartable) cluster job on the simulator.
@@ -84,6 +178,18 @@ pub struct SimCluster {
     job_id: u64,
     /// One metrics registry per live member, rebuilt with the execution.
     member_metrics: Vec<Arc<MetricsRegistry>>,
+    /// Transport of the current execution (fault hooks attached).
+    transport: Arc<InMemoryTransport>,
+    /// Shared across rebuilds: partitions/chaos persist through recovery.
+    net_faults: Arc<NetworkFaults>,
+    /// Cluster-level registry (detector + fault-injection counters);
+    /// survives execution rebuilds, merged into [`Self::job_metrics`].
+    cluster_metrics: Arc<MetricsRegistry>,
+    coordinator: Option<Coordinator>,
+    fault_driver: FaultDriver,
+    pending_recovery: Option<PendingRecovery>,
+    /// Set when recovery exhausted its attempts: the job is lost.
+    job_failed: Option<String>,
 }
 
 impl SimCluster {
@@ -98,11 +204,48 @@ impl SimCluster {
         } else {
             Arc::new(SnapshotRegistry::disabled())
         };
+        let seed = cfg.fault_plan.as_ref().map(|p| p.seed).unwrap_or(0);
+        let net_faults = Arc::new(NetworkFaults::new(seed));
+        let cluster_metrics = Arc::new(MetricsRegistry::with_tags(tags(&[("member", "cluster")])));
+        // Cluster-level instruments exist only when fault injection or the
+        // coordinator is wired: fault-free jobs keep their exact metric set.
+        if cfg.fault_plan.is_some() || cfg.coordinator.is_some() {
+            let nf = net_faults.clone();
+            cluster_metrics.counter_fn(
+                "jet_cluster_heartbeats_dropped_total",
+                tags(&[]),
+                move || nf.heartbeats_dropped(),
+            );
+            let nf = net_faults.clone();
+            cluster_metrics.counter_fn(
+                "jet_cluster_batches_retransmitted_total",
+                tags(&[]),
+                move || nf.batches_retransmitted(),
+            );
+            let sf = store.faults();
+            cluster_metrics.counter_fn(
+                "jet_cluster_store_write_failures_total",
+                tags(&[]),
+                move || sf.write_failures(),
+            );
+            let sf = store.faults();
+            cluster_metrics.counter_fn(
+                "jet_cluster_store_read_failures_total",
+                tags(&[]),
+                move || sf.read_failures(),
+            );
+        }
+        let member_ids: Vec<u32> = grid.members().iter().map(|m| m.0).collect();
+        let coordinator = cfg
+            .coordinator
+            .clone()
+            .map(|c| Coordinator::new(c, &member_ids, 0, &cluster_metrics, &cfg.tracer));
+        let fault_driver = FaultDriver::new(cfg.fault_plan.as_ref(), &cfg.tracer);
         let mut me = SimCluster {
             cfg,
             dag,
             grid,
-            clock,
+            clock: clock.clone(),
             shared_clock,
             store,
             registry,
@@ -110,6 +253,13 @@ impl SimCluster {
             cancelled: Arc::new(AtomicBool::new(false)),
             job_id: 1,
             member_metrics: Vec::new(),
+            transport: Arc::new(InMemoryTransport::new(clock, 0)),
+            net_faults,
+            cluster_metrics,
+            coordinator,
+            fault_driver,
+            pending_recovery: None,
+            job_failed: None,
         };
         me.build_execution(None)?;
         Ok(me)
@@ -131,13 +281,17 @@ impl SimCluster {
     /// rescaling. `restore` names the snapshot to reload.
     fn build_execution(&mut self, restore: Option<u64>) -> Result<(), String> {
         let members = self.grid.members();
-        let transport = Arc::new(InMemoryTransport::new(
-            self.shared_clock.clone(),
-            self.cfg.network_latency,
-        ));
+        let transport = Arc::new(
+            InMemoryTransport::new(self.shared_clock.clone(), self.cfg.network_latency)
+                .with_faults(self.net_faults.clone()),
+        );
+        self.transport = transport.clone();
         // A fresh registry per execution (acks from the old execution must
         // not leak in), sharing the same durable store.
         self.registry = if self.cfg.snapshot_interval > 0 {
+            // Torn snapshots a dead execution left behind must not merge
+            // with the same ids when this execution reuses them.
+            self.store.purge_newer_than(restore.unwrap_or(0));
             let r = Arc::new(SnapshotRegistry::new(self.store.clone(), 0));
             // Continue snapshot ids after the restored one.
             if let Some(id) = restore {
@@ -231,6 +385,7 @@ impl SimCluster {
         for reg in &self.member_metrics {
             snap.merge(&reg.snapshot());
         }
+        snap.merge(&self.cluster_metrics.snapshot());
         snap.with_tag("job", &self.job_id.to_string())
     }
 
@@ -263,7 +418,8 @@ impl SimCluster {
 
     /// Render the plain-text job diagnostics dump. Pass the accumulated
     /// trace to include latency attribution; `None` renders the
-    /// metrics-only view.
+    /// metrics-only view. Cluster health renders from the coordinator when
+    /// one is wired, `n/a` otherwise.
     pub fn diagnostics_dump(&self, trace: Option<&TraceData>) -> String {
         crate::diagnostics::render_dump(
             self.job_id,
@@ -271,32 +427,176 @@ impl SimCluster {
             &self.job_metrics(),
             &self.tasklet_details(),
             trace,
+            self.coordinator.as_ref(),
         )
     }
 
     /// Advance the job by `duration` virtual nanos, auto-triggering
-    /// snapshots at the configured interval. Returns true if the job
-    /// finished.
+    /// snapshots at the configured interval, applying the fault plan, and
+    /// running heartbeat detection + self-healing recovery when a
+    /// coordinator is configured. Returns true if the job finished.
     pub fn run_for(&mut self, duration: u64) -> bool {
-        let interval = self.cfg.snapshot_interval;
-        let registry = self.registry.clone();
-        self.sim.run_for(duration, |now| {
-            if interval > 0 {
-                registry.maybe_trigger(now, interval);
-            }
-        })
+        self.run_for_with(duration, |_| {})
     }
 
-    /// Run with a custom per-quantum hook in addition to snapshot triggers.
+    /// Run with a custom per-quantum hook in addition to snapshot triggers
+    /// and fault/detector driving.
     pub fn run_for_with(&mut self, duration: u64, mut hook: impl FnMut(u64)) -> bool {
-        let interval = self.cfg.snapshot_interval;
-        let registry = self.registry.clone();
-        self.sim.run_for(duration, |now| {
-            if interval > 0 {
-                registry.maybe_trigger(now, interval);
+        enum Action {
+            Fence(u32),
+            RetryRecovery,
+        }
+        let end = self.now() + duration;
+        loop {
+            if self.job_failed.is_some() {
+                return false;
             }
-            hook(now);
-        })
+            let remaining = end.saturating_sub(self.now());
+            if remaining == 0 {
+                return self.sim.live_tasklets() == 0;
+            }
+            let mut action: Option<Action> = None;
+            // Triggering a snapshot while the job is torn down for recovery
+            // would only wedge on acks that can never arrive.
+            let interval = if self.pending_recovery.is_some() {
+                0
+            } else {
+                self.cfg.snapshot_interval
+            };
+            let registry = self.registry.clone();
+            let transport = self.transport.clone();
+            let net = self.net_faults.clone();
+            let store_faults = self.store.faults();
+            let retry_at = self.pending_recovery.as_ref().map(|p| p.next_at);
+            // Disjoint borrows of self for the tick closure.
+            let driver = &mut self.fault_driver;
+            let coordinator = &mut self.coordinator;
+            let done = self.sim.run_for_ctl(remaining, |tick| {
+                if interval > 0 {
+                    registry.maybe_trigger(tick.now, interval);
+                }
+                driver.drive(tick, &net, &store_faults);
+                if let Some(coord) = coordinator.as_mut() {
+                    let now = tick.now;
+                    let ok = |m: u32| driver.member_ok(m, now);
+                    if let Some(fenced) = coord.tick(now, transport.as_ref(), ok) {
+                        action = Some(Action::Fence(fenced));
+                        return false;
+                    }
+                }
+                if let Some(at) = retry_at {
+                    if tick.now >= at {
+                        action = Some(Action::RetryRecovery);
+                        return false;
+                    }
+                }
+                hook(tick.now);
+                true
+            });
+            match action {
+                None => return done,
+                Some(Action::Fence(member)) => self.handle_fence(member),
+                Some(Action::RetryRecovery) => self.attempt_recovery(),
+            }
+        }
+    }
+
+    /// The failure detector fenced `member`: remove it from the cluster
+    /// (promoting backup partition replicas, Fig. 6) and start self-healing
+    /// recovery.
+    fn handle_fence(&mut self, member: u32) {
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.remove_member(member);
+        }
+        // The grid may have already lost the member (e.g. fenced twice); a
+        // kill error is not fatal to recovery.
+        let _ = self.grid.kill_member(MemberId(member));
+        self.cfg.members = self.grid.members().len();
+        let now = self.now();
+        self.pending_recovery = Some(PendingRecovery {
+            member,
+            attempt: 0,
+            next_at: now,
+            fenced_at: now,
+        });
+        self.attempt_recovery();
+    }
+
+    /// One recovery attempt: gate on snapshot-store availability, rebuild
+    /// from the latest complete snapshot (cold restart if none exists), and
+    /// on failure re-arm with bounded exponential backoff — up to
+    /// `max_recovery_attempts`, after which the job is declared lost.
+    fn attempt_recovery(&mut self) {
+        let Some(mut pending) = self.pending_recovery.take() else {
+            return;
+        };
+        pending.attempt += 1;
+        let now = self.now();
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.record_recovery_started(pending.member, pending.attempt, now);
+        }
+        let failure: Option<String> = if !self.store.read_available() {
+            Some("snapshot store reads unavailable".to_string())
+        } else {
+            let latest = self.store.latest_complete();
+            match self.build_execution(latest) {
+                Ok(()) => {
+                    if let Some(coord) = self.coordinator.as_mut() {
+                        coord.record_recovery_completed(
+                            latest,
+                            pending.attempt,
+                            pending.fenced_at,
+                            now,
+                        );
+                    }
+                    return;
+                }
+                Err(e) => Some(format!("execution rebuild failed: {e}")),
+            }
+        };
+        let cause = failure.unwrap();
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.record_recovery_failed(pending.attempt, now, &cause);
+        }
+        let ccfg = self.cfg.coordinator.clone().unwrap_or_default();
+        if pending.attempt >= ccfg.max_recovery_attempts {
+            self.job_failed = Some(format!(
+                "recovery gave up after {} attempts: {cause}",
+                pending.attempt
+            ));
+            self.pending_recovery = None;
+        } else {
+            let backoff = ccfg
+                .recovery_backoff_base
+                .checked_shl(pending.attempt - 1)
+                .unwrap_or(u64::MAX)
+                .min(ccfg.recovery_backoff_max);
+            pending.next_at = now + backoff;
+            self.pending_recovery = Some(pending);
+        }
+    }
+
+    /// Why the job was declared lost, if recovery exhausted its attempts.
+    pub fn failed(&self) -> Option<&str> {
+        self.job_failed.as_deref()
+    }
+
+    /// The coordinator's event log (empty when no coordinator configured).
+    pub fn cluster_events(&self) -> Vec<ClusterEvent> {
+        self.coordinator
+            .as_ref()
+            .map(|c| c.events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The failure detector / recovery orchestrator, when configured.
+    pub fn coordinator(&self) -> Option<&Coordinator> {
+        self.coordinator.as_ref()
+    }
+
+    /// Network fault hooks (shared across execution rebuilds).
+    pub fn net_faults(&self) -> &NetworkFaults {
+        &self.net_faults
     }
 
     /// Cooperatively stop the job and drain.
@@ -307,17 +607,33 @@ impl SimCluster {
 
     /// Kill `member` abruptly and recover from the latest complete snapshot
     /// (§4.4). Returns the snapshot id recovered from (None = cold restart).
+    ///
+    /// This is the *API-kill* path (the caller already knows the member is
+    /// gone); with a [`CoordinatorConfig`] configured, crashes injected via
+    /// a [`FaultPlan`] instead go through heartbeat detection + fencing.
     pub fn kill_member_and_recover(&mut self, member: MemberId) -> Result<Option<u64>, String> {
         self.grid.kill_member(member).map_err(|e| e.to_string())?;
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.remove_member(member.0);
+        }
         // In-flight state dies with the execution.
         let latest = self.store.latest_complete();
         self.cfg.members = self.grid.members().len();
         self.build_execution(latest)?;
+        let now = self.now();
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.refresh(now);
+        }
         Ok(latest)
     }
 
     /// Gracefully add a member and rescale: terminal snapshot, rebuild with
     /// the larger cluster from it (§4.3).
+    ///
+    /// If the terminal snapshot misses `max_wait`, the in-flight snapshot
+    /// is aborted and the job is rebuilt from the last complete snapshot,
+    /// so the registry keeps triggering and the half-snapshotted execution
+    /// does not linger — the rescale itself fails with `Err`.
     pub fn add_member_and_rescale(&mut self, max_wait: u64) -> Result<MemberId, String> {
         if self.cfg.snapshot_interval == 0 {
             return Err("rescaling requires snapshots enabled".into());
@@ -331,11 +647,21 @@ impl SimCluster {
             self.run_for(self.cfg.quantum * 16);
         }
         if self.registry.completed() < id {
+            // Unwedge: abandon the torn terminal snapshot (it can never be
+            // restored from) and resume on the pre-rescale topology from
+            // the last complete snapshot.
+            self.registry.abort_in_flight();
+            let latest = self.store.latest_complete();
+            self.build_execution(latest)?;
             return Err("terminal snapshot did not complete in time".into());
         }
         let new_member = self.grid.add_member();
         self.cfg.members = self.grid.members().len();
         self.build_execution(Some(id))?;
+        let now = self.now();
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.add_member(new_member.0, now);
+        }
         Ok(new_member)
     }
 }

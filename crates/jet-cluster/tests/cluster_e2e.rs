@@ -156,6 +156,101 @@ fn at_least_once_loses_nothing_but_may_duplicate() {
 }
 
 #[test]
+fn mid_flight_snapshot_kill_never_exposes_a_torn_snapshot() {
+    const LIMIT: u64 = 40_000;
+    const KEYS: u64 = 32;
+    let (p, out) = counting_job(1_000_000, LIMIT, KEYS, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 3,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    assert!(
+        cluster.registry().completed() >= 1,
+        "no snapshot completed before kill"
+    );
+    // Start a fresh snapshot and kill a member while its barriers are
+    // still in flight, between emission and the final ack.
+    let torn = cluster.registry().trigger().expect("snapshot in flight");
+    cluster.run_for(MS / 2);
+    assert!(
+        cluster.registry().completed() < torn,
+        "snapshot completed before the kill could tear it"
+    );
+    let victim = cluster.grid().members()[1];
+    let recovered_from = cluster.kill_member_and_recover(victim).unwrap();
+    // The torn snapshot has no completion marker: recovery must pick an
+    // older complete generation, never the torn id.
+    let restored = recovered_from.expect("recovery had no snapshot");
+    assert!(
+        restored < torn,
+        "recovered from the torn snapshot {torn} (got {restored})"
+    );
+    let store = cluster.registry();
+    let store = store.store().expect("snapshots enabled");
+    assert!(store.latest_complete().is_some_and(|id| id < torn));
+    assert_eq!(
+        store.record_count(torn),
+        0,
+        "partial records of the torn snapshot must be purged on rebuild"
+    );
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not finish after recovery"
+    );
+    let results = out.lock();
+    let mut per_key: HashMap<u64, u64> = HashMap::new();
+    for (_, r) in results.iter() {
+        *per_key.entry(r.key).or_insert(0) += r.value;
+    }
+    let total: u64 = per_key.values().sum();
+    assert_eq!(total, LIMIT, "exactly-once violated across a torn snapshot");
+}
+
+#[test]
+fn failed_rescale_aborts_the_terminal_snapshot_and_resumes() {
+    const LIMIT: u64 = 40_000;
+    let (p, out) = counting_job(1_000_000, LIMIT, 32, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    let completed_before = cluster.registry().completed();
+    // A zero max_wait: the terminal snapshot cannot complete before the
+    // deadline, so the rescale must fail...
+    let err = cluster.add_member_and_rescale(0).unwrap_err();
+    assert!(err.contains("did not complete"), "unexpected error: {err}");
+    assert_eq!(cluster.grid().members().len(), 2, "no member may be added");
+    // ...and must NOT wedge the job: the aborted terminal snapshot is
+    // abandoned, later snapshots keep completing, and the job finishes
+    // with exactly-once intact.
+    cluster.run_for(20 * MS);
+    assert!(
+        cluster.registry().completed() > completed_before,
+        "snapshots wedged after the failed rescale"
+    );
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not finish after failed rescale"
+    );
+    let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
+    assert_eq!(total, LIMIT, "failed rescale lost or duplicated events");
+}
+
+#[test]
 fn rescale_adds_member_without_losing_state() {
     const LIMIT: u64 = 40_000;
     let (p, out) = counting_job(1_000_000, LIMIT, 32, 10 * SEC as Ts);

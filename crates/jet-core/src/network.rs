@@ -26,8 +26,10 @@ use crate::watermark::WatermarkCoalescer;
 use jet_queue::Conveyor;
 use jet_util::clock::SharedClock;
 use jet_util::progress::Progress;
+use jet_util::rng::SimRng;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifies one direction of one distributed edge between two members.
@@ -54,17 +56,191 @@ pub trait Transport: Send + Sync {
     fn send_ack(&self, channel: ChannelId, grant: u64);
     fn poll_data(&self, channel: ChannelId) -> Option<Vec<Item>>;
     fn poll_ack(&self, channel: ChannelId) -> Option<u64>;
+
+    /// Lightweight liveness traffic: member `from` pings member `to`.
+    /// Heartbeats are fire-and-forget — unlike data they are genuinely lost
+    /// to partitions and chaos drops (no retransmission). Default: no-op,
+    /// for transports that predate failure detection.
+    fn send_heartbeat(&self, _from: u32, _to: u32) {}
+
+    /// Drain heartbeats delivered to member `to` by now: `(from, sent_at)`
+    /// pairs. Default: none.
+    fn poll_heartbeats(&self, _to: u32) -> Vec<(u32, u64)> {
+        Vec::new()
+    }
+}
+
+/// Chaos parameters for one fault window (seeded drop/extra-delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelChaos {
+    /// Per-message drop probability in millionths. Dropped *data* batches
+    /// are re-sent by the modeled reliable transport — the drop surfaces as
+    /// `retransmit_delay_nanos` of extra latency, never as loss (the engine
+    /// above assumes TCP). Dropped *heartbeats* are really lost.
+    pub drop_millionths: u32,
+    /// Uniform extra delivery jitter in `[0, max_extra_delay_nanos]`.
+    pub max_extra_delay_nanos: u64,
+    /// Latency cost of one modeled retransmission.
+    pub retransmit_delay_nanos: u64,
+}
+
+impl ChannelChaos {
+    pub fn new(drop_millionths: u32, max_extra_delay_nanos: u64) -> Self {
+        ChannelChaos {
+            drop_millionths,
+            max_extra_delay_nanos,
+            // RTO-ish: one full extra round trip at typical modeled latency.
+            retransmit_delay_nanos: 1_000_000,
+        }
+    }
+}
+
+/// Shared fault state consulted by a fault-aware transport. One instance
+/// outlives executions (partitions persist across a recovery rebuild).
+///
+/// Fault-free fast path: two atomics are checked before any lock is taken,
+/// so a transport with no active faults pays two relaxed loads per
+/// operation — detector and chaos overhead stay off the data path.
+pub struct NetworkFaults {
+    partitions_active: AtomicBool,
+    chaos_active: AtomicBool,
+    inner: Mutex<FaultState>,
+    /// Heartbeats genuinely lost to partitions or chaos.
+    heartbeats_dropped: AtomicU64,
+    /// Data batches that took a modeled retransmit penalty.
+    batches_retransmitted: AtomicU64,
+}
+
+struct FaultState {
+    /// Active partitions: id -> member set split away from the rest.
+    partitions: HashMap<u32, HashSet<u32>>,
+    chaos: Option<ChannelChaos>,
+    rng: SimRng,
+}
+
+impl NetworkFaults {
+    pub fn new(seed: u64) -> Self {
+        NetworkFaults {
+            partitions_active: AtomicBool::new(false),
+            chaos_active: AtomicBool::new(false),
+            inner: Mutex::new(FaultState {
+                partitions: HashMap::new(),
+                chaos: None,
+                rng: SimRng::new(seed),
+            }),
+            heartbeats_dropped: AtomicU64::new(0),
+            batches_retransmitted: AtomicU64::new(0),
+        }
+    }
+
+    pub fn start_partition(&self, id: u32, side: Vec<u32>) {
+        let mut st = self.inner.lock();
+        st.partitions.insert(id, side.into_iter().collect());
+        self.partitions_active.store(true, Ordering::Release);
+    }
+
+    pub fn end_partition(&self, id: u32) {
+        let mut st = self.inner.lock();
+        st.partitions.remove(&id);
+        self.partitions_active
+            .store(!st.partitions.is_empty(), Ordering::Release);
+    }
+
+    pub fn set_chaos(&self, chaos: ChannelChaos) {
+        self.inner.lock().chaos = Some(chaos);
+        self.chaos_active.store(true, Ordering::Release);
+    }
+
+    pub fn clear_chaos(&self) {
+        self.inner.lock().chaos = None;
+        self.chaos_active.store(false, Ordering::Release);
+    }
+
+    /// Is the link between members `a` and `b` currently cut?
+    pub fn partitioned(&self, a: u32, b: u32) -> bool {
+        if !self.partitions_active.load(Ordering::Acquire) {
+            return false;
+        }
+        let st = self.inner.lock();
+        st.partitions
+            .values()
+            .any(|side| side.contains(&a) != side.contains(&b))
+    }
+
+    /// Extra delivery delay for a data batch under the current chaos window
+    /// (jitter plus any modeled retransmission). 0 when chaos is off.
+    pub fn data_delay(&self) -> u64 {
+        if !self.chaos_active.load(Ordering::Acquire) {
+            return 0;
+        }
+        let mut st = self.inner.lock();
+        let Some(chaos) = st.chaos else { return 0 };
+        let mut extra = if chaos.max_extra_delay_nanos > 0 {
+            st.rng.below(chaos.max_extra_delay_nanos + 1)
+        } else {
+            0
+        };
+        if chaos.drop_millionths > 0 && st.rng.chance(chaos.drop_millionths) {
+            self.batches_retransmitted.fetch_add(1, Ordering::Relaxed);
+            extra += chaos.retransmit_delay_nanos;
+        }
+        extra
+    }
+
+    /// Decide the fate of a heartbeat `from -> to`: `None` = dropped,
+    /// `Some(extra_delay)` = delivered with that much added latency.
+    pub fn heartbeat_fate(&self, from: u32, to: u32) -> Option<u64> {
+        if self.partitioned(from, to) {
+            self.heartbeats_dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if !self.chaos_active.load(Ordering::Acquire) {
+            return Some(0);
+        }
+        let mut st = self.inner.lock();
+        let Some(chaos) = st.chaos else {
+            return Some(0);
+        };
+        if chaos.drop_millionths > 0 && st.rng.chance(chaos.drop_millionths) {
+            drop(st);
+            self.heartbeats_dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if chaos.max_extra_delay_nanos > 0 {
+            Some(st.rng.below(chaos.max_extra_delay_nanos + 1))
+        } else {
+            Some(0)
+        }
+    }
+
+    pub fn heartbeats_dropped(&self) -> u64 {
+        self.heartbeats_dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn batches_retransmitted(&self) -> u64 {
+        self.batches_retransmitted.load(Ordering::Relaxed)
+    }
 }
 
 /// Batches in flight on one channel: (delivery deadline, payload).
 type InFlight = VecDeque<(u64, Vec<Item>)>;
 
-/// In-process transport with a fixed one-way latency.
+/// Heartbeats in flight to one member: (deliver_at, sender, sent_at).
+type HeartbeatsInFlight = VecDeque<(u64, u32, u64)>;
+
+/// In-process transport with a fixed one-way latency. Optionally
+/// fault-aware: with a [`NetworkFaults`] attached, partitions park traffic
+/// (delivery blocked until heal — the modeled TCP connection retransmits,
+/// so nothing is lost and FIFO order holds), chaos adds seeded jitter and
+/// retransmit penalties to data, and heartbeats are genuinely dropped.
 pub struct InMemoryTransport {
     clock: SharedClock,
     latency_nanos: u64,
     data: Mutex<HashMap<ChannelId, InFlight>>,
     acks: Mutex<HashMap<ChannelId, VecDeque<(u64, u64)>>>,
+    /// receiver member -> heartbeats awaiting delivery
+    heartbeats: Mutex<HashMap<u32, HeartbeatsInFlight>>,
+    faults: Option<Arc<NetworkFaults>>,
 }
 
 impl InMemoryTransport {
@@ -74,22 +250,42 @@ impl InMemoryTransport {
             latency_nanos,
             data: Mutex::new(HashMap::new()),
             acks: Mutex::new(HashMap::new()),
+            heartbeats: Mutex::new(HashMap::new()),
+            faults: None,
         }
+    }
+
+    /// Attach shared fault state (see [`NetworkFaults`]). Without it the
+    /// transport behaves exactly as before and pays no fault overhead.
+    pub fn with_faults(mut self, faults: Arc<NetworkFaults>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     pub fn latency_nanos(&self) -> u64 {
         self.latency_nanos
     }
+
+    /// A channel crossing an active partition delivers nothing until heal.
+    fn blocked(&self, from: u32, to: u32) -> bool {
+        self.faults
+            .as_ref()
+            .map(|f| f.partitioned(from, to))
+            .unwrap_or(false)
+    }
 }
 
 impl Transport for InMemoryTransport {
     fn send_data(&self, channel: ChannelId, items: Vec<Item>) {
-        let at = self.clock.now_nanos() + self.latency_nanos;
-        self.data
-            .lock()
-            .entry(channel)
-            .or_default()
-            .push_back((at, items));
+        let extra = self.faults.as_ref().map(|f| f.data_delay()).unwrap_or(0);
+        let at = self.clock.now_nanos() + self.latency_nanos + extra;
+        let mut data = self.data.lock();
+        let q = data.entry(channel).or_default();
+        // Chaos jitter must not reorder a FIFO byte stream: delivery
+        // deadlines are monotone per channel (a delayed batch delays its
+        // successors, exactly like TCP head-of-line blocking).
+        let at = q.back().map(|(prev, _)| at.max(*prev)).unwrap_or(at);
+        q.push_back((at, items));
     }
 
     fn send_ack(&self, channel: ChannelId, grant: u64) {
@@ -102,6 +298,9 @@ impl Transport for InMemoryTransport {
     }
 
     fn poll_data(&self, channel: ChannelId) -> Option<Vec<Item>> {
+        if self.blocked(channel.from, channel.to) {
+            return None;
+        }
         let now = self.clock.now_nanos();
         let mut data = self.data.lock();
         let q = data.get_mut(&channel)?;
@@ -113,6 +312,11 @@ impl Transport for InMemoryTransport {
     }
 
     fn poll_ack(&self, channel: ChannelId) -> Option<u64> {
+        // Acks flow receiver -> sender: the partition check must mirror
+        // that direction (`to` is the data receiver originating the ack).
+        if self.blocked(channel.to, channel.from) {
+            return None;
+        }
         let now = self.clock.now_nanos();
         let mut acks = self.acks.lock();
         let q = acks.get_mut(&channel)?;
@@ -121,6 +325,43 @@ impl Transport for InMemoryTransport {
         } else {
             None
         }
+    }
+
+    fn send_heartbeat(&self, from: u32, to: u32) {
+        let extra = match self.faults.as_ref() {
+            Some(f) => match f.heartbeat_fate(from, to) {
+                Some(extra) => extra,
+                None => return, // lost
+            },
+            None => 0,
+        };
+        let now = self.clock.now_nanos();
+        self.heartbeats.lock().entry(to).or_default().push_back((
+            now + self.latency_nanos + extra,
+            from,
+            now,
+        ));
+    }
+
+    fn poll_heartbeats(&self, to: u32) -> Vec<(u32, u64)> {
+        let now = self.clock.now_nanos();
+        let mut hb = self.heartbeats.lock();
+        let Some(q) = hb.get_mut(&to) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        // Jitter can reorder heartbeats (they are independent datagrams),
+        // so scan the whole queue instead of gating on the front.
+        let mut i = 0;
+        while i < q.len() {
+            if q[i].0 <= now {
+                let (_, from, sent) = q.remove(i).expect("index checked");
+                out.push((from, sent));
+            } else {
+                i += 1;
+            }
+        }
+        out
     }
 }
 
@@ -627,6 +868,76 @@ mod tests {
         manual.advance(1);
         assert!(t.poll_data(channel()).is_some());
         assert!(t.poll_data(channel()).is_none());
+    }
+
+    #[test]
+    fn partition_parks_traffic_until_heal() {
+        let (manual, clock) = manual_clock();
+        let faults = Arc::new(NetworkFaults::new(1));
+        let t = InMemoryTransport::new(clock, 100).with_faults(faults.clone());
+        t.send_data(channel(), vec![Item::Watermark(1)]);
+        faults.start_partition(9, vec![0]);
+        manual.advance(10_000);
+        assert!(t.poll_data(channel()).is_none(), "delivered across a cut");
+        assert!(t.poll_ack(channel()).is_none());
+        faults.end_partition(9);
+        assert!(
+            t.poll_data(channel()).is_some(),
+            "parked batch must deliver after heal"
+        );
+    }
+
+    #[test]
+    fn chaos_delays_but_never_loses_or_reorders_data() {
+        let (manual, clock) = manual_clock();
+        let faults = Arc::new(NetworkFaults::new(7));
+        let t = InMemoryTransport::new(clock, 100).with_faults(faults.clone());
+        faults.set_chaos(ChannelChaos::new(300_000, 5_000));
+        let n = 200;
+        for i in 0..n {
+            t.send_data(channel(), vec![Item::Watermark(i)]);
+        }
+        manual.advance(10_000_000);
+        let mut got = Vec::new();
+        while let Some(items) = t.poll_data(channel()) {
+            for it in items {
+                if let Item::Watermark(w) = it {
+                    got.push(w);
+                }
+            }
+        }
+        assert_eq!(got.len(), n as usize, "chaos lost data");
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "chaos reordered data");
+        assert!(faults.batches_retransmitted() > 0, "no retransmit at 30%?");
+    }
+
+    #[test]
+    fn heartbeats_deliver_with_latency_and_drop_under_partition() {
+        let (manual, clock) = manual_clock();
+        let faults = Arc::new(NetworkFaults::new(3));
+        let t = InMemoryTransport::new(clock, 1_000).with_faults(faults.clone());
+        t.send_heartbeat(0, 1);
+        assert!(t.poll_heartbeats(1).is_empty(), "before latency");
+        manual.advance(1_000);
+        let hb = t.poll_heartbeats(1);
+        assert_eq!(hb, vec![(0, 0)]);
+        faults.start_partition(1, vec![0]);
+        t.send_heartbeat(0, 1);
+        manual.advance(10_000);
+        assert!(t.poll_heartbeats(1).is_empty(), "heartbeat crossed the cut");
+        assert_eq!(faults.heartbeats_dropped(), 1);
+    }
+
+    #[test]
+    fn fault_free_transport_with_faults_attached_behaves_identically() {
+        let (manual, clock) = manual_clock();
+        let faults = Arc::new(NetworkFaults::new(0));
+        let t = InMemoryTransport::new(clock, 500).with_faults(faults);
+        t.send_data(channel(), vec![Item::Watermark(1)]);
+        manual.advance(499);
+        assert!(t.poll_data(channel()).is_none());
+        manual.advance(1);
+        assert!(t.poll_data(channel()).is_some());
     }
 
     #[test]

@@ -61,7 +61,6 @@ pub struct GeneratorSource {
     /// (shard s emits global sequences `k * SHARDS + s`).
     shards: Vec<(u64, u64)>,
     mapper: EventTimeMapper,
-    rr: usize,
     /// Max events emitted per `complete` call (timeslice bound).
     burst: usize,
     origin_nanos: u64,
@@ -80,7 +79,6 @@ impl GeneratorSource {
             policy: WatermarkPolicy::default(),
             shards: Vec::new(),
             mapper: EventTimeMapper::new(0, 1, 0),
-            rr: 0,
             burst: 512,
             origin_nanos: 0,
             initialized: false,
@@ -153,54 +151,54 @@ impl Processor for GeneratorSource {
         }
         let now = ctx.now_nanos();
         let mut emitted = 0usize;
-        let mut exhausted = 0usize;
-        let n = self.shards.len();
-        let mut stop = false;
-        for off in 0..n {
-            if stop {
+        let mut done = false;
+        loop {
+            // Emit in global-sequence (= schedule) order across owned
+            // shards. After a snapshot restore the whole backlog is
+            // immediately eligible; draining one shard ahead of the others
+            // would advance the watermark past their pending events, and
+            // downstream windows would drop them as stragglers.
+            let mut idx = 0usize;
+            let mut global_seq = u64::MAX;
+            for (i, &(shard, k)) in self.shards.iter().enumerate() {
+                let seq = k * GENERATOR_SHARDS + shard;
+                if seq < global_seq {
+                    global_seq = seq;
+                    idx = i;
+                }
+            }
+            if let Some(limit) = self.limit {
+                // The minimum past the limit means every shard is past it.
+                if global_seq >= limit {
+                    done = true;
+                    break;
+                }
+            }
+            let sched = self.schedule_of(global_seq);
+            if sched > now {
                 break;
             }
-            let idx = (self.rr + off) % n;
-            let (shard, mut k) = self.shards[idx];
-            loop {
-                let global_seq = k * GENERATOR_SHARDS + shard;
-                if let Some(limit) = self.limit {
-                    if global_seq >= limit {
-                        exhausted += 1;
-                        break;
-                    }
-                }
-                let sched = self.schedule_of(global_seq);
-                if sched > now {
+            if emitted >= self.burst || !outbox.has_room(0) {
+                // Timeslice budget spent, or backpressure (§3.3): stop and
+                // resume from the same frontier on the next slice.
+                break;
+            }
+            // The event's timestamp is its *scheduled* occurrence: if we
+            // are emitting late (backpressure, scheduling), downstream
+            // latency measurements see the delay (§7.1).
+            let ts = sched as Ts;
+            let obj = (self.factory)(global_seq, ts);
+            let ok = outbox.offer_event(0, ts, obj);
+            debug_assert!(ok);
+            emitted += 1;
+            self.shards[idx].1 += 1;
+            if let WmAction::Emit(wm) = self.mapper.observe_event(ts, now) {
+                if !outbox.broadcast(Item::Watermark(wm)) {
+                    // Possible only with multiple out edges; the mapper
+                    // will regenerate an equal-or-later watermark.
                     break;
-                }
-                if emitted >= self.burst || !outbox.has_room(0) {
-                    // Timeslice budget spent, or backpressure (§3.3): stop
-                    // and retry this shard on the next slice.
-                    self.rr = idx;
-                    stop = true;
-                    break;
-                }
-                // The event's timestamp is its *scheduled* occurrence: if we
-                // are emitting late (backpressure, scheduling), downstream
-                // latency measurements see the delay (§7.1).
-                let ts = sched as Ts;
-                let obj = (self.factory)(global_seq, ts);
-                let ok = outbox.offer_event(0, ts, obj);
-                debug_assert!(ok);
-                emitted += 1;
-                k += 1;
-                if let WmAction::Emit(wm) = self.mapper.observe_event(ts, now) {
-                    if !outbox.broadcast(Item::Watermark(wm)) {
-                        // Possible only with multiple out edges; the mapper
-                        // will regenerate an equal-or-later watermark.
-                        self.rr = idx;
-                        stop = true;
-                        break;
-                    }
                 }
             }
-            self.shards[idx].1 = k;
         }
         if emitted == 0 {
             if let WmAction::MarkIdle = self.mapper.observe_idle(now) {
@@ -208,7 +206,7 @@ impl Processor for GeneratorSource {
             }
         }
         // Batch mode: done when every shard ran past the limit.
-        self.limit.is_some() && exhausted == self.shards.len()
+        done
     }
 
     fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {

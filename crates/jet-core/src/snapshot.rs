@@ -18,7 +18,7 @@
 use crate::item::SnapshotId;
 use jet_imdg::SnapshotStore;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Per-execution snapshot coordination state. Shared by all tasklets of a
@@ -34,6 +34,12 @@ pub struct SnapshotRegistry {
     /// Number of tasklets that must ack each snapshot.
     participants: AtomicUsize,
     acks: Mutex<HashMap<SnapshotId, usize>>,
+    /// Snapshots that suffered a store write failure: they still drain
+    /// their barriers, but are never marked complete (a partial snapshot
+    /// must not become the recovery point).
+    poisoned: Mutex<HashSet<SnapshotId>>,
+    /// Count of snapshots poisoned by write failures.
+    poisoned_total: AtomicU64,
     store: Option<SnapshotStore>,
     /// Nanos timestamp of the last trigger (coordinator bookkeeping).
     last_trigger_nanos: AtomicU64,
@@ -48,6 +54,8 @@ impl SnapshotRegistry {
             terminal: AtomicU64::new(0),
             participants: AtomicUsize::new(participants),
             acks: Mutex::new(HashMap::new()),
+            poisoned: Mutex::new(HashSet::new()),
+            poisoned_total: AtomicU64::new(0),
             store: Some(store),
             last_trigger_nanos: AtomicU64::new(0),
         }
@@ -62,6 +70,8 @@ impl SnapshotRegistry {
             terminal: AtomicU64::new(0),
             participants: AtomicUsize::new(0),
             acks: Mutex::new(HashMap::new()),
+            poisoned: Mutex::new(HashSet::new()),
+            poisoned_total: AtomicU64::new(0),
             store: None,
             last_trigger_nanos: AtomicU64::new(0),
         }
@@ -138,18 +148,40 @@ impl SnapshotRegistry {
         self.trigger()
     }
 
-    /// Tasklet: persist staged state records for `vertex` under `id`.
+    /// Tasklet: persist staged state records for `vertex` under `id`. A
+    /// store write failure poisons the snapshot: barriers still drain, but
+    /// it will never be marked complete.
     pub fn write_records(&self, id: SnapshotId, vertex: &str, records: Vec<(Vec<u8>, Vec<u8>)>) {
         if let Some(store) = &self.store {
+            let mut ok = true;
             for (k, v) in records {
-                store.write(id, vertex, k, v);
+                ok &= store.write(id, vertex, k, v);
+            }
+            if !ok && self.poisoned.lock().insert(id) {
+                self.poisoned_total.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Finish snapshot `id`: advance `completed` so the next trigger can
+    /// fire, and — unless the snapshot was poisoned by a write failure —
+    /// durably mark it as a recovery point.
+    fn finish(&self, id: SnapshotId) {
+        let poisoned = self.poisoned.lock().remove(&id);
+        if !poisoned {
+            if let Some(store) = &self.store {
+                store.mark_complete(id, Vec::new());
+            }
+        }
+        self.completed.fetch_max(id, Ordering::AcqRel);
     }
 
     /// Tasklet: ack completion of barrier handling for `id`. When the last
     /// participant acks, the snapshot is marked complete.
     pub fn ack(&self, id: SnapshotId) {
+        if id <= self.completed.load(Ordering::Acquire) {
+            return; // late ack for an abandoned (or finished) snapshot
+        }
         let complete = {
             let mut acks = self.acks.lock();
             let n = acks.entry(id).or_insert(0);
@@ -161,10 +193,7 @@ impl SnapshotRegistry {
             done
         };
         if complete {
-            if let Some(store) = &self.store {
-                store.mark_complete(id, Vec::new());
-            }
-            self.completed.fetch_max(id, Ordering::AcqRel);
+            self.finish(id);
         }
     }
 
@@ -177,16 +206,40 @@ impl SnapshotRegistry {
             acks.iter().map(|(&id, &n)| (id, n)).collect()
         };
         for (id, n) in pending {
-            if n >= remaining {
-                let mut acks = self.acks.lock();
-                acks.remove(&id);
-                drop(acks);
-                if let Some(store) = &self.store {
-                    store.mark_complete(id, Vec::new());
-                }
-                self.completed.fetch_max(id, Ordering::AcqRel);
+            if id <= self.completed.load(Ordering::Acquire) {
+                self.acks.lock().remove(&id); // abandoned: drop, never finish
+            } else if n >= remaining {
+                self.acks.lock().remove(&id);
+                self.finish(id);
             }
         }
+    }
+
+    /// Abandon the in-flight snapshot (if any) so triggering can resume.
+    ///
+    /// Without this, a snapshot whose acks never all arrive — e.g. a
+    /// terminal rescale snapshot that missed its deadline — wedges the
+    /// registry: `requested > completed` forever, so [`Self::trigger`]
+    /// returns `None` for the rest of the job and the recovery point
+    /// silently freezes. Abandoning declares the in-flight id finished
+    /// *without* a completion marker: it can never be restored from, late
+    /// acks for it are ignored (its ack entry is dropped), and the next
+    /// trigger hands out a fresh id. Returns the abandoned id.
+    pub fn abort_in_flight(&self) -> Option<SnapshotId> {
+        let req = self.requested.load(Ordering::Acquire);
+        if req == self.completed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.terminal.store(0, Ordering::Release);
+        self.acks.lock().remove(&req);
+        self.poisoned.lock().remove(&req);
+        self.completed.fetch_max(req, Ordering::AcqRel);
+        Some(req)
+    }
+
+    /// Snapshots poisoned by store write failures so far.
+    pub fn poisoned_total(&self) -> u64 {
+        self.poisoned_total.load(Ordering::Relaxed)
     }
 
     /// Access the backing store (for recovery).
@@ -270,5 +323,68 @@ mod tests {
         let id = r.trigger_terminal().unwrap();
         assert!(r.is_terminal(id));
         assert!(!r.is_terminal(id + 1));
+    }
+
+    #[test]
+    fn abort_in_flight_unwedges_the_registry() {
+        let r = registry(3);
+        let id = r.trigger_terminal().unwrap();
+        r.ack(id); // only 1 of 3 participants ever acks
+        assert_eq!(r.trigger(), None, "wedged while in flight");
+        let aborted = r.abort_in_flight();
+        assert_eq!(aborted, Some(id));
+        assert!(!r.is_terminal(id), "abort clears the terminal flag");
+        // Triggering resumes with a fresh id…
+        assert_eq!(r.trigger(), Some(id + 1));
+        // …and the abandoned snapshot never became a recovery point.
+        assert_eq!(r.store().unwrap().latest_complete(), None);
+    }
+
+    #[test]
+    fn late_acks_for_an_abandoned_snapshot_never_complete_it() {
+        let r = registry(3);
+        let id = r.trigger().unwrap();
+        r.ack(id);
+        r.abort_in_flight();
+        // Stragglers ack after the abort; even combined with participant
+        // retirement this must not mark the torn snapshot complete.
+        r.ack(id);
+        r.ack(id);
+        r.retire_participant();
+        r.retire_participant();
+        assert_eq!(r.store().unwrap().latest_complete(), None);
+    }
+
+    #[test]
+    fn abort_without_in_flight_is_a_no_op() {
+        let r = registry(1);
+        assert_eq!(r.abort_in_flight(), None);
+        r.trigger();
+        r.ack(1);
+        assert_eq!(r.abort_in_flight(), None);
+        assert_eq!(r.completed(), 1);
+    }
+
+    #[test]
+    fn write_failure_poisons_the_snapshot() {
+        let r = registry(2);
+        let store = r.store().unwrap().clone();
+        let id = r.trigger().unwrap();
+        store.faults().set_fail_writes(true);
+        r.write_records(id, "agg", vec![(b"k".to_vec(), b"v".to_vec())]);
+        store.faults().set_fail_writes(false);
+        r.ack(id);
+        r.ack(id);
+        // All acks arrived, the id is finished (no wedge)…
+        assert_eq!(r.completed(), id);
+        assert_eq!(r.trigger(), Some(id + 1));
+        assert_eq!(r.poisoned_total(), 1);
+        // …but a partial snapshot is never a recovery point.
+        assert_eq!(store.latest_complete(), None);
+        // The next, healthy snapshot completes normally.
+        r.write_records(id + 1, "agg", vec![(b"k".to_vec(), b"v2".to_vec())]);
+        r.ack(id + 1);
+        r.ack(id + 1);
+        assert_eq!(store.latest_complete(), Some(id + 1));
     }
 }

@@ -55,6 +55,16 @@ pub enum TraceKind {
     NetSend = 6,
     /// A network batch was received. `arg` = item count.
     NetRecv = 7,
+    /// Failure-detector state change (suspect / clear / fence). `arg` =
+    /// member id. The span name distinguishes the transition.
+    Detect = 8,
+    /// One recovery attempt, from decision to rebuilt execution. `arg` =
+    /// restored snapshot id (-1 = cold restart). Has a duration when the
+    /// attempt succeeded.
+    Recovery = 9,
+    /// A scheduled fault was injected. `arg` = member id where applicable,
+    /// -1 otherwise. The span name carries the fault label.
+    FaultInject = 10,
 }
 
 impl TraceKind {
@@ -68,6 +78,9 @@ impl TraceKind {
             TraceKind::SnapshotPhase => "snapshot",
             TraceKind::NetSend => "net-send",
             TraceKind::NetRecv => "net-recv",
+            TraceKind::Detect => "detect",
+            TraceKind::Recovery => "recovery",
+            TraceKind::FaultInject => "fault-inject",
         }
     }
 }

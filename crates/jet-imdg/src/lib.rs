@@ -40,5 +40,5 @@ pub use grid::Grid;
 pub use imap::IMap;
 pub use partition_table::PartitionTable;
 pub use ringbuffer::Ringbuffer;
-pub use snapshot_store::SnapshotStore;
+pub use snapshot_store::{SnapshotStore, StoreFaults};
 pub use types::{MemberId, PartitionId, DEFAULT_PARTITION_COUNT};

@@ -14,6 +14,48 @@
 use crate::grid::Grid;
 use crate::imap::IMap;
 use crate::types::MemberId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Injectable snapshot-store failure switches (fault testing, §4.4).
+///
+/// The switches model an unavailable backing store: writes fail (the
+/// snapshot being taken can never become a recovery point) or reads fail
+/// (recovery cannot load state and must retry). Counters record every
+/// rejected operation for the metrics registry.
+#[derive(Debug, Default)]
+pub struct StoreFaults {
+    fail_writes: AtomicBool,
+    fail_reads: AtomicBool,
+    write_failures: AtomicU64,
+    read_failures: AtomicU64,
+}
+
+impl StoreFaults {
+    pub fn set_fail_writes(&self, fail: bool) {
+        self.fail_writes.store(fail, Ordering::Release);
+    }
+
+    pub fn set_fail_reads(&self, fail: bool) {
+        self.fail_reads.store(fail, Ordering::Release);
+    }
+
+    pub fn writes_failing(&self) -> bool {
+        self.fail_writes.load(Ordering::Acquire)
+    }
+
+    pub fn reads_failing(&self) -> bool {
+        self.fail_reads.load(Ordering::Acquire)
+    }
+
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures.load(Ordering::Relaxed)
+    }
+
+    pub fn read_failures(&self) -> u64 {
+        self.read_failures.load(Ordering::Relaxed)
+    }
+}
 
 /// Key of one snapshot record.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -31,6 +73,8 @@ pub struct SnapshotStore {
     records: IMap<SnapshotKey, Vec<u8>>,
     /// snapshot id → (completion marker, source offsets blob)
     markers: IMap<u64, Vec<u8>>,
+    /// Shared failure switches; all clones see the same state.
+    faults: Arc<StoreFaults>,
 }
 
 impl SnapshotStore {
@@ -38,11 +82,24 @@ impl SnapshotStore {
         SnapshotStore {
             records: IMap::new(grid, &format!("__jet.snapshot.{job_id}.records")),
             markers: IMap::new(grid, &format!("__jet.snapshot.{job_id}.markers")),
+            faults: Arc::new(StoreFaults::default()),
         }
     }
 
-    /// Write one state record into snapshot `snapshot_id`.
-    pub fn write(&self, snapshot_id: u64, vertex: &str, key: Vec<u8>, value: Vec<u8>) {
+    /// The store's injectable failure switches.
+    pub fn faults(&self) -> Arc<StoreFaults> {
+        self.faults.clone()
+    }
+
+    /// Write one state record into snapshot `snapshot_id`. Returns false if
+    /// the store rejected the write (injected outage) — the caller must
+    /// treat the whole snapshot as unusable.
+    #[must_use]
+    pub fn write(&self, snapshot_id: u64, vertex: &str, key: Vec<u8>, value: Vec<u8>) -> bool {
+        if self.faults.writes_failing() {
+            self.faults.write_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         self.records.put(
             SnapshotKey {
                 snapshot_id,
@@ -51,6 +108,7 @@ impl SnapshotStore {
             },
             value,
         );
+        true
     }
 
     /// Mark `snapshot_id` complete, storing the serialized source offsets
@@ -80,6 +138,17 @@ impl SnapshotStore {
         }
     }
 
+    /// Are reads currently served? Under an injected read outage this
+    /// returns false and records one failed read attempt — recovery calls
+    /// it before loading state and retries with backoff on failure.
+    pub fn read_available(&self) -> bool {
+        if self.faults.reads_failing() {
+            self.faults.read_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
     /// Highest complete snapshot id, if any.
     pub fn latest_complete(&self) -> Option<u64> {
         self.markers.entries().into_iter().map(|(id, _)| id).max()
@@ -104,6 +173,33 @@ impl SnapshotStore {
         self.records
             .values_where(|k, _| k.snapshot_id == snapshot_id)
             .len()
+    }
+
+    /// Remove every record and marker newer than `snapshot_id`. Recovery
+    /// calls this when rebuilding: the dead execution may have written
+    /// partial records for snapshots that never completed, and the new
+    /// execution reuses those ids — a stale record the new attempt does not
+    /// overwrite would otherwise merge into it and resurrect state on a
+    /// later restore.
+    pub fn purge_newer_than(&self, snapshot_id: u64) {
+        let stale: Vec<SnapshotKey> = self
+            .records
+            .values_where(|k, _| k.snapshot_id > snapshot_id)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for k in stale {
+            self.records.remove(&k);
+        }
+        let stale_markers: Vec<u64> = self
+            .markers
+            .values_where(|&id, _| id > snapshot_id)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for id in stale_markers {
+            self.markers.remove(&id);
+        }
     }
 
     /// Drop all snapshot data for the job.
@@ -134,15 +230,43 @@ mod tests {
     #[test]
     fn write_and_read_back_by_vertex() {
         let (_g, s) = store();
-        s.write(1, "agg", b"k1".to_vec(), b"v1".to_vec());
-        s.write(1, "agg", b"k2".to_vec(), b"v2".to_vec());
-        s.write(1, "other", b"k1".to_vec(), b"x".to_vec());
+        assert!(s.write(1, "agg", b"k1".to_vec(), b"v1".to_vec()));
+        assert!(s.write(1, "agg", b"k2".to_vec(), b"v2".to_vec()));
+        assert!(s.write(1, "other", b"k1".to_vec(), b"x".to_vec()));
         let mut recs = s.read_vertex(1, "agg");
         recs.sort();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0], (b"k1".to_vec(), b"v1".to_vec()));
         assert_eq!(s.read_vertex(1, "other").len(), 1);
         assert_eq!(s.read_vertex(2, "agg").len(), 0);
+    }
+
+    #[test]
+    fn injected_write_outage_rejects_and_counts() {
+        let (_g, s) = store();
+        let faults = s.faults();
+        faults.set_fail_writes(true);
+        assert!(!s.write(1, "agg", b"k".to_vec(), b"v".to_vec()));
+        assert_eq!(faults.write_failures(), 1);
+        assert_eq!(s.record_count(1), 0, "rejected write must not land");
+        faults.set_fail_writes(false);
+        assert!(s.write(1, "agg", b"k".to_vec(), b"v".to_vec()));
+        // Clones share the same switches.
+        let s2 = s.clone();
+        s2.faults().set_fail_writes(true);
+        assert!(!s.write(1, "agg", b"k2".to_vec(), b"v".to_vec()));
+    }
+
+    #[test]
+    fn injected_read_outage_gates_read_availability() {
+        let (_g, s) = store();
+        assert!(s.read_available());
+        s.faults().set_fail_reads(true);
+        assert!(!s.read_available());
+        assert!(!s.read_available());
+        assert_eq!(s.faults().read_failures(), 2);
+        s.faults().set_fail_reads(false);
+        assert!(s.read_available());
     }
 
     #[test]
@@ -159,7 +283,7 @@ mod tests {
     fn old_generations_are_garbage_collected() {
         let (_g, s) = store();
         for id in 1..=4u64 {
-            s.write(id, "v", b"k".to_vec(), vec![id as u8]);
+            assert!(s.write(id, "v", b"k".to_vec(), vec![id as u8]));
             s.mark_complete(id, vec![]);
         }
         // After snapshot 4 completes, snapshots < 3 are gone.
@@ -174,7 +298,7 @@ mod tests {
     fn snapshot_survives_member_failure() {
         let (g, s) = store();
         for i in 0..100u64 {
-            s.write(1, "agg", i.to_le_bytes().to_vec(), vec![1]);
+            assert!(s.write(1, "agg", i.to_le_bytes().to_vec(), vec![1]));
         }
         s.mark_complete(1, b"offs".to_vec());
         assert!(s.survives_kill_of(&g, MemberId(1)));
@@ -183,9 +307,28 @@ mod tests {
     }
 
     #[test]
+    fn purge_drops_torn_records_but_keeps_complete_generations() {
+        let (_g, s) = store();
+        assert!(s.write(3, "v", b"k".to_vec(), b"v3".to_vec()));
+        s.mark_complete(3, b"off3".to_vec());
+        // A torn attempt at id 4: records but no completion marker.
+        assert!(s.write(4, "v", b"stale".to_vec(), b"v4".to_vec()));
+        s.purge_newer_than(3);
+        assert_eq!(s.latest_complete(), Some(3));
+        assert_eq!(s.record_count(3), 1);
+        assert_eq!(s.record_count(4), 0, "torn records must be purged");
+        // The reused id starts from a clean slate.
+        assert!(s.write(4, "v", b"k".to_vec(), b"v4b".to_vec()));
+        assert_eq!(
+            s.read_vertex(4, "v"),
+            vec![(b"k".to_vec(), b"v4b".to_vec())]
+        );
+    }
+
+    #[test]
     fn clear_removes_everything() {
         let (_g, s) = store();
-        s.write(1, "v", b"k".to_vec(), b"v".to_vec());
+        assert!(s.write(1, "v", b"k".to_vec(), b"v".to_vec()));
         s.mark_complete(1, vec![]);
         s.clear();
         assert_eq!(s.latest_complete(), None);

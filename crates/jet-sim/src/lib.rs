@@ -11,11 +11,15 @@
 //!   ~2M events/s/core Q5 saturation point).
 //! * [`sim`] — the time-stepped multi-core simulator.
 //! * [`gc`] — GC pause injection (§5 / ablation A2).
+//! * [`fault`] — deterministic seeded fault schedules (crash, stall,
+//!   partition, channel chaos, store outages) on the virtual timeline.
 
 pub mod cost;
+pub mod fault;
 pub mod gc;
 pub mod sim;
 
 pub use cost::{CostModel, CostedTasklet};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RandomFaultSpec};
 pub use gc::GcModel;
-pub use sim::{CoreId, Simulator};
+pub use sim::{CoreId, SimTick, Simulator};

@@ -22,6 +22,8 @@ use std::sync::Arc;
 pub type CoreId = usize;
 
 struct SimCore {
+    /// Member id this core belongs to (fault injection targets members).
+    pid: u32,
     tasklets: Vec<CostedTasklet>,
     rr: usize,
     /// Virtual nanos this core actually computed (utilization metric).
@@ -153,6 +155,7 @@ impl Simulator {
     /// member in the timeline viewer, `label` names the track.
     pub fn add_core_labeled(&mut self, pid: u32, label: &str) -> CoreId {
         self.cores.push(SimCore {
+            pid,
             tasklets: Vec::new(),
             rr: 0,
             busy_nanos: 0,
@@ -225,10 +228,32 @@ impl Simulator {
     /// injection, and rate changes. Returns true when every tasklet
     /// finished before the duration elapsed.
     pub fn run_for(&mut self, duration: u64, mut on_tick: impl FnMut(u64)) -> bool {
+        self.run_for_ctl(duration, |tick| {
+            on_tick(tick.now);
+            true
+        })
+    }
+
+    /// As [`Self::run_for`], but the hook receives a [`SimTick`] control
+    /// handle (member stall/halt injection) and may return `false` to break
+    /// out before the duration elapses — used by the cluster runtime when a
+    /// failure-detector decision requires rebuilding the execution, which
+    /// cannot happen from inside the tick closure.
+    pub fn run_for_ctl(
+        &mut self,
+        duration: u64,
+        mut on_tick: impl FnMut(&mut SimTick) -> bool,
+    ) -> bool {
         let end = self.clock.now_nanos() + duration;
         while self.clock.now_nanos() < end {
             let now = self.clock.now_nanos();
-            on_tick(now);
+            let mut tick = SimTick {
+                now,
+                cores: &mut self.cores,
+            };
+            if !on_tick(&mut tick) {
+                return self.cores.iter().all(|c| c.is_done());
+            }
             if let Some(gc) = &mut self.gc {
                 gc.apply(
                     now,
@@ -252,6 +277,38 @@ impl Simulator {
     /// Run until all tasklets complete or `max_duration` virtual nanos pass.
     pub fn run_until_done(&mut self, max_duration: u64) -> bool {
         self.run_for(max_duration, |_| {})
+    }
+}
+
+/// Per-quantum control handle handed to [`Simulator::run_for_ctl`] hooks:
+/// inspect the current virtual time and inject member-level stalls/halts.
+pub struct SimTick<'a> {
+    /// Virtual time of this quantum's start.
+    pub now: u64,
+    cores: &'a mut Vec<SimCore>,
+}
+
+impl SimTick<'_> {
+    /// Freeze all cores of member `pid` until virtual time `until`
+    /// (straggler injection). Extends, never shortens, existing stalls.
+    pub fn stall_member(&mut self, pid: u32, until: u64) {
+        for c in self.cores.iter_mut().filter(|c| c.pid == pid) {
+            c.stalled_until = c.stalled_until.max(until);
+        }
+    }
+
+    /// Permanently halt member `pid` (crash). Its tasklets are kept — a
+    /// crashed member must not count as "finished" — but never run again;
+    /// only rebuilding the execution removes them.
+    pub fn halt_member(&mut self, pid: u32) {
+        self.stall_member(pid, u64::MAX);
+    }
+
+    /// Is any core of member `pid` currently stalled past `now`?
+    pub fn member_stalled(&self, pid: u32) -> bool {
+        self.cores
+            .iter()
+            .any(|c| c.pid == pid && c.stalled_until > self.now)
     }
 }
 
@@ -374,6 +431,60 @@ mod tests {
         assert_eq!(data.name(calls[0].rec.name), "emitter");
         assert_eq!(data.tracks[0].pid, 3);
         assert_eq!(data.tracks[0].label, "m3/core-0");
+    }
+
+    #[test]
+    fn stalled_member_freezes_and_resumes() {
+        let mut s = sim(1_000);
+        let c = s.add_core_labeled(7, "m7/core-0");
+        s.assign(
+            c,
+            Box::new(Emitter {
+                remaining: u32::MAX,
+            }),
+            None,
+        );
+        // Stall member 7 for the first half of the run.
+        s.run_for_ctl(10_000, |tick| {
+            if tick.now == 0 {
+                tick.stall_member(7, 5_000);
+            }
+            true
+        });
+        let busy = s.busy_nanos()[0];
+        assert!(busy <= 5_000, "stalled member ran: busy={busy}");
+        assert!(busy >= 4_000, "member never resumed: busy={busy}");
+    }
+
+    #[test]
+    fn halted_member_never_finishes() {
+        let mut s = sim(1_000);
+        let c = s.add_core_labeled(2, "m2/core-0");
+        s.assign(c, Box::new(Emitter { remaining: 1 }), None);
+        let done = s.run_for_ctl(20_000, |tick| {
+            if tick.now == 0 {
+                tick.halt_member(2);
+            }
+            assert!(tick.member_stalled(2));
+            true
+        });
+        assert!(!done, "halted member reported completion");
+        assert_eq!(s.live_tasklets(), 1, "halted tasklets must be kept");
+    }
+
+    #[test]
+    fn ctl_hook_can_break_early() {
+        let mut s = sim(1_000);
+        let c = s.add_core();
+        s.assign(
+            c,
+            Box::new(Emitter {
+                remaining: u32::MAX,
+            }),
+            None,
+        );
+        s.run_for_ctl(100_000, |tick| tick.now < 5_000);
+        assert_eq!(s.now(), 5_000, "break leaves the clock at the break tick");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod histogram;
 pub mod idle;
 pub mod progress;
 pub mod rate;
+pub mod rng;
 pub mod seq;
 
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
@@ -33,3 +34,4 @@ pub use histogram::Histogram;
 pub use idle::{BackoffIdle, IdleStrategy};
 pub use progress::Progress;
 pub use rate::TokenBucket;
+pub use rng::SimRng;

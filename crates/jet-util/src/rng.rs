@@ -1,0 +1,108 @@
+//! Seeded deterministic pseudo-random numbers.
+//!
+//! The fault-injection layer (and anything else that needs randomness inside
+//! the simulation) must be reproducible: the same seed has to yield the same
+//! decision sequence on every run and every platform. `std` offers no seeded
+//! RNG, so this is a tiny splitmix64 stream generator built on
+//! [`crate::seq::mix64`] — statistically strong enough for fault schedules
+//! and far simpler than carrying a full RNG crate.
+
+use crate::seq::mix64;
+
+/// A deterministic splitmix64 stream: `state` advances by the golden-ratio
+/// increment and each output is the finalizer mix of the new state.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Two generators with different seeds produce unrelated streams; the
+    /// seed itself is pre-mixed so small seeds (0, 1, 2…) diverge immediately.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            state: mix64(seed ^ 0xA076_1D64_78BD_642F),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, n)` without modulo bias (Lemire's method). `n` must
+    /// be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`; `lo < hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// True with probability `millionths / 1_000_000`.
+    pub fn chance(&mut self, millionths: u32) -> bool {
+        self.below(1_000_000) < millionths as u64
+    }
+
+    /// Split off an independent generator (for per-subsystem streams that
+    /// must not perturb each other's draw sequences).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(0);
+        let mut b = SimRng::new(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range_and_spreads() {
+        let mut r = SimRng::new(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500 && c < 1500, "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn chance_approximates_probability() {
+        let mut r = SimRng::new(99);
+        let hits = (0..100_000).filter(|_| r.chance(250_000)).count();
+        assert!((20_000..30_000).contains(&hits), "25% chance hit {hits}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut a = SimRng::new(5);
+        let mut fa = a.fork();
+        let mut b = SimRng::new(5);
+        let mut fb = b.fork();
+        for _ in 0..100 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
