@@ -15,14 +15,14 @@ fn bench_spsc(c: &mut Criterion) {
     let mut g = c.benchmark_group("spsc");
     g.throughput(Throughput::Elements(1));
     g.bench_function("offer_poll", |b| {
-        let (p, q) = spsc_channel::<u64>(1024);
+        let (mut p, mut q) = spsc_channel::<u64>(1024);
         b.iter(|| {
             p.offer(black_box(42)).unwrap();
             black_box(q.poll().unwrap());
         });
     });
     g.bench_function("offer_poll_batch64", |b| {
-        let (p, q) = spsc_channel::<u64>(1024);
+        let (mut p, mut q) = spsc_channel::<u64>(1024);
         b.iter(|| {
             for i in 0..64u64 {
                 p.offer(i).unwrap();
@@ -39,9 +39,9 @@ fn bench_conveyor(c: &mut Criterion) {
     let mut g = c.benchmark_group("conveyor");
     g.throughput(Throughput::Elements(64));
     g.bench_function("drain_4_lanes", |b| {
-        let (mut conv, producers) = Conveyor::<u64>::new(4, 256);
+        let (mut conv, mut producers) = Conveyor::<u64>::new(4, 256);
         b.iter(|| {
-            for p in &producers {
+            for p in &mut producers {
                 for i in 0..16u64 {
                     p.offer(i).unwrap();
                 }

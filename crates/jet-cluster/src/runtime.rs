@@ -601,6 +601,8 @@ impl SimCluster {
 
     /// Cooperatively stop the job and drain.
     pub fn cancel(&self) {
+        // ordering: SeqCst — rare control action, totally ordered with the
+        // drain loop's checks for simple shutdown reasoning.
         self.cancelled
             .store(true, std::sync::atomic::Ordering::SeqCst);
     }

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 /// different worker threads land on one consistent timeline.
 fn trace_epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // jet-lint: allow(instant) — initialized once per process (cold).
     *EPOCH.get_or_init(Instant::now)
 }
 
@@ -127,11 +128,16 @@ pub struct ExecutionHandle {
 impl ExecutionHandle {
     /// Request cooperative cancellation: sources stop, the pipeline drains.
     pub fn cancel(&self) {
+        // ordering: SeqCst — cancellation is a rare control action; a total
+        // order with the live-tasklet countdown keeps shutdown reasoning
+        // simple and costs nothing off the hot path.
         self.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Number of tasklets that have not finished yet.
     pub fn live_tasklets(&self) -> usize {
+        // ordering: SeqCst — pairs with the worker's fetch_sub so a zero
+        // here means every tasklet's effects are visible.
         self.live_tasklets.load(Ordering::SeqCst)
     }
 
@@ -186,6 +192,8 @@ fn worker_loop_observed(
         tasklets.retain_mut(|(t, trace_name)| {
             let result;
             if let Some(o) = &mut obs {
+                // jet-lint: allow(instant) — throttled by construction: only
+                // taken when self-profiling (`obs`) is enabled for the run.
                 let start = Instant::now();
                 result = t.call();
                 let nanos = start.elapsed().as_nanos() as u64;
@@ -219,6 +227,9 @@ fn worker_loop_observed(
                 Progress::NoProgress => true,
                 Progress::Done => {
                     progressed = true;
+                    // ordering: SeqCst — pairs with `live_tasklets`: the
+                    // decrement must totally order after this tasklet's
+                    // final effects. Runs once per tasklet lifetime.
                     live.fetch_sub(1, Ordering::SeqCst);
                     false
                 }

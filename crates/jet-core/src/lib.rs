@@ -39,6 +39,7 @@ pub mod processor;
 pub mod processors;
 pub mod snapshot;
 pub mod state;
+pub mod sync;
 pub mod tasklet;
 pub mod trace;
 pub mod watermark;

@@ -954,7 +954,7 @@ mod tests {
     fn sender_respects_grant() {
         let (_manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock, 0));
-        let (conv, producers) = Conveyor::<Item>::new(1, 1 << 14);
+        let (conv, mut producers) = Conveyor::<Item>::new(1, 1 << 14);
         let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
         sender.grant = 10;
         for i in 0..100 {
@@ -980,7 +980,7 @@ mod tests {
     fn sender_coalesces_watermarks_across_lanes() {
         let (_manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock, 0));
-        let (conv, producers) = Conveyor::<Item>::new(2, 64);
+        let (conv, mut producers) = Conveyor::<Item>::new(2, 64);
         let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
         producers[0].offer(Item::Watermark(10)).unwrap();
         producers[1].offer(Item::Watermark(5)).unwrap();
@@ -1000,7 +1000,7 @@ mod tests {
     fn sender_aligns_barriers_before_forwarding() {
         let (_manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock, 0));
-        let (conv, producers) = Conveyor::<Item>::new(2, 64);
+        let (conv, mut producers) = Conveyor::<Item>::new(2, 64);
         let mut sender =
             SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::ExactlyOnce);
         let b = Barrier {
@@ -1039,7 +1039,7 @@ mod tests {
     fn sender_forwards_done_when_all_lanes_done() {
         let (_manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock, 0));
-        let (conv, producers) = Conveyor::<Item>::new(2, 64);
+        let (conv, mut producers) = Conveyor::<Item>::new(2, 64);
         let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None);
         producers[0].offer(Item::Done).unwrap();
         assert_eq!(sender.call(), Progress::MadeProgress);
@@ -1084,7 +1084,7 @@ mod tests {
         let sender_reg = MetricsRegistry::new();
         let receiver_reg = MetricsRegistry::new();
 
-        let (conv, producers) = Conveyor::<Item>::new(1, 64);
+        let (conv, mut producers) = Conveyor::<Item>::new(1, 64);
         let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None)
             .with_metrics(ChannelMetrics::sender_side(&sender_reg, channel()));
         let (p, c) = spsc_channel::<Item>(64);
@@ -1180,7 +1180,7 @@ mod tests {
         let (manual, clock) = manual_clock();
         let transport = Arc::new(InMemoryTransport::new(clock.clone(), 0));
         let tracer = Tracer::enabled();
-        let (conv, producers) = Conveyor::<Item>::new(1, 64);
+        let (conv, mut producers) = Conveyor::<Item>::new(1, 64);
         let mut sender = SenderTasklet::new(channel(), transport.clone(), conv, Guarantee::None)
             .with_trace(tracer.writer(0, "m0/sender"), clock.clone());
         let (p, _c) = spsc_channel::<Item>(64);

@@ -135,9 +135,9 @@ impl OutboundCollector {
     }
 
     /// Lowest remaining capacity across targets (diagnostics/tests).
-    pub fn min_remaining_capacity(&self) -> usize {
+    pub fn min_remaining_capacity(&mut self) -> usize {
         self.targets
-            .iter()
+            .iter_mut()
             .map(|t| t.remaining_capacity())
             .min()
             .unwrap_or(0)
@@ -175,18 +175,18 @@ mod tests {
 
     #[test]
     fn unicast_round_robins() {
-        let (mut col, consumers) = make(Routing::Unicast, 3, 8);
+        let (mut col, mut consumers) = make(Routing::Unicast, 3, 8);
         for i in 0..6 {
             col.offer_event(ev(i)).unwrap();
         }
-        for c in &consumers {
+        for c in &mut consumers {
             assert_eq!(c.len(), 2, "unicast not balanced");
         }
     }
 
     #[test]
     fn unicast_skips_full_targets() {
-        let (mut col, consumers) = make(Routing::Unicast, 2, 2);
+        let (mut col, mut consumers) = make(Routing::Unicast, 2, 2);
         for i in 0..4 {
             col.offer_event(ev(i)).unwrap();
         }
@@ -233,16 +233,16 @@ mod tests {
 
     #[test]
     fn control_broadcast_reaches_every_target() {
-        let (mut col, consumers) = make(Routing::Unicast, 3, 8);
+        let (mut col, mut consumers) = make(Routing::Unicast, 3, 8);
         assert!(col.offer_to_all(&Item::Watermark(5)));
-        for c in &consumers {
+        for c in &mut consumers {
             assert!(matches!(c.poll(), Some(Item::Watermark(5))));
         }
     }
 
     #[test]
     fn control_broadcast_retries_only_missing_targets() {
-        let (mut col, consumers) = make(Routing::Unicast, 2, 2);
+        let (mut col, mut consumers) = make(Routing::Unicast, 2, 2);
         // Fill target 1 completely.
         col.offer_event(ev(0)).unwrap(); // t0
         col.offer_event(ev(1)).unwrap(); // t1
@@ -264,9 +264,9 @@ mod tests {
 
     #[test]
     fn broadcast_routing_clones_events_to_all() {
-        let (mut col, consumers) = make(Routing::Broadcast, 3, 8);
+        let (mut col, mut consumers) = make(Routing::Broadcast, 3, 8);
         col.offer_event(ev(7)).unwrap();
-        for c in &consumers {
+        for c in &mut consumers {
             match c.poll() {
                 Some(Item::Event { obj, .. }) => {
                     assert_eq!(*crate::object::downcast_ref::<u64>(obj.as_ref()), 7)

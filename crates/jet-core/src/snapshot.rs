@@ -78,10 +78,14 @@ impl SnapshotRegistry {
     }
 
     pub fn set_participants(&self, n: usize) {
+        // ordering: SeqCst — participant accounting must totally order with
+        // ack counting: a stale count can complete a snapshot early. Cold
+        // path (wiring and retirement only).
         self.participants.store(n, Ordering::SeqCst);
     }
 
     pub fn participants(&self) -> usize {
+        // ordering: SeqCst — same total order as `set_participants`.
         self.participants.load(Ordering::SeqCst)
     }
 
@@ -186,6 +190,8 @@ impl SnapshotRegistry {
             let mut acks = self.acks.lock();
             let n = acks.entry(id).or_insert(0);
             *n += 1;
+            // ordering: SeqCst — the completion decision must see the most
+            // recent participant count in the same total order.
             let done = *n >= self.participants.load(Ordering::SeqCst);
             if done {
                 acks.remove(&id);
@@ -199,6 +205,9 @@ impl SnapshotRegistry {
 
     /// A tasklet finished for good; it will not ack future snapshots.
     pub fn retire_participant(&self) {
+        // ordering: SeqCst — retirement races the ack path's completion
+        // check; the total order makes exactly one side complete the
+        // snapshot. Runs once per tasklet lifetime.
         let remaining = self.participants.fetch_sub(1, Ordering::SeqCst) - 1;
         // Finishing a participant can complete an in-flight snapshot.
         let pending: Vec<(SnapshotId, usize)> = {

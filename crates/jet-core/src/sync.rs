@@ -1,0 +1,5 @@
+//! Concurrency shim for jet-core's lock-free pieces (the trace rings):
+//! `std` types normally, loom model-checked types under
+//! `RUSTFLAGS="--cfg loom"`. See `jet_util::sync` for the rules.
+
+pub use jet_util::sync::*;

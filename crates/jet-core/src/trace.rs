@@ -22,11 +22,9 @@
 //!   from a full ring are.
 
 use crate::metrics::json_escape;
-use crossbeam::utils::CachePadded;
+use crate::sync::{AtomicU64, AtomicUsize, CachePadded, Ordering, UnsafeCell};
 use parking_lot::Mutex;
-use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// What a span record describes. The numeric `arg` field of [`SpanRecord`]
@@ -128,12 +126,17 @@ struct Ring {
     dropped: AtomicU64,
 }
 
-// Safety: the writer only stores into slots in `head..head+capacity` that it
-// owns (it checks fullness against an acquire-loaded head before writing and
+// The writer only stores into slots in `head..head+capacity` that it owns
+// (it checks fullness against an acquire-loaded head before writing and
 // publishes with a release store of tail); the collector only reads slots in
 // `head..tail` (acquire-loaded). SpanRecord is Copy, so torn *ownership* is
-// the only hazard and the head/tail protocol excludes it.
+// the only hazard. The protocol is model-checked by `loom_tests` below.
+//
+// SAFETY: the head/tail protocol above excludes concurrent access to any
+// slot, so the ring may move across threads.
 unsafe impl Send for Ring {}
+// SAFETY: as above — writer and collector get exclusive access to disjoint
+// slots even through shared references.
 unsafe impl Sync for Ring {}
 
 impl Ring {
@@ -153,25 +156,45 @@ impl Ring {
     /// Writer side. Never blocks: a full ring counts a drop and returns.
     #[inline]
     fn push(&self, rec: SpanRecord) {
+        // ordering: Relaxed — `tail` is only ever written by this writer, so
+        // its own last value is always what a relaxed load returns.
         let tail = self.tail.load(Ordering::Relaxed);
+        // ordering: Acquire pairs with the collector's Release store of
+        // `head` in `drain_into`: slots the collector freed are fully read
+        // before we may overwrite them.
         let head = self.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) > self.mask {
+            // ordering: Relaxed — the drop counter is a statistic, not a
+            // synchronization point.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        unsafe { *self.buf[tail & self.mask].get() = rec };
+        // SAFETY: `tail` is within `head..head+capacity`, so the collector
+        // cannot be reading this slot; the record becomes visible to it only
+        // through the release store of `tail` below.
+        self.buf[tail & self.mask].with_mut(|p| unsafe { *p = rec });
+        // ordering: Release pairs with the collector's Acquire load of
+        // `tail`: the slot write above is visible before the new position.
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
     }
 
     /// Collector side: move every published record into `out`.
     fn drain_into(&self, out: &mut Vec<SpanRecord>) -> usize {
+        // ordering: Acquire pairs with the writer's Release store of `tail`.
         let tail = self.tail.load(Ordering::Acquire);
+        // ordering: Relaxed — `head` is only ever written by this collector.
         let mut head = self.head.load(Ordering::Relaxed);
         let n = tail.wrapping_sub(head);
         for _ in 0..n {
-            out.push(unsafe { *self.buf[head & self.mask].get() });
+            // SAFETY: slots in `head..tail` hold records the writer
+            // published (acquire-loaded `tail` above) and will not touch
+            // again until `head` is released past them.
+            out.push(self.buf[head & self.mask].with(|p| unsafe { *p }));
             head = head.wrapping_add(1);
         }
+        // ordering: Release pairs with the writer's Acquire load of `head`
+        // in `push`: our slot reads complete before the writer may reuse
+        // the slots.
         self.head.store(head, Ordering::Release);
         n
     }
@@ -290,6 +313,8 @@ impl Tracer {
             return TraceWriter { inner: None };
         };
         let ring = Arc::new(Ring::new(inner.ring_capacity));
+        // ordering: Relaxed — the id only needs uniqueness, and the track
+        // list it keys is published under the `tracks` mutex.
         let tid = inner.next_tid.fetch_add(1, Ordering::Relaxed) as u32;
         inner.tracks.lock().push(Track {
             info: TrackInfo {
@@ -358,6 +383,8 @@ impl Tracer {
                     });
                 }
             }
+            // ordering: Relaxed — the drop counter is a statistic; RMW
+            // atomicity alone keeps drain-and-reset lossless.
             data.dropped += t.ring.dropped.swap(0, Ordering::Relaxed);
         }
     }
@@ -587,7 +614,87 @@ impl TraceData {
     }
 }
 
-#[cfg(test)]
+/// Loom models of the trace ring's writer/collector protocol. Run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p jet-core --lib trace::loom_tests`.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+
+    fn rec(ts: u64) -> SpanRecord {
+        SpanRecord {
+            ts,
+            dur: 1,
+            name: 0,
+            kind: TraceKind::Call,
+            arg: 0,
+        }
+    }
+
+    /// A writer racing a draining collector on a 2-slot ring: every record
+    /// is either drained in order or counted as dropped — never lost, never
+    /// duplicated, never torn.
+    #[test]
+    fn ring_accepts_or_counts_every_record() {
+        loom::model(|| {
+            let ring = crate::sync::Arc::new(Ring::new(2));
+            let writer = thread::spawn({
+                let ring = ring.clone();
+                move || {
+                    for i in 0..3u64 {
+                        ring.push(rec(i));
+                    }
+                    // ordering: Relaxed — the writer reads its own counter.
+                    ring.dropped.load(Ordering::Relaxed)
+                }
+            });
+            let mut out = Vec::new();
+            ring.drain_into(&mut out);
+            let dropped = writer.join().unwrap();
+            // Writer is done: one final drain empties the ring.
+            ring.drain_into(&mut out);
+            assert_eq!(
+                out.len() as u64 + dropped,
+                3,
+                "records lost or duplicated: drained {out:?}, dropped {dropped}"
+            );
+            // Drained records keep the writer's order and are never torn.
+            for pair in out.windows(2) {
+                assert!(pair[0].ts < pair[1].ts, "reordered: {pair:?}");
+            }
+            for r in &out {
+                assert_eq!(r.dur, 1, "torn record: {r:?}");
+            }
+        });
+    }
+
+    /// The sampling counter together with the ring under a concurrent
+    /// drain: exactly one of every 2 calls is kept, none of the kept
+    /// records can be lost (ring never fills at this rate).
+    #[test]
+    fn sampled_writer_with_concurrent_collector() {
+        loom::model(|| {
+            let tracer = Tracer::with_config(4, 1); // keep 1 in 2 calls
+            let mut data = TraceData::new();
+            let writer = thread::spawn({
+                let mut w = tracer.writer(0, "w");
+                move || {
+                    for i in 0..4u64 {
+                        w.record_call(i, 1, 0);
+                    }
+                }
+            });
+            tracer.drain_into(&mut data);
+            writer.join().unwrap();
+            tracer.drain_into(&mut data);
+            let ts: Vec<u64> = data.events.iter().map(|e| e.rec.ts).collect();
+            assert_eq!(ts, vec![1, 3], "sampling must keep calls 2 and 4");
+            assert_eq!(data.dropped, 0, "sampling is not a drop");
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -648,7 +755,7 @@ mod tests {
     fn concurrent_writer_and_reader_lose_nothing_that_was_accepted() {
         let tracer = Tracer::with_config(1 << 12, 0);
         let mut writer = tracer.writer(0, "w");
-        const N: u64 = 200_000;
+        const N: u64 = if cfg!(miri) { 500 } else { 200_000 };
         let collector = std::thread::spawn({
             let tracer = tracer.clone();
             move || {

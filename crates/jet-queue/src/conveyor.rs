@@ -7,6 +7,10 @@
 //! primitive the exactly-once barrier alignment builds on (paper §4.4 — an
 //! input channel that already delivered the current checkpoint barrier must
 //! block until the rest catch up).
+//!
+//! Lanes whose producer has called [`Producer::done`] (or dropped) and that
+//! have been drained are *finished*; [`Conveyor::all_finished`] is the
+//! livelock-free termination signal for the consumer loop.
 
 use crate::spsc::{spsc_channel, Consumer, DepthProbe, Producer};
 
@@ -70,13 +74,27 @@ impl<T> Conveyor<T> {
     }
 
     /// Poll one item from lane `lane` regardless of mute state.
-    pub fn poll_lane(&self, lane: usize) -> Option<T> {
+    pub fn poll_lane(&mut self, lane: usize) -> Option<T> {
         self.queues[lane].poll()
     }
 
     /// Peek lane `lane`'s head item.
-    pub fn peek_lane(&self, lane: usize) -> Option<&T> {
+    pub fn peek_lane(&mut self, lane: usize) -> Option<&T> {
         self.queues[lane].peek()
+    }
+
+    /// Has lane `lane`'s producer finished (done/dropped) with its queue
+    /// fully drained? A `true` result is final for that lane.
+    pub fn lane_finished(&mut self, lane: usize) -> bool {
+        self.queues[lane].is_finished()
+    }
+
+    /// Have *all* producers finished and all queues drained? This is the
+    /// termination condition for a consumer loop: once true, no item can
+    /// ever arrive again, so the loop can exit without polling further —
+    /// finished producers are skipped without livelock.
+    pub fn all_finished(&mut self) -> bool {
+        self.queues.iter_mut().all(Consumer::is_finished)
     }
 
     /// Poll the next item from any unmuted lane, fair round-robin. Returns
@@ -136,14 +154,102 @@ impl<T: Send + 'static> Conveyor<T> {
     }
 }
 
-#[cfg(test)]
+/// Loom models of the conveyor's multi-producer drain and termination
+/// protocol. Run with `RUSTFLAGS="--cfg loom" cargo test -p jet-queue`.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+
+    /// Two concurrent producers, per-lane FIFO checked on every schedule,
+    /// `all_finished` as the exit condition — the model terminates on every
+    /// interleaving, proving done-lanes are skipped without livelock.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn two_producers_drain_fifo_until_finished() {
+        loom::model(|| {
+            let (mut conv, producers) = Conveyor::<u64>::new(2, 2);
+            let handles: Vec<_> = producers
+                .into_iter()
+                .enumerate()
+                .map(|(lane, mut p)| {
+                    thread::spawn(move || {
+                        for i in 0..2u64 {
+                            let mut v = (lane as u64) * 10 + i;
+                            loop {
+                                match p.offer(v) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        v = back;
+                                        thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                        p.done();
+                    })
+                })
+                .collect();
+            let mut last = [None::<u64>; 2];
+            let mut got = 0;
+            loop {
+                if let Some((lane, v)) = conv.poll_any() {
+                    if let Some(prev) = last[lane] {
+                        assert!(v > prev, "lane {lane} reordered: {v} after {prev}");
+                    }
+                    last[lane] = Some(v);
+                    got += 1;
+                } else if conv.all_finished() {
+                    break;
+                } else {
+                    thread::yield_now();
+                }
+            }
+            assert_eq!(got, 4, "termination before all items were delivered");
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    /// A lane whose producer finishes immediately (here: is dropped without
+    /// offering) must not stall the drain of the remaining lanes.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn idle_done_lane_does_not_block_termination() {
+        loom::model(|| {
+            let (mut conv, mut producers) = Conveyor::<u64>::new(2, 2);
+            let idle = producers.pop().unwrap();
+            let mut active = producers.pop().unwrap();
+            drop(idle); // dropped producer counts as done
+            let t = thread::spawn(move || {
+                active.offer(7).unwrap();
+                active.done();
+            });
+            let mut sum = 0;
+            loop {
+                if let Some((_lane, v)) = conv.poll_any() {
+                    sum += v;
+                } else if conv.all_finished() {
+                    break;
+                } else {
+                    thread::yield_now();
+                }
+            }
+            assert_eq!(sum, 7);
+            t.join().unwrap();
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
     #[test]
     fn round_robin_is_fair_across_lanes() {
-        let (mut conv, producers) = Conveyor::<u32>::new(3, 8);
-        for (lane, p) in producers.iter().enumerate() {
+        let (mut conv, mut producers) = Conveyor::<u32>::new(3, 8);
+        for (lane, p) in producers.iter_mut().enumerate() {
             for i in 0..3 {
                 p.offer((lane as u32) * 10 + i).unwrap();
             }
@@ -164,7 +270,7 @@ mod tests {
 
     #[test]
     fn muted_lane_is_skipped_until_unmuted() {
-        let (mut conv, producers) = Conveyor::<u32>::new(2, 8);
+        let (mut conv, mut producers) = Conveyor::<u32>::new(2, 8);
         producers[0].offer(100).unwrap();
         producers[1].offer(200).unwrap();
         conv.mute(0);
@@ -188,7 +294,7 @@ mod tests {
 
     #[test]
     fn poll_lane_ignores_mute() {
-        let (mut conv, producers) = Conveyor::<u32>::new(1, 8);
+        let (mut conv, mut producers) = Conveyor::<u32>::new(1, 8);
         producers[0].offer(7).unwrap();
         conv.mute(0);
         assert_eq!(conv.poll_lane(0), Some(7));
@@ -196,7 +302,7 @@ mod tests {
 
     #[test]
     fn per_lane_order_is_preserved() {
-        let (mut conv, producers) = Conveyor::<u32>::new(2, 64);
+        let (mut conv, mut producers) = Conveyor::<u32>::new(2, 64);
         for i in 0..20 {
             producers[0].offer(i).unwrap();
             producers[1].offer(100 + i).unwrap();
@@ -219,7 +325,7 @@ mod tests {
 
     #[test]
     fn len_sums_lanes() {
-        let (conv, producers) = Conveyor::<u32>::new(3, 8);
+        let (conv, mut producers) = Conveyor::<u32>::new(3, 8);
         producers[0].offer(1).unwrap();
         producers[2].offer(2).unwrap();
         producers[2].offer(3).unwrap();
@@ -232,7 +338,7 @@ mod tests {
 
     #[test]
     fn probes_expose_per_lane_depth() {
-        let (conv, producers) = Conveyor::<u32>::new(2, 8);
+        let (conv, mut producers) = Conveyor::<u32>::new(2, 8);
         let probes = conv.probes();
         assert_eq!(probes.len(), 2);
         producers[1].offer(1).unwrap();
@@ -243,13 +349,28 @@ mod tests {
     }
 
     #[test]
+    fn finished_lanes_and_termination() {
+        let (mut conv, mut producers) = Conveyor::<u32>::new(2, 8);
+        producers[0].offer(1).unwrap();
+        assert!(!conv.lane_finished(0));
+        assert!(!conv.all_finished());
+        producers[0].done();
+        assert!(!conv.lane_finished(0), "finished with an item still queued");
+        assert_eq!(conv.poll_any(), Some((0, 1)));
+        assert!(conv.lane_finished(0));
+        assert!(!conv.all_finished(), "lane 1's producer is still live");
+        drop(producers); // dropping the rest finishes every lane
+        assert!(conv.all_finished());
+    }
+
+    #[test]
     fn concurrent_producers_all_delivered() {
         let (mut conv, producers) = Conveyor::<u64>::new(4, 64);
-        const PER_LANE: u64 = 50_000;
+        const PER_LANE: u64 = if cfg!(miri) { 200 } else { 50_000 };
         let joins: Vec<_> = producers
             .into_iter()
             .enumerate()
-            .map(|(lane, p)| {
+            .map(|(lane, mut p)| {
                 std::thread::spawn(move || {
                     for i in 0..PER_LANE {
                         let mut v = (lane as u64) << 32 | i;
@@ -285,5 +406,65 @@ mod tests {
             j.join().unwrap();
         }
         assert!(conv.is_empty());
+    }
+
+    /// Stress: concurrent producers that finish at different times; the
+    /// consumer exits via `all_finished` (not an item count), per-producer
+    /// FIFO holds across drain batches, and done lanes never cause livelock.
+    #[test]
+    fn stress_fifo_across_drains_with_staggered_done() {
+        let (mut conv, producers) = Conveyor::<u64>::new(4, 32);
+        // Lane `i` sends (i+1) * PER units, so lanes finish staggered.
+        const PER: u64 = if cfg!(miri) { 100 } else { 10_000 };
+        let joins: Vec<_> = producers
+            .into_iter()
+            .enumerate()
+            .map(|(lane, mut p)| {
+                std::thread::spawn(move || {
+                    let count = (lane as u64 + 1) * PER;
+                    for i in 0..count {
+                        let mut v = (lane as u64) << 32 | i;
+                        loop {
+                            match p.offer(v) {
+                                Ok(()) => break,
+                                Err(b) => {
+                                    v = b;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                    p.done();
+                })
+            })
+            .collect();
+        let mut sink = Vec::new();
+        let mut next_expected = [0u64; 4];
+        let mut received = 0u64;
+        loop {
+            sink.clear();
+            if conv.drain(&mut sink, 128) == 0 {
+                if conv.all_finished() {
+                    break;
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            for &(lane, v) in &sink {
+                assert_eq!((v >> 32) as usize, lane);
+                let seq = v & 0xFFFF_FFFF;
+                assert_eq!(
+                    seq, next_expected[lane],
+                    "lane {lane} FIFO violated across drain batches"
+                );
+                next_expected[lane] += 1;
+                received += 1;
+            }
+        }
+        assert_eq!(received, PER + 2 * PER + 3 * PER + 4 * PER);
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(conv.all_finished(), "all_finished must be stable");
     }
 }

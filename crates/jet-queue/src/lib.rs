@@ -15,6 +15,7 @@
 
 pub mod conveyor;
 pub mod spsc;
+pub mod sync;
 
 pub use conveyor::Conveyor;
 pub use spsc::{spsc_channel, Consumer, DepthProbe, Producer};

@@ -12,13 +12,33 @@
 //!   common case touches only one shared cache line.
 //!
 //! Single-producer/single-consumer discipline is enforced at compile time by
-//! handing out a `!Clone` [`Producer`] and [`Consumer`] pair.
+//! handing out a `!Clone` [`Producer`] and [`Consumer`] pair, and the
+//! mutating operations take `&mut self` so a reference returned by
+//! [`Consumer::peek`] can never be invalidated by a concurrent-looking
+//! [`Consumer::poll`] through the same handle.
+//!
+//! The memory-ordering protocol (and the `UnsafeCell` slot discipline) is
+//! model-checked: `RUSTFLAGS="--cfg loom" cargo test -p jet-queue` runs the
+//! `loom_tests` module below under exhaustive interleaving exploration, and
+//! the `--cfg jet_weak_ordering` mutation lane proves the checker fails on
+//! a deliberately weakened publish ordering. See DESIGN.md "Correctness
+//! toolkit".
 
-use crossbeam::utils::CachePadded;
-use std::cell::{Cell, UnsafeCell};
+use crate::sync::{Arc, AtomicBool, AtomicUsize, CachePadded, Ordering, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+
+/// Ordering of the producer's publish store of `tail`.
+///
+/// ordering: `Release` pairs with the consumer's `Acquire` load of `tail`,
+/// making the slot write visible before the new position. The
+/// `jet_weak_ordering` cfg (loom mutation lane only) deliberately weakens it
+/// to `Relaxed` to prove the model checker catches exactly this bug class —
+/// never enable it in a real build.
+const TAIL_PUBLISH: Ordering = if cfg!(jet_weak_ordering) {
+    Ordering::Relaxed
+} else {
+    Ordering::Release
+};
 
 struct Shared<T> {
     buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -27,33 +47,61 @@ struct Shared<T> {
     head: CachePadded<AtomicUsize>,
     /// Next slot the producer will write. Written by producer only.
     tail: CachePadded<AtomicUsize>,
+    /// Set once the producer guarantees no further offers (explicit
+    /// [`Producer::done`] or producer drop).
+    done: AtomicBool,
 }
 
-// Safety: only the producer writes slots between head..tail boundaries it
+// SAFETY: only the producer writes slots between head..tail boundaries it
 // owns, only the consumer reads slots it owns; positions are published with
-// release stores and observed with acquire loads.
+// release stores and observed with acquire loads (model-checked by the loom
+// tests below).
 unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: as above — the head/tail protocol gives each side exclusive
+// access to disjoint slots, so shared references to `Shared` are fine.
 unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Runs when the *last* of the two handles goes away: any items still
+        // sitting in `head..tail` (including items offered after the
+        // consumer was dropped) must have their destructors run or they leak.
+        // ordering: Relaxed suffices — `&mut self` proves unique ownership,
+        // and `Arc`'s drop protocol already ordered all prior accesses.
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Relaxed);
+        while head != tail {
+            // SAFETY: slots in `head..tail` hold initialized items that no
+            // handle can access anymore (we are the unique owner), so moving
+            // them out exactly once is sound.
+            drop(self.buffer[head & self.mask].with_mut(|p| unsafe { (*p).assume_init_read() }));
+            head = head.wrapping_add(1);
+        }
+    }
+}
 
 /// Producer half of an SPSC queue. Not cloneable.
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
     /// Producer's private copy of `tail` (avoids an atomic load).
-    tail: Cell<usize>,
+    tail: usize,
     /// Cached consumer position; refreshed only when the queue looks full.
-    cached_head: Cell<usize>,
+    cached_head: usize,
 }
 
 /// Consumer half of an SPSC queue. Not cloneable.
 pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
     /// Consumer's private copy of `head`.
-    head: Cell<usize>,
+    head: usize,
     /// Cached producer position; refreshed only when the queue looks empty.
-    cached_tail: Cell<usize>,
+    cached_tail: usize,
 }
 
+// SAFETY: moving the producer to another thread moves the only writer of
+// `tail` and the slots it owns; `T: Send` carries the items across.
 unsafe impl<T: Send> Send for Producer<T> {}
+// SAFETY: as above for the consumer side.
 unsafe impl<T: Send> Send for Consumer<T> {}
 
 /// Create a bounded SPSC queue with capacity rounded up to a power of two.
@@ -67,17 +115,18 @@ pub fn spsc_channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         mask: cap - 1,
         head: CachePadded::new(AtomicUsize::new(0)),
         tail: CachePadded::new(AtomicUsize::new(0)),
+        done: AtomicBool::new(false),
     });
     (
         Producer {
             shared: shared.clone(),
-            tail: Cell::new(0),
-            cached_head: Cell::new(0),
+            tail: 0,
+            cached_head: 0,
         },
         Consumer {
             shared,
-            head: Cell::new(0),
-            cached_tail: Cell::new(0),
+            head: 0,
+            cached_tail: 0,
         },
     )
 }
@@ -90,36 +139,61 @@ impl<T> Producer<T> {
 
     /// Try to enqueue one item; returns it back if the queue is full.
     #[inline]
-    pub fn offer(&self, item: T) -> Result<(), T> {
-        let tail = self.tail.get();
-        if tail.wrapping_sub(self.cached_head.get()) > self.shared.mask {
+    pub fn offer(&mut self, item: T) -> Result<(), T> {
+        let tail = self.tail;
+        if tail.wrapping_sub(self.cached_head) > self.shared.mask {
             // Looks full — refresh the consumer position.
-            self.cached_head
-                .set(self.shared.head.load(Ordering::Acquire));
-            if tail.wrapping_sub(self.cached_head.get()) > self.shared.mask {
+            // ordering: Acquire pairs with the consumer's Release store of
+            // `head` in `poll`: slots the consumer freed are fully read
+            // before we may overwrite them.
+            self.cached_head = self.shared.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) > self.shared.mask {
                 return Err(item);
             }
         }
-        let slot = &self.shared.buffer[tail & self.shared.mask];
-        unsafe { (*slot.get()).write(item) };
-        self.tail.set(tail.wrapping_add(1));
-        self.shared
-            .tail
-            .store(tail.wrapping_add(1), Ordering::Release);
+        // SAFETY: `tail` is within `cached_head..cached_head+capacity`, so
+        // this slot is either uninitialized or already moved out by the
+        // consumer; the producer is the only writer and publishes the slot
+        // only after this write via the `tail` release store below.
+        self.shared.buffer[tail & self.shared.mask].with_mut(|p| unsafe { (*p).write(item) });
+        self.tail = tail.wrapping_add(1);
+        self.shared.tail.store(self.tail, TAIL_PUBLISH);
         Ok(())
     }
 
     /// Free slots available for offers right now (a lower bound: the consumer
     /// may free more concurrently).
-    pub fn remaining_capacity(&self) -> usize {
+    pub fn remaining_capacity(&mut self) -> usize {
+        // ordering: Acquire — same pairing as the refresh in `offer`.
         let head = self.shared.head.load(Ordering::Acquire);
-        self.cached_head.set(head);
-        self.capacity() - self.tail.get().wrapping_sub(head)
+        self.cached_head = head;
+        self.capacity() - self.tail.wrapping_sub(head)
     }
 
     /// True if `offer` would currently fail.
-    pub fn is_full(&self) -> bool {
+    pub fn is_full(&mut self) -> bool {
         self.remaining_capacity() == 0
+    }
+
+    /// Promise that no further items will be offered. The consumer observes
+    /// this through [`Consumer::is_finished`] once the queue is drained.
+    /// Dropping the producer makes the same promise implicitly.
+    pub fn done(&self) {
+        // ordering: Release pairs with the Acquire load in `is_finished`, so
+        // a consumer that sees `done` also sees every item offered before it.
+        self.shared.done.store(true, Ordering::Release);
+    }
+
+    /// Has [`Producer::done`] been called (or the producer dropped)?
+    pub fn is_done(&self) -> bool {
+        self.shared.done.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // A dropped producer can never offer again: equivalent to `done()`.
+        self.done();
     }
 }
 
@@ -130,41 +204,52 @@ impl<T> Consumer<T> {
 
     /// Dequeue one item if available.
     #[inline]
-    pub fn poll(&self) -> Option<T> {
-        let head = self.head.get();
-        if head == self.cached_tail.get() {
-            self.cached_tail
-                .set(self.shared.tail.load(Ordering::Acquire));
-            if head == self.cached_tail.get() {
+    pub fn poll(&mut self) -> Option<T> {
+        let head = self.head;
+        if head == self.cached_tail {
+            // ordering: Acquire pairs with the producer's Release store of
+            // `tail`: the slot write is visible before the new position.
+            self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
                 return None;
             }
         }
-        let slot = &self.shared.buffer[head & self.shared.mask];
-        let item = unsafe { (*slot.get()).assume_init_read() };
-        self.head.set(head.wrapping_add(1));
-        self.shared
-            .head
-            .store(head.wrapping_add(1), Ordering::Release);
+        // SAFETY: `head < cached_tail` (acquire-published), so the slot
+        // holds an initialized item the producer will not touch until we
+        // release `head` past it below; reading it out exactly once is sound.
+        let item = self.shared.buffer[head & self.shared.mask]
+            .with(|p| unsafe { (*p).assume_init_read() });
+        self.head = head.wrapping_add(1);
+        // ordering: Release pairs with the producer's Acquire refresh of
+        // `head` in `offer`: our slot read completes before the producer may
+        // overwrite the slot.
+        self.shared.head.store(self.head, Ordering::Release);
         Some(item)
     }
 
-    /// Peek at the next item without consuming it.
+    /// Peek at the next item without consuming it. Holding the returned
+    /// reference borrows the consumer, so the slot cannot be `poll`ed (and
+    /// recycled by the producer) while it is alive.
     #[inline]
-    pub fn peek(&self) -> Option<&T> {
-        let head = self.head.get();
-        if head == self.cached_tail.get() {
-            self.cached_tail
-                .set(self.shared.tail.load(Ordering::Acquire));
-            if head == self.cached_tail.get() {
+    pub fn peek(&mut self) -> Option<&T> {
+        let head = self.head;
+        if head == self.cached_tail {
+            // ordering: Acquire — same pairing as in `poll`.
+            self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
                 return None;
             }
         }
-        let slot = &self.shared.buffer[head & self.shared.mask];
-        Some(unsafe { (*slot.get()).assume_init_ref() })
+        // SAFETY: as in `poll`, the slot is initialized and producer-stable;
+        // we hand out a shared borrow tied to `&mut self`, so no `poll` can
+        // move the item out while the reference lives.
+        Some(
+            self.shared.buffer[head & self.shared.mask].with(|p| unsafe { (*p).assume_init_ref() }),
+        )
     }
 
     /// Drain up to `max` items into `sink`, returning how many were moved.
-    pub fn drain_into(&self, sink: &mut Vec<T>, max: usize) -> usize {
+    pub fn drain_into(&mut self, sink: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max {
             match self.poll() {
@@ -180,32 +265,44 @@ impl<T> Consumer<T> {
 
     /// Number of items currently queued (approximate under concurrency).
     pub fn len(&self) -> usize {
+        // ordering: Acquire keeps the count consistent with what `poll`
+        // could actually return next.
         let tail = self.shared.tail.load(Ordering::Acquire);
-        tail.wrapping_sub(self.head.get())
+        tail.wrapping_sub(self.head)
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
 
-impl<T> Drop for Consumer<T> {
-    fn drop(&mut self) {
-        // Drain remaining items so their destructors run.
-        while self.poll().is_some() {}
+    /// True once the producer called [`Producer::done`] (or was dropped)
+    /// *and* every item it offered has been polled. A `true` result is
+    /// final: no further item can ever arrive on this queue.
+    pub fn is_finished(&mut self) -> bool {
+        // ordering: Acquire pairs with the Release store in `done`; seeing
+        // `done == true` therefore also makes the producer's final `tail`
+        // visible to the refresh below, so "empty" is conclusive.
+        if !self.shared.done.load(Ordering::Acquire) {
+            return false;
+        }
+        self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+        self.head == self.cached_tail
     }
 }
 
 /// Type-erased view of one queue's occupancy, readable from *any* thread.
 ///
-/// `Producer`/`Consumer` cache positions in non-`Sync` `Cell`s, so their
-/// `len()`-style accessors must stay on the owning thread. The probe reads
-/// only the shared atomics (the same ones the SPSC protocol publishes with
-/// release stores), which makes it safe for a metrics thread to sample
-/// depth concurrently with traffic — the value is approximate by nature.
+/// `Producer`/`Consumer` cache positions privately, so their `len()`-style
+/// accessors must stay on the owning thread. The probe reads only the shared
+/// atomics (the same ones the SPSC protocol publishes with release stores),
+/// which makes it safe for a metrics thread to sample depth concurrently
+/// with traffic — the value is approximate by nature.
 #[derive(Clone)]
 pub struct DepthProbe {
-    source: Arc<dyn DepthSource + Send + Sync>,
+    // A std Arc even in loom builds: the dyn-erasure needs std's unsize
+    // coercion, and the concrete source inside holds the queue via the shim
+    // `Arc`, so loom still tracks the underlying accesses.
+    source: std::sync::Arc<dyn DepthSource + Send + Sync>,
 }
 
 trait DepthSource {
@@ -213,17 +310,23 @@ trait DepthSource {
     fn capacity(&self) -> usize;
 }
 
-impl<T> DepthSource for Shared<T> {
+/// Concrete probe source: keeps the shared ring alive through the shim
+/// [`Arc`] while presenting the dyn-compatible [`DepthSource`] face.
+struct ProbeSource<T>(Arc<Shared<T>>);
+
+impl<T> DepthSource for ProbeSource<T> {
     fn depth(&self) -> usize {
-        let tail = self.tail.load(Ordering::Acquire);
-        let head = self.head.load(Ordering::Acquire);
+        // ordering: Acquire on both — the probe only needs a consistent
+        // snapshot no newer than either counter.
+        let tail = self.0.tail.load(Ordering::Acquire);
+        let head = self.0.head.load(Ordering::Acquire);
         // `tail` was read first: a concurrent poll can make `head` pass it,
         // so clamp instead of wrapping to a huge value.
-        tail.wrapping_sub(head).min(self.mask + 1)
+        tail.wrapping_sub(head).min(self.0.mask + 1)
     }
 
     fn capacity(&self) -> usize {
-        self.mask + 1
+        self.0.mask + 1
     }
 }
 
@@ -243,7 +346,7 @@ impl<T: Send + 'static> Producer<T> {
     /// A thread-safe occupancy probe for this queue.
     pub fn probe(&self) -> DepthProbe {
         DepthProbe {
-            source: self.shared.clone(),
+            source: std::sync::Arc::new(ProbeSource(self.shared.clone())),
         }
     }
 }
@@ -252,18 +355,147 @@ impl<T: Send + 'static> Consumer<T> {
     /// A thread-safe occupancy probe for this queue.
     pub fn probe(&self) -> DepthProbe {
         DepthProbe {
-            source: self.shared.clone(),
+            source: std::sync::Arc::new(ProbeSource(self.shared.clone())),
         }
     }
 }
 
-#[cfg(test)]
+/// Loom models of the SPSC protocol. Run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p jet-queue` (see DESIGN.md).
+///
+/// The models are deliberately tiny — capacity 2, a handful of items — so
+/// the DFS stays exhaustive within the preemption bound while still forcing
+/// every boundary case: wrap-around, the full-queue `cached_head` refresh,
+/// the empty-queue `cached_tail` refresh, and drop with in-flight items.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+
+    /// Move `n` items through a capacity-`cap` ring with retry/yield loops
+    /// on both sides, asserting order and completeness.
+    fn transfer_model(cap: usize, n: u64) {
+        loom::model(move || {
+            let (mut p, mut c) = spsc_channel::<u64>(cap);
+            let producer = thread::spawn(move || {
+                for i in 0..n {
+                    let mut v = i;
+                    loop {
+                        match p.offer(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expected = 0u64;
+            while expected < n {
+                match c.poll() {
+                    Some(v) => {
+                        assert_eq!(v, expected, "items reordered or corrupted");
+                        expected += 1;
+                    }
+                    None => thread::yield_now(),
+                }
+            }
+            producer.join().unwrap();
+            assert!(c.poll().is_none(), "phantom item after the last offer");
+        });
+    }
+
+    /// Wrap-around plus both cache-refresh races: 3 items through a 2-slot
+    /// ring force the producer's full-refresh and the consumer's
+    /// empty-refresh on every schedule.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn transfer_wraparound_and_cache_refresh() {
+        transfer_model(2, 3);
+    }
+
+    /// The mutation lane: with `--cfg jet_weak_ordering` the tail publish
+    /// store degrades to `Relaxed` (see [`TAIL_PUBLISH`]) and the checker
+    /// must report the slot hand-off as a data race. This is the proof that
+    /// the loom models have teeth.
+    #[cfg(jet_weak_ordering)]
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn weakened_tail_publish_is_caught() {
+        transfer_model(2, 2);
+    }
+
+    /// Items still in flight when both handles drop must be released exactly
+    /// once, under every drop order the scheduler can produce.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn drop_with_in_flight_items_releases_all() {
+        use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+        use std::sync::Arc as StdArc;
+
+        struct D(StdArc<StdAtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, StdOrdering::SeqCst);
+            }
+        }
+
+        loom::model(|| {
+            let drops = StdArc::new(StdAtomicUsize::new(0));
+            let (mut p, mut c) = spsc_channel::<D>(2);
+            assert!(p.offer(D(drops.clone())).is_ok());
+            assert!(p.offer(D(drops.clone())).is_ok());
+            let consumer = thread::spawn(move || {
+                // Consume at most one item, then drop with the rest in
+                // flight; completeness must not depend on who drops last.
+                let _maybe = c.poll();
+            });
+            drop(p);
+            consumer.join().unwrap();
+            assert_eq!(
+                drops.load(StdOrdering::SeqCst),
+                2,
+                "in-flight items leaked on drop"
+            );
+        });
+    }
+
+    /// The done() hand-shake: a consumer that sees `is_finished()` must have
+    /// observed every offered item first — no early termination.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn done_is_conclusive_only_after_last_item() {
+        loom::model(|| {
+            let (mut p, mut c) = spsc_channel::<u64>(2);
+            let producer = thread::spawn(move || {
+                p.offer(1).unwrap();
+                p.offer(2).unwrap();
+                p.done();
+            });
+            let mut sum = 0u64;
+            loop {
+                if let Some(v) = c.poll() {
+                    sum += v;
+                } else if c.is_finished() {
+                    break;
+                } else {
+                    thread::yield_now();
+                }
+            }
+            assert_eq!(sum, 3, "is_finished() fired before the queue drained");
+            producer.join().unwrap();
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
     #[test]
     fn offer_poll_roundtrip() {
-        let (p, c) = spsc_channel::<u32>(4);
+        let (mut p, mut c) = spsc_channel::<u32>(4);
         assert!(c.poll().is_none());
         p.offer(1).unwrap();
         p.offer(2).unwrap();
@@ -282,7 +514,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_and_returns_item() {
-        let (p, c) = spsc_channel::<u32>(2);
+        let (mut p, mut c) = spsc_channel::<u32>(2);
         p.offer(1).unwrap();
         p.offer(2).unwrap();
         assert_eq!(p.offer(3), Err(3));
@@ -295,7 +527,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_consume() {
-        let (p, c) = spsc_channel::<String>(4);
+        let (mut p, mut c) = spsc_channel::<String>(4);
         p.offer("a".to_string()).unwrap();
         assert_eq!(c.peek().map(|s| s.as_str()), Some("a"));
         assert_eq!(c.peek().map(|s| s.as_str()), Some("a"));
@@ -305,7 +537,7 @@ mod tests {
 
     #[test]
     fn len_tracks_contents() {
-        let (p, c) = spsc_channel::<u32>(8);
+        let (mut p, mut c) = spsc_channel::<u32>(8);
         assert!(c.is_empty());
         for i in 0..5 {
             p.offer(i).unwrap();
@@ -317,8 +549,9 @@ mod tests {
 
     #[test]
     fn wraparound_many_times() {
-        let (p, c) = spsc_channel::<u64>(4);
-        for i in 0..10_000u64 {
+        let (mut p, mut c) = spsc_channel::<u64>(4);
+        let n: u64 = if cfg!(miri) { 200 } else { 10_000 };
+        for i in 0..n {
             p.offer(i).unwrap();
             assert_eq!(c.poll(), Some(i));
         }
@@ -326,7 +559,7 @@ mod tests {
 
     #[test]
     fn drain_into_respects_max() {
-        let (p, c) = spsc_channel::<u32>(16);
+        let (mut p, mut c) = spsc_channel::<u32>(16);
         for i in 0..10 {
             p.offer(i).unwrap();
         }
@@ -347,7 +580,7 @@ mod tests {
                 DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
-        let (p, c) = spsc_channel::<D>(8);
+        let (mut p, c) = spsc_channel::<D>(8);
         for _ in 0..5 {
             assert!(p.offer(D).is_ok());
         }
@@ -356,10 +589,59 @@ mod tests {
         assert_eq!(DROPS.load(Ordering::SeqCst), 5);
     }
 
+    /// Regression (loom/Miri audit): items offered *after* the consumer was
+    /// dropped used to leak — the old `Consumer::drop` drained the queue,
+    /// but nothing released what arrived later. The queue's backing storage
+    /// now owns the cleanup, so drop order and timing no longer matter.
+    #[test]
+    fn items_offered_after_consumer_drop_are_released() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut p, c) = spsc_channel::<D>(8);
+        for _ in 0..3 {
+            assert!(p.offer(D).is_ok());
+        }
+        drop(c);
+        // The consumer is gone; these items can never be polled.
+        for _ in 0..2 {
+            assert!(p.offer(D).is_ok());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "items dropped too early");
+        drop(p);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5, "in-flight items leaked");
+    }
+
+    #[test]
+    fn done_flag_finishes_only_when_drained() {
+        let (mut p, mut c) = spsc_channel::<u32>(4);
+        p.offer(1).unwrap();
+        assert!(!c.is_finished());
+        p.done();
+        assert!(p.is_done());
+        assert!(!c.is_finished(), "finished while an item is still queued");
+        assert_eq!(c.poll(), Some(1));
+        assert!(c.is_finished());
+        // `is_finished` is final and idempotent.
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn producer_drop_implies_done() {
+        let (p, mut c) = spsc_channel::<u32>(4);
+        drop(p);
+        assert!(c.is_finished());
+    }
+
     #[test]
     fn cross_thread_transfer_preserves_order() {
-        let (p, c) = spsc_channel::<u64>(128);
-        const N: u64 = 200_000;
+        let (mut p, mut c) = spsc_channel::<u64>(128);
+        const N: u64 = if cfg!(miri) { 500 } else { 200_000 };
         let producer = std::thread::spawn(move || {
             for i in 0..N {
                 let mut v = i;
@@ -389,7 +671,7 @@ mod tests {
 
     #[test]
     fn remaining_capacity_reflects_consumption() {
-        let (p, c) = spsc_channel::<u32>(4);
+        let (mut p, mut c) = spsc_channel::<u32>(4);
         assert_eq!(p.remaining_capacity(), 4);
         p.offer(1).unwrap();
         p.offer(2).unwrap();
@@ -400,7 +682,7 @@ mod tests {
 
     #[test]
     fn depth_probe_tracks_occupancy_from_another_thread() {
-        let (p, c) = spsc_channel::<u32>(8);
+        let (mut p, mut c) = spsc_channel::<u32>(8);
         let probe = p.probe();
         assert_eq!(probe.capacity(), 8);
         assert_eq!(probe.depth(), 0);

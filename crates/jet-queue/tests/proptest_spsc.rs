@@ -3,6 +3,8 @@
 //! interleavings issued from the legal (single-producer, single-consumer)
 //! thread discipline.
 
+#![cfg(not(miri))]
+
 use jet_queue::{spsc_channel, Conveyor};
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -28,7 +30,7 @@ proptest! {
         cap in 1usize..64,
         ops in proptest::collection::vec(op_strategy(), 1..400),
     ) {
-        let (p, c) = spsc_channel::<u32>(cap);
+        let (mut p, mut c) = spsc_channel::<u32>(cap);
         let real_cap = p.capacity();
         let mut model: VecDeque<u32> = VecDeque::new();
         for op in ops {
@@ -60,7 +62,7 @@ proptest! {
         items in proptest::collection::vec((0usize..5, 0..1000u32), 0..200),
         mutes in proptest::collection::vec(0usize..5, 0..10),
     ) {
-        let (mut conv, producers) = Conveyor::<u32>::new(lanes, 512);
+        let (mut conv, mut producers) = Conveyor::<u32>::new(lanes, 512);
         let mut models: Vec<VecDeque<u32>> = vec![VecDeque::new(); lanes];
         for (lane, v) in items {
             let lane = lane % lanes;

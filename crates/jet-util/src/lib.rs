@@ -27,6 +27,7 @@ pub mod progress;
 pub mod rate;
 pub mod rng;
 pub mod seq;
+pub mod sync;
 
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
 pub use codec::{ByteReader, ByteWriter, DecodeError};

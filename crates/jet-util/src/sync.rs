@@ -1,0 +1,86 @@
+//! Concurrency shim: `std` types in normal builds, [`loom`] model-checked
+//! types under `--cfg loom`.
+//!
+//! The lock-free layer (`jet-queue`'s SPSC ring / conveyor and
+//! `jet-core`'s trace rings) is written against this module instead of
+//! `std::sync` directly. A normal build re-exports the `std` types and a
+//! `#[repr(transparent)]` `UnsafeCell` wrapper whose accessors are
+//! `#[inline]` pass-throughs — the compiled code is identical to using
+//! `std::cell::UnsafeCell::get` (no trait objects, no branches, no extra
+//! state). Under `RUSTFLAGS="--cfg loom"` the same code compiles against
+//! the model checker, which exhaustively explores interleavings and fails
+//! on any missing `Release`/`Acquire` pair or `UnsafeCell` data race.
+//!
+//! Rules of the road:
+//! * every cell access goes through [`UnsafeCell::with`] /
+//!   [`UnsafeCell::with_mut`] so loom can observe it;
+//! * cross-thread handles are shared through this module's [`Arc`] so the
+//!   checker credits the release/acquire edges `Arc::drop` provides;
+//! * spin/backoff points in loom tests use `loom::thread::yield_now`.
+
+#[cfg(loom)]
+pub use loom::cell::UnsafeCell;
+#[cfg(loom)]
+pub use loom::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub use loom::sync::Arc;
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+pub use crossbeam::utils::CachePadded;
+
+/// `std::cell::UnsafeCell` with loom's closure-based API, so the same call
+/// sites compile against the race-checked loom cell under `--cfg loom`.
+#[cfg(not(loom))]
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(loom))]
+impl<T> UnsafeCell<T> {
+    #[inline]
+    pub const fn new(value: T) -> UnsafeCell<T> {
+        UnsafeCell(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Shared access to the slot as a raw pointer. The caller promises the
+    /// usual `UnsafeCell` aliasing discipline; in loom builds the promise is
+    /// checked by the race detector.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get() as *const T)
+    }
+
+    /// Exclusive access to the slot as a raw pointer (see [`Self::with`]).
+    #[inline]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_cell_is_transparent_and_zero_cost() {
+        // The shim must compile to the bare std type: same size, same
+        // alignment, no discriminants or side tables.
+        assert_eq!(
+            std::mem::size_of::<UnsafeCell<u64>>(),
+            std::mem::size_of::<u64>()
+        );
+        assert_eq!(
+            std::mem::align_of::<UnsafeCell<u64>>(),
+            std::mem::align_of::<u64>()
+        );
+        let c = UnsafeCell::new(41u64);
+        // SAFETY: `c` is local to this test; no aliasing is possible.
+        c.with_mut(|p| unsafe { *p += 1 });
+        // SAFETY: as above.
+        assert_eq!(c.with(|p| unsafe { *p }), 42);
+    }
+}

@@ -1,0 +1,493 @@
+//! Offline stand-in for the [`loom`](https://crates.io/crates/loom)
+//! permutation-testing model checker.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! small but *real* model checker with loom's API shape (the subset jet-rs
+//! uses): [`model`] exhaustively explores thread interleavings (bounded by
+//! `LOOM_MAX_PREEMPTIONS`), atomics follow an operational release/acquire
+//! memory model in which relaxed loads can observe stale values, and
+//! [`cell::UnsafeCell`] accesses are checked for data races with vector
+//! clocks. A missing `Release`/`Acquire` pair in the SPSC queue therefore
+//! *fails* under this checker exactly as it would under upstream loom — see
+//! `rt` for the model's semantics and its (documented) approximations.
+//!
+//! Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 3),
+//! `LOOM_MAX_ITERATIONS`, `LOOM_MAX_STEPS`, `LOOM_LOG` (print the number of
+//! explored executions).
+
+pub mod rt;
+
+/// Exhaustively run `f` under every thread interleaving within the
+/// preemption bound, checking atomic-ordering visibility and `UnsafeCell`
+/// data races. Panics on the first failing execution.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    rt::model(f)
+}
+
+pub mod thread {
+    pub use crate::rt::JoinHandle;
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::rt::spawn(f)
+    }
+
+    /// Voluntarily hand the schedule to another thread (models
+    /// `std::thread::yield_now` / a spin-loop backoff point).
+    pub fn yield_now() {
+        crate::rt::yield_now()
+    }
+}
+
+pub mod hint {
+    /// Modeled as a yield: a spinning thread must let others run.
+    pub fn spin_loop() {
+        crate::rt::yield_now()
+    }
+}
+
+pub mod sync {
+    pub use self::arc::Arc;
+
+    pub mod atomic {
+        use crate::rt::{self, Acq, Ord3, Rel, Sc};
+
+        pub use std::sync::atomic::Ordering;
+
+        fn decompose_load(ord: Ordering) -> Ord3 {
+            match ord {
+                Ordering::Relaxed => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::No,
+                    sc: Sc::No,
+                },
+                Ordering::Acquire => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::No,
+                    sc: Sc::No,
+                },
+                Ordering::SeqCst => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::No,
+                    sc: Sc::Yes,
+                },
+                Ordering::Release | Ordering::AcqRel => {
+                    panic!("invalid ordering for a load: {ord:?}")
+                }
+                _ => panic!("unknown ordering"),
+            }
+        }
+
+        fn decompose_store(ord: Ordering) -> Ord3 {
+            match ord {
+                Ordering::Relaxed => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::No,
+                    sc: Sc::No,
+                },
+                Ordering::Release => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::Yes,
+                    sc: Sc::No,
+                },
+                Ordering::SeqCst => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::Yes,
+                    sc: Sc::Yes,
+                },
+                Ordering::Acquire | Ordering::AcqRel => {
+                    panic!("invalid ordering for a store: {ord:?}")
+                }
+                _ => panic!("unknown ordering"),
+            }
+        }
+
+        fn decompose_rmw(ord: Ordering) -> Ord3 {
+            match ord {
+                Ordering::Relaxed => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::No,
+                    sc: Sc::No,
+                },
+                Ordering::Acquire => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::No,
+                    sc: Sc::No,
+                },
+                Ordering::Release => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::Yes,
+                    sc: Sc::No,
+                },
+                Ordering::AcqRel => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::Yes,
+                    sc: Sc::No,
+                },
+                Ordering::SeqCst => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::Yes,
+                    sc: Sc::Yes,
+                },
+                _ => panic!("unknown ordering"),
+            }
+        }
+
+        /// C11 fence. `Acquire` promotes message clocks collected by earlier
+        /// relaxed loads; `Release` stamps later relaxed stores.
+        pub fn fence(ord: Ordering) {
+            let o = match ord {
+                Ordering::Acquire => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::No,
+                    sc: Sc::No,
+                },
+                Ordering::Release => Ord3 {
+                    acq: Acq::No,
+                    rel: Rel::Yes,
+                    sc: Sc::No,
+                },
+                Ordering::AcqRel => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::Yes,
+                    sc: Sc::No,
+                },
+                Ordering::SeqCst => Ord3 {
+                    acq: Acq::Yes,
+                    rel: Rel::Yes,
+                    sc: Sc::Yes,
+                },
+                _ => panic!("invalid ordering for a fence: {ord:?}"),
+            };
+            rt::fence(o)
+        }
+
+        macro_rules! atomic_int {
+            ($name:ident, $t:ty) => {
+                /// Model-checked atomic. Holds no data: the value lives in
+                /// the model's per-location store history.
+                #[derive(Debug)]
+                pub struct $name {
+                    id: usize,
+                }
+
+                impl $name {
+                    pub fn new(v: $t) -> Self {
+                        $name {
+                            id: rt::atomic_new(v as u64),
+                        }
+                    }
+
+                    pub fn load(&self, ord: Ordering) -> $t {
+                        rt::atomic_load(self.id, decompose_load(ord)) as $t
+                    }
+
+                    pub fn store(&self, v: $t, ord: Ordering) {
+                        rt::atomic_store(self.id, v as u64, decompose_store(ord))
+                    }
+
+                    pub fn swap(&self, v: $t, ord: Ordering) -> $t {
+                        rt::atomic_rmw(self.id, decompose_rmw(ord), |_| v as u64) as $t
+                    }
+
+                    pub fn fetch_add(&self, v: $t, ord: Ordering) -> $t {
+                        rt::atomic_rmw(self.id, decompose_rmw(ord), |old| {
+                            (old as $t).wrapping_add(v) as u64
+                        }) as $t
+                    }
+
+                    pub fn fetch_sub(&self, v: $t, ord: Ordering) -> $t {
+                        rt::atomic_rmw(self.id, decompose_rmw(ord), |old| {
+                            (old as $t).wrapping_sub(v) as u64
+                        }) as $t
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        expected: $t,
+                        new: $t,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$t, $t> {
+                        rt::atomic_cas(
+                            self.id,
+                            expected as u64,
+                            new as u64,
+                            decompose_rmw(ok),
+                            decompose_load(err),
+                        )
+                        .map(|v| v as $t)
+                        .map_err(|v| v as $t)
+                    }
+
+                    pub fn compare_exchange_weak(
+                        &self,
+                        expected: $t,
+                        new: $t,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$t, $t> {
+                        self.compare_exchange(expected, new, ok, err)
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicUsize, usize);
+        atomic_int!(AtomicU64, u64);
+        atomic_int!(AtomicU32, u32);
+
+        /// Model-checked atomic bool (stored as 0/1 in the model).
+        #[derive(Debug)]
+        pub struct AtomicBool {
+            id: usize,
+        }
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                AtomicBool {
+                    id: rt::atomic_new(v as u64),
+                }
+            }
+
+            pub fn load(&self, ord: Ordering) -> bool {
+                rt::atomic_load(self.id, decompose_load(ord)) != 0
+            }
+
+            pub fn store(&self, v: bool, ord: Ordering) {
+                rt::atomic_store(self.id, v as u64, decompose_store(ord))
+            }
+
+            pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+                rt::atomic_rmw(self.id, decompose_rmw(ord), |_| v as u64) != 0
+            }
+        }
+    }
+
+    mod arc {
+        use super::atomic::{AtomicUsize, Ordering};
+        use std::ops::Deref;
+
+        struct Inner<T: ?Sized> {
+            /// Shadow refcount: a *tracked* atomic mirroring the real one so
+            /// the model records the release/acquire edges `Arc` provides
+            /// (last-drop synchronizes with every earlier drop). The real
+            /// memory management is still `std::sync::Arc`.
+            shadow: AtomicUsize,
+            value: T,
+        }
+
+        /// Model-aware `Arc`: defers storage to `std::sync::Arc` but plays
+        /// the refcount through the checker so structures dropped through an
+        /// `Arc` do not produce false data-race reports.
+        pub struct Arc<T: ?Sized> {
+            inner: std::sync::Arc<Inner<T>>,
+        }
+
+        impl<T> Arc<T> {
+            pub fn new(value: T) -> Self {
+                Arc {
+                    inner: std::sync::Arc::new(Inner {
+                        shadow: AtomicUsize::new(1),
+                        value,
+                    }),
+                }
+            }
+        }
+
+        impl<T: ?Sized> Clone for Arc<T> {
+            fn clone(&self) -> Self {
+                self.inner.shadow.fetch_add(1, Ordering::Relaxed);
+                Arc {
+                    inner: self.inner.clone(),
+                }
+            }
+        }
+
+        impl<T: ?Sized> Deref for Arc<T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner.value
+            }
+        }
+
+        impl<T: ?Sized> Drop for Arc<T> {
+            fn drop(&mut self) {
+                if self.inner.shadow.fetch_sub(1, Ordering::Release) == 1 {
+                    // Last reference: acquire everything the other droppers
+                    // released before `T::drop` runs (via the inner Arc).
+                    super::atomic::fence(Ordering::Acquire);
+                }
+            }
+        }
+
+        // SAFETY: same bounds as `std::sync::Arc` — the shadow counter adds
+        // no thread affinity.
+        unsafe impl<T: ?Sized + Send + Sync> Send for Arc<T> {}
+        // SAFETY: as above.
+        unsafe impl<T: ?Sized + Send + Sync> Sync for Arc<T> {}
+    }
+}
+
+pub mod cell {
+    use crate::rt;
+
+    /// Model-checked `UnsafeCell`: every access is declared to the race
+    /// detector. Mirrors loom's closure-based API (`with` / `with_mut`).
+    #[derive(Debug)]
+    pub struct UnsafeCell<T> {
+        id: usize,
+        data: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(value: T) -> Self {
+            UnsafeCell {
+                id: rt::cell_new(),
+                data: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        /// Immutable access: races with concurrent writes are detected.
+        #[inline]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            rt::cell_access(self.id, false);
+            f(self.data.get() as *const T)
+        }
+
+        /// Mutable access: races with any concurrent access are detected.
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            rt::cell_access(self.id, true);
+            f(self.data.get())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cell::UnsafeCell;
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    /// Test-only cell shared across threads (the tests provide the
+    /// synchronization under scrutiny).
+    struct RacyCell(UnsafeCell<u64>);
+    // SAFETY: accesses are checked by the model's race detector; the whole
+    // point of these tests is to validate that checking.
+    unsafe impl Sync for RacyCell {}
+    unsafe impl Send for RacyCell {}
+
+    #[test]
+    fn message_passing_release_acquire_is_race_free() {
+        super::model(|| {
+            let pair = Arc::new((AtomicUsize::new(0), RacyCell(UnsafeCell::new(0u64))));
+            let p2 = pair.clone();
+            let t = super::thread::spawn(move || {
+                p2.1 .0.with_mut(|p| unsafe { *p = 42 });
+                p2.0.store(1, Ordering::Release);
+            });
+            let (flag, cell) = &*pair;
+            if flag.load(Ordering::Acquire) == 1 {
+                let v = cell.0.with(|p| unsafe { *p });
+                assert_eq!(v, 42);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn message_passing_relaxed_store_is_a_race() {
+        super::model(|| {
+            let pair = Arc::new((AtomicUsize::new(0), RacyCell(UnsafeCell::new(0u64))));
+            let p2 = pair.clone();
+            let t = super::thread::spawn(move || {
+                p2.1 .0.with_mut(|p| unsafe { *p = 42 });
+                // BUG under test: Relaxed publish does not order the cell
+                // write before the flag for the reader.
+                p2.0.store(1, Ordering::Relaxed);
+            });
+            let (flag, cell) = &*pair;
+            if flag.load(Ordering::Acquire) == 1 {
+                let _ = cell.0.with(|p| unsafe { *p });
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn message_passing_relaxed_load_is_a_race() {
+        super::model(|| {
+            let pair = Arc::new((AtomicUsize::new(0), RacyCell(UnsafeCell::new(0u64))));
+            let p2 = pair.clone();
+            let t = super::thread::spawn(move || {
+                p2.1 .0.with_mut(|p| unsafe { *p = 42 });
+                p2.0.store(1, Ordering::Release);
+            });
+            let (flag, cell) = &*pair;
+            if flag.load(Ordering::Relaxed) == 1 {
+                let _ = cell.0.with(|p| unsafe { *p });
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn relaxed_loads_observe_stale_values() {
+        // The checker must explore executions where an Acquire load still
+        // reads an *older* store (nothing forces freshness).
+        let saw_stale = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let saw_fresh = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (stale, fresh) = (saw_stale.clone(), saw_fresh.clone());
+        super::model(move || {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = flag.clone();
+            let t = super::thread::spawn(move || {
+                f2.store(1, Ordering::Release);
+            });
+            match flag.load(Ordering::Acquire) {
+                0 => stale.store(true, std::sync::atomic::Ordering::SeqCst),
+                _ => fresh.store(true, std::sync::atomic::Ordering::SeqCst),
+            }
+            t.join().unwrap();
+        });
+        assert!(saw_stale.load(std::sync::atomic::Ordering::SeqCst));
+        assert!(saw_fresh.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn arc_drop_synchronizes_last_owner() {
+        super::model(|| {
+            let cell = Arc::new(RacyCell(UnsafeCell::new(0u64)));
+            let c2 = cell.clone();
+            let t = super::thread::spawn(move || {
+                c2.0.with_mut(|p| unsafe { *p = 7 });
+                // c2 dropped here.
+            });
+            t.join().unwrap();
+            drop(cell); // last owner: must not report a race with the write
+        });
+    }
+
+    #[test]
+    fn rmw_is_atomic_across_threads() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = n.clone();
+            let t = super::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+        });
+    }
+}

@@ -1,0 +1,974 @@
+//! The model-checking runtime: a DFS explorer over thread schedules plus an
+//! operational release/acquire memory model.
+//!
+//! Execution model
+//! ---------------
+//! Each `model()` iteration runs the test closure with every spawned thread
+//! mapped onto a real OS thread, but only **one** thread is ever runnable:
+//! every tracked operation (atomic access, `UnsafeCell` access, spawn, join,
+//! yield) is a *sequence point* that hands control to the scheduler. The
+//! scheduler consults a depth-first explorer that enumerates, at every
+//! sequence point, which thread performs its next operation — bounded by a
+//! preemption budget (`LOOM_MAX_PREEMPTIONS`, default 3) exactly like the
+//! real loom.
+//!
+//! Memory model
+//! ------------
+//! Per-location store buffers with vector clocks implement the C11
+//! release/acquire fragment operationally:
+//!
+//! * every atomic location keeps the full history of stores made to it; a
+//!   load may read **any** store not ruled out by coherence (never older
+//!   than one the thread has already observed, nor older than one that
+//!   happens-before the load). When several stores are readable the choice
+//!   is a DFS branch — this is what lets the checker exercise the "cache
+//!   refresh saw a stale counter" paths deterministically.
+//! * a `Release` store publishes the writer's vector clock as the message
+//!   clock; an `Acquire` load that reads it joins the clock (synchronizes).
+//!   `Relaxed` accesses move values but **no** clocks (modulo fences, which
+//!   are modeled: a release fence stamps subsequent relaxed stores, an
+//!   acquire fence promotes previously-read message clocks).
+//! * RMWs read the newest store, continue its release sequence (the read
+//!   store's message clock is folded into the written one) and append.
+//! * `SeqCst` is approximated as `AcqRel` plus joining through a global SC
+//!   clock — stronger orderings are never reported as bugs, weaker ones are.
+//!
+//! `UnsafeCell` accesses are checked with a FastTrack-style vector-clock
+//! race detector: a write racing any access (or a read racing a write) that
+//! is not ordered by happens-before panics with `"data race"`, which the
+//! explorer surfaces on the iteration (schedule prefix) that triggers it.
+
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Hard cap on model threads per execution (root counts as one).
+pub const MAX_THREADS: usize = 4;
+
+/// Panic message used when a sibling thread already failed the model and
+/// this thread only needs to unwind out of the iteration.
+pub const ABORT: &str = "loom model aborted: failure detected on another thread";
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// Does this clock cover (happen-after) event `tick` on thread `tid`?
+    fn covers(&self, tid: usize, tick: u32) -> bool {
+        self.0[tid] >= tick
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Acq {
+    Yes,
+    No,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    Yes,
+    No,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sc {
+    Yes,
+    No,
+}
+
+/// Decomposed C11 ordering, so every atomic entry point shares one
+/// implementation.
+#[derive(Clone, Copy, Debug)]
+pub struct Ord3 {
+    pub acq: Acq,
+    pub rel: Rel,
+    pub sc: Sc,
+}
+
+struct Store {
+    value: u64,
+    /// Clock transferred to acquiring readers (zero for relaxed stores made
+    /// with no preceding release fence).
+    msg: VClock,
+    writer: usize,
+    /// The writer's own clock component at the store event.
+    tick: u32,
+}
+
+struct AtomicState {
+    stores: Vec<Store>,
+    /// Newest store index each thread has observed (coherence floor).
+    seen: [usize; MAX_THREADS],
+}
+
+#[derive(Default)]
+struct CellState {
+    /// Tick of each thread's latest read of the cell.
+    reads: [u32; MAX_THREADS],
+    /// Tick of each thread's latest write to the cell.
+    writes: [u32; MAX_THREADS],
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// May be scheduled.
+    Ready,
+    /// Waiting for thread `.0` to finish.
+    Joining(usize),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Pending message clocks read by relaxed loads, promoted by an acquire
+    /// fence.
+    acq_pending: VClock,
+    /// Clock stamped onto relaxed stores after a release fence.
+    rel_fence: VClock,
+}
+
+/// One DFS branch: which alternative was taken out of how many.
+#[derive(Clone, Copy, Debug)]
+struct Branch {
+    chosen: u32,
+    total: u32,
+}
+
+struct Explorer {
+    path: Vec<Branch>,
+    pos: usize,
+    iterations: u64,
+}
+
+impl Explorer {
+    fn choice(&mut self, total: usize) -> usize {
+        debug_assert!(total >= 2);
+        if self.pos < self.path.len() {
+            let b = self.path[self.pos];
+            assert_eq!(
+                b.total as usize, total,
+                "loom internal error: nondeterministic replay (branch arity changed)"
+            );
+            self.pos += 1;
+            b.chosen as usize
+        } else {
+            self.path.push(Branch {
+                chosen: 0,
+                total: total as u32,
+            });
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Advance to the next unexplored schedule; false when the space is
+    /// exhausted.
+    fn advance(&mut self) -> bool {
+        self.pos = 0;
+        self.iterations += 1;
+        loop {
+            match self.path.last_mut() {
+                None => return false,
+                Some(b) => {
+                    b.chosen += 1;
+                    if b.chosen < b.total {
+                        return true;
+                    }
+                    self.path.pop();
+                }
+            }
+        }
+    }
+}
+
+struct Exec {
+    explorer: Explorer,
+    threads: Vec<ThreadState>,
+    active: usize,
+    atomics: Vec<AtomicState>,
+    cells: Vec<CellState>,
+    /// Global SeqCst clock (joined through by every SeqCst operation).
+    sc: VClock,
+    preemptions: usize,
+    max_preemptions: usize,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    /// Set between iterations; model threads must not touch state.
+    running: bool,
+}
+
+impl Exec {
+    fn reset_iteration(&mut self) {
+        self.threads.clear();
+        self.threads.push(ThreadState {
+            status: Status::Ready,
+            clock: VClock::default(),
+            acq_pending: VClock::default(),
+            rel_fence: VClock::default(),
+        });
+        self.active = 0;
+        self.atomics.clear();
+        self.cells.clear();
+        self.sc = VClock::default();
+        self.preemptions = 0;
+        self.steps = 0;
+        self.failure = None;
+        self.running = true;
+    }
+
+    fn ready_others(&self, me: usize) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| t != me && self.threads[t].status == Status::Ready)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+}
+
+fn rt() -> &'static (Mutex<Exec>, Condvar) {
+    static RT: OnceLock<(Mutex<Exec>, Condvar)> = OnceLock::new();
+    RT.get_or_init(|| {
+        (
+            Mutex::new(Exec {
+                explorer: Explorer {
+                    path: Vec::new(),
+                    pos: 0,
+                    iterations: 0,
+                },
+                threads: Vec::new(),
+                active: usize::MAX,
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                sc: VClock::default(),
+                preemptions: 0,
+                max_preemptions: 3,
+                steps: 0,
+                max_steps: 100_000,
+                failure: None,
+                running: false,
+            }),
+            Condvar::new(),
+        )
+    })
+}
+
+fn lock() -> MutexGuard<'static, Exec> {
+    rt().0.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serializes whole `model()` calls: the runtime state is global, so two
+/// model-checking tests running on parallel test threads must take turns.
+fn model_lock() -> MutexGuard<'static, ()> {
+    static MODEL: OnceLock<Mutex<()>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn current() -> usize {
+    CURRENT
+        .with(|c| c.get())
+        .expect("loom primitive used outside of loom::model (or from an unmanaged thread)")
+}
+
+/// True when this thread should skip scheduling/checking and apply raw
+/// effects only: the iteration already failed and we are unwinding (drops of
+/// user structures still perform atomic/cell calls).
+fn raw_mode(ex: &Exec) -> bool {
+    ex.failure.is_some() || !ex.running || std::thread::panicking()
+}
+
+/// Record a model failure, wake everyone, release the lock and panic.
+fn fail(mut ex: MutexGuard<'_, Exec>, msg: String) -> ! {
+    if ex.failure.is_none() {
+        ex.failure = Some(msg.clone());
+    }
+    rt().1.notify_all();
+    drop(ex);
+    panic!("{msg}");
+}
+
+/// The scheduler: called at the start of every tracked operation. Decides
+/// which thread performs its next operation; parks the caller until it is
+/// chosen again. `voluntary` marks an explicit yield: the caller prefers to
+/// hand control away and switching costs no preemption.
+fn op_point(me: usize, voluntary: bool) {
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        if ex.failure.is_some() && !std::thread::panicking() {
+            drop(ex);
+            panic!("{ABORT}");
+        }
+        return;
+    }
+    ex.steps += 1;
+    if ex.steps > ex.max_steps {
+        let steps = ex.steps;
+        fail(
+            ex,
+            format!("loom: iteration exceeded {steps} steps (livelock or unbounded spin?)"),
+        );
+    }
+    let others = ex.ready_others(me);
+    let me_ready = ex.threads[me].status == Status::Ready;
+    debug_assert!(me_ready, "op_point from a non-ready thread");
+
+    // Candidate threads for the next operation. `choice 0` = the cheapest
+    // continuation so DFS explores low-preemption schedules first.
+    let mut cands: Vec<usize> = Vec::new();
+    if voluntary {
+        if others.is_empty() {
+            cands.push(me);
+        } else {
+            cands.extend(&others);
+        }
+    } else {
+        cands.push(me);
+        if ex.preemptions < ex.max_preemptions {
+            cands.extend(&others);
+        }
+    }
+    let next = if cands.len() > 1 {
+        let idx = ex.explorer.choice(cands.len());
+        cands[idx]
+    } else {
+        cands[0]
+    };
+    if next != me {
+        if !voluntary {
+            ex.preemptions += 1;
+        }
+        ex.active = next;
+        rt().1.notify_all();
+        while ex.active != me && ex.failure.is_none() && ex.running {
+            ex = rt().1.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+        if ex.failure.is_some() {
+            drop(ex);
+            panic!("{ABORT}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+pub fn atomic_new(init: u64) -> usize {
+    let me = current();
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        // Still allocate so ids stay unique during unwinds.
+        let id = ex.atomics.len();
+        ex.atomics.push(AtomicState {
+            stores: vec![Store {
+                value: init,
+                msg: VClock::default(),
+                writer: me,
+                tick: 0,
+            }],
+            seen: [0; MAX_THREADS],
+        });
+        return id;
+    }
+    ex.threads[me].clock.0[me] += 1;
+    let tick = ex.threads[me].clock.0[me];
+    let msg = ex.threads[me].clock;
+    let id = ex.atomics.len();
+    ex.atomics.push(AtomicState {
+        stores: vec![Store {
+            value: init,
+            msg,
+            writer: me,
+            tick,
+        }],
+        seen: [0; MAX_THREADS],
+    });
+    id
+}
+
+pub fn atomic_load(id: usize, ord: Ord3) -> u64 {
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        return ex.atomics[id].stores.last().unwrap().value;
+    }
+    // Coherence floor: never read older than something already observed or
+    // than a store that happens-before this load.
+    let clock = ex.threads[me].clock;
+    let a = &ex.atomics[id];
+    let newest = a.stores.len() - 1;
+    // `seen` points one past the store read last time (coherence-progress
+    // bound: a repeated load of the same location may not re-observe the
+    // same stale store, so spin loops always make progress and the DFS tree
+    // stays finite; this explores a subset of C11 behaviours). Clamp to the
+    // newest store, which is always readable.
+    let mut floor = a.seen[me].min(newest);
+    for (j, s) in a.stores.iter().enumerate().skip(floor + 1) {
+        if clock.covers(s.writer, s.tick) {
+            floor = j;
+        }
+    }
+    let count = newest - floor + 1;
+    // Branch over readable stores, newest first (choice 0 = newest).
+    let idx = if count > 1 {
+        newest - ex.explorer.choice(count)
+    } else {
+        newest
+    };
+    let a = &mut ex.atomics[id];
+    a.seen[me] = a.seen[me].max(idx + 1);
+    let value = a.stores[idx].value;
+    let msg = a.stores[idx].msg;
+    match ord.acq {
+        Acq::Yes => ex.threads[me].clock.join(&msg),
+        Acq::No => ex.threads[me].acq_pending.join(&msg),
+    }
+    if ord.sc == Sc::Yes {
+        let sc = ex.sc;
+        ex.threads[me].clock.join(&sc);
+        let clock = ex.threads[me].clock;
+        ex.sc.join(&clock);
+    }
+    value
+}
+
+pub fn atomic_store(id: usize, value: u64, ord: Ord3) {
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        ex.atomics[id].stores.push(Store {
+            value,
+            msg: VClock::default(),
+            writer: me,
+            tick: 0,
+        });
+        return;
+    }
+    if ord.sc == Sc::Yes {
+        let sc = ex.sc;
+        ex.threads[me].clock.join(&sc);
+    }
+    ex.threads[me].clock.0[me] += 1;
+    let tick = ex.threads[me].clock.0[me];
+    let msg = match ord.rel {
+        Rel::Yes => ex.threads[me].clock,
+        Rel::No => ex.threads[me].rel_fence,
+    };
+    if ord.sc == Sc::Yes {
+        let clock = ex.threads[me].clock;
+        ex.sc.join(&clock);
+    }
+    let a = &mut ex.atomics[id];
+    a.stores.push(Store {
+        value,
+        msg,
+        writer: me,
+        tick,
+    });
+    let newest = a.stores.len() - 1;
+    a.seen[me] = newest;
+}
+
+/// Fetch-modify: reads the newest store (RMW atomicity), continues its
+/// release sequence, appends the new value. Returns the old value.
+pub fn atomic_rmw(id: usize, ord: Ord3, f: impl FnOnce(u64) -> u64) -> u64 {
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        let old = ex.atomics[id].stores.last().unwrap().value;
+        ex.atomics[id].stores.push(Store {
+            value: f(old),
+            msg: VClock::default(),
+            writer: me,
+            tick: 0,
+        });
+        return old;
+    }
+    let newest = ex.atomics[id].stores.len() - 1;
+    let old = ex.atomics[id].stores[newest].value;
+    let read_msg = ex.atomics[id].stores[newest].msg;
+    match ord.acq {
+        Acq::Yes => ex.threads[me].clock.join(&read_msg),
+        Acq::No => ex.threads[me].acq_pending.join(&read_msg),
+    }
+    if ord.sc == Sc::Yes {
+        let sc = ex.sc;
+        ex.threads[me].clock.join(&sc);
+    }
+    ex.threads[me].clock.0[me] += 1;
+    let tick = ex.threads[me].clock.0[me];
+    let mut msg = match ord.rel {
+        Rel::Yes => ex.threads[me].clock,
+        Rel::No => ex.threads[me].rel_fence,
+    };
+    // Release-sequence continuation: an RMW carries the prior message clock
+    // forward even when itself relaxed.
+    msg.join(&read_msg);
+    if ord.sc == Sc::Yes {
+        let clock = ex.threads[me].clock;
+        ex.sc.join(&clock);
+    }
+    let a = &mut ex.atomics[id];
+    a.stores.push(Store {
+        value: f(old),
+        msg,
+        writer: me,
+        tick,
+    });
+    let newest = a.stores.len() - 1;
+    a.seen[me] = newest;
+    old
+}
+
+/// Compare-exchange: success path is an RMW, failure path a load with the
+/// failure ordering.
+pub fn atomic_cas(id: usize, expected: u64, new: u64, ok: Ord3, err: Ord3) -> Result<u64, u64> {
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        let cur = ex.atomics[id].stores.last().unwrap().value;
+        if cur == expected {
+            ex.atomics[id].stores.push(Store {
+                value: new,
+                msg: VClock::default(),
+                writer: me,
+                tick: 0,
+            });
+            return Ok(cur);
+        }
+        return Err(cur);
+    }
+    let newest = ex.atomics[id].stores.len() - 1;
+    let cur = ex.atomics[id].stores[newest].value;
+    let read_msg = ex.atomics[id].stores[newest].msg;
+    if cur == expected {
+        // Success: one RMW on the newest store.
+        match ok.acq {
+            Acq::Yes => ex.threads[me].clock.join(&read_msg),
+            Acq::No => ex.threads[me].acq_pending.join(&read_msg),
+        }
+        if ok.sc == Sc::Yes {
+            let sc = ex.sc;
+            ex.threads[me].clock.join(&sc);
+        }
+        ex.threads[me].clock.0[me] += 1;
+        let tick = ex.threads[me].clock.0[me];
+        let mut msg = match ok.rel {
+            Rel::Yes => ex.threads[me].clock,
+            Rel::No => ex.threads[me].rel_fence,
+        };
+        msg.join(&read_msg);
+        if ok.sc == Sc::Yes {
+            let clock = ex.threads[me].clock;
+            ex.sc.join(&clock);
+        }
+        let a = &mut ex.atomics[id];
+        a.stores.push(Store {
+            value: new,
+            msg,
+            writer: me,
+            tick,
+        });
+        let newest = a.stores.len() - 1;
+        a.seen[me] = newest;
+        Ok(cur)
+    } else {
+        // Failure: a load of the newest store with the failure ordering.
+        match err.acq {
+            Acq::Yes => ex.threads[me].clock.join(&read_msg),
+            Acq::No => ex.threads[me].acq_pending.join(&read_msg),
+        }
+        ex.atomics[id].seen[me] = newest;
+        Err(cur)
+    }
+}
+
+pub fn fence(ord: Ord3) {
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        return;
+    }
+    if ord.acq == Acq::Yes {
+        let pending = ex.threads[me].acq_pending;
+        ex.threads[me].clock.join(&pending);
+    }
+    if ord.rel == Rel::Yes {
+        ex.threads[me].rel_fence = ex.threads[me].clock;
+    }
+    if ord.sc == Sc::Yes {
+        let sc = ex.sc;
+        ex.threads[me].clock.join(&sc);
+        let clock = ex.threads[me].clock;
+        ex.sc.join(&clock);
+        ex.threads[me].rel_fence = clock;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UnsafeCell race detection
+// ---------------------------------------------------------------------------
+
+pub fn cell_new() -> usize {
+    let me = current();
+    let mut ex = lock();
+    let id = ex.cells.len();
+    let mut st = CellState::default();
+    if !raw_mode(&ex) {
+        ex.threads[me].clock.0[me] += 1;
+        st.writes[me] = ex.threads[me].clock.0[me];
+    }
+    ex.cells.push(st);
+    id
+}
+
+pub fn cell_access(id: usize, write: bool) {
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if raw_mode(&ex) {
+        return;
+    }
+    let clock = ex.threads[me].clock;
+    let writes = ex.cells[id].writes;
+    let reads = ex.cells[id].reads;
+    for u in 0..MAX_THREADS {
+        if u == me {
+            continue;
+        }
+        if writes[u] > clock.0[u] {
+            let kind = if write { "write" } else { "read" };
+            fail(
+                ex,
+                format!(
+                    "data race: concurrent {kind} of UnsafeCell #{id} by thread {me} \
+                     races with un-synchronized write by thread {u}"
+                ),
+            );
+        }
+        if write && reads[u] > clock.0[u] {
+            fail(
+                ex,
+                format!(
+                    "data race: concurrent write of UnsafeCell #{id} by thread {me} \
+                     races with un-synchronized read by thread {u}"
+                ),
+            );
+        }
+    }
+    ex.threads[me].clock.0[me] += 1;
+    let tick = ex.threads[me].clock.0[me];
+    let c = &mut ex.cells[id];
+    if write {
+        c.writes[me] = tick;
+    } else {
+        c.reads[me] = tick;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    os: std::thread::JoinHandle<Option<T>>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let me = current();
+    op_point(me, false);
+    let mut ex = lock();
+    if !ex.running {
+        drop(ex);
+        panic!("loom::thread::spawn used outside of loom::model");
+    }
+    let tid = ex.threads.len();
+    if tid >= MAX_THREADS {
+        fail(ex, format!("loom: more than {MAX_THREADS} model threads"));
+    }
+    // Child inherits the parent's clock (spawn synchronizes-with the start
+    // of the child).
+    ex.threads[me].clock.0[me] += 1;
+    let clock = ex.threads[me].clock;
+    ex.threads.push(ThreadState {
+        status: Status::Ready,
+        clock,
+        acq_pending: VClock::default(),
+        rel_fence: VClock::default(),
+    });
+    drop(ex);
+    let os = std::thread::spawn(move || {
+        CURRENT.with(|c| c.set(Some(tid)));
+        // Park until first scheduled.
+        {
+            let mut ex = lock();
+            while ex.active != tid && ex.failure.is_none() && ex.running {
+                ex = rt().1.wait(ex).unwrap_or_else(|e| e.into_inner());
+            }
+            if ex.failure.is_some() || !ex.running {
+                drop(ex);
+                finish_thread(tid);
+                return None;
+            }
+        }
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let value = match out {
+            Ok(v) => Some(v),
+            Err(payload) => {
+                let msg = payload_msg(&payload);
+                let ex = lock();
+                if ex.failure.is_none() {
+                    // First failure wins; fail() panics, catch locally so the
+                    // OS thread still finishes cleanly.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        fail(ex, format!("loom model thread {tid} panicked: {msg}"))
+                    }));
+                }
+                None
+            }
+        };
+        finish_thread(tid);
+        value
+    });
+    JoinHandle { tid, os }
+}
+
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Mark `tid` finished, wake joiners, hand control onward.
+fn finish_thread(tid: usize) {
+    let mut ex = lock();
+    if ex.threads.len() <= tid {
+        return;
+    }
+    ex.threads[tid].status = Status::Finished;
+    for t in 0..ex.threads.len() {
+        if ex.threads[t].status == Status::Joining(tid) {
+            ex.threads[t].status = Status::Ready;
+        }
+    }
+    if ex.failure.is_some() || !ex.running {
+        rt().1.notify_all();
+        return;
+    }
+    let others = ex.ready_others(tid);
+    if let Some(&next) = others.first() {
+        // Handing off at thread exit is not a preemption.
+        ex.active = next;
+    }
+    rt().1.notify_all();
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let me = current();
+        op_point(me, false);
+        let mut ex = lock();
+        if !raw_mode(&ex) {
+            while ex.threads[self.tid].status != Status::Finished {
+                ex.threads[me].status = Status::Joining(self.tid);
+                let others = ex.ready_others(me);
+                match others.first() {
+                    // Join-yield is voluntary: no preemption charge; branch
+                    // over who runs if several are ready.
+                    Some(_) => {
+                        let next = if others.len() > 1 {
+                            let idx = ex.explorer.choice(others.len());
+                            others[idx]
+                        } else {
+                            others[0]
+                        };
+                        ex.active = next;
+                        rt().1.notify_all();
+                    }
+                    None => {
+                        if ex.threads[self.tid].status != Status::Finished {
+                            fail(
+                                ex,
+                                format!(
+                                    "deadlock: thread {me} joins {} but no thread is runnable",
+                                    self.tid
+                                ),
+                            );
+                        }
+                    }
+                }
+                while ex.active != me && ex.failure.is_none() && ex.running {
+                    ex = rt().1.wait(ex).unwrap_or_else(|e| e.into_inner());
+                }
+                if ex.failure.is_some() {
+                    drop(ex);
+                    panic!("{ABORT}");
+                }
+            }
+            // Join synchronizes-with thread end.
+            let child_clock = ex.threads[self.tid].clock;
+            ex.threads[me].clock.join(&child_clock);
+        }
+        drop(ex);
+        match self.os.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("loom model thread failed".to_string())),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+pub fn yield_now() {
+    let me = current();
+    op_point(me, true);
+}
+
+// ---------------------------------------------------------------------------
+// The model driver
+// ---------------------------------------------------------------------------
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exhaustively check `f` under every schedule within the preemption bound.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let _serial = model_lock();
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 3);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 4_000_000) as u64;
+    {
+        let mut ex = lock();
+        ex.explorer = Explorer {
+            path: Vec::new(),
+            pos: 0,
+            iterations: 0,
+        };
+        ex.max_preemptions = max_preemptions;
+        ex.max_steps = env_usize("LOOM_MAX_STEPS", 100_000);
+    }
+    loop {
+        {
+            let mut ex = lock();
+            ex.reset_iteration();
+        }
+        CURRENT.with(|c| c.set(Some(0)));
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = &out {
+            let msg = payload_msg(payload.as_ref() as &(dyn std::any::Any + Send));
+            let ex = lock();
+            if ex.failure.is_none() {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fail(ex, msg)));
+            }
+        }
+        // Drive remaining threads to completion (they abort fast on
+        // failure; on success they may legitimately still have work).
+        finish_root();
+        CURRENT.with(|c| c.set(None));
+        let (failure, exhausted, iterations) = {
+            let mut ex = lock();
+            ex.running = false;
+            let failure = ex.failure.clone();
+            let more = ex.explorer.advance();
+            (failure, !more, ex.explorer.iterations)
+        };
+        if let Some(msg) = failure {
+            if std::env::var_os("LOOM_LOG").is_some() {
+                eprintln!("loom: failure after {iterations} executions");
+            }
+            // Prefer the recorded first failure (e.g. a data race on a
+            // sibling thread) over the root's secondary ABORT unwind.
+            match out {
+                Err(payload)
+                    if payload_msg(payload.as_ref() as &(dyn std::any::Any + Send)) == msg =>
+                {
+                    std::panic::resume_unwind(payload)
+                }
+                _ => panic!("{msg}"),
+            }
+        }
+        if exhausted {
+            if std::env::var_os("LOOM_LOG").is_some() {
+                eprintln!("loom: explored {iterations} executions");
+            }
+            return;
+        }
+        if iterations >= max_iterations {
+            panic!(
+                "loom: exceeded LOOM_MAX_ITERATIONS={max_iterations} executions; \
+                 shrink the model or raise the limit"
+            );
+        }
+    }
+}
+
+/// Root-thread epilogue for one iteration: mark thread 0 finished and keep
+/// scheduling the remaining threads until everything finished.
+fn finish_root() {
+    finish_thread(0);
+    let mut ex = lock();
+    loop {
+        if ex.all_finished() {
+            break;
+        }
+        if ex.failure.is_none() && ex.running {
+            let ready = ex.ready_others(0);
+            if ready.is_empty() {
+                let ex2 = ex;
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    fail(
+                        ex2,
+                        "deadlock: no runnable thread but the model has not finished".to_string(),
+                    )
+                }));
+                ex = lock();
+                continue;
+            }
+            if !ready.contains(&ex.active) || ex.threads[ex.active].status != Status::Ready {
+                ex.active = ready[0];
+            }
+            rt().1.notify_all();
+        } else {
+            rt().1.notify_all();
+        }
+        let (guard, _timeout) = rt()
+            .1
+            .wait_timeout(ex, std::time::Duration::from_millis(50))
+            .unwrap_or_else(|e| e.into_inner());
+        ex = guard;
+    }
+}

@@ -1,0 +1,541 @@
+//! jet-lint: the workspace's concurrency-invariant checker.
+//!
+//! The latency discipline this engine is built around (cooperative
+//! tasklets, wait-free queues, bounded hot paths — see DESIGN.md
+//! "Correctness toolkit") cannot be expressed in the type system alone, so
+//! this tool enforces the textual part in CI:
+//!
+//! 1. **undocumented-unsafe** — every `unsafe` block or `unsafe impl`
+//!    carries a `// SAFETY:` comment on the same line or within the five
+//!    lines above it.
+//! 2. **blocking-in-tasklet** — `impl Tasklet` bodies may not call blocking
+//!    primitives (`thread::sleep`, blocking `.recv()`, `.lock()`,
+//!    `.wait(...)`): a tasklet's `call()` runs on a shared cooperative
+//!    worker, and one blocked tasklet stalls every tasklet on that worker
+//!    (the paper's core scheduling invariant). Escape hatch for audited
+//!    sites: `// jet-lint: allow(blocking) — <reason>`.
+//! 3. **ordering-justification** — `Ordering::SeqCst` anywhere, and relaxed
+//!    publish operations (`.store`/RMW with `Ordering::Relaxed`) in the
+//!    lock-free files, need an `// ordering:` comment explaining the choice.
+//! 4. **instant-on-hot-path** — `Instant::now()` in hot-path files is a
+//!    ~20-30ns syscall-adjacent stall per record; sites must be throttled
+//!    or cold and say so: `// jet-lint: allow(instant) — <reason>` (a
+//!    `throttled` mention in a nearby comment also counts).
+//!
+//! `#[cfg(test)]` / `#[cfg(all(test, ...))]`-gated regions are exempt from
+//! rules 2–4 (tests may sleep and lock); rule 1 applies everywhere.
+//!
+//! The scanner is a small hand-rolled lexer (comments, strings and char
+//! literals are tracked, not regexed away) plus brace-depth region
+//! tracking — deliberately dependency-free so it runs in every environment
+//! the workspace builds in.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Source text split into what the compiler sees (`code`, with comments,
+/// strings and char literals blanked out) and what the humans see
+/// (`comments`, per line).
+struct Scrubbed {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+fn scrub(src: &str) -> Scrubbed {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut code = String::with_capacity(src.len());
+    let mut comments = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push('\n');
+            comments.push('\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    comments.push(c);
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    comments.push(c);
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    comments.push(' ');
+                } else if c == 'r' && matches!(next, Some('"') | Some('#')) && !prev_is_ident(&code)
+                {
+                    // Raw string r"..." / r#"..."# (also the tail of br#).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            code.push(' ');
+                            comments.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    code.push(c);
+                    comments.push(' ');
+                } else if c == '\''
+                    && (next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\'')))
+                {
+                    // Char literal ('x' or '\...'), not a lifetime.
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'\\') {
+                        j += 1; // the escaped char
+                    }
+                    j += 1; // past the payload char
+                    while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    for _ in i..=j.min(chars.len() - 1) {
+                        code.push(' ');
+                        comments.push(' ');
+                    }
+                    i = j + 1;
+                    continue;
+                } else {
+                    code.push(c);
+                    comments.push(' ');
+                }
+            }
+            State::LineComment => {
+                code.push(' ');
+                comments.push(c);
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    comments.push_str("*/");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                }
+                code.push(' ');
+                comments.push(c);
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    comments.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        code.push(' ');
+                        comments.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                } else {
+                    if c == '"' {
+                        state = State::Code;
+                    }
+                    code.push(' ');
+                    comments.push(' ');
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                            comments.push(' ');
+                        }
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                comments.push(' ');
+            }
+        }
+        i += 1;
+    }
+    Scrubbed {
+        code: code.lines().map(str::to_string).collect(),
+        comments: comments.lines().map(str::to_string).collect(),
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Does `hay` contain `needle` as a standalone token (no identifier char on
+/// either side)?
+fn has_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Per-line "inside a region" mask. A region opens at the first `{` on or
+/// after a line matching `trigger` and closes with the matching `}`.
+/// Regions can themselves contain triggers; the mask covers the outermost.
+fn region_mask(code: &[String], trigger: impl Fn(&str) -> bool) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut open_at: Option<i64> = None;
+    let mut pending = false;
+    for (i, line) in code.iter().enumerate() {
+        if open_at.is_none() && trigger(line) {
+            pending = true;
+        }
+        let mut inside = open_at.is_some();
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending && open_at.is_none() {
+                        open_at = Some(depth);
+                        pending = false;
+                        inside = true;
+                    }
+                }
+                '}' => {
+                    if open_at == Some(depth) {
+                        open_at = None;
+                        inside = true; // closing line still counts
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        mask[i] = inside;
+    }
+    mask
+}
+
+/// Is any comment on `line` or the `back` lines above it mentioning
+/// `needle`?
+fn comment_nearby(comments: &[String], line: usize, back: usize, needle: &str) -> bool {
+    let lo = line.saturating_sub(back);
+    comments[lo..=line].iter().any(|c| c.contains(needle))
+}
+
+const BLOCKING_PATTERNS: &[&str] = &[
+    "thread::sleep",
+    ".recv()",
+    ".recv_timeout(",
+    ".lock()",
+    ".wait(",
+    ".wait_while(",
+    ".join()",
+];
+
+/// Files implementing the lock-free publish protocols: relaxed stores and
+/// RMWs there must justify their ordering.
+const LOCK_FREE_FILES: &[&str] = &["spsc.rs", "conveyor.rs", "trace.rs"];
+
+/// Files on the tasklet hot path: `Instant::now()` there must be throttled
+/// or cold, and annotated.
+const HOT_PATH_FILES: &[&str] = &[
+    "tasklet.rs",
+    "exec.rs",
+    "spsc.rs",
+    "conveyor.rs",
+    "trace.rs",
+    "network.rs",
+];
+
+fn file_matches(file: &str, names: &[&str]) -> bool {
+    let base = file.rsplit(['/', '\\']).next().unwrap_or(file);
+    names.contains(&base)
+}
+
+/// Lint one source file. `file` is the label used in findings (and for the
+/// per-file rule scoping).
+pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
+    let scrubbed = scrub(src);
+    let code = &scrubbed.code;
+    let comments = &scrubbed.comments;
+    let mut findings = Vec::new();
+
+    let test_mask = region_mask(code, |l| {
+        l.contains("#[cfg(test)") || l.contains("#[cfg(all(test") || l.contains("#[cfg(all(loom")
+    });
+    let tasklet_mask = region_mask(code, |l| has_token(l, "impl") && l.contains("Tasklet for"));
+
+    let lock_free = file_matches(file, LOCK_FREE_FILES);
+    let hot_path = file_matches(file, HOT_PATH_FILES);
+
+    for (i, line) in code.iter().enumerate() {
+        // Rule 1: undocumented unsafe — applies everywhere, tests included
+        // (a test can still have UB).
+        if has_token(line, "unsafe") && !comment_nearby(comments, i, 5, "SAFETY:") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "undocumented-unsafe",
+                message: "`unsafe` without a `// SAFETY:` comment on the same line \
+                          or within 5 lines above"
+                    .to_string(),
+            });
+        }
+
+        if test_mask[i] {
+            continue;
+        }
+
+        // Rule 2: blocking call inside an `impl Tasklet` body.
+        if tasklet_mask[i] {
+            for pat in BLOCKING_PATTERNS {
+                if line.contains(pat)
+                    && !comment_nearby(comments, i, 1, "jet-lint: allow(blocking)")
+                {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: i + 1,
+                        rule: "blocking-in-tasklet",
+                        message: format!(
+                            "`{pat}` inside an `impl Tasklet` body blocks the whole \
+                             cooperative worker; poll instead, or annotate \
+                             `// jet-lint: allow(blocking) — <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 3: memory orderings that need justification.
+        let needs_ordering_comment = line.contains("Ordering::SeqCst")
+            || (lock_free
+                && line.contains("Ordering::Relaxed")
+                && (line.contains(".store(")
+                    || line.contains(".swap(")
+                    || line.contains(".fetch_")
+                    || line.contains(".compare_exchange")));
+        if needs_ordering_comment && !comment_nearby(comments, i, 5, "ordering:") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "ordering-justification",
+                message: "SeqCst (or a relaxed publish in a lock-free file) without an \
+                          `// ordering:` comment explaining why the ordering is right"
+                    .to_string(),
+            });
+        }
+
+        // Rule 4: wall-clock reads on the hot path.
+        if hot_path
+            && line.contains("Instant::now")
+            && !comment_nearby(comments, i, 2, "jet-lint: allow(instant)")
+            && !comment_nearby(comments, i, 2, "throttled")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "instant-on-hot-path",
+                message: "`Instant::now()` in a hot-path file: throttle it or prove it \
+                          cold, then annotate `// jet-lint: allow(instant) — <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Recursively lint every `.rs` file under `crates/*/src` of `root`.
+/// Returns `(files_scanned, findings)`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Finding>)> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let dir = entry?.path().join("src");
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        let label = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(lint_file(&label, &src));
+    }
+    Ok((files.len(), findings))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_separates_code_and_comments() {
+        let s = scrub("let x = 1; // SAFETY: not really\nlet s = \"unsafe\";\n");
+        assert!(s.code[0].contains("let x = 1;"));
+        assert!(!s.code[0].contains("SAFETY"));
+        assert!(s.comments[0].contains("SAFETY: not really"));
+        assert!(
+            !s.code[1].contains("unsafe"),
+            "string contents must be blanked: {:?}",
+            s.code[1]
+        );
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_chars() {
+        let s = scrub("let r = r#\"unsafe // x\"#; let c = '\"'; let l: &'static str = \"\";\n");
+        assert!(!s.code[0].contains("unsafe"));
+        assert!(!s.comments[0].contains("x"));
+        assert!(s.code[0].contains("&'static str"), "{:?}", s.code[0]);
+    }
+
+    #[test]
+    fn token_matching_respects_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("unsafe_thing()", "unsafe"));
+        assert!(!has_token("not_unsafe", "unsafe"));
+    }
+
+    #[test]
+    fn safety_comment_within_window_passes() {
+        let src = "// SAFETY: fine\nunsafe { x() }\n";
+        assert!(lint_file("a.rs", src).is_empty());
+        let src = "unsafe { x() } // SAFETY: same line\n";
+        assert!(lint_file("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let src = "fn f() {\n    unsafe { x() }\n}\n";
+        let f = lint_file("a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "undocumented-unsafe");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_hot_path_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = Instant::now(); }\n}\n";
+        assert!(lint_file("exec.rs", src).is_empty());
+        let src = "fn hot() { let _ = Instant::now(); }\n";
+        assert_eq!(lint_file("exec.rs", src).len(), 1);
+        assert!(lint_file("cold.rs", src).is_empty(), "rule is per-file");
+    }
+
+    #[test]
+    fn tasklet_region_tracking_spans_braces() {
+        let src = "impl Tasklet for T {\n    fn call(&mut self) -> Progress {\n        \
+                   std::thread::sleep(d);\n    }\n}\nfn free() { std::thread::sleep(d); }\n";
+        let f = lint_file("a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "blocking-in-tasklet");
+        assert_eq!(f[0].line, 3, "sleep outside the impl must not be flagged");
+    }
+
+    #[test]
+    fn seqcst_needs_justification_everywhere() {
+        let src = "fn f(a: &AtomicUsize) { a.store(1, Ordering::SeqCst); }\n";
+        let f = lint_file("anywhere.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "ordering-justification");
+        let src = "// ordering: total order needed for X\nfn f(a: &AtomicUsize) \
+                   { a.store(1, Ordering::SeqCst); }\n";
+        assert!(lint_file("anywhere.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_publish_rule_is_scoped_to_lock_free_files() {
+        let src = "fn f(a: &AtomicUsize) { a.store(1, Ordering::Relaxed); }\n";
+        assert_eq!(lint_file("spsc.rs", src).len(), 1);
+        assert!(lint_file("metrics.rs", src).is_empty());
+        // Relaxed *loads* are not publishes.
+        let src = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n";
+        assert!(lint_file("spsc.rs", src).is_empty());
+    }
+}

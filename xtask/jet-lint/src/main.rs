@@ -1,0 +1,43 @@
+//! CLI entry point: `cargo run -p jet-lint [workspace-root]`.
+//!
+//! Lints every `.rs` file under `crates/*/src` and exits non-zero on any
+//! finding, so CI fails the build. Vendored stand-ins (`vendor/`) and this
+//! tool itself are out of scope on purpose.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // When run via `cargo run -p jet-lint`, the manifest dir is
+            // xtask/jet-lint; the workspace root is two levels up.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .expect("workspace root")
+        });
+    match jet_lint::lint_workspace(&root) {
+        Ok((scanned, findings)) => {
+            if findings.is_empty() {
+                println!("jet-lint: {scanned} files clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!(
+                    "jet-lint: {} violation(s) in {scanned} files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("jet-lint: cannot scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

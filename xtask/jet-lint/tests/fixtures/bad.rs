@@ -1,0 +1,33 @@
+// Lint-test fixture: every rule violated at least once. This file is never
+// compiled; jet-lint must report each seeded violation (see lint_fixtures.rs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub fn undocumented_unsafe() -> u64 {
+    let x: u64 = 42;
+    let p = &x as *const u64;
+    unsafe { *p } // seeded: no SAFETY comment anywhere near
+}
+
+// A comment that is not a safety justification.
+pub unsafe fn also_undocumented() {}
+
+struct T;
+
+impl Tasklet for T {
+    fn call(&mut self) -> Progress {
+        std::thread::sleep(std::time::Duration::from_millis(1)); // seeded
+        let _ = self.rx.recv(); // seeded: blocking recv
+        let _guard = self.state.lock(); // seeded: mutex inside tasklet
+        Progress::Idle
+    }
+}
+
+pub fn unjustified_seqcst(a: &AtomicUsize) {
+    a.store(1, Ordering::SeqCst); // seeded: no ordering comment
+}
+
+pub fn hot_clock_read() -> Instant {
+    Instant::now() // seeded: exec.rs-style hot file, no throttle marker
+}

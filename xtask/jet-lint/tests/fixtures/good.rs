@@ -1,0 +1,46 @@
+// Lint-test fixture: the same shapes as bad.rs, each correctly annotated.
+// jet-lint must report nothing here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub fn documented_unsafe() -> u64 {
+    let x: u64 = 42;
+    let p = &x as *const u64;
+    // SAFETY: `p` points at the live local `x` above.
+    unsafe { *p }
+}
+
+struct T;
+
+impl Tasklet for T {
+    fn call(&mut self) -> Progress {
+        // jet-lint: allow(blocking) — shutdown path, runs once per job.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        Progress::Idle
+    }
+}
+
+pub fn justified_seqcst(a: &AtomicUsize) {
+    // ordering: the cancel flag needs a total order with live-count updates.
+    a.store(1, Ordering::SeqCst);
+}
+
+pub fn cold_clock_read() -> Instant {
+    // jet-lint: allow(instant) — called once at job submit (cold).
+    Instant::now()
+}
+
+pub fn strings_and_comments_do_not_count() -> &'static str {
+    // The word unsafe in a string or comment is not code: "unsafe".
+    "unsafe { Ordering::SeqCst; thread::sleep(); Instant::now() }"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_block_and_read_clocks() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,59 @@
+//! jet-lint acceptance tests: the seeded-violation fixture must fail with
+//! every rule firing, the annotated fixture must pass, and the real
+//! workspace tree must be clean (which is what keeps it clean).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(p).expect("fixture readable")
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    // Label the fixture as a hot-path file so rule 4 is in scope.
+    let findings = jet_lint::lint_file("exec.rs", &fixture("bad.rs"));
+    let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    for expected in [
+        "undocumented-unsafe",
+        "blocking-in-tasklet",
+        "ordering-justification",
+        "instant-on-hot-path",
+    ] {
+        assert!(
+            rules.contains(expected),
+            "rule {expected} did not fire; findings: {findings:#?}"
+        );
+    }
+    // All three seeded blocking calls are reported individually.
+    let blocking = findings
+        .iter()
+        .filter(|f| f.rule == "blocking-in-tasklet")
+        .count();
+    assert_eq!(blocking, 3, "findings: {findings:#?}");
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let findings = jet_lint::lint_file("exec.rs", &fixture("good.rs"));
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (scanned, findings) = jet_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(scanned > 30, "suspiciously few files scanned: {scanned}");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint violations:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
