@@ -33,6 +33,21 @@ fn bench_spsc(c: &mut Criterion) {
         });
     });
     g.finish();
+    let mut g = c.benchmark_group("spsc_batch");
+    g.throughput(Throughput::Elements(64));
+    // Same 64-item round trip as offer_poll_batch64, but through the bulk
+    // APIs: one release store per batch instead of one per item.
+    g.bench_function("offer_batch_drain_batch64", |b| {
+        let (mut p, mut q) = spsc_channel::<u64>(1024);
+        b.iter(|| {
+            let mut it = 0..64u64;
+            assert_eq!(p.offer_batch(&mut it), 64);
+            let mut sum = 0u64;
+            q.drain_batch(64, |v| sum += v);
+            black_box(sum);
+        });
+    });
+    g.finish();
 }
 
 fn bench_conveyor(c: &mut Criterion) {
@@ -49,6 +64,48 @@ fn bench_conveyor(c: &mut Criterion) {
             while let Some((_, v)) = conv.poll_any() {
                 black_box(v);
             }
+        });
+    });
+    g.bench_function("drain_4_lanes_batch", |b| {
+        let (mut conv, mut producers) = Conveyor::<u64>::new(4, 256);
+        b.iter(|| {
+            for p in &mut producers {
+                let mut it = 0..16u64;
+                p.offer_batch(&mut it);
+            }
+            let mut sum = 0u64;
+            while conv.drain_lanes_batch(64, |_, v| sum += v) > 0 {}
+            black_box(sum);
+        });
+    });
+    g.finish();
+}
+
+fn bench_object(c: &mut Criterion) {
+    let mut g = c.benchmark_group("object");
+    g.throughput(Throughput::Elements(1));
+    // Small payloads (<= INLINE_CAP bytes) store inline: no allocator call
+    // on construct, clone, or drop.
+    g.bench_function("inline_u64_box_clone_take", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            let obj = jet_core::boxed(black_box(v));
+            let copy = obj.clone_object();
+            drop(obj);
+            black_box(jet_core::object::take::<u64>(copy))
+        });
+    });
+    // Oversized payloads take the heap fallback — the cost the inline
+    // representation removes from the common case.
+    g.bench_function("boxed_32b_box_clone_take", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            let obj = jet_core::boxed([black_box(v); 4]);
+            let copy = obj.clone_object();
+            drop(obj);
+            black_box(jet_core::object::take::<[u64; 4]>(copy))
         });
     });
     g.finish();
@@ -157,6 +214,6 @@ fn test_ctx() -> jet_core::ProcessorContext {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spsc, bench_conveyor, bench_partitioning, bench_histogram, bench_window, bench_imap
+    targets = bench_spsc, bench_conveyor, bench_object, bench_partitioning, bench_histogram, bench_window, bench_imap
 }
 criterion_main!(micro);

@@ -21,7 +21,7 @@ fn main() {
     report.param("query", "Q5").param("window", "2s/500ms");
     for members in [1usize, 2, 4, 8] {
         let mut best: Option<(u64, f64)> = None;
-        for rate_k_per_core in [1000u64, 1500, 1900] {
+        for rate_k_per_core in [1000u64, 1500, 1900, 2100, 2300] {
             let total = rate_k_per_core * 1000 * members as u64;
             let mut spec = RunSpec::new(Query::Q5, total);
             spec.members = members;

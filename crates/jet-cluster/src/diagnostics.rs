@@ -218,6 +218,30 @@ pub fn render_dump(
             let _ = writeln!(out, "  backpressure stalls out-ordinal {}: {}", ord, total);
         }
 
+        // Batch efficiency: items moved per queue drain/flush on this
+        // vertex's edges. A mean stuck near 1 means the batched hot path
+        // is degenerating to item-at-a-time transfers.
+        for m in snap.get_all("jet_edge_batch_size") {
+            if m.tag("vertex") != Some(v) {
+                continue;
+            }
+            if let Some(h) = m.as_histogram() {
+                if h.count == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  edge batch[#{}]: n={} mean={:.1} p50={} p99={} max={}",
+                    m.tag("instance").unwrap_or("?"),
+                    h.count,
+                    h.mean,
+                    h.p50,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
+
         // Latency attribution: the slowest timeslices this vertex ran.
         match trace {
             Some(data) => {
@@ -327,6 +351,12 @@ mod tests {
             tags(&[("vertex", "agg"), ("instance", "0")]),
         )
         .set(1_500_000_000);
+        let bh = r.histogram(
+            "jet_edge_batch_size",
+            tags(&[("vertex", "agg"), ("instance", "0")]),
+        );
+        bh.record(4);
+        bh.record(4);
         let snap = r.snapshot();
         let tasklets = vec![(0usize, "agg".to_string(), "running", 7u64, 7u64)];
         let dump = render_dump(9, 3_000_000_000, &snap, &tasklets, None, None);
@@ -337,6 +367,7 @@ mod tests {
             );
         }
         assert!(dump.contains("1x running"));
+        assert!(dump.contains("edge batch[#0]: n=2 mean=4.0"), "{dump}");
         assert!(dump.contains("straggler-gap=0.500s"));
         assert!(dump.contains("n/a (tracing disabled)"));
         assert!(dump.contains("cluster health"));

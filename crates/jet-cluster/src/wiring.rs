@@ -423,6 +423,10 @@ pub fn build_cluster_execution(
                     ("vertex", &vertex.name),
                     ("instance", &global_index.to_string()),
                 ]);
+                // Achieved bulk-transfer sizes on this instance's queue hops.
+                let tasklet = tasklet.with_batch_histogram(
+                    registries[mi].histogram("jet_edge_batch_size", ct.clone()),
+                );
                 let c_in = counters.clone();
                 registries[mi].counter_fn("jet_events_in_total", ct.clone(), move || {
                     c_in.events_in.load(Ordering::Relaxed)

@@ -47,10 +47,13 @@ impl Item {
         !self.is_event()
     }
 
-    /// Approximate in-flight "wire size" used by the flow-control model.
+    /// Approximate in-flight "wire size" used by the flow-control model:
+    /// a fixed 16-byte frame header plus the payload's own size estimate
+    /// (see [`crate::object::Object::approx_size`]), so receive windows
+    /// react to what events actually weigh instead of a hardcoded guess.
     pub fn wire_size(&self) -> usize {
         match self {
-            Item::Event { .. } => 64,
+            Item::Event { obj, .. } => 16 + obj.approx_size(),
             _ => 16,
         }
     }

@@ -36,6 +36,10 @@ pub struct TaskletCounters {
     /// State records serialized into snapshots (charged by the simulator:
     /// saving large window state is what drives the paper's Fig. 13 tail).
     pub snapshot_records: AtomicU64,
+    /// Bulk queue transfers performed (inbox fills, source outbox flushes).
+    /// At most one per events_in/events_out increment — the cost model uses
+    /// it to charge per-queue-hop overhead once per batch, not per item.
+    pub queue_batches: AtomicU64,
 }
 
 impl TaskletCounters {
@@ -70,6 +74,15 @@ impl TaskletCounters {
 
     pub fn snapshot_records(&self) -> u64 {
         self.snapshot_records.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn add_queue_batches(&self, n: u64) {
+        self.queue_batches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn queue_batches(&self) -> u64 {
+        self.queue_batches.load(Ordering::Relaxed)
     }
 
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
@@ -455,6 +468,13 @@ impl Metric {
     pub fn as_gauge(&self) -> Option<i64> {
         match self.value {
             MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_histogram(&self) -> Option<&HistogramSummary> {
+        match &self.value {
+            MetricValue::Histogram(h) => Some(h),
             _ => None,
         }
     }

@@ -582,6 +582,26 @@ impl Tasklet for SenderTasklet {
                 if self.sent >= self.grant || self.batch.len() >= self.max_batch {
                     break 'outer; // window exhausted or batch full
                 }
+                // Fast path: move the whole run of queued events into the
+                // outgoing frame with one bulk drain (single atomic publish
+                // on the lane, one `sent` update for the run).
+                let budget = (self.grant - self.sent)
+                    .min((self.max_batch - self.batch.len()) as u64)
+                    as usize;
+                let batch = &mut self.batch;
+                let moved =
+                    self.input
+                        .drain_lane_batch_while(lane, budget, Item::is_event, |item| {
+                            batch.push(item)
+                        });
+                if moved > 0 {
+                    self.sent += moved as u64;
+                    worked = true;
+                    continue;
+                }
+                // Control items carry per-item protocol state (coalescing,
+                // alignment, done-counting), so they stay item-granular.
+                // single-item: barriers/watermarks/done need individual handling
                 let Some(item) = self.input.poll_lane(lane) else {
                     break;
                 };
@@ -715,7 +735,24 @@ impl ReceiverTasklet {
 
     fn flush_pending(&mut self) -> bool {
         let mut any = false;
-        while let Some(item) = self.pending.front() {
+        loop {
+            // Fast path: hand the whole run of buffered events to the local
+            // consumer queues in bulk — the routing policy batches them onto
+            // its targets with one atomic publish per target.
+            if self.pending.front().is_some_and(Item::is_event) {
+                let moved = self.output.offer_event_run(&mut self.pending, usize::MAX);
+                if moved > 0 {
+                    self.processed += moved as u64;
+                    any = true;
+                }
+                if self.pending.front().is_some_and(Item::is_event) {
+                    break; // consumer queues full mid-run
+                }
+                continue;
+            }
+            let Some(item) = self.pending.front() else {
+                break;
+            };
             let was_done = matches!(item, Item::Done);
             // IDLE_CHANNEL (`Ts::MAX`) is a liveness marker, not an
             // event-time watermark — recording it as lag would swing the
@@ -728,16 +765,7 @@ impl ReceiverTasklet {
             // marker instead of letting the last real lag linger forever.
             let went_quiet = was_done
                 || matches!(item, Item::Watermark(w) if *w == crate::watermark::IDLE_CHANNEL);
-            let delivered = if item.is_event() {
-                let item = self.pending.pop_front().expect("front checked");
-                match self.output.offer_event(item) {
-                    Ok(()) => true,
-                    Err(back) => {
-                        self.pending.push_front(back);
-                        false
-                    }
-                }
-            } else if self.output.offer_to_all(item) {
+            let delivered = if self.output.offer_to_all(item) {
                 self.pending.pop_front();
                 true
             } else {
@@ -1112,8 +1140,8 @@ mod tests {
             .unwrap();
         assert_eq!(
             bytes.as_counter(),
-            Some(2 * 64 + 16),
-            "2 events + 1 watermark"
+            Some(2 * (16 + 8) + 16),
+            "2 u64 events + 1 watermark"
         );
 
         let rsnap = receiver_reg.snapshot();
@@ -1199,7 +1227,11 @@ mod tests {
         let sends: Vec<_> = data.of_kind(TraceKind::NetSend).collect();
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].rec.ts, 5);
-        assert_eq!(sends[0].rec.arg, 64 + 16, "1 event + 1 watermark in bytes");
+        assert_eq!(
+            sends[0].rec.arg,
+            (16 + 8) + 16,
+            "1 u64 event + 1 watermark in bytes"
+        );
         assert_eq!(data.name(sends[0].rec.name), "sender-e0-m0->m1");
         let recvs: Vec<_> = data.of_kind(TraceKind::NetRecv).collect();
         assert_eq!(recvs.len(), 1);

@@ -5,8 +5,15 @@
 //! `jet-pipeline`) wraps user functions in adapters that downcast payloads
 //! back to their concrete types. Payloads must be `Clone` so broadcast
 //! edges and active-active job replicas can duplicate them.
+//!
+//! Unlike the JVM, small payloads never touch the heap: [`SmallObject`]
+//! stores values up to [`INLINE_CAP`] bytes (u64 keys, timestamps, small
+//! tuples — the bulk of hot-path traffic) inline behind a hand-rolled
+//! vtable, falling back to `Box<dyn Object>` for larger ones. The alias
+//! `BoxedObject = SmallObject` keeps every processor signature unchanged.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
+use std::mem::{align_of, size_of, MaybeUninit};
 
 /// A type-erased, cloneable, sendable event payload.
 pub trait Object: Any + Send {
@@ -17,11 +24,18 @@ pub trait Object: Any + Send {
     fn debug_fmt(&self) -> String {
         "<object>".to_string()
     }
+    /// Approximate serialized size in bytes, used by the flow-control model
+    /// (receive windows) to estimate bytes in flight. The default is the
+    /// payload's inline size; types owning indirect storage (Strings, Vecs)
+    /// may override with a better estimate.
+    fn approx_size(&self) -> usize {
+        INLINE_CAP
+    }
 }
 
 impl<T: Any + Send + Clone + std::fmt::Debug> Object for T {
     fn clone_object(&self) -> BoxedObject {
-        Box::new(self.clone())
+        SmallObject::of(self.clone())
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -35,21 +49,240 @@ impl<T: Any + Send + Clone + std::fmt::Debug> Object for T {
     fn debug_fmt(&self) -> String {
         format!("{self:?}")
     }
+
+    fn approx_size(&self) -> usize {
+        size_of::<T>()
+    }
 }
 
-/// Boxed type-erased payload.
-pub type BoxedObject = Box<dyn Object>;
+/// Payloads at most this many bytes (and at most 8-byte aligned) are stored
+/// inline in [`SmallObject`] with no heap allocation. 24 bytes covers u64s,
+/// timestamps, and 2-3 word tuples while keeping `Item` a cache-line-friendly
+/// 48 bytes.
+pub const INLINE_CAP: usize = 24;
 
-/// Downcast a boxed object to a concrete type, panicking with a helpful
+/// Manual vtable for the inline representation. One `'static` instance per
+/// concrete type, produced by const promotion in [`vtable_of`].
+struct InlineVtable {
+    type_id: fn() -> TypeId,
+    size: usize,
+    /// Clone the value at `src` into the (uninitialized) `dst` buffer.
+    /// SAFETY: callers pass pointers into buffers admitted with this vtable.
+    clone_into: unsafe fn(src: *const u8, dst: *mut u8),
+    /// Run the value's destructor in place.
+    /// SAFETY: callers pass a pointer to a live value of the vtable's type.
+    drop_in_place: unsafe fn(*mut u8),
+    /// Reinterpret the buffer as the concrete type and widen to `dyn Object`
+    /// (which also carries `dyn Any` access via `as_any`).
+    /// SAFETY: callers pass a pointer to a live value of the vtable's type.
+    as_object: unsafe fn(*const u8) -> *const (dyn Object + 'static),
+}
+
+fn vtable_of<T: Any + Send + Clone + std::fmt::Debug>() -> &'static InlineVtable {
+    // SAFETY requirements of each fn: `src`/`p` point to a valid, aligned,
+    // initialized `T` inside an inline buffer; `dst` to a writable buffer of
+    // at least `size_of::<T>()` bytes. Callers (SmallObject methods) uphold
+    // this by construction: a vtable is only ever paired with the buffer it
+    // was admitted with.
+    trait HasVtable {
+        const VTABLE: InlineVtable;
+    }
+    impl<T: Any + Send + Clone + std::fmt::Debug> HasVtable for T {
+        const VTABLE: InlineVtable = InlineVtable {
+            type_id: TypeId::of::<T>,
+            size: size_of::<T>(),
+            // SAFETY: contract above — `src` is a valid `T`, `dst` has
+            // room for one.
+            clone_into: |src, dst| unsafe {
+                (dst as *mut T).write((*(src as *const T)).clone());
+            },
+            drop_in_place: |p| unsafe {
+                // SAFETY: contract above — `p` is a valid `T` that will not
+                // be used again.
+                std::ptr::drop_in_place(p as *mut T);
+            },
+            as_object: |p| p as *const T as *const (dyn Object + 'static),
+        };
+    }
+    &T::VTABLE
+}
+
+/// Inline storage: [`INLINE_CAP`] bytes at 8-byte alignment.
+#[repr(C, align(8))]
+struct InlineBuf([MaybeUninit<u8>; INLINE_CAP]);
+
+struct Inline {
+    vtable: &'static InlineVtable,
+    buf: InlineBuf,
+}
+
+// SAFETY: the buffer only ever holds a `T: Send` (enforced by the bounds on
+// `SmallObject::of` / `vtable_of`), so moving the erased value across
+// threads is as sound as moving the `T` itself.
+unsafe impl Send for Inline {}
+
+impl Inline {
+    fn ptr(&self) -> *const u8 {
+        self.buf.0.as_ptr() as *const u8
+    }
+
+    fn as_object(&self) -> &dyn Object {
+        // SAFETY: the buffer holds a valid value of the vtable's type; the
+        // returned reference borrows `self`, so it cannot outlive the value.
+        unsafe { &*(self.vtable.as_object)(self.ptr()) }
+    }
+}
+
+impl Drop for Inline {
+    fn drop(&mut self) {
+        // SAFETY: the buffer holds a valid value of the vtable's type and is
+        // dropped exactly once, here.
+        unsafe { (self.vtable.drop_in_place)(self.ptr() as *mut u8) }
+    }
+}
+
+enum Repr {
+    Inline(Inline),
+    Boxed(Box<dyn Object>),
+}
+
+/// A type-erased payload that stores values up to [`INLINE_CAP`] bytes
+/// inline — zero heap allocations on the small-event hot path — and boxes
+/// larger ones. Construct with [`boxed`] / [`SmallObject::of`]; consume with
+/// [`take`] / [`downcast`]; borrow with [`SmallObject::as_ref`].
+pub struct SmallObject {
+    repr: Repr,
+}
+
+/// The engine-wide payload handle. Historically a `Box<dyn Object>`; the
+/// alias keeps that name at every call site while the representation is now
+/// allocation-free for small payloads.
+pub type BoxedObject = SmallObject;
+
+impl SmallObject {
+    /// Erase `value`, storing it inline if it fits (≤ [`INLINE_CAP`] bytes,
+    /// ≤ 8-byte alignment) and boxing it otherwise.
+    #[inline]
+    pub fn of<T: Any + Send + Clone + std::fmt::Debug>(value: T) -> SmallObject {
+        if size_of::<T>() <= INLINE_CAP && align_of::<T>() <= align_of::<InlineBuf>() {
+            let mut buf = InlineBuf([MaybeUninit::uninit(); INLINE_CAP]);
+            // SAFETY: the size/alignment check above guarantees the buffer
+            // can hold a `T`; the value is moved in exactly once and owned
+            // by the new `Inline` from here on.
+            unsafe { (buf.0.as_mut_ptr() as *mut T).write(value) };
+            SmallObject {
+                repr: Repr::Inline(Inline {
+                    vtable: vtable_of::<T>(),
+                    buf,
+                }),
+            }
+        } else {
+            SmallObject {
+                repr: Repr::Boxed(Box::new(value)),
+            }
+        }
+    }
+
+    /// Borrow the payload as `&dyn Object` (same shape as the old
+    /// `Box::as_ref`, so `downcast_ref::<T>(obj.as_ref())` call sites are
+    /// untouched).
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &dyn Object {
+        match &self.repr {
+            Repr::Inline(i) => i.as_object(),
+            Repr::Boxed(b) => b.as_ref(),
+        }
+    }
+
+    /// Duplicate the payload (inline stays inline, boxed stays boxed).
+    #[inline]
+    pub fn clone_object(&self) -> SmallObject {
+        match &self.repr {
+            Repr::Inline(i) => {
+                let mut buf = InlineBuf([MaybeUninit::uninit(); INLINE_CAP]);
+                // SAFETY: source buffer holds a valid value of the vtable's
+                // type; the destination has identical size/alignment.
+                unsafe { (i.vtable.clone_into)(i.ptr(), buf.0.as_mut_ptr() as *mut u8) };
+                SmallObject {
+                    repr: Repr::Inline(Inline {
+                        vtable: i.vtable,
+                        buf,
+                    }),
+                }
+            }
+            Repr::Boxed(b) => b.clone_object(),
+        }
+    }
+
+    /// Best-effort debug rendering for diagnostics.
+    pub fn debug_fmt(&self) -> String {
+        self.as_ref().debug_fmt()
+    }
+
+    /// Approximate serialized size in bytes (see [`Object::approx_size`]).
+    #[inline]
+    pub fn approx_size(&self) -> usize {
+        match &self.repr {
+            Repr::Inline(i) => i.vtable.size,
+            Repr::Boxed(b) => b.approx_size(),
+        }
+    }
+
+    /// Is the payload stored inline (no heap allocation)?
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    fn stored_type_id(&self) -> TypeId {
+        match &self.repr {
+            Repr::Inline(i) => (i.vtable.type_id)(),
+            Repr::Boxed(b) => b.as_any().type_id(),
+        }
+    }
+
+    fn try_take<T: Any>(self) -> Result<T, SmallObject> {
+        if self.stored_type_id() != TypeId::of::<T>() {
+            return Err(self);
+        }
+        match self.repr {
+            Repr::Inline(i) => {
+                // SAFETY: the type check above proves the buffer holds a
+                // `T`; reading it out transfers ownership, and forgetting
+                // the `Inline` prevents `drop_in_place` from running on the
+                // moved-out value.
+                let value = unsafe { (i.ptr() as *const T).read() };
+                std::mem::forget(i);
+                Ok(value)
+            }
+            Repr::Boxed(b) => match b.into_any().downcast::<T>() {
+                Ok(v) => Ok(*v),
+                // The type id already matched; `downcast` cannot fail here.
+                Err(_) => unreachable!("type id matched but downcast failed"),
+            },
+        }
+    }
+}
+
+/// Consume the payload into its concrete type, panicking with a helpful
 /// message on mismatch (a mismatch is always an engine-wiring bug, never a
-/// data error, so failing fast is right).
-pub fn downcast<T: Any>(obj: BoxedObject) -> Box<T> {
-    obj.into_any().downcast::<T>().unwrap_or_else(|_| {
+/// data error, so failing fast is right). Allocation-free for inline
+/// payloads — prefer this over [`downcast`] on hot paths.
+pub fn take<T: Any>(obj: BoxedObject) -> T {
+    obj.try_take::<T>().unwrap_or_else(|obj| {
         panic!(
-            "edge carried a payload of unexpected type; expected {}",
+            "edge carried a payload of unexpected type {}; expected {}",
+            obj.debug_fmt(),
             std::any::type_name::<T>()
         )
     })
+}
+
+/// Downcast a payload to a concrete type, panicking on mismatch. Kept for
+/// API compatibility; boxes inline payloads, so hot paths should use
+/// [`take`] instead.
+pub fn downcast<T: Any>(obj: BoxedObject) -> Box<T> {
+    Box::new(take::<T>(obj))
 }
 
 /// Borrow-downcast without consuming.
@@ -63,8 +296,9 @@ pub fn downcast_ref<T: Any>(obj: &dyn Object) -> &T {
 }
 
 /// Convenience constructor.
+#[inline]
 pub fn boxed<T: Any + Send + Clone + std::fmt::Debug>(value: T) -> BoxedObject {
-    Box::new(value)
+    SmallObject::of(value)
 }
 
 #[cfg(test)]
@@ -75,6 +309,15 @@ mod tests {
     fn roundtrip_downcast() {
         let obj = boxed(42u64);
         assert_eq!(*downcast::<u64>(obj), 42);
+    }
+
+    #[test]
+    fn roundtrip_take() {
+        assert_eq!(take::<u64>(boxed(42u64)), 42);
+        assert_eq!(
+            take::<(String, i64)>(boxed(("a".to_string(), 5i64))),
+            ("a".to_string(), 5)
+        );
     }
 
     #[test]
@@ -99,7 +342,84 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn mismatched_take_panics() {
+        let obj = boxed(1u8);
+        let _ = take::<String>(obj);
+    }
+
+    #[test]
     fn debug_fmt_renders() {
         assert_eq!(boxed(7u32).debug_fmt(), "7");
+    }
+
+    #[test]
+    fn small_payloads_are_inline_and_large_ones_boxed() {
+        assert!(boxed(7u64).is_inline());
+        assert!(boxed((1u64, 2u64, 3u64)).is_inline()); // exactly INLINE_CAP
+        assert!(boxed([0u8; 24]).is_inline());
+        assert!(!boxed([0u8; 25]).is_inline());
+        assert!(!boxed([0u64; 4]).is_inline());
+        // A String is 24 bytes of handle but owns heap storage either way;
+        // the handle itself still rides inline.
+        assert!(boxed("hello".to_string()).is_inline());
+    }
+
+    #[test]
+    fn inline_clone_is_independent() {
+        let obj = boxed((3u64, 4u64));
+        let copy = obj.clone_object();
+        assert!(copy.is_inline());
+        drop(obj);
+        assert_eq!(take::<(u64, u64)>(copy), (3, 4));
+    }
+
+    #[test]
+    fn inline_drop_runs_destructor_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        #[derive(Clone, Debug)]
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let obj = boxed(D(drops.clone()));
+        assert!(obj.is_inline(), "Arc handle (8 bytes) must ride inline");
+        let copy = obj.clone_object();
+        drop(obj);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // take() moves the value out: dropping the taken value is the only
+        // remaining destructor run; the emptied shell must not double-drop.
+        let taken = take::<D>(copy);
+        drop(taken);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn inline_value_survives_cross_thread_move() {
+        let obj = boxed((11u64, 22i64));
+        let handle = std::thread::spawn(move || take::<(u64, i64)>(obj));
+        assert_eq!(handle.join().unwrap(), (11, 22));
+    }
+
+    #[test]
+    fn approx_size_reports_payload_size() {
+        assert_eq!(boxed(7u64).approx_size(), 8);
+        assert_eq!(boxed((1u64, 2u64, 3u64)).approx_size(), 24);
+        assert_eq!(boxed([0u8; 40]).approx_size(), 40); // boxed path
+        assert_eq!(boxed(()).approx_size(), 0);
+    }
+
+    #[test]
+    fn mismatched_take_returns_payload_intact_via_panic_message() {
+        // try_take's Err path must hand the object back untouched (no
+        // double-drop); exercised through the public API by catching the
+        // panic and checking the message contains the rendered payload.
+        let err = std::panic::catch_unwind(|| take::<String>(boxed(5u8))).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains('5'), "payload lost on mismatch: {msg}");
     }
 }

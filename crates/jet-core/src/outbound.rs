@@ -15,6 +15,7 @@ use crate::dag::Routing;
 use crate::item::Item;
 use jet_queue::Producer;
 use jet_util::seq;
+use std::collections::VecDeque;
 
 /// Producer side of one edge instance.
 pub struct OutboundCollector {
@@ -106,6 +107,85 @@ impl OutboundCollector {
                 } else {
                     Err(item)
                 }
+            }
+        }
+    }
+
+    /// Bulk-move the leading run of *events* from `buf` into targets,
+    /// stopping at the first control item, after `max` moves, or when no
+    /// target can accept more. Unicast routing splits the run into
+    /// near-equal chunks round-robined across the targets — one
+    /// [`Producer::offer_batch`] (one tail publish) per target visited —
+    /// so a burst keeps the per-item round-robin's load balance instead of
+    /// serializing on one consumer. Isolated routing moves the whole run
+    /// with a single bulk offer; partitioned and broadcast routing still
+    /// decide per item. Returns the number moved.
+    pub fn offer_event_run(&mut self, buf: &mut VecDeque<Item>, max: usize) -> usize {
+        /// Draining iterator over the leading event run of the edge buffer:
+        /// stops (leaving the buffer intact) at the first control item, so
+        /// `offer_batch` can consume straight from the outbox VecDeque.
+        struct EventRun<'a> {
+            buf: &'a mut VecDeque<Item>,
+            left: usize,
+        }
+        impl Iterator for EventRun<'_> {
+            type Item = Item;
+            fn next(&mut self) -> Option<Item> {
+                if self.left == 0 || !self.buf.front().is_some_and(Item::is_event) {
+                    return None;
+                }
+                self.left -= 1;
+                self.buf.pop_front()
+            }
+        }
+        match &self.routing {
+            Routing::Unicast => {
+                let n = self.targets.len();
+                // Interleave the run across targets so a burst keeps the
+                // per-item round-robin's load balance. Small runs go one
+                // item per visit (identical placement to per-item
+                // round-robin); only bursts past 4 items/target grow the
+                // chunk, trading placement granularity for fewer publishes.
+                let run = buf.iter().take(max).take_while(|i| i.is_event()).count();
+                if run == 0 {
+                    return 0;
+                }
+                let chunk = (run / (n * 4)).max(1);
+                let mut t = self.rr;
+                let mut moved = 0;
+                let mut since_progress = 0;
+                while moved < run && since_progress < n {
+                    let got = self.targets[t].offer_batch(&mut EventRun {
+                        buf,
+                        left: chunk.min(run - moved),
+                    });
+                    if got > 0 {
+                        moved += got;
+                        since_progress = 0;
+                        self.rr = (t + 1) % n;
+                    } else {
+                        since_progress += 1;
+                    }
+                    t = (t + 1) % n;
+                }
+                moved
+            }
+            Routing::Isolated => {
+                self.targets[self.isolated_target].offer_batch(&mut EventRun { buf, left: max })
+            }
+            Routing::Partitioned(_) | Routing::Broadcast => {
+                let mut moved = 0;
+                while moved < max && buf.front().is_some_and(Item::is_event) {
+                    let item = buf.pop_front().expect("front checked");
+                    match self.offer_event(item) {
+                        Ok(()) => moved += 1,
+                        Err(back) => {
+                            buf.push_front(back);
+                            break;
+                        }
+                    }
+                }
+                moved
             }
         }
     }
@@ -260,6 +340,79 @@ mod tests {
         assert!(col.offer_to_all(&Item::Watermark(9)));
         assert_eq!(consumers[0].len(), 1, "duplicate watermark on t0");
         assert_eq!(consumers[1].len(), 1);
+    }
+
+    #[test]
+    fn event_run_stops_at_control_item_and_respects_backpressure() {
+        let (mut col, mut consumers) = make(Routing::Unicast, 1, 4);
+        let mut buf: VecDeque<Item> = VecDeque::new();
+        for i in 0..3 {
+            buf.push_back(ev(i));
+        }
+        buf.push_back(Item::Watermark(99));
+        buf.push_back(ev(3));
+        // The run stops at the watermark even with queue room to spare.
+        assert_eq!(col.offer_event_run(&mut buf, usize::MAX), 3);
+        assert!(matches!(buf.front(), Some(Item::Watermark(99))));
+        assert_eq!(consumers[0].len(), 3);
+        // Pop the control item; the next run is limited by queue capacity.
+        buf.pop_front();
+        for i in 4..10 {
+            buf.push_back(ev(i));
+        }
+        assert_eq!(
+            col.offer_event_run(&mut buf, usize::MAX),
+            1,
+            "queue has 1 slot"
+        );
+        assert_eq!(buf.len(), 6, "unplaced events stay buffered");
+        let mut got = Vec::new();
+        consumers[0].drain_batch(16, |it| {
+            if let Item::Event { ts, .. } = it {
+                got.push(ts);
+            }
+        });
+        assert_eq!(got, vec![0, 1, 2, 3], "run delivery broke FIFO");
+    }
+
+    #[test]
+    fn event_run_unicast_spills_to_next_target_when_full() {
+        let (mut col, mut consumers) = make(Routing::Unicast, 2, 2);
+        let mut buf: VecDeque<Item> = (0..5).map(ev).collect();
+        // Target 0 takes 2, target 1 takes 2, one event stays.
+        assert_eq!(col.offer_event_run(&mut buf, usize::MAX), 4);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(consumers[0].len(), 2);
+        assert_eq!(consumers[1].len(), 2);
+        consumers[0].poll();
+        assert_eq!(col.offer_event_run(&mut buf, usize::MAX), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn event_run_respects_max_budget() {
+        let (mut col, consumers) = make(Routing::Unicast, 1, 16);
+        let mut buf: VecDeque<Item> = (0..8).map(ev).collect();
+        assert_eq!(col.offer_event_run(&mut buf, 3), 3);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(consumers[0].len(), 3);
+    }
+
+    #[test]
+    fn event_run_partitioned_keeps_key_affinity() {
+        let key_fn: crate::dag::KeyHashFn =
+            Arc::new(|obj| jet_util::seq::hash_of(crate::object::downcast_ref::<u64>(obj)));
+        let (mut col, consumers) = make(Routing::Partitioned(key_fn), 4, 64);
+        let mut buf: VecDeque<Item> = std::iter::repeat_with(|| ev(42)).take(6).collect();
+        assert_eq!(col.offer_event_run(&mut buf, usize::MAX), 6);
+        let with_data: Vec<usize> = consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(with_data.len(), 1, "key 42 spread across targets");
+        assert_eq!(consumers[with_data[0]].len(), 6);
     }
 
     #[test]

@@ -125,6 +125,17 @@ impl Inbox {
             }
         }
     }
+
+    /// Fast path for consumers that always take everything: drains the whole
+    /// inbox in one pass with no per-item continue/stop branch — the backing
+    /// deque is consumed via a bulk `drain(..)`, which walks its (at most
+    /// two) contiguous slices directly instead of re-checking the front each
+    /// iteration the way a `take()` loop does.
+    pub fn drain_all(&mut self, mut f: impl FnMut(Ts, BoxedObject)) {
+        for (ts, obj) in self.items.drain(..) {
+            f(ts, obj);
+        }
+    }
 }
 
 /// Per-edge output buffers plus the snapshot staging area.
@@ -361,6 +372,27 @@ mod tests {
         assert_eq!(inbox.len(), 2, "remaining items stay for next round");
         assert_eq!(inbox.peek().unwrap().0, 3);
         assert_eq!(inbox.take().unwrap().0, 3);
+    }
+
+    #[test]
+    fn inbox_drain_all_preserves_fifo_order_and_empties() {
+        let mut inbox = Inbox::new();
+        // Force the deque to wrap so `drain(..)` covers both slices.
+        for i in 0..3i64 {
+            inbox.push(i, boxed(i));
+        }
+        inbox.take();
+        inbox.take();
+        for i in 3..10i64 {
+            inbox.push(i, boxed(i));
+        }
+        let mut seen = Vec::new();
+        inbox.drain_all(|ts, obj| {
+            assert_eq!(crate::object::take::<i64>(obj), ts);
+            seen.push(ts);
+        });
+        assert_eq!(seen, (2..10).collect::<Vec<_>>(), "strict FIFO order");
+        assert!(inbox.is_empty(), "drain_all consumes the whole queue");
     }
 
     #[test]

@@ -75,7 +75,7 @@ where
 
     fn flush_pending(&mut self, outbox: &mut Outbox) -> bool {
         while let Some((ts, r)) = self.pending.pop_front() {
-            if !outbox.offer_event(0, ts, Box::new(r.clone())) {
+            if !outbox.offer_event(0, ts, crate::object::boxed(r.clone())) {
                 self.pending.push_front((ts, r));
                 return false;
             }
@@ -101,11 +101,12 @@ where
         match ordinal {
             BUILD_ORDINAL => {
                 debug_assert!(!self.build_done, "build input after build completion");
-                while let Some((_ts, obj)) = inbox.take() {
+                let (table, build_key) = (&mut self.table, &self.build_key);
+                inbox.drain_all(|_ts, obj| {
                     let b = downcast_ref::<B>(obj.as_ref()).clone();
-                    let k = (self.build_key)(&b);
-                    self.table.entry(k).or_default().push(b);
-                }
+                    let k = build_key(&b);
+                    table.entry(k).or_default().push(b);
+                });
             }
             PROBE_ORDINAL => {
                 debug_assert!(

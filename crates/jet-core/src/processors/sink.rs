@@ -35,9 +35,7 @@ impl<T: Clone + Send + 'static> CollectSink<T> {
 impl<T: Clone + Send + 'static> Processor for CollectSink<T> {
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
         let mut out = self.out.lock();
-        while let Some((ts, obj)) = inbox.take() {
-            out.push((ts, *crate::object::downcast::<T>(obj)));
-        }
+        inbox.drain_all(|ts, obj| out.push((ts, crate::object::take::<T>(obj))));
     }
 }
 
@@ -54,10 +52,8 @@ impl CountSink {
 
 impl Processor for CountSink {
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
-        let mut n = 0;
-        while inbox.take().is_some() {
-            n += 1;
-        }
+        let n = inbox.len() as u64;
+        inbox.drain_all(|_, _| ());
         self.counter.add(n);
     }
 }
@@ -122,11 +118,12 @@ where
     V: Clone + Send + 'static,
 {
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
-        while let Some((_ts, obj)) = inbox.take() {
+        let (map, entry_fn) = (&self.map, &self.entry_fn);
+        inbox.drain_all(|_ts, obj| {
             let t = crate::object::downcast_ref::<T>(obj.as_ref());
-            let (k, v) = (self.entry_fn)(t);
-            self.map.put(k, v);
-        }
+            let (k, v) = entry_fn(t);
+            map.put(k, v);
+        });
     }
 }
 
@@ -177,9 +174,8 @@ where
     T: Clone + Send + Snap + 'static,
 {
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
-        while let Some((ts, obj)) = inbox.take() {
-            self.active.push((ts, *crate::object::downcast::<T>(obj)));
-        }
+        let active = &mut self.active;
+        inbox.drain_all(|ts, obj| active.push((ts, crate::object::take::<T>(obj))));
         self.commit_completed();
     }
 
@@ -247,13 +243,14 @@ where
     T: Clone + Send + 'static,
 {
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
-        while let Some((_ts, obj)) = inbox.take() {
-            let t = *crate::object::downcast::<T>(obj);
-            let id = (self.id_fn)(&t);
-            if self.seen.insert(id) {
-                self.published.lock().insert(id, t);
+        let (seen, published, id_fn) = (&mut self.seen, &self.published, &self.id_fn);
+        inbox.drain_all(|_ts, obj| {
+            let t = crate::object::take::<T>(obj);
+            let id = id_fn(&t);
+            if seen.insert(id) {
+                published.lock().insert(id, t);
             }
-        }
+        });
     }
 
     fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {

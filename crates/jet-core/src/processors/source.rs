@@ -273,7 +273,7 @@ impl<T: Send + Sync + Clone + std::fmt::Debug + 'static> Processor for VecSource
         debug_assert!(self.step > 0, "init not called");
         while self.cursor < self.items.len() {
             let (ts, item) = &self.items[self.cursor];
-            if !outbox.offer_event(0, *ts, Box::new(item.clone())) {
+            if !outbox.offer_event(0, *ts, crate::object::boxed(item.clone())) {
                 return false;
             }
             self.cursor += self.step;
@@ -353,7 +353,7 @@ where
                 if !outbox.offer_event(
                     0,
                     now,
-                    Box::new((ev.kind, ev.key.clone(), ev.value.clone())),
+                    crate::object::boxed((ev.kind, ev.key.clone(), ev.value.clone())),
                 ) {
                     break;
                 }

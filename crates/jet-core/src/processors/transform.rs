@@ -26,7 +26,7 @@ where
 {
     Arc::new(move |ts, obj, out| {
         let input = crate::object::downcast_ref::<I>(obj.as_ref());
-        out(ts, Box::new(f(input)));
+        out(ts, crate::object::boxed(f(input)));
     })
 }
 
@@ -53,7 +53,7 @@ where
 {
     Arc::new(move |ts, obj, out| {
         for o in f(crate::object::downcast_ref::<I>(obj.as_ref())) {
-            out(ts, Box::new(o));
+            out(ts, crate::object::boxed(o));
         }
     })
 }
@@ -194,7 +194,7 @@ where
 
     fn flush_pending(&mut self, outbox: &mut Outbox) -> bool {
         while let Some((ts, o)) = self.pending.pop_front() {
-            if !outbox.offer_event(0, ts, Box::new(o.clone())) {
+            if !outbox.offer_event(0, ts, crate::object::boxed(o.clone())) {
                 self.pending.push_front((ts, o));
                 return false;
             }

@@ -20,7 +20,7 @@
 //! barrier arrives.
 
 use crate::item::{Barrier, Item, SnapshotId, Ts};
-use crate::metrics::TaskletCounters;
+use crate::metrics::{SharedHistogram, TaskletCounters};
 use crate::outbound::OutboundCollector;
 use crate::processor::{Guarantee, Inbox, Outbox, Processor, ProcessorContext};
 use crate::snapshot::SnapshotRegistry;
@@ -131,6 +131,10 @@ pub struct ProcessorTasklet {
     counters: Arc<TaskletCounters>,
     /// Outbox `events_queued_total` already credited to `counters`.
     events_out_synced: u64,
+    /// Distribution of bulk-transfer sizes actually achieved on this
+    /// tasklet's queue hops (inbox fills; outbox flush runs for sources) —
+    /// exported as the `jet_edge_batch_size` histogram.
+    batch_sizes: Option<SharedHistogram>,
     initialized: bool,
     retired: bool,
     is_source: bool,
@@ -204,6 +208,7 @@ impl ProcessorTasklet {
             rr_ordinal: 0,
             counters: TaskletCounters::shared(),
             events_out_synced: 0,
+            batch_sizes: None,
             initialized: false,
             retired: false,
             is_source,
@@ -229,6 +234,13 @@ impl ProcessorTasklet {
 
     pub fn counters(&self) -> Arc<TaskletCounters> {
         self.counters.clone()
+    }
+
+    /// Attach a histogram recording the bulk-transfer sizes this tasklet
+    /// achieves on its queue hops (`jet_edge_batch_size`).
+    pub fn with_batch_histogram(mut self, h: SharedHistogram) -> Self {
+        self.batch_sizes = Some(h);
+        self
     }
 
     /// Shared watermark position (seen vs. coalesced) for gauges and dumps.
@@ -274,19 +286,30 @@ impl ProcessorTasklet {
         } else {
             None
         };
+        let is_source = self.is_source;
         for (i, col) in self.outputs.iter_mut().enumerate() {
             let buf = outbox.buf_mut(i);
             let mut stalled = false;
             while let Some(front) = buf.front() {
                 if front.is_event() {
-                    let item = buf.pop_front().expect("front checked");
-                    match col.offer_event(item) {
-                        Ok(()) => any = true,
-                        Err(back) => {
-                            buf.push_front(back);
-                            stalled = true;
-                            break;
+                    // Bulk-move the leading event run: one queue publish per
+                    // target visited instead of one per item.
+                    let moved = col.offer_event_run(buf, usize::MAX);
+                    if moved > 0 {
+                        any = true;
+                        if is_source {
+                            // Sources have no inbox fill; their queue-hop
+                            // batches are the outbox flush runs.
+                            self.counters.add_queue_batches(1);
+                            if let Some(h) = &self.batch_sizes {
+                                h.record(moved as u64);
+                            }
                         }
+                    }
+                    if buf.front().is_some_and(Item::is_event) {
+                        // Events remain: every viable target is full.
+                        stalled = true;
+                        break;
                     }
                 } else if col.offer_to_all(front) {
                     buf.pop_front();
@@ -395,18 +418,29 @@ impl ProcessorTasklet {
                 {
                     continue; // §4.4: blocked until all channels align
                 }
-                // Move a batch of events into the inbox.
-                while self.inbox.len() < self.batch {
-                    match self.inputs[oi].conveyor.peek_lane(lane) {
-                        Some(Item::Event { .. }) => {
-                            let Some(Item::Event { ts, obj }) =
-                                self.inputs[oi].conveyor.poll_lane(lane)
-                            else {
-                                unreachable!()
-                            };
-                            self.inbox.push(ts, obj);
+                // Fill the inbox with one bulk transfer per lane visit:
+                // a single tail read and a single head publish move the
+                // whole event run (up to the timeslice budget), stopping at
+                // the first control item, which is handled one at a time
+                // below.
+                let budget = self.batch.saturating_sub(self.inbox.len());
+                if budget > 0 {
+                    let input = &mut self.inputs[oi];
+                    let inbox = &mut self.inbox;
+                    let moved =
+                        input
+                            .conveyor
+                            .drain_lane_batch_while(lane, budget, Item::is_event, |it| {
+                                let Item::Event { ts, obj } = it else {
+                                    unreachable!("accept admits events only")
+                                };
+                                inbox.push(ts, obj);
+                            });
+                    if moved > 0 {
+                        self.counters.add_queue_batches(1);
+                        if let Some(h) = &self.batch_sizes {
+                            h.record(moved as u64);
                         }
-                        _ => break,
                     }
                 }
                 if !self.inbox.is_empty() {
@@ -434,6 +468,8 @@ impl ProcessorTasklet {
                 if !is_control {
                     continue;
                 }
+                // single-item: watermarks/barriers/done mutate coalescer and
+                // alignment state per item, so they cannot be bulk-drained.
                 let item = self.inputs[oi].conveyor.poll_lane(lane).expect("peeked");
                 worked = true;
                 let global_lane = self.inputs[oi].lane_offset + lane;

@@ -130,6 +130,43 @@ impl<T> Conveyor<T> {
         moved
     }
 
+    /// Bulk-drain lane `lane` (regardless of mute state, like `poll_lane`):
+    /// up to `max` items, stopping without consuming at the first item
+    /// `accept` rejects. One head publish per call — see
+    /// [`Consumer::drain_batch_while`].
+    pub fn drain_lane_batch_while(
+        &mut self,
+        lane: usize,
+        max: usize,
+        accept: impl FnMut(&T) -> bool,
+        sink: impl FnMut(T),
+    ) -> usize {
+        self.queues[lane].drain_batch_while(max, accept, sink)
+    }
+
+    /// Bulk-drain up to `max` items across unmuted lanes, round-robin at
+    /// *batch* granularity: each lane contributes its whole available run
+    /// (bounded by the remaining budget) before the next lane is visited,
+    /// and the starting lane rotates per call. Items arrive in `sink` tagged
+    /// with their lane; per-lane FIFO order is preserved. Each visited lane
+    /// costs one tail read and at most one head publish.
+    pub fn drain_lanes_batch(&mut self, max: usize, mut sink: impl FnMut(usize, T)) -> usize {
+        let n = self.queues.len();
+        let mut moved = 0;
+        for off in 0..n {
+            if moved >= max {
+                break;
+            }
+            let lane = (self.next + off) % n;
+            if self.muted[lane] {
+                continue;
+            }
+            moved += self.queues[lane].drain_batch(max - moved, |item| sink(lane, item));
+        }
+        self.next = (self.next + 1) % n;
+        moved
+    }
+
     /// Total queued items across all lanes (approximate).
     pub fn len(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
@@ -321,6 +358,58 @@ mod tests {
             .collect();
         assert_eq!(lane0, (0..20).collect::<Vec<_>>());
         assert_eq!(lane1, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_lanes_batch_rotates_start_lane_and_respects_mute() {
+        let (mut conv, mut producers) = Conveyor::<u32>::new(3, 8);
+        for (lane, p) in producers.iter_mut().enumerate() {
+            for i in 0..2 {
+                p.offer((lane as u32) * 10 + i).unwrap();
+            }
+        }
+        conv.mute(1);
+        let mut out = Vec::new();
+        assert_eq!(conv.drain_lanes_batch(16, |lane, v| out.push((lane, v))), 4);
+        // Batch-granular round-robin: lane 0's full run, then lane 2's
+        // (lane 1 is muted).
+        assert_eq!(out, vec![(0, 0), (0, 1), (2, 20), (2, 21)]);
+        // The start lane rotated, so after unmuting, lane 1 leads.
+        conv.unmute(1);
+        out.clear();
+        assert_eq!(conv.drain_lanes_batch(16, |lane, v| out.push((lane, v))), 2);
+        assert_eq!(out, vec![(1, 10), (1, 11)]);
+    }
+
+    #[test]
+    fn drain_lanes_batch_respects_budget() {
+        let (mut conv, mut producers) = Conveyor::<u32>::new(2, 8);
+        for i in 0..4 {
+            producers[0].offer(i).unwrap();
+            producers[1].offer(100 + i).unwrap();
+        }
+        let mut out = Vec::new();
+        // Budget 6: all of lane 0's run, then only 2 from lane 1.
+        assert_eq!(conv.drain_lanes_batch(6, |lane, v| out.push((lane, v))), 6);
+        assert_eq!(
+            out,
+            vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 100), (1, 101)]
+        );
+        assert_eq!(conv.lane_len(1), 2);
+    }
+
+    #[test]
+    fn drain_lane_batch_while_leaves_rejected_head_and_ignores_mute() {
+        let (mut conv, mut producers) = Conveyor::<u32>::new(1, 8);
+        for v in [1, 2, 99, 3] {
+            producers[0].offer(v).unwrap();
+        }
+        conv.mute(0);
+        let mut out = Vec::new();
+        let n = conv.drain_lane_batch_while(0, 16, |v| *v < 10, |v| out.push(v));
+        assert_eq!(n, 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(conv.peek_lane(0), Some(&99));
     }
 
     #[test]

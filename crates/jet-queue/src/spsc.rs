@@ -40,6 +40,27 @@ const TAIL_PUBLISH: Ordering = if cfg!(jet_weak_ordering) {
     Ordering::Release
 };
 
+/// Publish-on-drop guard for the consumer's bulk drains: the freed run is
+/// made visible to the producer by a single release store of `head`, even
+/// when a caller closure panics mid-batch (otherwise `Shared::drop` would
+/// double-drop the items already moved out).
+struct HeadPublish<'a> {
+    at: &'a AtomicUsize,
+    val: usize,
+    start: usize,
+}
+
+impl Drop for HeadPublish<'_> {
+    fn drop(&mut self) {
+        if self.val != self.start {
+            // ordering: Release — same contract as the per-item store in
+            // `poll` (pairs with the producer's Acquire refresh of `head`),
+            // but one store per batch.
+            self.at.store(self.val, Ordering::Release);
+        }
+    }
+}
+
 struct Shared<T> {
     buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
@@ -161,6 +182,85 @@ impl<T> Producer<T> {
         Ok(())
     }
 
+    /// Bulk enqueue: move items out of `iter` into the ring until the
+    /// iterator is exhausted or the queue is full, returning how many were
+    /// moved. Items the queue had no room for stay in the iterator (which is
+    /// why it is taken by `&mut`).
+    ///
+    /// The batch costs the same number of shared-memory operations as a
+    /// *single* `offer`: the head/tail snapshot is read once, the consumer
+    /// position is refreshed at most once (only when the snapshot cannot
+    /// satisfy the batch), every slot is filled with a plain write, and the
+    /// whole run is published by one release store of `tail`.
+    pub fn offer_batch<I>(&mut self, iter: &mut I) -> usize
+    where
+        I: Iterator<Item = T>,
+    {
+        let mask = self.shared.mask;
+        let start = self.tail;
+        // Publish-on-drop guard: `iter.next()` runs arbitrary caller code,
+        // and a panic there must still publish the items already written
+        // into their slots (otherwise `Shared::drop` would leak them).
+        struct Publish<'a> {
+            at: &'a AtomicUsize,
+            val: usize,
+            start: usize,
+        }
+        impl Drop for Publish<'_> {
+            fn drop(&mut self) {
+                if self.val != self.start {
+                    // ordering: same contract as the single-item publish —
+                    // `TAIL_PUBLISH` (Release) makes every slot write in the
+                    // batch visible before the new position. One store per
+                    // batch is the whole point of this method.
+                    self.at.store(self.val, TAIL_PUBLISH);
+                }
+            }
+        }
+        let mut publish = Publish {
+            at: &self.shared.tail,
+            val: start,
+            start,
+        };
+        let mut refreshed = false;
+        'fill: loop {
+            let mut free = (mask + 1).wrapping_sub(publish.val.wrapping_sub(self.cached_head));
+            if free == 0 {
+                if refreshed {
+                    break;
+                }
+                // Looks full — refresh the consumer position, at most once
+                // per batch.
+                // ordering: Acquire — same pairing as the refresh in `offer`.
+                self.cached_head = self.shared.head.load(Ordering::Acquire);
+                refreshed = true;
+                free = (mask + 1).wrapping_sub(publish.val.wrapping_sub(self.cached_head));
+                if free == 0 {
+                    break;
+                }
+            }
+            // Fill the contiguous run up to the wrap point: borrowing the
+            // segment as a slice hoists the bounds check and index masking
+            // out of the per-item path.
+            let off = publish.val & mask;
+            let seg = free.min(mask + 1 - off);
+            for slot in &self.shared.buffer[off..off + seg] {
+                let Some(item) = iter.next() else { break 'fill };
+                // SAFETY: `free > 0` keeps `publish.val` within
+                // `cached_head..cached_head+capacity`, so this slot is free
+                // (uninit or moved out); the producer is the only writer, and
+                // the batch becomes visible only via the guard's single tail
+                // store, after every slot write it covers.
+                slot.with_mut(|p| unsafe { (*p).write(item) });
+                publish.val = publish.val.wrapping_add(1);
+            }
+        }
+        let n = publish.val.wrapping_sub(start);
+        self.tail = publish.val;
+        drop(publish);
+        n
+    }
+
     /// Free slots available for offers right now (a lower bound: the consumer
     /// may free more concurrently).
     pub fn remaining_capacity(&mut self) -> usize {
@@ -248,19 +348,119 @@ impl<T> Consumer<T> {
         )
     }
 
+    /// Bulk dequeue: move up to `max` items into `sink`, returning how many
+    /// were moved. Equivalent to `max` successful `poll`s but pays the
+    /// shared-memory cost of one: the producer position is refreshed at most
+    /// once (only when the cached snapshot cannot satisfy the batch), slots
+    /// are read with plain loads, and the freed run is published by a single
+    /// release store of `head`.
+    #[inline]
+    pub fn drain_batch(&mut self, max: usize, mut sink: impl FnMut(T)) -> usize {
+        let mask = self.shared.mask;
+        let start = self.head;
+        let mut avail = self.cached_tail.wrapping_sub(start);
+        if avail < max {
+            // The cache cannot satisfy the whole batch — refresh the
+            // producer position, at most once per batch.
+            // ordering: Acquire — same pairing as in `poll`: the slot writes
+            // are visible before the new position.
+            self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+            avail = self.cached_tail.wrapping_sub(start);
+        }
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        // Publish-on-drop guard: `sink` runs arbitrary caller code, and a
+        // panic there must still publish the slots already read out
+        // (otherwise `Shared::drop` would double-drop the moved items).
+        let mut publish = HeadPublish {
+            at: &self.shared.head,
+            val: start,
+            start,
+        };
+        let mut left = n;
+        while left > 0 {
+            // Walk the contiguous run up to the wrap point: borrowing the
+            // segment as a slice hoists the bounds check and index masking
+            // out of the per-item path.
+            let off = publish.val & mask;
+            let seg = left.min(mask + 1 - off);
+            for slot in &self.shared.buffer[off..off + seg] {
+                // SAFETY: the slot is below the acquire-published `tail`, so
+                // it holds an initialized item the producer cannot touch
+                // until `head` is released past it; it is read out exactly
+                // once, and the cursor advances *before* `sink` runs so a
+                // panic inside it cannot double-drop the moved item.
+                let item = slot.with(|p| unsafe { (*p).assume_init_read() });
+                publish.val = publish.val.wrapping_add(1);
+                sink(item);
+            }
+            left -= seg;
+        }
+        self.head = publish.val;
+        drop(publish);
+        n
+    }
+
+    /// Like [`Consumer::drain_batch`], but stops (without consuming) at the
+    /// first item `accept` rejects. This is the primitive the engine uses to
+    /// bulk-move a run of data items while leaving a control item (barrier,
+    /// watermark) at the head of the queue for one-at-a-time handling.
+    pub fn drain_batch_while(
+        &mut self,
+        max: usize,
+        mut accept: impl FnMut(&T) -> bool,
+        mut sink: impl FnMut(T),
+    ) -> usize {
+        let mask = self.shared.mask;
+        let start = self.head;
+        let mut avail = self.cached_tail.wrapping_sub(start);
+        if avail < max {
+            // The cache cannot satisfy the whole batch — refresh the
+            // producer position, at most once per batch.
+            // ordering: Acquire — same pairing as in `poll`: the slot writes
+            // are visible before the new position.
+            self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+            avail = self.cached_tail.wrapping_sub(start);
+        }
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        // Publish-on-drop guard: `accept`/`sink` run arbitrary caller code,
+        // and a panic there must still publish the slots already read out
+        // (otherwise `Shared::drop` would double-drop the moved items).
+        let mut publish = HeadPublish {
+            at: &self.shared.head,
+            val: start,
+            start,
+        };
+        while publish.val.wrapping_sub(start) < n {
+            let slot = &self.shared.buffer[publish.val & mask];
+            // SAFETY: the slot is below the acquire-published `tail`, so it
+            // holds an initialized item the producer cannot touch until
+            // `head` is released past it; peeking by shared reference before
+            // deciding to consume is the same discipline as `peek`.
+            if !slot.with(|p| unsafe { accept((*p).assume_init_ref()) }) {
+                break;
+            }
+            // SAFETY: as above; the slot is read out exactly once, and the
+            // cursor advances *before* `sink` runs so a panic inside it
+            // cannot double-drop the item already moved out.
+            let item = slot.with(|p| unsafe { (*p).assume_init_read() });
+            publish.val = publish.val.wrapping_add(1);
+            sink(item);
+        }
+        let taken = publish.val.wrapping_sub(start);
+        self.head = publish.val;
+        drop(publish);
+        taken
+    }
+
     /// Drain up to `max` items into `sink`, returning how many were moved.
     pub fn drain_into(&mut self, sink: &mut Vec<T>, max: usize) -> usize {
-        let mut n = 0;
-        while n < max {
-            match self.poll() {
-                Some(item) => {
-                    sink.push(item);
-                    n += 1;
-                }
-                None => break,
-            }
-        }
-        n
+        self.drain_batch(max, |item| sink.push(item))
     }
 
     /// Number of items currently queued (approximate under concurrency).
@@ -406,6 +606,44 @@ mod loom_tests {
         });
     }
 
+    /// Move `n` items through a capacity-`cap` ring using only the *batch*
+    /// APIs (`offer_batch` retrying on full, `drain_batch` in runs of
+    /// `batch`, `done()` after the final batch), asserting order and
+    /// completeness. Exercises wrap-around, the at-most-once cache refresh
+    /// on both sides, and the done()-during-batch hand-shake.
+    fn batch_transfer_model(cap: usize, n: u64, batch: usize) {
+        loom::model(move || {
+            let (mut p, mut c) = spsc_channel::<u64>(cap);
+            let producer = thread::spawn(move || {
+                let mut iter = 0..n;
+                let mut left = n as usize;
+                while left > 0 {
+                    let moved = p.offer_batch(&mut iter);
+                    left -= moved;
+                    if moved == 0 {
+                        thread::yield_now();
+                    }
+                }
+                p.done();
+            });
+            let mut expected = 0u64;
+            loop {
+                let got = c.drain_batch(batch, |v| {
+                    assert_eq!(v, expected, "batch drain reordered or corrupted");
+                    expected += 1;
+                });
+                if got == 0 {
+                    if c.is_finished() {
+                        break;
+                    }
+                    thread::yield_now();
+                }
+            }
+            assert_eq!(expected, n, "is_finished() fired before the last batch");
+            producer.join().unwrap();
+        });
+    }
+
     /// Wrap-around plus both cache-refresh races: 3 items through a 2-slot
     /// ring force the producer's full-refresh and the consumer's
     /// empty-refresh on every schedule.
@@ -413,6 +651,82 @@ mod loom_tests {
     #[test]
     fn transfer_wraparound_and_cache_refresh() {
         transfer_model(2, 3);
+    }
+
+    /// Batch wrap-around: 3 items in runs of 2 through a 2-slot ring force
+    /// partial batches, the single-refresh path, and slot reuse across the
+    /// index wrap on every schedule.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn batch_transfer_wraparound_and_cache_refresh() {
+        batch_transfer_model(2, 3, 2);
+    }
+
+    /// done() racing a consumer mid-batch: the producer publishes its last
+    /// batch and immediately promises completion; a consumer observing
+    /// `is_finished()` must already have drained every item of that batch.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn batch_done_during_drain_is_conclusive() {
+        batch_transfer_model(4, 3, 4);
+    }
+
+    /// Mixed APIs: single-item offers against a batch drainer (and the
+    /// peek-based `drain_batch_while` reject path) interoperate with the
+    /// same ordering guarantees.
+    #[cfg(not(jet_weak_ordering))]
+    #[test]
+    fn batch_drain_interoperates_with_single_offer() {
+        loom::model(|| {
+            let (mut p, mut c) = spsc_channel::<u64>(2);
+            let producer = thread::spawn(move || {
+                for i in 0..3u64 {
+                    let mut v = i;
+                    loop {
+                        match p.offer(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expected = 0u64;
+            while expected < 3 {
+                // Accept everything below 2, then fall back to plain drain:
+                // the rejected item must stay queued for the next call.
+                let got = c.drain_batch_while(
+                    4,
+                    |v| *v < 2,
+                    |v| {
+                        assert_eq!(v, expected);
+                        expected += 1;
+                    },
+                );
+                if got == 0 {
+                    if c.peek().is_some() {
+                        assert_eq!(c.poll(), Some(expected));
+                        expected += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
+            producer.join().unwrap();
+        });
+    }
+
+    /// Mutation lane, batch flavor: with `--cfg jet_weak_ordering` the batch
+    /// publish in `offer_batch` degrades to `Relaxed` (it shares
+    /// [`TAIL_PUBLISH`] with the single-item path) and the checker must
+    /// report the slot hand-off to `drain_batch` as a data race.
+    #[cfg(jet_weak_ordering)]
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn batch_weakened_tail_publish_is_caught() {
+        batch_transfer_model(2, 2, 2);
     }
 
     /// The mutation lane: with `--cfg jet_weak_ordering` the tail publish
@@ -568,6 +882,96 @@ mod tests {
         assert_eq!(sink, vec![0, 1, 2, 3]);
         assert_eq!(c.drain_into(&mut sink, 100), 6);
         assert_eq!(sink.len(), 10);
+    }
+
+    #[test]
+    fn offer_batch_moves_what_fits_and_keeps_the_rest() {
+        let (mut p, mut c) = spsc_channel::<u32>(4);
+        let mut iter = 0..10u32;
+        // Queue has room for 4: exactly 4 move, the iterator keeps 4..10.
+        assert_eq!(p.offer_batch(&mut iter), 4);
+        assert_eq!(iter.next(), Some(4));
+        assert_eq!(p.offer_batch(&mut iter), 0, "full queue must move nothing");
+        assert_eq!(
+            iter.next(),
+            Some(5),
+            "full queue must not consume the iterator"
+        );
+        assert_eq!(c.poll(), Some(0));
+        assert_eq!(c.poll(), Some(1));
+        // Two slots freed by the consumer: the refresh finds them.
+        assert_eq!(p.offer_batch(&mut iter), 2);
+        let mut out = Vec::new();
+        c.drain_batch(16, |v| out.push(v));
+        assert_eq!(out, vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn offer_batch_with_short_iterator_publishes_once() {
+        let (mut p, mut c) = spsc_channel::<u32>(16);
+        let mut iter = [7u32, 8, 9].into_iter();
+        assert_eq!(p.offer_batch(&mut iter), 3);
+        assert_eq!(c.len(), 3, "batch must be visible after the single publish");
+        assert_eq!(p.offer_batch(&mut std::iter::empty::<u32>()), 0);
+        assert_eq!(c.poll(), Some(7));
+    }
+
+    #[test]
+    fn drain_batch_respects_max_and_preserves_fifo() {
+        let (mut p, mut c) = spsc_channel::<u32>(16);
+        for i in 0..10 {
+            p.offer(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(c.drain_batch(4, |v| out.push(v)), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(c.drain_batch(100, |v| out.push(v)), 6);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(c.drain_batch(1, |_| panic!("queue is empty")), 0);
+    }
+
+    #[test]
+    fn drain_batch_while_stops_at_rejected_item_without_consuming_it() {
+        let (mut p, mut c) = spsc_channel::<u32>(16);
+        for v in [1, 2, 99, 3] {
+            p.offer(v).unwrap();
+        }
+        let mut out = Vec::new();
+        // Reject 99: the run before it drains, 99 stays at the head.
+        assert_eq!(c.drain_batch_while(16, |v| *v < 10, |v| out.push(v)), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(c.peek(), Some(&99));
+        assert_eq!(c.poll(), Some(99));
+        assert_eq!(c.drain_batch_while(16, |v| *v < 10, |v| out.push(v)), 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_apis_wrap_around_many_times() {
+        let (mut p, mut c) = spsc_channel::<u64>(4);
+        let n: u64 = if cfg!(miri) { 200 } else { 10_000 };
+        let mut iter = 0..n;
+        let mut expected = 0u64;
+        while expected < n {
+            p.offer_batch(&mut iter);
+            c.drain_batch(3, |v| {
+                assert_eq!(v, expected);
+                expected += 1;
+            });
+        }
+    }
+
+    #[test]
+    fn drain_batch_sees_done_after_final_batch() {
+        let (mut p, mut c) = spsc_channel::<u32>(8);
+        let mut iter = [1u32, 2].into_iter();
+        p.offer_batch(&mut iter);
+        p.done();
+        assert!(!c.is_finished(), "finished while the final batch is queued");
+        let mut out = Vec::new();
+        assert_eq!(c.drain_batch(8, |v| out.push(v)), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert!(c.is_finished());
     }
 
     #[test]

@@ -56,6 +56,79 @@ proptest! {
         }
     }
 
+    // The bulk APIs are observationally identical to the single-item ones:
+    // a queue driven by interleaved `offer_batch`/`drain_batch` calls of
+    // random sizes yields exactly the item sequence (and the same per-call
+    // admission counts) as a model queue driven item-by-item, including
+    // when the producer signals `done()` partway through.
+    #[test]
+    fn batch_apis_match_single_item_apis(
+        cap in 1usize..64,
+        batches in proptest::collection::vec((0..48u32, 0usize..48, 0usize..2), 1..60),
+        // 0..60 = done() before that batch index; >= 60 = never.
+        done_raw in 0usize..120,
+    ) {
+        let done_at = (done_raw < 60).then_some(done_raw);
+        let (mut p, mut c) = spsc_channel::<u32>(cap);
+        let (mut mp, mut mc) = spsc_channel::<u32>(cap);
+        let mut next = 0u32;
+        for (i, (offer_n, drain_n, drain_first)) in batches.into_iter().enumerate() {
+            let drain_first = drain_first == 1;
+            if done_at == Some(i) {
+                p.done();
+                mp.done();
+            }
+            let mut offer = |next: &mut u32| -> (usize, usize) {
+                let base = *next;
+                let mut it = base..base + offer_n;
+                let moved = p.offer_batch(&mut it);
+                let mut model_moved = 0;
+                for v in base..base + offer_n {
+                    if mp.offer(v).is_err() {
+                        break;
+                    }
+                    model_moved += 1;
+                }
+                *next = base + offer_n;
+                (moved, model_moved)
+            };
+            let mut drain = || -> (Vec<u32>, Vec<u32>) {
+                let mut got = Vec::new();
+                let n = c.drain_batch(drain_n, |v| got.push(v));
+                assert_eq!(n, got.len(), "drain_batch return vs items sunk");
+                let mut model_got = Vec::new();
+                for _ in 0..drain_n {
+                    match mc.poll() {
+                        Some(v) => model_got.push(v),
+                        None => break,
+                    }
+                }
+                (got, model_got)
+            };
+            if drain_first {
+                let (got, model_got) = drain();
+                prop_assert_eq!(got, model_got);
+                let (moved, model_moved) = offer(&mut next);
+                prop_assert_eq!(moved, model_moved);
+            } else {
+                let (moved, model_moved) = offer(&mut next);
+                prop_assert_eq!(moved, model_moved);
+                let (got, model_got) = drain();
+                prop_assert_eq!(got, model_got);
+            }
+            prop_assert_eq!(c.len(), mc.len());
+            prop_assert_eq!(c.is_finished(), mc.is_finished());
+        }
+        // Drain both dry: the remainders must agree item-for-item.
+        let mut rest = Vec::new();
+        c.drain_batch(usize::MAX, |v| rest.push(v));
+        let mut model_rest = Vec::new();
+        while let Some(v) = mc.poll() {
+            model_rest.push(v);
+        }
+        prop_assert_eq!(rest, model_rest);
+    }
+
     #[test]
     fn conveyor_preserves_per_lane_fifo(
         lanes in 1usize..5,

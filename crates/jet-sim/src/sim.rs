@@ -340,6 +340,7 @@ mod tests {
                 call_cost: 100,
                 per_item: 0,
                 snapshot_record_cost: 0,
+                queue_hop_cost: 0,
                 per_vertex: vec![],
             },
             quantum,
@@ -410,6 +411,7 @@ mod tests {
                 call_cost: 100,
                 per_item: 0,
                 snapshot_record_cost: 0,
+                queue_hop_cost: 0,
                 per_vertex: vec![],
             },
             1_000,

@@ -10,7 +10,17 @@
 //! regression against saved baselines, HTML reports) is intentionally absent.
 
 use std::hint;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Criterion's `--test` smoke mode: `cargo bench -- --test` runs every
+/// benchmark body exactly once (no calibration, no sampling) to prove it
+/// still executes — CI uses it to keep benches compiling and running
+/// without paying measurement time.
+fn test_mode() -> bool {
+    static TEST_MODE: OnceLock<bool> = OnceLock::new();
+    *TEST_MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Prevents the optimizer from deleting a value or the work producing it.
 pub fn black_box<T>(x: T) -> T {
@@ -119,6 +129,15 @@ fn run_benchmark(
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
     // Calibrate: grow the per-sample iteration count until one sample takes
     // at least ~1/sample_size of the measurement window (capped by warm-up).
     let mut iters = 1u64;

@@ -21,9 +21,15 @@
 //!    ~20-30ns syscall-adjacent stall per record; sites must be throttled
 //!    or cold and say so: `// jet-lint: allow(instant) — <reason>` (a
 //!    `throttled` mention in a nearby comment also counts).
+//! 5. **single-item-poll** — `.poll(`/`.poll_lane(`/`.poll_any(` inside a
+//!    tasklet impl pays one acquire load and one release store per item;
+//!    the hot path must move events with the bulk `drain_*`/`offer_batch`
+//!    APIs, which publish once per run. Legit item-granular sites (control
+//!    items that mutate protocol state per item) annotate
+//!    `// single-item: <reason>` within 3 lines above.
 //!
 //! `#[cfg(test)]` / `#[cfg(all(test, ...))]`-gated regions are exempt from
-//! rules 2–4 (tests may sleep and lock); rule 1 applies everywhere.
+//! rules 2–5 (tests may sleep, lock and poll); rule 1 applies everywhere.
 //!
 //! The scanner is a small hand-rolled lexer (comments, strings and char
 //! literals are tracked, not regexed away) plus brace-depth region
@@ -333,6 +339,9 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
         l.contains("#[cfg(test)") || l.contains("#[cfg(all(test") || l.contains("#[cfg(all(loom")
     });
     let tasklet_mask = region_mask(code, |l| has_token(l, "impl") && l.contains("Tasklet for"));
+    // Rule 5 also covers the inherent `impl SomeTasklet { ... }` blocks the
+    // trait impls delegate their hot loops to.
+    let tasklet_impl_mask = region_mask(code, |l| has_token(l, "impl") && l.contains("Tasklet"));
 
     let lock_free = file_matches(file, LOCK_FREE_FILES);
     let hot_path = file_matches(file, HOT_PATH_FILES);
@@ -406,6 +415,24 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
                 rule: "instant-on-hot-path",
                 message: "`Instant::now()` in a hot-path file: throttle it or prove it \
                           cold, then annotate `// jet-lint: allow(instant) — <reason>`"
+                    .to_string(),
+            });
+        }
+
+        // Rule 5: item-at-a-time queue polling inside a tasklet impl.
+        if tasklet_impl_mask[i]
+            && (line.contains(".poll(")
+                || line.contains(".poll_lane(")
+                || line.contains(".poll_any("))
+            && !comment_nearby(comments, i, 3, "single-item:")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "single-item-poll",
+                message: "per-item `poll` inside a tasklet impl pays an atomic round-trip \
+                          per event; use the bulk `drain_*` APIs, or annotate \
+                          `// single-item: <reason>` for control-item sites"
                     .to_string(),
             });
         }
@@ -527,6 +554,27 @@ mod tests {
         let src = "// ordering: total order needed for X\nfn f(a: &AtomicUsize) \
                    { a.store(1, Ordering::SeqCst); }\n";
         assert!(lint_file("anywhere.rs", src).is_empty());
+    }
+
+    #[test]
+    fn single_item_poll_is_flagged_in_tasklet_impls() {
+        let src = "impl Tasklet for T {\n    fn call(&mut self) -> Progress {\n        \
+                   while let Some(x) = self.input.poll_lane(0) { eat(x); }\n    }\n}\n";
+        let f = lint_file("a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "single-item-poll");
+        // Annotated control-item sites pass.
+        let src = "impl Tasklet for T {\n    fn call(&mut self) -> Progress {\n        \
+                   // single-item: barriers mutate alignment state per item\n        \
+                   while let Some(x) = self.input.poll_lane(0) { eat(x); }\n    }\n}\n";
+        assert!(lint_file("a.rs", src).is_empty());
+        // Inherent impl blocks of tasklet types are covered too.
+        let src = "impl SenderTasklet {\n    fn pump(&mut self) {\n        \
+                   let _ = self.input.poll(0);\n    }\n}\n";
+        assert_eq!(lint_file("a.rs", src).len(), 1);
+        // Free functions and non-tasklet impls are not.
+        let src = "fn free(c: &mut Consumer<u8>) { let _ = c.poll(); }\n";
+        assert!(lint_file("a.rs", src).is_empty());
     }
 
     #[test]

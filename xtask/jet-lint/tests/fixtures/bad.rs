@@ -20,6 +20,10 @@ impl Tasklet for T {
         std::thread::sleep(std::time::Duration::from_millis(1)); // seeded
         let _ = self.rx.recv(); // seeded: blocking recv
         let _guard = self.state.lock(); // seeded: mutex inside tasklet
+        while let Some(item) = self.input.poll_lane(0) {
+            // seeded: single-item poll loop, no annotation
+            self.handle(item);
+        }
         Progress::Idle
     }
 }

@@ -17,6 +17,11 @@ impl Tasklet for T {
     fn call(&mut self) -> Progress {
         // jet-lint: allow(blocking) — shutdown path, runs once per job.
         std::thread::sleep(std::time::Duration::from_millis(1));
+        // single-item: control items mutate alignment state one at a time.
+        while let Some(item) = self.input.poll_lane(0) {
+            self.handle(item);
+        }
+        self.input.drain_batch(64, |item| self.stage(item));
         Progress::Idle
     }
 }

@@ -22,6 +22,7 @@ fn bad_fixture_trips_every_rule() {
         "blocking-in-tasklet",
         "ordering-justification",
         "instant-on-hot-path",
+        "single-item-poll",
     ] {
         assert!(
             rules.contains(expected),
