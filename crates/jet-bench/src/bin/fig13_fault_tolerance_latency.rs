@@ -11,11 +11,16 @@
 //! The same stepped distribution emerges here — low median, a sharp rise in
 //! the upper percentiles driven by the once-per-second alignment stalls.
 
-use jet_bench::{percentile_curve, run, BenchReport, Query, RunSpec, MS, SEC};
+use jet_bench::{percentile_curve, run, write_spike_report, BenchReport, Query, RunSpec, MS, SEC};
+use jet_core::flight::WatchdogConfig;
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
+    // `--spike-report` arms the tail-latency watchdog on the crash run and
+    // writes `results/SPIKE_fig13.json` with the root-cause attribution of
+    // every detected p99.99 excursion.
+    let spike_report = std::env::args().any(|a| a == "--spike-report");
     let mut report = BenchReport::new("fig13");
     report
         .param("query", "Q5")
@@ -68,7 +73,11 @@ fn main() {
     plan.crash(crash_at, 1);
     faulted.fault_plan = Some(plan);
     faulted.coordinator = Some(jet_cluster::CoordinatorConfig::default());
+    if spike_report {
+        faulted.spike = Some(WatchdogConfig::default());
+    }
     let rf = run(&faulted);
+    write_spike_report("fig13", "detected-crash", &rf).expect("spike report");
     let fenced_at = rf
         .cluster_events
         .iter()

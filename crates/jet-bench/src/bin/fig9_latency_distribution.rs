@@ -11,14 +11,23 @@
 //! Pass `--trace` (or set `JET_TRACE=1`) to capture an execution trace of
 //! each query's measurement period: `results/TRACE_fig9_<query>.json` is
 //! Chrome trace-event JSON (load in Perfetto), `.txt` the diagnostics dump.
+//!
+//! Pass `--spike-report` to also arm the tail-latency watchdog: detected
+//! p99.99 excursions are frozen and root-cause attributed in
+//! `results/SPIKE_fig9_<query>.json`. The watchdog observes off the virtual
+//! timeline, so the percentile curves are bit-identical with or without it.
 
-use jet_bench::{percentile_curve, run, write_trace, BenchReport, Query, RunSpec, MS, SEC};
+use jet_bench::{
+    percentile_curve, run, write_spike_report, write_trace, BenchReport, Query, RunSpec, MS, SEC,
+};
+use jet_core::flight::WatchdogConfig;
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
 fn main() {
     let trace = std::env::args().any(|a| a == "--trace")
         || std::env::var("JET_TRACE").is_ok_and(|v| v == "1");
+    let spike_report = std::env::args().any(|a| a == "--spike-report");
     println!("# Figure 9: latency distribution per query at the largest cluster size");
     println!("# query then (percentile, latency_ms) pairs");
     let mut report = BenchReport::new("fig9");
@@ -35,6 +44,9 @@ fn main() {
         spec.warmup = SEC + 500 * MS;
         spec.measure = 1500 * MS;
         spec.trace = trace;
+        if spike_report {
+            spec.spike = Some(WatchdogConfig::default());
+        }
         let r = run(&spec);
         print!("{:4}", query.name());
         for (p, ms) in percentile_curve(&r.hist) {
@@ -43,6 +55,7 @@ fn main() {
         println!("  n={}", r.hist.count());
         eprintln!("  [{} done in {:.0}s wall]", query.name(), r.wall_secs);
         write_trace(&format!("fig9_{}", query.name()), &r).expect("trace");
+        write_spike_report(&format!("fig9_{}", query.name()), query.name(), &r).expect("spike");
         report.add_run(query.name(), &[("query", query.name().to_string())], &r);
     }
     report.write().expect("report");

@@ -14,6 +14,9 @@
 //! absolute numbers.
 
 use jet_cluster::{ClusterEvent, CoordinatorConfig, SimCluster, SimClusterConfig};
+use jet_core::flight::{
+    FlightConfig, FlightRecorder, LatencyWatchdog, SpikeFidelity, SpikeReport, WatchdogConfig,
+};
 use jet_core::metrics::{
     json_escape, HistogramSummary, MetricsSnapshot, SharedCounter, SharedHistogram,
 };
@@ -96,6 +99,13 @@ pub struct RunSpec {
     /// Capture an execution trace of the measurement period (Chrome
     /// trace-event spans + diagnostics dump in the [`RunResult`]).
     pub trace: bool,
+    /// Arm the tail-latency watchdog + flight recorder: spikes detected
+    /// online on the virtual timeline freeze their span window and are
+    /// root-cause attributed in [`RunResult::spike`]. Implies span
+    /// collection (the tracer runs even when `trace` is false), but is
+    /// invisible on the virtual timeline — percentiles are bit-identical
+    /// with the watchdog on or off.
+    pub spike: Option<WatchdogConfig>,
 }
 
 impl RunSpec {
@@ -118,6 +128,7 @@ impl RunSpec {
             fault_plan: None,
             coordinator: None,
             trace: false,
+            spike: None,
         }
     }
 }
@@ -145,6 +156,10 @@ pub struct RunResult {
     pub diagnostics: Option<String>,
     /// Detector/recovery event log (empty unless a coordinator ran).
     pub cluster_events: Vec<ClusterEvent>,
+    /// Spike forensics ([`RunSpec::spike`]): every detected excursion with
+    /// its frozen window and critical-path attribution. `bench`/`run` are
+    /// stamped by [`write_spike_report`].
+    pub spike: Option<SpikeReport>,
 }
 
 impl RunResult {
@@ -165,6 +180,17 @@ impl RunResult {
 
 /// Build the query pipeline with a latency sink attached.
 pub fn build_query(spec: &RunSpec, hist: &SharedHistogram, count: &SharedCounter) -> Pipeline {
+    build_query_watched(spec, hist, count, LatencyWatchdog::disabled())
+}
+
+/// As [`build_query`], but the latency sink also feeds each sample to the
+/// spike watchdog.
+pub fn build_query_watched(
+    spec: &RunSpec,
+    hist: &SharedHistogram,
+    count: &SharedCounter,
+    watchdog: LatencyWatchdog,
+) -> Pipeline {
     let p = Pipeline::create();
     let src = queries::source(
         &p,
@@ -175,39 +201,40 @@ pub fn build_query(spec: &RunSpec, hist: &SharedHistogram, count: &SharedCounter
     );
     let h = hist.clone();
     let c = count.clone();
+    let w = watchdog;
     match spec.query {
         Query::Q1 => {
-            queries::q1(&src).write_to_latency(h, c);
+            queries::q1(&src).write_to_latency_watched(h, c, w);
         }
         Query::Q2 => {
-            queries::q2(&src).write_to_latency(h, c);
+            queries::q2(&src).write_to_latency_watched(h, c, w);
         }
         Query::Q3 => {
-            queries::q3(&src).write_to_latency(h, c);
+            queries::q3(&src).write_to_latency_watched(h, c, w);
         }
         Query::Q4 => {
-            queries::q4(&src, spec.window.size).write_to_latency(h, c);
+            queries::q4(&src, spec.window.size).write_to_latency_watched(h, c, w);
         }
         Query::Q5 => {
-            queries::q5(&src, spec.window).write_to_latency(h, c);
+            queries::q5(&src, spec.window).write_to_latency_watched(h, c, w);
         }
         Query::Q5SingleStage => {
-            queries::q5_single_stage(&src, spec.window).write_to_latency(h, c);
+            queries::q5_single_stage(&src, spec.window).write_to_latency_watched(h, c, w);
         }
         Query::Q6 => {
-            queries::q6(&src, spec.window.size).write_to_latency(h, c);
+            queries::q6(&src, spec.window.size).write_to_latency_watched(h, c, w);
         }
         Query::Q7 => {
-            queries::q7(&src, spec.window.size).write_to_latency(h, c);
+            queries::q7(&src, spec.window.size).write_to_latency_watched(h, c, w);
         }
         Query::Q8 => {
-            queries::q8(&src, spec.window.size).write_to_latency(h, c);
+            queries::q8(&src, spec.window.size).write_to_latency_watched(h, c, w);
         }
         Query::Q13 => {
             let side: Vec<(u64, String)> = (0..spec.nexmark.auctions)
                 .map(|a| (a, format!("auction-{a}")))
                 .collect();
-            queries::q13(&p, &src, side).write_to_latency(h, c);
+            queries::q13(&p, &src, side).write_to_latency_watched(h, c, w);
         }
     }
     p
@@ -217,11 +244,25 @@ pub fn build_query(spec: &RunSpec, hist: &SharedHistogram, count: &SharedCounter
 pub fn run(spec: &RunSpec) -> RunResult {
     let hist = SharedHistogram::new();
     let count = SharedCounter::new();
-    let pipeline = build_query(spec, &hist, &count);
+    // Watchdog/flight-recorder observers live off the virtual timeline
+    // (they never advance the clock), so arming them cannot move a single
+    // percentile — the histogram is bit-identical with `spike` on or off.
+    let watchdog = match &spec.spike {
+        Some(wd) => LatencyWatchdog::with_config(wd.clone()),
+        None => LatencyWatchdog::disabled(),
+    };
+    let flight = if spec.spike.is_some() {
+        FlightRecorder::with_config(FlightConfig::default(), watchdog.clone())
+    } else {
+        FlightRecorder::disabled()
+    };
+    let pipeline = build_query_watched(spec, &hist, &count, watchdog.clone());
     let dag = pipeline
         .compile(spec.cores_per_member)
         .expect("pipeline compiles");
-    let tracer = if spec.trace {
+    // Spike forensics needs the span stream even when no trace is kept.
+    let collect_spans = spec.trace || flight.is_enabled();
+    let tracer = if collect_spans {
         // Small rings (drained every ~10 ms of virtual time below) keep the
         // footprint bounded even at fig9 scale: 20 members × dozens of
         // writers each. Calls are sampled 1-in-16: they outnumber every
@@ -243,6 +284,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
         tracer: tracer.clone(),
         fault_plan: spec.fault_plan.clone(),
         coordinator: spec.coordinator.clone(),
+        flight: flight.clone(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -250,41 +292,58 @@ pub fn run(spec: &RunSpec) -> RunResult {
     cluster.run_for(spec.warmup);
     hist.clear();
     // The trace covers the measurement period only: throw away whatever the
-    // warm-up left in the rings.
-    if spec.trace {
+    // warm-up left in the rings, and forget warm-up excursions (the adaptive
+    // baseline the warm-up established is kept).
+    if collect_spans {
         tracer.drain();
     }
+    watchdog.clear_incidents();
     let out_before = count.get();
-    let trace = if spec.trace {
+    let trace = if collect_spans {
         // A full-fidelity trace of the whole measurement at fig9 scale is
         // ~15M spans; capture the *tail* of the window instead — a steady
         // -state zoom that fits the collector with near-zero drops. The
-        // latency histogram still covers the full measurement period.
-        let tail = spec.measure.min(TRACE_TAIL_WINDOW);
+        // latency histogram still covers the full measurement period, and
+        // the flight recorder ingests every drain, so spikes anywhere in the
+        // measurement freeze their window.
+        let tail = if spec.trace {
+            spec.measure.min(TRACE_TAIL_WINDOW)
+        } else {
+            0
+        };
         let head = spec.measure - tail;
+        let mut scratch = TraceData::new();
+        let mut data = TraceData::new();
+        data.capacity = 2_000_000;
         if head > 0 {
-            let mut scratch = TraceData::new();
             let mut next_drain = 0u64;
             cluster.run_for_with(head, |now| {
                 if now >= next_drain {
                     tracer.drain_into(&mut scratch);
+                    flight.ingest(&scratch, 0);
                     scratch.events.clear();
                     next_drain = now + 10 * MS;
                 }
             });
             tracer.drain_into(&mut scratch); // reset ring drop counters
+            flight.ingest(&scratch, 0);
+            scratch.events.clear();
         }
-        let mut data = TraceData::new();
-        data.capacity = 2_000_000;
-        let mut next_drain = 0u64;
-        cluster.run_for_with(tail, |now| {
-            if now >= next_drain {
-                tracer.drain_into(&mut data);
-                next_drain = now + 10 * MS;
-            }
-        });
-        cluster.drain_trace_into(&mut data);
-        Some(data)
+        if tail > 0 {
+            let mut next_drain = 0u64;
+            cluster.run_for_with(tail, |now| {
+                if now >= next_drain {
+                    tracer.drain_into(&mut scratch);
+                    flight.ingest(&scratch, 0);
+                    data.absorb(&mut scratch);
+                    next_drain = now + 10 * MS;
+                }
+            });
+            tracer.drain_into(&mut scratch);
+            flight.ingest(&scratch, 0);
+            data.absorb(&mut scratch);
+        }
+        spec.trace.then_some(data)
     } else {
         cluster.run_for(spec.measure);
         None
@@ -292,8 +351,30 @@ pub fn run(spec: &RunSpec) -> RunResult {
     let outputs = count.get() - out_before;
     let wall = started.elapsed().as_secs_f64();
     let metrics = cluster.job_metrics();
-    let diagnostics = spec.trace.then(|| cluster.diagnostics_dump(trace.as_ref()));
+    let diagnostics =
+        (spec.trace || flight.is_enabled()).then(|| cluster.diagnostics_dump(trace.as_ref()));
     let cluster_events = cluster.cluster_events();
+    let spike = flight.is_enabled().then(|| {
+        let incidents = cluster.spike_forensics();
+        let (observed, suppressed) = watchdog.stats();
+        let (_ingested, evicted, spans_retained, snapshots_retained) = flight.stats();
+        SpikeReport {
+            bench: String::new(),
+            run_label: String::new(),
+            threshold_nanos: watchdog.threshold(),
+            fidelity: SpikeFidelity {
+                trace_ring_dropped: tracer.dropped_total(),
+                collector_dropped: trace.as_ref().map_or(0, |d| d.dropped),
+                recorder_evicted: evicted,
+                sample_shift: tracer.sample_shift(),
+                spans_retained,
+                snapshots_retained,
+                observed,
+                suppressed,
+            },
+            incidents,
+        }
+    });
     cluster.cancel();
     RunResult {
         hist: hist.snapshot(),
@@ -305,6 +386,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
         trace,
         diagnostics,
         cluster_events,
+        spike,
     }
 }
 
@@ -329,6 +411,47 @@ pub fn write_trace(name: &str, r: &RunResult) -> std::io::Result<Option<PathBuf>
         trace.events.len(),
         trace.dropped
     );
+    Ok(Some(path))
+}
+
+/// Write the spike forensics as `results/SPIKE_<name>.json` (schema
+/// `jet-spike-v1`, validated by the `schema-check` xtask) and print a
+/// one-line verdict per incident. Returns the path, or `None` when the run
+/// had no watchdog armed.
+pub fn write_spike_report(
+    name: &str,
+    label: &str,
+    r: &RunResult,
+) -> std::io::Result<Option<PathBuf>> {
+    let Some(spike) = &r.spike else {
+        return Ok(None);
+    };
+    let mut report = spike.clone();
+    report.bench = name.to_string();
+    report.run_label = label.to_string();
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("SPIKE_{name}.json"));
+    std::fs::write(&path, report.to_json())?;
+    eprintln!(
+        "  [spike report written to {} — {} incidents]",
+        path.display(),
+        report.incidents.len()
+    );
+    for inc in &report.incidents {
+        let a = &inc.attribution;
+        eprintln!(
+            "    incident #{}: peak {:.3}ms -> {} ({}){}",
+            inc.incident.id,
+            inc.incident.peak_latency as f64 / 1e6,
+            a.top_cause.name(),
+            a.top_group,
+            match &a.blamed_vertex {
+                Some(v) => format!(", vertex {v}"),
+                None => String::new(),
+            }
+        );
+    }
     Ok(Some(path))
 }
 
@@ -507,6 +630,7 @@ mod tests {
             trace: None,
             diagnostics: None,
             cluster_events: Vec::new(),
+            spike: None,
         };
         let mut report = BenchReport::new("unit");
         report.param("query", "Q5").param("members", 2);

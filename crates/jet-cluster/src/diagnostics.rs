@@ -10,6 +10,7 @@
 //! so operators always see the same shape of report.
 
 use crate::coordinator::{Coordinator, MemberHealth};
+use jet_core::flight::IncidentReport;
 use jet_core::metrics::{Metric, MetricsSnapshot};
 use jet_core::trace::{TraceData, TraceKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -325,6 +326,63 @@ pub fn render_dump(
     out
 }
 
+/// Render the spike-blame section appended to the dump when a flight
+/// recorder is wired: one block per detected p99.99 excursion, worst
+/// first, decomposing the spiked event's journey into named causes. The
+/// shape is stable with zero incidents ("none detected") so operators
+/// always see the section.
+pub fn render_blame(reports: &[IncidentReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\nspike blame");
+    if reports.is_empty() {
+        let _ = writeln!(out, "  none detected");
+        return out;
+    }
+    for r in reports {
+        let inc = &r.incident;
+        let a = &r.attribution;
+        let _ = writeln!(
+            out,
+            "  incident #{}: peak {:.3}ms at {:.3}s ({} spiked samples, threshold {:.3}ms)",
+            inc.id,
+            inc.peak_latency as f64 / 1e6,
+            secs(inc.peak_emitted_at),
+            inc.samples,
+            inc.threshold as f64 / 1e6,
+        );
+        let _ = writeln!(
+            out,
+            "    window [{:.3}s, {:.3}s]: {} spans, {} snapshots{}",
+            secs(r.window_lo),
+            secs(r.window_hi),
+            r.window_events,
+            r.window_snapshots,
+            if r.window_truncated > 0 {
+                format!(" ({} spans truncated)", r.window_truncated)
+            } else {
+                String::new()
+            }
+        );
+        let verdict = match &a.blamed_vertex {
+            Some(v) => format!("{} (vertex {})", a.top_cause.name(), v),
+            None => format!("{} ({})", a.top_cause.name(), a.top_group),
+        };
+        let _ = writeln!(out, "    verdict: {}", verdict);
+        for s in a.slices.iter().filter(|s| s.nanos > 0) {
+            let _ = writeln!(
+                out,
+                "    {:>5.1}% {:<18} {:>12.3}ms{}{}",
+                s.share * 100.0,
+                s.cause.name(),
+                s.nanos as f64 / 1e6,
+                if s.detail.is_empty() { "" } else { "  " },
+                s.detail
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +430,155 @@ mod tests {
         assert!(dump.contains("n/a (tracing disabled)"));
         assert!(dump.contains("cluster health"));
         assert!(dump.contains("n/a (no coordinator wired)"));
+    }
+
+    use jet_core::flight::{
+        AttributionConfig, Cause, FlightConfig, FlightRecorder, LatencyWatchdog, WatchdogConfig,
+    };
+    use jet_core::trace::{SpanRecord, TraceData, TraceEvent};
+
+    const MS: u64 = 1_000_000;
+
+    fn span(track: u32, ts: u64, dur: u64, name: u32, kind: TraceKind, arg: i64) -> TraceEvent {
+        TraceEvent {
+            track,
+            rec: SpanRecord {
+                ts,
+                dur,
+                name,
+                kind,
+                arg,
+            },
+        }
+    }
+
+    /// Watchdog armed purely by a hard SLO: deterministic from sample one.
+    fn slo_watchdog(slo: u64) -> LatencyWatchdog {
+        LatencyWatchdog::with_config(WatchdogConfig {
+            slo_nanos: Some(slo),
+            ..WatchdogConfig::default()
+        })
+    }
+
+    #[test]
+    fn dump_renders_with_completely_empty_trace() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            "jet_events_in_total",
+            tags(&[("vertex", "agg"), ("instance", "0")]),
+        )
+        .add(1);
+        let data = TraceData {
+            names: Vec::new(),
+            tracks: Vec::new(),
+            events: Vec::new(),
+            dropped: 0,
+            capacity: 0,
+        };
+        let dump = render_dump(1, MS, &r.snapshot(), &[], Some(&data), None);
+        assert!(dump.contains("slowest calls: none recorded"), "{dump}");
+        assert!(dump.contains("events=0 tracks=0 dropped=0"), "{dump}");
+    }
+
+    #[test]
+    fn dump_renders_when_rings_dropped_everything() {
+        let data = TraceData {
+            names: vec!["agg".to_string()],
+            tracks: Vec::new(),
+            events: Vec::new(),
+            dropped: 4_096,
+            capacity: 8,
+        };
+        let dump = render_dump(1, MS, &MetricsSnapshot::default(), &[], Some(&data), None);
+        assert!(dump.contains("dropped=4096"), "{dump}");
+        // And forensics over an incident with zero surviving spans still
+        // attributes: everything is queue wait (the honest residual).
+        let wd = slo_watchdog(MS);
+        let flight = FlightRecorder::with_config(FlightConfig::default(), wd.clone());
+        wd.observe(50 * MS, 40 * MS, 10 * MS);
+        flight.ingest(&data, 0);
+        let reports = flight.forensics(&AttributionConfig::default());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].window_events, 0);
+        assert_eq!(reports[0].attribution.top_cause, Cause::QueueWait);
+        let blame = render_blame(&reports);
+        assert!(blame.contains("verdict: queue_wait (dataflow)"), "{blame}");
+        assert!(blame.contains("0 spans"), "{blame}");
+    }
+
+    #[test]
+    fn blame_attributes_a_single_span_window() {
+        let wd = slo_watchdog(MS);
+        let flight = FlightRecorder::with_config(FlightConfig::default(), wd.clone());
+        wd.observe(50 * MS, 40 * MS, 10 * MS);
+        let data = TraceData {
+            names: vec!["?".to_string(), "agg".to_string()],
+            tracks: Vec::new(),
+            events: vec![span(0, 45 * MS, 2 * MS, 1, TraceKind::Call, 0)],
+            dropped: 0,
+            capacity: 1024,
+        };
+        flight.ingest(&data, 0);
+        let reports = flight.forensics(&AttributionConfig::default());
+        assert_eq!(reports.len(), 1);
+        let a = &reports[0].attribution;
+        assert_eq!(reports[0].window_events, 1);
+        // Exact partition: 2ms exec + 8ms residual = the 10ms spike.
+        let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+        assert_eq!(sum, a.total_nanos);
+        assert_eq!(a.total_nanos, 10 * MS);
+        assert_eq!(a.top_cause, Cause::QueueWait);
+        let exec = a
+            .slices
+            .iter()
+            .find(|s| s.cause == Cause::TaskletExec)
+            .unwrap();
+        assert_eq!(exec.nanos, 2 * MS);
+        assert!(exec.detail.contains("agg"), "{:?}", exec.detail);
+        let blame = render_blame(&reports);
+        assert!(blame.contains("1 spans"), "{blame}");
+    }
+
+    #[test]
+    fn blame_renders_none_detected_without_incidents() {
+        let blame = render_blame(&[]);
+        assert!(blame.contains("spike blame"), "{blame}");
+        assert!(blame.contains("none detected"), "{blame}");
+    }
+
+    /// Golden-file test: a crash → fence → recovery → catch-up spike renders
+    /// byte-for-byte as `golden/spike_blame.txt`. Regenerate by updating the
+    /// file with the printed actual if the format changes intentionally.
+    #[test]
+    fn blame_section_matches_golden_file() {
+        let wd = slo_watchdog(2 * MS);
+        let flight = FlightRecorder::with_config(FlightConfig::default(), wd.clone());
+        // The spiked emission: event at 100ms emitted at 150ms (50ms spike).
+        wd.observe(150 * MS, 100 * MS, 50 * MS);
+        // The forensic story: fault injected at 105ms, suspected at 110ms,
+        // fenced at 120ms, rebuilt by 140ms, replay caught up by 150ms.
+        let data = TraceData {
+            names: vec![
+                "crash".to_string(),
+                "suspect".to_string(),
+                "fence".to_string(),
+                "recovery".to_string(),
+            ],
+            tracks: Vec::new(),
+            events: vec![
+                span(0, 105 * MS, 0, 0, TraceKind::FaultInject, 1),
+                span(0, 110 * MS, 0, 1, TraceKind::Detect, 1),
+                span(0, 120 * MS, 0, 2, TraceKind::Detect, 1),
+                span(0, 120 * MS, 20 * MS, 3, TraceKind::Recovery, -1),
+            ],
+            dropped: 0,
+            capacity: 1024,
+        };
+        flight.ingest(&data, 0);
+        let reports = flight.forensics(&AttributionConfig::default());
+        let blame = render_blame(&reports);
+        let golden = include_str!("golden/spike_blame.txt");
+        assert_eq!(blame, golden, "actual:\n{blame}");
     }
 
     #[test]

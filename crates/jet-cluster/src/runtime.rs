@@ -14,6 +14,7 @@
 
 use crate::coordinator::{ClusterEvent, Coordinator, CoordinatorConfig};
 use crate::wiring::{build_cluster_execution, ClusterConfig, ClusterExecution};
+use jet_core::flight::{AttributionConfig, FlightRecorder, IncidentReport};
 use jet_core::metrics::{tags, MetricsRegistry, MetricsSnapshot};
 use jet_core::network::{ChannelChaos, InMemoryTransport, NetworkFaults};
 use jet_core::processor::Guarantee;
@@ -56,6 +57,12 @@ pub struct SimClusterConfig {
     /// default) wires no coordinator at all: no heartbeat traffic, no
     /// detector state, zero cost on fault-free runs.
     pub coordinator: Option<CoordinatorConfig>,
+    /// Spike-forensics flight recorder (carries its watchdog). When
+    /// enabled, the runtime samples the job-wide metrics snapshot into its
+    /// time series at the recorder's cadence and the diagnostics dump gains
+    /// a blame section. Disabled by default: zero cost, identical virtual
+    /// timeline either way.
+    pub flight: FlightRecorder,
 }
 
 impl Default for SimClusterConfig {
@@ -76,6 +83,7 @@ impl Default for SimClusterConfig {
             tracer: Tracer::disabled(),
             fault_plan: None,
             coordinator: None,
+            flight: FlightRecorder::disabled(),
         }
     }
 }
@@ -233,6 +241,43 @@ impl SimCluster {
                 "jet_cluster_store_read_failures_total",
                 tags(&[]),
                 move || sf.read_failures(),
+            );
+        }
+        // Flight-recorder fidelity is itself observable: when tracing is on,
+        // ring drops, sampling policy, and recorder retention surface as
+        // first-class metrics in the same Prometheus/JSON renderers as
+        // everything else. (Registered only when the tracer is enabled so
+        // untraced jobs keep their exact metric set.)
+        if cfg.tracer.is_enabled() {
+            let t = cfg.tracer.clone();
+            cluster_metrics.counter_fn("jet_trace_ring_dropped_total", tags(&[]), move || {
+                t.dropped_total()
+            });
+            let t = cfg.tracer.clone();
+            cluster_metrics.gauge_fn("jet_trace_pending_records", tags(&[]), move || {
+                t.pending() as i64
+            });
+            cluster_metrics
+                .gauge("jet_trace_call_sample_period", tags(&[]))
+                .set(1i64 << cfg.tracer.sample_shift());
+            cluster_metrics
+                .gauge("jet_trace_ring_capacity", tags(&[]))
+                .set(cfg.tracer.ring_capacity() as i64);
+        }
+        if cfg.flight.is_enabled() {
+            let f = cfg.flight.clone();
+            cluster_metrics.counter_fn("jet_flight_spans_evicted_total", tags(&[]), move || {
+                f.stats().1
+            });
+            let f = cfg.flight.clone();
+            cluster_metrics.gauge_fn("jet_flight_spans_retained_records", tags(&[]), move || {
+                f.stats().2 as i64
+            });
+            let f = cfg.flight.clone();
+            cluster_metrics.gauge_fn(
+                "jet_flight_snapshots_retained_records",
+                tags(&[]),
+                move || f.stats().3 as i64,
             );
         }
         let member_ids: Vec<u32> = grid.members().iter().map(|m| m.0).collect();
@@ -421,14 +466,36 @@ impl SimCluster {
     /// metrics-only view. Cluster health renders from the coordinator when
     /// one is wired, `n/a` otherwise.
     pub fn diagnostics_dump(&self, trace: Option<&TraceData>) -> String {
-        crate::diagnostics::render_dump(
+        let mut dump = crate::diagnostics::render_dump(
             self.job_id,
             self.now(),
             &self.job_metrics(),
             &self.tasklet_details(),
             trace,
             self.coordinator.as_ref(),
-        )
+        );
+        if self.cfg.flight.is_enabled() {
+            dump.push_str(&crate::diagnostics::render_blame(&self.spike_forensics()));
+        }
+        dump
+    }
+
+    /// The job's flight recorder (disabled unless configured via
+    /// [`SimClusterConfig::flight`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.cfg.flight
+    }
+
+    /// Run spike forensics over every frozen incident window: decompose
+    /// each detected p99.99 excursion into named causes on the critical
+    /// path. The network latency hint comes from this cluster's configured
+    /// one-way latency so NetSend/NetRecv intervals match the simulation.
+    pub fn spike_forensics(&self) -> Vec<IncidentReport> {
+        let cfg = AttributionConfig {
+            net_latency_hint: self.cfg.network_latency.max(1),
+            ..AttributionConfig::default()
+        };
+        self.cfg.flight.forensics(&cfg)
     }
 
     /// Advance the job by `duration` virtual nanos, auto-triggering
@@ -455,6 +522,14 @@ impl SimCluster {
             if remaining == 0 {
                 return self.sim.live_tasklets() == 0;
             }
+            // With a flight recorder wired, chunk the run at its metrics
+            // snapshot cadence: snapshots are taken *between* simulator
+            // calls, so they cost zero virtual time and the executed
+            // schedule is identical to an unchunked run.
+            let chunk = match self.cfg.flight.next_snapshot_in(self.now()) {
+                Some(gap) => remaining.min(gap.max(1)),
+                None => remaining,
+            };
             let mut action: Option<Action> = None;
             // Triggering a snapshot while the job is torn down for recovery
             // would only wedge on acks that can never arrive.
@@ -471,7 +546,7 @@ impl SimCluster {
             // Disjoint borrows of self for the tick closure.
             let driver = &mut self.fault_driver;
             let coordinator = &mut self.coordinator;
-            let done = self.sim.run_for_ctl(remaining, |tick| {
+            let done = self.sim.run_for_ctl(chunk, |tick| {
                 if interval > 0 {
                     registry.maybe_trigger(tick.now, interval);
                 }
@@ -493,8 +568,19 @@ impl SimCluster {
                 hook(tick.now);
                 true
             });
+            if self.cfg.flight.is_enabled() {
+                let now = self.now();
+                if self.cfg.flight.snapshot_due(now) {
+                    self.cfg.flight.record_snapshot(now, self.job_metrics());
+                }
+            }
             match action {
-                None => return done,
+                None => {
+                    if done || self.now() >= end {
+                        return done;
+                    }
+                    // Chunk boundary only — keep running until `end`.
+                }
                 Some(Action::Fence(member)) => self.handle_fence(member),
                 Some(Action::RetryRecovery) => self.attempt_recovery(),
             }

@@ -475,3 +475,101 @@ fn nexmark_q5_survives_a_detected_crash_with_identical_results() {
     assert_eq!(replay, faulted);
     assert_eq!(replay_events, events);
 }
+
+/// Tentpole closing assertion: a spike caused by an injected crash must be
+/// attributed to the failure-detection/recovery phases by the flight
+/// recorder — never to whichever innocent vertex happened to be running
+/// during the outage — and the decomposition must partition the measured
+/// spike exactly.
+#[test]
+fn fault_spikes_attribute_to_recovery_not_an_innocent_vertex() {
+    use jet_core::flight::{FlightConfig, FlightRecorder, LatencyWatchdog, WatchdogConfig};
+    use jet_core::metrics::{SharedCounter, SharedHistogram};
+    use jet_core::trace::{TraceData, Tracer};
+
+    let mut plan = FaultPlan::new(4242);
+    plan.crash(20 * MS, 1);
+
+    let p = Pipeline::create();
+    let hist = SharedHistogram::new();
+    let count = SharedCounter::new();
+    // The stream is only 60 ms long — far less than one adaptive epoch —
+    // so arm a hard SLO between the steady-state window-emission latency
+    // (~2-3 ms past each window end) and the outage peak (detection grace
+    // ~9.5 ms + snapshot replay).
+    let watchdog = LatencyWatchdog::with_config(WatchdogConfig {
+        slo_nanos: Some(6 * MS),
+        ..WatchdogConfig::default()
+    });
+    let flight = FlightRecorder::with_config(FlightConfig::default(), watchdog.clone());
+    p.read_from_generator_cfg(
+        "gen",
+        1_000_000,
+        Some(LIMIT),
+        jet_core::processors::WatermarkPolicy::default(),
+        |seq, _ts| seq % KEYS,
+    )
+    .grouping_key(|k: &u64| *k)
+    .window(WindowDef::tumbling(WINDOW))
+    .aggregate(counting::<u64>())
+    .write_to_latency_watched(hist, count, watchdog.clone());
+    let dag = p.compile(2).unwrap();
+    let tracer = Tracer::with_config(8192, 4);
+    let cfg = SimClusterConfig {
+        members: 3,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        fault_plan: Some(plan),
+        coordinator: Some(CoordinatorConfig::default()),
+        tracer: tracer.clone(),
+        flight: flight.clone(),
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    let mut scratch = TraceData::new();
+    let mut next_drain = 0u64;
+    let done = cluster.run_for_with(SEC, |now| {
+        if now >= next_drain {
+            tracer.drain_into(&mut scratch);
+            flight.ingest(&scratch, 0);
+            scratch.events.clear();
+            next_drain = now + 10 * MS;
+        }
+    });
+    assert!(done, "job did not complete");
+    assert!(
+        cluster.failed().is_none(),
+        "job lost: {:?}",
+        cluster.failed()
+    );
+    tracer.drain_into(&mut scratch);
+    flight.ingest(&scratch, 0);
+
+    let incidents = cluster.spike_forensics();
+    assert!(
+        !incidents.is_empty(),
+        "the crash outage produced no spike incidents (observed={} threshold={}ns)",
+        watchdog.stats().0,
+        watchdog.threshold()
+    );
+    // Incidents come worst-first; the outage spike dominates this stream.
+    let a = &incidents[0].attribution;
+    assert_eq!(
+        a.top_group, "recovery",
+        "outage spike blamed {:?} ({}) instead of the recovery phases:\n{:#?}",
+        a.top_cause, a.top_group, a.slices
+    );
+    assert!(
+        a.blamed_vertex.is_none(),
+        "an innocent vertex was blamed: {:?}",
+        a.blamed_vertex
+    );
+    let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+    assert_eq!(
+        sum, a.total_nanos,
+        "slices must partition the spike exactly"
+    );
+    assert_eq!(a.total_nanos, incidents[0].incident.peak_latency);
+}

@@ -1,0 +1,1271 @@
+//! Flight recorder + spike forensics: *why* was the tail slow?
+//!
+//! PR 1's metrics say how much time the job spent and PR 2's trace says
+//! where — but both are passive: when a bench shows a 631 ms p99.99
+//! excursion, someone still has to eyeball the trace by hand. This module
+//! closes the loop:
+//!
+//! * [`LatencyWatchdog`] — an online detector fed by the latency sink. It
+//!   maintains a rolling latency histogram per epoch of *virtual* time and
+//!   flags emissions whose latency exceeds an adaptive threshold
+//!   (`multiplier × previous-epoch p99`, floored) or a configured SLO.
+//!   Consecutive detections merge into bounded *incidents*.
+//! * [`FlightRecorder`] — an always-on bounded ring of drained span records
+//!   plus a periodic metrics-snapshot time series. When the watchdog opens
+//!   an incident, the recorder *freezes* the window around it: spans that
+//!   would be evicted from the rolling ring are moved into the incident's
+//!   frozen store instead of being discarded.
+//! * [`attribute`] — the critical-path attribution engine: given the span
+//!   records overlapping one spiked event's journey `[event_ts, emitted]`,
+//!   it partitions that interval into named causes (queue wait, tasklet
+//!   execution, backpressure stall, watermark straggler gap, snapshot
+//!   phase, network send/recv, fault detection, recovery, post-recovery
+//!   catch-up). The partition is exact: the per-cause nanos always sum to
+//!   the measured end-to-end spike latency.
+//!
+//! Cost discipline matches the tracer: everything here runs in *real* time
+//! only — observing a latency sample, ingesting drained spans, and taking
+//! metrics snapshots never advance the virtual clock, so an instrumented
+//! run produces bit-identical percentiles to an uninstrumented one.
+
+use crate::metrics::{json_escape, MetricsSnapshot};
+use crate::trace::{TraceData, TraceEvent, TraceKind, TrackInfo};
+use jet_util::Histogram;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const MS: u64 = 1_000_000;
+
+// ---------------------------------------------------------------- watchdog
+
+/// Tuning for the online spike detector.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// Rolling-histogram epoch on the virtual timeline. The detection
+    /// threshold adapts once per epoch from the completed epoch's p99.
+    pub epoch_nanos: u64,
+    /// Spike when `latency >= multiplier × previous-epoch p99`.
+    pub multiplier: f64,
+    /// Absolute floor under which nothing counts as a spike, however quiet
+    /// the baseline epoch was.
+    pub min_spike_nanos: u64,
+    /// Hard SLO: any emission at or above this latency is a spike, even
+    /// before the first epoch establishes an adaptive baseline.
+    pub slo_nanos: Option<u64>,
+    /// Detections closer together than this merge into one incident.
+    pub quiet_gap_nanos: u64,
+    /// Bound on remembered incidents; further ones are counted, not kept.
+    pub max_incidents: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            epoch_nanos: 500 * MS,
+            multiplier: 3.0,
+            min_spike_nanos: 20 * MS,
+            slo_nanos: None,
+            quiet_gap_nanos: 100 * MS,
+            max_incidents: 64,
+        }
+    }
+}
+
+/// One detected tail-latency excursion: a run of spiked emissions merged
+/// under the quiet-gap rule, keyed by its worst (peak) event.
+#[derive(Clone, Debug)]
+pub struct SpikeIncident {
+    pub id: u32,
+    /// Virtual instant of the first spiked emission.
+    pub first_detected: u64,
+    /// Virtual instant of the most recent spiked emission.
+    pub last_detected: u64,
+    /// Spiked emissions merged into this incident.
+    pub samples: u64,
+    /// Worst latency observed in the incident.
+    pub peak_latency: u64,
+    /// Occurrence timestamp of the peak event (window end for windowed
+    /// queries — the instant the paper's latency clock started).
+    pub peak_event_ts: u64,
+    /// Virtual instant the peak event was emitted at the sink.
+    pub peak_emitted_at: u64,
+    /// Detection threshold in force when the incident opened.
+    pub threshold: u64,
+}
+
+struct WatchdogInner {
+    cfg: WatchdogConfig,
+    epoch_start: Option<u64>,
+    current: Histogram,
+    /// p99 of the last completed epoch; None until one completes.
+    baseline_p99: Option<u64>,
+    incidents: Vec<SpikeIncident>,
+    observed: u64,
+    suppressed: u64,
+    next_id: u32,
+}
+
+impl WatchdogInner {
+    /// The adaptive threshold currently in force (`u64::MAX` = armed only
+    /// by the SLO until the first epoch completes).
+    fn threshold(&self) -> u64 {
+        let adaptive = match self.baseline_p99 {
+            Some(p99) => {
+                let scaled = (p99 as f64 * self.cfg.multiplier) as u64;
+                scaled.max(self.cfg.min_spike_nanos)
+            }
+            None => u64::MAX,
+        };
+        adaptive.min(self.cfg.slo_nanos.unwrap_or(u64::MAX))
+    }
+}
+
+/// Cheap-to-clone handle to the spike detector; `disabled()` is a no-op so
+/// the latency sink can hold one unconditionally.
+#[derive(Clone, Default)]
+pub struct LatencyWatchdog {
+    inner: Option<Arc<Mutex<WatchdogInner>>>,
+}
+
+impl LatencyWatchdog {
+    pub fn disabled() -> LatencyWatchdog {
+        LatencyWatchdog { inner: None }
+    }
+
+    pub fn with_config(cfg: WatchdogConfig) -> LatencyWatchdog {
+        LatencyWatchdog {
+            inner: Some(Arc::new(Mutex::new(WatchdogInner {
+                cfg,
+                epoch_start: None,
+                current: Histogram::latency(),
+                baseline_p99: None,
+                incidents: Vec::new(),
+                observed: 0,
+                suppressed: 0,
+                next_id: 0,
+            }))),
+        }
+    }
+
+    pub fn enabled() -> LatencyWatchdog {
+        Self::with_config(WatchdogConfig::default())
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Feed one emission: `now` is the virtual emission instant, `event_ts`
+    /// the event's occurrence timestamp, `latency = now - event_ts`. Called
+    /// from the latency sink; costs real time only.
+    pub fn observe(&self, now: u64, event_ts: u64, latency: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut w = inner.lock();
+        w.observed += 1;
+        // Roll epochs: the completed epoch's p99 becomes the baseline.
+        match w.epoch_start {
+            None => w.epoch_start = Some(now),
+            Some(start) => {
+                if now >= start + w.cfg.epoch_nanos {
+                    if w.current.count() > 0 {
+                        w.baseline_p99 = Some(w.current.percentile(99.0));
+                    }
+                    w.current.clear();
+                    // Snap forward (don't loop per missed epoch on gaps).
+                    let missed = (now - start) / w.cfg.epoch_nanos;
+                    w.epoch_start = Some(start + missed * w.cfg.epoch_nanos);
+                }
+            }
+        }
+        let threshold = w.threshold();
+        if latency < threshold {
+            // Only non-spiked samples feed the baseline: a spike-heavy epoch
+            // must not inflate the next epoch's threshold and mask the tail
+            // of its own incident.
+            w.current.record(latency);
+            return;
+        }
+        // Spiked: merge into the open incident or start a new one.
+        let quiet_gap = w.cfg.quiet_gap_nanos;
+        if let Some(last) = w.incidents.last_mut() {
+            if now <= last.last_detected.saturating_add(quiet_gap) {
+                last.last_detected = last.last_detected.max(now);
+                last.samples += 1;
+                if latency > last.peak_latency {
+                    last.peak_latency = latency;
+                    last.peak_event_ts = event_ts;
+                    last.peak_emitted_at = now;
+                }
+                return;
+            }
+        }
+        if w.incidents.len() >= w.cfg.max_incidents {
+            w.suppressed += 1;
+            return;
+        }
+        let id = w.next_id;
+        w.next_id += 1;
+        w.incidents.push(SpikeIncident {
+            id,
+            first_detected: now,
+            last_detected: now,
+            samples: 1,
+            peak_latency: latency,
+            peak_event_ts: event_ts,
+            peak_emitted_at: now,
+            threshold,
+        });
+    }
+
+    /// Snapshot of all incidents so far.
+    pub fn incidents(&self) -> Vec<SpikeIncident> {
+        match &self.inner {
+            Some(inner) => inner.lock().incidents.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Forget incidents (and suppression counts) recorded so far — used
+    /// after warm-up so cold-start noise does not pollute the report. The
+    /// rolling baseline is kept: warm-up is exactly what it should learn.
+    pub fn clear_incidents(&self) {
+        if let Some(inner) = &self.inner {
+            let mut w = inner.lock();
+            w.incidents.clear();
+            w.suppressed = 0;
+        }
+    }
+
+    /// Current effective detection threshold (`u64::MAX` until armed).
+    pub fn threshold(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.lock().threshold(),
+            None => u64::MAX,
+        }
+    }
+
+    /// (samples observed, spikes suppressed by the incident cap).
+    pub fn stats(&self) -> (u64, u64) {
+        match &self.inner {
+            Some(inner) => {
+                let w = inner.lock();
+                (w.observed, w.suppressed)
+            }
+            None => (0, 0),
+        }
+    }
+}
+
+// --------------------------------------------------------------- recorder
+
+/// Tuning for the always-on flight-recorder ring.
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Rolling span retention horizon (virtual nanos behind the newest
+    /// ingested record).
+    pub span_horizon_nanos: u64,
+    /// Hard cap on rolling-ring records (32 B each).
+    pub span_capacity: usize,
+    /// Metrics time-series snapshot cadence (virtual nanos).
+    pub snapshot_cadence_nanos: u64,
+    /// Snapshots kept in the rolling series.
+    pub snapshot_capacity: usize,
+    /// Frozen window padding before the peak event's occurrence.
+    pub pre_roll_nanos: u64,
+    /// Frozen window padding after the last detection.
+    pub post_roll_nanos: u64,
+    /// Per-incident cap on frozen spans.
+    pub frozen_span_capacity: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            span_horizon_nanos: 4_000 * MS,
+            span_capacity: 262_144,
+            snapshot_cadence_nanos: 50 * MS,
+            snapshot_capacity: 256,
+            pre_roll_nanos: 20 * MS,
+            post_roll_nanos: 20 * MS,
+            frozen_span_capacity: 65_536,
+        }
+    }
+}
+
+/// The span/snapshot window frozen around one incident.
+struct FrozenWindow {
+    incident: SpikeIncident,
+    lo: u64,
+    hi: u64,
+    /// Spans moved here when the rolling ring evicted them.
+    events: Vec<TraceEvent>,
+    snapshots: Vec<(u64, MetricsSnapshot)>,
+    truncated: u64,
+}
+
+struct RecorderInner {
+    cfg: FlightConfig,
+    names: Vec<String>,
+    tracks: Vec<TrackInfo>,
+    ring: VecDeque<TraceEvent>,
+    newest_ts: u64,
+    ingested: u64,
+    /// Spans evicted from the rolling ring *outside* any frozen window.
+    evicted: u64,
+    snapshots: VecDeque<(u64, MetricsSnapshot)>,
+    next_snapshot_at: u64,
+    windows: Vec<FrozenWindow>,
+}
+
+impl RecorderInner {
+    fn freeze_or_evict(&mut self, ev: TraceEvent) {
+        let ts = ev.rec.ts;
+        for w in self.windows.iter_mut() {
+            if ts >= w.lo && ts <= w.hi {
+                if w.events.len() < self.cfg.frozen_span_capacity {
+                    w.events.push(ev);
+                } else {
+                    w.truncated += 1;
+                }
+                return;
+            }
+        }
+        self.evicted += 1;
+    }
+
+    fn prune(&mut self) {
+        let floor = self.newest_ts.saturating_sub(self.cfg.span_horizon_nanos);
+        while self.ring.len() > self.cfg.span_capacity
+            || self.ring.front().is_some_and(|e| e.rec.ts < floor)
+        {
+            let ev = self.ring.pop_front().expect("non-empty: condition held");
+            self.freeze_or_evict(ev);
+        }
+        while self.snapshots.len() > self.cfg.snapshot_capacity {
+            let (at, snap) = self.snapshots.pop_front().expect("non-empty");
+            if let Some(w) = self.windows.iter_mut().find(|w| at >= w.lo && at <= w.hi) {
+                w.snapshots.push((at, snap));
+            }
+        }
+    }
+
+    fn sync_incidents(&mut self, incidents: &[SpikeIncident]) {
+        for inc in incidents {
+            let lo = inc.peak_event_ts.saturating_sub(self.cfg.pre_roll_nanos);
+            let hi = inc.last_detected.saturating_add(self.cfg.post_roll_nanos);
+            match self.windows.iter_mut().find(|w| w.incident.id == inc.id) {
+                Some(w) => {
+                    w.incident = inc.clone();
+                    w.lo = w.lo.min(lo);
+                    w.hi = w.hi.max(hi);
+                }
+                None => self.windows.push(FrozenWindow {
+                    incident: inc.clone(),
+                    lo,
+                    hi,
+                    events: Vec::new(),
+                    snapshots: Vec::new(),
+                    truncated: 0,
+                }),
+            }
+        }
+    }
+}
+
+/// Cheap-to-clone handle to the flight recorder. Carries the watchdog whose
+/// incidents it freezes windows for; `disabled()` is a no-op everywhere.
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Mutex<RecorderInner>>>,
+    watchdog: LatencyWatchdog,
+}
+
+impl FlightRecorder {
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder {
+            inner: None,
+            watchdog: LatencyWatchdog::disabled(),
+        }
+    }
+
+    pub fn with_config(cfg: FlightConfig, watchdog: LatencyWatchdog) -> FlightRecorder {
+        FlightRecorder {
+            inner: Some(Arc::new(Mutex::new(RecorderInner {
+                cfg,
+                names: vec!["?".to_string()],
+                tracks: Vec::new(),
+                ring: VecDeque::new(),
+                newest_ts: 0,
+                ingested: 0,
+                evicted: 0,
+                snapshots: VecDeque::new(),
+                next_snapshot_at: 0,
+                windows: Vec::new(),
+            }))),
+            watchdog,
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The watchdog this recorder freezes windows for.
+    pub fn watchdog(&self) -> &LatencyWatchdog {
+        &self.watchdog
+    }
+
+    /// Ingest freshly drained trace data (events `from..`). Syncs incident
+    /// windows from the watchdog first so eviction freezes rather than
+    /// discards in-window spans. Returns `data.events.len()` for use as the
+    /// next call's `from` cursor.
+    pub fn ingest(&self, data: &TraceData, from: usize) -> usize {
+        let Some(inner) = &self.inner else {
+            return data.events.len();
+        };
+        let mut r = inner.lock();
+        let incidents = self.watchdog.incidents();
+        r.sync_incidents(&incidents);
+        if data.names.len() > r.names.len() {
+            r.names = data.names.clone();
+        }
+        if data.tracks.len() > r.tracks.len() {
+            r.tracks = data.tracks.clone();
+        }
+        for ev in data.events.iter().skip(from) {
+            r.newest_ts = r.newest_ts.max(ev.rec.ts);
+            r.ring.push_back(*ev);
+            r.ingested += 1;
+        }
+        r.prune();
+        data.events.len()
+    }
+
+    /// Is a metrics time-series sample due at virtual instant `now`?
+    pub fn snapshot_due(&self, now: u64) -> bool {
+        match &self.inner {
+            Some(inner) => now >= inner.lock().next_snapshot_at,
+            None => false,
+        }
+    }
+
+    /// Virtual nanos until the next metrics snapshot is due (0 if overdue).
+    /// `None` when disabled — callers use this to chunk long runs at the
+    /// snapshot cadence without polling every quantum.
+    pub fn next_snapshot_in(&self, now: u64) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().next_snapshot_at.saturating_sub(now))
+    }
+
+    /// Append one metrics snapshot to the time series.
+    pub fn record_snapshot(&self, now: u64, snap: MetricsSnapshot) {
+        let Some(inner) = &self.inner else { return };
+        let mut r = inner.lock();
+        let cadence = r.cfg.snapshot_cadence_nanos;
+        r.next_snapshot_at = now + cadence;
+        r.snapshots.push_back((now, snap));
+        r.prune();
+    }
+
+    /// (spans ingested, spans evicted un-frozen, spans retained, snapshots
+    /// retained) — the recorder's own fidelity counters.
+    pub fn stats(&self) -> (u64, u64, usize, usize) {
+        match &self.inner {
+            Some(inner) => {
+                let r = inner.lock();
+                let frozen: usize = r.windows.iter().map(|w| w.events.len()).sum();
+                (
+                    r.ingested,
+                    r.evicted,
+                    r.ring.len() + frozen,
+                    r.snapshots.len() + r.windows.iter().map(|w| w.snapshots.len()).sum::<usize>(),
+                )
+            }
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// Freeze-sync with the watchdog and attribute every incident: the
+    /// closed loop's output. `cfg` carries cluster facts the span stream
+    /// alone cannot know (the one-way network latency).
+    pub fn forensics(&self, cfg: &AttributionConfig) -> Vec<IncidentReport> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut r = inner.lock();
+        let incidents = self.watchdog.incidents();
+        r.sync_incidents(&incidents);
+        let mut out = Vec::with_capacity(r.windows.len());
+        for w in &r.windows {
+            // Window spans live in the frozen store (evicted) and/or still
+            // in the rolling ring; an event is in exactly one of the two.
+            let mut events: Vec<TraceEvent> = w
+                .events
+                .iter()
+                .chain(
+                    r.ring
+                        .iter()
+                        .filter(|e| e.rec.ts >= w.lo && e.rec.ts <= w.hi),
+                )
+                .copied()
+                .collect();
+            events.sort_by_key(|e| e.rec.ts);
+            let snapshots = w.snapshots.len()
+                + r.snapshots
+                    .iter()
+                    .filter(|(at, _)| *at >= w.lo && *at <= w.hi)
+                    .count();
+            let attribution = attribute(
+                &events,
+                &r.names,
+                w.incident.peak_event_ts,
+                w.incident.peak_emitted_at,
+                cfg,
+            );
+            out.push(IncidentReport {
+                incident: w.incident.clone(),
+                window_lo: w.lo,
+                window_hi: w.hi,
+                window_events: events.len(),
+                window_truncated: w.truncated,
+                window_snapshots: snapshots,
+                attribution,
+            });
+        }
+        out.sort_by_key(|r| std::cmp::Reverse(r.incident.peak_latency));
+        out
+    }
+}
+
+// ------------------------------------------------------------ attribution
+
+/// Named causes a spike decomposes into, in *priority* order: when two
+/// causes overlap in time, the earlier variant wins the overlap. Recovery-
+/// family causes outrank execution so a fault spike never blames whichever
+/// innocent vertex happened to run during the outage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cause {
+    /// Fault injected/first suspicion → member fenced.
+    FaultDetection,
+    /// Fence → execution rebuilt from the latest complete snapshot.
+    Recovery,
+    /// Rebuild → the spiked event finally emitted (source replay).
+    RecoveryCatchup,
+    /// Aligned snapshot phase in progress.
+    SnapshotPhase,
+    /// Producer blocked on a full downstream queue.
+    BackpressureStall,
+    /// Time in flight on a distributed edge (receive half).
+    NetRecv,
+    /// Time in flight on a distributed edge (send half).
+    NetSend,
+    /// Watermark coalescing silent longer than the straggler threshold.
+    WatermarkGap,
+    /// A tasklet timeslice was executing.
+    TaskletExec,
+    /// Residual: the event (or its watermark) sat in queues.
+    QueueWait,
+}
+
+pub const ALL_CAUSES: [Cause; 10] = [
+    Cause::FaultDetection,
+    Cause::Recovery,
+    Cause::RecoveryCatchup,
+    Cause::SnapshotPhase,
+    Cause::BackpressureStall,
+    Cause::NetRecv,
+    Cause::NetSend,
+    Cause::WatermarkGap,
+    Cause::TaskletExec,
+    Cause::QueueWait,
+];
+
+impl Cause {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Cause::FaultDetection => "fault_detection",
+            Cause::Recovery => "recovery",
+            Cause::RecoveryCatchup => "recovery_catchup",
+            Cause::SnapshotPhase => "snapshot_phase",
+            Cause::BackpressureStall => "backpressure_stall",
+            Cause::NetRecv => "net_recv",
+            Cause::NetSend => "net_send",
+            Cause::WatermarkGap => "watermark_gap",
+            Cause::TaskletExec => "tasklet_exec",
+            Cause::QueueWait => "queue_wait",
+        }
+    }
+
+    /// Coarse family used for "is this a recovery-phase spike or a compute
+    /// spike?" verdicts.
+    pub fn group(&self) -> &'static str {
+        match self {
+            Cause::FaultDetection | Cause::Recovery | Cause::RecoveryCatchup => "recovery",
+            Cause::SnapshotPhase => "snapshot",
+            Cause::NetRecv | Cause::NetSend => "network",
+            Cause::BackpressureStall | Cause::WatermarkGap | Cause::QueueWait => "dataflow",
+            Cause::TaskletExec => "compute",
+        }
+    }
+
+    fn priority(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Cluster facts the attribution sweep needs beyond the span stream.
+#[derive(Clone, Debug)]
+pub struct AttributionConfig {
+    /// One-way network latency; a batch's transit splits evenly into the
+    /// send half and the receive half.
+    pub net_latency_hint: u64,
+    /// Backpressure-stall instants closer than this merge into one stall
+    /// interval.
+    pub stall_merge_gap_nanos: u64,
+    /// Watermark-coalesce silence longer than this counts as a straggler
+    /// gap.
+    pub straggler_gap_nanos: u64,
+}
+
+impl Default for AttributionConfig {
+    fn default() -> Self {
+        AttributionConfig {
+            net_latency_hint: 500_000,
+            stall_merge_gap_nanos: MS,
+            straggler_gap_nanos: 20 * MS,
+        }
+    }
+}
+
+/// One cause's share of a spike.
+#[derive(Clone, Debug)]
+pub struct CauseSlice {
+    pub cause: Cause,
+    pub nanos: u64,
+    /// `nanos / total` (0 when the window is empty).
+    pub share: f64,
+    /// Human hint: dominant vertex, snapshot id, fence target, …
+    pub detail: String,
+}
+
+/// Exact decomposition of one spiked event's `[t0, t1]` journey.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    pub t0: u64,
+    pub t1: u64,
+    pub total_nanos: u64,
+    /// Every cause, largest first; nanos sum to `total_nanos` exactly.
+    pub slices: Vec<CauseSlice>,
+    pub top_cause: Cause,
+    pub top_group: &'static str,
+    /// Dominant vertex when the top cause is execution/stall-shaped.
+    pub blamed_vertex: Option<String>,
+}
+
+struct Interval {
+    lo: u64,
+    hi: u64,
+    cause: Cause,
+    name: u32,
+}
+
+/// Decompose `[t0, t1]` (the spiked event's occurrence → emission) into
+/// named causes using the span records overlapping the window. Overlaps
+/// resolve by [`Cause`] priority; uncovered time is queue wait. The slice
+/// nanos sum to `t1 - t0` exactly, by construction.
+pub fn attribute(
+    events: &[TraceEvent],
+    names: &[String],
+    t0: u64,
+    t1: u64,
+    cfg: &AttributionConfig,
+) -> Attribution {
+    let total = t1.saturating_sub(t0);
+    let mut ivs: Vec<Interval> = Vec::new();
+    let mut push = |lo: u64, hi: u64, cause: Cause, name: u32| {
+        let (lo, hi) = (lo.max(t0), hi.min(t1));
+        if lo < hi {
+            ivs.push(Interval {
+                lo,
+                hi,
+                cause,
+                name,
+            });
+        }
+    };
+
+    // Fault detection: the earliest trouble signal (fault injection or
+    // first suspicion) after the previous fence, up to each fence verdict.
+    let lookup = |n: &str| names.iter().position(|x| x == n).map(|i| i as u32);
+    let n_fence = lookup("fence");
+    let n_suspect = lookup("suspect");
+    let n_recovery = lookup("recovery");
+    let mut prev_fence = 0u64;
+    let mut first_trouble: Option<u64> = None;
+    for e in events {
+        if e.rec.kind != TraceKind::Detect || Some(e.rec.name) != n_fence {
+            continue;
+        }
+        let fence_at = e.rec.ts;
+        let start = events
+            .iter()
+            .filter(|s| {
+                (s.rec.kind == TraceKind::FaultInject
+                    || (s.rec.kind == TraceKind::Detect && Some(s.rec.name) == n_suspect))
+                    && s.rec.ts > prev_fence
+                    && s.rec.ts <= fence_at
+            })
+            .map(|s| s.rec.ts)
+            .min()
+            .unwrap_or(fence_at);
+        push(start, fence_at, Cause::FaultDetection, e.rec.name);
+        first_trouble = Some(first_trouble.map_or(start, |p: u64| p.min(start)));
+        prev_fence = fence_at;
+    }
+
+    // Recovery spans carry their duration (fence → rebuild complete); the
+    // rebuild's end starts the catch-up clock, which runs until the spiked
+    // event finally emerged at t1: its emission was gated on source replay.
+    // A zero-duration span still marks the completion instant — in the
+    // simulator the rebuild itself costs no virtual time, and the entire
+    // outage manifests as detection + catch-up.
+    let mut latest_recovery_end: Option<u64> = None;
+    for e in events {
+        if e.rec.kind != TraceKind::Recovery || Some(e.rec.name) != n_recovery {
+            continue;
+        }
+        let end = e.rec.ts + e.rec.dur;
+        if e.rec.dur > 0 {
+            push(e.rec.ts, end, Cause::Recovery, e.rec.name);
+        }
+        if end >= t0 && end <= t1 {
+            latest_recovery_end = Some(latest_recovery_end.map_or(end, |p: u64| p.max(end)));
+        }
+    }
+    if let Some(end) = latest_recovery_end {
+        push(end, t1, Cause::RecoveryCatchup, n_recovery.unwrap_or(0));
+        // The event occurred before the trouble signal yet emerged only
+        // after the rebuild: it crossed the outage, so it was re-emitted by
+        // source replay from a snapshot taken *before* its occurrence. The
+        // pre-fault stretch is the replay rewind depth — owned by recovery,
+        // not by whatever the dataflow happened to be doing back then.
+        if let Some(trouble) = first_trouble {
+            if trouble > t0 {
+                push(t0, trouble, Cause::RecoveryCatchup, n_recovery.unwrap_or(0));
+            }
+        }
+    }
+
+    for e in events {
+        match e.rec.kind {
+            TraceKind::SnapshotPhase if e.rec.dur > 0 => {
+                push(
+                    e.rec.ts,
+                    e.rec.ts + e.rec.dur,
+                    Cause::SnapshotPhase,
+                    e.rec.name,
+                );
+            }
+            TraceKind::Call if e.rec.dur > 0 => {
+                push(
+                    e.rec.ts,
+                    e.rec.ts + e.rec.dur,
+                    Cause::TaskletExec,
+                    e.rec.name,
+                );
+            }
+            TraceKind::NetSend => {
+                let half = cfg.net_latency_hint / 2;
+                push(e.rec.ts, e.rec.ts + half, Cause::NetSend, e.rec.name);
+                push(
+                    e.rec.ts + half,
+                    e.rec.ts + 2 * half,
+                    Cause::NetRecv,
+                    e.rec.name,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Backpressure stalls are instants recorded per blocked flush; runs of
+    // them (same track+vertex, gaps under the merge threshold) become one
+    // stall interval.
+    let mut stalls: Vec<(u32, u32, u64)> = events
+        .iter()
+        .filter(|e| e.rec.kind == TraceKind::Stall)
+        .map(|e| (e.track, e.rec.name, e.rec.ts))
+        .collect();
+    stalls.sort_unstable();
+    let mut run: Option<(u32, u32, u64, u64)> = None;
+    for (track, name, ts) in stalls {
+        match &mut run {
+            Some((t, n, _first, last))
+                if *t == track
+                    && *n == name
+                    && ts.saturating_sub(*last) <= cfg.stall_merge_gap_nanos =>
+            {
+                *last = ts;
+            }
+            _ => {
+                if let Some((_, n, first, last)) = run.take() {
+                    push(first, last, Cause::BackpressureStall, n);
+                }
+                run = Some((track, name, ts, ts));
+            }
+        }
+    }
+    if let Some((_, n, first, last)) = run.take() {
+        push(first, last, Cause::BackpressureStall, n);
+    }
+
+    // Watermark straggler gaps: per-track silence between coalesce events.
+    let mut coalesces: Vec<(u32, u64)> = events
+        .iter()
+        .filter(|e| e.rec.kind == TraceKind::WmCoalesce)
+        .map(|e| (e.track, e.rec.ts))
+        .collect();
+    coalesces.sort_unstable();
+    for w in coalesces.windows(2) {
+        let ((ta, a), (tb, b)) = (w[0], w[1]);
+        if ta == tb && b.saturating_sub(a) > cfg.straggler_gap_nanos {
+            push(a, b, Cause::WatermarkGap, 0);
+        }
+    }
+
+    // Priority sweep: at every elementary segment between interval
+    // boundaries, the highest-priority active cause wins; segments nobody
+    // covers are queue wait. Event-driven so big windows stay O(n log n).
+    let mut bounds: Vec<u64> = Vec::with_capacity(ivs.len() * 2 + 2);
+    bounds.push(t0);
+    bounds.push(t1);
+    for iv in &ivs {
+        bounds.push(iv.lo);
+        bounds.push(iv.hi);
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut starts: Vec<(u64, usize)> = ivs.iter().map(|iv| (iv.lo, iv.cause.priority())).collect();
+    let mut ends: Vec<(u64, usize)> = ivs.iter().map(|iv| (iv.hi, iv.cause.priority())).collect();
+    starts.sort_unstable();
+    ends.sort_unstable();
+    let (mut si, mut ei) = (0usize, 0usize);
+    let mut active = [0i64; 10];
+    let mut nanos = [0u64; 10];
+    for seg in bounds.windows(2) {
+        let (a, b) = (seg[0], seg[1]);
+        while si < starts.len() && starts[si].0 <= a {
+            active[starts[si].1] += 1;
+            si += 1;
+        }
+        while ei < ends.len() && ends[ei].0 <= a {
+            active[ends[ei].1] -= 1;
+            ei += 1;
+        }
+        let winner = active
+            .iter()
+            .position(|&c| c > 0)
+            .unwrap_or(Cause::QueueWait.priority());
+        nanos[winner] += b - a;
+    }
+
+    // Per-cause dominant vertex (largest raw overlap) for details/blame.
+    let mut dominant: [(u64, u32); 10] = [(0, 0); 10];
+    for iv in &ivs {
+        let p = iv.cause.priority();
+        let weight = iv.hi - iv.lo;
+        if weight > dominant[p].0 {
+            dominant[p] = (weight, iv.name);
+        }
+    }
+    let name_of = |id: u32| -> &str { names.get(id as usize).map(String::as_str).unwrap_or("?") };
+    let mut slices: Vec<CauseSlice> = ALL_CAUSES
+        .iter()
+        .map(|&cause| {
+            let p = cause.priority();
+            let detail = if nanos[p] == 0 {
+                String::new()
+            } else {
+                match cause {
+                    Cause::TaskletExec | Cause::BackpressureStall => {
+                        format!("dominated by {}", name_of(dominant[p].1))
+                    }
+                    Cause::FaultDetection => "trouble signal -> member fenced".to_string(),
+                    Cause::Recovery => "fence -> rebuilt from latest complete snapshot".to_string(),
+                    Cause::RecoveryCatchup => "source replay until the event emerged".to_string(),
+                    Cause::QueueWait => "residual: no span covered this time".to_string(),
+                    _ => String::new(),
+                }
+            };
+            CauseSlice {
+                cause,
+                nanos: nanos[p],
+                share: if total > 0 {
+                    nanos[p] as f64 / total as f64
+                } else {
+                    0.0
+                },
+                detail,
+            }
+        })
+        .collect();
+    slices.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.cause.cmp(&b.cause)));
+    let top_cause = slices.first().map(|s| s.cause).unwrap_or(Cause::QueueWait);
+    let blamed_vertex = match top_cause {
+        Cause::TaskletExec | Cause::BackpressureStall => {
+            Some(name_of(dominant[top_cause.priority()].1).to_string())
+        }
+        _ => None,
+    };
+    Attribution {
+        t0,
+        t1,
+        total_nanos: total,
+        slices,
+        top_cause,
+        top_group: top_cause.group(),
+        blamed_vertex,
+    }
+}
+
+// ----------------------------------------------------------------- report
+
+/// One attributed incident, ready to render.
+#[derive(Clone, Debug)]
+pub struct IncidentReport {
+    pub incident: SpikeIncident,
+    pub window_lo: u64,
+    pub window_hi: u64,
+    pub window_events: usize,
+    pub window_truncated: u64,
+    pub window_snapshots: usize,
+    pub attribution: Attribution,
+}
+
+/// How trustworthy the forensics are: what the recording pipeline dropped,
+/// sampled, or suppressed along the way.
+#[derive(Clone, Debug, Default)]
+pub struct SpikeFidelity {
+    /// Records lost to full tracer rings (cumulative over the run).
+    pub trace_ring_dropped: u64,
+    /// Records lost to collector capacity.
+    pub collector_dropped: u64,
+    /// Spans evicted from the rolling ring outside any frozen window.
+    pub recorder_evicted: u64,
+    /// Call spans were sampled 1-in-2^shift.
+    pub sample_shift: u32,
+    pub spans_retained: usize,
+    pub snapshots_retained: usize,
+    /// Latency samples the watchdog observed.
+    pub observed: u64,
+    /// Spikes dropped by the incident cap.
+    pub suppressed: u64,
+}
+
+/// The structured spike report written as `results/SPIKE_<bench>.json`.
+#[derive(Clone, Debug)]
+pub struct SpikeReport {
+    pub bench: String,
+    pub run_label: String,
+    pub threshold_nanos: u64,
+    pub fidelity: SpikeFidelity,
+    pub incidents: Vec<IncidentReport>,
+}
+
+impl SpikeReport {
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"schema\": \"jet-spike-v1\",\n  \"bench\": \"{}\",\n  \"run\": \"{}\",\n  \
+             \"threshold_nanos\": {},\n  \"fidelity\": {{\"trace_ring_dropped\": {}, \
+             \"collector_dropped\": {}, \"recorder_evicted\": {}, \"sample_shift\": {}, \
+             \"spans_retained\": {}, \"snapshots_retained\": {}, \"observed\": {}, \
+             \"suppressed\": {}}},\n  \"incidents\": [",
+            json_escape(&self.bench),
+            json_escape(&self.run_label),
+            self.threshold_nanos,
+            self.fidelity.trace_ring_dropped,
+            self.fidelity.collector_dropped,
+            self.fidelity.recorder_evicted,
+            self.fidelity.sample_shift,
+            self.fidelity.spans_retained,
+            self.fidelity.snapshots_retained,
+            self.fidelity.observed,
+            self.fidelity.suppressed,
+        );
+        for (i, r) in self.incidents.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let inc = &r.incident;
+            let a = &r.attribution;
+            let _ = write!(
+                s,
+                "\n    {{\"id\": {}, \"first_detected_nanos\": {}, \"last_detected_nanos\": {}, \
+                 \"samples\": {}, \"peak\": {{\"event_ts_nanos\": {}, \"emitted_at_nanos\": {}, \
+                 \"latency_nanos\": {}}}, \"window\": {{\"lo_nanos\": {}, \"hi_nanos\": {}, \
+                 \"events\": {}, \"truncated\": {}, \"snapshots\": {}}}, \
+                 \"attribution\": {{\"total_nanos\": {}, \"top_cause\": \"{}\", \
+                 \"top_group\": \"{}\", \"blamed_vertex\": ",
+                inc.id,
+                inc.first_detected,
+                inc.last_detected,
+                inc.samples,
+                inc.peak_event_ts,
+                inc.peak_emitted_at,
+                inc.peak_latency,
+                r.window_lo,
+                r.window_hi,
+                r.window_events,
+                r.window_truncated,
+                r.window_snapshots,
+                a.total_nanos,
+                a.top_cause.name(),
+                a.top_group,
+            );
+            match &a.blamed_vertex {
+                Some(v) => {
+                    let _ = write!(s, "\"{}\"", json_escape(v));
+                }
+                None => s.push_str("null"),
+            }
+            s.push_str(", \"causes\": [");
+            for (j, c) in a.slices.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"cause\": \"{}\", \"group\": \"{}\", \"nanos\": {}, \"share\": {:.6}, \
+                     \"detail\": \"{}\"}}",
+                    c.cause.name(),
+                    c.cause.group(),
+                    c.nanos,
+                    c.share,
+                    json_escape(&c.detail),
+                );
+            }
+            s.push_str("]}}");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanRecord, Tracer};
+
+    fn ev(kind: TraceKind, ts: u64, dur: u64, name: u32) -> TraceEvent {
+        TraceEvent {
+            track: 0,
+            rec: SpanRecord {
+                ts,
+                dur,
+                name,
+                kind,
+                arg: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn watchdog_adapts_threshold_and_merges_incidents() {
+        let wd = LatencyWatchdog::with_config(WatchdogConfig {
+            epoch_nanos: 100,
+            multiplier: 4.0,
+            min_spike_nanos: 10,
+            slo_nanos: None,
+            quiet_gap_nanos: 50,
+            max_incidents: 8,
+        });
+        // First epoch: baseline latencies ~5, no spikes possible (unarmed).
+        for i in 0..100u64 {
+            wd.observe(i, 0, 5);
+        }
+        assert!(wd.incidents().is_empty());
+        // Second epoch armed at max(10, 4*5) = 20.
+        wd.observe(150, 100, 5);
+        assert_eq!(wd.threshold(), 20);
+        wd.observe(160, 100, 60); // spike
+        wd.observe(170, 120, 90); // merges, new peak
+        wd.observe(300, 250, 70); // past quiet gap: second incident
+        let incs = wd.incidents();
+        assert_eq!(incs.len(), 2);
+        assert_eq!(incs[0].samples, 2);
+        assert_eq!(incs[0].peak_latency, 90);
+        assert_eq!(incs[0].peak_event_ts, 120);
+        assert_eq!(incs[1].samples, 1);
+    }
+
+    #[test]
+    fn watchdog_slo_arms_immediately() {
+        let wd = LatencyWatchdog::with_config(WatchdogConfig {
+            slo_nanos: Some(100),
+            ..WatchdogConfig::default()
+        });
+        wd.observe(10, 0, 150);
+        assert_eq!(wd.incidents().len(), 1);
+        assert_eq!(wd.incidents()[0].threshold, 100);
+    }
+
+    #[test]
+    fn disabled_watchdog_is_a_no_op() {
+        let wd = LatencyWatchdog::disabled();
+        wd.observe(0, 0, u64::MAX);
+        assert!(wd.incidents().is_empty());
+        assert_eq!(wd.stats(), (0, 0));
+    }
+
+    #[test]
+    fn recorder_freezes_spike_window_across_eviction() {
+        let wd = LatencyWatchdog::with_config(WatchdogConfig {
+            slo_nanos: Some(100),
+            ..WatchdogConfig::default()
+        });
+        let fr = FlightRecorder::with_config(
+            FlightConfig {
+                span_capacity: 8, // tiny: forces eviction
+                span_horizon_nanos: u64::MAX,
+                pre_roll_nanos: 0,
+                post_roll_nanos: 0,
+                ..FlightConfig::default()
+            },
+            wd.clone(),
+        );
+        let tracer = Tracer::enabled();
+        let mut w = tracer.writer(0, "w");
+        let name = w.intern("agg");
+        for i in 0..4u64 {
+            w.record(TraceKind::Call, 1_000 + i * 10, 5, name, 0);
+        }
+        let data = tracer.drain();
+        fr.ingest(&data, 0);
+        // Spike whose window covers the spans above.
+        wd.observe(1_100, 990, 110);
+        // Flood the ring so the old spans are evicted — into the frozen
+        // window, not the void.
+        for i in 0..32u64 {
+            w.record(TraceKind::Call, 10_000 + i, 1, name, 0);
+        }
+        let data2 = tracer.drain();
+        fr.ingest(&data2, 0);
+        let reps = fr.forensics(&AttributionConfig::default());
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].window_events, 4, "frozen spans survived eviction");
+        let (_, evicted, _, _) = fr.stats();
+        assert!(evicted > 0, "out-of-window spans were evicted");
+    }
+
+    #[test]
+    fn attribution_partitions_exactly_and_prioritizes_recovery() {
+        let names: Vec<String> = ["?", "agg", "suspect", "fence", "recovery"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (t0, t1) = (1_000u64, 11_000u64);
+        let events = vec![
+            ev(TraceKind::Call, 1_000, 2_000, 1),     // exec 1000..3000
+            ev(TraceKind::FaultInject, 3_500, 0, 0),  // trouble starts
+            ev(TraceKind::Detect, 4_000, 0, 2),       // suspect
+            ev(TraceKind::Detect, 5_000, 0, 3),       // fence
+            ev(TraceKind::Recovery, 5_000, 2_000, 4), // rebuild 5000..7000
+            ev(TraceKind::Call, 6_000, 500, 1),       // overlaps recovery: loses
+        ];
+        let a = attribute(&events, &names, t0, t1, &AttributionConfig::default());
+        let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+        assert_eq!(sum, t1 - t0, "partition is exact");
+        let get = |c: Cause| a.slices.iter().find(|s| s.cause == c).unwrap().nanos;
+        // The event occurred before the fault and emerged after the rebuild:
+        // it crossed the outage, so the pre-fault stretch (including the
+        // exec span back then) is replay rewind depth, not compute.
+        assert_eq!(get(Cause::FaultDetection), 1_500); // 3500..5000
+        assert_eq!(get(Cause::Recovery), 2_000); // 5000..7000, beats the call
+        assert_eq!(get(Cause::RecoveryCatchup), 6_500); // 1000..3500 + 7000..t1
+        assert_eq!(get(Cause::TaskletExec), 0);
+        assert_eq!(get(Cause::QueueWait), 0);
+        assert_eq!(a.top_cause, Cause::RecoveryCatchup);
+        assert_eq!(a.top_group, "recovery");
+        assert!(a.blamed_vertex.is_none(), "no vertex blamed for a fault");
+    }
+
+    #[test]
+    fn attribution_blames_dominant_vertex_without_faults() {
+        let names: Vec<String> = ["?", "hot-agg", "map"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let events = vec![
+            ev(TraceKind::Call, 0, 6_000, 1),
+            ev(TraceKind::Call, 6_000, 1_000, 2),
+        ];
+        let a = attribute(&events, &names, 0, 10_000, &AttributionConfig::default());
+        assert_eq!(a.top_cause, Cause::TaskletExec);
+        assert_eq!(a.top_group, "compute");
+        assert_eq!(a.blamed_vertex.as_deref(), Some("hot-agg"));
+        let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+        assert_eq!(sum, 10_000);
+    }
+
+    #[test]
+    fn attribution_of_empty_window_is_all_queue_wait() {
+        let a = attribute(&[], &[], 100, 1_100, &AttributionConfig::default());
+        assert_eq!(a.total_nanos, 1_000);
+        assert_eq!(a.top_cause, Cause::QueueWait);
+        assert_eq!(a.slices[0].nanos, 1_000);
+    }
+
+    #[test]
+    fn stall_instants_merge_into_intervals() {
+        let names: Vec<String> = ["?", "sink"].iter().map(|s| s.to_string()).collect();
+        let mut events: Vec<TraceEvent> = (0..5u64)
+            .map(|i| ev(TraceKind::Stall, 1_000 + i * 100, 0, 1))
+            .collect();
+        events.push(ev(TraceKind::Stall, 900_000_000, 0, 1)); // far away: own (empty) run
+        let a = attribute(&events, &names, 0, 10_000, &AttributionConfig::default());
+        let stall = a
+            .slices
+            .iter()
+            .find(|s| s.cause == Cause::BackpressureStall)
+            .unwrap();
+        assert_eq!(stall.nanos, 400, "5 instants 100ns apart = one 400ns stall");
+    }
+
+    #[test]
+    fn spike_report_json_is_balanced_and_typed() {
+        let wd = LatencyWatchdog::with_config(WatchdogConfig {
+            slo_nanos: Some(50),
+            ..WatchdogConfig::default()
+        });
+        let fr = FlightRecorder::with_config(FlightConfig::default(), wd.clone());
+        wd.observe(2_000, 1_000, 1_000);
+        let report = SpikeReport {
+            bench: "unit".into(),
+            run_label: "crash".into(),
+            threshold_nanos: wd.threshold(),
+            fidelity: SpikeFidelity::default(),
+            incidents: fr.forensics(&AttributionConfig::default()),
+        };
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"jet-spike-v1\"",
+            "\"bench\": \"unit\"",
+            "\"incidents\": [",
+            "\"top_cause\"",
+            "\"causes\": [",
+            "\"queue_wait\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced JSON:\n{json}");
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod dag;
 pub mod exec;
+pub mod flight;
 pub mod item;
 pub mod log;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod trace;
 pub mod watermark;
 
 pub use dag::{Dag, Edge, Routing, Vertex, VertexId};
+pub use flight::{FlightRecorder, LatencyWatchdog};
 pub use item::{Barrier, Item, SnapshotId, Ts};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use object::{boxed, downcast, downcast_ref, BoxedObject, Object};

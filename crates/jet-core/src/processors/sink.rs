@@ -58,15 +58,31 @@ impl Processor for CountSink {
     }
 }
 
-/// Records `now - event_ts` (nanos) per event into a shared histogram.
+/// Records `now - event_ts` (nanos) per event into a shared histogram, and
+/// optionally feeds each sample to the spike watchdog (a real-time-only
+/// observer: virtual time and the recorded histogram are identical with the
+/// watchdog on or off).
 pub struct LatencySink {
     hist: SharedHistogram,
     count: SharedCounter,
+    watchdog: crate::flight::LatencyWatchdog,
 }
 
 impl LatencySink {
     pub fn new(hist: SharedHistogram, count: SharedCounter) -> Self {
-        LatencySink { hist, count }
+        Self::watched(hist, count, crate::flight::LatencyWatchdog::disabled())
+    }
+
+    pub fn watched(
+        hist: SharedHistogram,
+        count: SharedCounter,
+        watchdog: crate::flight::LatencyWatchdog,
+    ) -> Self {
+        LatencySink {
+            hist,
+            count,
+            watchdog,
+        }
     }
 }
 
@@ -74,10 +90,16 @@ impl Processor for LatencySink {
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, ctx: &ProcessorContext) {
         let now = ctx.now_nanos();
         let mut n = 0u64;
+        let watchdog = &self.watchdog;
         self.hist.record_batch(std::iter::from_fn(|| {
             inbox.take().map(|(ts, _obj)| {
                 n += 1;
-                now.saturating_sub(ts.max(0) as u64)
+                let event_ts = ts.max(0) as u64;
+                let latency = now.saturating_sub(event_ts);
+                if watchdog.is_enabled() {
+                    watchdog.observe(now, event_ts, latency);
+                }
+                latency
             })
         }));
         self.count.add(n);

@@ -253,6 +253,10 @@ struct TracerInner {
     /// record).
     sample_shift: u32,
     next_tid: AtomicUsize,
+    /// Ring-full drops already swept into some [`TraceData`] by
+    /// [`Tracer::drain_into`] (whose per-ring counters reset on drain);
+    /// adding the live counters gives the run-cumulative total.
+    drained_dropped: AtomicU64,
 }
 
 /// Default records per ring: 4096 × 32 B = 128 KiB per instrumented writer.
@@ -286,8 +290,19 @@ impl Tracer {
                 ring_capacity,
                 sample_shift,
                 next_tid: AtomicUsize::new(0),
+                drained_dropped: AtomicU64::new(0),
             })),
         }
+    }
+
+    /// Call spans are recorded 1-in-`2^shift` (0 when disabled).
+    pub fn sample_shift(&self) -> u32 {
+        self.inner.as_ref().map_or(0, |i| i.sample_shift)
+    }
+
+    /// Records per writer ring (0 when disabled).
+    pub fn ring_capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.ring_capacity)
     }
 
     #[inline]
@@ -334,7 +349,7 @@ impl Tracer {
         }
     }
 
-    /// Total records discarded because some ring was full.
+    /// Records discarded because some ring was full, since the last drain.
     pub fn dropped(&self) -> u64 {
         match &self.inner {
             Some(inner) => inner
@@ -343,6 +358,19 @@ impl Tracer {
                 .iter()
                 .map(|t| t.ring.dropped.load(Ordering::Relaxed))
                 .sum(),
+            None => 0,
+        }
+    }
+
+    /// Run-cumulative ring-full drops: drains reset the per-ring counters
+    /// (the drops move into the drained [`TraceData`]), so the flight
+    /// recorder's fidelity metric adds the already-swept total back in.
+    pub fn dropped_total(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                // ordering: Relaxed — statistics, no ordering obligations.
+                inner.drained_dropped.load(Ordering::Relaxed) + self.dropped()
+            }
             None => 0,
         }
     }
@@ -385,7 +413,9 @@ impl Tracer {
             }
             // ordering: Relaxed — the drop counter is a statistic; RMW
             // atomicity alone keeps drain-and-reset lossless.
-            data.dropped += t.ring.dropped.swap(0, Ordering::Relaxed);
+            let swept = t.ring.dropped.swap(0, Ordering::Relaxed);
+            data.dropped += swept;
+            inner.drained_dropped.fetch_add(swept, Ordering::Relaxed);
         }
     }
 
@@ -520,6 +550,28 @@ impl TraceData {
             .get(id as usize)
             .map(String::as_str)
             .unwrap_or("?")
+    }
+
+    /// Move another drain's events into this trace (capacity-bounded, the
+    /// overflow counted in `dropped`), adopting its name table / track list
+    /// (which only ever grow) and taking over its drop count. Lets one
+    /// periodic `drain_into` a scratch buffer feed several consumers.
+    pub fn absorb(&mut self, other: &mut TraceData) {
+        if other.names.len() > self.names.len() {
+            self.names.clone_from(&other.names);
+        }
+        if other.tracks.len() > self.tracks.len() {
+            self.tracks.clone_from(&other.tracks);
+        }
+        for ev in other.events.drain(..) {
+            if self.events.len() >= self.capacity {
+                self.dropped += 1;
+            } else {
+                self.events.push(ev);
+            }
+        }
+        self.dropped += other.dropped;
+        other.dropped = 0;
     }
 
     /// Events of one kind, in drain order.

@@ -389,6 +389,26 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
         )
     }
 
+    /// [`Self::write_to_latency`] with the spike watchdog attached: every
+    /// sample also feeds the flight recorder's online p99.99/SLO excursion
+    /// detector (zero virtual-time cost; see `jet_core::flight`).
+    pub fn write_to_latency_watched(
+        &self,
+        hist: SharedHistogram,
+        counter: SharedCounter,
+        watchdog: jet_core::flight::LatencyWatchdog,
+    ) -> StreamStage<()> {
+        self.add_sink(
+            "latency-sink",
+            Arc::new(move |_| {
+                let h = hist.clone();
+                let c = counter.clone();
+                let w = watchdog.clone();
+                supplier(move |_| Box::new(LatencySink::watched(h.clone(), c.clone(), w.clone())))
+            }),
+        )
+    }
+
     /// Write entries into a grid map (view maintenance, §6).
     pub fn write_to_imap<K, V>(
         &self,

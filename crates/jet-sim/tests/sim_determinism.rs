@@ -95,8 +95,12 @@ fn stop_world_gc_inflates_the_tail() {
         clean.percentile(99.99),
         gc.percentile(99.99)
     );
+    // The percentile is a bucket mid-point estimate, so allow half a bucket
+    // (2^-8 relative at 7 precision bits) of quantization below the exact
+    // 20 ms pause length.
+    let half_bucket = 20_000_000 / 256;
     assert!(
-        gc.percentile(99.99) >= 20_000_000,
+        gc.percentile(99.99) >= 20_000_000 - half_bucket,
         "tail below one pause length: {}",
         gc.percentile(99.99)
     );

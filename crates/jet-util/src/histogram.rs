@@ -12,7 +12,9 @@
 //! measured stream and merges them at report time.
 
 /// Log-linear histogram of `u64` values (typically nanoseconds).
-#[derive(Clone)]
+/// Equality is exact (bucket-for-bucket) — used by tests asserting that
+/// observers off the virtual timeline cannot move a single sample.
+#[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// Number of sub-bucket index bits: relative error is `2^-bits`.
     precision_bits: u32,
@@ -157,9 +159,16 @@ impl Histogram {
         }
     }
 
-    /// Value at quantile `q` in `[0, 1]`. Returns the upper bound of the
-    /// bucket holding the q-th observation, so the estimate never
-    /// under-reports by more than the bucket's relative error.
+    /// Value at quantile `q` in `[0, 1]`. Returns the mid-point of the
+    /// bucket holding the q-th observation (clamped into the recorded
+    /// `[min, max]` range), so the estimate is off by at most *half* the
+    /// bucket width in either direction. Buckets below `sub_buckets` hold a
+    /// single value, so small values are still reported exactly.
+    ///
+    /// Returning the bucket's upper bound instead (the previous behaviour)
+    /// systematically over-reported sparse extreme quantiles: a p99.99 that
+    /// lands in a near-empty high bucket snapped to the bucket ceiling, a
+    /// one-sided error of up to the full bucket relative error.
     pub fn value_at_quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -170,7 +179,10 @@ impl Histogram {
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return self.slot_high(idx).min(self.max);
+                let low = self.value_of(idx);
+                let high = self.slot_high(idx);
+                let mid = low + (high - low) / 2;
+                return mid.clamp(self.min, self.max);
             }
         }
         self.max
@@ -300,6 +312,46 @@ mod tests {
                 "p{p}: est {est} exact {exact}"
             );
         }
+    }
+
+    #[test]
+    fn extreme_quantiles_interpolate_not_snap() {
+        // Regression: p99.99 on a sparse high bucket used to snap to the
+        // bucket *upper* bound. With mid-point interpolation the estimate
+        // must stay within half a bucket (2^-(bits+1) relative error) of the
+        // exact order statistic, in BOTH directions.
+        let mut h = Histogram::new(7);
+        let values: Vec<u64> = (0..100_000u64).map(|i| 10_000 + i * 131).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [99.0, 99.9, 99.99, 99.999] {
+            let exact = sorted
+                [((p / 100.0 * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
+            let est = h.percentile(p);
+            assert!(
+                relative_err(est, exact) < 1.0 / 256.0 + 1e-9,
+                "p{p}: est {est} exact {exact} err {}",
+                relative_err(est, exact)
+            );
+        }
+        // A lone outlier in an otherwise-empty high bucket: the estimate for
+        // the top quantile must not exceed the recorded max (exactness at the
+        // extremes), nor round up to the bucket ceiling above it.
+        let mut sparse = Histogram::new(7);
+        for _ in 0..9_998 {
+            sparse.record(1_000_000);
+        }
+        sparse.record(400_000_001); // sole occupant of a ~2.1 ms-wide bucket
+                                    // 9_999 samples total: rank ceil(0.9999 * 9999) = 9999 is the outlier.
+        let est = sparse.percentile(99.99);
+        assert!(est <= 400_000_001, "p99.99 {est} over-reports lone max");
+        assert!(
+            relative_err(est, 400_000_001) < 1.0 / 256.0 + 1e-9,
+            "p99.99 {est} not within half-bucket of exact 400000001"
+        );
     }
 
     #[test]

@@ -27,9 +27,20 @@
 //!    APIs, which publish once per run. Legit item-granular sites (control
 //!    items that mutate protocol state per item) annotate
 //!    `// single-item: <reason>` within 3 lines above.
+//! 6. **metric-name / span-name** — observability names are API: dashboards,
+//!    the spike schema-check and the flight recorder's attribution engine
+//!    all match on them textually. Literal names at registration sites
+//!    (`.counter(`, `.counter_fn(`, `.gauge(`, `.gauge_fn(`,
+//!    `.histogram(`) must be `jet_`-prefixed snake_case; counters end in
+//!    `_total`; gauges and histograms end in a unit suffix (`_nanos`,
+//!    `_records`, …). Literal trace span names (`.intern(`) are lowercase
+//!    kebab-case. A name registered as two different instrument kinds
+//!    anywhere in the workspace is a conflict. Escape hatch:
+//!    `// jet-lint: allow(metric-name)` / `allow(span-name)`.
 //!
 //! `#[cfg(test)]` / `#[cfg(all(test, ...))]`-gated regions are exempt from
-//! rules 2–5 (tests may sleep, lock and poll); rule 1 applies everywhere.
+//! rules 2–6 (tests may sleep, lock, poll and register throwaway names);
+//! rule 1 applies everywhere.
 //!
 //! The scanner is a small hand-rolled lexer (comments, strings and char
 //! literals are tracked, not regexed away) plus brace-depth region
@@ -327,12 +338,168 @@ fn file_matches(file: &str, names: &[&str]) -> bool {
     names.contains(&base)
 }
 
+/// Registration methods whose first argument is the instrument name, and
+/// the instrument kind they create.
+const METRIC_REGISTRATIONS: &[(&str, &str)] = &[
+    (".counter_fn(", "counter"),
+    (".counter(", "counter"),
+    (".gauge_fn(", "gauge"),
+    (".gauge(", "gauge"),
+    (".histogram(", "histogram"),
+];
+
+/// Unit suffixes a gauge or histogram name must end in, so readers know
+/// what the number means without consulting the source.
+const UNIT_SUFFIXES: &[&str] = &[
+    "_nanos",
+    "_bytes",
+    "_records",
+    "_depth",
+    "_capacity",
+    "_size",
+    "_ratio",
+    "_window",
+    "_period",
+];
+
+/// One statically-visible metric registration (literal name only; dynamic
+/// names cannot be checked textually).
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    pub file: String,
+    pub line: usize,
+    pub kind: &'static str,
+    pub name: String,
+}
+
+/// Recover the first argument of a call when it is a string literal.
+/// `start` is the byte offset just past the opening paren on scrubbed line
+/// `line`. Scrub blanks literal contents, so if the first argument is a
+/// literal, the scrubbed text up to the separating `,`/`)` is whitespace —
+/// anything else (an identifier, `&`, `format!`) means a dynamic name and
+/// returns `None`. The literal text itself is then read from the raw
+/// source, looking at most 2 lines ahead (rustfmt puts a broken-out name
+/// on the line after the call).
+fn literal_first_arg(code: &[String], raw: &[&str], line: usize, start: usize) -> Option<String> {
+    let mut first_code = None;
+    'outer: for (off, l) in code.iter().enumerate().skip(line).take(3) {
+        let s = if off == line {
+            l.get(start..)?
+        } else {
+            l.as_str()
+        };
+        for c in s.chars() {
+            if !c.is_whitespace() {
+                first_code = Some(c);
+                break 'outer;
+            }
+        }
+    }
+    if !matches!(first_code, Some(',') | Some(')')) {
+        return None;
+    }
+    let mut text = String::new();
+    for (off, l) in raw.iter().enumerate().skip(line).take(3) {
+        let s = if off == line { l.get(start..)? } else { *l };
+        text.push_str(s);
+        text.push('\n');
+    }
+    let t = text.trim_start().strip_prefix('"')?;
+    let name = &t[..t.find('"')?];
+    if name.contains('\\') {
+        return None; // escaped literal — not a plain name, leave it alone
+    }
+    Some(name.to_string())
+}
+
+fn scan_metric_sites(
+    file: &str,
+    code: &[String],
+    raw: &[&str],
+    test_mask: &[bool],
+) -> Vec<MetricSite> {
+    let mut sites = Vec::new();
+    for (i, line) in code.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        for (pat, kind) in METRIC_REGISTRATIONS {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                if let Some(name) = literal_first_arg(code, raw, i, at + pat.len()) {
+                    sites.push(MetricSite {
+                        file: file.to_string(),
+                        line: i + 1,
+                        kind,
+                        name,
+                    });
+                }
+            }
+        }
+    }
+    sites
+}
+
+fn well_formed_metric_name(name: &str) -> bool {
+    name.starts_with("jet_")
+        && !name.ends_with('_')
+        && !name.contains("__")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn well_formed_span_name(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Collect every literal metric registration in one file (tests excluded),
+/// for the workspace-wide kind-conflict check.
+pub fn metric_sites(file: &str, src: &str) -> Vec<MetricSite> {
+    let scrubbed = scrub(src);
+    let raw: Vec<&str> = src.lines().collect();
+    let test_mask = region_mask(&scrubbed.code, |l| {
+        l.contains("#[cfg(test)") || l.contains("#[cfg(all(test") || l.contains("#[cfg(all(loom")
+    });
+    scan_metric_sites(file, &scrubbed.code, &raw, &test_mask)
+}
+
+/// A metric name registered as two different instrument kinds is almost
+/// certainly a copy-paste bug, and it breaks consumers that key on the
+/// name. No escape hatch on purpose.
+pub fn kind_conflicts(sites: &[MetricSite]) -> Vec<Finding> {
+    let mut first: Vec<(&str, &MetricSite)> = Vec::new();
+    let mut findings = Vec::new();
+    for site in sites {
+        match first.iter().find(|(name, _)| *name == site.name) {
+            None => first.push((&site.name, site)),
+            Some((_, prev)) if prev.kind != site.kind => findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                rule: "metric-kind-conflict",
+                message: format!(
+                    "`{}` registered as a {} here but as a {} at {}:{}",
+                    site.name, site.kind, prev.kind, prev.file, prev.line
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    findings
+}
+
 /// Lint one source file. `file` is the label used in findings (and for the
 /// per-file rule scoping).
 pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
     let scrubbed = scrub(src);
     let code = &scrubbed.code;
     let comments = &scrubbed.comments;
+    let raw: Vec<&str> = src.lines().collect();
     let mut findings = Vec::new();
 
     let test_mask = region_mask(code, |l| {
@@ -419,6 +586,29 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
             });
         }
 
+        // Rule 6 (span half): literal trace span names must be lowercase
+        // kebab-case — the attribution engine and diagnostics match on
+        // these strings.
+        if line.contains(".intern(")
+            && !comment_nearby(comments, i, 1, "jet-lint: allow(span-name)")
+        {
+            let at = line.find(".intern(").expect("just matched");
+            if let Some(name) = literal_first_arg(code, &raw, i, at + ".intern(".len()) {
+                if !well_formed_span_name(&name) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: i + 1,
+                        rule: "span-name",
+                        message: format!(
+                            "span name `{name}` is not lowercase kebab-case \
+                             ([a-z][a-z0-9._-]*); annotate \
+                             `// jet-lint: allow(span-name)` if intentional"
+                        ),
+                    });
+                }
+            }
+        }
+
         // Rule 5: item-at-a-time queue polling inside a tasklet impl.
         if tasklet_impl_mask[i]
             && (line.contains(".poll(")
@@ -434,6 +624,39 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
                           per event; use the bulk `drain_*` APIs, or annotate \
                           `// single-item: <reason>` for control-item sites"
                     .to_string(),
+            });
+        }
+    }
+
+    // Rule 6 (metric half): literal metric names at registration sites.
+    for site in scan_metric_sites(file, code, &raw, &test_mask) {
+        let i = site.line - 1;
+        if comment_nearby(comments, i, 1, "jet-lint: allow(metric-name)") {
+            continue;
+        }
+        let problem = if !well_formed_metric_name(&site.name) {
+            Some("is not `jet_`-prefixed snake_case".to_string())
+        } else if site.kind == "counter" && !site.name.ends_with("_total") {
+            Some("is a counter but does not end in `_total`".to_string())
+        } else if site.kind != "counter" && !UNIT_SUFFIXES.iter().any(|s| site.name.ends_with(s)) {
+            Some(format!(
+                "is a {} but ends in no unit suffix ({})",
+                site.kind,
+                UNIT_SUFFIXES.join(", ")
+            ))
+        } else {
+            None
+        };
+        if let Some(problem) = problem {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: site.line,
+                rule: "metric-name",
+                message: format!(
+                    "metric name `{}` {problem}; rename it, or annotate \
+                     `// jet-lint: allow(metric-name)` if intentional",
+                    site.name
+                ),
             });
         }
     }
@@ -453,6 +676,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Finding>)> {
     }
     files.sort();
     let mut findings = Vec::new();
+    let mut sites = Vec::new();
     for f in &files {
         let src = std::fs::read_to_string(f)?;
         let label = f
@@ -461,7 +685,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Finding>)> {
             .to_string_lossy()
             .into_owned();
         findings.extend(lint_file(&label, &src));
+        sites.extend(metric_sites(&label, &src));
     }
+    findings.extend(kind_conflicts(&sites));
     Ok((files.len(), findings))
 }
 
@@ -575,6 +801,80 @@ mod tests {
         // Free functions and non-tasklet impls are not.
         let src = "fn free(c: &mut Consumer<u8>) { let _ = c.poll(); }\n";
         assert!(lint_file("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_names_must_carry_prefix_and_kind_suffix() {
+        // Counter without `_total`.
+        let src = "fn f(r: &R) { r.counter(\"jet_events_in\", tags(&[])); }\n";
+        let f = lint_file("a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "metric-name");
+        // Gauge without a unit suffix.
+        let src = "fn f(r: &R) { r.gauge(\"jet_queue\", tags(&[])); }\n";
+        assert_eq!(lint_file("a.rs", src)[0].rule, "metric-name");
+        // Missing jet_ prefix / bad charset.
+        let src = "fn f(r: &R) { r.counter(\"events_total\", tags(&[])); }\n";
+        assert_eq!(lint_file("a.rs", src).len(), 1);
+        let src = "fn f(r: &R) { r.counter(\"jet_Events_total\", tags(&[])); }\n";
+        assert_eq!(lint_file("a.rs", src).len(), 1);
+        // Conforming names pass.
+        let src = "fn f(r: &R) {\n    r.counter(\"jet_events_in_total\", tags(&[]));\n    \
+                   r.gauge_fn(\"jet_queue_depth\", tags(&[]), || 0);\n    \
+                   r.histogram(\"jet_call_duration_nanos\", tags(&[]));\n}\n";
+        assert!(lint_file("a.rs", src).is_empty());
+        // rustfmt-broken registration (name on the next line) is still seen.
+        let src = "fn f(r: &R) {\n    r.counter_fn(\n        \"jet_events\",\n        \
+                   tags(&[]),\n        || 0,\n    );\n}\n";
+        assert_eq!(lint_file("a.rs", src).len(), 1, "multi-line call missed");
+        // Dynamic names cannot be checked and are skipped.
+        let src = "fn f(r: &R, n: &str) { r.counter(n, tags(&[])); }\n";
+        assert!(lint_file("a.rs", src).is_empty());
+        // Escape hatch.
+        let src = "fn f(r: &R) {\n    // jet-lint: allow(metric-name) — external dashboard\n    \
+                   r.counter(\"legacy_events\", tags(&[]));\n}\n";
+        assert!(lint_file("a.rs", src).is_empty());
+        // Tests are exempt.
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t(r: &R) { r.counter(\"x\", tags(&[])); }\n}\n";
+        assert!(lint_file("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_names_must_be_lowercase_kebab() {
+        let src = "fn f(t: &Tracer) { let _ = t.intern(\"Recovery Phase\"); }\n";
+        let f = lint_file("a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "span-name");
+        let src = "fn f(t: &Tracer) { let _ = t.intern(\"worker-idle\"); }\n";
+        assert!(lint_file("a.rs", src).is_empty());
+        // Dynamic span names are fine.
+        let src = "fn f(t: &Tracer, v: &V) { let _ = t.intern(v.name()); }\n";
+        assert!(lint_file("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn conflicting_instrument_kinds_are_reported() {
+        let a = metric_sites(
+            "a.rs",
+            "fn f(r: &R) { r.counter(\"jet_lag_nanos\", tags(&[])); }\n",
+        );
+        let b = metric_sites(
+            "b.rs",
+            "fn f(r: &R) { r.gauge(\"jet_lag_nanos\", tags(&[])); }\n",
+        );
+        let sites: Vec<MetricSite> = a.into_iter().chain(b).collect();
+        let f = kind_conflicts(&sites);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "metric-kind-conflict");
+        assert!(f[0].message.contains("a.rs"), "{}", f[0].message);
+        // Same kind twice is fine (shared registration helper).
+        let sites = metric_sites(
+            "c.rs",
+            "fn f(r: &R) {\n    r.counter(\"jet_x_total\", tags(&[]));\n    \
+             r.counter_fn(\"jet_x_total\", tags(&[]), || 0);\n}\n",
+        );
+        assert!(kind_conflicts(&sites).is_empty());
     }
 
     #[test]

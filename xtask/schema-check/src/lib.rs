@@ -1,0 +1,763 @@
+//! Validates the machine-readable results files against their documented
+//! schemas, so downstream tooling (plots, dashboards, regression diffs) can
+//! trust every artifact CI uploads:
+//!
+//! - `results/BENCH_<name>.json` — shared bench-report schema emitted by
+//!   `jet_bench::BenchReport::to_json` (bench params, per-run latency
+//!   percentile summary, metrics snapshot).
+//! - `results/SPIKE_<name>.json` — `jet-spike-v1` spike-forensics schema
+//!   emitted by `jet_core::flight::SpikeReport::to_json` (watchdog
+//!   fidelity, frozen windows, per-cause attribution).
+//!
+//! Both writers emit JSON by hand (the workspace carries no serde), so the
+//! checker parses with its own minimal recursive-descent parser rather than
+//! trusting the producer's balancing. Beyond shape, it enforces the
+//! semantic invariants the reproduction leans on: percentile summaries are
+//! monotone, attribution slices partition the spike latency exactly, and
+//! shares sum to one.
+
+use std::fmt;
+
+// ------------------------------------------------------------------ JSON
+
+/// Minimal JSON document model — just enough to validate result files.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Parse error with a byte offset, so a malformed artifact is locatable.
+#[derive(Debug)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("malformed number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs never appear in these files
+                            // (the writers escape only ASCII controls);
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // slicing at char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- validation
+
+/// Collects dotted-path violations while walking a document.
+struct Checker {
+    errors: Vec<String>,
+}
+
+impl Checker {
+    fn fail(&mut self, path: &str, message: impl fmt::Display) {
+        self.errors.push(format!("{path}: {message}"));
+    }
+
+    fn str<'a>(&mut self, v: &'a Json, path: &str, key: &str) -> Option<&'a str> {
+        match v.get(key) {
+            Some(Json::Str(s)) => Some(s),
+            Some(other) => {
+                self.fail(
+                    path,
+                    format_args!("'{key}' is {}, want string", other.kind()),
+                );
+                None
+            }
+            None => {
+                self.fail(path, format_args!("missing key '{key}'"));
+                None
+            }
+        }
+    }
+
+    fn num(&mut self, v: &Json, path: &str, key: &str) -> Option<f64> {
+        match v.get(key) {
+            Some(Json::Num(n)) => Some(*n),
+            Some(other) => {
+                self.fail(
+                    path,
+                    format_args!("'{key}' is {}, want number", other.kind()),
+                );
+                None
+            }
+            None => {
+                self.fail(path, format_args!("missing key '{key}'"));
+                None
+            }
+        }
+    }
+
+    fn arr<'a>(&mut self, v: &'a Json, path: &str, key: &str) -> Option<&'a [Json]> {
+        match v.get(key) {
+            Some(Json::Arr(items)) => Some(items),
+            Some(other) => {
+                self.fail(
+                    path,
+                    format_args!("'{key}' is {}, want array", other.kind()),
+                );
+                None
+            }
+            None => {
+                self.fail(path, format_args!("missing key '{key}'"));
+                None
+            }
+        }
+    }
+
+    /// A `params`-style object: every value must be a string.
+    fn string_map(&mut self, v: &Json, path: &str, key: &str) {
+        match v.get(key) {
+            Some(Json::Obj(pairs)) => {
+                for (k, pv) in pairs {
+                    if !matches!(pv, Json::Str(_)) {
+                        self.fail(
+                            path,
+                            format_args!("'{key}.{k}' is {}, want string", pv.kind()),
+                        );
+                    }
+                }
+            }
+            Some(other) => {
+                self.fail(
+                    path,
+                    format_args!("'{key}' is {}, want object", other.kind()),
+                );
+            }
+            None => self.fail(path, format_args!("missing key '{key}'")),
+        }
+    }
+
+    /// A latency/histogram percentile summary: all keys numeric, and the
+    /// quantiles monotone (`min <= p50 <= ... <= p9999 <= max`).
+    fn percentile_summary(&mut self, v: &Json, path: &str) {
+        let keys = [
+            "count", "min", "max", "mean", "p50", "p90", "p99", "p999", "p9999",
+        ];
+        let mut got = [0f64; 9];
+        let mut complete = true;
+        for (i, key) in keys.iter().enumerate() {
+            match self.num(v, path, key) {
+                Some(n) => got[i] = n,
+                None => complete = false,
+            }
+        }
+        if !complete {
+            return;
+        }
+        let [count, min, max, _mean, p50, p90, p99, p999, p9999] = got;
+        if count > 0.0 {
+            let ladder = [min, p50, p90, p99, p999, p9999, max];
+            if ladder.windows(2).any(|w| w[0] > w[1]) {
+                self.fail(
+                    path,
+                    format_args!("percentiles are not monotone: {ladder:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Validate a `results/BENCH_*.json` document. Returns violations, empty
+/// when the file conforms.
+pub fn validate_bench(doc: &Json) -> Vec<String> {
+    let mut c = Checker { errors: Vec::new() };
+    if !matches!(doc, Json::Obj(_)) {
+        return vec![format!("root: is {}, want object", doc.kind())];
+    }
+    c.str(doc, "root", "bench");
+    c.string_map(doc, "root", "params");
+    if let Some(runs) = c.arr(doc, "root", "runs") {
+        for (i, run) in runs.iter().enumerate() {
+            let path = format!("runs[{i}]");
+            if !matches!(run, Json::Obj(_)) {
+                c.fail(&path, format_args!("is {}, want object", run.kind()));
+                continue;
+            }
+            c.str(run, &path, "label");
+            c.string_map(run, &path, "params");
+            if let Some(lat) = run.get("latency_nanos") {
+                c.percentile_summary(lat, &format!("{path}.latency_nanos"));
+            }
+            if let Some(metrics) = run.get("metrics") {
+                validate_metrics_snapshot(&mut c, metrics, &format!("{path}.metrics"));
+            }
+        }
+    }
+    c.errors
+}
+
+fn validate_metrics_snapshot(c: &mut Checker, v: &Json, path: &str) {
+    let Some(items) = c.arr(v, path, "metrics") else {
+        return;
+    };
+    for (i, m) in items.iter().enumerate() {
+        let mpath = format!("{path}.metrics[{i}]");
+        let name = c.str(m, &mpath, "name").unwrap_or_default().to_string();
+        if !name.is_empty() {
+            let mpath = format!("{mpath} ({name})");
+            c.string_map(m, &mpath, "tags");
+            match c.str(m, &mpath, "type") {
+                Some("counter") | Some("gauge") => {
+                    c.num(m, &mpath, "value");
+                }
+                Some("histogram") => c.percentile_summary(m, &mpath),
+                Some(other) => c.fail(&mpath, format_args!("unknown metric type '{other}'")),
+                None => {}
+            }
+        }
+    }
+}
+
+/// Validate a `results/SPIKE_*.json` document against `jet-spike-v1`.
+pub fn validate_spike(doc: &Json) -> Vec<String> {
+    let mut c = Checker { errors: Vec::new() };
+    if !matches!(doc, Json::Obj(_)) {
+        return vec![format!("root: is {}, want object", doc.kind())];
+    }
+    match c.str(doc, "root", "schema") {
+        Some("jet-spike-v1") | None => {}
+        Some(other) => c.fail("root", format_args!("unknown schema '{other}'")),
+    }
+    c.str(doc, "root", "bench");
+    c.str(doc, "root", "run");
+    c.num(doc, "root", "threshold_nanos");
+    if let Some(f) = doc.get("fidelity") {
+        for key in [
+            "trace_ring_dropped",
+            "collector_dropped",
+            "recorder_evicted",
+            "sample_shift",
+            "spans_retained",
+            "snapshots_retained",
+            "observed",
+            "suppressed",
+        ] {
+            c.num(f, "fidelity", key);
+        }
+    } else {
+        c.fail("root", "missing key 'fidelity'");
+    }
+    let Some(incidents) = c.arr(doc, "root", "incidents") else {
+        return c.errors;
+    };
+    for (i, inc) in incidents.iter().enumerate() {
+        let path = format!("incidents[{i}]");
+        if !matches!(inc, Json::Obj(_)) {
+            c.fail(&path, format_args!("is {}, want object", inc.kind()));
+            continue;
+        }
+        for key in [
+            "id",
+            "first_detected_nanos",
+            "last_detected_nanos",
+            "samples",
+        ] {
+            c.num(inc, &path, key);
+        }
+        let peak_latency = match inc.get("peak") {
+            Some(peak) => {
+                let ppath = format!("{path}.peak");
+                c.num(peak, &ppath, "event_ts_nanos");
+                c.num(peak, &ppath, "emitted_at_nanos");
+                c.num(peak, &ppath, "latency_nanos")
+            }
+            None => {
+                c.fail(&path, "missing key 'peak'");
+                None
+            }
+        };
+        match inc.get("window") {
+            Some(w) => {
+                let wpath = format!("{path}.window");
+                for key in ["lo_nanos", "hi_nanos", "events", "truncated", "snapshots"] {
+                    c.num(w, &wpath, key);
+                }
+            }
+            None => c.fail(&path, "missing key 'window'"),
+        }
+        match inc.get("attribution") {
+            Some(a) => {
+                validate_attribution(&mut c, a, &format!("{path}.attribution"), peak_latency)
+            }
+            None => c.fail(&path, "missing key 'attribution'"),
+        }
+    }
+    c.errors
+}
+
+fn validate_attribution(c: &mut Checker, a: &Json, path: &str, peak_latency: Option<f64>) {
+    let total = c.num(a, path, "total_nanos");
+    c.str(a, path, "top_cause");
+    c.str(a, path, "top_group");
+    match a.get("blamed_vertex") {
+        Some(Json::Str(_)) | Some(Json::Null) => {}
+        Some(other) => c.fail(
+            path,
+            format_args!("'blamed_vertex' is {}, want string or null", other.kind()),
+        ),
+        None => c.fail(path, "missing key 'blamed_vertex'"),
+    }
+    let Some(causes) = c.arr(a, path, "causes") else {
+        return;
+    };
+    let mut nanos_sum = 0f64;
+    let mut share_sum = 0f64;
+    for (j, slice) in causes.iter().enumerate() {
+        let spath = format!("{path}.causes[{j}]");
+        c.str(slice, &spath, "cause");
+        c.str(slice, &spath, "group");
+        c.str(slice, &spath, "detail");
+        nanos_sum += c.num(slice, &spath, "nanos").unwrap_or(0.0);
+        share_sum += c.num(slice, &spath, "share").unwrap_or(0.0);
+    }
+    // The attribution engine partitions the spike window exactly; a report
+    // whose slices don't sum to the spike latency would silently misstate
+    // the blame. All values are integer nanos < 2^53, so f64 sums exactly.
+    if let Some(total) = total {
+        if nanos_sum != total {
+            c.fail(
+                path,
+                format_args!("cause nanos sum to {nanos_sum}, total_nanos is {total}"),
+            );
+        }
+        if let Some(peak) = peak_latency {
+            if total != peak {
+                c.fail(
+                    path,
+                    format_args!("total_nanos {total} != peak.latency_nanos {peak}"),
+                );
+            }
+        }
+        if total > 0.0 && (share_sum - 1.0).abs() > 1e-3 {
+            c.fail(
+                path,
+                format_args!("cause shares sum to {share_sum}, want 1"),
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------ files
+
+/// Validate one results file by name: `BENCH_*` and `SPIKE_*` files get
+/// their schema check, anything else is skipped (`Ok(None)`).
+pub fn validate_file(file_name: &str, contents: &str) -> Option<Vec<String>> {
+    let validator: fn(&Json) -> Vec<String> = if file_name.starts_with("BENCH_") {
+        validate_bench
+    } else if file_name.starts_with("SPIKE_") {
+        validate_spike
+    } else {
+        return None;
+    };
+    match parse(contents) {
+        Ok(doc) => Some(validator(&doc)),
+        Err(e) => Some(vec![format!("not valid JSON: {e}")]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jet_bench::{BenchReport, RunResult};
+    use jet_core::flight::{
+        Attribution, Cause, CauseSlice, IncidentReport, SpikeFidelity, SpikeIncident, SpikeReport,
+    };
+    use jet_core::metrics::MetricsRegistry;
+    use jet_util::histogram::Histogram;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn parser_round_trips_basic_documents() {
+        let doc = parse(r#"{"a": [1, -2.5, 1e3], "b": "x\"\\\nA", "c": null, "d": true}"#)
+            .expect("parse");
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Num(1000.0)
+        );
+        assert_eq!(doc.get("b").unwrap().as_str().unwrap(), "x\"\\\nA");
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "{} trailing", "\"open"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    fn sample_run_result() -> RunResult {
+        let mut hist = Histogram::latency();
+        for v in [MS, 2 * MS, 5 * MS, 10 * MS] {
+            hist.record(v);
+        }
+        let reg = MetricsRegistry::new();
+        reg.counter(
+            "jet_events_in_total",
+            jet_core::metrics::tags(&[("vertex", "v")]),
+        )
+        .add(4);
+        RunResult {
+            hist,
+            outputs: 4,
+            inputs: 100,
+            wall_secs: 0.5,
+            virtual_secs: 3.0,
+            metrics: reg.snapshot(),
+            trace: None,
+            diagnostics: None,
+            cluster_events: Vec::new(),
+            spike: None,
+        }
+    }
+
+    #[test]
+    fn real_bench_report_output_conforms() {
+        let mut report = BenchReport::new("unit");
+        report.param("query", "Q5").param("members", 2);
+        report.add_run(
+            "case-a",
+            &[("rate", "1000".to_string())],
+            &sample_run_result(),
+        );
+        report.add_values("case-b", &[], &[("speedup", 2.5)]);
+        let doc = parse(&report.to_json()).expect("producer emits valid JSON");
+        let errors = validate_bench(&doc);
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    fn sample_spike_report() -> SpikeReport {
+        SpikeReport {
+            bench: "unit".into(),
+            run_label: "crash".into(),
+            threshold_nanos: 2 * MS,
+            fidelity: SpikeFidelity {
+                observed: 100,
+                ..SpikeFidelity::default()
+            },
+            incidents: vec![IncidentReport {
+                incident: SpikeIncident {
+                    id: 0,
+                    first_detected: 150 * MS,
+                    last_detected: 150 * MS,
+                    samples: 1,
+                    peak_latency: 50 * MS,
+                    peak_event_ts: 100 * MS,
+                    peak_emitted_at: 150 * MS,
+                    threshold: 2 * MS,
+                },
+                window_lo: 80 * MS,
+                window_hi: 170 * MS,
+                window_events: 4,
+                window_truncated: 0,
+                window_snapshots: 0,
+                attribution: Attribution {
+                    t0: 100 * MS,
+                    t1: 150 * MS,
+                    total_nanos: 50 * MS,
+                    slices: vec![
+                        CauseSlice {
+                            cause: Cause::Recovery,
+                            nanos: 30 * MS,
+                            share: 0.6,
+                            detail: "snapshot 3".into(),
+                        },
+                        CauseSlice {
+                            cause: Cause::FaultDetection,
+                            nanos: 20 * MS,
+                            share: 0.4,
+                            detail: "member \"1\"".into(),
+                        },
+                    ],
+                    top_cause: Cause::Recovery,
+                    top_group: "recovery",
+                    blamed_vertex: None,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn real_spike_report_output_conforms() {
+        let report = sample_spike_report();
+        let doc = parse(&report.to_json()).expect("producer emits valid JSON");
+        let errors = validate_spike(&doc);
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn spike_validation_catches_a_lying_decomposition() {
+        let mut report = sample_spike_report();
+        report.incidents[0].attribution.slices[0].nanos = 31 * MS; // no longer sums
+        let doc = parse(&report.to_json()).expect("parse");
+        let errors = validate_spike(&doc);
+        assert!(
+            errors.iter().any(|e| e.contains("cause nanos sum")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn bench_validation_catches_non_monotone_percentiles() {
+        let json = r#"{
+            "bench": "x", "params": {},
+            "runs": [{"label": "a", "params": {},
+                "latency_nanos": {"count": 4, "min": 0, "max": 10, "mean": 5.0,
+                                  "p50": 6, "p90": 5, "p99": 7, "p999": 8, "p9999": 9}}]
+        }"#;
+        let errors = validate_bench(&parse(json).expect("parse"));
+        assert!(
+            errors.iter().any(|e| e.contains("not monotone")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn missing_keys_are_reported_with_paths() {
+        let errors = validate_spike(&parse(r#"{"schema": "jet-spike-v1"}"#).expect("parse"));
+        assert!(errors.iter().any(|e| e.contains("missing key 'bench'")));
+        assert!(errors.iter().any(|e| e.contains("missing key 'fidelity'")));
+        assert!(errors.iter().any(|e| e.contains("missing key 'incidents'")));
+    }
+
+    #[test]
+    fn validate_file_dispatches_on_prefix() {
+        assert!(validate_file("TRACE_fig9_q5.json", "{}").is_none());
+        assert!(validate_file("BENCH_x.json", "not json").unwrap()[0].contains("not valid JSON"));
+        assert!(!validate_file("SPIKE_x.json", "{}").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! CLI entry point: `cargo run -p schema-check [results-dir]`.
+//!
+//! Scans `results/` for `BENCH_*.json` and `SPIKE_*.json`, validates each
+//! against its documented schema, and exits non-zero on any violation so CI
+//! never uploads a malformed artifact. A missing or empty results dir is a
+//! clean pass (nothing produced yet, nothing to check).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // When run via `cargo run -p schema-check`, the manifest dir is
+            // xtask/schema-check; results/ sits at the workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+        });
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(_) => {
+            println!(
+                "schema-check: no results dir at {} — nothing to check",
+                dir.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let mut names: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    for path in names {
+        let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", path.display());
+                violations += 1;
+                continue;
+            }
+        };
+        let Some(errors) = schema_check::validate_file(file_name, &contents) else {
+            continue; // not a BENCH_/SPIKE_ file
+        };
+        checked += 1;
+        for err in &errors {
+            eprintln!("{}: {err}", path.display());
+        }
+        violations += errors.len();
+    }
+    if violations == 0 {
+        println!("schema-check: {checked} results file(s) conform");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("schema-check: {violations} violation(s) in {checked} file(s)");
+        ExitCode::FAILURE
+    }
+}
