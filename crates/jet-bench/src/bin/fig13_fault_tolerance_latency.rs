@@ -11,8 +11,11 @@
 //! The same stepped distribution emerges here — low median, a sharp rise in
 //! the upper percentiles driven by the once-per-second alignment stalls.
 
-use jet_bench::{percentile_curve, run, write_spike_report, BenchReport, Query, RunSpec, MS, SEC};
+use jet_bench::{
+    percentile_curve, run, write_spike_report, write_timeline, BenchReport, Query, RunSpec, MS, SEC,
+};
 use jet_core::flight::WatchdogConfig;
+use jet_core::telemetry::TimelineConfig;
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
@@ -37,7 +40,13 @@ fn main() {
     spec.measure = 8 * SEC; // cover several checkpoint rounds
     spec.guarantee = jet_core::Guarantee::ExactlyOnce;
     spec.snapshot_interval = SEC;
+    // Every fig13 run carries a full-distribution latency waterfall; the
+    // checkpointed run also samples a metrics timeline (the once-per-second
+    // alignment stalls show up as breathing in the queue-depth sparklines).
+    spec.attribution = true;
+    spec.timeline = Some(TimelineConfig::default());
     let r = run(&spec);
+    write_timeline("fig13", "exactly-once-1s", &r).expect("timeline");
     for (p, ms) in percentile_curve(&r.hist) {
         println!("p{p:6}  {ms:10.3} ms");
     }

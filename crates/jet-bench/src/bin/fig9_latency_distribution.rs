@@ -16,11 +16,19 @@
 //! p99.99 excursions are frozen and root-cause attributed in
 //! `results/SPIKE_fig9_<query>.json`. The watchdog observes off the virtual
 //! timeline, so the percentile curves are bit-identical with or without it.
+//!
+//! Full-distribution attribution and the metrics timeline are always armed:
+//! each run's `BENCH_fig9.json` record carries a p50/p99/p99.99 latency
+//! waterfall and each query writes `results/TIMELINE_fig9_<query>.json`.
+//! Both observe off the virtual timeline too — the percentile curves are
+//! the reproduction target and stay bit-identical.
 
 use jet_bench::{
-    percentile_curve, run, write_spike_report, write_trace, BenchReport, Query, RunSpec, MS, SEC,
+    percentile_curve, run, write_spike_report, write_timeline, write_trace, BenchReport, Query,
+    RunSpec, MS, SEC,
 };
 use jet_core::flight::WatchdogConfig;
+use jet_core::telemetry::TimelineConfig;
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
@@ -47,6 +55,8 @@ fn main() {
         if spike_report {
             spec.spike = Some(WatchdogConfig::default());
         }
+        spec.attribution = true;
+        spec.timeline = Some(TimelineConfig::default());
         let r = run(&spec);
         print!("{:4}", query.name());
         for (p, ms) in percentile_curve(&r.hist) {
@@ -56,6 +66,7 @@ fn main() {
         eprintln!("  [{} done in {:.0}s wall]", query.name(), r.wall_secs);
         write_trace(&format!("fig9_{}", query.name()), &r).expect("trace");
         write_spike_report(&format!("fig9_{}", query.name()), query.name(), &r).expect("spike");
+        write_timeline(&format!("fig9_{}", query.name()), query.name(), &r).expect("timeline");
         report.add_run(query.name(), &[("query", query.name().to_string())], &r);
     }
     report.write().expect("report");

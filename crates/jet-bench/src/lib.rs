@@ -15,13 +15,15 @@
 
 use jet_cluster::{ClusterEvent, CoordinatorConfig, SimCluster, SimClusterConfig};
 use jet_core::flight::{
-    FlightConfig, FlightRecorder, LatencyWatchdog, SpikeFidelity, SpikeReport, WatchdogConfig,
+    band_waterfalls, AttributionConfig, AttributionReport, FlightConfig, FlightRecorder,
+    LatencyWatchdog, ProvenanceSampler, SpikeFidelity, SpikeReport, WatchdogConfig,
 };
 use jet_core::metrics::{
     json_escape, HistogramSummary, MetricsSnapshot, SharedCounter, SharedHistogram,
 };
 use jet_core::processor::Guarantee;
 use jet_core::processors::WatermarkPolicy;
+use jet_core::telemetry::{Timeline, TimelineConfig};
 use jet_core::trace::{TraceData, Tracer};
 use jet_core::Ts;
 use jet_nexmark::{queries, NexmarkConfig};
@@ -106,6 +108,16 @@ pub struct RunSpec {
     /// invisible on the virtual timeline — percentiles are bit-identical
     /// with the watchdog on or off.
     pub spike: Option<WatchdogConfig>,
+    /// Arm full-distribution latency attribution: the latency sink stamps
+    /// sampled per-event provenance and the flight recorder's span ring
+    /// runs (no watchdog required), so [`RunResult::attribution`] carries a
+    /// per-percentile-band latency waterfall. Invisible on the virtual
+    /// timeline — percentiles are bit-identical on or off.
+    pub attribution: bool,
+    /// Sample the job-wide metrics snapshot into delta-encoded rings at a
+    /// fixed cadence ([`RunResult::timeline`], exported by
+    /// [`write_timeline`]). Invisible on the virtual timeline.
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl RunSpec {
@@ -129,6 +141,8 @@ impl RunSpec {
             coordinator: None,
             trace: false,
             spike: None,
+            attribution: false,
+            timeline: None,
         }
     }
 }
@@ -160,6 +174,13 @@ pub struct RunResult {
     /// its frozen window and critical-path attribution. `bench`/`run` are
     /// stamped by [`write_spike_report`].
     pub spike: Option<SpikeReport>,
+    /// Full-distribution latency waterfall ([`RunSpec::attribution`]):
+    /// p50/p99/p99.99 exemplar journeys decomposed into exact-sum cause
+    /// slices; embedded in `BENCH_*.json` by [`BenchReport::add_run`].
+    pub attribution: Option<AttributionReport>,
+    /// The run's metrics timeline ([`RunSpec::timeline`]); export it with
+    /// [`write_timeline`].
+    pub timeline: Option<Timeline>,
 }
 
 impl RunResult {
@@ -191,6 +212,18 @@ pub fn build_query_watched(
     count: &SharedCounter,
     watchdog: LatencyWatchdog,
 ) -> Pipeline {
+    build_query_instrumented(spec, hist, count, watchdog, ProvenanceSampler::disabled())
+}
+
+/// As [`build_query_watched`], but the latency sink also stamps sampled
+/// per-event provenance for full-distribution attribution.
+pub fn build_query_instrumented(
+    spec: &RunSpec,
+    hist: &SharedHistogram,
+    count: &SharedCounter,
+    watchdog: LatencyWatchdog,
+    sampler: ProvenanceSampler,
+) -> Pipeline {
     let p = Pipeline::create();
     let src = queries::source(
         &p,
@@ -202,39 +235,40 @@ pub fn build_query_watched(
     let h = hist.clone();
     let c = count.clone();
     let w = watchdog;
+    let s = sampler;
     match spec.query {
         Query::Q1 => {
-            queries::q1(&src).write_to_latency_watched(h, c, w);
+            queries::q1(&src).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q2 => {
-            queries::q2(&src).write_to_latency_watched(h, c, w);
+            queries::q2(&src).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q3 => {
-            queries::q3(&src).write_to_latency_watched(h, c, w);
+            queries::q3(&src).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q4 => {
-            queries::q4(&src, spec.window.size).write_to_latency_watched(h, c, w);
+            queries::q4(&src, spec.window.size).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q5 => {
-            queries::q5(&src, spec.window).write_to_latency_watched(h, c, w);
+            queries::q5(&src, spec.window).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q5SingleStage => {
-            queries::q5_single_stage(&src, spec.window).write_to_latency_watched(h, c, w);
+            queries::q5_single_stage(&src, spec.window).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q6 => {
-            queries::q6(&src, spec.window.size).write_to_latency_watched(h, c, w);
+            queries::q6(&src, spec.window.size).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q7 => {
-            queries::q7(&src, spec.window.size).write_to_latency_watched(h, c, w);
+            queries::q7(&src, spec.window.size).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q8 => {
-            queries::q8(&src, spec.window.size).write_to_latency_watched(h, c, w);
+            queries::q8(&src, spec.window.size).write_to_latency_instrumented(h, c, w, s);
         }
         Query::Q13 => {
             let side: Vec<(u64, String)> = (0..spec.nexmark.auctions)
                 .map(|a| (a, format!("auction-{a}")))
                 .collect();
-            queries::q13(&p, &src, side).write_to_latency_watched(h, c, w);
+            queries::q13(&p, &src, side).write_to_latency_instrumented(h, c, w, s);
         }
     }
     p
@@ -251,12 +285,24 @@ pub fn run(spec: &RunSpec) -> RunResult {
         Some(wd) => LatencyWatchdog::with_config(wd.clone()),
         None => LatencyWatchdog::disabled(),
     };
-    let flight = if spec.spike.is_some() {
+    // Full-distribution attribution needs the span ring but not the
+    // watchdog: a recorder with a disabled watchdog freezes no incident
+    // windows and just keeps the rolling ring for `attribute_window`.
+    let flight = if spec.spike.is_some() || spec.attribution {
         FlightRecorder::with_config(FlightConfig::default(), watchdog.clone())
     } else {
         FlightRecorder::disabled()
     };
-    let pipeline = build_query_watched(spec, &hist, &count, watchdog.clone());
+    let sampler = if spec.attribution {
+        ProvenanceSampler::enabled()
+    } else {
+        ProvenanceSampler::disabled()
+    };
+    let timeline = match &spec.timeline {
+        Some(tc) => Timeline::with_config(tc.clone()),
+        None => Timeline::disabled(),
+    };
+    let pipeline = build_query_instrumented(spec, &hist, &count, watchdog.clone(), sampler.clone());
     let dag = pipeline
         .compile(spec.cores_per_member)
         .expect("pipeline compiles");
@@ -285,6 +331,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
         fault_plan: spec.fault_plan.clone(),
         coordinator: spec.coordinator.clone(),
         flight: flight.clone(),
+        timeline: timeline.clone(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -298,6 +345,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
         tracer.drain();
     }
     watchdog.clear_incidents();
+    sampler.clear();
     let out_before = count.get();
     let trace = if collect_spans {
         // A full-fidelity trace of the whole measurement at fig9 scale is
@@ -354,7 +402,7 @@ pub fn run(spec: &RunSpec) -> RunResult {
     let diagnostics =
         (spec.trace || flight.is_enabled()).then(|| cluster.diagnostics_dump(trace.as_ref()));
     let cluster_events = cluster.cluster_events();
-    let spike = flight.is_enabled().then(|| {
+    let spike = spec.spike.is_some().then(|| {
         let incidents = cluster.spike_forensics();
         let (observed, suppressed) = watchdog.stats();
         let (_ingested, evicted, spans_retained, snapshots_retained) = flight.stats();
@@ -375,9 +423,22 @@ pub fn run(spec: &RunSpec) -> RunResult {
             incidents,
         }
     });
+    let final_hist = hist.snapshot();
+    let attribution = spec.attribution.then(|| {
+        // Decompose the measured distribution at the paper's three
+        // headline bands. The network hint matches the cluster's one-way
+        // latency (the SimClusterConfig default — `run` does not override
+        // it).
+        let bands = [
+            ("p50", 50.0, final_hist.percentile(50.0)),
+            ("p99", 99.0, final_hist.percentile(99.0)),
+            ("p99.99", 99.99, final_hist.percentile(99.99)),
+        ];
+        band_waterfalls(&sampler, &flight, &AttributionConfig::default(), &bands)
+    });
     cluster.cancel();
     RunResult {
-        hist: hist.snapshot(),
+        hist: final_hist,
         outputs,
         inputs: spec.total_rate * spec.measure / SEC,
         wall_secs: wall,
@@ -387,6 +448,8 @@ pub fn run(spec: &RunSpec) -> RunResult {
         diagnostics,
         cluster_events,
         spike,
+        attribution,
+        timeline: spec.timeline.is_some().then_some(timeline),
     }
 }
 
@@ -455,6 +518,28 @@ pub fn write_spike_report(
     Ok(Some(path))
 }
 
+/// Write the run's metrics timeline as `results/TIMELINE_<name>.json`
+/// (schema `jet-timeline-v1`, validated by the `schema-check` xtask).
+/// Returns the path, or `None` when the run had no timeline armed.
+pub fn write_timeline(name: &str, label: &str, r: &RunResult) -> std::io::Result<Option<PathBuf>> {
+    let Some(timeline) = &r.timeline else {
+        return Ok(None);
+    };
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("TIMELINE_{name}.json"));
+    std::fs::write(&path, timeline.to_json(name, label))?;
+    let (samples, series, _, evicted) = timeline.stats();
+    eprintln!(
+        "  [timeline written to {} — {} samples, {} series, {} ticks evicted]",
+        path.display(),
+        samples,
+        series,
+        evicted
+    );
+    Ok(Some(path))
+}
+
 /// Standard percentile row used by the figure binaries.
 pub fn percentile_row(h: &Histogram) -> String {
     format!(
@@ -493,6 +578,7 @@ struct RunRecord {
     values: Vec<(String, f64)>,
     latency: Option<HistogramSummary>,
     metrics: Option<MetricsSnapshot>,
+    attribution: Option<AttributionReport>,
 }
 
 impl BenchReport {
@@ -526,6 +612,7 @@ impl BenchReport {
             ],
             latency: Some(HistogramSummary::of(&r.hist)),
             metrics: Some(r.metrics.clone()),
+            attribution: r.attribution.clone(),
         });
     }
 
@@ -541,6 +628,7 @@ impl BenchReport {
             values: values.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             latency: None,
             metrics: None,
+            attribution: None,
         });
     }
 
@@ -585,6 +673,9 @@ impl BenchReport {
             }
             if let Some(m) = &r.metrics {
                 let _ = write!(s, ", \"metrics\": {}", m.render_json());
+            }
+            if let Some(a) = &r.attribution {
+                let _ = write!(s, ", \"attribution\": {}", a.to_json("    "));
             }
             s.push('}');
         }
@@ -631,6 +722,13 @@ mod tests {
             diagnostics: None,
             cluster_events: Vec::new(),
             spike: None,
+            attribution: Some(AttributionReport {
+                observed: 4,
+                sampled: 4,
+                sample_shift: 0,
+                bands: Vec::new(),
+            }),
+            timeline: None,
         };
         let mut report = BenchReport::new("unit");
         report.param("query", "Q5").param("members", 2);
@@ -647,6 +745,9 @@ mod tests {
             "\"metrics\": {\"metrics\":[",
             "jet_events_in_total",
             "\"speedup\": 2.5",
+            "\"attribution\": {",
+            "\"observed\": 4, \"sampled\": 4, \"sample_shift\": 0",
+            "\"bands\": [",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

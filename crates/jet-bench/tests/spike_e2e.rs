@@ -13,6 +13,7 @@
 
 use jet_bench::{run, Query, RunSpec, MS, SEC};
 use jet_core::flight::{Cause, WatchdogConfig};
+use jet_core::telemetry::TimelineConfig;
 use jet_core::Ts;
 use jet_pipeline::WindowDef;
 
@@ -45,6 +46,71 @@ fn watchdog_is_invisible_on_the_virtual_timeline() {
     );
     let report = spiked.spike.expect("spike report present when armed");
     assert!(report.fidelity.observed > 0, "watchdog observed nothing");
+}
+
+#[test]
+fn timeline_and_attribution_are_invisible_and_waterfalls_sum_exactly() {
+    let plain = run(&small_q5());
+    let mut armed_spec = small_q5();
+    // Full observability: provenance sampling on every sink event, metrics
+    // timeline at a deliberately aggressive 10 ms cadence (maximum chunking
+    // perturbation), flight ring retained for window attribution.
+    armed_spec.attribution = true;
+    armed_spec.timeline = Some(TimelineConfig {
+        cadence_nanos: 10 * MS,
+        ..TimelineConfig::default()
+    });
+    let armed = run(&armed_spec);
+    assert!(plain.hist.count() > 0, "no samples measured");
+    assert_eq!(
+        plain.hist, armed.hist,
+        "arming the timeline + provenance sampler changed the latency histogram"
+    );
+
+    // The waterfall decomposes each reported band's exemplar exactly: the
+    // stamp is internally consistent and the cause slices partition the
+    // measured end-to-end latency to the nanosecond.
+    let report = armed.attribution.expect("attribution present when armed");
+    assert!(report.observed > 0, "sampler observed nothing");
+    assert!(report.sampled > 0, "sampler retained nothing");
+    assert!(
+        !report.bands.is_empty(),
+        "no percentile band produced a waterfall (observed={})",
+        report.observed
+    );
+    for band in &report.bands {
+        let a = &band.attribution;
+        assert_eq!(
+            band.stamp.latency,
+            band.stamp.emitted_at - band.stamp.event_ts,
+            "band {}: stamp is inconsistent",
+            band.band
+        );
+        assert_eq!(
+            a.total_nanos, band.stamp.latency,
+            "band {}: attribution window is not the exemplar's journey",
+            band.band
+        );
+        let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+        assert_eq!(
+            sum, a.total_nanos,
+            "band {}: slices do not sum to the measured latency",
+            band.band
+        );
+    }
+
+    // The timeline actually sampled: multiple ticks, live series, and a
+    // parseable jet-timeline-v1 document.
+    let timeline = armed.timeline.expect("timeline present when armed");
+    let (samples, series, ticks, _evicted) = timeline.stats();
+    assert!(samples > 1, "timeline sampled {samples} time(s)");
+    assert!(series > 0, "timeline recorded no series");
+    assert_eq!(
+        samples as usize, ticks,
+        "no eviction expected at this scale"
+    );
+    let json = timeline.to_json("test", "q5");
+    assert!(json.contains("\"schema\": \"jet-timeline-v1\""), "{json}");
 }
 
 #[test]

@@ -383,6 +383,46 @@ pub fn render_blame(reports: &[IncidentReport]) -> String {
     out
 }
 
+/// Render the metrics-timeline section appended to the dump when a
+/// timeline is wired: one ASCII sparkline per job-wide series (summed
+/// across tag sets), min/max-scaled per series. The shape is stable with
+/// zero samples ("no samples") so operators always see the section.
+pub fn render_timeline(timeline: &jet_core::telemetry::Timeline) -> String {
+    const WIDTH: usize = 48;
+    let mut out = String::new();
+    let _ = writeln!(out, "\nmetrics timeline");
+    let ticks = timeline.ticks();
+    if ticks.is_empty() {
+        let _ = writeln!(out, "  no samples");
+        return out;
+    }
+    let (samples, series_count, _, evicted) = timeline.stats();
+    let _ = writeln!(
+        out,
+        "  {} samples ({} retained, {} evicted), {} series, window [{:.3}s, {:.3}s]",
+        samples,
+        ticks.len(),
+        evicted,
+        series_count,
+        secs(ticks[0]),
+        secs(*ticks.last().expect("non-empty")),
+    );
+    for (name, kind, values) in timeline.job_series() {
+        let min = values.iter().copied().min().unwrap_or(0);
+        let max = values.iter().copied().max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:<42} {:<13} |{}| {} .. {}",
+            name,
+            kind.name(),
+            jet_core::telemetry::sparkline(&values, WIDTH),
+            min,
+            max,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,5 +637,36 @@ mod tests {
         let dump = render_dump(1, 1_000_000, &r.snapshot(), &[], Some(&data), None);
         assert!(dump.contains("slowest calls: 50.0us@"), "{dump}");
         assert!(dump.contains("events=1"), "{dump}");
+    }
+
+    #[test]
+    fn timeline_section_is_stable_when_empty() {
+        let section = render_timeline(&jet_core::telemetry::Timeline::enabled());
+        assert!(section.contains("metrics timeline"), "{section}");
+        assert!(section.contains("no samples"), "{section}");
+    }
+
+    #[test]
+    fn timeline_section_rolls_series_up_by_name_with_sparklines() {
+        let timeline = jet_core::telemetry::Timeline::enabled();
+        let r = MetricsRegistry::new();
+        let c0 = r.counter("jet_events_in_total", tags(&[("member", "0")]));
+        let c1 = r.counter("jet_events_in_total", tags(&[("member", "1")]));
+        for i in 0..5u64 {
+            c0.add(100);
+            c1.add(50);
+            timeline.record_sample(i * 100_000_000, &r.snapshot());
+        }
+        let section = render_timeline(&timeline);
+        assert!(section.contains("5 samples"), "{section}");
+        // Members roll up: one line for the name, summed 150..750.
+        assert_eq!(
+            section.matches("jet_events_in_total").count(),
+            1,
+            "{section}"
+        );
+        assert!(section.contains("150 .. 750"), "{section}");
+        assert!(section.contains('|'), "{section}");
+        assert!(section.is_ascii(), "{section}");
     }
 }

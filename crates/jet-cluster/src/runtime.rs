@@ -19,6 +19,7 @@ use jet_core::metrics::{tags, MetricsRegistry, MetricsSnapshot};
 use jet_core::network::{ChannelChaos, InMemoryTransport, NetworkFaults};
 use jet_core::processor::Guarantee;
 use jet_core::snapshot::SnapshotRegistry;
+use jet_core::telemetry::Timeline;
 use jet_core::trace::{TraceData, TraceKind, TraceWriter, Tracer};
 use jet_core::Dag;
 use jet_imdg::{Grid, MemberId, SnapshotStore, StoreFaults};
@@ -63,6 +64,11 @@ pub struct SimClusterConfig {
     /// a blame section. Disabled by default: zero cost, identical virtual
     /// timeline either way.
     pub flight: FlightRecorder,
+    /// Continuous metrics timeline. When enabled, the runtime samples the
+    /// job-wide metrics snapshot into delta-encoded rings at the timeline's
+    /// cadence and the diagnostics dump gains a sparkline section. Disabled
+    /// by default: zero cost, identical virtual timeline either way.
+    pub timeline: Timeline,
 }
 
 impl Default for SimClusterConfig {
@@ -84,6 +90,7 @@ impl Default for SimClusterConfig {
             fault_plan: None,
             coordinator: None,
             flight: FlightRecorder::disabled(),
+            timeline: Timeline::disabled(),
         }
     }
 }
@@ -279,6 +286,19 @@ impl SimCluster {
                 tags(&[]),
                 move || f.stats().3 as i64,
             );
+        }
+        if cfg.timeline.is_enabled() {
+            let t = cfg.timeline.clone();
+            cluster_metrics
+                .counter_fn("jet_timeline_samples_total", tags(&[]), move || t.stats().0);
+            let t = cfg.timeline.clone();
+            cluster_metrics.gauge_fn("jet_timeline_series_records", tags(&[]), move || {
+                t.stats().1 as i64
+            });
+            let t = cfg.timeline.clone();
+            cluster_metrics.counter_fn("jet_timeline_ticks_evicted_total", tags(&[]), move || {
+                t.stats().3
+            });
         }
         let member_ids: Vec<u32> = grid.members().iter().map(|m| m.0).collect();
         let coordinator = cfg
@@ -477,6 +497,9 @@ impl SimCluster {
         if self.cfg.flight.is_enabled() {
             dump.push_str(&crate::diagnostics::render_blame(&self.spike_forensics()));
         }
+        if self.cfg.timeline.is_enabled() {
+            dump.push_str(&crate::diagnostics::render_timeline(&self.cfg.timeline));
+        }
         dump
     }
 
@@ -484,6 +507,12 @@ impl SimCluster {
     /// [`SimClusterConfig::flight`]).
     pub fn flight(&self) -> &FlightRecorder {
         &self.cfg.flight
+    }
+
+    /// The job's metrics timeline (disabled unless configured via
+    /// [`SimClusterConfig::timeline`]).
+    pub fn timeline(&self) -> &Timeline {
+        &self.cfg.timeline
     }
 
     /// Run spike forensics over every frozen incident window: decompose
@@ -522,14 +551,17 @@ impl SimCluster {
             if remaining == 0 {
                 return self.sim.live_tasklets() == 0;
             }
-            // With a flight recorder wired, chunk the run at its metrics
-            // snapshot cadence: snapshots are taken *between* simulator
-            // calls, so they cost zero virtual time and the executed
-            // schedule is identical to an unchunked run.
-            let chunk = match self.cfg.flight.next_snapshot_in(self.now()) {
-                Some(gap) => remaining.min(gap.max(1)),
-                None => remaining,
-            };
+            // With a flight recorder or metrics timeline wired, chunk the
+            // run at the nearest sampling deadline: samples are taken
+            // *between* simulator calls, so they cost zero virtual time and
+            // the executed schedule is identical to an unchunked run.
+            let mut chunk = remaining;
+            if let Some(gap) = self.cfg.flight.next_snapshot_in(self.now()) {
+                chunk = chunk.min(gap.max(1));
+            }
+            if let Some(gap) = self.cfg.timeline.next_sample_in(self.now()) {
+                chunk = chunk.min(gap.max(1));
+            }
             let mut action: Option<Action> = None;
             // Triggering a snapshot while the job is torn down for recovery
             // would only wedge on acks that can never arrive.
@@ -572,6 +604,12 @@ impl SimCluster {
                 let now = self.now();
                 if self.cfg.flight.snapshot_due(now) {
                     self.cfg.flight.record_snapshot(now, self.job_metrics());
+                }
+            }
+            if self.cfg.timeline.is_enabled() {
+                let now = self.now();
+                if self.cfg.timeline.sample_due(now) {
+                    self.cfg.timeline.record_sample(now, &self.job_metrics());
                 }
             }
             match action {

@@ -107,13 +107,24 @@ fn job_metrics_balance_across_edges_and_members() {
 }
 
 /// Minimal line-level parse of the Prometheus text format: every sample is
-/// `name{label="value",...} number`, `# TYPE` comes once per name, and no
-/// (name, label-set) series repeats.
+/// `name{label="value",...} number`, `# HELP` and `# TYPE` come once per
+/// name (HELP first), and no (name, label-set) series repeats.
 fn parse_prometheus(text: &str) -> (HashSet<(String, String)>, HashSet<String>) {
     let mut series = HashSet::new();
     let mut typed = HashSet::new();
+    let mut helped: HashSet<String> = HashSet::new();
     for line in text.lines() {
         if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, text) = rest.split_once(' ').expect("help line has text");
+            assert!(!text.is_empty(), "empty HELP for {name}");
+            assert!(
+                !typed.contains(name),
+                "HELP for {name} must precede its TYPE line"
+            );
+            assert!(helped.insert(name.to_string()), "duplicate HELP for {name}");
             continue;
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -123,6 +134,10 @@ fn parse_prometheus(text: &str) -> (HashSet<(String, String)>, HashSet<String>) 
             assert!(
                 matches!(kind, "counter" | "gauge" | "summary"),
                 "bad kind {kind}"
+            );
+            assert!(
+                helped.contains(name),
+                "TYPE for {name} is missing a HELP line"
             );
             assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
             continue;

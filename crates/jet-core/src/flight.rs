@@ -540,6 +540,183 @@ impl FlightRecorder {
         out.sort_by_key(|r| std::cmp::Reverse(r.incident.peak_latency));
         out
     }
+
+    /// Attribute an arbitrary event journey `[t0, t1]` from whatever spans
+    /// the rolling ring and frozen windows still hold — the full-
+    /// distribution generalization of incident forensics. A disabled
+    /// recorder yields an all-queue-wait decomposition (still exact-sum).
+    pub fn attribute_window(&self, t0: u64, t1: u64, cfg: &AttributionConfig) -> Attribution {
+        let Some(inner) = &self.inner else {
+            return attribute(&[], &[], t0, t1, cfg);
+        };
+        let r = inner.lock();
+        let overlaps = |e: &&TraceEvent| e.rec.ts <= t1 && e.rec.ts.saturating_add(e.rec.dur) >= t0;
+        // An event lives in exactly one of the two stores (frozen windows
+        // receive spans only on eviction from the ring).
+        let mut events: Vec<TraceEvent> = r
+            .windows
+            .iter()
+            .flat_map(|w| w.events.iter())
+            .filter(overlaps)
+            .chain(r.ring.iter().filter(overlaps))
+            .copied()
+            .collect();
+        events.sort_by_key(|e| e.rec.ts);
+        attribute(&events, &r.names, t0, t1, cfg)
+    }
+}
+
+// ------------------------------------------------------------- provenance
+
+/// One sampled event journey: occurrence → emission at the latency sink.
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp {
+    pub event_ts: u64,
+    pub emitted_at: u64,
+    pub latency: u64,
+}
+
+/// Tuning for the provenance sampler.
+#[derive(Clone, Debug)]
+pub struct ProvenanceConfig {
+    /// Stride-sampled buffer cap; hitting it doubles the stride and
+    /// decimates in place (deterministic, no RNG).
+    pub capacity: usize,
+    /// Largest-latency stamps always retained, so extreme-percentile
+    /// exemplars never depend on stride luck.
+    pub top_k: usize,
+}
+
+impl Default for ProvenanceConfig {
+    fn default() -> Self {
+        ProvenanceConfig {
+            capacity: 4096,
+            top_k: 64,
+        }
+    }
+}
+
+struct SamplerInner {
+    cfg: ProvenanceConfig,
+    shift: u32,
+    observed: u64,
+    sampled: Vec<Stamp>,
+    /// Ascending by latency, bounded at `top_k`.
+    top: Vec<Stamp>,
+}
+
+/// Cheap-to-clone per-event provenance sampler feeding the latency sink's
+/// `(event_ts, emitted_at)` pairs into a bounded exemplar store, so any
+/// percentile of the measured distribution can later be matched to a
+/// concrete journey and decomposed by [`FlightRecorder::attribute_window`].
+/// `disabled()` is a single-branch no-op on the hot path.
+#[derive(Clone, Default)]
+pub struct ProvenanceSampler {
+    inner: Option<Arc<Mutex<SamplerInner>>>,
+}
+
+impl ProvenanceSampler {
+    pub fn disabled() -> ProvenanceSampler {
+        ProvenanceSampler { inner: None }
+    }
+
+    pub fn enabled() -> ProvenanceSampler {
+        ProvenanceSampler::with_config(ProvenanceConfig::default())
+    }
+
+    pub fn with_config(cfg: ProvenanceConfig) -> ProvenanceSampler {
+        ProvenanceSampler {
+            inner: Some(Arc::new(Mutex::new(SamplerInner {
+                cfg,
+                shift: 0,
+                observed: 0,
+                sampled: Vec::new(),
+                top: Vec::new(),
+            }))),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one emitted event's journey.
+    pub fn observe(&self, event_ts: u64, emitted_at: u64, latency: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut p = inner.lock();
+        p.observed += 1;
+        let stamp = Stamp {
+            event_ts,
+            emitted_at,
+            latency,
+        };
+        let pos = p.top.partition_point(|s| s.latency < latency);
+        if p.top.len() < p.cfg.top_k {
+            p.top.insert(pos, stamp);
+        } else if pos > 0 {
+            p.top.insert(pos, stamp);
+            p.top.remove(0);
+        }
+        let mask = (1u64 << p.shift.min(63)) - 1;
+        if p.observed & mask == 0 {
+            p.sampled.push(stamp);
+            if p.sampled.len() >= p.cfg.capacity {
+                // Halve by keeping even indices; the stride doubles for
+                // the rest of the run.
+                let mut i = 0usize;
+                p.sampled.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                p.shift += 1;
+            }
+        }
+    }
+
+    /// Drop everything sampled so far (the warmup boundary).
+    pub fn clear(&self) {
+        let Some(inner) = &self.inner else { return };
+        let mut p = inner.lock();
+        p.shift = 0;
+        p.observed = 0;
+        p.sampled.clear();
+        p.top.clear();
+    }
+
+    /// (journeys observed, stamps retained, current sample shift).
+    pub fn stats(&self) -> (u64, usize, u32) {
+        match &self.inner {
+            Some(inner) => {
+                let p = inner.lock();
+                (p.observed, p.sampled.len() + p.top.len(), p.shift)
+            }
+            None => (0, 0, 0),
+        }
+    }
+
+    /// The sampled journey whose latency best matches `target_nanos`.
+    /// Within 2% relative error the *newest* emission wins — its spans are
+    /// the most likely to still sit in the flight ring's horizon — else
+    /// the closest latency.
+    pub fn exemplar(&self, target_nanos: u64) -> Option<Stamp> {
+        let inner = self.inner.as_ref()?;
+        let p = inner.lock();
+        let tol = target_nanos / 50;
+        let mut in_tol: Option<Stamp> = None;
+        let mut closest: Option<(u64, Stamp)> = None;
+        for s in p.sampled.iter().chain(p.top.iter()) {
+            let err = s.latency.abs_diff(target_nanos);
+            if err <= tol && in_tol.is_none_or(|b| s.emitted_at > b.emitted_at) {
+                in_tol = Some(*s);
+            }
+            if closest.is_none_or(|(e, _)| err < e) {
+                closest = Some((err, *s));
+            }
+        }
+        in_tol.or(closest.map(|(_, s)| s))
+    }
 }
 
 // ------------------------------------------------------------ attribution
@@ -1058,6 +1235,130 @@ impl SpikeReport {
     }
 }
 
+// -------------------------------------------------------------- waterfall
+
+/// One percentile band's latency waterfall: the exemplar journey matched
+/// to the measured percentile, decomposed into exact-sum cause slices.
+#[derive(Clone, Debug)]
+pub struct BandWaterfall {
+    /// Display label: `p50`, `p99`, `p99.99`.
+    pub band: String,
+    pub percentile: f64,
+    /// The measured percentile from the run's latency histogram.
+    pub target_nanos: u64,
+    /// The exemplar journey (its `latency` equals the attribution total
+    /// exactly; `target_nanos` is the histogram digest it approximates).
+    pub stamp: Stamp,
+    pub attribution: Attribution,
+}
+
+/// The full-distribution attribution section embedded per run in
+/// `BENCH_*.json`.
+#[derive(Clone, Debug, Default)]
+pub struct AttributionReport {
+    /// Journeys the sampler observed in the measurement window.
+    pub observed: u64,
+    /// Stamps retained when the waterfall was built.
+    pub sampled: usize,
+    /// Journeys were stride-sampled 1-in-2^shift.
+    pub sample_shift: u32,
+    pub bands: Vec<BandWaterfall>,
+}
+
+/// Build the per-percentile-band waterfall: for each `(band, percentile,
+/// target_nanos)` pick the sampler's exemplar journey and decompose it via
+/// the recorder's retained spans. Bands with no exemplar (empty sampler)
+/// are omitted.
+pub fn band_waterfalls(
+    sampler: &ProvenanceSampler,
+    flight: &FlightRecorder,
+    cfg: &AttributionConfig,
+    bands: &[(&str, f64, u64)],
+) -> AttributionReport {
+    let (observed, sampled, sample_shift) = sampler.stats();
+    let mut out = Vec::new();
+    for &(band, percentile, target_nanos) in bands {
+        let Some(stamp) = sampler.exemplar(target_nanos) else {
+            continue;
+        };
+        let attribution = flight.attribute_window(stamp.event_ts, stamp.emitted_at, cfg);
+        out.push(BandWaterfall {
+            band: band.to_string(),
+            percentile,
+            target_nanos,
+            stamp,
+            attribution,
+        });
+    }
+    AttributionReport {
+        observed,
+        sampled,
+        sample_shift,
+        bands: out,
+    }
+}
+
+impl AttributionReport {
+    /// Render as the `"attribution"` object a BENCH run record embeds.
+    /// `indent` is the base indentation of the object's opening brace.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n{indent}  \"observed\": {}, \"sampled\": {}, \"sample_shift\": {},\n\
+             {indent}  \"bands\": [",
+            self.observed, self.sampled, self.sample_shift,
+        );
+        for (i, b) in self.bands.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let a = &b.attribution;
+            let _ = write!(
+                s,
+                "\n{indent}    {{\"band\": \"{}\", \"percentile\": {}, \"target_nanos\": {}, \
+                 \"event_ts_nanos\": {}, \"emitted_at_nanos\": {}, \"latency_nanos\": {}, \
+                 \"total_nanos\": {}, \"top_cause\": \"{}\", \"top_group\": \"{}\", \
+                 \"blamed_vertex\": ",
+                json_escape(&b.band),
+                b.percentile,
+                b.target_nanos,
+                b.stamp.event_ts,
+                b.stamp.emitted_at,
+                b.stamp.latency,
+                a.total_nanos,
+                a.top_cause.name(),
+                a.top_group,
+            );
+            match &a.blamed_vertex {
+                Some(v) => {
+                    let _ = write!(s, "\"{}\"", json_escape(v));
+                }
+                None => s.push_str("null"),
+            }
+            s.push_str(", \"causes\": [");
+            for (j, c) in a.slices.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"cause\": \"{}\", \"group\": \"{}\", \"nanos\": {}, \"share\": {:.6}, \
+                     \"detail\": \"{}\"}}",
+                    c.cause.name(),
+                    c.cause.group(),
+                    c.nanos,
+                    c.share,
+                    json_escape(&c.detail),
+                );
+            }
+            s.push_str("]}");
+        }
+        let _ = write!(s, "\n{indent}  ]\n{indent}}}");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1267,5 +1568,155 @@ mod tests {
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close, "unbalanced JSON:\n{json}");
+    }
+
+    #[test]
+    fn sampler_top_k_preserves_extreme_latencies() {
+        let ps = ProvenanceSampler::with_config(ProvenanceConfig {
+            capacity: 128,
+            top_k: 8,
+        });
+        // 100k journeys, latency == i: heavy decimation, but the largest
+        // latencies must survive in the top-k store.
+        for i in 1..=100_000u64 {
+            ps.observe(i, 2 * i, i);
+        }
+        let (observed, retained, shift) = ps.stats();
+        assert_eq!(observed, 100_000);
+        assert!(retained <= 128 + 8);
+        assert!(shift > 0, "decimation kicked in");
+        let top = ps.exemplar(100_000).expect("exemplar");
+        assert_eq!(top.latency, 100_000, "p-max exemplar is exact");
+    }
+
+    #[test]
+    fn sampler_is_deterministic_across_identical_feeds() {
+        let mk = || {
+            let ps = ProvenanceSampler::with_config(ProvenanceConfig {
+                capacity: 64,
+                top_k: 4,
+            });
+            for i in 1..=10_000u64 {
+                ps.observe(i, i + (i % 997) * 1_000, (i % 997) * 1_000);
+            }
+            ps
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.stats(), b.stats());
+        for target in [0u64, 100_000, 500_000, 996_000] {
+            let (ea, eb) = (a.exemplar(target).unwrap(), b.exemplar(target).unwrap());
+            assert_eq!(
+                (ea.event_ts, ea.emitted_at, ea.latency),
+                (eb.event_ts, eb.emitted_at, eb.latency)
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_exemplar_prefers_newest_within_tolerance() {
+        let ps = ProvenanceSampler::enabled();
+        ps.observe(1_000, 2_000, 1_000); // old journey, exact match
+        ps.observe(9_000, 10_010, 1_010); // newer, within 2% of 1000
+        let e = ps.exemplar(1_000).expect("exemplar");
+        assert_eq!(e.emitted_at, 10_010, "newest in-tolerance journey wins");
+        // Outside tolerance the closest latency wins regardless of age.
+        ps.observe(20_000, 520_000, 500_000);
+        let far = ps.exemplar(400_000).expect("exemplar");
+        assert_eq!(far.latency, 500_000);
+    }
+
+    #[test]
+    fn sampler_clear_resets_everything() {
+        let ps = ProvenanceSampler::enabled();
+        ps.observe(1, 2, 1);
+        ps.clear();
+        assert_eq!(ps.stats(), (0, 0, 0));
+        assert!(ps.exemplar(1).is_none());
+        // Disabled sampler is inert.
+        let off = ProvenanceSampler::disabled();
+        off.observe(1, 2, 1);
+        assert_eq!(off.stats(), (0, 0, 0));
+        assert!(off.exemplar(1).is_none());
+    }
+
+    #[test]
+    fn attribute_window_on_disabled_recorder_is_all_queue_wait() {
+        let fr = FlightRecorder::disabled();
+        let a = fr.attribute_window(100, 1_100, &AttributionConfig::default());
+        assert_eq!(a.total_nanos, 1_000);
+        assert_eq!(a.top_cause, Cause::QueueWait);
+        let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+        assert_eq!(sum, 1_000);
+    }
+
+    #[test]
+    fn attribute_window_uses_ring_spans() {
+        let fr = FlightRecorder::with_config(FlightConfig::default(), LatencyWatchdog::disabled());
+        let tracer = Tracer::enabled();
+        let mut w = tracer.writer(0, "w");
+        let name = w.intern("hot-agg");
+        w.record(TraceKind::Call, 2_000, 6_000, name, 0);
+        fr.ingest(&tracer.drain(), 0);
+        let a = fr.attribute_window(1_000, 11_000, &AttributionConfig::default());
+        let sum: u64 = a.slices.iter().map(|s| s.nanos).sum();
+        assert_eq!(sum, 10_000, "partition is exact");
+        assert_eq!(a.top_cause, Cause::TaskletExec);
+        assert_eq!(a.blamed_vertex.as_deref(), Some("hot-agg"));
+    }
+
+    #[test]
+    fn band_waterfalls_sum_exactly_and_render_json() {
+        let fr = FlightRecorder::with_config(FlightConfig::default(), LatencyWatchdog::disabled());
+        let tracer = Tracer::enabled();
+        let mut w = tracer.writer(0, "w");
+        let name = w.intern("agg");
+        w.record(TraceKind::Call, 500, 200, name, 0);
+        w.record(TraceKind::Call, 5_000, 3_000, name, 0);
+        fr.ingest(&tracer.drain(), 0);
+        let ps = ProvenanceSampler::enabled();
+        ps.observe(100, 1_100, 1_000); // p50-ish journey
+        ps.observe(400, 10_400, 10_000); // tail journey
+        let report = band_waterfalls(
+            &ps,
+            &fr,
+            &AttributionConfig::default(),
+            &[("p50", 50.0, 1_000), ("p99.99", 99.99, 10_000)],
+        );
+        assert_eq!(report.bands.len(), 2);
+        for b in &report.bands {
+            let sum: u64 = b.attribution.slices.iter().map(|s| s.nanos).sum();
+            assert_eq!(sum, b.stamp.latency, "band {} sums exactly", b.band);
+            assert_eq!(b.attribution.total_nanos, b.stamp.latency);
+        }
+        let tail = &report.bands[1];
+        let exec = tail
+            .attribution
+            .slices
+            .iter()
+            .find(|s| s.cause == Cause::TaskletExec)
+            .unwrap();
+        // Both ring spans (500..700 and 5000..8000) fall inside the band.
+        assert_eq!(exec.nanos, 3_200, "ring spans attributed inside the band");
+        let json = report.to_json("      ");
+        for key in [
+            "\"bands\": [",
+            "\"band\": \"p50\"",
+            "\"band\": \"p99.99\"",
+            "\"latency_nanos\": 10000",
+            "\"causes\": [",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced JSON:\n{json}");
+        // Empty sampler yields an empty-bands report, not a panic.
+        let empty = band_waterfalls(
+            &ProvenanceSampler::enabled(),
+            &fr,
+            &AttributionConfig::default(),
+            &[("p50", 50.0, 1_000)],
+        );
+        assert!(empty.bands.is_empty());
     }
 }

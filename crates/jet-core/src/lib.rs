@@ -42,6 +42,7 @@ pub mod snapshot;
 pub mod state;
 pub mod sync;
 pub mod tasklet;
+pub mod telemetry;
 pub mod trace;
 pub mod watermark;
 

@@ -580,6 +580,12 @@ impl MetricsSnapshot {
                     MetricValue::Gauge(_) => "gauge",
                     MetricValue::Histogram(_) => "summary",
                 };
+                let _ = writeln!(
+                    out,
+                    "# HELP {} {}",
+                    m.name,
+                    prom_help_escape(&prom_help(&m.name))
+                );
                 let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
                 last_name = &m.name;
             }
@@ -688,6 +694,38 @@ fn prom_escape(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// HELP-line escaping per the Prometheus text exposition format: only
+/// backslash and newline (quotes are legal in help text, unlike in label
+/// values).
+fn prom_help_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Derive a HELP string from the workspace's structured metric names
+/// (`jet_<subject>[_<unit>|_total]`, enforced by jet-lint rule 6). Keeping
+/// the text derived rather than registered per call site means every
+/// instrument gets a spec-conformant `# HELP` line with zero registration
+/// overhead.
+fn prom_help(name: &str) -> String {
+    fn capitalize(s: &str) -> String {
+        let mut c = s.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => String::new(),
+        }
+    }
+    let body = name.strip_prefix("jet_").unwrap_or(name);
+    if let Some(b) = body.strip_suffix("_total") {
+        format!("Cumulative count of {}.", b.replace('_', " "))
+    } else if let Some(b) = body.strip_suffix("_nanos") {
+        format!("{} in nanoseconds.", capitalize(&b.replace('_', " ")))
+    } else if let Some(b) = body.strip_suffix("_bytes") {
+        format!("{} in bytes.", capitalize(&b.replace('_', " ")))
+    } else {
+        format!("{}.", capitalize(&body.replace('_', " ")))
+    }
 }
 
 /// Escape a string for inclusion in a JSON string literal. Public because
@@ -830,6 +868,65 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_deterministic_across_member_orderings() {
+        // Job-wide rollup must not depend on which member's snapshot merges
+        // first: SimCluster iterates members in index order, but the
+        // timeline and diagnostics would silently drift if order mattered.
+        let member = |id: &str, events: u64, depth: i64, hist_count: u64| {
+            let r = MetricsRegistry::with_tags(tags(&[("member", id)]));
+            r.counter("jet_events_in_total", tags(&[("vertex", "src")]))
+                .add(events);
+            // Same key on every member (no member tag): merge must sum.
+            let shared = MetricsRegistry::new();
+            shared.counter("jet_shared_total", tags(&[])).add(events);
+            shared.gauge("jet_queue_depth", tags(&[])).set(depth);
+            let h = SharedHistogram::new();
+            for i in 0..hist_count {
+                h.record(1_000 * (i + 1));
+            }
+            shared.register_histogram("jet_latency_nanos", tags(&[]), h);
+            let mut snap = r.snapshot();
+            snap.merge(&shared.snapshot());
+            snap
+        };
+        let snaps = [
+            member("0", 10, 3, 5),
+            member("1", 20, 4, 2),
+            member("2", 5, 1, 9),
+        ];
+        let mut renderings = Vec::new();
+        // All 6 permutations of 3 members.
+        for perm in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let mut job = MetricsSnapshot::default();
+            for i in perm {
+                job.merge(&snaps[i]);
+            }
+            renderings.push(job.render_json());
+        }
+        for r in &renderings[1..] {
+            assert_eq!(r, &renderings[0], "merge result depends on member order");
+        }
+        // And the rollup is the expected sum, not just self-consistent.
+        let job = crate::metrics::MetricsSnapshot::default();
+        let mut job = job;
+        for s in &snaps {
+            job.merge(s);
+        }
+        assert_eq!(job.counter_total("jet_shared_total", &[]), 35);
+        assert_eq!(
+            job.find("jet_queue_depth", &[]).unwrap().as_gauge(),
+            Some(8)
+        );
+    }
+
+    #[test]
     fn fn_instruments_read_live_values() {
         let r = MetricsRegistry::new();
         let src = Arc::new(AtomicU64::new(7));
@@ -875,6 +972,69 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
             assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_emits_help_before_type_once_per_name() {
+        let r = MetricsRegistry::new();
+        r.counter("jet_events_in_total", tags(&[("vertex", "a")]))
+            .add(1);
+        r.counter("jet_events_in_total", tags(&[("vertex", "b")]))
+            .add(2);
+        r.histogram("jet_latency_nanos", tags(&[])).record(5);
+        let text = r.snapshot().render_prometheus();
+        assert_eq!(
+            text.matches("# HELP jet_events_in_total ").count(),
+            1,
+            "one HELP per name, not per series:\n{text}"
+        );
+        assert!(
+            text.contains("# HELP jet_events_in_total Cumulative count of events in.\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP jet_latency_nanos Latency in nanoseconds.\n"),
+            "{text}"
+        );
+        // HELP immediately precedes the matching TYPE.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(
+                    lines[i + 1].starts_with(&format!("# TYPE {name} ")),
+                    "HELP for {name} not followed by its TYPE:\n{text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_backslash_quote_newline() {
+        let r = MetricsRegistry::new();
+        r.gauge("jet_queue_depth", tags(&[("vertex", "a\\b\"c\nd")]))
+            .set(1);
+        let text = r.snapshot().render_prometheus();
+        assert!(
+            text.contains("vertex=\"a\\\\b\\\"c\\nd\""),
+            "label escaping broken:\n{text}"
+        );
+        // The raw newline must not survive into the exposition.
+        let sample = text.lines().find(|l| !l.starts_with('#')).unwrap();
+        assert!(sample.contains("jet_queue_depth{"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_help_escape_covers_backslash_and_newline() {
+        assert_eq!(prom_help_escape("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(prom_help_escape("plain \"quoted\""), "plain \"quoted\"");
+        // Derived help strings for the unit-suffix families.
+        assert_eq!(
+            prom_help("jet_bytes_sent_total"),
+            "Cumulative count of bytes sent."
+        );
+        assert_eq!(prom_help("jet_state_bytes"), "State in bytes.");
+        assert_eq!(prom_help("jet_queue_depth"), "Queue depth.");
     }
 
     #[test]

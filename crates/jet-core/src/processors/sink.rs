@@ -66,6 +66,7 @@ pub struct LatencySink {
     hist: SharedHistogram,
     count: SharedCounter,
     watchdog: crate::flight::LatencyWatchdog,
+    sampler: crate::flight::ProvenanceSampler,
 }
 
 impl LatencySink {
@@ -78,10 +79,28 @@ impl LatencySink {
         count: SharedCounter,
         watchdog: crate::flight::LatencyWatchdog,
     ) -> Self {
+        Self::instrumented(
+            hist,
+            count,
+            watchdog,
+            crate::flight::ProvenanceSampler::disabled(),
+        )
+    }
+
+    /// Full observer set: watchdog spike detection plus provenance stamps
+    /// for full-distribution attribution. Both are real-time-only; virtual
+    /// time and the recorded histogram stay bit-identical.
+    pub fn instrumented(
+        hist: SharedHistogram,
+        count: SharedCounter,
+        watchdog: crate::flight::LatencyWatchdog,
+        sampler: crate::flight::ProvenanceSampler,
+    ) -> Self {
         LatencySink {
             hist,
             count,
             watchdog,
+            sampler,
         }
     }
 }
@@ -91,6 +110,7 @@ impl Processor for LatencySink {
         let now = ctx.now_nanos();
         let mut n = 0u64;
         let watchdog = &self.watchdog;
+        let sampler = &self.sampler;
         self.hist.record_batch(std::iter::from_fn(|| {
             inbox.take().map(|(ts, _obj)| {
                 n += 1;
@@ -98,6 +118,9 @@ impl Processor for LatencySink {
                 let latency = now.saturating_sub(event_ts);
                 if watchdog.is_enabled() {
                     watchdog.observe(now, event_ts, latency);
+                }
+                if sampler.is_enabled() {
+                    sampler.observe(event_ts, now, latency);
                 }
                 latency
             })

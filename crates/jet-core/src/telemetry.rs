@@ -1,0 +1,565 @@
+//! Continuous metrics timeline: the *when* axis for the metrics registry.
+//!
+//! PR 1's [`crate::metrics::MetricsSnapshot`] is a point-in-time view and
+//! PR 6's flight recorder only keeps snapshots around detected incidents.
+//! This module samples **every registered instrument** on a fixed virtual-
+//! timeline cadence into bounded, delta-encoded rings, so a whole run can
+//! be replayed as a time series: queue depths ramping up before a stall,
+//! watermark lag breathing with snapshot phases, throughput dips lining up
+//! with recovery.
+//!
+//! Cost discipline matches the tracer and flight recorder: sampling runs in
+//! *real* time only, between simulator quanta, and never advances the
+//! virtual clock — an instrumented run produces bit-identical percentiles
+//! to an uninstrumented one. The rings are bounded (`capacity` ticks ×
+//! registered series); old ticks fold into each series' `base` so the
+//! retained window always reconstructs exactly.
+//!
+//! Encoding: one [`Series`] per distinct `(name, tags)` instrument. Each
+//! tick appends one signed delta per series (`value - previous value`);
+//! counters therefore store their per-tick increments directly and flat
+//! gauges compress to runs of zeros. Histograms are sampled at their p99 —
+//! the tail-shape signal this engine is about. A series that first appears
+//! mid-run is zero-padded so every series always has exactly one delta per
+//! retained tick.
+
+use crate::metrics::{json_escape, MetricValue, MetricsSnapshot, Tags};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const MS: u64 = 1_000_000;
+
+/// Tuning for the metrics timeline.
+#[derive(Clone, Debug)]
+pub struct TimelineConfig {
+    /// Sampling cadence in virtual nanos.
+    pub cadence_nanos: u64,
+    /// Ticks retained per series; older ticks fold into the series base.
+    pub capacity: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            cadence_nanos: 100 * MS,
+            capacity: 1024,
+        }
+    }
+}
+
+/// What a sampled instrument's scalar means.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Cumulative counter; deltas are per-tick increments.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Histogram sampled at its p99 (nanos for latency instruments).
+    HistogramP99,
+}
+
+impl SeriesKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::HistogramP99 => "histogram_p99",
+        }
+    }
+}
+
+/// One `(name, tags)` instrument's delta-encoded ring. `base` is the
+/// absolute value just before the oldest retained tick, so the value at
+/// retained tick `i` is `base + deltas[0..=i].sum()`.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub name: String,
+    pub tags: Tags,
+    pub kind: SeriesKind,
+    pub base: i64,
+    pub deltas: VecDeque<i64>,
+    /// Last sampled absolute value (next delta's reference point).
+    last: i64,
+}
+
+impl Series {
+    /// Reconstruct the absolute value at every retained tick.
+    pub fn values(&self) -> Vec<i64> {
+        let mut acc = self.base;
+        self.deltas
+            .iter()
+            .map(|d| {
+                acc += d;
+                acc
+            })
+            .collect()
+    }
+}
+
+struct TimelineInner {
+    cfg: TimelineConfig,
+    /// Virtual timestamps of retained ticks, strictly increasing.
+    ticks: VecDeque<u64>,
+    /// Ticks folded out of the ring so far.
+    evicted_ticks: u64,
+    series: Vec<Series>,
+    /// (name, canonical tag string) -> index into `series`.
+    index: BTreeMap<(String, String), usize>,
+    next_sample_at: u64,
+    samples_total: u64,
+}
+
+fn tag_key(tags: &Tags) -> String {
+    let mut s = String::new();
+    for (k, v) in tags {
+        s.push_str(k);
+        s.push('\u{1}');
+        s.push_str(v);
+        s.push('\u{2}');
+    }
+    s
+}
+
+fn metric_scalar(value: &MetricValue) -> (SeriesKind, i64) {
+    match value {
+        MetricValue::Counter(v) => (SeriesKind::Counter, *v as i64),
+        MetricValue::Gauge(v) => (SeriesKind::Gauge, *v),
+        MetricValue::Histogram(h) => (SeriesKind::HistogramP99, h.p99 as i64),
+    }
+}
+
+impl TimelineInner {
+    fn record(&mut self, now: u64, snap: &MetricsSnapshot) {
+        self.next_sample_at = now + self.cfg.cadence_nanos;
+        // Re-sampling the same instant (e.g. a run boundary flush) would
+        // break tick monotonicity; fold into the existing tick instead by
+        // skipping — the snapshot at an instant is single-valued anyway.
+        if self.ticks.back().is_some_and(|&t| t >= now) {
+            return;
+        }
+        self.ticks.push_back(now);
+        self.samples_total += 1;
+        let prior_len = self.ticks.len() - 1;
+        // Every known series gets a delta this tick; start at "unchanged".
+        for s in &mut self.series {
+            s.deltas.push_back(0);
+        }
+        for m in &snap.metrics {
+            let (kind, value) = metric_scalar(&m.value);
+            let key = (m.name.clone(), tag_key(&m.tags));
+            match self.index.get(&key) {
+                Some(&i) => {
+                    let s = &mut self.series[i];
+                    *s.deltas.back_mut().expect("pushed above") = value - s.last;
+                    s.last = value;
+                }
+                None => {
+                    // First appearance: zero-pad history so the ring stays
+                    // rectangular, then step from 0 to the observed value.
+                    let mut deltas: VecDeque<i64> = VecDeque::with_capacity(prior_len + 1);
+                    deltas.extend(std::iter::repeat_n(0, prior_len));
+                    deltas.push_back(value);
+                    self.index.insert(key, self.series.len());
+                    self.series.push(Series {
+                        name: m.name.clone(),
+                        tags: m.tags.clone(),
+                        kind,
+                        base: 0,
+                        deltas,
+                        last: value,
+                    });
+                }
+            }
+        }
+        while self.ticks.len() > self.cfg.capacity {
+            self.ticks.pop_front();
+            self.evicted_ticks += 1;
+            for s in &mut self.series {
+                if let Some(d) = s.deltas.pop_front() {
+                    s.base += d;
+                }
+            }
+        }
+    }
+
+    fn sorted_series(&self) -> Vec<&Series> {
+        let mut out: Vec<&Series> = self.series.iter().collect();
+        out.sort_by(|a, b| (&a.name, &a.tags).cmp(&(&b.name, &b.tags)));
+        out
+    }
+}
+
+/// Cheap-to-clone handle to the metrics timeline; `disabled()` is a no-op
+/// everywhere (single branch on the hot path, same shape as
+/// [`crate::flight::FlightRecorder`]).
+#[derive(Clone, Default)]
+pub struct Timeline {
+    inner: Option<Arc<Mutex<TimelineInner>>>,
+}
+
+impl Timeline {
+    pub fn disabled() -> Timeline {
+        Timeline { inner: None }
+    }
+
+    pub fn enabled() -> Timeline {
+        Timeline::with_config(TimelineConfig::default())
+    }
+
+    pub fn with_config(cfg: TimelineConfig) -> Timeline {
+        Timeline {
+            inner: Some(Arc::new(Mutex::new(TimelineInner {
+                cfg,
+                ticks: VecDeque::new(),
+                evicted_ticks: 0,
+                series: Vec::new(),
+                index: BTreeMap::new(),
+                next_sample_at: 0,
+                samples_total: 0,
+            }))),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Is a sample due at virtual instant `now`?
+    pub fn sample_due(&self, now: u64) -> bool {
+        match &self.inner {
+            Some(inner) => now >= inner.lock().next_sample_at,
+            None => false,
+        }
+    }
+
+    /// Virtual nanos until the next sample is due (0 if overdue). `None`
+    /// when disabled — callers chunk long runs at the cadence without
+    /// polling every quantum.
+    pub fn next_sample_in(&self, now: u64) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().next_sample_at.saturating_sub(now))
+    }
+
+    /// Append one tick sampled from `snap` (normally the member-merged job
+    /// snapshot, so per-member series arrive pre-tagged with `member`).
+    pub fn record_sample(&self, now: u64, snap: &MetricsSnapshot) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().record(now, snap);
+    }
+
+    /// (samples taken, series tracked, ticks retained, ticks evicted).
+    pub fn stats(&self) -> (u64, usize, usize, u64) {
+        match &self.inner {
+            Some(inner) => {
+                let t = inner.lock();
+                (
+                    t.samples_total,
+                    t.series.len(),
+                    t.ticks.len(),
+                    t.evicted_ticks,
+                )
+            }
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// Retained tick timestamps, oldest first.
+    pub fn ticks(&self) -> Vec<u64> {
+        match &self.inner {
+            Some(inner) => inner.lock().ticks.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Job-wide view: series summed across tag sets per `(name, kind)`,
+    /// sorted by name — the compact rollup the diagnostics sparklines show.
+    pub fn job_series(&self) -> Vec<(String, SeriesKind, Vec<i64>)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let t = inner.lock();
+        let n = t.ticks.len();
+        let mut rolled: BTreeMap<(String, &'static str), (SeriesKind, Vec<i64>)> = BTreeMap::new();
+        for s in &t.series {
+            let values = s.values();
+            let entry = rolled
+                .entry((s.name.clone(), s.kind.name()))
+                .or_insert_with(|| (s.kind, vec![0; n]));
+            for (acc, v) in entry.1.iter_mut().zip(values) {
+                *acc += v;
+            }
+        }
+        rolled
+            .into_iter()
+            .map(|((name, _), (kind, values))| (name, kind, values))
+            .collect()
+    }
+
+    /// Export the retained window as `jet-timeline-v1` JSON.
+    pub fn to_json(&self, bench: &str, run: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"jet-timeline-v1\",\n");
+        let _ = write!(
+            s,
+            "  \"bench\": \"{}\",\n  \"run\": \"{}\",\n",
+            json_escape(bench),
+            json_escape(run)
+        );
+        match &self.inner {
+            None => {
+                s.push_str("  \"cadence_nanos\": 0,\n  \"evicted_ticks\": 0,\n");
+                s.push_str("  \"ticks_nanos\": [],\n  \"series\": []\n}\n");
+            }
+            Some(inner) => {
+                let t = inner.lock();
+                let _ = write!(
+                    s,
+                    "  \"cadence_nanos\": {},\n  \"evicted_ticks\": {},\n",
+                    t.cfg.cadence_nanos, t.evicted_ticks
+                );
+                s.push_str("  \"ticks_nanos\": [");
+                for (i, ts) in t.ticks.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{ts}");
+                }
+                s.push_str("],\n  \"series\": [\n");
+                let sorted = t.sorted_series();
+                for (i, series) in sorted.iter().enumerate() {
+                    s.push_str("    {\"name\": \"");
+                    s.push_str(&json_escape(&series.name));
+                    s.push_str("\", \"tags\": {");
+                    for (j, (k, v)) in series.tags.iter().enumerate() {
+                        if j > 0 {
+                            s.push_str(", ");
+                        }
+                        let _ = write!(s, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+                    }
+                    let _ = write!(
+                        s,
+                        "}}, \"kind\": \"{}\", \"base\": {}, \"deltas\": [",
+                        series.kind.name(),
+                        series.base
+                    );
+                    for (j, d) in series.deltas.iter().enumerate() {
+                        if j > 0 {
+                            s.push_str(", ");
+                        }
+                        let _ = write!(s, "{d}");
+                    }
+                    s.push(']');
+                    s.push('}');
+                    if i + 1 < sorted.len() {
+                        s.push(',');
+                    }
+                    s.push('\n');
+                }
+                s.push_str("  ]\n}\n");
+            }
+        }
+        s
+    }
+}
+
+/// Render `values` as a fixed-width ASCII sparkline, scaled to the series'
+/// own min..max. Pure ASCII so the diagnostics dump stays grep/terminal
+/// safe everywhere.
+pub fn sparkline(values: &[i64], width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#@";
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    // Downsample by averaging fixed-size buckets so bursts don't vanish.
+    let buckets: Vec<i64> = (0..width.min(values.len()))
+        .map(|b| {
+            let lo = b * values.len() / width.min(values.len());
+            let hi = ((b + 1) * values.len() / width.min(values.len())).max(lo + 1);
+            let slice = &values[lo..hi];
+            slice.iter().sum::<i64>() / slice.len() as i64
+        })
+        .collect();
+    let min = *buckets.iter().min().expect("non-empty");
+    let max = *buckets.iter().max().expect("non-empty");
+    let span = (max - min).max(1) as f64;
+    buckets
+        .iter()
+        .map(|&v| {
+            let t = (v - min) as f64 / span;
+            let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+            RAMP[idx.min(RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{tags, MetricsRegistry};
+
+    fn snap_with_counter(v: u64) -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("jet_test_items_total", tags(&[("member", "0")]))
+            .add(v);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn disabled_timeline_is_inert() {
+        let t = Timeline::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.sample_due(u64::MAX));
+        assert_eq!(t.next_sample_in(0), None);
+        t.record_sample(0, &snap_with_counter(1));
+        assert_eq!(t.stats(), (0, 0, 0, 0));
+        assert!(t.to_json("b", "r").contains("\"series\": []"));
+    }
+
+    #[test]
+    fn empty_job_exports_valid_empty_timeline() {
+        let t = Timeline::enabled();
+        let json = t.to_json("bench", "run");
+        assert!(json.contains("\"schema\": \"jet-timeline-v1\""));
+        assert!(json.contains("\"ticks_nanos\": []"));
+        assert_eq!(t.stats(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_records_absolute_values_as_first_delta() {
+        let t = Timeline::enabled();
+        assert!(t.sample_due(0));
+        t.record_sample(0, &snap_with_counter(42));
+        assert!(!t.sample_due(1));
+        assert!(t.sample_due(100 * MS));
+        let (samples, series, ticks, evicted) = t.stats();
+        assert_eq!((samples, series, ticks, evicted), (1, 1, 1, 0));
+        let json = t.to_json("b", "r");
+        assert!(json.contains("\"base\": 0, \"deltas\": [42]"), "{json}");
+    }
+
+    #[test]
+    fn counters_delta_encode_and_gauges_track_value() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("jet_test_items_total", tags(&[]));
+        let g = reg.gauge("jet_test_queue_depth", tags(&[]));
+        let t = Timeline::enabled();
+        c.add(10);
+        g.set(5);
+        t.record_sample(0, &reg.snapshot());
+        c.add(7);
+        g.set(3);
+        t.record_sample(100 * MS, &reg.snapshot());
+        let series = t.job_series();
+        let counter = series
+            .iter()
+            .find(|(n, _, _)| n == "jet_test_items_total")
+            .expect("counter series");
+        assert_eq!(counter.2, vec![10, 17]);
+        let gauge = series
+            .iter()
+            .find(|(n, _, _)| n == "jet_test_queue_depth")
+            .expect("gauge series");
+        assert_eq!(gauge.2, vec![5, 3]);
+    }
+
+    #[test]
+    fn ring_wrap_folds_oldest_ticks_into_base() {
+        let t = Timeline::with_config(TimelineConfig {
+            cadence_nanos: MS,
+            capacity: 3,
+        });
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("jet_test_items_total", tags(&[]));
+        for i in 0..6u64 {
+            c.add(10);
+            t.record_sample(i * MS, &reg.snapshot());
+        }
+        let (samples, _, ticks, evicted) = t.stats();
+        assert_eq!((samples, ticks, evicted), (6, 3, 3));
+        assert_eq!(t.ticks(), vec![3 * MS, 4 * MS, 5 * MS]);
+        // Absolute values survive the fold: base picks up evicted deltas.
+        let series = t.job_series();
+        assert_eq!(series[0].2, vec![40, 50, 60]);
+        let json = t.to_json("b", "r");
+        assert!(json.contains("\"base\": 30"), "{json}");
+        assert!(json.contains("\"evicted_ticks\": 3"), "{json}");
+    }
+
+    #[test]
+    fn late_appearing_series_zero_pads_history() {
+        let t = Timeline::enabled();
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("jet_test_a_total", tags(&[]));
+        c1.add(1);
+        t.record_sample(0, &reg.snapshot());
+        let c2 = reg.counter("jet_test_b_total", tags(&[]));
+        c2.add(9);
+        t.record_sample(100 * MS, &reg.snapshot());
+        let series = t.job_series();
+        let b = series
+            .iter()
+            .find(|(n, _, _)| n == "jet_test_b_total")
+            .expect("late series");
+        assert_eq!(b.2, vec![0, 9]);
+        // Rectangular invariant: every series has one delta per tick.
+        let (_, _, ticks, _) = t.stats();
+        for (_, _, values) in &series {
+            assert_eq!(values.len(), ticks);
+        }
+    }
+
+    #[test]
+    fn duplicate_instant_sample_is_folded() {
+        let t = Timeline::enabled();
+        t.record_sample(0, &snap_with_counter(1));
+        t.record_sample(0, &snap_with_counter(2));
+        let (samples, _, ticks, _) = t.stats();
+        assert_eq!((samples, ticks), (1, 1));
+    }
+
+    #[test]
+    fn histogram_series_sample_p99() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("jet_test_latency_nanos", tags(&[]));
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let t = Timeline::enabled();
+        t.record_sample(0, &reg.snapshot());
+        let series = t.job_series();
+        assert_eq!(series[0].1, SeriesKind::HistogramP99);
+        assert!(series[0].2[0] > 0);
+        let json = t.to_json("b", "r");
+        assert!(json.contains("\"kind\": \"histogram_p99\""), "{json}");
+    }
+
+    #[test]
+    fn timeline_json_ticks_are_strictly_monotone() {
+        let t = Timeline::with_config(TimelineConfig {
+            cadence_nanos: MS,
+            capacity: 8,
+        });
+        for i in 0..5u64 {
+            t.record_sample(i * MS, &snap_with_counter(1));
+        }
+        let ticks = t.ticks();
+        assert!(ticks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sparkline_is_ascii_and_fixed_width() {
+        let values: Vec<i64> = (0..100).map(|i| (i % 17) * 3).collect();
+        let line = sparkline(&values, 40);
+        assert_eq!(line.len(), 40);
+        assert!(line.is_ascii());
+        assert_eq!(sparkline(&[], 40), "");
+        assert_eq!(sparkline(&[5], 40).len(), 1);
+        // Flat series renders flat (min==max guard).
+        let flat = sparkline(&[7, 7, 7, 7], 4);
+        assert!(flat.chars().all(|c| c == flat.chars().next().unwrap()));
+    }
+}

@@ -409,6 +409,36 @@ impl<T: Send + Clone + Debug + 'static> StreamStage<T> {
         )
     }
 
+    /// [`Self::write_to_latency_watched`] plus per-event provenance stamps:
+    /// a deterministic stride/top-k sampler records `(event_ts, emitted_at)`
+    /// journeys so every percentile band of the final distribution can be
+    /// attributed via the flight recorder (zero virtual-time cost).
+    pub fn write_to_latency_instrumented(
+        &self,
+        hist: SharedHistogram,
+        counter: SharedCounter,
+        watchdog: jet_core::flight::LatencyWatchdog,
+        sampler: jet_core::flight::ProvenanceSampler,
+    ) -> StreamStage<()> {
+        self.add_sink(
+            "latency-sink",
+            Arc::new(move |_| {
+                let h = hist.clone();
+                let c = counter.clone();
+                let w = watchdog.clone();
+                let p = sampler.clone();
+                supplier(move |_| {
+                    Box::new(LatencySink::instrumented(
+                        h.clone(),
+                        c.clone(),
+                        w.clone(),
+                        p.clone(),
+                    ))
+                })
+            }),
+        )
+    }
+
     /// Write entries into a grid map (view maintenance, §6).
     pub fn write_to_imap<K, V>(
         &self,

@@ -346,6 +346,7 @@ const METRIC_REGISTRATIONS: &[(&str, &str)] = &[
     (".gauge_fn(", "gauge"),
     (".gauge(", "gauge"),
     (".histogram(", "histogram"),
+    (".register_histogram(", "histogram"),
 ];
 
 /// Unit suffixes a gauge or histogram name must end in, so readers know
@@ -370,6 +371,8 @@ pub struct MetricSite {
     pub line: usize,
     pub kind: &'static str,
     pub name: String,
+    /// Site carries a `// jet-lint: allow(metric-dup)` annotation.
+    pub dup_allowed: bool,
 }
 
 /// Recover the first argument of a call when it is a string literal.
@@ -416,6 +419,7 @@ fn scan_metric_sites(
     file: &str,
     code: &[String],
     raw: &[&str],
+    comments: &[String],
     test_mask: &[bool],
 ) -> Vec<MetricSite> {
     let mut sites = Vec::new();
@@ -434,6 +438,7 @@ fn scan_metric_sites(
                         line: i + 1,
                         kind,
                         name,
+                        dup_allowed: comment_nearby(comments, i, 1, "jet-lint: allow(metric-dup)"),
                     });
                 }
             }
@@ -466,7 +471,7 @@ pub fn metric_sites(file: &str, src: &str) -> Vec<MetricSite> {
     let test_mask = region_mask(&scrubbed.code, |l| {
         l.contains("#[cfg(test)") || l.contains("#[cfg(all(test") || l.contains("#[cfg(all(loom")
     });
-    scan_metric_sites(file, &scrubbed.code, &raw, &test_mask)
+    scan_metric_sites(file, &scrubbed.code, &raw, &scrubbed.comments, &test_mask)
 }
 
 /// A metric name registered as two different instrument kinds is almost
@@ -488,6 +493,46 @@ pub fn kind_conflicts(sites: &[MetricSite]) -> Vec<Finding> {
                 ),
             }),
             Some(_) => {}
+        }
+    }
+    findings
+}
+
+/// The same (name, kind) registered in two different files is usually an
+/// accidental re-registration: in one registry the second registration
+/// shadows or double-reports the first, and downstream consumers keyed on
+/// the series name (the metrics timeline, Prometheus scrapes, merged
+/// snapshots) see the collision. Same-file re-registration with different
+/// tag sets is the established pattern for per-instance instruments
+/// (wiring registers one gauge per conveyor), so only cross-file pairs are
+/// flagged. Annotate `// jet-lint: allow(metric-dup) — <reason>` on either
+/// site when the registries are genuinely distinct.
+pub fn duplicate_registrations(sites: &[MetricSite]) -> Vec<Finding> {
+    let mut first: Vec<(&str, &'static str, &MetricSite)> = Vec::new();
+    let mut findings = Vec::new();
+    for site in sites {
+        match first
+            .iter()
+            .find(|(name, kind, _)| *name == site.name && *kind == site.kind)
+        {
+            None => first.push((&site.name, site.kind, site)),
+            Some((_, _, prev)) => {
+                if prev.file != site.file && !site.dup_allowed && !prev.dup_allowed {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.line,
+                        rule: "metric-dup",
+                        message: format!(
+                            "`{}` ({}) is already registered at {}:{}; a second \
+                             registration under the same key collides in the timeline \
+                             and merged snapshots; annotate \
+                             `// jet-lint: allow(metric-dup) — <reason>` if the \
+                             registries are distinct",
+                            site.name, site.kind, prev.file, prev.line
+                        ),
+                    });
+                }
+            }
         }
     }
     findings
@@ -629,7 +674,7 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
     }
 
     // Rule 6 (metric half): literal metric names at registration sites.
-    for site in scan_metric_sites(file, code, &raw, &test_mask) {
+    for site in scan_metric_sites(file, code, &raw, comments, &test_mask) {
         let i = site.line - 1;
         if comment_nearby(comments, i, 1, "jet-lint: allow(metric-name)") {
             continue;
@@ -688,6 +733,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Finding>)> {
         sites.extend(metric_sites(&label, &src));
     }
     findings.extend(kind_conflicts(&sites));
+    findings.extend(duplicate_registrations(&sites));
     Ok((files.len(), findings))
 }
 
@@ -875,6 +921,64 @@ mod tests {
              r.counter_fn(\"jet_x_total\", tags(&[]), || 0);\n}\n",
         );
         assert!(kind_conflicts(&sites).is_empty());
+    }
+
+    #[test]
+    fn cross_file_duplicate_registration_is_reported() {
+        let a = metric_sites(
+            "a.rs",
+            "fn f(r: &R) { r.counter(\"jet_x_total\", tags(&[])); }\n",
+        );
+        let b = metric_sites(
+            "b.rs",
+            "fn f(r: &R) { r.counter(\"jet_x_total\", tags(&[])); }\n",
+        );
+        let sites: Vec<MetricSite> = a.into_iter().chain(b).collect();
+        let f = duplicate_registrations(&sites);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "metric-dup");
+        assert_eq!(f[0].file, "b.rs");
+        assert!(f[0].message.contains("a.rs"), "{}", f[0].message);
+
+        // Same file twice is the per-instance registration pattern — legal.
+        let sites = metric_sites(
+            "c.rs",
+            "fn f(r: &R) {\n    r.gauge(\"jet_q_depth\", tags(&[(\"lane\", \"0\")]));\n    \
+             r.gauge(\"jet_q_depth\", tags(&[(\"lane\", \"1\")]));\n}\n",
+        );
+        assert!(duplicate_registrations(&sites).is_empty());
+
+        // An allow annotation on either site silences the pair.
+        let a = metric_sites(
+            "a.rs",
+            "fn f(r: &R) {\n    // jet-lint: allow(metric-dup) — per-member registry\n    \
+             r.counter(\"jet_y_total\", tags(&[]));\n}\n",
+        );
+        let b = metric_sites(
+            "b.rs",
+            "fn f(r: &R) { r.counter(\"jet_y_total\", tags(&[])); }\n",
+        );
+        let sites: Vec<MetricSite> = a.into_iter().chain(b).collect();
+        assert!(duplicate_registrations(&sites).is_empty());
+    }
+
+    #[test]
+    fn register_histogram_sites_are_scanned() {
+        let sites = metric_sites(
+            "a.rs",
+            "fn f(r: &R, h: SharedHistogram) { r.register_histogram(\"jet_latency_nanos\", \
+             tags(&[]), h); }\n",
+        );
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(sites[0].kind, "histogram");
+        assert_eq!(sites[0].name, "jet_latency_nanos");
+        // ...and rule 6 name hygiene applies to them: a histogram with no
+        // unit suffix is flagged.
+        let src = "fn f(r: &R, h: SharedHistogram) { r.register_histogram(\"jet_latency\", \
+                   tags(&[]), h); }\n";
+        let f = lint_file("a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "metric-name");
     }
 
     #[test]

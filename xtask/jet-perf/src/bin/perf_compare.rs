@@ -1,0 +1,129 @@
+//! CLI entry point:
+//! `cargo run -p jet-perf --bin perf-compare [results-dir] [--strict] [--threshold <frac>]`.
+//!
+//! Diffs every current `results/BENCH_*.json` against its committed
+//! baseline in `results/baseline/` and prints per-percentile deltas.
+//! Warn-only by default so a threshold trip never blocks unrelated work;
+//! `--strict` exits non-zero on any regression for a gating CI lane. A
+//! bench with no baseline is reported and skipped — seed one by copying
+//! the BENCH file into `results/baseline/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(DEFAULT_THRESHOLD);
+            }
+            _ => dir = Some(PathBuf::from(a)),
+        }
+    }
+    let dir =
+        dir.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+
+    let baseline_dir = dir.join("baseline");
+    if !baseline_dir.is_dir() {
+        println!(
+            "perf-compare: no baselines at {} — seed with `cp results/BENCH_*.json results/baseline/`",
+            baseline_dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut baselines: Vec<_> = match std::fs::read_dir(&baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    baselines.sort();
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for base_path in baselines {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let cur_path = dir.join(&name);
+        if !cur_path.is_file() {
+            println!("perf-compare: {name}: no current results (skipped)");
+            continue;
+        }
+        let (base, cur) = match (load(&base_path), load(&cur_path)) {
+            (Some(b), Some(c)) => (b, c),
+            _ => return ExitCode::FAILURE,
+        };
+        let cmp = jet_perf::compare(&base, &cur, threshold);
+        compared += 1;
+        for run in &cmp.missing_runs {
+            println!("perf-compare: {name}: run `{run}` missing from current results");
+            regressions += 1;
+        }
+        for run in &cmp.new_runs {
+            println!("perf-compare: {name}: run `{run}` has no baseline (new)");
+        }
+        for d in &cmp.deltas {
+            if d.regressed {
+                println!("  REGRESSED {}", jet_perf::render_delta(d));
+                regressions += 1;
+            }
+        }
+    }
+    if regressions == 0 {
+        println!(
+            "perf-compare: {compared} bench(es) within {:.0}% of baseline",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf-compare: {regressions} regression(s) beyond {:.0}% across {compared} bench(es){}",
+            threshold * 100.0,
+            if strict {
+                ""
+            } else {
+                " (warn-only; pass --strict to gate)"
+            }
+        );
+        if strict {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn load(path: &std::path::Path) -> Option<schema_check::Json> {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: unreadable: {e}", path.display());
+            return None;
+        }
+    };
+    match schema_check::parse(&contents) {
+        Ok(d) => Some(d),
+        Err(e) => {
+            eprintln!("{}: not valid JSON: {e}", path.display());
+            None
+        }
+    }
+}

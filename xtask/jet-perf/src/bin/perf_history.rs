@@ -1,0 +1,107 @@
+//! CLI entry point: `cargo run -p jet-perf --bin perf-history [results-dir]`.
+//!
+//! Appends one `jet-perf-history-v1` line per (bench, run) from every
+//! `results/BENCH_*.json` to `results/history/<bench>.jsonl`. The log is
+//! append-only: each invocation stamps the current commit and wall time, so
+//! the same artifacts re-recorded across commits build a latency trend the
+//! overwritten BENCH files cannot.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Manifest dir is xtask/jet-perf; results/ sits at the workspace
+            // root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+        });
+    let commit = commit_hash(&dir);
+    let recorded_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(_) => {
+            println!(
+                "perf-history: no results dir at {} — nothing to record",
+                dir.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let mut bench_files: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    bench_files.sort();
+    let history_dir = dir.join("history");
+    let mut recorded = 0usize;
+    for path in bench_files {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match schema_check::parse(&contents) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: not valid JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let summaries = jet_perf::extract_summaries(&doc);
+        if summaries.is_empty() {
+            continue;
+        }
+        if std::fs::create_dir_all(&history_dir).is_err() {
+            eprintln!("perf-history: cannot create {}", history_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let log = history_dir.join(format!("{}.jsonl", summaries[0].bench));
+        let mut lines = String::new();
+        for s in &summaries {
+            lines.push_str(&jet_perf::history_line(s, recorded_at, &commit));
+            lines.push('\n');
+            recorded += 1;
+        }
+        let mut existing = std::fs::read_to_string(&log).unwrap_or_default();
+        existing.push_str(&lines);
+        if let Err(e) = std::fs::write(&log, existing) {
+            eprintln!("{}: write failed: {e}", log.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf-history: {} += {} run(s) @ {commit}",
+            log.display(),
+            summaries.len()
+        );
+    }
+    println!("perf-history: {recorded} run summarie(s) recorded");
+    ExitCode::SUCCESS
+}
+
+/// Short hash of HEAD, or "unknown" when git is unavailable (history lines
+/// must still be writable from an exported tarball).
+fn commit_hash(dir: &std::path::Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(dir)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}

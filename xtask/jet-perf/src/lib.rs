@@ -1,0 +1,277 @@
+//! Cross-run performance history and regression gating over the
+//! machine-readable bench artifacts.
+//!
+//! Two commands share this library:
+//!
+//! - `perf-history` extracts a one-line summary per (bench, run) from every
+//!   `results/BENCH_*.json` and appends it to `results/history/<bench>.jsonl`
+//!   (`jet-perf-history-v1`, one JSON object per line) — an append-only log
+//!   that accretes across commits, so latency trends survive the BENCH files
+//!   being overwritten by every re-run.
+//! - `perf-compare` diffs the current `results/BENCH_*.json` against the
+//!   committed snapshots in `results/baseline/` and reports per-percentile
+//!   regressions beyond a relative threshold. It is warn-only by default
+//!   (the simulation is deterministic but the baselines are refreshed
+//!   manually); `--strict` turns regressions into a non-zero exit for CI.
+//!
+//! JSON parsing rides on the `schema-check` document model, so both
+//! commands accept exactly what the validator accepts.
+
+use schema_check::Json;
+use std::fmt::Write as _;
+
+/// One (bench, run) latency summary extracted from a BENCH document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    pub bench: String,
+    pub run: String,
+    pub count: u64,
+    pub p50_nanos: u64,
+    pub p99_nanos: u64,
+    pub p9999_nanos: u64,
+    pub max_nanos: u64,
+}
+
+/// Pull the latency summaries out of a parsed `BENCH_*.json` document.
+/// Runs without a `latency_nanos` block (derived-value rows like speedup
+/// tables) are skipped — they carry nothing to trend.
+pub fn extract_summaries(doc: &Json) -> Vec<RunSummary> {
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let Some(runs) = doc.get("runs").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for run in runs {
+        let Some(label) = run.get("label").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(lat) = run.get("latency_nanos") else {
+            continue;
+        };
+        let num = |key: &str| lat.get(key).and_then(Json::as_num).unwrap_or(0.0) as u64;
+        out.push(RunSummary {
+            bench: bench.clone(),
+            run: label.to_string(),
+            count: num("count"),
+            p50_nanos: num("p50"),
+            p99_nanos: num("p99"),
+            p9999_nanos: num("p9999"),
+            max_nanos: num("max"),
+        });
+    }
+    out
+}
+
+/// Render one `jet-perf-history-v1` JSONL line. `recorded_at` is epoch
+/// seconds, `commit` the short hash of HEAD (or "unknown" outside git).
+pub fn history_line(s: &RunSummary, recorded_at: u64, commit: &str) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"schema\": \"jet-perf-history-v1\", \"bench\": \"{}\", \"run\": \"{}\", \
+         \"recorded_at\": {}, \"commit\": \"{}\", \"count\": {}, \"p50_nanos\": {}, \
+         \"p99_nanos\": {}, \"p9999_nanos\": {}, \"max_nanos\": {}}}",
+        json_escape(&s.bench),
+        json_escape(&s.run),
+        recorded_at,
+        json_escape(commit),
+        s.count,
+        s.p50_nanos,
+        s.p99_nanos,
+        s.p9999_nanos,
+        s.max_nanos,
+    );
+    line
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One stat compared between a baseline run and the current run.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    pub bench: String,
+    pub run: String,
+    pub stat: &'static str,
+    pub base_nanos: u64,
+    pub current_nanos: u64,
+    /// current / base; > 1 is slower than baseline.
+    pub ratio: f64,
+    /// True when the relative slowdown exceeds the compare threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing one bench document against its baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    pub deltas: Vec<Delta>,
+    /// Run labels present in the baseline but missing from the current
+    /// results (a silently dropped run must not pass unnoticed).
+    pub missing_runs: Vec<String>,
+    /// Run labels present now but absent from the baseline (informational).
+    pub new_runs: Vec<String>,
+}
+
+impl Comparison {
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+}
+
+/// Compare the current bench document against its committed baseline.
+/// `threshold` is the relative slowdown that counts as a regression
+/// (0.25 = current more than 25% above baseline). Runs are matched by
+/// label; the tail percentiles are what the reproduction defends, so
+/// p50/p99/p99.99/max are all compared.
+pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Comparison {
+    let base = extract_summaries(baseline);
+    let cur = extract_summaries(current);
+    let mut out = Comparison::default();
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.run == b.run) else {
+            out.missing_runs.push(b.run.clone());
+            continue;
+        };
+        let stats: [(&'static str, u64, u64); 4] = [
+            ("p50", b.p50_nanos, c.p50_nanos),
+            ("p99", b.p99_nanos, c.p99_nanos),
+            ("p9999", b.p9999_nanos, c.p9999_nanos),
+            ("max", b.max_nanos, c.max_nanos),
+        ];
+        for (stat, base_nanos, current_nanos) in stats {
+            let ratio = if base_nanos == 0 {
+                if current_nanos == 0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                current_nanos as f64 / base_nanos as f64
+            };
+            out.deltas.push(Delta {
+                bench: b.bench.clone(),
+                run: b.run.clone(),
+                stat,
+                base_nanos,
+                current_nanos,
+                ratio,
+                regressed: ratio > 1.0 + threshold,
+            });
+        }
+    }
+    for c in &cur {
+        if !base.iter().any(|b| b.run == c.run) {
+            out.new_runs.push(c.run.clone());
+        }
+    }
+    out
+}
+
+/// Human line for one delta: `fig9/Q5 p9999  12.345ms -> 13.000ms (+5.3%)`.
+pub fn render_delta(d: &Delta) -> String {
+    let pct = (d.ratio - 1.0) * 100.0;
+    format!(
+        "{}/{} {:6}  {:10.3}ms -> {:10.3}ms ({:+.1}%)",
+        d.bench,
+        d.run,
+        d.stat,
+        d.base_nanos as f64 / 1e6,
+        d.current_nanos as f64 / 1e6,
+        pct,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_check::parse;
+
+    const BENCH: &str = r#"{
+        "bench": "fig9", "params": {},
+        "runs": [
+            {"label": "Q1", "params": {},
+             "latency_nanos": {"count": 100, "min": 1000, "max": 9000, "mean": 3000,
+                               "p50": 2000, "p90": 4000, "p99": 5000,
+                               "p999": 7000, "p9999": 8000}},
+            {"label": "derived", "params": {}, "values": {"speedup": 2.0}}
+        ]
+    }"#;
+
+    #[test]
+    fn summaries_skip_runs_without_latency() {
+        let doc = parse(BENCH).expect("parse");
+        let s = extract_summaries(&doc);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].bench, "fig9");
+        assert_eq!(s[0].run, "Q1");
+        assert_eq!(s[0].p50_nanos, 2000);
+        assert_eq!(s[0].p9999_nanos, 8000);
+        assert_eq!(s[0].max_nanos, 9000);
+    }
+
+    #[test]
+    fn history_lines_are_valid_json() {
+        let doc = parse(BENCH).expect("parse");
+        let s = &extract_summaries(&doc)[0];
+        let line = history_line(s, 1_700_000_000, "abc1234");
+        let parsed = parse(&line).expect("history line parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("jet-perf-history-v1")
+        );
+        assert_eq!(parsed.get("p99_nanos").and_then(Json::as_num), Some(5000.0));
+        assert_eq!(parsed.get("commit").and_then(Json::as_str), Some("abc1234"));
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_threshold() {
+        let base = parse(BENCH).expect("parse");
+        let current = parse(&BENCH.replace("8000", "12000")).expect("parse");
+        let cmp = compare(&base, &current, 0.25);
+        let regressed: Vec<_> = cmp.regressions().map(|d| d.stat).collect();
+        assert_eq!(regressed, vec!["p9999"], "{:#?}", cmp.deltas);
+        // Within threshold: a 10% slip on p50 is noise, not a regression.
+        let current = parse(&BENCH.replace("\"p50\": 2000", "\"p50\": 2200")).expect("parse");
+        let cmp = compare(&base, &current, 0.25);
+        assert_eq!(cmp.regressions().count(), 0, "{:#?}", cmp.deltas);
+        assert!(cmp.deltas.iter().any(|d| d.stat == "p50" && d.ratio > 1.09));
+    }
+
+    #[test]
+    fn compare_reports_missing_and_new_runs() {
+        let base = parse(BENCH).expect("parse");
+        let current = parse(&BENCH.replace("\"Q1\"", "\"Q2\"")).expect("parse");
+        let cmp = compare(&base, &current, 0.25);
+        assert_eq!(cmp.missing_runs, vec!["Q1"]);
+        assert_eq!(cmp.new_runs, vec!["Q2"]);
+        assert!(cmp.deltas.is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let base = parse(&BENCH.replace("\"p50\": 2000", "\"p50\": 0")).expect("parse");
+        let current = parse(BENCH).expect("parse");
+        let cmp = compare(&base, &current, 0.25);
+        let p50 = cmp.deltas.iter().find(|d| d.stat == "p50").expect("p50");
+        assert!(p50.ratio.is_infinite() && p50.regressed);
+    }
+}

@@ -8,6 +8,9 @@
 //! - `results/SPIKE_<name>.json` — `jet-spike-v1` spike-forensics schema
 //!   emitted by `jet_core::flight::SpikeReport::to_json` (watchdog
 //!   fidelity, frozen windows, per-cause attribution).
+//! - `results/TIMELINE_<name>.json` — `jet-timeline-v1` metrics-timeline
+//!   schema emitted by `jet_core::telemetry::Timeline::to_json`
+//!   (delta-encoded per-series samples on a fixed virtual-time cadence).
 //!
 //! Both writers emit JSON by hand (the workspace carries no serde), so the
 //! checker parses with its own minimal recursive-descent parser rather than
@@ -208,14 +211,27 @@ impl Parser<'_> {
                         other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // slicing at char boundaries is safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Decode exactly one multi-byte UTF-8 scalar. Validating
+                    // only this scalar's bytes (never the whole remaining
+                    // input) keeps string parsing linear in the file size.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let scalar = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push_str(scalar);
+                    self.pos += len;
                 }
             }
         }
@@ -413,9 +429,55 @@ pub fn validate_bench(doc: &Json) -> Vec<String> {
             if let Some(metrics) = run.get("metrics") {
                 validate_metrics_snapshot(&mut c, metrics, &format!("{path}.metrics"));
             }
+            if let Some(a) = run.get("attribution") {
+                validate_bench_attribution(&mut c, a, &format!("{path}.attribution"));
+            }
         }
     }
     c.errors
+}
+
+/// Validate the optional per-run `attribution` object (`jet-bench-v1`): the
+/// full-distribution latency waterfall. Every band's slices must sum exactly
+/// to the exemplar's measured end-to-end latency.
+fn validate_bench_attribution(c: &mut Checker, a: &Json, path: &str) {
+    if !matches!(a, Json::Obj(_)) {
+        c.fail(path, format_args!("is {}, want object", a.kind()));
+        return;
+    }
+    for key in ["observed", "sampled", "sample_shift"] {
+        c.num(a, path, key);
+    }
+    let Some(bands) = c.arr(a, path, "bands") else {
+        return;
+    };
+    for (i, band) in bands.iter().enumerate() {
+        let bpath = format!("{path}.bands[{i}]");
+        if !matches!(band, Json::Obj(_)) {
+            c.fail(&bpath, format_args!("is {}, want object", band.kind()));
+            continue;
+        }
+        c.str(band, &bpath, "band");
+        c.num(band, &bpath, "percentile");
+        c.num(band, &bpath, "target_nanos");
+        let event_ts = c.num(band, &bpath, "event_ts_nanos");
+        let emitted_at = c.num(band, &bpath, "emitted_at_nanos");
+        let latency = c.num(band, &bpath, "latency_nanos");
+        if let (Some(ev), Some(em), Some(lat)) = (event_ts, emitted_at, latency) {
+            // The sink computes latency = emitted_at - event_ts (saturating),
+            // so the stamp must be internally consistent.
+            if lat != (em - ev).max(0.0) {
+                c.fail(
+                    &bpath,
+                    format_args!("latency_nanos {lat} != emitted_at - event_ts {}", em - ev),
+                );
+            }
+        }
+        // The band flattens the Attribution fields; reuse the spike validator
+        // so the exact-sum and share-sum invariants are enforced, with the
+        // band's own measured latency as the total the slices must hit.
+        validate_attribution(c, band, &bpath, latency);
+    }
 }
 
 fn validate_metrics_snapshot(c: &mut Checker, v: &Json, path: &str) {
@@ -569,15 +631,99 @@ fn validate_attribution(c: &mut Checker, a: &Json, path: &str, peak_latency: Opt
     }
 }
 
+/// Validate a `results/TIMELINE_*.json` document against `jet-timeline-v1`.
+///
+/// Structural invariants beyond key presence: `ticks_nanos` is strictly
+/// monotone (the sampler folds same-instant re-samples), and every series is
+/// rectangular — exactly one delta per tick, because late-appearing series
+/// are zero-padded at record time.
+pub fn validate_timeline(doc: &Json) -> Vec<String> {
+    let mut c = Checker { errors: Vec::new() };
+    if !matches!(doc, Json::Obj(_)) {
+        return vec![format!("root: is {}, want object", doc.kind())];
+    }
+    match c.str(doc, "root", "schema") {
+        Some("jet-timeline-v1") | None => {}
+        Some(other) => c.fail("root", format_args!("unknown schema '{other}'")),
+    }
+    c.str(doc, "root", "bench");
+    c.str(doc, "root", "run");
+    c.num(doc, "root", "cadence_nanos");
+    c.num(doc, "root", "evicted_ticks");
+    let mut tick_count = 0usize;
+    if let Some(ticks) = c.arr(doc, "root", "ticks_nanos") {
+        tick_count = ticks.len();
+        let mut prev = f64::NEG_INFINITY;
+        for (i, t) in ticks.iter().enumerate() {
+            match t {
+                Json::Num(n) => {
+                    if *n <= prev {
+                        c.fail(
+                            "root.ticks_nanos",
+                            format_args!("not strictly monotone at [{i}]: {prev} then {n}"),
+                        );
+                    }
+                    prev = *n;
+                }
+                other => c.fail(
+                    "root.ticks_nanos",
+                    format_args!("[{i}] is {}, want number", other.kind()),
+                ),
+            }
+        }
+    }
+    let Some(series) = c.arr(doc, "root", "series") else {
+        return c.errors;
+    };
+    for (i, s) in series.iter().enumerate() {
+        let spath = format!("series[{i}]");
+        if !matches!(s, Json::Obj(_)) {
+            c.fail(&spath, format_args!("is {}, want object", s.kind()));
+            continue;
+        }
+        let name = c.str(s, &spath, "name").unwrap_or_default().to_string();
+        let spath = if name.is_empty() {
+            spath
+        } else {
+            format!("{spath} ({name})")
+        };
+        c.string_map(s, &spath, "tags");
+        match c.str(s, &spath, "kind") {
+            Some("counter") | Some("gauge") | Some("histogram_p99") | None => {}
+            Some(other) => c.fail(&spath, format_args!("unknown series kind '{other}'")),
+        }
+        c.num(s, &spath, "base");
+        if let Some(deltas) = c.arr(s, &spath, "deltas") {
+            if deltas.len() != tick_count {
+                c.fail(
+                    &spath,
+                    format_args!("has {} delta(s) for {} tick(s)", deltas.len(), tick_count),
+                );
+            }
+            for (j, d) in deltas.iter().enumerate() {
+                if !matches!(d, Json::Num(_)) {
+                    c.fail(
+                        &spath,
+                        format_args!("deltas[{j}] is {}, want number", d.kind()),
+                    );
+                }
+            }
+        }
+    }
+    c.errors
+}
+
 // ------------------------------------------------------------------ files
 
-/// Validate one results file by name: `BENCH_*` and `SPIKE_*` files get
-/// their schema check, anything else is skipped (`Ok(None)`).
+/// Validate one results file by name: `BENCH_*`, `SPIKE_*`, and `TIMELINE_*`
+/// files get their schema check, anything else is skipped (`Ok(None)`).
 pub fn validate_file(file_name: &str, contents: &str) -> Option<Vec<String>> {
     let validator: fn(&Json) -> Vec<String> = if file_name.starts_with("BENCH_") {
         validate_bench
     } else if file_name.starts_with("SPIKE_") {
         validate_spike
+    } else if file_name.starts_with("TIMELINE_") {
+        validate_timeline
     } else {
         return None;
     };
@@ -592,9 +738,11 @@ mod tests {
     use super::*;
     use jet_bench::{BenchReport, RunResult};
     use jet_core::flight::{
-        Attribution, Cause, CauseSlice, IncidentReport, SpikeFidelity, SpikeIncident, SpikeReport,
+        Attribution, AttributionReport, BandWaterfall, Cause, CauseSlice, IncidentReport,
+        SpikeFidelity, SpikeIncident, SpikeReport, Stamp,
     };
     use jet_core::metrics::MetricsRegistry;
+    use jet_core::telemetry::{Timeline, TimelineConfig};
     use jet_util::histogram::Histogram;
 
     const MS: u64 = 1_000_000;
@@ -642,6 +790,48 @@ mod tests {
             diagnostics: None,
             cluster_events: Vec::new(),
             spike: None,
+            attribution: Some(sample_attribution_report()),
+            timeline: None,
+        }
+    }
+
+    fn sample_attribution_report() -> AttributionReport {
+        AttributionReport {
+            observed: 100,
+            sampled: 50,
+            sample_shift: 1,
+            bands: vec![BandWaterfall {
+                band: "p99".into(),
+                percentile: 99.0,
+                target_nanos: 5 * MS,
+                stamp: Stamp {
+                    event_ts: 100 * MS,
+                    emitted_at: 105 * MS,
+                    latency: 5 * MS,
+                },
+                attribution: Attribution {
+                    t0: 100 * MS,
+                    t1: 105 * MS,
+                    total_nanos: 5 * MS,
+                    slices: vec![
+                        CauseSlice {
+                            cause: Cause::TaskletExec,
+                            nanos: 3 * MS,
+                            share: 0.6,
+                            detail: "window-agg".into(),
+                        },
+                        CauseSlice {
+                            cause: Cause::QueueWait,
+                            nanos: 2 * MS,
+                            share: 0.4,
+                            detail: String::new(),
+                        },
+                    ],
+                    top_cause: Cause::TaskletExec,
+                    top_group: "compute",
+                    blamed_vertex: Some("window-agg".into()),
+                },
+            }],
         }
     }
 
@@ -732,6 +922,91 @@ mod tests {
     }
 
     #[test]
+    fn bench_attribution_catches_a_lying_waterfall() {
+        let mut result = sample_run_result();
+        // Break the exact-sum invariant: slices no longer sum to the band's
+        // measured latency.
+        result.attribution.as_mut().unwrap().bands[0]
+            .attribution
+            .slices[0]
+            .nanos = 4 * MS;
+        let mut report = BenchReport::new("unit");
+        report.add_run("case-a", &[], &result);
+        let errors = validate_bench(&parse(&report.to_json()).expect("parse"));
+        assert!(
+            errors.iter().any(|e| e.contains("cause nanos sum")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn bench_attribution_catches_an_inconsistent_stamp() {
+        let mut result = sample_run_result();
+        let band = &mut result.attribution.as_mut().unwrap().bands[0];
+        // latency no longer equals emitted_at - event_ts, and the slices no
+        // longer sum to it either: both violations must surface.
+        band.stamp.latency = 6 * MS;
+        let mut report = BenchReport::new("unit");
+        report.add_run("case-a", &[], &result);
+        let errors = validate_bench(&parse(&report.to_json()).expect("parse"));
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("latency_nanos") && e.contains("emitted_at - event_ts")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn real_timeline_output_conforms() {
+        let timeline = Timeline::with_config(TimelineConfig {
+            cadence_nanos: 10 * MS,
+            capacity: 8,
+        });
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("jet_events_in_total", jet_core::metrics::tags(&[]));
+        for tick in 1..=3u64 {
+            c.add(100);
+            timeline.record_sample(tick * 10 * MS, &reg.snapshot());
+        }
+        let doc = parse(&timeline.to_json("unit", "case-a")).expect("producer emits valid JSON");
+        let errors = validate_timeline(&doc);
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn timeline_validation_catches_non_monotone_ticks_and_ragged_series() {
+        let json = r#"{
+            "schema": "jet-timeline-v1", "bench": "x", "run": "y",
+            "cadence_nanos": 1000, "evicted_ticks": 0,
+            "ticks_nanos": [1000, 3000, 2000],
+            "series": [
+                {"name": "jet_a", "tags": {}, "kind": "counter", "base": 0,
+                 "deltas": [1, 2]},
+                {"name": "jet_b", "tags": {}, "kind": "bogus", "base": 0,
+                 "deltas": [1, 2, 3]}
+            ]
+        }"#;
+        let errors = validate_timeline(&parse(json).expect("parse"));
+        assert!(
+            errors.iter().any(|e| e.contains("not strictly monotone")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("2 delta(s) for 3 tick(s)")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("unknown series kind 'bogus'")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
     fn bench_validation_catches_non_monotone_percentiles() {
         let json = r#"{
             "bench": "x", "params": {},
@@ -759,5 +1034,6 @@ mod tests {
         assert!(validate_file("TRACE_fig9_q5.json", "{}").is_none());
         assert!(validate_file("BENCH_x.json", "not json").unwrap()[0].contains("not valid JSON"));
         assert!(!validate_file("SPIKE_x.json", "{}").unwrap().is_empty());
+        assert!(!validate_file("TIMELINE_x.json", "{}").unwrap().is_empty());
     }
 }

@@ -1,9 +1,10 @@
 //! CLI entry point: `cargo run -p schema-check [results-dir]`.
 //!
-//! Scans `results/` for `BENCH_*.json` and `SPIKE_*.json`, validates each
-//! against its documented schema, and exits non-zero on any violation so CI
-//! never uploads a malformed artifact. A missing or empty results dir is a
-//! clean pass (nothing produced yet, nothing to check).
+//! Scans `results/` for `BENCH_*.json`, `SPIKE_*.json`, and
+//! `TIMELINE_*.json`, validates each against its documented schema, and
+//! exits non-zero on any violation so CI never uploads a malformed artifact.
+//! A missing or empty results dir is a clean pass (nothing produced yet,
+//! nothing to check).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -48,7 +49,7 @@ fn main() -> ExitCode {
             }
         };
         let Some(errors) = schema_check::validate_file(file_name, &contents) else {
-            continue; // not a BENCH_/SPIKE_ file
+            continue; // not a BENCH_/SPIKE_/TIMELINE_ file
         };
         checked += 1;
         for err in &errors {
