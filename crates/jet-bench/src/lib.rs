@@ -13,7 +13,10 @@
 //! *shapes* (who wins, where knees fall) are the reproduction target, not
 //! absolute numbers.
 
-use jet_cluster::{ClusterEvent, CoordinatorConfig, SimCluster, SimClusterConfig};
+use jet_cluster::{
+    ClusterEvent, ControllerConfig, ControllerEvent, CoordinatorConfig, SimCluster,
+    SimClusterConfig,
+};
 use jet_core::flight::{
     band_waterfalls, AttributionConfig, AttributionReport, FlightConfig, FlightRecorder,
     LatencyWatchdog, ProvenanceSampler, SpikeFidelity, SpikeReport, WatchdogConfig,
@@ -25,7 +28,7 @@ use jet_core::processor::Guarantee;
 use jet_core::processors::WatermarkPolicy;
 use jet_core::telemetry::{Timeline, TimelineConfig};
 use jet_core::trace::{TraceData, Tracer};
-use jet_core::Ts;
+use jet_core::{JobQuotas, Ts};
 use jet_nexmark::{queries, NexmarkConfig};
 use jet_pipeline::{Pipeline, WindowDef};
 use jet_util::Histogram;
@@ -118,6 +121,15 @@ pub struct RunSpec {
     /// fixed cadence ([`RunResult::timeline`], exported by
     /// [`write_timeline`]). Invisible on the virtual timeline.
     pub timeline: Option<TimelineConfig>,
+    /// Arm the elastic autoscaling controller: the cluster watches windowed
+    /// occupancy/stall telemetry on the controller's cadence and live
+    /// rescales itself mid-run. Decisions land in
+    /// [`RunResult::controller_events`] and the `"controller"` section of
+    /// `BENCH_*.json`.
+    pub controller: Option<ControllerConfig>,
+    /// Per-job weighted round-robin scheduling quotas (multi-tenant
+    /// fairness, §7.7). Vertices opt in by `job<N>-` name prefix.
+    pub quotas: Option<JobQuotas>,
 }
 
 impl RunSpec {
@@ -143,6 +155,8 @@ impl RunSpec {
             spike: None,
             attribution: false,
             timeline: None,
+            controller: None,
+            quotas: None,
         }
     }
 }
@@ -181,6 +195,13 @@ pub struct RunResult {
     /// The run's metrics timeline ([`RunSpec::timeline`]); export it with
     /// [`write_timeline`].
     pub timeline: Option<Timeline>,
+    /// Autoscaling decision timeline ([`RunSpec::controller`]): `Some`
+    /// (possibly empty) when a controller was armed; embedded in
+    /// `BENCH_*.json` by [`BenchReport::add_run`].
+    pub controller_events: Option<Vec<ControllerEvent>>,
+    /// Cluster size when the run ended (equals the starting size unless the
+    /// controller rescaled).
+    pub members_final: usize,
 }
 
 impl RunResult {
@@ -332,6 +353,8 @@ pub fn run(spec: &RunSpec) -> RunResult {
         coordinator: spec.coordinator.clone(),
         flight: flight.clone(),
         timeline: timeline.clone(),
+        controller: spec.controller.clone(),
+        quotas: spec.quotas.clone(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -436,6 +459,11 @@ pub fn run(spec: &RunSpec) -> RunResult {
         ];
         band_waterfalls(&sampler, &flight, &AttributionConfig::default(), &bands)
     });
+    let controller_events = spec
+        .controller
+        .is_some()
+        .then(|| cluster.controller_events());
+    let members_final = cluster.grid().members().len();
     cluster.cancel();
     RunResult {
         hist: final_hist,
@@ -450,6 +478,8 @@ pub fn run(spec: &RunSpec) -> RunResult {
         spike,
         attribution,
         timeline: spec.timeline.is_some().then_some(timeline),
+        controller_events,
+        members_final,
     }
 }
 
@@ -540,6 +570,69 @@ pub fn write_timeline(name: &str, label: &str, r: &RunResult) -> std::io::Result
     Ok(Some(path))
 }
 
+/// One controller event as a JSON object (schema
+/// `runs[].controller.events[]`, validated by the `schema-check` xtask):
+/// always `at`/`kind`/`label`, plus the variant's numeric fields.
+fn controller_event_json(e: &ControllerEvent) -> String {
+    let mut s = format!(
+        "{{\"at\": {}, \"kind\": \"{}\", \"label\": \"{}\"",
+        e.at(),
+        e.kind(),
+        json_escape(&e.label())
+    );
+    match e {
+        ControllerEvent::Decided {
+            direction,
+            occupancy,
+            stall_rate,
+            members,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ", \"direction\": \"{}\", \"occupancy\": {occupancy}, \
+                 \"stall_rate\": {stall_rate}, \"members\": {members}",
+                direction.name()
+            );
+        }
+        ControllerEvent::RescaleCompleted {
+            direction, members, ..
+        } => {
+            let _ = write!(
+                s,
+                ", \"direction\": \"{}\", \"members\": {members}",
+                direction.name()
+            );
+        }
+        ControllerEvent::RescaleFailed {
+            direction,
+            failures,
+            cause,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ", \"direction\": \"{}\", \"failures\": {failures}, \"cause\": \"{}\"",
+                direction.name(),
+                json_escape(cause)
+            );
+        }
+        ControllerEvent::CooldownEntered { until, .. } => {
+            let _ = write!(s, ", \"until\": {until}");
+        }
+        ControllerEvent::BackoffEntered {
+            until, failures, ..
+        } => {
+            let _ = write!(s, ", \"until\": {until}, \"failures\": {failures}");
+        }
+        ControllerEvent::Degraded { failures, .. } => {
+            let _ = write!(s, ", \"failures\": {failures}");
+        }
+    }
+    s.push('}');
+    s
+}
+
 /// Standard percentile row used by the figure binaries.
 pub fn percentile_row(h: &Histogram) -> String {
     format!(
@@ -579,6 +672,9 @@ struct RunRecord {
     latency: Option<HistogramSummary>,
     metrics: Option<MetricsSnapshot>,
     attribution: Option<AttributionReport>,
+    /// Autoscaler decision timeline + final cluster size, when a
+    /// controller was armed for the run.
+    controller: Option<(Vec<ControllerEvent>, usize)>,
 }
 
 impl BenchReport {
@@ -613,6 +709,10 @@ impl BenchReport {
             latency: Some(HistogramSummary::of(&r.hist)),
             metrics: Some(r.metrics.clone()),
             attribution: r.attribution.clone(),
+            controller: r
+                .controller_events
+                .as_ref()
+                .map(|ev| (ev.clone(), r.members_final)),
         });
     }
 
@@ -629,6 +729,7 @@ impl BenchReport {
             latency: None,
             metrics: None,
             attribution: None,
+            controller: None,
         });
     }
 
@@ -676,6 +777,19 @@ impl BenchReport {
             }
             if let Some(a) = &r.attribution {
                 let _ = write!(s, ", \"attribution\": {}", a.to_json("    "));
+            }
+            if let Some((events, final_members)) = &r.controller {
+                let _ = write!(
+                    s,
+                    ", \"controller\": {{\"final_members\": {final_members}, \"events\": ["
+                );
+                for (j, e) in events.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&controller_event_json(e));
+                }
+                s.push_str("]}");
             }
             s.push('}');
         }
@@ -729,6 +843,25 @@ mod tests {
                 bands: Vec::new(),
             }),
             timeline: None,
+            controller_events: Some(vec![
+                ControllerEvent::Decided {
+                    at: 15 * MS,
+                    direction: jet_cluster::Direction::Up,
+                    occupancy: 912_345,
+                    stall_rate: 2_500,
+                    members: 2,
+                },
+                ControllerEvent::RescaleCompleted {
+                    at: 40 * MS,
+                    direction: jet_cluster::Direction::Up,
+                    members: 3,
+                },
+                ControllerEvent::CooldownEntered {
+                    at: 40 * MS,
+                    until: 90 * MS,
+                },
+            ]),
+            members_final: 3,
         };
         let mut report = BenchReport::new("unit");
         report.param("query", "Q5").param("members", 2);
@@ -748,6 +881,11 @@ mod tests {
             "\"attribution\": {",
             "\"observed\": 4, \"sampled\": 4, \"sample_shift\": 0",
             "\"bands\": [",
+            "\"controller\": {\"final_members\": 3, \"events\": [",
+            "\"kind\": \"decided\"",
+            "\"direction\": \"up\", \"occupancy\": 912345",
+            "\"kind\": \"rescale-completed\"",
+            "\"kind\": \"cooldown\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

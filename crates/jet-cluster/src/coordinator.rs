@@ -66,6 +66,55 @@ impl Default for CoordinatorConfig {
     }
 }
 
+impl CoordinatorConfig {
+    /// Reject ladder configurations that would misbehave silently instead
+    /// of letting them run: a fence grace at or below the suspect threshold
+    /// kills members without ever suspecting them (pure-delay faults would
+    /// fence), and a suspect threshold below the heartbeat interval
+    /// suspects healthy members between their own heartbeats.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_interval == 0 {
+            return Err("heartbeat_interval must be positive".into());
+        }
+        if self.suspect_after < self.heartbeat_interval {
+            return Err(format!(
+                "suspect_after ({} ns) must be at least heartbeat_interval \
+                 ({} ns): a healthy member's freshness legitimately ages one \
+                 full interval between heartbeats, so anything lower \
+                 suspects live members on every round",
+                self.suspect_after, self.heartbeat_interval
+            ));
+        }
+        if self.fence_after <= self.suspect_after {
+            return Err(format!(
+                "fence_after ({} ns) must exceed suspect_after ({} ns): the \
+                 gap is the grace in which a stalled or partitioned member \
+                 clears itself — without it, transient delays fence members \
+                 that were never even suspected",
+                self.fence_after, self.suspect_after
+            ));
+        }
+        if self.recovery_backoff_base == 0 {
+            return Err("recovery_backoff_base must be positive".into());
+        }
+        if self.recovery_backoff_max < self.recovery_backoff_base {
+            return Err(format!(
+                "recovery_backoff_max ({} ns) is below recovery_backoff_base \
+                 ({} ns)",
+                self.recovery_backoff_max, self.recovery_backoff_base
+            ));
+        }
+        if self.max_recovery_attempts == 0 {
+            return Err(
+                "max_recovery_attempts must be at least 1, or every recovery \
+                 gives up before its first attempt"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Liveness verdict the detector currently holds for a member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemberHealth {
@@ -589,6 +638,30 @@ mod tests {
         r.coord.refresh(r.clock.now_nanos());
         assert_eq!(r.run(30_000_000, |_| true), None);
         assert_eq!(r.coord.fences(), 1);
+    }
+
+    #[test]
+    fn config_validation_rejects_inverted_ladders() {
+        assert!(CoordinatorConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut CoordinatorConfig), needle: &str| {
+            let mut c = CoordinatorConfig::default();
+            f(&mut c);
+            let err = c.validate().expect_err(needle);
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        bad(|c| c.heartbeat_interval = 0, "heartbeat_interval");
+        // fence == suspect: no grace at all.
+        bad(|c| c.fence_after = c.suspect_after, "fence_after");
+        // fence < suspect: inverted ladder.
+        bad(|c| c.fence_after = c.suspect_after - 1, "fence_after");
+        // suspect below one heartbeat interval.
+        bad(
+            |c| c.suspect_after = c.heartbeat_interval - 1,
+            "suspect_after",
+        );
+        bad(|c| c.recovery_backoff_base = 0, "recovery_backoff_base");
+        bad(|c| c.recovery_backoff_max = 1, "recovery_backoff_max");
+        bad(|c| c.max_recovery_attempts = 0, "max_recovery_attempts");
     }
 
     #[test]

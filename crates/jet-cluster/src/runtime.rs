@@ -12,8 +12,10 @@
 //! snapshot over the surviving members, and resume on the same virtual
 //! clock.
 
+use crate::controller::{Controller, ControllerConfig, ControllerEvent, Direction};
 use crate::coordinator::{ClusterEvent, Coordinator, CoordinatorConfig};
 use crate::wiring::{build_cluster_execution, ClusterConfig, ClusterExecution};
+use jet_core::fairness::JobQuotas;
 use jet_core::flight::{AttributionConfig, FlightRecorder, IncidentReport};
 use jet_core::metrics::{tags, MetricsRegistry, MetricsSnapshot};
 use jet_core::network::{ChannelChaos, InMemoryTransport, NetworkFaults};
@@ -24,6 +26,7 @@ use jet_core::trace::{TraceData, TraceKind, TraceWriter, Tracer};
 use jet_core::Dag;
 use jet_imdg::{Grid, MemberId, SnapshotStore, StoreFaults};
 use jet_sim::{CostModel, FaultEvent, FaultKind, FaultPlan, SimTick, Simulator};
+use jet_util::backoff::BackoffLadder;
 use jet_util::clock::{ManualClock, SharedClock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
@@ -58,6 +61,16 @@ pub struct SimClusterConfig {
     /// default) wires no coordinator at all: no heartbeat traffic, no
     /// detector state, zero cost on fault-free runs.
     pub coordinator: Option<CoordinatorConfig>,
+    /// Elastic autoscaling: watches stall/occupancy/receive-window
+    /// telemetry on its cadence and drives live rescale through the
+    /// hysteresis + cooldown + backoff state machine. `None` (the default)
+    /// wires no controller at all: no sampling, zero cost.
+    pub controller: Option<ControllerConfig>,
+    /// Multi-tenant fairness (§7.7): per-job scheduling quotas applied to
+    /// every virtual core (jobs are tagged by `job<N>-` vertex-name
+    /// prefixes). `None` (the default) keeps the original tasklet-level
+    /// round-robin bit-identically.
+    pub quotas: Option<JobQuotas>,
     /// Spike-forensics flight recorder (carries its watchdog). When
     /// enabled, the runtime samples the job-wide metrics snapshot into its
     /// time series at the recorder's cadence and the diagnostics dump gains
@@ -89,6 +102,8 @@ impl Default for SimClusterConfig {
             tracer: Tracer::disabled(),
             fault_plan: None,
             coordinator: None,
+            controller: None,
+            quotas: None,
             flight: FlightRecorder::disabled(),
             timeline: Timeline::disabled(),
         }
@@ -201,6 +216,11 @@ pub struct SimCluster {
     /// survives execution rebuilds, merged into [`Self::job_metrics`].
     cluster_metrics: Arc<MetricsRegistry>,
     coordinator: Option<Coordinator>,
+    controller: Option<Controller>,
+    /// Re-entrancy guard: `add/remove_member_and_rescale` advance virtual
+    /// time through nested `run_for` calls, which must not trigger another
+    /// controller decision mid-rescale.
+    in_rescale: bool,
     fault_driver: FaultDriver,
     pending_recovery: Option<PendingRecovery>,
     /// Set when recovery exhausted its attempts: the job is lost.
@@ -209,7 +229,22 @@ pub struct SimCluster {
 
 impl SimCluster {
     /// Build the grid, wire the job, and place tasklets on virtual cores.
+    /// Rejects invalid coordinator/controller configurations up front
+    /// (satellite: clear errors instead of silent misbehavior).
     pub fn start(dag: Dag, cfg: SimClusterConfig) -> Result<SimCluster, String> {
+        if let Some(c) = &cfg.coordinator {
+            c.validate()
+                .map_err(|e| format!("coordinator config: {e}"))?;
+        }
+        if let Some(c) = &cfg.controller {
+            c.validate()
+                .map_err(|e| format!("controller config: {e}"))?;
+            if cfg.snapshot_interval == 0 {
+                return Err("controller config: autoscaling requires snapshots enabled \
+                     (snapshot_interval > 0) — rescale rides the terminal-snapshot path"
+                    .into());
+            }
+        }
         let grid = Grid::with_partition_count(cfg.members, cfg.backup_count, cfg.partition_count);
         let clock = Arc::new(ManualClock::new());
         let shared_clock: SharedClock = clock.clone();
@@ -305,6 +340,10 @@ impl SimCluster {
             .coordinator
             .clone()
             .map(|c| Coordinator::new(c, &member_ids, 0, &cluster_metrics, &cfg.tracer));
+        let controller = cfg
+            .controller
+            .clone()
+            .map(|c| Controller::new(c, member_ids.len(), &cluster_metrics, &cfg.tracer));
         let fault_driver = FaultDriver::new(cfg.fault_plan.as_ref(), &cfg.tracer);
         let mut me = SimCluster {
             cfg,
@@ -322,6 +361,8 @@ impl SimCluster {
             net_faults,
             cluster_metrics,
             coordinator,
+            controller,
+            in_rescale: false,
             fault_driver,
             pending_recovery: None,
             job_failed: None,
@@ -345,6 +386,12 @@ impl SimCluster {
     /// (Re)build the execution — used at start, after failure, and after
     /// rescaling. `restore` names the snapshot to reload.
     fn build_execution(&mut self, restore: Option<u64>) -> Result<(), String> {
+        // Restoring needs the snapshot store: if reads are unavailable the
+        // commit must fail up front rather than rebuild from a store it
+        // cannot actually read (the caller retries or rolls back).
+        if restore.is_some() && !self.store.read_available() {
+            return Err("snapshot store reads unavailable".into());
+        }
         let members = self.grid.members();
         let transport = Arc::new(
             InMemoryTransport::new(self.shared_clock.clone(), self.cfg.network_latency)
@@ -403,7 +450,18 @@ impl SimCluster {
                 sim.assign(base + (k % self.cfg.cores_per_member), tasklet, counters);
             }
         }
+        if let Some(q) = &self.cfg.quotas {
+            sim.set_job_quotas(q);
+        }
         self.sim = sim;
+        // The fresh simulator's busy-nanos counters start at zero, so any
+        // autoscaler samples from the old execution are no longer
+        // comparable — discard them. (During a controller-ordered rescale
+        // the controller is checked out of `self` and clears its own
+        // window on completion/failure.)
+        if let Some(ctl) = self.controller.as_mut() {
+            ctl.discard_samples();
+        }
         Ok(())
     }
 
@@ -494,6 +552,9 @@ impl SimCluster {
             trace,
             self.coordinator.as_ref(),
         );
+        if let Some(ctl) = self.controller.as_ref() {
+            dump.push_str(&crate::diagnostics::render_autoscaler(ctl));
+        }
         if self.cfg.flight.is_enabled() {
             dump.push_str(&crate::diagnostics::render_blame(&self.spike_forensics()));
         }
@@ -551,6 +612,15 @@ impl SimCluster {
             if remaining == 0 {
                 return self.sim.live_tasklets() == 0;
             }
+            // The autoscaler samples on its own cadence, between simulator
+            // calls like the recorders below: zero virtual cost, identical
+            // schedule. Stepping *before* the chunk is sized means a due
+            // sample (including the very first, which has no deadline yet)
+            // is taken now, and `next_sample_in` below always has a
+            // concrete deadline to clamp the chunk to. (When a rescale is
+            // in flight the controller has been taken out of `self`, so
+            // nested run_for calls skip this.)
+            self.controller_step();
             // With a flight recorder or metrics timeline wired, chunk the
             // run at the nearest sampling deadline: samples are taken
             // *between* simulator calls, so they cost zero virtual time and
@@ -560,6 +630,14 @@ impl SimCluster {
                 chunk = chunk.min(gap.max(1));
             }
             if let Some(gap) = self.cfg.timeline.next_sample_in(self.now()) {
+                chunk = chunk.min(gap.max(1));
+            }
+            if let Some(ctl) = self.controller.as_ref() {
+                // After the step above a fresh deadline always exists; fall
+                // back to one cadence if the sample was somehow skipped.
+                let gap = ctl
+                    .next_sample_in(self.now())
+                    .unwrap_or(ctl.config().cadence);
                 chunk = chunk.min(gap.max(1));
             }
             let mut action: Option<Action> = None;
@@ -623,6 +701,43 @@ impl SimCluster {
                 Some(Action::RetryRecovery) => self.attempt_recovery(),
             }
         }
+    }
+
+    /// One autoscaler step between simulator chunks: sample the telemetry
+    /// on the controller's cadence, run the decision state machine, and execute
+    /// any ordered rescale. The controller is taken out of `self` while the
+    /// rescale runs, so the nested `run_for` calls inside
+    /// `add/remove_member_and_rescale` can never re-enter it.
+    fn controller_step(&mut self) {
+        let Some(mut ctl) = self.controller.take() else {
+            return;
+        };
+        let now = self.now();
+        if ctl.sample_due(now) {
+            let busy_per_core = self.sim.busy_nanos();
+            let busy: u64 = busy_per_core.iter().sum();
+            let members = self.grid.members().len();
+            ctl.observe(now, &self.job_metrics(), busy, busy_per_core.len(), members);
+            let quiet =
+                !self.in_rescale && self.pending_recovery.is_none() && self.job_failed.is_none();
+            if quiet {
+                if let Some(direction) = ctl.decide(now, members) {
+                    let max_wait = ctl.config().rescale_max_wait;
+                    let outcome = match direction {
+                        Direction::Up => self.add_member_and_rescale(max_wait).map(|_| ()),
+                        Direction::Down => self.remove_member_and_rescale(max_wait).map(|_| ()),
+                    };
+                    let after = self.now();
+                    match outcome {
+                        Ok(()) => {
+                            ctl.rescale_completed(after, direction, self.grid.members().len())
+                        }
+                        Err(cause) => ctl.rescale_failed(after, direction, &cause),
+                    }
+                }
+            }
+        }
+        self.controller = Some(ctl);
     }
 
     /// The failure detector fenced `member`: remove it from the cluster
@@ -690,11 +805,10 @@ impl SimCluster {
             ));
             self.pending_recovery = None;
         } else {
-            let backoff = ccfg
-                .recovery_backoff_base
-                .checked_shl(pending.attempt - 1)
-                .unwrap_or(u64::MAX)
-                .min(ccfg.recovery_backoff_max);
+            // Same bounded-exponential ladder the autoscaler uses; the
+            // ladder itself is unit-tested in jet-util.
+            let backoff = BackoffLadder::new(ccfg.recovery_backoff_base, ccfg.recovery_backoff_max)
+                .raw_delay(pending.attempt);
             pending.next_at = now + backoff;
             self.pending_recovery = Some(pending);
         }
@@ -753,14 +867,39 @@ impl SimCluster {
         Ok(latest)
     }
 
-    /// Gracefully add a member and rescale: terminal snapshot, rebuild with
-    /// the larger cluster from it (§4.3).
+    /// Rebuild on the current topology from `restore`; if even that fails
+    /// (e.g. the snapshot store went dark mid-rollback), arm the standard
+    /// recovery retry machinery instead of leaving a wedged execution —
+    /// the bounded-backoff ladder keeps retrying until the store heals or
+    /// the job is declared lost. `member` only labels the recovery in the
+    /// event log (rescale rollbacks have no fenced member; pass the member
+    /// the rescale touched, or 0 for job-level).
+    fn rebuild_or_arm_recovery(&mut self, restore: Option<u64>, member: u32) -> Result<(), String> {
+        let r = self.build_execution(restore);
+        if r.is_err() && self.pending_recovery.is_none() {
+            let now = self.now();
+            self.pending_recovery = Some(PendingRecovery {
+                member,
+                attempt: 0,
+                next_at: now,
+                fenced_at: now,
+            });
+        }
+        r
+    }
+
+    /// Take a terminal snapshot for a rescale and wait for it (bounded by
+    /// `max_wait`). Returns the snapshot id to restore from on success; on
+    /// timeout the in-flight snapshot is aborted and the job rebuilt on the
+    /// current topology so the half-snapshotted execution never lingers.
     ///
-    /// If the terminal snapshot misses `max_wait`, the in-flight snapshot
-    /// is aborted and the job is rebuilt from the last complete snapshot,
-    /// so the registry keeps triggering and the half-snapshotted execution
-    /// does not linger — the rescale itself fails with `Err`.
-    pub fn add_member_and_rescale(&mut self, max_wait: u64) -> Result<MemberId, String> {
+    /// A member may crash *during* the wait: the heartbeat path fences it,
+    /// recovery rebuilds from the latest complete snapshot, and periodic
+    /// snapshots resume — so by the time the wait finishes, complete
+    /// snapshots *newer* than the terminal id may exist. The returned
+    /// restore id is the newest complete one; restoring the stale terminal
+    /// id would purge those newer complete snapshots as if they were torn.
+    fn terminal_snapshot_for_rescale(&mut self, max_wait: u64) -> Result<u64, String> {
         if self.cfg.snapshot_interval == 0 {
             return Err("rescaling requires snapshots enabled".into());
         }
@@ -771,23 +910,163 @@ impl SimCluster {
         let deadline = self.now() + max_wait;
         while self.registry.completed() < id && self.now() < deadline {
             self.run_for(self.cfg.quantum * 16);
+            if let Some(cause) = &self.job_failed {
+                return Err(format!("job failed during rescale: {cause}"));
+            }
         }
         if self.registry.completed() < id {
             // Unwedge: abandon the torn terminal snapshot (it can never be
             // restored from) and resume on the pre-rescale topology from
-            // the last complete snapshot.
+            // the last complete snapshot. The rebuild purges every record
+            // newer than that snapshot, including the torn terminal ones.
             self.registry.abort_in_flight();
             let latest = self.store.latest_complete();
-            self.build_execution(latest)?;
-            return Err("terminal snapshot did not complete in time".into());
+            return Err(match self.rebuild_or_arm_recovery(latest, 0) {
+                Ok(()) => "terminal snapshot did not complete in time".into(),
+                Err(e) => format!(
+                    "terminal snapshot did not complete in time; rebuild \
+                     deferred to recovery: {e}"
+                ),
+            });
         }
+        // Acks alone are not enough: a store write outage poisons the
+        // snapshot — its barriers drain (so the registry's `completed`
+        // advances) but no durable completion marker exists and its records
+        // are partial. Restoring from it would silently cold-restart the
+        // job disguised as a warm rescale. Demand a durable complete
+        // snapshot at or after the terminal id (a member may crash during
+        // the wait, in which case recovery + resumed periodic snapshots can
+        // legitimately leave the newest complete id *past* the terminal
+        // one — restore from that, never purge it).
+        match self.store.latest_complete().filter(|l| *l >= id) {
+            Some(restore) => Ok(restore),
+            None => {
+                let latest = self.store.latest_complete();
+                Err(match self.rebuild_or_arm_recovery(latest, 0) {
+                    Ok(()) => "terminal snapshot was poisoned by a store write failure".into(),
+                    Err(e) => format!(
+                        "terminal snapshot was poisoned by a store write \
+                         failure; rebuild deferred to recovery: {e}"
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Gracefully add a member and rescale: terminal snapshot, rebuild with
+    /// the larger cluster from it (§4.3).
+    ///
+    /// If the terminal snapshot misses `max_wait`, the in-flight snapshot
+    /// is aborted and the job is rebuilt from the last complete snapshot,
+    /// so the registry keeps triggering and the half-snapshotted execution
+    /// does not linger — the rescale itself fails with `Err`. If the
+    /// topology commit itself fails (e.g. the snapshot store goes dark
+    /// between snapshot-complete and commit), the grid mutation is rolled
+    /// back and the job resumes on the pre-rescale topology — a failed
+    /// rescale must never leave a wedged half-scaled cluster.
+    pub fn add_member_and_rescale(&mut self, max_wait: u64) -> Result<MemberId, String> {
+        self.in_rescale = true;
+        let r = self.add_member_and_rescale_inner(max_wait);
+        self.in_rescale = false;
+        r
+    }
+
+    fn add_member_and_rescale_inner(&mut self, max_wait: u64) -> Result<MemberId, String> {
+        let restore = self.terminal_snapshot_for_rescale(max_wait)?;
         let new_member = self.grid.add_member();
         self.cfg.members = self.grid.members().len();
-        self.build_execution(Some(id))?;
+        if let Err(commit) = self.build_execution(Some(restore)) {
+            // Roll back: migrate the partitions the rebalance just moved
+            // onto the new member gracefully off it again, then resume on
+            // the pre-rescale topology.
+            let rollback = self
+                .grid
+                .shutdown_member(new_member)
+                .map_err(|e| e.to_string());
+            self.cfg.members = self.grid.members().len();
+            let latest = self.store.latest_complete();
+            let rebuilt = self.rebuild_or_arm_recovery(latest, new_member.0);
+            return Err(match (rollback, rebuilt) {
+                (Ok(()), Ok(())) => {
+                    format!("rescale topology commit failed, rolled back: {commit}")
+                }
+                (r, b) => format!(
+                    "rescale topology commit failed ({commit}); rollback degraded \
+                     (shutdown: {r:?}, rebuild: {b:?})"
+                ),
+            });
+        }
         let now = self.now();
         if let Some(coord) = self.coordinator.as_mut() {
             coord.add_member(new_member.0, now);
         }
         Ok(new_member)
+    }
+
+    /// Gracefully remove the highest-id member and rescale onto the smaller
+    /// cluster: terminal snapshot, migrate the member's partitions away
+    /// (no data loss even at backup_count 0), rebuild from the snapshot.
+    /// Mirrors [`Self::add_member_and_rescale`] including the abort and
+    /// rollback paths.
+    pub fn remove_member_and_rescale(&mut self, max_wait: u64) -> Result<MemberId, String> {
+        self.in_rescale = true;
+        let r = self.remove_member_and_rescale_inner(max_wait);
+        self.in_rescale = false;
+        r
+    }
+
+    fn remove_member_and_rescale_inner(&mut self, max_wait: u64) -> Result<MemberId, String> {
+        if self.grid.members().len() <= 1 {
+            return Err("cannot scale below one member".into());
+        }
+        let restore = self.terminal_snapshot_for_rescale(max_wait)?;
+        let victim = *self.grid.members().last().ok_or("cluster has no members")?;
+        if let Err(e) = self.grid.shutdown_member(victim) {
+            // Grid refused (nothing mutated): resume on the old topology.
+            self.rebuild_or_arm_recovery(Some(restore), victim.0)?;
+            return Err(format!("scale-in shutdown failed: {e}"));
+        }
+        self.cfg.members = self.grid.members().len();
+        if let Err(commit) = self.build_execution(Some(restore)) {
+            // Roll back the shrink: restore capacity with a fresh member
+            // (the victim's partitions were already migrated away, so no
+            // state is at risk) and resume on the old cluster size.
+            let replacement = self.grid.add_member();
+            self.cfg.members = self.grid.members().len();
+            let latest = self.store.latest_complete();
+            let rebuilt = self.rebuild_or_arm_recovery(latest, victim.0);
+            let now = self.now();
+            if let Some(coord) = self.coordinator.as_mut() {
+                coord.remove_member(victim.0);
+                coord.add_member(replacement.0, now);
+            }
+            return Err(match rebuilt {
+                Ok(()) => format!("scale-in topology commit failed, rolled back: {commit}"),
+                Err(b) => format!(
+                    "scale-in topology commit failed ({commit}); rollback rebuild \
+                     also failed: {b}"
+                ),
+            });
+        }
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.remove_member(victim.0);
+        }
+        Ok(victim)
+    }
+
+    /// The autoscaling controller, when configured. (`None` is also
+    /// returned transiently while a controller-ordered rescale is mid
+    /// flight — the controller is checked out of the runtime for the
+    /// duration.)
+    pub fn controller(&self) -> Option<&Controller> {
+        self.controller.as_ref()
+    }
+
+    /// The controller's decision timeline (empty when none configured).
+    pub fn controller_events(&self) -> Vec<ControllerEvent> {
+        self.controller
+            .as_ref()
+            .map(|c| c.events().to_vec())
+            .unwrap_or_default()
     }
 }

@@ -250,6 +250,124 @@ fn failed_rescale_aborts_the_terminal_snapshot_and_resumes() {
     assert_eq!(total, LIMIT, "failed rescale lost or duplicated events");
 }
 
+/// Regression: a store write outage during the terminal snapshot poisons
+/// it — barriers drain, every participant acks, but no durable completion
+/// marker exists. The rescale must FAIL and roll back, never restore the
+/// new topology from the phantom snapshot (which would silently
+/// cold-restart the job disguised as a warm rescale).
+#[test]
+fn rescale_refuses_to_restore_from_a_poisoned_terminal_snapshot() {
+    const LIMIT: u64 = 40_000;
+    let (p, out) = counting_job(1_000_000, LIMIT, 32, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    let reg = cluster.registry();
+    let faults = reg.store().expect("snapshots enabled").faults();
+    let complete_before = reg.store().unwrap().latest_complete();
+    assert!(
+        complete_before.is_some(),
+        "no complete snapshot before outage"
+    );
+    faults.set_fail_writes(true);
+    let err = cluster.add_member_and_rescale(SEC).unwrap_err();
+    assert!(err.contains("poisoned"), "unexpected error: {err}");
+    assert_eq!(cluster.grid().members().len(), 2, "no member may be added");
+    // The poisoned terminal id must not have become a recovery point, and
+    // its partial records must be purged by the rollback rebuild.
+    let reg = cluster.registry();
+    let store = reg.store().unwrap();
+    assert_eq!(store.latest_complete(), complete_before);
+    faults.set_fail_writes(false);
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not finish after the poisoned rescale rolled back"
+    );
+    let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
+    assert_eq!(total, LIMIT, "poisoned rescale lost or duplicated events");
+}
+
+/// Regression: the topology *commit* fails (snapshot store reads go dark
+/// between terminal-snapshot completion and the rebuild). The grid
+/// mutation must roll back, and even though the rollback rebuild itself
+/// cannot run against a dark store, the job must self-heal through the
+/// recovery retry ladder once the outage lifts — never wedge.
+#[test]
+fn failed_topology_commit_rolls_back_and_self_heals() {
+    const LIMIT: u64 = 40_000;
+    let (p, out) = counting_job(1_000_000, LIMIT, 32, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 2,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    let reg = cluster.registry();
+    let faults = reg.store().expect("snapshots enabled").faults();
+    // Writes stay healthy (the terminal snapshot completes durably); reads
+    // go dark, so the commit rebuild must fail.
+    faults.set_fail_reads(true);
+    let err = cluster.add_member_and_rescale(SEC).unwrap_err();
+    assert!(err.contains("commit failed"), "unexpected error: {err}");
+    assert_eq!(
+        cluster.grid().members().len(),
+        2,
+        "failed commit must roll the added member back out"
+    );
+    faults.set_fail_reads(false);
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not self-heal after the failed commit: {:?}",
+        cluster.failed()
+    );
+    assert!(
+        cluster.failed().is_none(),
+        "job lost: {:?}",
+        cluster.failed()
+    );
+    let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
+    assert_eq!(total, LIMIT, "failed commit lost or duplicated events");
+}
+
+#[test]
+fn rescale_removes_member_without_losing_state() {
+    const LIMIT: u64 = 40_000;
+    let (p, out) = counting_job(1_000_000, LIMIT, 32, 10 * SEC as Ts);
+    let dag = p.compile(2).unwrap();
+    let cfg = SimClusterConfig {
+        members: 3,
+        cores_per_member: 2,
+        partition_count: 31,
+        guarantee: Guarantee::ExactlyOnce,
+        snapshot_interval: 5 * MS,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::start(dag, cfg).unwrap();
+    cluster.run_for(20 * MS);
+    let victim = cluster.remove_member_and_rescale(SEC).unwrap();
+    assert_eq!(cluster.grid().members().len(), 2);
+    assert!(!cluster.grid().members().contains(&victim));
+    assert!(
+        cluster.run_for(60 * SEC),
+        "job did not finish after scale-in"
+    );
+    let total: u64 = out.lock().iter().map(|(_, r)| r.value).sum();
+    assert_eq!(total, LIMIT, "scale-in lost or duplicated events");
+}
+
 #[test]
 fn rescale_adds_member_without_losing_state() {
     const LIMIT: u64 = 40_000;

@@ -8,6 +8,7 @@
 //! progressive backoff idle strategy so idle jobs cost (almost) nothing —
 //! the property multi-tenancy (§7.7) relies on.
 
+use crate::fairness::{FairPoller, JobQuotas};
 use crate::log::RateLimitedLog;
 use crate::metrics::{tags, MetricsRegistry, SharedCounter, SharedHistogram, TaskletCounters};
 use crate::tasklet::Tasklet;
@@ -164,6 +165,121 @@ fn worker_loop(tasklets: Vec<Box<dyn Tasklet>>, live: Arc<AtomicUsize>) {
     worker_loop_observed(tasklets, live, None)
 }
 
+/// One observed tasklet call: per-call wall-clock histogram, trace span on
+/// progress, and the rate-limited hog warning when a cooperative call
+/// overruns its budget.
+fn observed_call(
+    t: &mut dyn Tasklet,
+    trace_name: u32,
+    o: &mut WorkerObs,
+    epoch: Instant,
+) -> Progress {
+    // jet-lint: allow(instant) — throttled by construction: only taken when
+    // self-profiling (`obs`) is enabled for the run.
+    let start = Instant::now();
+    let result = t.call();
+    let nanos = start.elapsed().as_nanos() as u64;
+    o.call_hist.record(nanos.max(1));
+    if o.trace.enabled() && !matches!(result, Progress::NoProgress) {
+        let end_ns = epoch.elapsed().as_nanos() as u64;
+        o.trace
+            .record_call(end_ns.saturating_sub(nanos), nanos, trace_name);
+    }
+    if nanos > o.hog_budget_nanos && t.is_cooperative() {
+        o.hogs.add(1);
+        o.hog_log.warn(|| {
+            format!(
+                "cooperative tasklet '{}' hogged worker {} for {:.3} ms \
+                 (budget {:.3} ms); cooperative call()s must not block",
+                t.name(),
+                o.label,
+                nanos as f64 / 1e6,
+                o.hog_budget_nanos as f64 / 1e6,
+            )
+        });
+    }
+    result
+}
+
+/// Weighted-fair variant of the worker loop (§7.7): tasklets are polled
+/// through a [`FairPoller`], so every tenant job receives its quota of
+/// timeslice turns per scheduling cycle regardless of how many tasklets it
+/// deploys. The idle strategy engages when one full *coverage round* (every
+/// live tasklet polled at least once) makes no progress — the same
+/// "nothing can run" condition the flat loop uses.
+fn worker_loop_fair(
+    tasklets: Vec<Box<dyn Tasklet>>,
+    live: Arc<AtomicUsize>,
+    quotas: &JobQuotas,
+    mut obs: Option<WorkerObs>,
+) {
+    let mut tasklets: Vec<(Box<dyn Tasklet>, u32)> = tasklets
+        .into_iter()
+        .map(|t| {
+            let id = match &obs {
+                Some(o) => o.trace.intern(t.name()),
+                None => 0,
+            };
+            (t, id)
+        })
+        .collect();
+    let jobs: Vec<u32> = tasklets.iter().map(|(t, _)| t.job()).collect();
+    let mut poller = FairPoller::new(&jobs, quotas);
+    let epoch = trace_epoch();
+    let mut idle = BackoffIdle::jet_default();
+    let mut idle_rounds = 0u64;
+    while !tasklets.is_empty() {
+        let mut progressed = false;
+        for _ in 0..poller.coverage_polls() {
+            let Some(idx) = poller.next() else {
+                break;
+            };
+            let (t, trace_name) = &mut tasklets[idx];
+            let result = match &mut obs {
+                Some(o) => observed_call(t.as_mut(), *trace_name, o, epoch),
+                None => t.call(),
+            };
+            match result {
+                Progress::MadeProgress => progressed = true,
+                Progress::NoProgress => {}
+                Progress::Done => {
+                    progressed = true;
+                    // ordering: SeqCst — pairs with `live_tasklets` exactly
+                    // as in the flat loop.
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    tasklets.remove(idx);
+                    poller.remove_index(idx);
+                }
+            }
+        }
+        if progressed {
+            idle_rounds = 0;
+            idle.reset();
+            if let Some(o) = &mut obs {
+                o.counters.add_busy(1);
+            }
+        } else {
+            idle_rounds += 1;
+            if let Some(o) = &mut obs {
+                o.counters.add_idle(1);
+                if o.trace.enabled() {
+                    if let Some(park) = idle.park_duration(idle_rounds) {
+                        let ts = epoch.elapsed().as_nanos() as u64;
+                        o.trace.record(
+                            TraceKind::IdlePark,
+                            ts,
+                            park.as_nanos() as u64,
+                            o.idle_name,
+                            idle_rounds as i64,
+                        );
+                    }
+                }
+            }
+            idle.idle(idle_rounds);
+        }
+    }
+}
+
 /// `worker_loop` with optional self-profiling: per-round busy/idle counters,
 /// a per-`call()` wall-clock histogram, and the rate-limited warning when a
 /// cooperative tasklet overruns its call budget.
@@ -190,35 +306,10 @@ fn worker_loop_observed(
     while !tasklets.is_empty() {
         let mut progressed = false;
         tasklets.retain_mut(|(t, trace_name)| {
-            let result;
-            if let Some(o) = &mut obs {
-                // jet-lint: allow(instant) — throttled by construction: only
-                // taken when self-profiling (`obs`) is enabled for the run.
-                let start = Instant::now();
-                result = t.call();
-                let nanos = start.elapsed().as_nanos() as u64;
-                o.call_hist.record(nanos.max(1));
-                if o.trace.enabled() && !matches!(result, Progress::NoProgress) {
-                    let end_ns = epoch.elapsed().as_nanos() as u64;
-                    o.trace
-                        .record_call(end_ns.saturating_sub(nanos), nanos, *trace_name);
-                }
-                if nanos > o.hog_budget_nanos && t.is_cooperative() {
-                    o.hogs.add(1);
-                    o.hog_log.warn(|| {
-                        format!(
-                            "cooperative tasklet '{}' hogged worker {} for {:.3} ms \
-                             (budget {:.3} ms); cooperative call()s must not block",
-                            t.name(),
-                            o.label,
-                            nanos as f64 / 1e6,
-                            o.hog_budget_nanos as f64 / 1e6,
-                        )
-                    });
-                }
-            } else {
-                result = t.call();
-            }
+            let result = match &mut obs {
+                Some(o) => observed_call(t.as_mut(), *trace_name, o, epoch),
+                None => t.call(),
+            };
             match result {
                 Progress::MadeProgress => {
                     progressed = true;
@@ -287,6 +378,56 @@ pub fn spawn_threaded_observed(
     obs: &ExecObservability,
 ) -> ExecutionHandle {
     spawn_threaded_inner(tasklets, threads, cancelled, Some(obs))
+}
+
+/// [`spawn_threaded_observed`] with per-job fairness quotas (§7.7): each
+/// cooperative worker polls its tasklets through a weighted round-robin
+/// over job groups ([`Tasklet::job`]) instead of flat tasklet round-robin,
+/// so a latency-critical tenant's share of every worker is set by its
+/// weight, not by how many tasklets its neighbours deploy. Non-cooperative
+/// tasklets still get dedicated threads, where quotas are meaningless.
+pub fn spawn_threaded_fair(
+    tasklets: Vec<Box<dyn Tasklet>>,
+    threads: usize,
+    cancelled: Arc<AtomicBool>,
+    obs: Option<&ExecObservability>,
+    quotas: JobQuotas,
+) -> ExecutionHandle {
+    let threads = threads.max(1);
+    let live = Arc::new(AtomicUsize::new(tasklets.len()));
+    let mut coop: Vec<Vec<Box<dyn Tasklet>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut joins = Vec::new();
+    let mut next = 0usize;
+    let mut dedicated = 0usize;
+    for t in tasklets {
+        if t.is_cooperative() {
+            coop[next % threads].push(t);
+            next += 1;
+        } else {
+            let live = live.clone();
+            let wo = obs.map(|o| o.for_worker(&format!("dedicated-{dedicated}")));
+            dedicated += 1;
+            joins.push(std::thread::spawn(move || {
+                worker_loop_observed(vec![t], live, wo)
+            }));
+        }
+    }
+    for (i, worker_tasklets) in coop.into_iter().enumerate() {
+        if worker_tasklets.is_empty() {
+            continue;
+        }
+        let live = live.clone();
+        let wo = obs.map(|o| o.for_worker(&i.to_string()));
+        let quotas = quotas.clone();
+        joins.push(std::thread::spawn(move || {
+            worker_loop_fair(worker_tasklets, live, &quotas, wo)
+        }));
+    }
+    ExecutionHandle {
+        cancelled,
+        live_tasklets: live,
+        joins,
+    }
 }
 
 fn spawn_threaded_inner(
@@ -591,6 +732,108 @@ mod tests {
             registry
                 .snapshot()
                 .counter_total("jet_worker_busy_rounds_total", &[("worker", "dedicated-0")])
+                > 0
+        );
+    }
+
+    /// Tagged tenant tasklet: logs its job id per call, progresses `left`
+    /// times, then finishes.
+    struct Tagged {
+        job: u32,
+        left: usize,
+        log: Arc<parking_lot::Mutex<Vec<u32>>>,
+    }
+
+    impl Tasklet for Tagged {
+        fn call(&mut self) -> Progress {
+            self.log.lock().push(self.job);
+            if self.left == 0 {
+                return Progress::Done;
+            }
+            self.left -= 1;
+            Progress::MadeProgress
+        }
+        fn name(&self) -> &str {
+            "tagged"
+        }
+        fn job(&self) -> u32 {
+            self.job
+        }
+    }
+
+    #[test]
+    fn fair_worker_interleaves_jobs_by_weight() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let ts: Vec<Box<dyn Tasklet>> = vec![
+            Box::new(Tagged {
+                job: 1,
+                left: 30,
+                log: log.clone(),
+            }),
+            Box::new(Tagged {
+                job: 2,
+                left: 10,
+                log: log.clone(),
+            }),
+        ];
+        let quotas = JobQuotas::new().with_weight(1, 3);
+        let h = spawn_threaded_fair(ts, 1, Arc::new(AtomicBool::new(false)), None, quotas);
+        h.join();
+        let seen = log.lock();
+        // One cycle while both jobs live: [job1, job2, job1, job1].
+        assert_eq!(&seen[..8], &[1, 2, 1, 1, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn fair_worker_protects_one_tenant_from_a_hundred_neighbours() {
+        // Job 1 (weight 100, one tasklet) vs 100 single-tasklet jobs at
+        // weight 1: flat round-robin would give job 1 less than 1% of the
+        // polls; the quota holds it at half.
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut ts: Vec<Box<dyn Tasklet>> = vec![Box::new(Tagged {
+            job: 1,
+            left: 1_000,
+            log: log.clone(),
+        })];
+        for j in 2..=101 {
+            ts.push(Box::new(Tagged {
+                job: j,
+                left: 1_000,
+                log: log.clone(),
+            }));
+        }
+        let quotas = JobQuotas::new().with_weight(1, 100);
+        let h = spawn_threaded_fair(ts, 1, Arc::new(AtomicBool::new(false)), None, quotas);
+        h.join();
+        let seen = log.lock();
+        // While all jobs live, a cycle is 100 job-1 turns + 100 neighbour
+        // turns: job 1 holds exactly half of the first two cycles.
+        let head = &seen[..400];
+        let job1 = head.iter().filter(|&&j| j == 1).count();
+        assert_eq!(job1, 200);
+    }
+
+    #[test]
+    fn fair_worker_drains_everything_with_observability() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = ExecObservability::new(registry.clone());
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let ts: Vec<Box<dyn Tasklet>> = (0..12)
+            .map(|i| {
+                Box::new(Tagged {
+                    job: i % 3,
+                    left: 5 + i as usize,
+                    log: log.clone(),
+                }) as Box<dyn Tasklet>
+            })
+            .collect();
+        let quotas = JobQuotas::new().with_weight(2, 4);
+        let h = spawn_threaded_fair(ts, 2, Arc::new(AtomicBool::new(false)), Some(&obs), quotas);
+        h.join();
+        assert!(
+            registry
+                .snapshot()
+                .counter_total("jet_worker_busy_rounds_total", &[])
                 > 0
         );
     }

@@ -1,0 +1,295 @@
+//! Multi-tenant fairness: per-job scheduling quotas on shared workers
+//! (paper §7.7).
+//!
+//! The paper's multi-tenancy result rests on two properties: idle jobs cost
+//! (almost) nothing (the idle strategy, PR 1), and *busy* neighbours cannot
+//! crowd a latency-critical job off the cores. Plain round-robin gives every
+//! tasklet one timeslice per round, so a tenant's share of a worker is
+//! proportional to its tasklet count — a hundred small jobs starve the one
+//! that matters. [`JobQuotas`] replaces that with weighted round-robin over
+//! *job groups*: each scheduling cycle hands every job `weight` timeslice
+//! turns regardless of how many tasklets it deploys, and the cycle
+//! interleaves turns (heavy jobs appear in every slot, not as one burst) so
+//! latency-critical turns are never far away.
+//!
+//! Jobs are identified by [`Tasklet::job`](crate::tasklet::Tasklet::job);
+//! DAG vertices opt in by name prefix (`job<N>-…`, see [`job_of_vertex`]).
+//! With no quotas configured, executors keep their original tasklet-level
+//! round-robin loop untouched — bit-identical schedules, zero cost.
+
+/// Per-job scheduling weights. A job's weight is the number of timeslice
+/// turns it receives per scheduling cycle; unlisted jobs get
+/// `default_weight`. Weights are clamped to at least 1 (a zero weight would
+/// silently never schedule a job — starvation must be impossible by
+/// construction).
+#[derive(Debug, Clone)]
+pub struct JobQuotas {
+    weights: Vec<(u32, u32)>,
+    default_weight: u32,
+}
+
+impl Default for JobQuotas {
+    fn default() -> Self {
+        JobQuotas::new()
+    }
+}
+
+impl JobQuotas {
+    pub fn new() -> JobQuotas {
+        JobQuotas {
+            weights: Vec::new(),
+            default_weight: 1,
+        }
+    }
+
+    /// Set `job`'s turns per scheduling cycle.
+    pub fn with_weight(mut self, job: u32, weight: u32) -> JobQuotas {
+        self.weights.retain(|(j, _)| *j != job);
+        self.weights.push((job, weight.max(1)));
+        self
+    }
+
+    /// Turns per cycle for jobs without an explicit weight.
+    pub fn with_default_weight(mut self, weight: u32) -> JobQuotas {
+        self.default_weight = weight.max(1);
+        self
+    }
+
+    pub fn weight(&self, job: u32) -> u32 {
+        self.weights
+            .iter()
+            .find(|(j, _)| *j == job)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.default_weight)
+            .max(1)
+    }
+}
+
+/// Job id of a vertex by naming convention: a `job<N>-` prefix tags the
+/// vertex (and every tasklet instance derived from it) as belonging to
+/// tenant job `N`. Anything else — including infrastructure tasklets like
+/// senders and receivers — belongs to job 0, the shared pool.
+pub fn job_of_vertex(name: &str) -> u32 {
+    let Some(rest) = name.strip_prefix("job") else {
+        return 0;
+    };
+    let digits: &str =
+        &rest[..rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len()];
+    if digits.is_empty() || !rest[digits.len()..].starts_with('-') {
+        return 0;
+    }
+    digits.parse().unwrap_or(0)
+}
+
+struct Group {
+    job: u32,
+    /// Tasklet indices (into the caller's storage) belonging to this job.
+    members: Vec<usize>,
+    /// Round-robin cursor within the group.
+    rr: usize,
+    /// Turns this group receives per cycle (= its job's weight).
+    turns: u32,
+}
+
+/// Weighted round-robin polling order over job groups.
+///
+/// The poller owns *indices only*; the caller owns the tasklets and keeps
+/// their storage index-stable between [`FairPoller::remove_index`] calls
+/// (which mirror a `Vec::remove` on the caller's side). One scheduling
+/// cycle consists of [`FairPoller::cycle_len`] slots; slot order interleaves
+/// jobs — for turn `t` in `0..max_weight`, every job with `weight > t`
+/// appears once — so a high-weight job is polled throughout the cycle
+/// rather than in one burst.
+pub struct FairPoller {
+    groups: Vec<Group>,
+    /// Group index per slot, one full cycle.
+    slots: Vec<usize>,
+    cursor: usize,
+}
+
+impl FairPoller {
+    /// Build the polling order for tasklets whose job ids are `jobs[i]`.
+    pub fn new(jobs: &[u32], quotas: &JobQuotas) -> FairPoller {
+        let mut groups: Vec<Group> = Vec::new();
+        for (idx, &job) in jobs.iter().enumerate() {
+            match groups.iter_mut().find(|g| g.job == job) {
+                Some(g) => g.members.push(idx),
+                None => groups.push(Group {
+                    job,
+                    members: vec![idx],
+                    rr: 0,
+                    turns: quotas.weight(job),
+                }),
+            }
+        }
+        // Deterministic slot order independent of tasklet placement order.
+        groups.sort_by_key(|g| g.job);
+        let max_weight = groups.iter().map(|g| g.turns).max().unwrap_or(1);
+        let mut slots = Vec::new();
+        for turn in 0..max_weight {
+            for (gi, g) in groups.iter().enumerate() {
+                if g.turns > turn {
+                    slots.push(gi);
+                }
+            }
+        }
+        FairPoller {
+            groups,
+            slots,
+            cursor: 0,
+        }
+    }
+
+    /// Slots in one scheduling cycle (= sum of live jobs' weights).
+    pub fn cycle_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Consecutive [`FairPoller::next`] calls guaranteeing every live
+    /// tasklet was polled at least once: the group needing the most cycles
+    /// to cover its members (`ceil(members / turns)`) times the cycle
+    /// length. Executors use this as the "one round" unit for idle
+    /// detection — a fruitless coverage round means nothing can progress.
+    pub fn coverage_polls(&self) -> usize {
+        let cycles = self
+            .groups
+            .iter()
+            .filter(|g| !g.members.is_empty())
+            .map(|g| g.members.len().div_ceil(g.turns as usize))
+            .max()
+            .unwrap_or(0);
+        cycles * self.slots.len().max(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(|g| g.members.is_empty())
+    }
+
+    /// Next tasklet index to poll: advance at most one full cycle of slots,
+    /// skipping emptied groups; `None` means every group is empty.
+    // Not `Iterator`: `None` is "nothing runnable right now", not exhaustion —
+    // adding members makes a drained poller yield again.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<usize> {
+        for _ in 0..self.slots.len() {
+            let slot = self.slots[self.cursor];
+            self.cursor = (self.cursor + 1) % self.slots.len().max(1);
+            let g = &mut self.groups[slot];
+            if g.members.is_empty() {
+                continue;
+            }
+            g.rr %= g.members.len();
+            let idx = g.members[g.rr];
+            g.rr += 1;
+            return Some(idx);
+        }
+        None
+    }
+
+    /// Tasklet `idx` finished and the caller removed it with the equivalent
+    /// of `Vec::remove(idx)`: drop it here and shift higher indices down.
+    pub fn remove_index(&mut self, idx: usize) {
+        for g in &mut self.groups {
+            if let Some(pos) = g.members.iter().position(|&m| m == idx) {
+                g.members.remove(pos);
+                if pos < g.rr {
+                    g.rr -= 1;
+                }
+            }
+            for m in &mut g.members {
+                if *m > idx {
+                    *m -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_job_prefix_parses() {
+        assert_eq!(job_of_vertex("job3-source"), 3);
+        assert_eq!(job_of_vertex("job12-window-accumulate"), 12);
+        assert_eq!(job_of_vertex("source"), 0);
+        assert_eq!(job_of_vertex("job-source"), 0, "no digits");
+        assert_eq!(job_of_vertex("job7source"), 0, "no dash");
+        assert_eq!(job_of_vertex("jobber-3"), 0);
+        assert_eq!(job_of_vertex("job0-sink"), 0);
+    }
+
+    #[test]
+    fn weights_default_and_clamp() {
+        let q = JobQuotas::new().with_weight(1, 8).with_weight(2, 0);
+        assert_eq!(q.weight(1), 8);
+        assert_eq!(q.weight(2), 1, "zero weight clamps to 1");
+        assert_eq!(q.weight(99), 1, "default weight");
+        let q = q.with_default_weight(3);
+        assert_eq!(q.weight(99), 3);
+    }
+
+    #[test]
+    fn heavy_job_gets_weight_share_of_slots() {
+        // Job 1 weight 4, jobs 2..=4 weight 1: cycle = 4 + 3 slots, and
+        // job 1 holds 4 of the 7.
+        let jobs = [1, 2, 3, 4];
+        let q = JobQuotas::new().with_weight(1, 4);
+        let mut p = FairPoller::new(&jobs, &q);
+        assert_eq!(p.cycle_len(), 7);
+        let mut counts = [0usize; 5];
+        for _ in 0..70 {
+            counts[jobs[p.next().unwrap()] as usize] += 1;
+        }
+        assert_eq!(counts[1], 40);
+        assert_eq!(counts[2], 10);
+    }
+
+    #[test]
+    fn turns_interleave_rather_than_burst() {
+        let jobs = [1, 2];
+        let q = JobQuotas::new().with_weight(1, 3);
+        let mut p = FairPoller::new(&jobs, &q);
+        let order: Vec<usize> = (0..p.cycle_len()).map(|_| p.next().unwrap()).collect();
+        // Cycle: turn 0 -> [job1, job2], turns 1,2 -> [job1]: 0 1 0 0.
+        assert_eq!(order, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn group_rr_covers_all_members_of_a_job() {
+        // Job 1 has 3 tasklets at weight 1; job 2 has 1.
+        let jobs = [1, 1, 1, 2];
+        let q = JobQuotas::new();
+        let mut p = FairPoller::new(&jobs, &q);
+        // coverage = ceil(3/1) cycles * 2 slots = 6 polls.
+        assert_eq!(p.coverage_polls(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..p.coverage_polls() {
+            seen.insert(p.next().unwrap());
+        }
+        assert_eq!(seen.len(), 4, "every tasklet polled within coverage");
+    }
+
+    #[test]
+    fn remove_index_shifts_and_skips_empty_groups() {
+        let jobs = [1, 2, 2];
+        let q = JobQuotas::new();
+        let mut p = FairPoller::new(&jobs, &q);
+        // Remove tasklet 0 (all of job 1): caller does Vec::remove(0).
+        p.remove_index(0);
+        assert!(!p.is_empty());
+        // Remaining indices are the shifted job-2 members {0, 1}.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            if let Some(i) = p.next() {
+                seen.insert(i);
+            }
+        }
+        assert_eq!(seen, [0usize, 1].into_iter().collect());
+        p.remove_index(1);
+        p.remove_index(0);
+        assert!(p.is_empty());
+        assert_eq!(p.next(), None);
+    }
+}

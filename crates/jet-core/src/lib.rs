@@ -28,6 +28,7 @@
 
 pub mod dag;
 pub mod exec;
+pub mod fairness;
 pub mod flight;
 pub mod item;
 pub mod log;
@@ -47,6 +48,7 @@ pub mod trace;
 pub mod watermark;
 
 pub use dag::{Dag, Edge, Routing, Vertex, VertexId};
+pub use fairness::{job_of_vertex, FairPoller, JobQuotas};
 pub use flight::{FlightRecorder, LatencyWatchdog};
 pub use item::{Barrier, Item, SnapshotId, Ts};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};

@@ -51,6 +51,13 @@ pub trait Tasklet: Send {
     fn state(&self) -> &'static str {
         "running"
     }
+
+    /// Tenant job this tasklet belongs to for per-job scheduling quotas
+    /// (§7.7). Job 0 is the shared pool: infrastructure tasklets and every
+    /// vertex without a `job<N>-` name prefix live there.
+    fn job(&self) -> u32 {
+        0
+    }
 }
 
 /// One input ordinal's wiring: the conveyor whose lanes are the parallel
@@ -111,6 +118,9 @@ pub const DEFAULT_BATCH: usize = 256;
 /// Tasklet driving one processor instance.
 pub struct ProcessorTasklet {
     vertex: String,
+    /// Tenant job id parsed from the vertex name (`job<N>-` prefix; 0 =
+    /// shared pool).
+    job: u32,
     processor: Box<dyn Processor>,
     ctx: ProcessorContext,
     inputs: Vec<InputState>,
@@ -184,8 +194,10 @@ impl ProcessorTasklet {
         let out_edges = outputs.len();
         let guarantee = ctx.guarantee;
         let vertex = ctx.vertex.clone();
+        let job = crate::fairness::job_of_vertex(&vertex);
         ProcessorTasklet {
             vertex,
+            job,
             processor,
             ctx,
             inputs: input_states,
@@ -717,5 +729,9 @@ impl Tasklet for ProcessorTasklet {
 
     fn state(&self) -> &'static str {
         self.phase_name()
+    }
+
+    fn job(&self) -> u32 {
+        self.job
     }
 }

@@ -60,6 +60,18 @@ pub struct PipelineGraph {
     pub(crate) nodes: Vec<PNode>,
 }
 
+/// The `job<N>-` tenant tag at the start of `name`, if any (the naming
+/// convention `jet_core::fairness::job_of_vertex` parses).
+fn job_prefix(name: &str) -> Option<&str> {
+    let rest = name.strip_prefix("job")?;
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits > 0 && rest[digits..].starts_with('-') {
+        Some(&name[..3 + digits + 1])
+    } else {
+        None
+    }
+}
+
 impl PipelineGraph {
     pub(crate) fn add_node(
         &mut self,
@@ -68,6 +80,25 @@ impl PipelineGraph {
         inputs: Vec<PInput>,
         is_source: bool,
     ) -> usize {
+        // Tenant tagging is by vertex-name prefix (`job<N>-`, see
+        // jet-core::fairness). Users tag the source; downstream stages
+        // carry hardcoded names ("window-accumulate", ...), so inherit the
+        // tag here — when every input belongs to the same tenant, the new
+        // node does too. Multi-tenant joins stay in the shared pool.
+        let name = if job_prefix(&name).is_none() {
+            let tags: Vec<Option<&str>> = inputs
+                .iter()
+                .map(|i| job_prefix(&self.nodes[i.from].name))
+                .collect();
+            match tags.split_first() {
+                Some((Some(tag), rest)) if rest.iter().all(|t| *t == Some(tag)) => {
+                    format!("{tag}{name}")
+                }
+                _ => name,
+            }
+        } else {
+            name
+        };
         self.nodes.push(PNode {
             name,
             kind,

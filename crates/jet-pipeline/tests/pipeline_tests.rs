@@ -252,3 +252,50 @@ fn compile_rejects_nothing_but_is_deterministic() {
     assert_eq!(d1.vertices().len(), d2.vertices().len());
     assert_eq!(d1.edges().len(), d2.edges().len());
 }
+
+#[test]
+fn tenant_job_prefix_propagates_to_downstream_vertices() {
+    // A `job<N>-` source tag must reach every derived vertex so per-job
+    // scheduling quotas (jet-core::fairness) cover the whole tenant
+    // pipeline, not just its source.
+    let p = Pipeline::create();
+    let out: Collected<WindowResult<u64, u64>> = Arc::new(Mutex::new(Vec::new()));
+    let events: Vec<(Ts, u64)> = (0..100u64).map(|i| (i as Ts, i)).collect();
+    p.read_from_vec("job7-src", events)
+        .as_stream()
+        .map(|v| v + 1)
+        .grouping_key(|v| v % 4)
+        .window(WindowDef::tumbling(50))
+        .aggregate(counting::<u64>())
+        .write_to_collect(out.clone());
+    let dag = p.compile(2).unwrap();
+    for v in dag.vertices() {
+        assert_eq!(
+            jet_core::fairness::job_of_vertex(&v.name),
+            7,
+            "vertex {} lost the tenant tag",
+            v.name
+        );
+    }
+    run(&p, 2);
+    assert!(!out.lock().is_empty());
+}
+
+#[test]
+fn untagged_pipelines_keep_their_plain_vertex_names() {
+    let p = Pipeline::create();
+    let c = SharedCounter::new();
+    p.read_from_vec("src", vec![(0, 1u64)])
+        .as_stream()
+        .map(|v| v * 2)
+        .write_to_count(c.clone());
+    let dag = p.compile(2).unwrap();
+    for v in dag.vertices() {
+        assert!(
+            !v.name.starts_with("job"),
+            "spurious tenant tag on {}",
+            v.name
+        );
+        assert_eq!(jet_core::fairness::job_of_vertex(&v.name), 0);
+    }
+}

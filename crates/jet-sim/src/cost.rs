@@ -136,6 +136,11 @@ impl CostedTasklet {
         self.inner.name()
     }
 
+    /// Tenant job of the wrapped tasklet (per-job scheduling quotas).
+    pub fn job(&self) -> u32 {
+        self.inner.job()
+    }
+
     /// Current execution state of the wrapped tasklet (diagnostics).
     pub fn state(&self) -> &'static str {
         if self.done {

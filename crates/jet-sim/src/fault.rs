@@ -234,6 +234,53 @@ impl FaultPlan {
 
         plan
     }
+
+    /// Draw a random plan whose fault *onsets* all land inside `[lo, hi)` —
+    /// the chaos-autoscale lane uses this to aim crash/stall/partition/
+    /// store-outage faults into an expected controller-decision or rescale
+    /// window, rather than spraying them over the whole run. Windowed
+    /// faults (stalls, partitions, outages) may extend past `hi`; only
+    /// their start instant is constrained. Same seed + same spec + same
+    /// window => identical plan, bit for bit.
+    pub fn random_in_window(seed: u64, spec: &RandomFaultSpec, lo: u64, hi: u64) -> FaultPlan {
+        assert!(lo < hi, "empty fault window");
+        let mut rng = SimRng::new(seed);
+        let mut plan = FaultPlan::new(seed);
+        assert!(spec.members >= 2, "fault plans need at least 2 members");
+
+        let mut victims: Vec<u32> = Vec::new();
+        let crashes = rng.below(spec.max_crashes as u64 + 1) as usize;
+        for _ in 0..crashes {
+            let m = rng.below(spec.members as u64) as u32;
+            if victims.contains(&m) {
+                continue;
+            }
+            plan.crash(rng.range(lo, hi), m);
+            victims.push(m);
+        }
+
+        if rng.chance(spec.stall_millionths) {
+            let m = rng.below(spec.members as u64) as u32;
+            let at = rng.range(lo, hi);
+            let dur = rng.range(spec.stall_min, spec.stall_max);
+            plan.stall(at, m, dur);
+        }
+
+        if rng.chance(spec.partition_millionths) {
+            let m = rng.below(spec.members as u64) as u32;
+            let at = rng.range(lo, hi);
+            let dur = rng.range(spec.partition_min, spec.partition_max);
+            plan.partition(at, dur, vec![m]);
+        }
+
+        if rng.chance(spec.store_write_outage_millionths) {
+            let at = rng.range(lo, hi);
+            let dur = rng.range(spec.write_outage_min, spec.write_outage_max);
+            plan.store_write_outage(at, dur);
+        }
+
+        plan
+    }
 }
 
 /// Distribution a random fault schedule is drawn from. Times in virtual
@@ -348,6 +395,39 @@ mod tests {
             "only {} distinct plans",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn windowed_random_plans_start_inside_the_window() {
+        let spec = RandomFaultSpec::default();
+        let (lo, hi) = (40 * MS, 55 * MS);
+        for seed in 0..200 {
+            let p = FaultPlan::random_in_window(seed, &spec, lo, hi);
+            for e in p.events() {
+                let onset = match &e.kind {
+                    // End events of windowed faults may land past `hi`.
+                    FaultKind::PartitionEnd { .. }
+                    | FaultKind::ChaosEnd
+                    | FaultKind::StoreWriteFailEnd
+                    | FaultKind::StoreReadFailEnd => continue,
+                    _ => e.at,
+                };
+                assert!(
+                    (lo..hi).contains(&onset),
+                    "seed {seed}: onset {onset} outside [{lo},{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_random_plans_are_deterministic_per_seed() {
+        let spec = RandomFaultSpec::default();
+        for seed in 0..50 {
+            let a = FaultPlan::random_in_window(seed, &spec, 10 * MS, 20 * MS);
+            let b = FaultPlan::random_in_window(seed, &spec, 10 * MS, 20 * MS);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::cost::{CostModel, CostedTasklet};
 use crate::gc::GcModel;
+use jet_core::fairness::{FairPoller, JobQuotas};
 use jet_core::metrics::TaskletCounters;
 use jet_core::tasklet::Tasklet;
 use jet_core::trace::{TraceWriter, Tracer};
@@ -37,6 +38,10 @@ struct SimCore {
     debt: u64,
     /// Execution-trace writer for this virtual core (no-op when untraced).
     trace: TraceWriter,
+    /// Per-job fairness quotas (§7.7): when set, the round-robin becomes a
+    /// weighted round-robin over job groups. `None` keeps the original
+    /// tasklet-level loop bit-identically.
+    fair: Option<FairPoller>,
 }
 
 impl SimCore {
@@ -44,6 +49,12 @@ impl SimCore {
     /// `now` is the quantum's virtual start time, used to stamp call spans.
     /// Returns nanos of budget consumed.
     fn run_quantum(&mut self, budget: u64, now: u64) -> u64 {
+        if self.fair.is_some() {
+            let mut poller = self.fair.take().expect("checked");
+            let spent = self.run_quantum_fair(&mut poller, budget, now);
+            self.fair = Some(poller);
+            return spent;
+        }
         if self.debt >= budget {
             self.debt -= budget;
             self.busy_nanos += budget;
@@ -97,6 +108,64 @@ impl SimCore {
                 // Core idles the rest of the quantum (paper: tasklets back
                 // off; the idle strategy parks the real thread — here the
                 // remaining budget simply evaporates).
+                self.busy_nanos += spent;
+                return spent;
+            }
+        }
+    }
+
+    /// The quota-scheduled variant of [`SimCore::run_quantum`]: identical
+    /// budget/debt/busy accounting, but polling order comes from the
+    /// weighted [`FairPoller`] and one "round" is a coverage round (every
+    /// live tasklet polled at least once).
+    fn run_quantum_fair(&mut self, poller: &mut FairPoller, budget: u64, now: u64) -> u64 {
+        if self.debt >= budget {
+            self.debt -= budget;
+            self.busy_nanos += budget;
+            return budget;
+        }
+        let debt = std::mem::take(&mut self.debt);
+        let budget = budget - debt;
+        let mut spent = 0u64;
+        if self.tasklets.is_empty() {
+            return 0;
+        }
+        let traced = self.trace.enabled();
+        loop {
+            let mut round_progress = false;
+            let coverage = poller.coverage_polls();
+            if coverage == 0 {
+                // Every group drained: the core is done.
+                self.busy_nanos += spent;
+                return spent;
+            }
+            for _ in 0..coverage {
+                let Some(idx) = poller.next() else {
+                    return spent;
+                };
+                let (p, cost) = self.tasklets[idx].run();
+                if traced && !matches!(p, Progress::NoProgress) {
+                    let name = self.tasklets[idx].trace_name;
+                    self.trace
+                        .record_call(now + debt + spent, cost.max(1), name);
+                }
+                spent += cost;
+                match p {
+                    Progress::Done => {
+                        self.tasklets.remove(idx);
+                        poller.remove_index(idx);
+                        round_progress = true;
+                    }
+                    Progress::MadeProgress => round_progress = true,
+                    Progress::NoProgress => {}
+                }
+                if spent >= budget {
+                    self.debt = spent - budget;
+                    self.busy_nanos += budget;
+                    return spent;
+                }
+            }
+            if !round_progress {
                 self.busy_nanos += spent;
                 return spent;
             }
@@ -162,6 +231,7 @@ impl Simulator {
             stalled_until: 0,
             debt: 0,
             trace: self.tracer.writer(pid, label),
+            fair: None,
         });
         self.cores.len() - 1
     }
@@ -181,6 +251,17 @@ impl Simulator {
         let mut costed = CostedTasklet::new(tasklet, counters, &self.model);
         costed.trace_name = self.cores[core].trace.intern(costed.name());
         self.cores[core].tasklets.push(costed);
+    }
+
+    /// Install per-job fairness quotas (§7.7): every core's round-robin
+    /// becomes a weighted round-robin over the job groups of its currently
+    /// assigned tasklets. Call after all tasklets are assigned — tasklets
+    /// assigned later are not scheduled until quotas are re-installed.
+    pub fn set_job_quotas(&mut self, quotas: &JobQuotas) {
+        for core in &mut self.cores {
+            let jobs: Vec<u32> = core.tasklets.iter().map(|t| t.job()).collect();
+            core.fair = Some(FairPoller::new(&jobs, quotas));
+        }
     }
 
     /// Live tasklets across all cores.
@@ -487,6 +568,70 @@ mod tests {
         );
         s.run_for_ctl(100_000, |tick| tick.now < 5_000);
         assert_eq!(s.now(), 5_000, "break leaves the clock at the break tick");
+    }
+
+    #[test]
+    fn job_quotas_split_a_core_by_weight_not_tasklet_count() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Counting {
+            job: u32,
+            calls: Arc<AtomicU64>,
+        }
+        impl Tasklet for Counting {
+            fn call(&mut self) -> Progress {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                Progress::MadeProgress
+            }
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn job(&self) -> u32 {
+                self.job
+            }
+        }
+        let mut s = sim(1_000);
+        let c = s.add_core();
+        let critical = Arc::new(AtomicU64::new(0));
+        let noisy = Arc::new(AtomicU64::new(0));
+        s.assign(
+            c,
+            Box::new(Counting {
+                job: 1,
+                calls: critical.clone(),
+            }),
+            None,
+        );
+        for _ in 0..9 {
+            s.assign(
+                c,
+                Box::new(Counting {
+                    job: 2,
+                    calls: noisy.clone(),
+                }),
+                None,
+            );
+        }
+        s.set_job_quotas(&JobQuotas::new().with_weight(1, 9));
+        s.run_for(100_000, |_| {});
+        let crit = critical.load(Ordering::Relaxed);
+        let rest = noisy.load(Ordering::Relaxed);
+        // Cycle = 9 job-1 turns + 1 job-2 turn: the critical tenant holds
+        // 90% of the core despite owning 10% of the tasklets.
+        assert!(
+            crit >= rest * 8 && crit <= rest * 10,
+            "critical={crit} noisy={rest}"
+        );
+    }
+
+    #[test]
+    fn quota_scheduled_cores_still_finish_and_pay_debt() {
+        let mut s = sim(1_000);
+        let c = s.add_core();
+        s.assign(c, Box::new(Emitter { remaining: 50 }), None);
+        s.assign(c, Box::new(Emitter { remaining: 5 }), None);
+        s.set_job_quotas(&JobQuotas::new());
+        assert!(s.run_until_done(1_000_000));
+        assert_eq!(s.live_tasklets(), 0);
     }
 
     #[test]

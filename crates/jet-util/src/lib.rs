@@ -19,6 +19,7 @@
 //! * [`seq`] — deterministic 64-bit mixing/hash helpers (partition hashing
 //!   must be stable across nodes and runs).
 
+pub mod backoff;
 pub mod clock;
 pub mod codec;
 pub mod histogram;
@@ -29,6 +30,7 @@ pub mod rng;
 pub mod seq;
 pub mod sync;
 
+pub use backoff::BackoffLadder;
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
 pub use codec::{ByteReader, ByteWriter, DecodeError};
 pub use histogram::Histogram;

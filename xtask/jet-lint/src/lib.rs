@@ -37,9 +37,16 @@
 //!    kebab-case. A name registered as two different instrument kinds
 //!    anywhere in the workspace is a conflict. Escape hatch:
 //!    `// jet-lint: allow(metric-name)` / `allow(span-name)`.
+//! 7. **raw-gauge** — autoscaling decision code (the controller files) may
+//!    not read unsampled instantaneous telemetry (`.snapshot()`,
+//!    `.job_metrics(`, `.counter_total(`, `.gauge_total(`, `.as_gauge(`,
+//!    `.get_all(`): one noisy scheduling quantum must never drive a
+//!    rescale, so decisions read only the windowed sample ring the
+//!    cadenced `observe` ingestion point fills. Sanctioned ingestion
+//!    sites annotate `// jet-lint: allow(raw-gauge) — <reason>`.
 //!
 //! `#[cfg(test)]` / `#[cfg(all(test, ...))]`-gated regions are exempt from
-//! rules 2–6 (tests may sleep, lock, poll and register throwaway names);
+//! rules 2–7 (tests may sleep, lock, poll and register throwaway names);
 //! rule 1 applies everywhere.
 //!
 //! The scanner is a small hand-rolled lexer (comments, strings and char
@@ -333,6 +340,21 @@ const HOT_PATH_FILES: &[&str] = &[
     "network.rs",
 ];
 
+/// Files hosting autoscaling decision logic: instantaneous telemetry reads
+/// there are confined to annotated ingestion points (rule 7).
+const CONTROLLER_FILES: &[&str] = &["controller.rs"];
+
+/// Reads that return a live instantaneous value rather than a windowed
+/// sample: snapshots, snapshot lookups, and gauge/counter extraction.
+const RAW_GAUGE_PATTERNS: &[&str] = &[
+    ".snapshot()",
+    ".job_metrics(",
+    ".counter_total(",
+    ".gauge_total(",
+    ".as_gauge(",
+    ".get_all(",
+];
+
 fn file_matches(file: &str, names: &[&str]) -> bool {
     let base = file.rsplit(['/', '\\']).next().unwrap_or(file);
     names.contains(&base)
@@ -557,6 +579,7 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
 
     let lock_free = file_matches(file, LOCK_FREE_FILES);
     let hot_path = file_matches(file, HOT_PATH_FILES);
+    let controller_file = file_matches(file, CONTROLLER_FILES);
 
     for (i, line) in code.iter().enumerate() {
         // Rule 1: undocumented unsafe — applies everywhere, tests included
@@ -648,6 +671,30 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
                             "span name `{name}` is not lowercase kebab-case \
                              ([a-z][a-z0-9._-]*); annotate \
                              `// jet-lint: allow(span-name)` if intentional"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 7: instantaneous telemetry reads in autoscaling decision
+        // code. A decision driven by a live gauge flaps on single-quantum
+        // noise; all reads go through the cadenced ingestion point, which
+        // carries the allow annotation.
+        if controller_file {
+            for pat in RAW_GAUGE_PATTERNS {
+                if line.contains(pat)
+                    && !comment_nearby(comments, i, 3, "jet-lint: allow(raw-gauge)")
+                {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: i + 1,
+                        rule: "raw-gauge",
+                        message: format!(
+                            "`{pat}` in controller code reads an unsampled instantaneous \
+                             value; decisions must aggregate over the windowed sample \
+                             ring, or annotate a sanctioned ingestion site \
+                             `// jet-lint: allow(raw-gauge) — <reason>`"
                         ),
                     });
                 }
@@ -979,6 +1026,36 @@ mod tests {
         let f = lint_file("a.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "metric-name");
+    }
+
+    #[test]
+    fn raw_gauge_reads_are_flagged_in_controller_files() {
+        let src = "fn decide(&mut self, snap: &MetricsSnapshot) {\n    \
+                   let lag = snap.counter_total(\"jet_backpressure_stalls_total\", &[]);\n}\n";
+        let f = lint_file("controller.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "raw-gauge");
+        // The rule is scoped to controller files.
+        assert!(lint_file("runtime.rs", src).is_empty(), "rule is per-file");
+        // Every instantaneous-read pattern is covered.
+        for call in [
+            "reg.snapshot()",
+            "cluster.job_metrics()",
+            "m.as_gauge()",
+            "snap.gauge_total(\"jet_x_depth\", &[])",
+            "snap.get_all(\"jet_channel_receive_window\")",
+        ] {
+            let src = format!("fn decide(&mut self) {{ let _ = {call}; }}\n");
+            assert_eq!(lint_file("controller.rs", &src).len(), 1, "missed `{call}`");
+        }
+        // The sanctioned ingestion point annotates and passes.
+        let src = "fn observe(&mut self, snap: &MetricsSnapshot) {\n    \
+                   // jet-lint: allow(raw-gauge) — the cadenced ingestion point\n    \
+                   let s = snap.counter_total(\"jet_backpressure_stalls_total\", &[]);\n}\n";
+        assert!(lint_file("controller.rs", src).is_empty());
+        // Tests are exempt.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(r: &R) { let _ = r.snapshot(); }\n}\n";
+        assert!(lint_file("controller.rs", src).is_empty());
     }
 
     #[test]

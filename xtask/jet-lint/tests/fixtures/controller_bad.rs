@@ -1,0 +1,17 @@
+// Lint-test fixture for rule 7 (raw-gauge): autoscaling decision code
+// reading live telemetry instead of the windowed sample ring. This file is
+// never compiled; linted under the label `controller.rs`.
+
+pub fn decide_from_live_telemetry(&mut self) -> Option<Direction> {
+    let snap = self.registry.snapshot(); // seeded: live snapshot in decision code
+    let stalls = snap.counter_total("jet_backpressure_stalls_total", &[]); // seeded
+    let depth = snap
+        .get_all("jet_channel_receive_window") // seeded: snapshot lookup
+        .filter_map(|m| m.as_gauge()) // seeded: gauge extraction
+        .min();
+    if stalls > self.cfg.scale_up_stall_rate || depth < Some(1) {
+        Some(Direction::Up)
+    } else {
+        None
+    }
+}

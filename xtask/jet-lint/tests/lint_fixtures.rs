@@ -38,6 +38,27 @@ fn bad_fixture_trips_every_rule() {
 }
 
 #[test]
+fn controller_bad_fixture_trips_the_raw_gauge_rule() {
+    // Label the fixture as a controller file so rule 7 is in scope.
+    let findings = jet_lint::lint_file("controller.rs", &fixture("controller_bad.rs"));
+    let raw = findings.iter().filter(|f| f.rule == "raw-gauge").count();
+    // One finding per seeded live read: snapshot(), counter_total,
+    // get_all, as_gauge.
+    assert_eq!(raw, 4, "findings: {findings:#?}");
+    // The same file under a non-controller label is out of scope.
+    assert!(
+        jet_lint::lint_file("runtime.rs", &fixture("controller_bad.rs")).is_empty(),
+        "rule 7 must be scoped to controller files"
+    );
+}
+
+#[test]
+fn controller_good_fixture_is_clean() {
+    let findings = jet_lint::lint_file("controller.rs", &fixture("controller_good.rs"));
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let findings = jet_lint::lint_file("exec.rs", &fixture("good.rs"));
     assert!(findings.is_empty(), "false positives: {findings:#?}");

@@ -432,9 +432,80 @@ pub fn validate_bench(doc: &Json) -> Vec<String> {
             if let Some(a) = run.get("attribution") {
                 validate_bench_attribution(&mut c, a, &format!("{path}.attribution"));
             }
+            if let Some(ctl) = run.get("controller") {
+                validate_bench_controller(&mut c, ctl, &format!("{path}.controller"));
+            }
         }
     }
     c.errors
+}
+
+/// Validate the optional per-run `controller` object: the autoscaling
+/// controller's decision timeline (`runs[].controller`, emitted by
+/// `jet_bench` when a run is driven with a `ControllerConfig`). Events must
+/// carry a known `kind`, a virtual timestamp that never goes backwards, and
+/// a member count of at least one wherever one is reported.
+fn validate_bench_controller(c: &mut Checker, ctl: &Json, path: &str) {
+    const KINDS: [&str; 6] = [
+        "decided",
+        "rescale-completed",
+        "rescale-failed",
+        "cooldown",
+        "backoff",
+        "degraded",
+    ];
+    if !matches!(ctl, Json::Obj(_)) {
+        c.fail(path, format_args!("is {}, want object", ctl.kind()));
+        return;
+    }
+    if let Some(m) = c.num(ctl, path, "final_members") {
+        if m < 1.0 {
+            c.fail(path, format_args!("'final_members' is {m}, want >= 1"));
+        }
+    }
+    let Some(events) = c.arr(ctl, path, "events") else {
+        return;
+    };
+    let mut prev_at = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        let epath = format!("{path}.events[{i}]");
+        if !matches!(e, Json::Obj(_)) {
+            c.fail(&epath, format_args!("is {}, want object", e.kind()));
+            continue;
+        }
+        if let Some(at) = c.num(e, &epath, "at") {
+            // The controller appends events as virtual time advances; a
+            // timeline that runs backwards would mean the run is lying
+            // about decision ordering.
+            if at < prev_at {
+                c.fail(
+                    &epath,
+                    format_args!("'at' {at} precedes previous event at {prev_at}"),
+                );
+            }
+            prev_at = prev_at.max(at);
+        }
+        c.str(e, &epath, "label");
+        match c.str(e, &epath, "kind") {
+            Some(kind) if !KINDS.contains(&kind) => {
+                c.fail(&epath, format_args!("unknown event kind '{kind}'"));
+            }
+            _ => {}
+        }
+        match e.get("direction") {
+            Some(Json::Str(d)) if d == "up" || d == "down" => {}
+            Some(other) => c.fail(
+                &epath,
+                format_args!("'direction' is {other:?}, want \"up\" or \"down\""),
+            ),
+            None => {}
+        }
+        if let Some(Json::Num(m)) = e.get("members") {
+            if *m < 1.0 {
+                c.fail(&epath, format_args!("'members' is {m}, want >= 1"));
+            }
+        }
+    }
 }
 
 /// Validate the optional per-run `attribution` object (`jet-bench-v1`): the
@@ -737,6 +808,7 @@ pub fn validate_file(file_name: &str, contents: &str) -> Option<Vec<String>> {
 mod tests {
     use super::*;
     use jet_bench::{BenchReport, RunResult};
+    use jet_cluster::{ControllerEvent, Direction};
     use jet_core::flight::{
         Attribution, AttributionReport, BandWaterfall, Cause, CauseSlice, IncidentReport,
         SpikeFidelity, SpikeIncident, SpikeReport, Stamp,
@@ -792,6 +864,25 @@ mod tests {
             spike: None,
             attribution: Some(sample_attribution_report()),
             timeline: None,
+            controller_events: Some(vec![
+                ControllerEvent::Decided {
+                    at: 15 * MS,
+                    direction: Direction::Up,
+                    occupancy: 912_345,
+                    stall_rate: 2_500,
+                    members: 2,
+                },
+                ControllerEvent::RescaleCompleted {
+                    at: 40 * MS,
+                    direction: Direction::Up,
+                    members: 3,
+                },
+                ControllerEvent::CooldownEntered {
+                    at: 40 * MS,
+                    until: 90 * MS,
+                },
+            ]),
+            members_final: 3,
         }
     }
 
@@ -1002,6 +1093,44 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("unknown series kind 'bogus'")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn controller_validation_catches_bad_timelines() {
+        let json = r#"{
+            "bench": "x", "params": {},
+            "runs": [{"label": "a", "params": {},
+                "controller": {"final_members": 0, "events": [
+                    {"at": 5000, "kind": "decided", "label": "scale-up",
+                     "direction": "sideways", "members": 0},
+                    {"at": 4000, "kind": "warp", "label": "?"}
+                ]}}]
+        }"#;
+        let errors = validate_bench(&parse(json).expect("parse"));
+        assert!(
+            errors.iter().any(|e| e.contains("'final_members' is 0")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("'members' is 0")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("want \"up\" or \"down\"")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("unknown event kind 'warp'")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("'at' 4000 precedes previous event at 5000")),
             "{errors:#?}"
         );
     }
