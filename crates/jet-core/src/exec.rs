@@ -161,13 +161,14 @@ impl ExecutionHandle {
 }
 
 /// Run one worker's round-robin loop until all its tasklets are done.
-fn worker_loop(tasklets: Vec<Box<dyn Tasklet>>, live: Arc<AtomicUsize>) {
-    worker_loop_observed(tasklets, live, None)
+fn worker_loop(tasklets: Vec<Box<dyn Tasklet>>, live_tasklets: Arc<AtomicUsize>) {
+    worker_loop_observed(tasklets, live_tasklets, None)
 }
 
 /// One observed tasklet call: per-call wall-clock histogram, trace span on
 /// progress, and the rate-limited hog warning when a cooperative call
 /// overruns its budget.
+// jet-analyze: allow(panic, instant) — self-profiling timestamps; the hog-warning text is built inside the rate-limited log closure
 fn observed_call(
     t: &mut dyn Tasklet,
     trace_name: u32,
@@ -207,9 +208,10 @@ fn observed_call(
 /// deploys. The idle strategy engages when one full *coverage round* (every
 /// live tasklet polled at least once) makes no progress — the same
 /// "nothing can run" condition the flat loop uses.
+// jet-analyze: allow(alloc, instant) — one-time tasklet and trace-name setup before the poll loop; idle-park timestamps only when tracing is enabled
 fn worker_loop_fair(
     tasklets: Vec<Box<dyn Tasklet>>,
-    live: Arc<AtomicUsize>,
+    live_tasklets: Arc<AtomicUsize>,
     quotas: &JobQuotas,
     mut obs: Option<WorkerObs>,
 ) {
@@ -246,7 +248,7 @@ fn worker_loop_fair(
                     progressed = true;
                     // ordering: SeqCst — pairs with `live_tasklets` exactly
                     // as in the flat loop.
-                    live.fetch_sub(1, Ordering::SeqCst);
+                    live_tasklets.fetch_sub(1, Ordering::SeqCst);
                     tasklets.remove(idx);
                     poller.remove_index(idx);
                 }
@@ -283,9 +285,10 @@ fn worker_loop_fair(
 /// `worker_loop` with optional self-profiling: per-round busy/idle counters,
 /// a per-`call()` wall-clock histogram, and the rate-limited warning when a
 /// cooperative tasklet overruns its call budget.
+// jet-analyze: allow(alloc, instant) — one-time tasklet and trace-name setup before the poll loop; idle-park timestamps only when tracing is enabled
 fn worker_loop_observed(
     tasklets: Vec<Box<dyn Tasklet>>,
-    live: Arc<AtomicUsize>,
+    live_tasklets: Arc<AtomicUsize>,
     mut obs: Option<WorkerObs>,
 ) {
     // Tasklet names are interned once here (cold); the hot loop only ever
@@ -321,7 +324,7 @@ fn worker_loop_observed(
                     // ordering: SeqCst — pairs with `live_tasklets`: the
                     // decrement must totally order after this tasklet's
                     // final effects. Runs once per tasklet lifetime.
-                    live.fetch_sub(1, Ordering::SeqCst);
+                    live_tasklets.fetch_sub(1, Ordering::SeqCst);
                     false
                 }
             }
@@ -394,7 +397,7 @@ pub fn spawn_threaded_fair(
     quotas: JobQuotas,
 ) -> ExecutionHandle {
     let threads = threads.max(1);
-    let live = Arc::new(AtomicUsize::new(tasklets.len()));
+    let live_tasklets = Arc::new(AtomicUsize::new(tasklets.len()));
     let mut coop: Vec<Vec<Box<dyn Tasklet>>> = (0..threads).map(|_| Vec::new()).collect();
     let mut joins = Vec::new();
     let mut next = 0usize;
@@ -404,11 +407,11 @@ pub fn spawn_threaded_fair(
             coop[next % threads].push(t);
             next += 1;
         } else {
-            let live = live.clone();
+            let live_tasklets = live_tasklets.clone();
             let wo = obs.map(|o| o.for_worker(&format!("dedicated-{dedicated}")));
             dedicated += 1;
             joins.push(std::thread::spawn(move || {
-                worker_loop_observed(vec![t], live, wo)
+                worker_loop_observed(vec![t], live_tasklets, wo)
             }));
         }
     }
@@ -416,16 +419,16 @@ pub fn spawn_threaded_fair(
         if worker_tasklets.is_empty() {
             continue;
         }
-        let live = live.clone();
+        let live_tasklets = live_tasklets.clone();
         let wo = obs.map(|o| o.for_worker(&i.to_string()));
         let quotas = quotas.clone();
         joins.push(std::thread::spawn(move || {
-            worker_loop_fair(worker_tasklets, live, &quotas, wo)
+            worker_loop_fair(worker_tasklets, live_tasklets, &quotas, wo)
         }));
     }
     ExecutionHandle {
         cancelled,
-        live_tasklets: live,
+        live_tasklets,
         joins,
     }
 }
@@ -437,7 +440,7 @@ fn spawn_threaded_inner(
     obs: Option<&ExecObservability>,
 ) -> ExecutionHandle {
     let threads = threads.max(1);
-    let live = Arc::new(AtomicUsize::new(tasklets.len()));
+    let live_tasklets = Arc::new(AtomicUsize::new(tasklets.len()));
     let mut coop: Vec<Vec<Box<dyn Tasklet>>> = (0..threads).map(|_| Vec::new()).collect();
     let mut joins = Vec::new();
     let mut next = 0usize;
@@ -447,11 +450,11 @@ fn spawn_threaded_inner(
             coop[next % threads].push(t);
             next += 1;
         } else {
-            let live = live.clone();
+            let live_tasklets = live_tasklets.clone();
             let wo = obs.map(|o| o.for_worker(&format!("dedicated-{dedicated}")));
             dedicated += 1;
             joins.push(std::thread::spawn(move || {
-                worker_loop_observed(vec![t], live, wo)
+                worker_loop_observed(vec![t], live_tasklets, wo)
             }));
         }
     }
@@ -459,15 +462,15 @@ fn spawn_threaded_inner(
         if worker_tasklets.is_empty() {
             continue;
         }
-        let live = live.clone();
+        let live_tasklets = live_tasklets.clone();
         let wo = obs.map(|o| o.for_worker(&i.to_string()));
         joins.push(std::thread::spawn(move || {
-            worker_loop_observed(worker_tasklets, live, wo)
+            worker_loop_observed(worker_tasklets, live_tasklets, wo)
         }));
     }
     ExecutionHandle {
         cancelled,
-        live_tasklets: live,
+        live_tasklets,
         joins,
     }
 }
@@ -495,17 +498,17 @@ pub fn spawn_thread_per_operator(
     tasklets: Vec<Box<dyn Tasklet>>,
     cancelled: Arc<AtomicBool>,
 ) -> ExecutionHandle {
-    let live = Arc::new(AtomicUsize::new(tasklets.len()));
+    let live_tasklets = Arc::new(AtomicUsize::new(tasklets.len()));
     let joins: Vec<JoinHandle<()>> = tasklets
         .into_iter()
         .map(|t| {
-            let live = live.clone();
-            std::thread::spawn(move || worker_loop(vec![t], live))
+            let live_tasklets = live_tasklets.clone();
+            std::thread::spawn(move || worker_loop(vec![t], live_tasklets))
         })
         .collect();
     ExecutionHandle {
         cancelled,
-        live_tasklets: live,
+        live_tasklets,
         joins,
     }
 }

@@ -109,6 +109,7 @@ pub struct FairPoller {
 
 impl FairPoller {
     /// Build the polling order for tasklets whose job ids are `jobs[i]`.
+    // jet-analyze: allow(alloc) — poller tables are built once per worker at execution start
     pub fn new(jobs: &[u32], quotas: &JobQuotas) -> FairPoller {
         let mut groups: Vec<Group> = Vec::new();
         for (idx, &job) in jobs.iter().enumerate() {

@@ -161,6 +161,7 @@ impl LatencyWatchdog {
     /// Feed one emission: `now` is the virtual emission instant, `event_ts`
     /// the event's occurrence timestamp, `latency = now - event_ts`. Called
     /// from the latency sink; costs real time only.
+    // jet-analyze: allow(alloc, block) — watchdog bookkeeping: short uncontended lock; the spike ring is capacity-bounded
     pub fn observe(&self, now: u64, event_ts: u64, latency: u64) {
         let Some(inner) = &self.inner else { return };
         let mut w = inner.lock();
@@ -642,6 +643,7 @@ impl ProvenanceSampler {
     }
 
     /// Record one emitted event's journey.
+    // jet-analyze: allow(alloc, block) — sampling path: only sampled events enter; lock and maps bounded by the sample budget
     pub fn observe(&self, event_ts: u64, emitted_at: u64, latency: u64) {
         let Some(inner) = &self.inner else { return };
         let mut p = inner.lock();

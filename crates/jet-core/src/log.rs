@@ -49,6 +49,7 @@ impl RateLimitedLog {
 
     /// Emit `message()` if the interval since the last emission has passed
     /// (the first call always emits). Returns whether it was emitted.
+    // jet-analyze: allow(block, instant) — the elapsed check is the rate limiter itself; the lock and message fire at most once per window
     pub fn warn(&self, message: impl FnOnce() -> String) -> bool {
         let now = self.start.elapsed().as_nanos() as u64;
         let mut last = self.last_emit_nanos.load(Ordering::Relaxed);

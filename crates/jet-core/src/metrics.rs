@@ -108,6 +108,7 @@ impl SharedHistogram {
         }
     }
 
+    // jet-analyze: allow(block) — histogram mutex: one steady-state recorder per handle, held for a bucket increment
     pub fn record(&self, v: u64) {
         self.inner.lock().record(v);
     }
@@ -118,6 +119,7 @@ impl SharedHistogram {
 
     /// Lock once and record a whole batch (sinks use this: one lock per
     /// inbox batch, never per event).
+    // jet-analyze: allow(block) — one lock per inbox batch by design, never per event
     pub fn record_batch(&self, values: impl Iterator<Item = u64>) {
         let mut h = self.inner.lock();
         for v in values {

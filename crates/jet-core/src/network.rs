@@ -157,6 +157,7 @@ impl NetworkFaults {
     }
 
     /// Is the link between members `a` and `b` currently cut?
+    // jet-analyze: allow(block) — fault-injection table: short uncontended lock outside chaos runs
     pub fn partitioned(&self, a: u32, b: u32) -> bool {
         if !self.partitions_active.load(Ordering::Acquire) {
             return false;
@@ -169,6 +170,7 @@ impl NetworkFaults {
 
     /// Extra delivery delay for a data batch under the current chaos window
     /// (jitter plus any modeled retransmission). 0 when chaos is off.
+    // jet-analyze: allow(block) — fault-injection table: short uncontended lock outside chaos runs
     pub fn data_delay(&self) -> u64 {
         if !self.chaos_active.load(Ordering::Acquire) {
             return 0;
@@ -276,6 +278,7 @@ impl InMemoryTransport {
 }
 
 impl Transport for InMemoryTransport {
+    // jet-analyze: allow(alloc, block) — in-memory NIC stand-in: the lock models the network boundary; queues reach steady capacity
     fn send_data(&self, channel: ChannelId, items: Vec<Item>) {
         let extra = self.faults.as_ref().map(|f| f.data_delay()).unwrap_or(0);
         let at = self.clock.now_nanos() + self.latency_nanos + extra;
@@ -288,6 +291,7 @@ impl Transport for InMemoryTransport {
         q.push_back((at, items));
     }
 
+    // jet-analyze: allow(alloc, block) — in-memory NIC stand-in: the lock models the network boundary; queues reach steady capacity
     fn send_ack(&self, channel: ChannelId, grant: u64) {
         let at = self.clock.now_nanos() + self.latency_nanos;
         self.acks
@@ -297,6 +301,7 @@ impl Transport for InMemoryTransport {
             .push_back((at, grant));
     }
 
+    // jet-analyze: allow(block, panic) — in-memory NIC stand-in: the lock models the network boundary; front checked under the same lock
     fn poll_data(&self, channel: ChannelId) -> Option<Vec<Item>> {
         if self.blocked(channel.from, channel.to) {
             return None;
@@ -311,6 +316,7 @@ impl Transport for InMemoryTransport {
         }
     }
 
+    // jet-analyze: allow(block, panic) — in-memory NIC stand-in: the lock models the network boundary; front checked under the same lock
     fn poll_ack(&self, channel: ChannelId) -> Option<u64> {
         // Acks flow receiver -> sender: the partition check must mirror
         // that direction (`to` is the data receiver originating the ack).
@@ -523,6 +529,7 @@ impl SenderTasklet {
             && (0..self.lane_done.len()).all(|l| self.barrier_seen[l] || self.lane_done[l])
     }
 
+    // jet-analyze: allow(alloc) — sender frame buffer grows to steady capacity during warm-up
     fn push(&mut self, item: Item) {
         self.batch.push(item);
         self.sent += 1;
@@ -558,6 +565,7 @@ impl SenderTasklet {
 }
 
 impl Tasklet for SenderTasklet {
+    // jet-analyze: allow(alloc, panic) — sender frame buffer reaches steady capacity; the in-flight expect is guarded by the accounting above
     fn call(&mut self) -> Progress {
         if self.finished {
             return Progress::Done;
@@ -826,6 +834,7 @@ impl ReceiverTasklet {
 }
 
 impl Tasklet for ReceiverTasklet {
+    // jet-analyze: allow(alloc) — reassembled batch buffer reaches steady-state capacity
     fn call(&mut self) -> Progress {
         if self.finished {
             return Progress::Done;

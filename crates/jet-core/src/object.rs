@@ -34,6 +34,7 @@ pub trait Object: Any + Send {
 }
 
 impl<T: Any + Send + Clone + std::fmt::Debug> Object for T {
+    // jet-analyze: allow(alloc) — deep clone is the defined semantics of Object fan-out to multiple outputs
     fn clone_object(&self) -> BoxedObject {
         SmallObject::of(self.clone())
     }
@@ -163,6 +164,7 @@ impl SmallObject {
     /// Erase `value`, storing it inline if it fits (≤ [`INLINE_CAP`] bytes,
     /// ≤ 8-byte alignment) and boxing it otherwise.
     #[inline]
+    // jet-analyze: allow(alloc) — boxing at object-creation time is the cost of the dynamic Object model, paid at ingress
     pub fn of<T: Any + Send + Clone + std::fmt::Debug>(value: T) -> SmallObject {
         if size_of::<T>() <= INLINE_CAP && align_of::<T>() <= align_of::<InlineBuf>() {
             let mut buf = InlineBuf([MaybeUninit::uninit(); INLINE_CAP]);
@@ -268,6 +270,7 @@ impl SmallObject {
 /// message on mismatch (a mismatch is always an engine-wiring bug, never a
 /// data error, so failing fast is right). Allocation-free for inline
 /// payloads — prefer this over [`downcast`] on hot paths.
+// jet-analyze: allow(panic) — type-contract violations are documented to panic
 pub fn take<T: Any>(obj: BoxedObject) -> T {
     obj.try_take::<T>().unwrap_or_else(|obj| {
         panic!(
@@ -286,6 +289,7 @@ pub fn downcast<T: Any>(obj: BoxedObject) -> Box<T> {
 }
 
 /// Borrow-downcast without consuming.
+// jet-analyze: allow(panic) — type-contract violations are documented to panic
 pub fn downcast_ref<T: Any>(obj: &dyn Object) -> &T {
     obj.as_any().downcast_ref::<T>().unwrap_or_else(|| {
         panic!(

@@ -71,6 +71,7 @@ impl OutboundCollector {
 
     /// Offer a data event according to the routing policy. On failure the
     /// item is handed back for a later retry.
+    // jet-analyze: allow(panic) — partitioned routing only ever sees events; barriers take the broadcast arm
     pub fn offer_event(&mut self, item: Item) -> Result<(), Item> {
         debug_assert!(item.is_event());
         match &self.routing {
@@ -120,6 +121,7 @@ impl OutboundCollector {
     /// serializing on one consumer. Isolated routing moves the whole run
     /// with a single bulk offer; partitioned and broadcast routing still
     /// decide per item. Returns the number moved.
+    // jet-analyze: allow(alloc, panic) — front checked just above; push_front returns the popped item into existing spare capacity
     pub fn offer_event_run(&mut self, buf: &mut VecDeque<Item>, max: usize) -> usize {
         /// Draining iterator over the leading event run of the edge buffer:
         /// stops (leaving the buffer intact) at the first control item, so

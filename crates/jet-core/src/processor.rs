@@ -61,7 +61,11 @@ pub struct ProcessorContext {
 
 impl ProcessorContext {
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Relaxed)
+        // ordering: Acquire — pairs with the SeqCst (release-side) store in
+        // `ExecutionHandle::cancel`, so everything the canceller did before
+        // cancelling is visible to a source that observes the flag. A
+        // Relaxed load here paired that store with nothing.
+        self.cancelled.load(Ordering::Acquire)
     }
 
     pub fn now_nanos(&self) -> u64 {
@@ -94,6 +98,7 @@ impl Inbox {
         }
     }
 
+    // jet-analyze: allow(alloc) — inbox deque reaches steady-state capacity after warm-up
     pub fn push(&mut self, ts: Ts, obj: BoxedObject) {
         self.items.push_back((ts, obj));
     }
@@ -175,6 +180,7 @@ impl Outbox {
     /// Offer an item to output edge `ordinal`. `false` = buffer full, retry
     /// in the next timeslice.
     #[inline]
+    // jet-analyze: allow(alloc) — outbox bucket reaches steady-state capacity after warm-up
     pub fn offer(&mut self, ordinal: usize, item: Item) -> bool {
         if self.blocked || self.bufs[ordinal].len() >= self.batch_limit {
             return false;
@@ -195,6 +201,7 @@ impl Outbox {
     /// Offer an item to *all* output edges (watermarks, barriers, done
     /// flags, broadcast events). All-or-nothing; vacuously succeeds for a
     /// sink with no output edges.
+    // jet-analyze: allow(alloc) — outbox buckets reach steady-state capacity after warm-up
     pub fn broadcast(&mut self, item: Item) -> bool {
         if self.blocked || self.bufs.iter().any(|b| b.len() >= self.batch_limit) {
             return false;
@@ -228,6 +235,7 @@ impl Outbox {
 
     /// Stage one state record for the in-flight snapshot (§4.4). Unbounded:
     /// snapshot pressure is bounded by state size, not stream rate.
+    // jet-analyze: allow(alloc) — snapshot records travel with the epoch barrier, not the per-event path
     pub fn offer_snapshot(&mut self, key: Vec<u8>, value: Vec<u8>) -> bool {
         self.snapshot_buf.push((key, value));
         true

@@ -73,6 +73,7 @@ where
         self.table.values().map(|v| v.len()).sum()
     }
 
+    // jet-analyze: allow(alloc) — re-queues the unfitting tail into existing deque capacity
     fn flush_pending(&mut self, outbox: &mut Outbox) -> bool {
         while let Some((ts, r)) = self.pending.pop_front() {
             if !outbox.offer_event(0, ts, crate::object::boxed(r.clone())) {
@@ -91,6 +92,7 @@ where
     P: 'static,
     R: Clone + Send + std::fmt::Debug + 'static,
 {
+    // jet-analyze: allow(alloc, panic) — keyed join state grows with key cardinality; the panic arm is an item-kind invariant
     fn process(
         &mut self,
         ordinal: usize,

@@ -33,6 +33,7 @@ impl<T: Clone + Send + 'static> CollectSink<T> {
 }
 
 impl<T: Clone + Send + 'static> Processor for CollectSink<T> {
+    // jet-analyze: allow(alloc, block) — collection sink is a test/bench aid: events land in a shared Vec under a short lock
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
         let mut out = self.out.lock();
         inbox.drain_all(|ts, obj| out.push((ts, crate::object::take::<T>(obj))));
@@ -202,6 +203,7 @@ where
         }
     }
 
+    // jet-analyze: allow(alloc, block, panic) — commit path runs once per epoch barrier, not per event
     fn commit_completed(&mut self) {
         let completed = self.registry.completed();
         while let Some((id, _)) = self.prepared.front() {
@@ -218,12 +220,14 @@ impl<T> Processor for TransactionalSink<T>
 where
     T: Clone + Send + Snap + 'static,
 {
+    // jet-analyze: allow(alloc) — per-event record lands in the open transaction's batch-amortized buffer
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
         let active = &mut self.active;
         inbox.drain_all(|ts, obj| active.push((ts, crate::object::take::<T>(obj))));
         self.commit_completed();
     }
 
+    // jet-analyze: allow(alloc, block) — drains pending transactions at stream end (cold by definition)
     fn complete(&mut self, _: &mut Outbox, _: &ProcessorContext) -> bool {
         self.commit_completed();
         // On (normal) job completion, commit the remainder.
@@ -234,6 +238,7 @@ where
         true
     }
 
+    // jet-analyze: allow(alloc) — snapshot serialization clones pending state once per epoch
     fn save_snapshot(&mut self, id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
         // Prepare phase: stage the active transaction under this snapshot,
         // and persist it so recovery can re-commit it.
@@ -287,6 +292,7 @@ impl<T> Processor for IdempotentSink<T>
 where
     T: Clone + Send + 'static,
 {
+    // jet-analyze: allow(alloc, block) — dedup set grows with distinct-key cardinality; the lock is the sink's published contract
     fn process(&mut self, _: usize, inbox: &mut Inbox, _: &mut Outbox, _: &ProcessorContext) {
         let (seen, published, id_fn) = (&mut self.seen, &self.published, &self.id_fn);
         inbox.drain_all(|_ts, obj| {
@@ -298,6 +304,7 @@ where
         });
     }
 
+    // jet-analyze: allow(alloc) — snapshot serialization walks the dedup set once per epoch
     fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
         let ids: Vec<u64> = self.seen.iter().copied().collect();
         outbox.offer_snapshot((ctx.global_index as u64).to_bytes(), ids.to_bytes());

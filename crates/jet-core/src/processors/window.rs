@@ -160,6 +160,7 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
     /// Apply a late contribution for `key` to the running accumulator.
     /// `newly_in_frame` is true when this is the key's first item in that
     /// frame (the live-frame refcount must grow by one then).
+    // jet-analyze: allow(alloc) — late merge touches the running frame's keyed map (cardinality-bounded)
     fn add_late_to_running<R>(
         &mut self,
         key: &K,
@@ -182,6 +183,7 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
 
     /// Emit the next due window (if `next_emit <= wm`) into `out`. Returns
     /// `false` when no window was due. `op` supplies combine/deduct/finish.
+    // jet-analyze: allow(alloc) — window emission clones keyed aggregates once per window close, not per event
     fn produce_next_window<R>(
         &mut self,
         wm: Ts,
@@ -271,6 +273,7 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
         true
     }
 
+    // jet-analyze: allow(alloc) — snapshot clones keyed state once per epoch
     fn save(&self, outbox: &mut Outbox, instance: usize) {
         // Record keys embed the writing instance: several parallel instances
         // may hold state for the same (key, frame) — most importantly the
@@ -414,6 +417,7 @@ where
     A: Snap + Clone + Send + 'static,
     R: Clone + Send + Debug + 'static,
 {
+    // jet-analyze: allow(alloc) — keyed frame state grows with key cardinality; clones are the Object model's fan-out cost
     fn process(
         &mut self,
         ordinal: usize,
@@ -442,6 +446,7 @@ where
         }
     }
 
+    // jet-analyze: allow(panic) — frame-queue invariants guarded by watermark ordering; emission allocs happen once per window close
     fn try_process_watermark(
         &mut self,
         wm: Ts,
@@ -526,6 +531,7 @@ where
     A: Snap + Clone + Send + Debug + 'static,
     R: 'static,
 {
+    // jet-analyze: allow(alloc) — keyed frame state grows with key cardinality; clones are the Object model's fan-out cost
     fn process(
         &mut self,
         ordinal: usize,
@@ -546,6 +552,7 @@ where
         }
     }
 
+    // jet-analyze: allow(alloc, panic) — frame-queue invariants guarded by watermark ordering; emission allocs happen once per window close
     fn try_process_watermark(
         &mut self,
         wm: Ts,
@@ -589,6 +596,7 @@ where
         self.try_process_watermark(Ts::MAX - self.wdef.slide, outbox, ctx)
     }
 
+    // jet-analyze: allow(alloc) — snapshot clones keyed state once per epoch
     fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
         // Stage-1 state is *not* partitioned by key (it is node-local), so
         // records are keyed by (instance, key, frame) to avoid collisions,
@@ -671,6 +679,7 @@ where
     A: Snap + Clone + Send + Debug + 'static,
     R: Clone + Send + Debug + 'static,
 {
+    // jet-analyze: allow(alloc) — keyed frame state grows with key cardinality; clones are the Object model's fan-out cost
     fn process(
         &mut self,
         _ordinal: usize,
@@ -705,6 +714,7 @@ where
         }
     }
 
+    // jet-analyze: allow(panic) — frame-queue invariants guarded by watermark ordering; emission allocs happen once per window close
     fn try_process_watermark(
         &mut self,
         wm: Ts,

@@ -155,6 +155,7 @@ impl SnapshotRegistry {
     /// Tasklet: persist staged state records for `vertex` under `id`. A
     /// store write failure poisons the snapshot: barriers still drain, but
     /// it will never be marked complete.
+    // jet-analyze: allow(alloc, block) — snapshot registry: epoch-barrier path under a short registry lock, once per epoch
     pub fn write_records(&self, id: SnapshotId, vertex: &str, records: Vec<(Vec<u8>, Vec<u8>)>) {
         if let Some(store) = &self.store {
             let mut ok = true;
@@ -170,6 +171,7 @@ impl SnapshotRegistry {
     /// Finish snapshot `id`: advance `completed` so the next trigger can
     /// fire, and — unless the snapshot was poisoned by a write failure —
     /// durably mark it as a recovery point.
+    // jet-analyze: allow(block) — snapshot registry: epoch-barrier path under a short registry lock, once per epoch
     fn finish(&self, id: SnapshotId) {
         let poisoned = self.poisoned.lock().remove(&id);
         if !poisoned {
@@ -182,6 +184,7 @@ impl SnapshotRegistry {
 
     /// Tasklet: ack completion of barrier handling for `id`. When the last
     /// participant acks, the snapshot is marked complete.
+    // jet-analyze: allow(alloc, block) — snapshot registry: epoch-barrier path under a short registry lock, once per epoch
     pub fn ack(&self, id: SnapshotId) {
         if id <= self.completed.load(Ordering::Acquire) {
             return; // late ack for an abandoned (or finished) snapshot
@@ -204,6 +207,7 @@ impl SnapshotRegistry {
     }
 
     /// A tasklet finished for good; it will not ack future snapshots.
+    // jet-analyze: allow(alloc, block) — snapshot registry: epoch-barrier path under a short registry lock, once per epoch
     pub fn retire_participant(&self) {
         // ordering: SeqCst — retirement races the ack path's completion
         // check; the total order makes exactly one side complete the

@@ -399,6 +399,7 @@ impl ProcessorTasklet {
 
     /// The Process-phase drain over input conveyors. Returns `true` if any
     /// work was done.
+    // jet-analyze: allow(panic) — phase-machine invariants: arms guarded by the preceding state checks
     fn drain_inputs(&mut self) -> bool {
         let mut worked = false;
         // Priority gating: only drain ordinals in the highest-priority
@@ -544,6 +545,7 @@ impl ProcessorTasklet {
 }
 
 impl ProcessorTasklet {
+    // jet-analyze: allow(panic) — phase-machine invariants: the expects are guarded by the state checks above
     fn call_phase(&mut self) -> Progress {
         if self.phase == Phase::Done {
             return Progress::Done;

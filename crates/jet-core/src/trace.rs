@@ -234,6 +234,7 @@ impl NameTable {
         }
     }
 
+    // jet-analyze: allow(alloc) — names are interned once per distinct string at wiring time
     fn intern(&mut self, name: &str) -> u32 {
         if let Some(&id) = self.index.get(name) {
             return id;
@@ -461,6 +462,7 @@ impl TraceWriter {
 
     /// Intern a name through the owning tracer (cold path). 0 when
     /// disabled.
+    // jet-analyze: allow(block) — names are interned once per distinct string at wiring time
     pub fn intern(&self, name: &str) -> u32 {
         match &self.inner {
             Some(w) => w.tracer.names.lock().intern(name),

@@ -87,6 +87,7 @@ pub enum WmAction {
 pub const IDLE_CHANNEL: Ts = Ts::MAX;
 
 impl EventTimeMapper {
+    // jet-analyze: allow(panic) — constructor parameter validation at wiring time
     pub fn new(allowed_lag: Ts, min_stride: Ts, idle_timeout_nanos: u64) -> Self {
         assert!(allowed_lag >= 0 && min_stride >= 0);
         EventTimeMapper {

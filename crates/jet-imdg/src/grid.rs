@@ -38,6 +38,7 @@ pub struct PartitionStore {
 }
 
 impl PartitionStore {
+    // jet-analyze: allow(alloc) — IMDG stand-in: named-slice tables are keyed by owned strings
     pub fn slice_mut<F>(&mut self, name: &str, create: F) -> &mut Box<dyn AnyMapSlice>
     where
         F: FnOnce() -> Box<dyn AnyMapSlice>,
@@ -92,11 +93,13 @@ impl MemberNode {
     }
 
     /// Lock the store of one partition.
+    // jet-analyze: allow(block) — IMDG stand-in: partition tables under short locks model the member boundary
     pub fn partition(&self, p: PartitionId) -> parking_lot::MutexGuard<'_, PartitionStore> {
         self.partitions[p.0 as usize].lock()
     }
 
     /// Total entries across all partitions and maps on this member.
+    // jet-analyze: allow(block) — IMDG stand-in: partition tables under short locks model the member boundary
     pub fn entry_count(&self) -> usize {
         self.partitions.iter().map(|p| p.lock().entry_count()).sum()
     }
@@ -183,6 +186,7 @@ impl Grid {
     }
 
     /// Primary owner node of partition `p`.
+    // jet-analyze: allow(block) — IMDG stand-in: partition tables under short locks model the member boundary
     pub fn primary_node(&self, p: PartitionId) -> Result<Arc<MemberNode>, GridError> {
         let st = self.inner.state.read();
         let m = st.table.primary(p).ok_or(GridError::NoMembers)?;
@@ -190,6 +194,7 @@ impl Grid {
     }
 
     /// All replica nodes (primary first) of partition `p` that are alive.
+    // jet-analyze: allow(alloc, block) — IMDG stand-in: partition tables under short locks model the member boundary
     pub fn replica_nodes(&self, p: PartitionId) -> Vec<Arc<MemberNode>> {
         let st = self.inner.state.read();
         st.table
@@ -284,6 +289,7 @@ impl Grid {
 
     /// Sum of entries over primary replicas of a named map — the logical
     /// size of the map.
+    // jet-analyze: allow(block) — IMDG stand-in: partition tables under short locks model the member boundary
     pub fn map_size(&self, name: &str) -> usize {
         let st = self.inner.state.read();
         let mut total = 0;

@@ -45,7 +45,7 @@ const TAIL_PUBLISH: Ordering = if cfg!(jet_weak_ordering) {
 /// when a caller closure panics mid-batch (otherwise `Shared::drop` would
 /// double-drop the items already moved out).
 struct HeadPublish<'a> {
-    at: &'a AtomicUsize,
+    head: &'a AtomicUsize,
     val: usize,
     start: usize,
 }
@@ -56,7 +56,7 @@ impl Drop for HeadPublish<'_> {
             // ordering: Release — same contract as the per-item store in
             // `poll` (pairs with the producer's Acquire refresh of `head`),
             // but one store per batch.
-            self.at.store(self.val, Ordering::Release);
+            self.head.store(self.val, Ordering::Release);
         }
     }
 }
@@ -202,7 +202,7 @@ impl<T> Producer<T> {
         // and a panic there must still publish the items already written
         // into their slots (otherwise `Shared::drop` would leak them).
         struct Publish<'a> {
-            at: &'a AtomicUsize,
+            tail: &'a AtomicUsize,
             val: usize,
             start: usize,
         }
@@ -213,12 +213,12 @@ impl<T> Producer<T> {
                     // `TAIL_PUBLISH` (Release) makes every slot write in the
                     // batch visible before the new position. One store per
                     // batch is the whole point of this method.
-                    self.at.store(self.val, TAIL_PUBLISH);
+                    self.tail.store(self.val, TAIL_PUBLISH);
                 }
             }
         }
         let mut publish = Publish {
-            at: &self.shared.tail,
+            tail: &self.shared.tail,
             val: start,
             start,
         };
@@ -375,7 +375,7 @@ impl<T> Consumer<T> {
         // panic there must still publish the slots already read out
         // (otherwise `Shared::drop` would double-drop the moved items).
         let mut publish = HeadPublish {
-            at: &self.shared.head,
+            head: &self.shared.head,
             val: start,
             start,
         };
@@ -432,7 +432,7 @@ impl<T> Consumer<T> {
         // and a panic there must still publish the slots already read out
         // (otherwise `Shared::drop` would double-drop the moved items).
         let mut publish = HeadPublish {
-            at: &self.shared.head,
+            head: &self.shared.head,
             val: start,
             start,
         };

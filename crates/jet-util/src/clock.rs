@@ -42,6 +42,7 @@ impl Default for SystemClock {
 }
 
 impl Clock for SystemClock {
+    // jet-analyze: allow(instant) — this is the clock abstraction; monotonic reads are its purpose
     fn now_nanos(&self) -> u64 {
         self.origin.elapsed().as_nanos() as u64
     }

@@ -40,12 +40,14 @@ impl ByteWriter {
     }
 
     #[inline]
+    // jet-analyze: allow(alloc) — encode path appends to a caller-owned buffer (snapshot/replication, amortized growth)
     pub fn put_bool(&mut self, v: bool) {
         self.buf.push(v as u8);
     }
 
     /// LEB128 unsigned varint.
     #[inline]
+    // jet-analyze: allow(alloc) — encode path appends to a caller-owned buffer (snapshot/replication, amortized growth)
     pub fn put_varint(&mut self, mut v: u64) {
         loop {
             let byte = (v & 0x7F) as u8;
@@ -59,6 +61,7 @@ impl ByteWriter {
     }
 
     #[inline]
+    // jet-analyze: allow(alloc) — encode path appends to a caller-owned buffer (snapshot/replication, amortized growth)
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -79,6 +82,7 @@ impl ByteWriter {
     }
 
     #[inline]
+    // jet-analyze: allow(alloc) — encode path appends to a caller-owned buffer (snapshot/replication, amortized growth)
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_varint(v.len() as u64);
         self.buf.extend_from_slice(v);

@@ -26,6 +26,7 @@ pub struct BackoffIdle {
 }
 
 impl BackoffIdle {
+    // jet-analyze: allow(panic) — constructor parameter validation at wiring time
     pub fn new(
         spin_rounds: u64,
         yield_rounds: u64,

@@ -1,0 +1,1189 @@
+//! Offline stand-in for the [`syn`](https://crates.io/crates/syn) parser.
+//!
+//! The build container has no crates.io access, so — like the `loom` and
+//! `proptest` stand-ins next door — this crate ships the slice of a real
+//! parser that the workspace actually needs. `jet-analyze` builds a
+//! whole-workspace call graph, which takes item-level structure (which fns
+//! exist, which impl/trait they belong to, what a struct's fields are typed
+//! as) plus the raw token stream of every fn body. It does **not** need
+//! full expression ASTs, so unlike upstream syn, bodies stay as flat token
+//! vectors with line numbers; closures are therefore naturally "inlined"
+//! into their enclosing fn.
+//!
+//! What is modelled faithfully:
+//!
+//! * lexing: line/block comments (captured per line for annotation
+//!   checks), string/raw-string/byte-string/char literals (content elided
+//!   so `"unwrap()"` in a log message is not a call), lifetimes vs char
+//!   literals, numeric literals including `1.5`, `0xff`, `1_000u64`;
+//! * items: `fn` (free + associated, const/unsafe/extern modifiers),
+//!   `impl Type` / `impl Trait for Type` (generics skipped, trait and self
+//!   type reduced to their significant last segment), `trait` declarations
+//!   with default method bodies, inline `mod`s (recursive), `struct`s with
+//!   named fields and their type text, attributes (`#[cfg(...)]`,
+//!   `#[cold]`, ...) attached to the following item.
+//!
+//! Known, deliberate divergences from upstream: no expression parsing, no
+//! macro expansion (macro *arguments* stay in the token stream, so calls
+//! inside `debug_assert!(...)` are still visible), tuple structs and enums
+//! are skipped (no fields recorded), and `mod foo;` file modules are not
+//! resolved (callers scan directories themselves).
+
+use std::fmt;
+
+/// One lexed token. Literal contents are elided — the lexer guarantees no
+/// token text ever originates inside a string, char, or comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String / char / numeric literal, content elided.
+    Literal,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(i) if i == s)
+    }
+}
+
+/// A parsed source file: top-level items plus the comment text of every
+/// line (for `// jet-analyze: allow(...)`-style annotation lookups).
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+    /// `comments[line-1]` is the comment text on that 1-based line (empty
+    /// when the line has none).
+    pub comments: Vec<String>,
+}
+
+#[derive(Debug)]
+pub enum Item {
+    Fn(ItemFn),
+    Impl(ItemImpl),
+    Trait(ItemTrait),
+    Mod(ItemMod),
+    Struct(ItemStruct),
+}
+
+/// A free or associated function. The body is the token stream between its
+/// braces (exclusive); trait methods without a default body have an empty
+/// body.
+#[derive(Debug)]
+pub struct ItemFn {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Raw text of each attribute on this fn (e.g. `cfg(test)`, `cold`).
+    pub attrs: Vec<String>,
+    /// Typed parameters as `(name, type-text)`; the `self` receiver and
+    /// pattern parameters (`(a, b): ...`) are skipped.
+    pub params: Vec<(String, String)>,
+    pub body: Vec<Token>,
+}
+
+impl ItemFn {
+    pub fn has_attr(&self, needle: &str) -> bool {
+        self.attrs.iter().any(|a| a.contains(needle))
+    }
+}
+
+#[derive(Debug)]
+pub struct ItemImpl {
+    /// Significant (last, depth-0) segment of the self type: `Foo` for
+    /// `impl<T> Foo<T>`.
+    pub self_ty: String,
+    /// Significant segment of the trait path for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    pub fns: Vec<ItemFn>,
+    pub attrs: Vec<String>,
+    pub line: usize,
+}
+
+#[derive(Debug)]
+pub struct ItemTrait {
+    pub name: String,
+    /// Methods declared by the trait; default methods carry bodies.
+    pub fns: Vec<ItemFn>,
+    pub attrs: Vec<String>,
+    pub line: usize,
+}
+
+#[derive(Debug)]
+pub struct ItemMod {
+    pub name: String,
+    pub items: Vec<Item>,
+    pub attrs: Vec<String>,
+    pub line: usize,
+}
+
+#[derive(Debug)]
+pub struct ItemStruct {
+    pub name: String,
+    /// Named fields as `(name, type-text)`; type text is the joined token
+    /// stream, e.g. `Vec < Item >`. Tuple structs record no fields.
+    pub fields: Vec<(String, String)>,
+    pub attrs: Vec<String>,
+    pub line: usize,
+}
+
+#[derive(Debug)]
+pub struct Error {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+// ---------------------------------------------------------------- lexer --
+
+struct Lexer {
+    tokens: Vec<Token>,
+    comments: Vec<String>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs run to EOF.
+fn lex(src: &str) -> Lexer {
+    let chars: Vec<char> = src.chars().collect();
+    let line_count = src.lines().count().max(1);
+    let mut comments = vec![String::new(); line_count + 1];
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: captured per line, never tokenized.
+        if c == '/' && next == Some('/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            if let Some(slot) = comments.get_mut(line) {
+                slot.extend(chars[start..i].iter());
+            }
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1u32;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if let Some(slot) = comments.get_mut(line) {
+                        slot.push(chars[i]);
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte strings: r"", r#""#, b"", br#""#.
+        if (c == 'r' || c == 'b') && matches!(next, Some('"') | Some('#') | Some('r')) {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Scan to the matching `"###...`.
+                j += 1;
+                let raw = hashes > 0 || chars[i + 1] != '"' || c == 'r';
+                loop {
+                    match chars.get(j) {
+                        None => break,
+                        Some('\n') => {
+                            line += 1;
+                            j += 1;
+                        }
+                        Some('\\') if !raw => {
+                            j += 2;
+                        }
+                        Some('"') => {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(j + 1 + k) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                            if ok {
+                                j += hashes;
+                                break;
+                            }
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Fall through: plain ident starting with r/b.
+        }
+        if c == '"' {
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_start(n) => {
+                    // `'a'` is a char, `'a` (no closing quote) a lifetime.
+                    let mut j = i + 2;
+                    while chars.get(j).copied().is_some_and(is_ident_cont) {
+                        j += 1;
+                    }
+                    chars.get(j) == Some(&'\'')
+                }
+                Some(_) => true,
+                None => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                if chars.get(j) == Some(&'\\') {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j + 1;
+            } else {
+                // Lifetime: skip the quote and the ident.
+                i += 1;
+                while chars.get(i).copied().is_some_and(is_ident_cont) {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while chars.get(j).copied().is_some_and(is_ident_cont) {
+                j += 1;
+            }
+            // Fractional part (but not `0..10` ranges or `1.max(2)`).
+            if chars.get(j) == Some(&'.')
+                && chars
+                    .get(j + 1)
+                    .copied()
+                    .is_some_and(|d| d.is_ascii_digit())
+            {
+                j += 1;
+                while chars.get(j).copied().is_some_and(is_ident_cont) {
+                    j += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while chars.get(j).copied().is_some_and(is_ident_cont) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(chars[i..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    let mut per_line = vec![String::new(); line_count];
+    for (l, text) in comments.into_iter().enumerate() {
+        if l >= 1 && l <= line_count {
+            per_line[l - 1] = text;
+        }
+    }
+    Lexer {
+        tokens,
+        comments: per_line,
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser<'a> {
+    t: &'a [Token],
+    pos: usize,
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "impl",
+    "trait",
+    "mod",
+    "struct",
+    "enum",
+    "union",
+    "use",
+    "type",
+    "static",
+    "const",
+    "extern",
+    "macro_rules",
+    "pub",
+    "unsafe",
+    "async",
+];
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.t.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.t.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Skip a balanced `{...}` / `(...)` / `[...]` group whose opener is the
+    /// current token; returns the token range *inside* the delimiters.
+    fn skip_group(&mut self, open: char, close: char) -> (usize, usize) {
+        debug_assert!(self.peek().is_some_and(|t| t.is_punct(open)));
+        self.pos += 1;
+        let start = self.pos;
+        let mut depth = 1i32;
+        while let Some(t) = self.t.get(self.pos) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        let end = self.pos;
+        self.pos += 1; // past the closer
+        (start, end)
+    }
+
+    /// Skip a balanced generic parameter list whose opener `<` is current.
+    /// `->` inside (closure bounds like `Fn() -> T`) does not close.
+    fn skip_generics(&mut self) {
+        debug_assert!(self.peek().is_some_and(|t| t.is_punct('<')));
+        self.pos += 1;
+        let mut depth = 1i32;
+        let mut prev_minus = false;
+        while let Some(t) = self.t.get(self.pos) {
+            match &t.kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') if !prev_minus => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            prev_minus = t.is_punct('-');
+            self.pos += 1;
+        }
+    }
+
+    /// Collect attributes (`#[...]`) at the current position; `#![...]`
+    /// inner attributes are skipped.
+    fn attrs(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while self.peek().is_some_and(|t| t.is_punct('#')) {
+            self.pos += 1;
+            let inner = self.peek().is_some_and(|t| t.is_punct('!'));
+            if inner {
+                self.pos += 1;
+            }
+            if self.peek().is_some_and(|t| t.is_punct('[')) {
+                let (s, e) = self.skip_group('[', ']');
+                if !inner {
+                    out.push(render(&self.t[s..e]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Skip to (and past) the next `;` at depth 0, or past a balanced brace
+    /// group, whichever comes first — the generic "ignore this item" move.
+    fn skip_item_tail(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(';') {
+                self.pos += 1;
+                return;
+            }
+            if t.is_punct('{') {
+                self.skip_group('{', '}');
+                return;
+            }
+            if t.is_punct('(') {
+                self.skip_group('(', ')');
+                continue;
+            }
+            if t.is_punct('[') {
+                self.skip_group('[', ']');
+                continue;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parse items until `end` (exclusive token index).
+    fn items(&mut self, end: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.pos < end {
+            let attrs = self.attrs();
+            if self.pos >= end {
+                break;
+            }
+            // Visibility + leading modifiers.
+            while self.at_ident("pub") {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.is_punct('(')) {
+                    self.skip_group('(', ')');
+                }
+            }
+            let mut is_unsafe_impl = false;
+            while self.at_ident("unsafe")
+                || self.at_ident("const")
+                || self.at_ident("async")
+                || self.at_ident("extern")
+            {
+                // `const NAME: ...` items (not `const fn`) are handled below:
+                // only consume `const` when an item keyword follows.
+                let kw = self.peek().and_then(Token::ident).unwrap_or("").to_string();
+                let next_is_item = self
+                    .t
+                    .get(self.pos + 1)
+                    .and_then(Token::ident)
+                    .is_some_and(|n| ITEM_KEYWORDS.contains(&n));
+                if kw == "const" && !next_is_item {
+                    break;
+                }
+                if kw == "unsafe" {
+                    is_unsafe_impl = true;
+                }
+                self.pos += 1;
+                if kw == "extern"
+                    && self
+                        .peek()
+                        .is_some_and(|t| matches!(t.kind, TokenKind::Literal))
+                {
+                    self.pos += 1; // abi string
+                }
+            }
+            let _ = is_unsafe_impl;
+            let Some(t) = self.peek() else { break };
+            let line = t.line;
+            match t.ident() {
+                Some("fn") => {
+                    if let Some(f) = self.parse_fn(attrs) {
+                        out.push(Item::Fn(f));
+                    }
+                }
+                Some("impl") => {
+                    if let Some(i) = self.parse_impl(attrs, line) {
+                        out.push(Item::Impl(i));
+                    }
+                }
+                Some("trait") => {
+                    if let Some(tr) = self.parse_trait(attrs, line) {
+                        out.push(Item::Trait(tr));
+                    }
+                }
+                Some("mod") => {
+                    self.pos += 1;
+                    let name = self.bump().and_then(Token::ident).unwrap_or("").to_string();
+                    if self.peek().is_some_and(|t| t.is_punct('{')) {
+                        let (s, e) = self.skip_group('{', '}');
+                        let mut inner = Parser { t: self.t, pos: s };
+                        let items = inner.items(e);
+                        out.push(Item::Mod(ItemMod {
+                            name,
+                            items,
+                            attrs,
+                            line,
+                        }));
+                    } else {
+                        // `mod foo;` — caller scans files itself.
+                        self.skip_item_tail();
+                    }
+                }
+                Some("struct") => {
+                    if let Some(s) = self.parse_struct(attrs, line) {
+                        out.push(Item::Struct(s));
+                    }
+                }
+                Some("macro_rules") => {
+                    self.pos += 1; // macro_rules
+                    if self.peek().is_some_and(|t| t.is_punct('!')) {
+                        self.pos += 1;
+                    }
+                    self.bump(); // name
+                    self.skip_item_tail();
+                }
+                Some(_) => self.skip_item_tail(),
+                None => {
+                    // Stray punctuation at item level (e.g. stray `;`).
+                    self.pos += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn parse_fn(&mut self, attrs: Vec<String>) -> Option<ItemFn> {
+        let line = self.line();
+        self.pos += 1; // fn
+        let name = self.bump().and_then(Token::ident)?.to_string();
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        // Signature: skip to the body `{` or a `;` (trait method without
+        // default), tracking nested groups so `where F: Fn() -> T` and
+        // default argument-position braces don't confuse us. The first
+        // paren group is the parameter list.
+        let mut params = Vec::new();
+        let mut saw_args = false;
+        loop {
+            match self.peek() {
+                None => return None,
+                Some(t) if t.is_punct('(') => {
+                    let (s, e) = self.skip_group('(', ')');
+                    if !saw_args {
+                        saw_args = true;
+                        params = parse_params(&self.t[s..e]);
+                    }
+                }
+                Some(t) if t.is_punct('[') => {
+                    self.skip_group('[', ']');
+                }
+                Some(t) if t.is_punct('<') => self.skip_generics(),
+                Some(t) if t.is_punct(';') => {
+                    self.pos += 1;
+                    return Some(ItemFn {
+                        name,
+                        line,
+                        attrs,
+                        params,
+                        body: Vec::new(),
+                    });
+                }
+                Some(t) if t.is_punct('{') => break,
+                Some(_) => self.pos += 1,
+            }
+        }
+        let (s, e) = self.skip_group('{', '}');
+        Some(ItemFn {
+            name,
+            line,
+            attrs,
+            params,
+            body: self.t[s..e].to_vec(),
+        })
+    }
+
+    fn parse_impl(&mut self, attrs: Vec<String>, line: usize) -> Option<ItemImpl> {
+        self.pos += 1; // impl
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        // Path tokens up to `for` / `where` / `{`; idents at angle depth 0
+        // are candidate significant segments.
+        let mut first_path_last_ident: Option<String> = None;
+        let mut second_path_last_ident: Option<String> = None;
+        let mut saw_for = false;
+        loop {
+            match self.peek() {
+                None => return None,
+                Some(t) if t.is_punct('{') => break,
+                Some(t) if t.is_ident("where") => {
+                    // Skip the where clause up to the body.
+                    while let Some(t) = self.peek() {
+                        if t.is_punct('{') {
+                            break;
+                        }
+                        if t.is_punct('<') {
+                            self.skip_generics();
+                        } else if t.is_punct('(') {
+                            self.skip_group('(', ')');
+                        } else {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                Some(t) if t.is_ident("for") => {
+                    saw_for = true;
+                    self.pos += 1;
+                }
+                Some(t) if t.is_punct('<') => self.skip_generics(),
+                Some(t) if t.is_punct('(') => {
+                    self.skip_group('(', ')');
+                }
+                Some(t) => {
+                    if let Some(id) = t.ident() {
+                        if id != "dyn" {
+                            let slot = if saw_for {
+                                &mut second_path_last_ident
+                            } else {
+                                &mut first_path_last_ident
+                            };
+                            *slot = Some(id.to_string());
+                        }
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        let (s, e) = self.skip_group('{', '}');
+        let mut inner = Parser { t: self.t, pos: s };
+        let fns = inner.assoc_fns(e);
+        let (trait_name, self_ty) = if saw_for {
+            (first_path_last_ident, second_path_last_ident?)
+        } else {
+            (None, first_path_last_ident?)
+        };
+        Some(ItemImpl {
+            self_ty,
+            trait_name,
+            fns,
+            attrs,
+            line,
+        })
+    }
+
+    /// Associated items of an impl/trait body: fns are parsed, everything
+    /// else (assoc consts/types) is skipped.
+    fn assoc_fns(&mut self, end: usize) -> Vec<ItemFn> {
+        let mut out = Vec::new();
+        while self.pos < end {
+            let attrs = self.attrs();
+            if self.pos >= end {
+                break;
+            }
+            while self.at_ident("pub") {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.is_punct('(')) {
+                    self.skip_group('(', ')');
+                }
+            }
+            while self.at_ident("unsafe")
+                || self.at_ident("async")
+                || self.at_ident("default")
+                || self.at_ident("extern")
+                || (self.at_ident("const")
+                    && self.t.get(self.pos + 1).is_some_and(|t| t.is_ident("fn")))
+            {
+                self.pos += 1;
+                if self
+                    .peek()
+                    .is_some_and(|t| matches!(t.kind, TokenKind::Literal))
+                {
+                    self.pos += 1; // extern "C"
+                }
+            }
+            match self.peek().and_then(Token::ident) {
+                Some("fn") => {
+                    if let Some(f) = self.parse_fn(attrs) {
+                        out.push(f);
+                    }
+                }
+                _ => self.skip_item_tail(),
+            }
+        }
+        out
+    }
+
+    fn parse_trait(&mut self, attrs: Vec<String>, line: usize) -> Option<ItemTrait> {
+        self.pos += 1; // trait
+        let name = self.bump().and_then(Token::ident)?.to_string();
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        // Supertraits / where clause up to the body.
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct(';') {
+                self.pos += 1;
+                return None; // trait alias
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else if t.is_punct('(') {
+                self.skip_group('(', ')');
+            } else {
+                self.pos += 1;
+            }
+        }
+        let (s, e) = self.skip_group('{', '}');
+        let mut inner = Parser { t: self.t, pos: s };
+        let fns = inner.assoc_fns(e);
+        Some(ItemTrait {
+            name,
+            fns,
+            attrs,
+            line,
+        })
+    }
+
+    fn parse_struct(&mut self, attrs: Vec<String>, line: usize) -> Option<ItemStruct> {
+        self.pos += 1; // struct
+        let name = self.bump().and_then(Token::ident)?.to_string();
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        // Skip a where clause.
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            Some(t) if t.is_punct('{') => {
+                let (s, e) = self.skip_group('{', '}');
+                let fields = parse_fields(&self.t[s..e]);
+                Some(ItemStruct {
+                    name,
+                    fields,
+                    attrs,
+                    line,
+                })
+            }
+            Some(t) if t.is_punct('(') => {
+                // Tuple struct: no named fields recorded.
+                self.skip_group('(', ')');
+                if self.peek().is_some_and(|t| t.is_punct(';')) {
+                    self.pos += 1;
+                }
+                Some(ItemStruct {
+                    name,
+                    fields: Vec::new(),
+                    attrs,
+                    line,
+                })
+            }
+            _ => {
+                self.skip_item_tail();
+                Some(ItemStruct {
+                    name,
+                    fields: Vec::new(),
+                    attrs,
+                    line,
+                })
+            }
+        }
+    }
+}
+
+/// Parse `name: Type, ...` parameters from the tokens inside a fn
+/// signature's parens. `self` receivers (`self`, `&mut self`, `mut self`),
+/// pattern parameters, and `_` placeholders are skipped.
+fn parse_params(t: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut p = Parser { t, pos: 0 };
+    while p.pos < t.len() {
+        let _ = p.attrs();
+        // Strip `&`, `mut` in receiver/binding position.
+        while p
+            .peek()
+            .is_some_and(|x| x.is_punct('&') || x.is_ident("mut"))
+        {
+            p.pos += 1;
+        }
+        let name = p.peek().and_then(Token::ident).map(str::to_string);
+        let named = match name {
+            Some(n) if n != "self" && n != "_" => {
+                // A parameter only if a `:` follows the ident.
+                if t.get(p.pos + 1).is_some_and(|x| x.is_punct(':'))
+                    && !t.get(p.pos + 2).is_some_and(|x| x.is_punct(':'))
+                {
+                    p.pos += 2; // name :
+                    Some(n)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let ty_start = p.pos;
+        // Skip to the next comma at depth 0.
+        while let Some(x) = p.peek() {
+            if x.is_punct(',') {
+                break;
+            }
+            if x.is_punct('<') {
+                p.skip_generics();
+            } else if x.is_punct('(') {
+                p.skip_group('(', ')');
+            } else if x.is_punct('[') {
+                p.skip_group('[', ']');
+            } else {
+                p.pos += 1;
+            }
+        }
+        if let Some(n) = named {
+            let ty = render(&t[ty_start..p.pos]);
+            if !ty.is_empty() {
+                out.push((n, ty));
+            }
+        }
+        p.pos += 1; // ,
+    }
+    out
+}
+
+/// Parse `name: Type, ...` fields from the tokens inside a struct body.
+fn parse_fields(t: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut p = Parser { t, pos: 0 };
+    while p.pos < t.len() {
+        let _ = p.attrs();
+        while p.at_ident("pub") {
+            p.pos += 1;
+            if p.peek().is_some_and(|x| x.is_punct('(')) {
+                p.skip_group('(', ')');
+            }
+        }
+        let Some(name) = p.bump().and_then(Token::ident).map(str::to_string) else {
+            break;
+        };
+        if !p.peek().is_some_and(|x| x.is_punct(':')) {
+            // Not a named field (recovery) — skip to the next comma.
+            while let Some(x) = p.peek() {
+                if x.is_punct(',') {
+                    break;
+                }
+                p.pos += 1;
+            }
+            p.pos += 1;
+            continue;
+        }
+        p.pos += 1; // :
+        let ty_start = p.pos;
+        // The type runs to the next comma at depth 0.
+        while let Some(x) = p.peek() {
+            if x.is_punct(',') {
+                break;
+            }
+            if x.is_punct('<') {
+                p.skip_generics();
+            } else if x.is_punct('(') {
+                p.skip_group('(', ')');
+            } else if x.is_punct('[') {
+                p.skip_group('[', ']');
+            } else {
+                p.pos += 1;
+            }
+        }
+        out.push((name, render(&t[ty_start..p.pos])));
+        p.pos += 1; // ,
+    }
+    out
+}
+
+/// Join tokens back into readable text (for attrs and field types).
+fn render(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Ident(i) => {
+                if !s.is_empty() && !s.ends_with([':', '<', '(', '&', ' ']) {
+                    s.push(' ');
+                }
+                s.push_str(i);
+            }
+            TokenKind::Punct(c) => s.push(*c),
+            TokenKind::Literal => s.push('_'),
+        }
+    }
+    s
+}
+
+/// Parse one source file into items + per-line comments. Lexing and item
+/// parsing are resilient: malformed regions are skipped, not fatal, so one
+/// odd file never takes down a workspace-wide scan.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let lexed = lex(src);
+    let mut p = Parser {
+        t: &lexed.tokens,
+        pos: 0,
+    };
+    let end = lexed.tokens.len();
+    let items = p.items(end);
+    Ok(File {
+        items,
+        comments: lexed.comments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Fn(f) => format!("fn {}", f.name),
+                Item::Impl(im) => format!(
+                    "impl {}{}",
+                    im.trait_name
+                        .as_ref()
+                        .map(|t| format!("{t} for "))
+                        .unwrap_or_default(),
+                    im.self_ty
+                ),
+                Item::Trait(t) => format!("trait {}", t.name),
+                Item::Mod(m) => format!("mod {}", m.name),
+                Item::Struct(s) => format!("struct {}", s.name),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_fns_impls_traits_mods() {
+        let src = r#"
+            pub fn free(x: usize) -> usize { x + 1 }
+            pub trait Tasklet: Send { fn call(&mut self) -> Progress; fn hint(&self) -> usize { 0 } }
+            impl<T: Clone> Tasklet for Worker<T> where T: Send { fn call(&mut self) -> Progress { self.step() } }
+            mod inner { pub fn helper() {} }
+            struct S { buf: Vec<u64>, clock: Arc<Clock> }
+        "#;
+        let f = parse_file(src).unwrap();
+        assert_eq!(
+            names(&f.items),
+            vec![
+                "fn free",
+                "trait Tasklet",
+                "impl Tasklet for Worker",
+                "mod inner",
+                "struct S"
+            ]
+        );
+        let Item::Trait(t) = &f.items[1] else {
+            panic!()
+        };
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns[0].body.is_empty(), "declaration only");
+        assert!(!t.fns[1].body.is_empty(), "default body kept");
+        let Item::Struct(s) = &f.items[4] else {
+            panic!()
+        };
+        assert_eq!(s.fields[0], ("buf".to_string(), "Vec<u64>".to_string()));
+        assert!(s.fields[1].1.starts_with("Arc<"));
+    }
+
+    #[test]
+    fn bodies_are_token_streams_with_lines() {
+        let src = "fn f() {\n    g();\n    h.m(1);\n}\n";
+        let f = parse_file(src).unwrap();
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        let idents: Vec<(&str, usize)> = func
+            .body
+            .iter()
+            .filter_map(|t| t.ident().map(|i| (i, t.line)))
+            .collect();
+        assert_eq!(idents, vec![("g", 2), ("h", 3), ("m", 3)]);
+    }
+
+    #[test]
+    fn strings_comments_and_chars_produce_no_idents() {
+        let src = "fn f() { let s = \"unwrap() .lock()\"; // .recv()\n  let c = '\"'; let r = r#\"panic!\"#; }";
+        let f = parse_file(src).unwrap();
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        for t in &func.body {
+            if let Some(i) = t.ident() {
+                assert!(
+                    !["unwrap", "lock", "recv", "panic"].contains(&i),
+                    "literal content leaked: {i}"
+                );
+            }
+        }
+        assert!(f.comments[0].contains(".recv()"), "{:?}", f.comments);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let f = parse_file(src).unwrap();
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        assert!(func.body.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn attrs_attach_to_items() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\n#[cold]\nfn slow() {}\n";
+        let f = parse_file(src).unwrap();
+        let Item::Mod(m) = &f.items[0] else { panic!() };
+        assert!(m.attrs.iter().any(|a| a.contains("cfg(test")));
+        let Item::Fn(func) = &f.items[1] else {
+            panic!()
+        };
+        assert!(func.has_attr("cold"));
+    }
+
+    #[test]
+    fn impl_generics_and_unsafe_are_handled() {
+        let src = "unsafe impl<T: Send> Sync for Ring<T> {}\nimpl Conveyor<Item> { pub fn poll_lane(&mut self) {} }";
+        let f = parse_file(src).unwrap();
+        let Item::Impl(a) = &f.items[0] else { panic!() };
+        assert_eq!(a.trait_name.as_deref(), Some("Sync"));
+        assert_eq!(a.self_ty, "Ring");
+        let Item::Impl(b) = &f.items[1] else { panic!() };
+        assert_eq!(b.self_ty, "Conveyor");
+        assert_eq!(b.fns[0].name, "poll_lane");
+    }
+
+    #[test]
+    fn params_are_captured_with_types() {
+        let src = "fn f(&mut self, t: &mut dyn Tasklet, n: u32, o: &mut WorkerObs, (a, b): (u32, u32)) {}";
+        let f = parse_file(src).unwrap();
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        let names: Vec<&str> = func.params.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["t", "n", "o"]);
+        assert_eq!(func.params[0].1, "&mut dyn Tasklet");
+        assert_eq!(func.params[2].1, "&mut WorkerObs");
+    }
+
+    #[test]
+    fn fn_bounds_with_arrows_do_not_break_generics() {
+        let src = "fn apply<F: Fn(usize) -> usize>(f: F) -> usize { f(1) }";
+        let f = parse_file(src).unwrap();
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(func.name, "apply");
+        assert!(func.body.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn numeric_ranges_and_floats_lex() {
+        let src = "fn f() { for i in 0..10 { g(1.5, 0xff, 1_000u64, i.max(2)); } }";
+        let f = parse_file(src).unwrap();
+        let Item::Fn(func) = &f.items[0] else {
+            panic!()
+        };
+        assert!(func.body.iter().any(|t| t.is_ident("max")));
+        // The range arrives as two dot puncts.
+        let dots = func.body.iter().filter(|t| t.is_punct('.')).count();
+        assert!(dots >= 3, "range dots + method dot, got {dots}");
+    }
+}

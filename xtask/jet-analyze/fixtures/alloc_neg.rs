@@ -1,0 +1,38 @@
+// Negative fixture: the hot path writes into pre-sized storage only; the
+// single allocation happens in the constructor, which is not a root.
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct RingWriter {
+    slots: Vec<u64>,
+    head: usize,
+}
+
+impl RingWriter {
+    pub fn new(capacity: usize) -> Self {
+        RingWriter {
+            slots: vec![0; capacity],
+            head: 0,
+        }
+    }
+
+    fn store_next(&mut self, v: u64) {
+        let idx = self.head % self.slots.len();
+        self.slots[idx] = v;
+        self.head = self.head.wrapping_add(1);
+    }
+}
+
+impl Tasklet for RingWriter {
+    fn call(&mut self) -> Progress {
+        self.store_next(self.head as u64);
+        Progress::MadeProgress
+    }
+}

@@ -1,0 +1,40 @@
+// Positive fixture: alloc reachable from a hot root through two hops.
+// `call()` -> `flush_outbox()` -> `grow()` -> `Vec::push` growth.
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct Outbox {
+    buf: Vec<u64>,
+}
+
+impl Outbox {
+    fn grow(&mut self, v: u64) {
+        self.buf.push(v);
+    }
+}
+
+pub struct Producer {
+    outbox: Outbox,
+    next: u64,
+}
+
+impl Producer {
+    fn flush_outbox(&mut self) {
+        self.outbox.grow(self.next);
+    }
+}
+
+impl Tasklet for Producer {
+    fn call(&mut self) -> Progress {
+        self.next += 1;
+        self.flush_outbox();
+        Progress::MadeProgress
+    }
+}

@@ -1,0 +1,41 @@
+// Negative fixture: the hot path uses an atomic counter; no lock anywhere
+// reachable from the root.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct AtomicCounter {
+    count: AtomicU64,
+}
+
+impl AtomicCounter {
+    fn bump(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read_count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+pub struct Metered {
+    counter: AtomicCounter,
+}
+
+impl Tasklet for Metered {
+    fn call(&mut self) -> Progress {
+        self.counter.bump();
+        if self.counter.read_count() == 0 {
+            return Progress::NoProgress;
+        }
+        Progress::MadeProgress
+    }
+}

@@ -1,0 +1,35 @@
+// Positive fixture: a Mutex lock on the hot path, one hop below the root.
+
+use std::sync::Mutex;
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct SharedCounter {
+    inner: Mutex<u64>,
+}
+
+impl SharedCounter {
+    fn bump(&self) {
+        if let Ok(mut g) = self.inner.lock() {
+            *g += 1;
+        }
+    }
+}
+
+pub struct Metered {
+    counter: SharedCounter,
+}
+
+impl Tasklet for Metered {
+    fn call(&mut self) -> Progress {
+        self.counter.bump();
+        Progress::MadeProgress
+    }
+}

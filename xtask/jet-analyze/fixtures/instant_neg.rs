@@ -1,0 +1,32 @@
+// Negative fixture: timestamps are passed in by the caller; the hot path
+// never reads the clock itself.
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct Stamper {
+    count: u64,
+    last_nanos: u64,
+}
+
+impl Stamper {
+    fn stamp(&mut self, now_nanos: u64) -> u64 {
+        let delta = now_nanos.saturating_sub(self.last_nanos);
+        self.last_nanos = now_nanos;
+        self.count += 1;
+        delta
+    }
+}
+
+impl Tasklet for Stamper {
+    fn call(&mut self) -> Progress {
+        self.stamp(self.count);
+        Progress::MadeProgress
+    }
+}

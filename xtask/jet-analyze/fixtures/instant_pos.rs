@@ -1,0 +1,31 @@
+// Positive fixture: `Instant::now()` taken per call on the hot path.
+
+use std::time::Instant;
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct Stamper {
+    count: u64,
+}
+
+impl Stamper {
+    fn stamp(&mut self) -> u64 {
+        let t = Instant::now();
+        self.count += 1;
+        t.elapsed().as_nanos() as u64
+    }
+}
+
+impl Tasklet for Stamper {
+    fn call(&mut self) -> Progress {
+        self.stamp();
+        Progress::MadeProgress
+    }
+}

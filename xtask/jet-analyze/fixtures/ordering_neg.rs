@@ -1,0 +1,19 @@
+// Negative fixture: the Release store on `seq` pairs with an Acquire load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SeqLock {
+    seq: AtomicU64,
+    data: AtomicU64,
+}
+
+impl SeqLock {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.seq.store(self.seq.load(Ordering::Relaxed) + 1, Ordering::Release);
+    }
+
+    pub fn read_seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}

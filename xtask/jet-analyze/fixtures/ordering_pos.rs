@@ -1,0 +1,21 @@
+// Positive fixture: a Release store on `seq` with no Acquire-side load
+// anywhere — the release publish pairs with nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SeqLock {
+    seq: AtomicU64,
+    data: AtomicU64,
+}
+
+impl SeqLock {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.seq.store(self.seq.load(Ordering::Relaxed) + 1, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> u64 {
+        // BUG (seeded): a Relaxed read cannot pair with the Release store.
+        self.seq.load(Ordering::Relaxed)
+    }
+}

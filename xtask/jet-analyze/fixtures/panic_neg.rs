@@ -1,0 +1,41 @@
+// Negative fixture: the hot path handles the missing case explicitly; the
+// only panic lives in a `#[cold]` helper, which is excluded from traversal.
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct Watermarker {
+    last: Option<u64>,
+}
+
+impl Watermarker {
+    fn advance(&mut self) -> Option<u64> {
+        match self.last {
+            Some(prev) => {
+                self.last = Some(prev + 1);
+                Some(prev)
+            }
+            None => None,
+        }
+    }
+
+    #[cold]
+    fn corrupted(&self) {
+        panic!("watermark state corrupted");
+    }
+}
+
+impl Tasklet for Watermarker {
+    fn call(&mut self) -> Progress {
+        match self.advance() {
+            Some(_) => Progress::MadeProgress,
+            None => Progress::NoProgress,
+        }
+    }
+}

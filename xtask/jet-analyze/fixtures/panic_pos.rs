@@ -1,0 +1,29 @@
+// Positive fixture: an unwrap on the hot path, one hop below the root.
+
+pub enum Progress {
+    MadeProgress,
+    NoProgress,
+}
+
+pub trait Tasklet {
+    fn call(&mut self) -> Progress;
+}
+
+pub struct Watermarker {
+    last: Option<u64>,
+}
+
+impl Watermarker {
+    fn advance(&mut self) -> u64 {
+        let prev = self.last.unwrap();
+        self.last = Some(prev + 1);
+        prev
+    }
+}
+
+impl Tasklet for Watermarker {
+    fn call(&mut self) -> Progress {
+        self.advance();
+        Progress::MadeProgress
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixture-driven end-to-end tests: one positive and one negative case per
+//! effect class, plus a golden test for call-chain rendering and a CLI
+//! exit-code check.
+
+use jet_analyze::{analyze_paths, Analysis, Effect};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn analyze_fixture(name: &str) -> Analysis {
+    analyze_paths(&[fixture(name)], &[]).expect("fixture readable")
+}
+
+fn effects_found(a: &Analysis) -> Vec<Effect> {
+    let mut effects: Vec<Effect> = a.violations.iter().map(|v| v.effect).collect();
+    effects.dedup();
+    effects
+}
+
+#[test]
+fn alloc_positive_flagged() {
+    let a = analyze_fixture("alloc_pos.rs");
+    assert!(
+        effects_found(&a).contains(&Effect::Alloc),
+        "{}",
+        a.render_report()
+    );
+}
+
+#[test]
+fn alloc_negative_clean() {
+    let a = analyze_fixture("alloc_neg.rs");
+    assert!(a.is_clean(), "{}", a.render_report());
+}
+
+#[test]
+fn block_positive_flagged() {
+    let a = analyze_fixture("block_pos.rs");
+    assert!(
+        effects_found(&a).contains(&Effect::Block),
+        "{}",
+        a.render_report()
+    );
+}
+
+#[test]
+fn block_negative_clean() {
+    let a = analyze_fixture("block_neg.rs");
+    assert!(a.is_clean(), "{}", a.render_report());
+}
+
+#[test]
+fn panic_positive_flagged() {
+    let a = analyze_fixture("panic_pos.rs");
+    assert!(
+        effects_found(&a).contains(&Effect::Panic),
+        "{}",
+        a.render_report()
+    );
+}
+
+#[test]
+fn panic_negative_clean() {
+    let a = analyze_fixture("panic_neg.rs");
+    assert!(a.is_clean(), "{}", a.render_report());
+}
+
+#[test]
+fn instant_positive_flagged() {
+    let a = analyze_fixture("instant_pos.rs");
+    assert!(
+        effects_found(&a).contains(&Effect::Instant),
+        "{}",
+        a.render_report()
+    );
+}
+
+#[test]
+fn instant_negative_clean() {
+    let a = analyze_fixture("instant_neg.rs");
+    assert!(a.is_clean(), "{}", a.render_report());
+}
+
+#[test]
+fn ordering_positive_flagged() {
+    let a = analyze_fixture("ordering_pos.rs");
+    let v: Vec<_> = a
+        .violations
+        .iter()
+        .filter(|v| v.effect == Effect::Ordering)
+        .collect();
+    assert_eq!(v.len(), 1, "{}", a.render_report());
+    assert!(v[0].in_fn.contains("seq"), "keyed by field: {}", v[0].in_fn);
+    assert!(
+        v[0].message.contains("Release"),
+        "release side named: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn ordering_negative_clean() {
+    let a = analyze_fixture("ordering_neg.rs");
+    assert!(a.is_clean(), "{}", a.render_report());
+}
+
+/// Golden test: the alloc fixture must report the full multi-hop chain
+/// from the `Tasklet::call` root down to the allocating call.
+#[test]
+fn chain_rendering_golden() {
+    let a = analyze_fixture("alloc_pos.rs");
+    let v = a
+        .violations
+        .iter()
+        .find(|v| v.effect == Effect::Alloc)
+        .expect("alloc violation present");
+    assert_eq!(
+        v.compact_chain(),
+        "Producer::call \u{2192} Producer::flush_outbox \u{2192} Outbox::grow \u{2192} .push(",
+        "full report:\n{}",
+        a.render_report()
+    );
+    let rendered = v.render();
+    for needle in [
+        "Producer::call",
+        "Producer::flush_outbox",
+        "Outbox::grow",
+        ".push(",
+        "[alloc]",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
+    }
+}
+
+/// The CLI must exit non-zero when pointed at a seeded violation, for
+/// every effect class, and report the sites on stdout.
+#[test]
+fn cli_exit_codes() {
+    for (name, expect_fail) in [
+        ("alloc_pos.rs", true),
+        ("block_pos.rs", true),
+        ("panic_pos.rs", true),
+        ("instant_pos.rs", true),
+        ("ordering_pos.rs", true),
+        ("alloc_neg.rs", false),
+        ("ordering_neg.rs", false),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_jet-analyze"))
+            .arg("--paths")
+            .arg(fixture(name))
+            .output()
+            .expect("spawn jet-analyze");
+        assert_eq!(
+            out.status.code(),
+            Some(if expect_fail { 1 } else { 0 }),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}

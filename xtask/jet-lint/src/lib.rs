@@ -638,9 +638,11 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
             });
         }
 
-        // Rule 4: wall-clock reads on the hot path.
+        // Rule 4: wall-clock reads on the hot path. One matcher covers all
+        // spellings: `Instant::now`, `std::time::Instant::now`, and
+        // `SystemTime::now` (the substring check absorbs path prefixes).
         if hot_path
-            && line.contains("Instant::now")
+            && (line.contains("Instant::now") || line.contains("SystemTime::now"))
             && !comment_nearby(comments, i, 2, "jet-lint: allow(instant)")
             && !comment_nearby(comments, i, 2, "throttled")
         {
@@ -648,8 +650,9 @@ pub fn lint_file(file: &str, src: &str) -> Vec<Finding> {
                 file: file.to_string(),
                 line: i + 1,
                 rule: "instant-on-hot-path",
-                message: "`Instant::now()` in a hot-path file: throttle it or prove it \
-                          cold, then annotate `// jet-lint: allow(instant) — <reason>`"
+                message: "clock read (`Instant::now()`/`SystemTime::now()`) in a \
+                          hot-path file: throttle it or prove it cold, then annotate \
+                          `// jet-lint: allow(instant) — <reason>`"
                     .to_string(),
             });
         }
@@ -852,6 +855,30 @@ mod tests {
         let src = "fn hot() { let _ = Instant::now(); }\n";
         assert_eq!(lint_file("exec.rs", src).len(), 1);
         assert!(lint_file("cold.rs", src).is_empty(), "rule is per-file");
+    }
+
+    #[test]
+    fn clock_read_spellings_are_all_flagged() {
+        // Bare, fully-qualified, and SystemTime spellings all hit rule 4.
+        for src in [
+            "fn hot() { let _ = Instant::now(); }\n",
+            "fn hot() { let _ = std::time::Instant::now(); }\n",
+            "fn hot() { let _ = SystemTime::now(); }\n",
+            "fn hot() { let _ = std::time::SystemTime::now(); }\n",
+        ] {
+            let f = lint_file("exec.rs", src);
+            assert_eq!(f.len(), 1, "{src}");
+            assert_eq!(f[0].rule, "instant-on-hot-path", "{src}");
+        }
+        // The allow escape works for every spelling.
+        for src in [
+            "fn hot() {\n    // jet-lint: allow(instant) — probe\n    \
+             let _ = std::time::Instant::now();\n}\n",
+            "fn hot() {\n    // jet-lint: allow(instant) — probe\n    \
+             let _ = SystemTime::now();\n}\n",
+        ] {
+            assert!(lint_file("exec.rs", src).is_empty(), "{src}");
+        }
     }
 
     #[test]
