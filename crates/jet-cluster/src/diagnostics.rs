@@ -137,6 +137,29 @@ pub fn render_dump(
             state_line, events_in, events_out
         );
 
+        // Keyed-state footprint (only vertices that export a state probe):
+        // resident bytes across all frame tables plus late-event drops.
+        let resident: i64 = snap
+            .get_all("jet_state_resident_bytes")
+            .filter(|m| m.tag("vertex") == Some(v))
+            .filter_map(Metric::as_gauge)
+            .sum();
+        let keys: i64 = snap
+            .get_all("jet_state_keys_records")
+            .filter(|m| m.tag("vertex") == Some(v))
+            .filter_map(Metric::as_gauge)
+            .sum();
+        let late = snap.counter_total("jet_window_late_events_total", &[("vertex", v)]);
+        if resident > 0 || keys > 0 || late > 0 {
+            let _ = writeln!(
+                out,
+                "  keyed-state: resident={:.1} MiB keys={} late-events={}",
+                resident as f64 / (1024.0 * 1024.0),
+                keys,
+                late
+            );
+        }
+
         // Watermark position per instance: highest seen on any input vs.
         // the coalesced output the instance forwarded. A persistent gap
         // means one input channel is a straggler holding results back.

@@ -388,6 +388,30 @@ pub fn build_cluster_execution(
                     }
                     processor.finish_snapshot_restore(&ctx);
                 }
+                // Keyed-state processors export a probe: late-event drops
+                // and resident keyed-state footprint, refreshed on the
+                // processor's own tick (no lock on the hot path).
+                if let Some(sp) = processor.state_probe() {
+                    // The job tag rides in at the job-registry level like
+                    // every other per-vertex metric.
+                    let kt = tags(&[
+                        ("vertex", &vertex.name),
+                        ("instance", &global_index.to_string()),
+                    ]);
+                    let p = sp.clone();
+                    registries[mi].counter_fn(
+                        "jet_window_late_events_total",
+                        kt.clone(),
+                        move || p.late_events.load(Ordering::Relaxed),
+                    );
+                    let p = sp.clone();
+                    registries[mi].gauge_fn("jet_state_resident_bytes", kt.clone(), move || {
+                        p.resident_bytes.load(Ordering::Relaxed) as i64
+                    });
+                    registries[mi].gauge_fn("jet_state_keys_records", kt, move || {
+                        sp.resident_keys.load(Ordering::Relaxed) as i64
+                    });
+                }
                 let mut collectors = Vec::new();
                 for e in &out_edges {
                     let wiring = out_wiring

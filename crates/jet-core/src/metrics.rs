@@ -40,6 +40,11 @@ pub struct TaskletCounters {
     /// At most one per events_in/events_out increment — the cost model uses
     /// it to charge per-queue-hop overhead once per batch, not per item.
     pub queue_batches: AtomicU64,
+    /// Bounded snapshot-record chunks written to the snapshot store. One
+    /// per non-empty `save_snapshot` quantum: streaming snapshots write
+    /// many small chunks where the old stop-the-world pass wrote one huge
+    /// one, and the simulator charges the per-chunk store round-trip.
+    pub snapshot_chunks: AtomicU64,
 }
 
 impl TaskletCounters {
@@ -74,6 +79,15 @@ impl TaskletCounters {
 
     pub fn snapshot_records(&self) -> u64 {
         self.snapshot_records.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn add_snapshot_chunks(&self, n: u64) {
+        self.snapshot_chunks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot_chunks(&self) -> u64 {
+        self.snapshot_chunks.load(Ordering::Relaxed)
     }
 
     #[inline]

@@ -57,10 +57,11 @@ impl<T: Any + Send + Clone + std::fmt::Debug> Object for T {
 }
 
 /// Payloads at most this many bytes (and at most 8-byte aligned) are stored
-/// inline in [`SmallObject`] with no heap allocation. 24 bytes covers u64s,
-/// timestamps, and 2-3 word tuples while keeping `Item` a cache-line-friendly
-/// 48 bytes.
-pub const INLINE_CAP: usize = 24;
+/// inline in [`SmallObject`] with no heap allocation. 32 bytes covers u64s,
+/// timestamps, 3-4 word tuples, and the windowed hot-path records
+/// (`WindowResult<u64, u64>`, `FrameChunk<u64, (i64, i64)>` are exactly 32)
+/// while keeping `Item` at 56 bytes — still under a cache line.
+pub const INLINE_CAP: usize = 32;
 
 /// Manual vtable for the inline representation. One `'static` instance per
 /// concrete type, produced by const promotion in [`vtable_of`].
@@ -360,10 +361,11 @@ mod tests {
     #[test]
     fn small_payloads_are_inline_and_large_ones_boxed() {
         assert!(boxed(7u64).is_inline());
-        assert!(boxed((1u64, 2u64, 3u64)).is_inline()); // exactly INLINE_CAP
-        assert!(boxed([0u8; 24]).is_inline());
-        assert!(!boxed([0u8; 25]).is_inline());
-        assert!(!boxed([0u64; 4]).is_inline());
+        assert!(boxed((1u64, 2u64, 3u64, 4u64)).is_inline()); // exactly INLINE_CAP
+        assert!(boxed([0u8; 32]).is_inline());
+        assert!(!boxed([0u8; 33]).is_inline());
+        assert!(boxed([0u64; 4]).is_inline());
+        assert!(!boxed([0u64; 5]).is_inline());
         // A String is 24 bytes of handle but owns heap storage either way;
         // the handle itself still rides inline.
         assert!(boxed("hello".to_string()).is_inline());

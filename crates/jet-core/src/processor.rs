@@ -302,6 +302,23 @@ pub trait Processor: Send {
         outbox.broadcast(Item::Watermark(wm))
     }
 
+    /// Called once per tasklet quantum (before input is drained) so the
+    /// processor can advance background work a bounded chunk at a time —
+    /// amortized frame eviction, resumed window emission, deferred
+    /// watermark forwarding. Return `true` when progress was made (keeps
+    /// the worker out of its idle backoff while work remains).
+    fn tick(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        false
+    }
+
+    /// Keyed-state health probe, when this processor maintains keyed state.
+    /// The wiring layer registers the probe's numbers as
+    /// `jet_state_resident_bytes` / `jet_state_keys_records` gauges and the
+    /// `jet_window_late_events_total` counter.
+    fn state_probe(&self) -> Option<std::sync::Arc<crate::state::StateProbe>> {
+        None
+    }
+
     /// Input edge `ordinal` is exhausted. Return `true` when done reacting.
     fn complete_edge(
         &mut self,

@@ -10,6 +10,32 @@
 //! every 10ms is something that no other scale-out stream processor can
 //! perform").
 //!
+//! Keyed state lives in [`KeyTable`]s — sharded open-addressing tables
+//! keyed by 64-bit fingerprints (`crate::state::store`) — and every
+//! per-window obligation is amortized so no single tasklet quantum ever
+//! does O(keys) work, which is what keeps p99.99 flat at millions of keys:
+//!
+//! * **Chunked emission.** A watermark is *accepted* immediately (the
+//!   tasklet keeps draining input) while window results stream out a
+//!   bounded chunk per quantum; the watermark itself is held and forwarded
+//!   only after the last chunk, preserving the results-before-watermark
+//!   order downstream relies on. The emission floor advances when a
+//!   window's emission *starts*, so event classification is identical to
+//!   the old atomic emission.
+//! * **Spill discipline.** While a window is mid-emission, contributions
+//!   targeting its frames are parked in a small fixed spill buffer (and
+//!   applied right after the close) instead of mutating tables under an
+//!   active cursor; a full spill pushes back on the inbox rather than
+//!   allocating.
+//! * **Amortized eviction.** An expired frame is detached whole and its
+//!   slots retired (deducted from the running accumulators) a bounded
+//!   number per quantum by [`Processor::tick`]; emptied tables recycle
+//!   through a pool, so steady state allocates nothing.
+//! * **Streaming snapshots.** `save_snapshot` serializes keyed state in
+//!   bounded record chunks across quanta behind a resumable cursor; the
+//!   exactly-once oracle is unchanged because a barrier only commits once
+//!   the final chunk is written.
+//!
 //! Three processors are built on the shared [`WindowState`]:
 //!
 //! * [`SlidingWindowP`] — single-stage keyed windowing (events in, window
@@ -24,16 +50,28 @@ use crate::item::{Item, Ts};
 use crate::object::{boxed, downcast_ref};
 use crate::processor::{Inbox, Outbox, Processor, ProcessorContext};
 use crate::processors::agg::AggregateOp;
-use crate::state::Snap;
+use crate::state::{fingerprint, Cursor, KeyTable, Snap, StateProbe};
 use crate::watermark::NO_WATERMARK;
 use jet_util::seq;
-use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::Arc;
 
 /// Type-erased key extractor: downcasts the boxed event and hashes its key.
 type ObjKeyFn<K> = Arc<dyn Fn(&dyn crate::object::Object) -> K + Send + Sync>;
+
+/// Max emission/fold/gather steps per tasklet quantum.
+const EMIT_CHUNK: usize = 1024;
+/// Max retired (evicted) slots per tasklet quantum.
+const RETIRE_CHUNK: usize = 1024;
+/// Max snapshot records serialized per `save_snapshot` quantum.
+const SNAPSHOT_CHUNK: usize = 2048;
+/// Spill capacity: contributions parked while their window is mid-emission.
+const SPILL_CAP: usize = 1024;
+/// Watermark acceptance refuses once this many windows are due-unemitted.
+const MAX_DUE_WINDOWS: i64 = 4;
+/// Ticks between refreshes of the state probe gauges.
+const PROBE_STRIDE: u32 = 64;
 
 /// Window definition in event-time nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,34 +128,182 @@ pub struct FrameChunk<K, A> {
 }
 
 /// Key constraints for windowed state: routable, snapshottable, printable.
-pub trait WindowKey: Clone + Eq + Hash + Snap + Send + Debug + 'static {}
-impl<T: Clone + Eq + Hash + Snap + Send + Debug + 'static> WindowKey for T {}
+/// Keys must be `Copy + Default` because they live inline in the
+/// open-addressing slots of the frame store (no per-key allocation); large
+/// or heap-backed keys should be routed by a small derived key.
+pub trait WindowKey: Copy + Default + Eq + Hash + Snap + Send + Debug + 'static {}
+impl<T: Copy + Default + Eq + Hash + Snap + Send + Debug + 'static> WindowKey for T {}
 
-/// Shared frame store + sliding emission logic.
+/// Fingerprint of a window key: the routing hash, normalized non-zero for
+/// the frame store's occupied-slot sentinel.
+#[inline]
+fn fp_of<K: Hash>(key: &K) -> u64 {
+    fingerprint(seq::hash_of(key))
+}
+
+/// One slide-sized frame: keyed partial accumulators.
+struct Frame<K, A> {
+    end: Ts,
+    table: KeyTable<K, A>,
+}
+
+/// Locate the frame ending at `end` in a sorted frame list, preferring the
+/// last-hit index (in-order streams hit the same frame for a whole slide).
+#[inline]
+fn find_frame<K, A>(frames: &[Frame<K, A>], hint: usize, end: Ts) -> Option<usize> {
+    if let Some(f) = frames.get(hint) {
+        if f.end == end {
+            return Some(hint);
+        }
+    }
+    let i = frames.partition_point(|f| f.end < end);
+    (i < frames.len() && frames[i].end == end).then_some(i)
+}
+
+/// Insert an empty frame (recycled from `pool` when possible) keeping the
+/// list sorted by end. Cold: runs once per slide, not per event.
+#[cold]
+fn create_frame<K: WindowKey, A: Snap + Clone + Send + Default + 'static>(
+    frames: &mut Vec<Frame<K, A>>,
+    pool: &mut Vec<KeyTable<K, A>>,
+    parts: u32,
+    end: Ts,
+) -> usize {
+    let table = pool.pop().unwrap_or_else(|| KeyTable::new(parts));
+    let i = frames.partition_point(|f| f.end < end);
+    frames.insert(i, Frame { end, table });
+    i
+}
+
+/// In-flight chunked emission of the window ending at `end`.
+enum Pending {
+    Idle,
+    /// Deduct mode: folding frame `end` (at index `fi`) into `running`.
+    Fold {
+        end: Ts,
+        fi: usize,
+        cur: Cursor,
+    },
+    /// Recombine mode: merging the window's frames (next: index `fi`) into
+    /// `scratch`.
+    Gather {
+        end: Ts,
+        fi: usize,
+        cur: Cursor,
+    },
+    /// Deduct mode: scanning `running`, one result per entry.
+    EmitRunning {
+        end: Ts,
+        cur: Cursor,
+    },
+    /// Recombine mode: draining `scratch`, one result per entry.
+    EmitScratch {
+        end: Ts,
+        cur: Cursor,
+    },
+    /// Tumbling fast path: draining the detached due frame directly.
+    EmitFrame {
+        end: Ts,
+        cur: Cursor,
+    },
+}
+
+impl Pending {
+    fn emission_end(&self) -> Option<Ts> {
+        match *self {
+            Pending::Idle => None,
+            Pending::Fold { end, .. }
+            | Pending::Gather { end, .. }
+            | Pending::EmitRunning { end, .. }
+            | Pending::EmitScratch { end, .. }
+            | Pending::EmitFrame { end, .. } => Some(end),
+        }
+    }
+}
+
+/// One spilled contribution: `(frame_end, fingerprint, key, accumulator)`,
+/// held until the active emission's close so scan cursors stay valid.
+type SpillSlot<K, A> = Option<(Ts, u64, K, A)>;
+
+/// Shared frame store + chunked sliding emission logic.
 struct WindowState<K, A> {
     wdef: WindowDef,
-    frames: BTreeMap<Ts, HashMap<K, A>>,
+    /// Partition count the shard layout follows (the partitioned-edge
+    /// assignment space).
+    parts: u32,
+    /// Live frames, ascending by end timestamp.
+    frames: Vec<Frame<K, A>>,
+    /// Last-hit frame index (in-order streams stay in one frame per slide).
+    hint: usize,
     /// Running window accumulator per key + number of live frames holding
     /// the key (deduct mode only).
-    running: HashMap<K, (A, u32)>,
+    running: KeyTable<K, (A, u32)>,
+    /// Recombine-mode merge target, drained by emission; capacity persists.
+    scratch: KeyTable<K, A>,
+    /// Emptied frame tables kept for reuse (bounds steady-state allocation).
+    pool: Vec<KeyTable<K, A>>,
+    /// Chunked emission state machine.
+    pending: Pending,
+    /// Tumbling fast path: the detached frame being drained by emission.
+    drain_table: Option<KeyTable<K, A>>,
+    /// Expired frames detached at window close, retired (deducted) a
+    /// bounded number of slots per quantum; each with its drain cursor.
+    retire: Vec<(KeyTable<K, A>, Cursor)>,
+    /// Contributions for frames of the actively-emitting window, applied
+    /// after the close (mutating a scanned table would corrupt cursors and
+    /// double-count the fold). Allocated on first use.
+    spill: Option<Box<[SpillSlot<K, A>]>>,
+    spill_len: usize,
     /// Next window end to emit; `NO_WATERMARK` while no frame is anchored.
     next_emit: Ts,
     /// Emission floor: every window with `end < floor` has been emitted (or
     /// was skipped as empty) and must never be emitted again. `NO_WATERMARK`
-    /// until the first window is produced.
+    /// until the first window is produced. Advances when a window's
+    /// emission *starts* (the classification boundary).
     floor: Ts,
+    /// Highest accepted watermark; emission owes every window `<=` it.
+    wm_target: Ts,
+    /// Accepted watermark not yet forwarded downstream (`NO_WATERMARK`
+    /// when none): results of due windows must precede it.
+    held_wm: Ts,
+    /// Snapshot streaming cursor: `(snapshot_id, frame index, position)`.
+    snap_cursor: Option<(u64, usize, Cursor)>,
     late_events: u64,
 }
 
-impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
+impl<K: WindowKey, A: Snap + Clone + Send + Default + 'static> WindowState<K, A> {
     fn new(wdef: WindowDef) -> Self {
+        let parts = jet_imdg::DEFAULT_PARTITION_COUNT;
         WindowState {
             wdef,
-            frames: BTreeMap::new(),
-            running: HashMap::new(),
+            parts,
+            frames: Vec::new(),
+            hint: 0,
+            running: KeyTable::new(parts),
+            scratch: KeyTable::new(parts),
+            pool: Vec::new(),
+            pending: Pending::Idle,
+            drain_table: None,
+            retire: Vec::new(),
+            spill: None,
+            spill_len: 0,
             next_emit: NO_WATERMARK,
             floor: NO_WATERMARK,
+            wm_target: NO_WATERMARK,
+            held_wm: NO_WATERMARK,
+            snap_cursor: None,
             late_events: 0,
+        }
+    }
+
+    /// Align the shard layout with the job's partition space. Only takes
+    /// effect while the store is empty (called from `init`/first restore).
+    fn set_partitions(&mut self, parts: u32) {
+        if parts != self.parts && self.frames.is_empty() && self.running.is_empty() {
+            self.parts = parts;
+            self.running = KeyTable::new(parts);
+            self.scratch = KeyTable::new(parts);
+            self.pool.clear();
         }
     }
 
@@ -157,137 +343,649 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
         self.floor != NO_WATERMARK && frame_end <= self.floor - self.wdef.slide
     }
 
+    /// True when `frame_end` belongs to the actively-emitting window and
+    /// the contribution must be parked in the spill.
+    #[inline]
+    fn must_spill(&self, frame_end: Ts) -> bool {
+        matches!(self.pending.emission_end(), Some(end) if frame_end <= end)
+    }
+
+    /// True when an event for `frame_end` cannot currently be accepted:
+    /// callers leave it queued in the inbox (backpressure) and retry after
+    /// the emission in progress closes.
+    #[inline]
+    fn blocked(&self, frame_end: Ts) -> bool {
+        self.must_spill(frame_end) && self.spill_len == SPILL_CAP
+    }
+
+    /// Route one in-window contribution into the store: the live frame,
+    /// plus the running accumulators when the frame was already folded;
+    /// contributions to the actively-emitting window go to the spill.
+    /// Callers check [`blocked`] first. Allocation-free in steady state.
+    #[inline]
+    fn add<R>(
+        &mut self,
+        fp: u64,
+        key: K,
+        frame_end: Ts,
+        op: &AggregateOp<A, R>,
+        apply: impl Fn(&mut A),
+    ) {
+        if self.must_spill(frame_end) {
+            self.spill_add(fp, key, frame_end, op, apply);
+            return;
+        }
+        self.note_first_frame(frame_end);
+        let fi = match find_frame(&self.frames, self.hint, frame_end) {
+            Some(i) => i,
+            None => create_frame(&mut self.frames, &mut self.pool, self.parts, frame_end),
+        };
+        self.hint = fi;
+        let (acc, newly) = self.frames[fi].table.upsert(fp, key, || (op.create)());
+        apply(acc);
+        if self.frame_already_running(frame_end) {
+            self.add_late_to_running(fp, key, newly, op, apply);
+        }
+    }
+
     /// Apply a late contribution for `key` to the running accumulator.
     /// `newly_in_frame` is true when this is the key's first item in that
     /// frame (the live-frame refcount must grow by one then).
-    // jet-analyze: allow(alloc) — late merge touches the running frame's keyed map (cardinality-bounded)
     fn add_late_to_running<R>(
         &mut self,
-        key: &K,
+        fp: u64,
+        key: K,
         newly_in_frame: bool,
         op: &AggregateOp<A, R>,
-        apply: impl FnOnce(&mut A),
+        apply: impl Fn(&mut A),
     ) {
         if op.deduct.is_none() {
             return; // recombine fallback reads frames directly
         }
-        let entry = self
-            .running
-            .entry(key.clone())
-            .or_insert_with(|| ((op.create)(), 0));
+        let (entry, _) = self.running.upsert(fp, key, || ((op.create)(), 0));
         apply(&mut entry.0);
         if newly_in_frame {
             entry.1 += 1;
         }
     }
 
-    /// Emit the next due window (if `next_emit <= wm`) into `out`. Returns
-    /// `false` when no window was due. `op` supplies combine/deduct/finish.
-    // jet-analyze: allow(alloc) — window emission clones keyed aggregates once per window close, not per event
-    fn produce_next_window<R>(
+    /// Park a contribution for the actively-emitting window. Cold: only
+    /// out-of-order stragglers (allowed-lag late arrivals) land here while
+    /// their window is mid-emission.
+    #[cold]
+    fn spill_add<R>(
         &mut self,
-        wm: Ts,
+        fp: u64,
+        key: K,
+        frame_end: Ts,
         op: &AggregateOp<A, R>,
-        out: &mut VecDeque<WindowResult<K, R>>,
-    ) -> bool {
-        if self.next_emit == NO_WATERMARK || self.next_emit > wm {
-            return false;
+        apply: impl Fn(&mut A),
+    ) {
+        let spill = self
+            .spill
+            .get_or_insert_with(|| (0..SPILL_CAP).map(|_| None).collect());
+        debug_assert!(self.spill_len < SPILL_CAP, "caller checks blocked()");
+        let mut acc = (op.create)();
+        apply(&mut acc);
+        spill[self.spill_len] = Some((frame_end, fp, key, acc));
+        self.spill_len += 1;
+    }
+
+    /// Apply every parked contribution after a window close. Cold: bounded
+    /// by `SPILL_CAP`, runs at most once per slide.
+    #[cold]
+    fn drain_spill<R>(&mut self, op: &AggregateOp<A, R>) {
+        if self.spill_len == 0 {
+            return;
         }
-        if self.frames.is_empty() && self.running.is_empty() {
+        for i in 0..self.spill_len {
+            let Some(spill) = self.spill.as_mut() else {
+                break;
+            };
+            let Some((frame_end, fp, key, acc)) = spill[i].take() else {
+                continue;
+            };
+            // Entries were classified not-late against the already-advanced
+            // floor when they were parked; apply unconditionally.
+            self.note_first_frame(frame_end);
+            let fi = match find_frame(&self.frames, self.hint, frame_end) {
+                Some(i) => i,
+                None => create_frame(&mut self.frames, &mut self.pool, self.parts, frame_end),
+            };
+            let (slot, newly) = self.frames[fi].table.upsert(fp, key, || (op.create)());
+            (op.combine)(slot, &acc);
+            if self.frame_already_running(frame_end) {
+                self.add_late_to_running(fp, key, newly, op, |r| (op.combine)(r, &acc));
+            }
+        }
+        self.spill_len = 0;
+    }
+
+    /// Accept (or refuse) a coalesced watermark. Accepting holds the
+    /// watermark for forwarding after the due windows' results; refusal
+    /// (due-window backlog at the bound) pushes back on the input while
+    /// `pump` keeps making progress every quantum.
+    fn try_accept_wm(&mut self, wm: Ts) -> bool {
+        // Refuse while the *already accepted* backlog is at the bound:
+        // refusal then always leaves due windows for `pump` to drain, so
+        // the refused watermark is re-offered against a shrinking backlog
+        // (an accept-side check on `wm` itself could refuse forever when a
+        // final watermark jumps far ahead of an empty target).
+        if self.next_emit != NO_WATERMARK
+            && self.wm_target != NO_WATERMARK
+            && self.wm_target >= self.next_emit
+        {
+            let backlog = (self.wm_target - self.next_emit) / self.wdef.slide + 1;
+            if backlog > MAX_DUE_WINDOWS {
+                return false;
+            }
+        }
+        if self.wm_target == NO_WATERMARK || wm > self.wm_target {
+            self.wm_target = wm;
+        }
+        if self.held_wm == NO_WATERMARK || wm > self.held_wm {
+            self.held_wm = wm;
+        }
+        true
+    }
+
+    /// A window is due for emission.
+    fn window_due(&self) -> bool {
+        self.next_emit != NO_WATERMARK
+            && self.wm_target != NO_WATERMARK
+            && self.next_emit <= self.wm_target
+    }
+
+    /// Emission fully caught up and the held watermark forwarded: the
+    /// store is stable enough to snapshot (outstanding retirement is pure
+    /// in-memory transient — snapshots persist frames + floor only, and
+    /// restore rebuilds `running` from those).
+    fn quiesced(&self) -> bool {
+        matches!(self.pending, Pending::Idle) && !self.window_due() && self.held_wm == NO_WATERMARK
+    }
+
+    /// Nothing left to emit, forward, or retire (end-of-stream condition).
+    fn finished(&self) -> bool {
+        self.quiesced() && self.retire.is_empty()
+    }
+
+    /// One bounded quantum of background progress: advance the emission
+    /// state machine, start due windows, retire expired slots, and forward
+    /// the held watermark once caught up. Returns true when work was done.
+    fn pump<R>(&mut self, outbox: &mut Outbox, op: &AggregateOp<A, R>) -> bool
+    where
+        R: Clone + Send + Debug + 'static,
+    {
+        let mut worked = false;
+        let mut budget = EMIT_CHUNK;
+        loop {
+            match self.pending {
+                Pending::Idle => {
+                    // Outstanding retirement must finish before the next
+                    // window reads `running`: the expired frame's
+                    // contributions have to be deducted first or the next
+                    // emission over-counts (and `running` never drains).
+                    if !self.retire.is_empty() {
+                        worked |= self.step_retire(op, &mut budget);
+                        if budget == 0 {
+                            return true;
+                        }
+                        continue;
+                    }
+                    if !self.window_due() {
+                        break;
+                    }
+                    self.begin_window(op);
+                    worked = true;
+                }
+                Pending::Fold { end, fi, cur } => {
+                    worked |= self.step_fold(end, fi, cur, op, &mut budget);
+                }
+                Pending::Gather { end, fi, cur } => {
+                    worked |= self.step_gather(end, fi, cur, op, &mut budget);
+                }
+                Pending::EmitRunning { end, cur } => {
+                    if !self.step_emit_running(end, cur, op, outbox, &mut budget) {
+                        return true; // outbox full: resume next quantum
+                    }
+                    worked = true;
+                }
+                Pending::EmitScratch { end, cur } => {
+                    if !self.step_emit_scratch(end, cur, op, outbox, &mut budget) {
+                        return true;
+                    }
+                    worked = true;
+                }
+                Pending::EmitFrame { end, cur } => {
+                    if !self.step_emit_frame(end, cur, op, outbox, &mut budget) {
+                        return true;
+                    }
+                    worked = true;
+                }
+            }
+            if budget == 0 {
+                return true;
+            }
+        }
+        // Caught up: forward the held watermark (results precede it).
+        if self.held_wm != NO_WATERMARK && outbox.broadcast(Item::Watermark(self.held_wm)) {
+            self.held_wm = NO_WATERMARK;
+            worked = true;
+        }
+        worked
+    }
+
+    /// Open the next due window's emission. Cold: once per slide; does O(1)
+    /// structural work (the chunked steps do the O(keys) part).
+    #[cold]
+    fn begin_window<R>(&mut self, op: &AggregateOp<A, R>) {
+        let end = self.next_emit;
+        if self.frames.is_empty() && self.running.is_empty() && self.retire.is_empty() {
             // No state at all: every remaining window is empty. Re-anchor on
             // the next frame that actually arrives (this is also what keeps
             // quiet key spaces free: gaps in the stream cost nothing). The
             // floor guarantees the new anchor never revisits an emitted
             // window.
             self.next_emit = NO_WATERMARK;
-            return false;
+            return;
         }
-        let end = self.next_emit;
-        let start = end - self.wdef.size;
-        if let Some(deduct) = &op.deduct {
-            // Add the newest frame into the running accumulators.
-            if let Some(frame) = self.frames.get(&end) {
-                for (k, a) in frame {
-                    match self.running.get_mut(k) {
-                        Some((racc, cnt)) => {
-                            (op.combine)(racc, a);
-                            *cnt += 1;
-                        }
-                        None => {
-                            let mut racc = (op.create)();
-                            (op.combine)(&mut racc, a);
-                            self.running.insert(k.clone(), (racc, 1));
-                        }
+        // The classification boundary advances at emission *start*: an
+        // event that would have been late after the old atomic emission is
+        // late for every chunk of this one.
+        self.next_emit = end + self.wdef.slide;
+        self.floor = self.next_emit;
+        self.hint = 0;
+        if self.wdef.frames_per_window() == 1 {
+            // Tumbling fast path: the due frame *is* the window; detach and
+            // drain it directly — `running` never participates.
+            match find_frame(&self.frames, 0, end) {
+                Some(i) => {
+                    self.drain_table = Some(self.frames.remove(i).table);
+                    self.pending = Pending::EmitFrame {
+                        end,
+                        cur: Cursor::default(),
+                    };
+                }
+                None => self.close_window(end, op),
+            }
+            return;
+        }
+        if op.deduct.is_some() {
+            match find_frame(&self.frames, 0, end) {
+                Some(fi) => {
+                    self.pending = Pending::Fold {
+                        end,
+                        fi,
+                        cur: Cursor::default(),
                     }
                 }
-            }
-            for (k, (racc, _)) in &self.running {
-                out.push_back(WindowResult {
-                    key: k.clone(),
-                    start,
-                    end,
-                    value: (op.finish)(racc),
-                });
-            }
-            // Expire the oldest frame of this window.
-            let expired = end - self.wdef.size + self.wdef.slide;
-            if let Some(frame) = self.frames.remove(&expired) {
-                for (k, a) in frame {
-                    if let Some((racc, cnt)) = self.running.get_mut(&k) {
-                        deduct(racc, &a);
-                        *cnt -= 1;
-                        if *cnt == 0 {
-                            self.running.remove(&k);
-                        }
+                None => {
+                    self.pending = Pending::EmitRunning {
+                        end,
+                        cur: Cursor::default(),
                     }
                 }
             }
         } else {
-            // Recombine fallback: combine all frames of the window per key.
-            let mut accs: HashMap<K, A> = HashMap::new();
-            for (_, frame) in self.frames.range((start + 1)..=end) {
-                for (k, a) in frame {
-                    match accs.get_mut(k) {
-                        Some(acc) => (op.combine)(acc, a),
-                        None => {
-                            let mut acc = (op.create)();
-                            (op.combine)(&mut acc, a);
-                            accs.insert(k.clone(), acc);
-                        }
-                    }
+            let start = end - self.wdef.size;
+            let fi = self.frames.partition_point(|f| f.end <= start);
+            if fi < self.frames.len() && self.frames[fi].end <= end {
+                self.pending = Pending::Gather {
+                    end,
+                    fi,
+                    cur: Cursor::default(),
+                };
+            } else {
+                self.pending = Pending::EmitScratch {
+                    end,
+                    cur: Cursor::default(),
+                };
+            }
+        }
+    }
+
+    /// Fold a chunk of the newest frame into the running accumulators.
+    fn step_fold<R>(
+        &mut self,
+        end: Ts,
+        fi: usize,
+        mut cur: Cursor,
+        op: &AggregateOp<A, R>,
+        budget: &mut usize,
+    ) -> bool {
+        let mut worked = false;
+        while *budget > 0 {
+            let (next, item) = self.frames[fi].table.scan_next(cur);
+            match item {
+                Some((fp, k, a)) => {
+                    let (slot, _) = self.running.upsert(fp, *k, || ((op.create)(), 0));
+                    (op.combine)(&mut slot.0, a);
+                    slot.1 += 1;
+                    cur = next;
+                    *budget -= 1;
+                    worked = true;
+                }
+                None => {
+                    self.pending = Pending::EmitRunning {
+                        end,
+                        cur: Cursor::default(),
+                    };
+                    return true;
                 }
             }
-            for (k, acc) in &accs {
-                out.push_back(WindowResult {
-                    key: k.clone(),
-                    start,
-                    end,
-                    value: (op.finish)(acc),
-                });
-            }
-            let expired = end - self.wdef.size + self.wdef.slide;
-            self.frames.remove(&expired);
         }
-        self.next_emit = end + self.wdef.slide;
-        self.floor = self.next_emit;
+        self.pending = Pending::Fold { end, fi, cur };
+        worked
+    }
+
+    /// Merge a chunk of the window's frames into `scratch` (recombine).
+    fn step_gather<R>(
+        &mut self,
+        end: Ts,
+        mut fi: usize,
+        mut cur: Cursor,
+        op: &AggregateOp<A, R>,
+        budget: &mut usize,
+    ) -> bool {
+        let mut worked = false;
+        while *budget > 0 {
+            if fi >= self.frames.len() || self.frames[fi].end > end {
+                self.pending = Pending::EmitScratch {
+                    end,
+                    cur: Cursor::default(),
+                };
+                return true;
+            }
+            let (next, item) = self.frames[fi].table.scan_next(cur);
+            match item {
+                Some((fp, k, a)) => {
+                    let (slot, _) = self.scratch.upsert(fp, *k, || (op.create)());
+                    (op.combine)(slot, a);
+                    cur = next;
+                    *budget -= 1;
+                    worked = true;
+                }
+                None => {
+                    fi += 1;
+                    cur = Cursor::default();
+                }
+            }
+        }
+        self.pending = Pending::Gather { end, fi, cur };
+        worked
+    }
+
+    /// Emit a chunk of results from the running accumulators (deduct).
+    /// Returns false when the outbox is full (resume next quantum).
+    fn step_emit_running<R>(
+        &mut self,
+        end: Ts,
+        mut cur: Cursor,
+        op: &AggregateOp<A, R>,
+        outbox: &mut Outbox,
+        budget: &mut usize,
+    ) -> bool
+    where
+        R: Clone + Send + Debug + 'static,
+    {
+        let start = end - self.wdef.size;
+        while *budget > 0 {
+            if !outbox.has_room_all() {
+                self.pending = Pending::EmitRunning { end, cur };
+                return false;
+            }
+            let (next, item) = self.running.scan_next(cur);
+            match item {
+                Some((_, k, v)) => {
+                    let r = WindowResult {
+                        key: *k,
+                        start,
+                        end,
+                        value: (op.finish)(&v.0),
+                    };
+                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
+                    debug_assert!(delivered);
+                    cur = next;
+                    *budget -= 1;
+                }
+                None => {
+                    self.close_window(end, op);
+                    return true;
+                }
+            }
+        }
+        self.pending = Pending::EmitRunning { end, cur };
         true
     }
 
-    // jet-analyze: allow(alloc) — snapshot clones keyed state once per epoch
-    fn save(&self, outbox: &mut Outbox, instance: usize) {
+    /// Emit a chunk of results by draining `scratch` (recombine).
+    fn step_emit_scratch<R>(
+        &mut self,
+        end: Ts,
+        mut cur: Cursor,
+        op: &AggregateOp<A, R>,
+        outbox: &mut Outbox,
+        budget: &mut usize,
+    ) -> bool
+    where
+        R: Clone + Send + Debug + 'static,
+    {
+        let start = end - self.wdef.size;
+        while *budget > 0 {
+            if !outbox.has_room_all() {
+                self.pending = Pending::EmitScratch { end, cur };
+                return false;
+            }
+            let (next, item) = self.scratch.drain_next(cur);
+            match item {
+                Some((_, k, a)) => {
+                    let r = WindowResult {
+                        key: k,
+                        start,
+                        end,
+                        value: (op.finish)(&a),
+                    };
+                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
+                    debug_assert!(delivered);
+                    cur = next;
+                    *budget -= 1;
+                }
+                None => {
+                    self.close_window(end, op);
+                    return true;
+                }
+            }
+        }
+        self.pending = Pending::EmitScratch { end, cur };
+        true
+    }
+
+    /// Tumbling fast path: emit a chunk by draining the detached frame.
+    fn step_emit_frame<R>(
+        &mut self,
+        end: Ts,
+        mut cur: Cursor,
+        op: &AggregateOp<A, R>,
+        outbox: &mut Outbox,
+        budget: &mut usize,
+    ) -> bool
+    where
+        R: Clone + Send + Debug + 'static,
+    {
+        let start = end - self.wdef.size;
+        while *budget > 0 {
+            if !outbox.has_room_all() {
+                self.pending = Pending::EmitFrame { end, cur };
+                return false;
+            }
+            let Some(table) = self.drain_table.as_mut() else {
+                self.close_window(end, op);
+                return true;
+            };
+            let (next, item) = table.drain_next(cur);
+            match item {
+                Some((_, k, a)) => {
+                    let r = WindowResult {
+                        key: k,
+                        start,
+                        end,
+                        value: (op.finish)(&a),
+                    };
+                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
+                    debug_assert!(delivered);
+                    cur = next;
+                    *budget -= 1;
+                }
+                None => {
+                    if let Some(table) = self.drain_table.take() {
+                        self.recycle(table);
+                    }
+                    self.close_window(end, op);
+                    return true;
+                }
+            }
+        }
+        self.pending = Pending::EmitFrame { end, cur };
+        true
+    }
+
+    /// Close out the emitted window: detach the expired frame into the
+    /// retire queue and apply the spill. Cold: once per slide, O(spill).
+    #[cold]
+    fn close_window<R>(&mut self, end: Ts, op: &AggregateOp<A, R>) {
+        let expired = end - self.wdef.size + self.wdef.slide;
+        if self.wdef.frames_per_window() > 1 {
+            if let Some(i) = find_frame(&self.frames, 0, expired) {
+                // Deduct mode subtracts each retired slot from `running`;
+                // recombine mode only needs the table emptied before reuse.
+                // Both drain a bounded number of slots per quantum.
+                let f = self.frames.remove(i);
+                self.retire.push((f.table, Cursor::default()));
+            }
+        }
+        self.pending = Pending::Idle;
+        self.hint = 0;
+        self.drain_spill(op);
+    }
+
+    /// Retire a bounded number of expired slots: deduct each from the
+    /// running accumulators (deduct mode) and recycle emptied tables.
+    fn step_retire<R>(&mut self, op: &AggregateOp<A, R>, budget: &mut usize) -> bool {
+        let mut worked = false;
+        let take = (*budget).min(RETIRE_CHUNK);
+        let mut left = take;
+        while left > 0 {
+            let Some(li) = self.retire.len().checked_sub(1) else {
+                break;
+            };
+            let (next, item) = {
+                let (table, cur) = &mut self.retire[li];
+                let r = table.drain_next(*cur);
+                *cur = r.0;
+                r
+            };
+            let _ = next;
+            match item {
+                Some((fp, k, a)) => {
+                    if let Some(deduct) = &op.deduct {
+                        if let Some(slot) = self.running.get_mut(fp, &k) {
+                            deduct(&mut slot.0, &a);
+                            slot.1 -= 1;
+                            if slot.1 == 0 {
+                                self.running.remove(fp, &k);
+                            }
+                        }
+                    }
+                    left -= 1;
+                    worked = true;
+                }
+                None => {
+                    if let Some((table, _)) = self.retire.pop() {
+                        self.recycle(table);
+                    }
+                    worked = true;
+                }
+            }
+        }
+        *budget -= take - left;
+        worked
+    }
+
+    /// Return an emptied table to the pool. Cold: once per frame lifetime.
+    #[cold]
+    fn recycle(&mut self, table: KeyTable<K, A>) {
+        debug_assert!(table.is_empty());
+        let cap = self.wdef.frames_per_window() as usize + 2;
+        if self.pool.len() < cap {
+            self.pool.push(table);
+        }
+    }
+
+    /// Capacity-accounted resident bytes across every table of the store.
+    fn resident_bytes(&self) -> usize {
+        let mut bytes = self.running.resident_bytes() + self.scratch.resident_bytes();
+        for f in &self.frames {
+            bytes += f.table.resident_bytes();
+        }
+        for (t, _) in &self.retire {
+            bytes += t.resident_bytes();
+        }
+        for t in &self.pool {
+            bytes += t.resident_bytes();
+        }
+        if self.spill.is_some() {
+            bytes += SPILL_CAP * std::mem::size_of::<Option<(Ts, u64, K, A)>>();
+        }
+        bytes
+    }
+
+    /// Live keyed entries (frames + running).
+    fn resident_keys(&self) -> usize {
+        let mut n = self.running.len();
+        for f in &self.frames {
+            n += f.table.len();
+        }
+        n
+    }
+
+    /// Serialize a bounded chunk of keyed state; resumable across quanta
+    /// behind `snap_cursor`. Returns true when the final chunk (including
+    /// the floor meta record) has been staged.
+    fn stream_save(&mut self, id: u64, outbox: &mut Outbox, instance: usize) -> bool {
         // Record keys embed the writing instance: several parallel instances
         // may hold state for the same (key, frame) — most importantly the
         // non-partitioned stage-1 accumulator — and snapshot records must
         // not overwrite each other in the snapshot map.
-        for (frame_end, frame) in &self.frames {
-            for (k, a) in frame {
-                let key_bytes = (0u64, instance as u64, k.clone(), *frame_end).to_bytes();
-                outbox.offer_snapshot(key_bytes, a.to_bytes());
+        let (mut fi, mut cur) = match self.snap_cursor {
+            Some((sid, fi, cur)) if sid == id => (fi, cur),
+            _ => (0, Cursor::default()),
+        };
+        let mut budget = SNAPSHOT_CHUNK;
+        while fi < self.frames.len() {
+            if budget == 0 {
+                self.snap_cursor = Some((id, fi, cur));
+                return false;
+            }
+            let frame_end = self.frames[fi].end;
+            let (next, item) = self.frames[fi].table.scan_next(cur);
+            match item {
+                Some((_, k, a)) => {
+                    let key_bytes = (0u64, instance as u64, *k, frame_end).to_bytes();
+                    outbox.offer_snapshot(key_bytes, a.to_bytes());
+                    cur = next;
+                    budget -= 1;
+                }
+                None => {
+                    fi += 1;
+                    cur = Cursor::default();
+                }
             }
         }
         // Meta record (tag 1): this instance's emission floor.
         let meta_key = (1u64, instance as u64).to_bytes();
         outbox.offer_snapshot(meta_key, self.floor.to_bytes());
+        self.snap_cursor = None;
+        true
     }
 
     /// Restore one record, merging partials for the same (key, frame) with
@@ -299,6 +997,7 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
         ctx: &ProcessorContext,
         op: &AggregateOp<A, R>,
     ) {
+        self.set_partitions(ctx.partition_count);
         let mut r = jet_util::codec::ByteReader::new(key);
         let tag = u64::load(&mut r).expect("corrupt window snapshot key tag");
         let _instance = u64::load(&mut r).expect("corrupt window snapshot instance");
@@ -318,15 +1017,13 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
             return; // another instance's partition
         }
         let a = A::from_bytes(value).expect("corrupt window snapshot value");
-        let frame = self.frames.entry(frame_end).or_default();
-        match frame.get_mut(&k) {
-            Some(acc) => (op.combine)(acc, &a),
-            None => {
-                let mut acc = (op.create)();
-                (op.combine)(&mut acc, &a);
-                frame.insert(k, acc);
-            }
-        }
+        let fi = match find_frame(&self.frames, self.hint, frame_end) {
+            Some(i) => i,
+            None => create_frame(&mut self.frames, &mut self.pool, self.parts, frame_end),
+        };
+        self.hint = fi;
+        let (slot, _) = self.frames[fi].table.upsert(fp_of(&k), k, || (op.create)());
+        (op.combine)(slot, &a);
     }
 
     /// Rebuild the running accumulators from restored frames: everything in
@@ -335,9 +1032,11 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
     fn finish_restore<R>(&mut self, op: &AggregateOp<A, R>) {
         // Re-anchor on the restored frames (respecting the floor).
         self.next_emit = NO_WATERMARK;
-        let frame_ends: Vec<Ts> = self.frames.keys().copied().collect();
-        for f in frame_ends {
-            self.note_first_frame(f);
+        let mut i = 0;
+        while i < self.frames.len() {
+            let end = self.frames[i].end;
+            self.note_first_frame(end);
+            i += 1;
         }
         if op.deduct.is_none() || self.floor == NO_WATERMARK {
             return;
@@ -348,21 +1047,30 @@ impl<K: WindowKey, A: Snap + Clone + Send + 'static> WindowState<K, A> {
         if hi < lo + 1 {
             return; // tumbling window: nothing pre-added to `running`
         }
-        for (_, frame) in self.frames.range((lo + 1)..=hi) {
-            for (k, a) in frame {
-                match self.running.get_mut(k) {
-                    Some((racc, cnt)) => {
-                        (op.combine)(racc, a);
-                        *cnt += 1;
+        for f in &self.frames {
+            if f.end <= lo || f.end > hi {
+                continue;
+            }
+            let mut cur = Cursor::default();
+            loop {
+                let (next, item) = f.table.scan_next(cur);
+                cur = next;
+                match item {
+                    Some((fp, k, a)) => {
+                        let (slot, _) = self.running.upsert(fp, *k, || ((op.create)(), 0));
+                        (op.combine)(&mut slot.0, a);
+                        slot.1 += 1;
                     }
-                    None => {
-                        let mut racc = (op.create)();
-                        (op.combine)(&mut racc, a);
-                        self.running.insert(k.clone(), (racc, 1));
-                    }
+                    None => break,
                 }
             }
         }
+    }
+
+    /// Refresh the exported probe gauges.
+    fn refresh_probe(&self, probe: &StateProbe) {
+        probe.set_resident(self.resident_bytes() as u64, self.resident_keys() as u64);
+        probe.set_late_events(self.late_events);
     }
 }
 
@@ -373,13 +1081,14 @@ pub struct SlidingWindowP<K, A, R> {
     key_fns: Vec<ObjKeyFn<K>>,
     op: AggregateOp<A, R>,
     state: WindowState<K, A>,
-    emit_queue: VecDeque<WindowResult<K, R>>,
+    probe: Arc<StateProbe>,
+    ticks: u32,
 }
 
 impl<K, A, R> SlidingWindowP<K, A, R>
 where
     K: WindowKey,
-    A: Snap + Clone + Send + 'static,
+    A: Snap + Clone + Send + Default + 'static,
     R: Clone + Send + Debug + 'static,
 {
     pub fn new<I: 'static>(
@@ -392,7 +1101,8 @@ where
             key_fns: vec![Arc::new(move |obj| key_fn(downcast_ref::<I>(obj)))],
             op,
             state: WindowState::new(wdef),
-            emit_queue: VecDeque::new(),
+            probe: Arc::new(StateProbe::default()),
+            ticks: 0,
         }
     }
 
@@ -414,10 +1124,13 @@ where
 impl<K, A, R> Processor for SlidingWindowP<K, A, R>
 where
     K: WindowKey,
-    A: Snap + Clone + Send + 'static,
+    A: Snap + Clone + Send + Default + 'static,
     R: Clone + Send + Debug + 'static,
 {
-    // jet-analyze: allow(alloc) — keyed frame state grows with key cardinality; clones are the Object model's fan-out cost
+    fn init(&mut self, ctx: &ProcessorContext) {
+        self.state.set_partitions(ctx.partition_count);
+    }
+
     fn process(
         &mut self,
         ordinal: usize,
@@ -425,63 +1138,93 @@ where
         _outbox: &mut Outbox,
         _ctx: &ProcessorContext,
     ) {
-        let acc_fn = self.op.accumulate[ordinal].clone();
-        let create = self.op.create.clone();
-        let key_fn = self.key_fns[ordinal].clone();
-        while let Some((ts, obj)) = inbox.take() {
-            let key = key_fn(obj.as_ref());
-            let frame_end = self.wdef.frame_end(ts);
-            if self.state.is_late(frame_end) {
+        let Self {
+            wdef,
+            key_fns,
+            op,
+            state,
+            ..
+        } = self;
+        let key_fn = &key_fns[ordinal];
+        let acc_fn = &op.accumulate[ordinal];
+        while let Some((ts, _)) = inbox.peek() {
+            let frame_end = wdef.frame_end(*ts);
+            if state.blocked(frame_end) {
+                // Spill full while this frame's window is mid-emission:
+                // leave the event queued (inbox backpressure) and let the
+                // tick-driven emission catch up.
+                break;
+            }
+            let Some((_, obj)) = inbox.take() else {
+                break;
+            };
+            if state.is_late(frame_end) {
                 continue;
             }
-            self.state.note_first_frame(frame_end);
-            let frame = self.state.frames.entry(frame_end).or_default();
-            let newly = !frame.contains_key(&key);
-            let acc = frame.entry(key.clone()).or_insert_with(|| create());
-            acc_fn(acc, obj.as_ref());
-            if self.state.frame_already_running(frame_end) {
-                self.state
-                    .add_late_to_running(&key, newly, &self.op, |racc| acc_fn(racc, obj.as_ref()));
-            }
+            let key = key_fn(obj.as_ref());
+            state.add(fp_of(&key), key, frame_end, op, |a| acc_fn(a, obj.as_ref()));
         }
     }
 
-    // jet-analyze: allow(panic) — frame-queue invariants guarded by watermark ordering; emission allocs happen once per window close
     fn try_process_watermark(
         &mut self,
         wm: Ts,
         outbox: &mut Outbox,
         _ctx: &ProcessorContext,
     ) -> bool {
-        loop {
-            while let Some(r) = self.emit_queue.front() {
-                let end = r.end;
-                if outbox.has_room_all() {
-                    let r = self.emit_queue.pop_front().expect("front checked");
-                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
-                    debug_assert!(delivered);
-                } else {
-                    return false;
-                }
-            }
-            if !self
-                .state
-                .produce_next_window(wm, &self.op, &mut self.emit_queue)
-            {
-                break;
-            }
+        let Self { op, state, .. } = self;
+        state.pump(outbox, op);
+        state.try_accept_wm(wm)
+    }
+
+    fn tick(&mut self, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        let Self { op, state, .. } = self;
+        let worked = state.pump(outbox, op);
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(PROBE_STRIDE) {
+            self.state.refresh_probe(&self.probe);
         }
-        outbox.broadcast(Item::Watermark(wm))
+        worked
+    }
+
+    fn state_probe(&self) -> Option<Arc<StateProbe>> {
+        Some(self.probe.clone())
     }
 
     fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
         // Flush all remaining windows as if the watermark jumped to +inf.
-        self.try_process_watermark(Ts::MAX - self.wdef.slide, outbox, ctx)
+        let _ = ctx;
+        let Self {
+            wdef,
+            op,
+            state,
+            probe,
+            ..
+        } = self;
+        let target = Ts::MAX - wdef.slide;
+        if state.wm_target == NO_WATERMARK || target > state.wm_target {
+            state.wm_target = target;
+            state.held_wm = target;
+        }
+        state.pump(outbox, op);
+        let done = state.finished();
+        if done {
+            // Leave the exported gauges exact at job end (the tick-driven
+            // refresh is strided and may lag by up to PROBE_STRIDE calls).
+            state.refresh_probe(probe);
+        }
+        done
     }
 
-    fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
-        self.state.save(outbox, ctx.global_index);
-        true
+    fn save_snapshot(&mut self, id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        let Self { op, state, .. } = self;
+        if !state.quiesced() {
+            state.pump(outbox, op);
+            if !state.quiesced() {
+                return false;
+            }
+        }
+        state.stream_save(id, outbox, ctx.global_index)
     }
 
     fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {
@@ -499,15 +1242,25 @@ pub struct AccumulateFrameP<K, A, R> {
     wdef: WindowDef,
     key_fn: ObjKeyFn<K>,
     op: AggregateOp<A, R>,
-    frames: BTreeMap<Ts, HashMap<K, A>>,
-    emit_queue: VecDeque<FrameChunk<K, A>>,
+    parts: u32,
+    /// Open frames, ascending by end timestamp.
+    frames: Vec<Frame<K, A>>,
+    hint: usize,
+    pool: Vec<KeyTable<K, A>>,
+    /// Frame being shipped: detached table + drain position.
+    ship: Option<(Ts, KeyTable<K, A>, Cursor)>,
     emitted_through: Ts,
+    wm_target: Ts,
+    held_wm: Ts,
+    snap_cursor: Option<(u64, usize, Cursor)>,
+    probe: Arc<StateProbe>,
+    ticks: u32,
 }
 
 impl<K, A, R> AccumulateFrameP<K, A, R>
 where
     K: WindowKey,
-    A: Snap + Clone + Send + Debug + 'static,
+    A: Snap + Clone + Send + Default + Debug + 'static,
 {
     pub fn new<I: 'static>(
         wdef: WindowDef,
@@ -518,20 +1271,129 @@ where
             wdef,
             key_fn: Arc::new(move |obj| key_fn(downcast_ref::<I>(obj))),
             op,
-            frames: BTreeMap::new(),
-            emit_queue: VecDeque::new(),
+            parts: jet_imdg::DEFAULT_PARTITION_COUNT,
+            frames: Vec::new(),
+            hint: 0,
+            pool: Vec::new(),
+            ship: None,
             emitted_through: NO_WATERMARK,
+            wm_target: NO_WATERMARK,
+            held_wm: NO_WATERMARK,
+            snap_cursor: None,
+            probe: Arc::new(StateProbe::default()),
+            ticks: 0,
         }
+    }
+
+    /// Ship a bounded chunk of closed-frame partials downstream; forward
+    /// the held watermark once every closed frame is fully shipped.
+    fn pump(&mut self, outbox: &mut Outbox) -> bool {
+        let mut worked = false;
+        let mut budget = EMIT_CHUNK;
+        loop {
+            if let Some((frame_end, table, cur)) = self.ship.as_mut() {
+                let end = *frame_end;
+                loop {
+                    if budget == 0 {
+                        return true;
+                    }
+                    if !outbox.has_room_all() {
+                        return worked;
+                    }
+                    let (next, item) = table.drain_next(*cur);
+                    *cur = next;
+                    match item {
+                        Some((_, key, acc)) => {
+                            let c = FrameChunk {
+                                key,
+                                frame_end: end,
+                                acc,
+                            };
+                            let delivered = outbox.broadcast(Item::event(end, boxed(c)));
+                            debug_assert!(delivered);
+                            budget -= 1;
+                            worked = true;
+                        }
+                        None => break,
+                    }
+                }
+                if let Some((_, table, _)) = self.ship.take() {
+                    self.recycle(table);
+                }
+                worked = true;
+            }
+            // Next closed frame (frames are sorted: the first one is due
+            // first). Detaching advances `emitted_through` immediately so
+            // stragglers for the shipping frame classify as late.
+            let due = self
+                .frames
+                .first()
+                .is_some_and(|f| self.wm_target != NO_WATERMARK && f.end <= self.wm_target);
+            if !due {
+                break;
+            }
+            let f = self.frames.remove(0);
+            self.hint = 0;
+            self.emitted_through = self.emitted_through.max(f.end);
+            self.ship = Some((f.end, f.table, Cursor::default()));
+            worked = true;
+        }
+        if self.held_wm != NO_WATERMARK && outbox.broadcast(Item::Watermark(self.held_wm)) {
+            self.held_wm = NO_WATERMARK;
+            worked = true;
+        }
+        worked
+    }
+
+    /// Nothing due and the watermark forwarded.
+    fn quiesced(&self) -> bool {
+        self.ship.is_none()
+            && self.held_wm == NO_WATERMARK
+            && !self
+                .frames
+                .first()
+                .is_some_and(|f| self.wm_target != NO_WATERMARK && f.end <= self.wm_target)
+    }
+
+    #[cold]
+    fn recycle(&mut self, table: KeyTable<K, A>) {
+        debug_assert!(table.is_empty());
+        if self.pool.len() < 4 {
+            self.pool.push(table);
+        }
+    }
+
+    fn refresh_probe(&self) {
+        let mut bytes = 0usize;
+        let mut keys = 0usize;
+        for f in &self.frames {
+            bytes += f.table.resident_bytes();
+            keys += f.table.len();
+        }
+        if let Some((_, t, _)) = &self.ship {
+            bytes += t.resident_bytes();
+            keys += t.len();
+        }
+        for t in &self.pool {
+            bytes += t.resident_bytes();
+        }
+        self.probe.set_resident(bytes as u64, keys as u64);
     }
 }
 
 impl<K, A, R> Processor for AccumulateFrameP<K, A, R>
 where
     K: WindowKey,
-    A: Snap + Clone + Send + Debug + 'static,
+    A: Snap + Clone + Send + Default + Debug + 'static,
     R: 'static,
 {
-    // jet-analyze: allow(alloc) — keyed frame state grows with key cardinality; clones are the Object model's fan-out cost
+    fn init(&mut self, ctx: &ProcessorContext) {
+        if self.frames.is_empty() {
+            self.parts = ctx.partition_count;
+            self.pool.clear();
+        }
+    }
+
     fn process(
         &mut self,
         ordinal: usize,
@@ -539,83 +1401,128 @@ where
         _outbox: &mut Outbox,
         _ctx: &ProcessorContext,
     ) {
-        let acc_fn = self.op.accumulate[ordinal].clone();
-        let create = self.op.create.clone();
+        let Self {
+            wdef,
+            key_fn,
+            op,
+            parts,
+            frames,
+            hint,
+            pool,
+            emitted_through,
+            ..
+        } = self;
+        let acc_fn = &op.accumulate[ordinal];
         while let Some((ts, obj)) = inbox.take() {
-            let frame_end = self.wdef.frame_end(ts);
-            if self.emitted_through != NO_WATERMARK && frame_end <= self.emitted_through {
+            let frame_end = wdef.frame_end(ts);
+            if *emitted_through != NO_WATERMARK && frame_end <= *emitted_through {
                 continue; // frame already shipped; stage 2 counts it late
             }
-            let key = (self.key_fn)(obj.as_ref());
-            let frame = self.frames.entry(frame_end).or_default();
-            acc_fn(frame.entry(key).or_insert_with(|| create()), obj.as_ref());
+            let key = (key_fn)(obj.as_ref());
+            let fi = match find_frame(frames, *hint, frame_end) {
+                Some(i) => i,
+                None => create_frame(frames, pool, *parts, frame_end),
+            };
+            *hint = fi;
+            let (acc, _) = frames[fi].table.upsert(fp_of(&key), key, || (op.create)());
+            acc_fn(acc, obj.as_ref());
         }
     }
 
-    // jet-analyze: allow(alloc, panic) — frame-queue invariants guarded by watermark ordering; emission allocs happen once per window close
     fn try_process_watermark(
         &mut self,
         wm: Ts,
         outbox: &mut Outbox,
         _ctx: &ProcessorContext,
     ) -> bool {
-        // Close all frames with end <= wm, then forward the watermark. The
-        // outbox's FIFO guarantees partials precede the watermark, which is
-        // what lets stage 2 finalize on watermark alone.
-        loop {
-            while self.emit_queue.front().is_some() {
-                if outbox.has_room_all() {
-                    let c = self.emit_queue.pop_front().expect("front checked");
-                    let end = c.frame_end;
-                    let delivered = outbox.broadcast(Item::event(end, boxed(c)));
-                    debug_assert!(delivered);
-                } else {
-                    return false;
-                }
-            }
-            let Some((&frame_end, _)) = self.frames.iter().next() else {
-                break;
-            };
-            if frame_end > wm {
-                break;
-            }
-            let frame = self.frames.remove(&frame_end).expect("key from iter");
-            for (key, acc) in frame {
-                self.emit_queue.push_back(FrameChunk {
-                    key,
-                    frame_end,
-                    acc,
-                });
-            }
-            self.emitted_through = self.emitted_through.max(frame_end);
+        // Close all frames with end <= wm; partials stream out a bounded
+        // chunk per quantum, and the outbox's FIFO guarantees every partial
+        // precedes the (held) watermark, which is what lets stage 2
+        // finalize on watermark alone.
+        self.pump(outbox);
+        if self.wm_target == NO_WATERMARK || wm > self.wm_target {
+            self.wm_target = wm;
         }
-        outbox.broadcast(Item::Watermark(wm))
+        if self.held_wm == NO_WATERMARK || wm > self.held_wm {
+            self.held_wm = wm;
+        }
+        true
     }
 
-    fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
-        self.try_process_watermark(Ts::MAX - self.wdef.slide, outbox, ctx)
+    fn tick(&mut self, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        let worked = self.pump(outbox);
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(PROBE_STRIDE) {
+            self.refresh_probe();
+        }
+        worked
     }
 
-    // jet-analyze: allow(alloc) — snapshot clones keyed state once per epoch
-    fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+    fn state_probe(&self) -> Option<Arc<StateProbe>> {
+        Some(self.probe.clone())
+    }
+
+    fn complete(&mut self, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        let target = Ts::MAX - self.wdef.slide;
+        if self.wm_target == NO_WATERMARK || target > self.wm_target {
+            self.wm_target = target;
+            self.held_wm = target;
+        }
+        self.pump(outbox);
+        let done = self.quiesced();
+        if done {
+            self.refresh_probe();
+        }
+        done
+    }
+
+    fn save_snapshot(&mut self, id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
         // Stage-1 state is *not* partitioned by key (it is node-local), so
-        // records are keyed by (instance, key, frame) to avoid collisions,
-        // and every instance restores only records it wrote... except after
-        // rescale, where instance 0 adopts orphans. Simpler and correct:
-        // ship partials as snapshot state tagged by key; on restore they are
-        // re-partitioned exactly like live chunks would be.
-        for (frame_end, frame) in &self.frames {
-            for (k, a) in frame {
-                let key_bytes = (0u64, ctx.global_index as u64, k.clone(), *frame_end).to_bytes();
-                outbox.offer_snapshot(key_bytes, a.to_bytes());
+        // records are keyed by (instance, key, frame) to avoid collisions;
+        // on restore they are re-partitioned exactly like live chunks
+        // would be.
+        if !self.quiesced() {
+            self.pump(outbox);
+            if !self.quiesced() {
+                return false;
+            }
+        }
+        let (mut fi, mut cur) = match self.snap_cursor {
+            Some((sid, fi, cur)) if sid == id => (fi, cur),
+            _ => (0, Cursor::default()),
+        };
+        let mut budget = SNAPSHOT_CHUNK;
+        while fi < self.frames.len() {
+            if budget == 0 {
+                self.snap_cursor = Some((id, fi, cur));
+                return false;
+            }
+            let frame_end = self.frames[fi].end;
+            let (next, item) = self.frames[fi].table.scan_next(cur);
+            match item {
+                Some((_, k, a)) => {
+                    let key_bytes = (0u64, ctx.global_index as u64, *k, frame_end).to_bytes();
+                    outbox.offer_snapshot(key_bytes, a.to_bytes());
+                    cur = next;
+                    budget -= 1;
+                }
+                None => {
+                    fi += 1;
+                    cur = Cursor::default();
+                }
             }
         }
         let meta_key = (1u64, ctx.global_index as u64).to_bytes();
         outbox.offer_snapshot(meta_key, self.emitted_through.to_bytes());
+        self.snap_cursor = None;
         true
     }
 
     fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {
+        if self.frames.is_empty() && self.parts != ctx.partition_count {
+            self.parts = ctx.partition_count;
+            self.pool.clear();
+        }
         let mut r = jet_util::codec::ByteReader::new(key);
         let tag = u64::load(&mut r).expect("corrupt frame snapshot key tag");
         let _instance = u64::load(&mut r).expect("corrupt frame snapshot instance");
@@ -634,15 +1541,15 @@ where
             return;
         }
         let a = A::from_bytes(value).expect("corrupt frame snapshot value");
-        let create = self.op.create.clone();
-        let combine = self.op.combine.clone();
-        let entry = self
-            .frames
-            .entry(frame_end)
-            .or_default()
-            .entry(k)
-            .or_insert_with(|| create());
-        combine(entry, &a);
+        let fi = match find_frame(&self.frames, self.hint, frame_end) {
+            Some(i) => i,
+            None => create_frame(&mut self.frames, &mut self.pool, self.parts, frame_end),
+        };
+        self.hint = fi;
+        let (slot, _) = self.frames[fi]
+            .table
+            .upsert(fp_of(&k), k, || (self.op.create)());
+        (self.op.combine)(slot, &a);
     }
 }
 
@@ -651,20 +1558,22 @@ where
 pub struct CombineFramesP<K, A, R> {
     op: AggregateOp<A, R>,
     state: WindowState<K, A>,
-    emit_queue: VecDeque<WindowResult<K, R>>,
+    probe: Arc<StateProbe>,
+    ticks: u32,
 }
 
 impl<K, A, R> CombineFramesP<K, A, R>
 where
     K: WindowKey,
-    A: Snap + Clone + Send + Debug + 'static,
+    A: Snap + Clone + Send + Default + Debug + 'static,
     R: Clone + Send + Debug + 'static,
 {
     pub fn new(wdef: WindowDef, op: AggregateOp<A, R>) -> Self {
         CombineFramesP {
             op,
             state: WindowState::new(wdef),
-            emit_queue: VecDeque::new(),
+            probe: Arc::new(StateProbe::default()),
+            ticks: 0,
         }
     }
 
@@ -676,10 +1585,13 @@ where
 impl<K, A, R> Processor for CombineFramesP<K, A, R>
 where
     K: WindowKey,
-    A: Snap + Clone + Send + Debug + 'static,
+    A: Snap + Clone + Send + Default + Debug + 'static,
     R: Clone + Send + Debug + 'static,
 {
-    // jet-analyze: allow(alloc) — keyed frame state grows with key cardinality; clones are the Object model's fan-out cost
+    fn init(&mut self, ctx: &ProcessorContext) {
+        self.state.set_partitions(ctx.partition_count);
+    }
+
     fn process(
         &mut self,
         _ordinal: usize,
@@ -687,68 +1599,78 @@ where
         _outbox: &mut Outbox,
         _ctx: &ProcessorContext,
     ) {
-        let create = self.op.create.clone();
-        let combine = self.op.combine.clone();
-        while let Some((_ts, obj)) = inbox.take() {
+        let Self { op, state, .. } = self;
+        while let Some((_, obj)) = inbox.peek() {
             let chunk = downcast_ref::<FrameChunk<K, A>>(obj.as_ref());
-            if self.state.is_late(chunk.frame_end) {
+            let frame_end = chunk.frame_end;
+            if state.blocked(frame_end) {
+                break; // spill full: inbox backpressure until the close
+            }
+            let Some((_, obj)) = inbox.take() else {
+                break;
+            };
+            let chunk = downcast_ref::<FrameChunk<K, A>>(obj.as_ref());
+            if state.is_late(frame_end) {
                 continue;
             }
-            self.state.note_first_frame(chunk.frame_end);
-            let frame = self.state.frames.entry(chunk.frame_end).or_default();
-            let newly = !frame.contains_key(&chunk.key);
-            match frame.get_mut(&chunk.key) {
-                Some(acc) => combine(acc, &chunk.acc),
-                None => {
-                    let mut acc = create();
-                    combine(&mut acc, &chunk.acc);
-                    frame.insert(chunk.key.clone(), acc);
-                }
-            }
-            if self.state.frame_already_running(chunk.frame_end) {
-                self.state
-                    .add_late_to_running(&chunk.key, newly, &self.op, |racc| {
-                        combine(racc, &chunk.acc)
-                    });
-            }
+            let key = chunk.key;
+            state.add(fp_of(&key), key, frame_end, op, |a| {
+                (op.combine)(a, &chunk.acc)
+            });
         }
     }
 
-    // jet-analyze: allow(panic) — frame-queue invariants guarded by watermark ordering; emission allocs happen once per window close
     fn try_process_watermark(
         &mut self,
         wm: Ts,
         outbox: &mut Outbox,
         _ctx: &ProcessorContext,
     ) -> bool {
-        loop {
-            while let Some(r) = self.emit_queue.front() {
-                let end = r.end;
-                if outbox.has_room_all() {
-                    let r = self.emit_queue.pop_front().expect("front checked");
-                    let delivered = outbox.broadcast(Item::event(end, boxed(r)));
-                    debug_assert!(delivered);
-                } else {
-                    return false;
-                }
-            }
-            if !self
-                .state
-                .produce_next_window(wm, &self.op, &mut self.emit_queue)
-            {
-                break;
+        let Self { op, state, .. } = self;
+        state.pump(outbox, op);
+        state.try_accept_wm(wm)
+    }
+
+    fn tick(&mut self, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        let Self { op, state, .. } = self;
+        let worked = state.pump(outbox, op);
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(PROBE_STRIDE) {
+            self.state.refresh_probe(&self.probe);
+        }
+        worked
+    }
+
+    fn state_probe(&self) -> Option<Arc<StateProbe>> {
+        Some(self.probe.clone())
+    }
+
+    fn complete(&mut self, outbox: &mut Outbox, _ctx: &ProcessorContext) -> bool {
+        let Self {
+            op, state, probe, ..
+        } = self;
+        let target = Ts::MAX - state.wdef.slide;
+        if state.wm_target == NO_WATERMARK || target > state.wm_target {
+            state.wm_target = target;
+            state.held_wm = target;
+        }
+        state.pump(outbox, op);
+        let done = state.finished();
+        if done {
+            state.refresh_probe(probe);
+        }
+        done
+    }
+
+    fn save_snapshot(&mut self, id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
+        let Self { op, state, .. } = self;
+        if !state.quiesced() {
+            state.pump(outbox, op);
+            if !state.quiesced() {
+                return false;
             }
         }
-        outbox.broadcast(Item::Watermark(wm))
-    }
-
-    fn complete(&mut self, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
-        self.try_process_watermark(Ts::MAX - self.state.wdef.slide, outbox, ctx)
-    }
-
-    fn save_snapshot(&mut self, _id: u64, outbox: &mut Outbox, ctx: &ProcessorContext) -> bool {
-        self.state.save(outbox, ctx.global_index);
-        true
+        state.stream_save(id, outbox, ctx.global_index)
     }
 
     fn restore_from_snapshot(&mut self, key: &[u8], value: &[u8], ctx: &ProcessorContext) {

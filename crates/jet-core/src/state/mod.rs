@@ -7,6 +7,14 @@
 //! the NEXMark queries need; user types implement the trait directly (two
 //! small methods) — the moral equivalent of Jet's requirement that state be
 //! `Serializable`.
+//!
+//! The [`store`] submodule holds the keyed frame store (sharded
+//! open-addressing tables) that windowed aggregation keeps its
+//! millions-of-keys state in.
+
+pub mod store;
+
+pub use store::{fingerprint, morton_rank, Cursor, InlineStr, KeyTable, StateProbe};
 
 use jet_util::codec::{ByteReader, ByteWriter, DecodeError};
 use std::collections::HashMap;

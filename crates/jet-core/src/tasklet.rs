@@ -562,6 +562,9 @@ impl ProcessorTasklet {
                 if !self.settle_watermark() {
                     return Progress::from_worked(worked);
                 }
+                // Bounded background quantum: amortized eviction, resumed
+                // window emission, deferred watermark forwarding.
+                worked |= self.processor.tick(&mut self.outbox, &self.ctx);
                 // Finish a partially-processed inbox first.
                 if let Some(ordinal) = self.pending_ordinal {
                     let before = self.inbox.len();
@@ -597,14 +600,21 @@ impl ProcessorTasklet {
                 if self.trace.enabled() && self.snapshot_started.is_none() {
                     self.snapshot_started = Some((self.trace_now(), b.snapshot_id));
                 }
-                if self
+                let done = self
                     .processor
-                    .save_snapshot(b.snapshot_id, &mut self.outbox, &self.ctx)
-                {
-                    let records = self.outbox.take_snapshot_records();
+                    .save_snapshot(b.snapshot_id, &mut self.outbox, &self.ctx);
+                // Streaming snapshots: each quantum's bounded chunk of
+                // records is written out immediately (the snapshot store
+                // appends; a partial set of chunks never becomes a recovery
+                // point because the barrier only commits after `done`).
+                let records = self.outbox.take_snapshot_records();
+                if !records.is_empty() {
                     self.counters.add_snapshot_records(records.len() as u64);
+                    self.counters.add_snapshot_chunks(1);
                     self.registry
                         .write_records(b.snapshot_id, &self.vertex, records);
+                }
+                if done {
                     self.phase = Phase::EmitBarrier;
                 }
                 Progress::MadeProgress

@@ -3,7 +3,7 @@
 //! the full per-event surface — `boxed` construction, `Item` wrapping,
 //! SPSC offer/poll, clone (as a broadcast edge would), borrow-downcast, and
 //! consume-by-`take` — and asserts the allocation counter did not move for
-//! payloads at or under `INLINE_CAP` (24 bytes).
+//! payloads at or under `INLINE_CAP` (32 bytes).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -75,11 +75,14 @@ fn small_payload_event_path_is_allocation_free() {
 fn inline_cap_sized_tuple_is_allocation_free() {
     let n = allocs_during(|| {
         for i in 0..100u64 {
-            // (u64, u64, i64) is exactly 24 bytes = INLINE_CAP.
-            let obj = boxed((i, i * 2, -(i as i64)));
+            // (u64, u64, u64, i64) is exactly 32 bytes = INLINE_CAP.
+            let obj = boxed((i, i * 2, i * 3, -(i as i64)));
             assert!(obj.is_inline());
             let copy = obj.clone_object();
-            assert_eq!(take::<(u64, u64, i64)>(copy), (i, i * 2, -(i as i64)));
+            assert_eq!(
+                take::<(u64, u64, u64, i64)>(copy),
+                (i, i * 2, i * 3, -(i as i64))
+            );
             drop(obj);
         }
     });
@@ -89,9 +92,9 @@ fn inline_cap_sized_tuple_is_allocation_free() {
 #[test]
 fn oversized_payloads_fall_back_to_the_heap() {
     let n = allocs_during(|| {
-        let obj = boxed([0u8; 32]); // 32 > INLINE_CAP
+        let obj = boxed([0u8; 40]); // 40 > INLINE_CAP
         assert!(!obj.is_inline());
-        assert_eq!(take::<[u8; 32]>(obj), [0u8; 32]);
+        assert_eq!(take::<[u8; 40]>(obj), [0u8; 40]);
     });
     assert!(n > 0, "oversized payload should have boxed");
 }

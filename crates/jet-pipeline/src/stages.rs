@@ -556,7 +556,7 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
     /// results followed by global combining").
     pub fn aggregate<A, R>(&self, op: AggregateOp<A, R>) -> StreamStage<WindowResult<K, R>>
     where
-        A: Snap + Clone + Send + Debug + 'static,
+        A: Snap + Clone + Send + Default + Debug + 'static,
         R: Send + Clone + Debug + 'static,
     {
         let wdef = self.wdef;
@@ -609,7 +609,7 @@ impl<K: WindowKey, T: Send + Clone + Debug + 'static> WindowedStage<K, T> {
         op: AggregateOp<A, R>,
     ) -> StreamStage<WindowResult<K, R>>
     where
-        A: Snap + Clone + Send + Debug + 'static,
+        A: Snap + Clone + Send + Default + Debug + 'static,
         R: Send + Clone + Debug + 'static,
     {
         let wdef = self.wdef;

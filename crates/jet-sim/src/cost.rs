@@ -23,8 +23,15 @@ pub struct CostModel {
     pub per_item: u64,
     /// Cost per state record serialized into a snapshot (serialization +
     /// replicated IMap put). This is the dominant term behind the Fig. 13
-    /// checkpoint latency spikes: windowed state is large.
+    /// checkpoint latency spikes: windowed state is large. With chunked
+    /// snapshots the records of one checkpoint spread across many quanta,
+    /// so the per-quantum charge is bounded by the chunk size instead of
+    /// the keyed-state size.
     pub snapshot_record_cost: u64,
+    /// Fixed cost per snapshot *chunk* (one non-empty `save_snapshot`
+    /// quantum): the store round-trip setup a chunked write pays each time
+    /// it resumes — batch framing, map dispatch, replication enqueue.
+    pub snapshot_chunk_cost: u64,
     /// Cost charged once per queue-hop batch (an inbox fill or a source
     /// outbox flush run) rather than per item: the atomic publish, cache-line
     /// transfer, and index bookkeeping a bulk drain amortizes over the whole
@@ -46,6 +53,7 @@ impl Default for CostModel {
             call_cost: 150,
             per_item: 120,
             snapshot_record_cost: 250,
+            snapshot_chunk_cost: 0,
             queue_hop_cost: 0,
             per_vertex: Vec::new(),
         }
@@ -67,6 +75,7 @@ impl CostModel {
         let mut m = CostModel::default();
         m.per_item -= 24;
         m.queue_hop_cost = 24;
+        m.snapshot_chunk_cost = 400;
         m.with_vertex_cost("nexmark", 135 - 24) // source: build + emit
             .with_vertex_cost("window-accumulate", 250 - 24)
             .with_vertex_cost("window-combine", 200 - 24)
@@ -99,10 +108,12 @@ pub struct CostedTasklet {
     last_in: u64,
     last_out: u64,
     last_snap: u64,
+    last_chunks: u64,
     last_batches: u64,
     call_cost: u64,
     per_item: u64,
     snapshot_record_cost: u64,
+    snapshot_chunk_cost: u64,
     queue_hop_cost: u64,
     pub done: bool,
     /// Interned trace name id (0 when the simulator runs untraced).
@@ -122,10 +133,12 @@ impl CostedTasklet {
             last_in: 0,
             last_out: 0,
             last_snap: 0,
+            last_chunks: 0,
             last_batches: 0,
             call_cost: model.call_cost,
             per_item,
             snapshot_record_cost: model.snapshot_record_cost,
+            snapshot_chunk_cost: model.snapshot_chunk_cost,
             queue_hop_cost: model.queue_hop_cost,
             done: false,
             trace_name: 0,
@@ -172,6 +185,7 @@ impl CostedTasklet {
         }
         let mut items = 0u64;
         let mut snap_records = 0u64;
+        let mut snap_chunks = 0u64;
         let mut batches = 0u64;
         if let Some(c) = &self.counters {
             let (i, o, _, _) = c.snapshot();
@@ -186,6 +200,9 @@ impl CostedTasklet {
             let sr = c.snapshot_records();
             snap_records = sr - self.last_snap;
             self.last_snap = sr;
+            let sc = c.snapshot_chunks();
+            snap_chunks = sc - self.last_chunks;
+            self.last_chunks = sc;
             let qb = c.queue_batches();
             batches = qb - self.last_batches;
             self.last_batches = qb;
@@ -197,6 +214,7 @@ impl CostedTasklet {
                     + items * self.per_item
                     + batches * self.queue_hop_cost
                     + snap_records * self.snapshot_record_cost
+                    + snap_chunks * self.snapshot_chunk_cost
             }
         };
         (p, cost)
@@ -234,6 +252,7 @@ mod tests {
             call_cost: 100,
             per_item: 10,
             snapshot_record_cost: 0,
+            snapshot_chunk_cost: 0,
             queue_hop_cost: 0,
             per_vertex: vec![],
         };
@@ -256,6 +275,7 @@ mod tests {
             call_cost: 50,
             per_item: 7,
             snapshot_record_cost: 0,
+            snapshot_chunk_cost: 0,
             queue_hop_cost: 0,
             per_vertex: vec![],
         };
@@ -285,6 +305,7 @@ mod tests {
             call_cost: 50,
             per_item: 7,
             snapshot_record_cost: 0,
+            snapshot_chunk_cost: 0,
             queue_hop_cost: 12,
             per_vertex: vec![],
         };

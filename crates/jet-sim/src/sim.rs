@@ -421,6 +421,7 @@ mod tests {
                 call_cost: 100,
                 per_item: 0,
                 snapshot_record_cost: 0,
+                snapshot_chunk_cost: 0,
                 queue_hop_cost: 0,
                 per_vertex: vec![],
             },
@@ -492,6 +493,7 @@ mod tests {
                 call_cost: 100,
                 per_item: 0,
                 snapshot_record_cost: 0,
+                snapshot_chunk_cost: 0,
                 queue_hop_cost: 0,
                 per_vertex: vec![],
             },

@@ -6,6 +6,7 @@
 
 use jet_cluster::{SimCluster, SimClusterConfig};
 use jet_core::processors::agg::counting;
+use jet_core::state::InlineStr;
 use jet_core::Ts;
 use jet_pipeline::{Pipeline, WindowDef, WindowResult};
 use parking_lot::Mutex;
@@ -13,8 +14,12 @@ use std::sync::Arc;
 
 const SEC: i64 = 1_000_000_000;
 
+/// Grouping keys must be `Copy` (they live inline in the keyed frame
+/// store), so words are keyed by a fixed-capacity inline string.
+type Word = InlineStr<12>;
+
 /// What the collect sink accumulates: timestamped per-word window counts.
-type WordCounts = Arc<Mutex<Vec<(Ts, WindowResult<String, u64>)>>>;
+type WordCounts = Arc<Mutex<Vec<(Ts, WindowResult<Word, u64>)>>>;
 
 fn main() {
     const WORDS: &[&str] = &["jet", "streams", "low", "latency", "tasklets", "jet", "jet"];
@@ -38,7 +43,7 @@ fn main() {
         // flatMap(sentence -> words), as in Listing 1.
         .flat_map(|sentence: &String| sentence.split(' ').map(str::to_string).collect::<Vec<_>>())
         // groupingKey(word).window(tumbling 1s).aggregate(counting())
-        .grouping_key(|word: &String| word.clone())
+        .grouping_key(|word: &String| Word::from(word.as_str()))
         .window(WindowDef::tumbling(SEC))
         .aggregate(counting::<String>())
         .write_to_collect(results.clone());
@@ -60,9 +65,9 @@ fn main() {
     // 4. Inspect the windowed counts.
     let results = results.lock();
     println!("got {} window results:", results.len());
-    let mut totals: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut totals: std::collections::HashMap<Word, u64> = std::collections::HashMap::new();
     for (_, r) in results.iter() {
-        *totals.entry(r.key.clone()).or_insert(0) += r.value;
+        *totals.entry(r.key).or_insert(0) += r.value;
     }
     let mut totals: Vec<_> = totals.into_iter().collect();
     totals.sort_by_key(|(_, c)| std::cmp::Reverse(*c));

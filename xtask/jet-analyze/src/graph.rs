@@ -527,6 +527,7 @@ const ROOTS: &[RootSpec] = &[
         &[
             "process",
             "try_process_watermark",
+            "tick",
             "complete",
             "complete_edge",
         ],

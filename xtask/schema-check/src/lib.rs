@@ -435,9 +435,52 @@ pub fn validate_bench(doc: &Json) -> Vec<String> {
             if let Some(ctl) = run.get("controller") {
                 validate_bench_controller(&mut c, ctl, &format!("{path}.controller"));
             }
+            validate_bench_keystate(&mut c, run, &path);
         }
     }
     c.errors
+}
+
+/// Validate the keyed-state scale fields (`fig_keyscale`): any run carrying
+/// `bytes_per_key` must also report the `resident_bytes` / `resident_keys`
+/// pair it was derived from, the three must be internally consistent, and a
+/// sweep summary's `p9999_ratio` must be a positive degradation factor. A
+/// negative value anywhere means the producer hit the non-finite sentinel
+/// (`-1`), i.e. the gauges were read from an empty store.
+fn validate_bench_keystate(c: &mut Checker, run: &Json, path: &str) {
+    if run.get("bytes_per_key").is_some() {
+        let bpk = c.num(run, path, "bytes_per_key");
+        let bytes = c.num(run, path, "resident_bytes");
+        let keys = c.num(run, path, "resident_keys");
+        for (key, v) in [
+            ("bytes_per_key", bpk),
+            ("resident_bytes", bytes),
+            ("resident_keys", keys),
+        ] {
+            if let Some(v) = v {
+                if v < 0.0 {
+                    c.fail(path, format_args!("'{key}' is {v}, want >= 0"));
+                }
+            }
+        }
+        if let (Some(bpk), Some(bytes), Some(keys)) = (bpk, bytes, keys) {
+            let derived = bytes / keys.max(1.0);
+            if bpk >= 0.0 && (bpk - derived).abs() > derived.abs() * 1e-6 + 1e-6 {
+                c.fail(
+                    path,
+                    format_args!(
+                        "'bytes_per_key' is {bpk}, want resident_bytes / \
+                         resident_keys = {derived}"
+                    ),
+                );
+            }
+        }
+    }
+    if let Some(Json::Num(ratio)) = run.get("p9999_ratio") {
+        if *ratio <= 0.0 {
+            c.fail(path, format_args!("'p9999_ratio' is {ratio}, want > 0"));
+        }
+    }
 }
 
 /// Validate the optional per-run `controller` object: the autoscaling
@@ -939,6 +982,70 @@ mod tests {
         let doc = parse(&report.to_json()).expect("producer emits valid JSON");
         let errors = validate_bench(&doc);
         assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn keystate_fields_conform_when_consistent() {
+        let mut report = BenchReport::new("fig_keyscale");
+        report.add_values(
+            "keys-10k-state",
+            &[("keys", "10000".to_string())],
+            &[
+                ("keys", 10_000.0),
+                ("resident_bytes", 480_000.0),
+                ("resident_keys", 10_000.0),
+                ("bytes_per_key", 48.0),
+            ],
+        );
+        report.add_values("sweep", &[], &[("p9999_ratio", 1.4)]);
+        let errors = validate_bench(&parse(&report.to_json()).expect("parse"));
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn keystate_validation_catches_a_lying_bytes_per_key() {
+        let mut report = BenchReport::new("fig_keyscale");
+        // bytes_per_key disagrees with resident_bytes / resident_keys.
+        report.add_values(
+            "keys-10k-state",
+            &[],
+            &[
+                ("resident_bytes", 480_000.0),
+                ("resident_keys", 10_000.0),
+                ("bytes_per_key", 32.0),
+            ],
+        );
+        let errors = validate_bench(&parse(&report.to_json()).expect("parse"));
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("bytes_per_key") && e.contains("resident_bytes")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn keystate_validation_catches_the_nonfinite_sentinel() {
+        let mut report = BenchReport::new("fig_keyscale");
+        // The producer writes -1 when a value was non-finite (empty store).
+        report.add_values(
+            "keys-10k-state",
+            &[],
+            &[("bytes_per_key", f64::NAN), ("resident_bytes", 0.0)],
+        );
+        let errors = validate_bench(&parse(&report.to_json()).expect("parse"));
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("'bytes_per_key' is -1, want >= 0")),
+            "{errors:#?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("missing key 'resident_keys'")),
+            "{errors:#?}"
+        );
     }
 
     fn sample_spike_report() -> SpikeReport {
